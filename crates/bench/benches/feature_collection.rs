@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the feature-collection stage (backs Fig. 6): the
+//! real cost of computing row statistics as the row count grows, alongside
+//! the modelled GPU collection cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use seer_core::features::FeatureCollector;
+use seer_gpu::Gpu;
+use seer_sparse::{generators, RowStats, SplitMix64};
+
+fn bench_row_statistics(c: &mut Criterion) {
+    let mut rng = SplitMix64::new(61);
+    let mut group = c.benchmark_group("row_statistics");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for rows in [1_000usize, 10_000, 100_000] {
+        let matrix = generators::uniform_row_length(rows, 8, &mut rng);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::new("compute", rows), &matrix, |b, m| {
+            b.iter(|| black_box(RowStats::compute(m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_collection_cost_model(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let collector = FeatureCollector::new();
+    let mut rng = SplitMix64::new(62);
+    let mut group = c.benchmark_group("feature_collection_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for rows in [1_000usize, 100_000, 1_000_000] {
+        let matrix = generators::uniform_row_length(rows, 8, &mut rng);
+        group.bench_with_input(BenchmarkId::new("collection_cost", rows), &matrix, |b, m| {
+            b.iter(|| black_box(collector.collection_cost(&gpu, m)))
+        });
+        group.bench_with_input(BenchmarkId::new("collect", rows), &matrix, |b, m| {
+            b.iter(|| black_box(collector.collect(&gpu, m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_statistics, bench_collection_cost_model);
+criterion_main!(benches);

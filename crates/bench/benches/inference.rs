@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the runtime-inference path (backs the paper's
+//! claim that decision-tree inference overhead is negligible): tree
+//! prediction, full selection, and the Oracle's exhaustive alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seer_core::inference::SeerPredictor;
+use seer_core::training::{train, TrainingConfig};
+use seer_gpu::Gpu;
+use seer_kernels::Oracle;
+use seer_sparse::collection::{generate, CollectionConfig};
+use seer_sparse::{generators, SplitMix64};
+
+fn bench_inference(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let entries = generate(&CollectionConfig::tiny());
+    let outcome = train(&gpu, &entries, &TrainingConfig::fast()).expect("training succeeds");
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let oracle = Oracle::new(&gpu);
+
+    let mut rng = SplitMix64::new(71);
+    let matrices = vec![
+        ("banded_20k", generators::banded(20_000, 3, &mut rng)),
+        ("powerlaw_20k", generators::power_law(20_000, 1.9, 2_000, &mut rng)),
+    ];
+
+    let mut group = c.benchmark_group("runtime_selection");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for (name, matrix) in &matrices {
+        group.bench_with_input(BenchmarkId::new("tree_predict_known", name), matrix, |b, m| {
+            let features = seer_core::features::KnownFeatures::of(m, 1).to_vector();
+            b.iter(|| black_box(outcome.models.known.predict(&features)))
+        });
+        group.bench_with_input(BenchmarkId::new("seer_select", name), matrix, |b, m| {
+            b.iter(|| black_box(predictor.select(m, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle_exhaustive", name), matrix, |b, m| {
+            b.iter(|| black_box(oracle.best_kernel(m, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the kernel models and functional SpMV
+//! implementations across representative matrix shapes (backs Fig. 1 and
+//! Table II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seer_gpu::Gpu;
+use seer_kernels::{all_kernels, KernelId};
+use seer_sparse::{generators, CsrMatrix, SplitMix64};
+
+fn shapes() -> Vec<(&'static str, CsrMatrix)> {
+    let mut rng = SplitMix64::new(41);
+    vec![
+        ("uniform_50k_x8", generators::uniform_row_length(50_000, 8, &mut rng)),
+        ("skewed_20k", generators::skewed_rows(20_000, 3, 4_000, 0.003, &mut rng)),
+        ("powerlaw_20k", generators::power_law(20_000, 1.9, 2_000, &mut rng)),
+        ("stencil2d_150", generators::stencil_2d(150, &mut rng)),
+    ]
+}
+
+fn bench_iteration_models(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let shapes = shapes();
+    let mut group = c.benchmark_group("kernel_timing_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for (shape_name, matrix) in &shapes {
+        for kernel in all_kernels() {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.label().replace(',', "_"), shape_name),
+                matrix,
+                |b, m| b.iter(|| black_box(kernel.iteration_timing(&gpu, m))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_functional_spmv(c: &mut Criterion) {
+    let shapes = shapes();
+    let mut group = c.benchmark_group("functional_spmv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for (shape_name, matrix) in &shapes {
+        let x: Vec<f64> = (0..matrix.cols()).map(|i| (i % 7) as f64).collect();
+        for id in [KernelId::CsrThreadMapped, KernelId::CsrWorkOriented, KernelId::CsrAdaptive] {
+            let kernel = seer_kernels::kernel_for(id);
+            group.bench_with_input(
+                BenchmarkId::new(kernel.label().replace(',', "_"), shape_name),
+                matrix,
+                |b, m| b.iter(|| black_box(kernel.compute(m, &x))),
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("reference", shape_name), matrix, |b, m| {
+            b.iter(|| black_box(m.spmv(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration_models, bench_functional_spmv);
+criterion_main!(benches);

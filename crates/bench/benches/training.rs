@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the training abstraction: GPU benchmarking of a
+//! collection, decision-tree fitting, and the full three-model pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use seer_core::benchmarking::benchmark_collection;
+use seer_core::training::{train_from_records, TrainingConfig};
+use seer_gpu::Gpu;
+use seer_ml::{Dataset, DecisionTree, DecisionTreeParams};
+use seer_sparse::collection::{generate, CollectionConfig};
+
+fn bench_training_pipeline(c: &mut Criterion) {
+    let gpu = Gpu::default();
+    let entries = generate(&CollectionConfig::tiny());
+    let records = benchmark_collection(&gpu, &entries, &[1, 19]);
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    group.bench_function("benchmark_collection_tiny", |b| {
+        b.iter(|| black_box(benchmark_collection(&gpu, &entries, &[1])))
+    });
+    group.bench_function("train_three_models", |b| {
+        b.iter(|| black_box(train_from_records(records.clone(), &TrainingConfig::fast())))
+    });
+    group.finish();
+}
+
+fn bench_decision_tree_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_tree_fit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for samples in [200usize, 2_000] {
+        let features: Vec<Vec<f64>> = (0..samples)
+            .map(|i| vec![(i % 97) as f64, (i % 13) as f64, (i * i % 101) as f64])
+            .collect();
+        let labels: Vec<usize> = (0..samples).map(|i| (i / 7) % 5).collect();
+        let dataset = Dataset::with_classes(
+            vec!["a".into(), "b".into(), "c".into()],
+            features,
+            labels,
+            5,
+        )
+        .expect("valid dataset");
+        group.bench_with_input(BenchmarkId::new("fit", samples), &dataset, |b, d| {
+            b.iter(|| black_box(DecisionTree::fit(d, &DecisionTreeParams::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_pipeline, bench_decision_tree_fit);
+criterion_main!(benches);

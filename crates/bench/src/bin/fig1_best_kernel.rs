@@ -1,0 +1,41 @@
+//! Figure 1: the fastest kernel for each dataset member, against its nonzero
+//! count — the motivation scatter plot for kernel selection.
+//!
+//! Prints one CSV row per matrix: `name,nnz,best_kernel,best_runtime_ms`.
+
+use std::collections::BTreeMap;
+
+use seer_bench::evaluation_collection;
+use seer_core::benchmarking::BenchmarkRecord;
+use seer_gpu::Gpu;
+
+fn main() {
+    let gpu = Gpu::default();
+    let collection = evaluation_collection();
+    eprintln!("fig1: benchmarking {} matrices (single iteration)...", collection.len());
+
+    println!("name,nnz,best_kernel,best_runtime_ms");
+    let mut winner_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut rows = Vec::new();
+    for entry in &collection {
+        let record = BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, 1);
+        let best = record.best_kernel();
+        let best_time = record.total_of(best);
+        *winner_counts.entry(best.label()).or_default() += 1;
+        rows.push((entry.matrix.nnz(), entry.name.clone(), best, best_time));
+    }
+    rows.sort_by_key(|(nnz, ..)| *nnz);
+    for (nnz, name, best, time) in &rows {
+        println!("{name},{nnz},\"{}\",{:.6}", best.label(), time.as_millis());
+    }
+
+    eprintln!("\nfig1 summary: winner distribution across {} matrices", rows.len());
+    for (kernel, count) in &winner_counts {
+        eprintln!("  {kernel:<8} wins {count:>4} matrices");
+    }
+    eprintln!(
+        "  nnz range: {} .. {}",
+        rows.first().map(|r| r.0).unwrap_or(0),
+        rows.last().map(|r| r.0).unwrap_or(0)
+    );
+}

@@ -1,0 +1,81 @@
+//! Figure 5: single-iteration runtime of the Oracle, the classifier-selection
+//! predictor, the gathered- and known-feature predictors, and every fixed
+//! kernel — for the named stand-in matrices (5a-c) and aggregated over the
+//! test set (5d), including the 2x / geomean headline numbers.
+
+use seer_bench::{fmt_ms, paper_standins, train_evaluation_models};
+use seer_core::benchmarking::BenchmarkRecord;
+use seer_core::evaluation::evaluate;
+use seer_core::inference::SeerPredictor;
+use seer_gpu::Gpu;
+use seer_kernels::KernelId;
+
+fn main() {
+    let gpu = Gpu::default();
+    eprintln!("fig5: training on the evaluation collection...");
+    let outcome = train_evaluation_models(&gpu).expect("training succeeds");
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+
+    // Panels (a)-(c): named stand-ins, single iteration.
+    println!("Fig. 5a-c analogues: single-iteration totals on the named stand-ins (ms)\n");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} {}",
+        "matrix", "Oracle", "Selector", "Gathered", "Known", "per-kernel (CSR,A CSR,BM CSR,MP CSR,WM CSR,WO CSR,TM COO,WM ELL,TM)"
+    );
+    for entry in paper_standins() {
+        let record = BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, 1);
+        let report = evaluate(&predictor, std::slice::from_ref(&record));
+        let totals = &report.totals;
+        let per_kernel: Vec<String> =
+            totals.per_kernel.iter().map(|(_, t)| fmt_ms(*t)).collect();
+        println!(
+            "{:<14} {:>9} {:>9} {:>9} {:>9}   {}",
+            entry.name,
+            fmt_ms(totals.oracle),
+            fmt_ms(totals.selector),
+            fmt_ms(totals.gathered),
+            fmt_ms(totals.known),
+            per_kernel.join(" ")
+        );
+    }
+
+    // Panel (d): aggregate over the held-out test records.
+    let report = evaluate(&predictor, &outcome.test_records);
+    println!("\nFig. 5d analogue: aggregate totals over the {} held-out records (ms)\n", report.records.len());
+    println!("  {:<22} {:>12}", "Oracle", fmt_ms(report.totals.oracle));
+    println!("  {:<22} {:>12}", "Selector", fmt_ms(report.totals.selector));
+    println!("  {:<22} {:>12}", "Gathered", fmt_ms(report.totals.gathered));
+    println!("  {:<22} {:>12}", "Known", fmt_ms(report.totals.known));
+    for (kernel, total) in &report.totals.per_kernel {
+        println!("  {:<22} {:>12}", kernel.label(), fmt_ms(*total));
+    }
+
+    let (best_kernel, best_total) = report.totals.best_single_kernel();
+    println!("\nheadline numbers:");
+    println!(
+        "  selector vs best fixed kernel ({}): {:.2}x aggregate, {:.2}x geomean",
+        best_kernel.label(),
+        best_total / report.totals.selector,
+        report.geomean_speedup_over_best_kernel()
+    );
+    println!(
+        "  geomean speed-up over all fixed kernels: {:.2}x",
+        report.geomean_speedup_over_all_kernels()
+    );
+    println!(
+        "  selector within {:.2}x of the Oracle; feature collection used on {:.0}% of inputs",
+        report.totals.selector / report.totals.oracle,
+        report.gather_rate * 100.0
+    );
+    println!(
+        "  prediction accuracies on this set: known {:.0}%, gathered {:.0}%, selector-vs-oracle {:.0}%",
+        report.known_accuracy * 100.0,
+        report.gathered_accuracy * 100.0,
+        report.selector_accuracy * 100.0
+    );
+    println!("\nper-kernel geomean speed-up of the selector:");
+    for (kernel, speedup) in &report.geomean_speedup_per_kernel {
+        println!("  vs {:<8} {:>8.2}x", kernel.label(), speedup);
+    }
+    let _ = KernelId::ALL;
+}

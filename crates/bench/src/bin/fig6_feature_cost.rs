@@ -1,0 +1,61 @@
+//! Figure 6: the cost of the feature-collection kernels versus the runtime of
+//! the CSR,BM kernel as the number of rows grows, showing the crossover past
+//! which gathering features becomes cheap relative to the workload.
+
+use seer_core::features::FeatureCollector;
+use seer_gpu::Gpu;
+use seer_kernels::{CsrBlockMapped, SpmvKernel};
+use seer_sparse::{generators, SplitMix64};
+
+fn main() {
+    let gpu = Gpu::default();
+    let collector = FeatureCollector::new();
+    let kernel = CsrBlockMapped::new();
+    let mut rng = SplitMix64::new(6);
+
+    println!("rows,nnz,feature_collection_ms,csr_bm_runtime_ms,ratio");
+    let mut crossover: Option<usize> = None;
+    for exponent in 0..14 {
+        let rows = 10usize * (1 << exponent); // 10 .. ~82k, doubling
+        let rows = rows.min(2_000_000);
+        let matrix = generators::uniform_row_length(rows, 8, &mut rng);
+        let collection = collector.collection_cost(&gpu, &matrix);
+        let runtime = kernel.iteration_time(&gpu, &matrix);
+        let ratio = collection.as_nanos() / runtime.as_nanos();
+        if crossover.is_none() && ratio < 1.0 {
+            crossover = Some(rows);
+        }
+        println!(
+            "{rows},{},{:.6},{:.6},{:.3}",
+            matrix.nnz(),
+            collection.as_millis(),
+            runtime.as_millis(),
+            ratio
+        );
+    }
+    // Extend the sweep into the hundreds of thousands of rows like the paper.
+    for rows in [200_000usize, 400_000, 800_000, 1_600_000, 3_200_000, 6_400_000] {
+        let matrix = generators::uniform_row_length(rows, 8, &mut rng);
+        let collection = collector.collection_cost(&gpu, &matrix);
+        let runtime = kernel.iteration_time(&gpu, &matrix);
+        let ratio = collection.as_nanos() / runtime.as_nanos();
+        if crossover.is_none() && ratio < 1.0 {
+            crossover = Some(rows);
+        }
+        println!(
+            "{rows},{},{:.6},{:.6},{:.3}",
+            matrix.nnz(),
+            collection.as_millis(),
+            runtime.as_millis(),
+            ratio
+        );
+    }
+
+    match crossover {
+        Some(rows) => eprintln!(
+            "\nfig6: feature collection becomes cheaper than one CSR,BM iteration at ~{rows} rows \
+             (the paper reports a crossover around 100,000 rows)"
+        ),
+        None => eprintln!("\nfig6: no crossover observed in the swept range"),
+    }
+}

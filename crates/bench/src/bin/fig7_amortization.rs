@@ -1,0 +1,83 @@
+//! Figure 7: multi-iteration analysis of preprocessing amortization on the
+//! CurlCurl_3, G3_circuit and PWTK stand-ins at 1 and 19 iterations, plus the
+//! modelled crossover iteration counts.
+
+use seer_bench::{fmt_ms, paper_standins, train_evaluation_models};
+use seer_core::amortization::{amortization_crossover, AmortizationSweep};
+use seer_core::inference::SeerPredictor;
+use seer_gpu::Gpu;
+use seer_kernels::KernelId;
+
+fn main() {
+    let gpu = Gpu::default();
+    eprintln!("fig7: training on the evaluation collection...");
+    let outcome = train_evaluation_models(&gpu).expect("training succeeds");
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+
+    let standins = paper_standins();
+    let panels = ["CurlCurl_3", "G3_circuit", "PWTK"];
+    for name in panels {
+        let entry = standins.iter().find(|e| e.name == name).expect("stand-in exists");
+        let sweep = AmortizationSweep::run(
+            &gpu,
+            &predictor,
+            name,
+            &entry.matrix,
+            &[1, 19, 100],
+        );
+        println!(
+            "\n== {} ({} rows, {} nnz) ==",
+            name,
+            entry.matrix.rows(),
+            entry.matrix.nnz()
+        );
+        println!(
+            "{:<6} {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7}",
+            "iters", "Oracle", "kernel", "Selector", "kernel", "Gathered", "kernel", "Known", "kernel"
+        );
+        for point in &sweep.points {
+            println!(
+                "{:<6} {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7}",
+                point.iterations,
+                fmt_ms(point.oracle_total()),
+                point.oracle.label(),
+                fmt_ms(point.selector.1),
+                point.selector.0.label(),
+                fmt_ms(point.gathered.1),
+                point.gathered.0.label(),
+                fmt_ms(point.known.1),
+                point.known.0.label(),
+            );
+        }
+        println!("per-kernel totals (ms) at 1 / 19 / 100 iterations:");
+        for id in KernelId::ALL {
+            println!(
+                "  {:<8} {:>10} {:>10} {:>10}",
+                id.label(),
+                fmt_ms(sweep.points[0].total_of(id)),
+                fmt_ms(sweep.points[1].total_of(id)),
+                fmt_ms(sweep.points[2].total_of(id)),
+            );
+        }
+        for (candidate, baseline) in [
+            (KernelId::CsrAdaptive, KernelId::CsrWavefrontMapped),
+            (KernelId::CsrAdaptive, KernelId::CsrThreadMapped),
+            (KernelId::EllThreadMapped, KernelId::CsrWavefrontMapped),
+            (KernelId::CsrMergePath, KernelId::CsrWorkOriented),
+        ] {
+            match amortization_crossover(&gpu, &entry.matrix, candidate, baseline) {
+                Some(iterations) => println!(
+                    "  {} amortizes its preprocessing vs {} after ~{} iterations",
+                    candidate.label(),
+                    baseline.label(),
+                    iterations
+                ),
+                None => println!(
+                    "  {} never amortizes vs {} on this matrix",
+                    candidate.label(),
+                    baseline.label()
+                ),
+            }
+        }
+    }
+}

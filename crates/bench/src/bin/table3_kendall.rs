@@ -1,0 +1,46 @@
+//! Table III: Kendall correlation coefficient between each kernel's runtime
+//! and the matrix features (rows, nnz, most/least/average/variance of the
+//! row density).
+
+use seer_bench::analysis_collection;
+use seer_core::benchmarking::benchmark_collection;
+use seer_gpu::Gpu;
+use seer_kernels::KernelId;
+use seer_ml::metrics::kendall_tau;
+
+fn main() {
+    let gpu = Gpu::default();
+    let collection = analysis_collection();
+    eprintln!("table3: benchmarking {} matrices...", collection.len());
+    let records = benchmark_collection(&gpu, &collection, &[1]);
+
+    // Feature columns in the order of the paper's Table III.
+    let feature_columns: Vec<(&str, Vec<f64>)> = vec![
+        ("rows", records.iter().map(|r| r.known.rows as f64).collect()),
+        ("nnz", records.iter().map(|r| r.known.nnz as f64).collect()),
+        ("Most", records.iter().map(|r| r.gathered.max_density).collect()),
+        ("Least", records.iter().map(|r| r.gathered.min_density).collect()),
+        ("Avg", records.iter().map(|r| r.gathered.mean_density).collect()),
+        ("Var", records.iter().map(|r| r.gathered.var_density).collect()),
+    ];
+
+    println!("Table III: Kendall tau between per-iteration runtime and features\n");
+    print!("{:<10}", "kernel");
+    for (name, _) in &feature_columns {
+        print!(" {name:>8}");
+    }
+    println!();
+    for kernel in KernelId::ALL {
+        let runtimes: Vec<f64> =
+            records.iter().map(|r| r.profile(kernel).per_iteration.as_millis()).collect();
+        print!("{:<10}", kernel.label());
+        for (_, feature) in &feature_columns {
+            print!(" {:>8.2}", kendall_tau(&runtimes, feature));
+        }
+        println!();
+    }
+    println!(
+        "\n({} records; positive values mean runtime grows with the feature, as in the paper)",
+        records.len()
+    );
+}

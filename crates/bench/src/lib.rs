@@ -1,0 +1,82 @@
+//! Shared plumbing for the figure- and table-regeneration binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md for the experiment index). They all share the same
+//! evaluation setup: the MI100-class device model, the synthetic SuiteSparse
+//! stand-in collection, and a Seer training run.
+
+use seer_core::training::{train, TrainingConfig, TrainingOutcome};
+use seer_core::SeerError;
+use seer_gpu::{Gpu, SimTime};
+use seer_sparse::collection::{generate, named_standins, CollectionConfig, DatasetEntry, SizeScale};
+
+/// The evaluation scale used by the figure binaries.
+///
+/// `Medium` keeps the full pipeline (generation + benchmarking + training)
+/// under a couple of minutes on a laptop while spanning matrix sizes from a
+/// few thousand to a few hundred thousand rows.
+pub fn evaluation_collection() -> Vec<DatasetEntry> {
+    generate(&CollectionConfig { seed: 2024, matrices_per_family: 8, scale: SizeScale::Medium })
+}
+
+/// A smaller collection for the quicker binaries (Table III, accuracy report).
+pub fn analysis_collection() -> Vec<DatasetEntry> {
+    generate(&CollectionConfig { seed: 2024, matrices_per_family: 6, scale: SizeScale::Small })
+}
+
+/// The scaled stand-ins for the matrices named in Figs. 5 and 7.
+pub fn paper_standins() -> Vec<DatasetEntry> {
+    named_standins(SizeScale::Medium)
+}
+
+/// Trains the Seer models on the evaluation collection with the paper's
+/// iteration mix.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn train_evaluation_models(gpu: &Gpu) -> Result<TrainingOutcome, SeerError> {
+    let collection = evaluation_collection();
+    train(
+        gpu,
+        &collection,
+        &TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() },
+    )
+}
+
+/// Formats a time the way the paper's log-scale figures label bars.
+pub fn fmt_ms(t: SimTime) -> String {
+    format!("{:.3}", t.as_millis())
+}
+
+/// Renders a crude log-scale bar for terminal figures.
+pub fn bar(t: SimTime, reference: SimTime) -> String {
+    let ratio = (t.as_nanos() / reference.as_nanos()).max(1.0);
+    let len = (ratio.log10() * 20.0).round() as usize;
+    "#".repeat(len.clamp(1, 60))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collections_are_nonempty_and_distinct() {
+        let analysis = analysis_collection();
+        let standins = paper_standins();
+        assert!(!analysis.is_empty());
+        assert_eq!(standins.len(), 6);
+    }
+
+    #[test]
+    fn bar_length_grows_with_time() {
+        let reference = SimTime::from_micros(10.0);
+        assert!(bar(SimTime::from_millis(10.0), reference).len()
+            > bar(SimTime::from_micros(20.0), reference).len());
+    }
+
+    #[test]
+    fn fmt_ms_is_millisecond_precision() {
+        assert_eq!(fmt_ms(SimTime::from_millis(1.2345)), "1.234");
+    }
+}

@@ -1,0 +1,215 @@
+//! Multi-iteration preprocessing-amortization analysis (Fig. 7 of the paper).
+//!
+//! Kernels such as Adaptive-CSR and ELL pay a one-time preprocessing cost that
+//! is only worthwhile if the workload runs enough iterations. This module
+//! sweeps a matrix across iteration counts and records, at each point, every
+//! kernel's total time and what each predictor would have chosen — the data
+//! behind the six panels of Fig. 7.
+
+use seer_gpu::{Gpu, SimTime};
+use seer_kernels::{KernelId, MatrixBenchmark};
+use seer_sparse::CsrMatrix;
+
+use crate::benchmarking::BenchmarkRecord;
+use crate::inference::SeerPredictor;
+
+/// One point of the amortization sweep: a specific iteration count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmortizationPoint {
+    /// Iteration count of the workload.
+    pub iterations: usize,
+    /// Total (preprocessing + iterations) time of every kernel.
+    pub per_kernel: Vec<(KernelId, SimTime)>,
+    /// The Oracle's choice at this iteration count.
+    pub oracle: KernelId,
+    /// The full selector's choice and its end-to-end time.
+    pub selector: (KernelId, SimTime),
+    /// The known-feature predictor's choice and its end-to-end time.
+    pub known: (KernelId, SimTime),
+    /// The gathered-feature predictor's choice and its end-to-end time.
+    pub gathered: (KernelId, SimTime),
+}
+
+impl AmortizationPoint {
+    /// Total time of a specific kernel at this point.
+    pub fn total_of(&self, kernel: KernelId) -> SimTime {
+        self.per_kernel
+            .iter()
+            .find(|(k, _)| *k == kernel)
+            .map(|(_, t)| *t)
+            .expect("every kernel is present")
+    }
+
+    /// The Oracle's total time at this point.
+    pub fn oracle_total(&self) -> SimTime {
+        self.total_of(self.oracle)
+    }
+}
+
+/// The result of sweeping one matrix across iteration counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmortizationSweep {
+    /// Name of the matrix.
+    pub name: String,
+    /// One point per requested iteration count, in the given order.
+    pub points: Vec<AmortizationPoint>,
+}
+
+impl AmortizationSweep {
+    /// Runs the sweep for `matrix` at each iteration count.
+    pub fn run(
+        gpu: &Gpu,
+        predictor: &SeerPredictor<'_>,
+        name: &str,
+        matrix: &CsrMatrix,
+        iteration_counts: &[usize],
+    ) -> Self {
+        let points = iteration_counts
+            .iter()
+            .map(|&iterations| {
+                let record = BenchmarkRecord::measure(gpu, name, matrix, iterations);
+                let selection = predictor.select_from_record(&record);
+                let selector_total = selection.overhead() + record.total_of(selection.kernel);
+
+                let known_class =
+                    predictor.models().known.predict(&record.known_vector());
+                let known_kernel =
+                    KernelId::from_class_index(known_class).unwrap_or(KernelId::CsrAdaptive);
+                let gathered_class =
+                    predictor.models().gathered.predict(&record.gathered_vector());
+                let gathered_kernel =
+                    KernelId::from_class_index(gathered_class).unwrap_or(KernelId::CsrAdaptive);
+
+                AmortizationPoint {
+                    iterations,
+                    per_kernel: KernelId::ALL
+                        .iter()
+                        .map(|&id| (id, record.total_of(id)))
+                        .collect(),
+                    oracle: record.best_kernel(),
+                    selector: (selection.kernel, selector_total),
+                    known: (known_kernel, record.total_of(known_kernel)),
+                    gathered: (
+                        gathered_kernel,
+                        record.collection_cost + record.total_of(gathered_kernel),
+                    ),
+                }
+            })
+            .collect();
+        Self { name: name.to_string(), points }
+    }
+
+    /// The smallest swept iteration count at which `kernel` becomes the
+    /// Oracle's choice, if it ever does.
+    pub fn first_iteration_where_best(&self, kernel: KernelId) -> Option<usize> {
+        self.points.iter().find(|p| p.oracle == kernel).map(|p| p.iterations)
+    }
+}
+
+/// Computes, from direct measurement, the iteration count at which
+/// `candidate`'s preprocessing is amortized relative to `baseline` on
+/// `matrix`, i.e. the crossover of their total-time lines.
+///
+/// Returns `None` if the candidate never catches up.
+pub fn amortization_crossover(
+    gpu: &Gpu,
+    matrix: &CsrMatrix,
+    candidate: KernelId,
+    baseline: KernelId,
+) -> Option<usize> {
+    let bench = MatrixBenchmark::measure(gpu, "crossover", matrix, 1);
+    let candidate_profile = bench.profile(candidate)?;
+    let baseline_profile = bench.profile(baseline)?;
+    candidate_profile.crossover_iterations(baseline_profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train, TrainingConfig};
+    use seer_sparse::collection::{generate, named_standins, CollectionConfig, SizeScale};
+    use seer_sparse::{generators, SplitMix64};
+
+    fn trained_predictor(gpu: &Gpu) -> SeerPredictor<'_> {
+        let entries = generate(&CollectionConfig::tiny());
+        let outcome = train(gpu, &entries, &TrainingConfig::fast()).unwrap();
+        SeerPredictor::new(gpu, outcome.models)
+    }
+
+    #[test]
+    fn sweep_points_follow_requested_iterations() {
+        let gpu = Gpu::default();
+        let predictor = trained_predictor(&gpu);
+        let standins = named_standins(SizeScale::Tiny);
+        let sweep = AmortizationSweep::run(
+            &gpu,
+            &predictor,
+            &standins[0].name,
+            &standins[0].matrix,
+            &[1, 19],
+        );
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.points[0].iterations, 1);
+        assert_eq!(sweep.points[1].iterations, 19);
+        for point in &sweep.points {
+            assert_eq!(point.per_kernel.len(), KernelId::ALL.len());
+            assert!(point.oracle_total() <= point.selector.1);
+        }
+    }
+
+    #[test]
+    fn totals_grow_with_iterations() {
+        let gpu = Gpu::default();
+        let predictor = trained_predictor(&gpu);
+        let mut rng = SplitMix64::new(9);
+        let m = generators::skewed_rows(2000, 3, 800, 0.01, &mut rng);
+        let sweep = AmortizationSweep::run(&gpu, &predictor, "skew", &m, &[1, 10, 100]);
+        for id in KernelId::ALL {
+            assert!(sweep.points[0].total_of(id) < sweep.points[2].total_of(id));
+        }
+    }
+
+    #[test]
+    fn adaptive_crossover_exists_on_skewed_matrices() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(10);
+        // Adaptive has better per-iteration time than thread mapping here, so
+        // its preprocessing must amortize at some finite iteration count.
+        let m = generators::skewed_rows(40_000, 4, 4000, 0.003, &mut rng);
+        let crossover =
+            amortization_crossover(&gpu, &m, KernelId::CsrAdaptive, KernelId::CsrThreadMapped);
+        assert!(crossover.is_some());
+        assert!(crossover.unwrap() >= 1);
+    }
+
+    #[test]
+    fn crossover_is_none_when_candidate_is_never_better() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(11);
+        // On a heavily skewed matrix ELL's per-iteration time is worse than
+        // the work-oriented kernel, so its conversion never pays off.
+        let m = generators::skewed_rows(10_000, 3, 5000, 0.002, &mut rng);
+        let crossover =
+            amortization_crossover(&gpu, &m, KernelId::EllThreadMapped, KernelId::CsrWorkOriented);
+        assert!(crossover.is_none());
+    }
+
+    #[test]
+    fn oracle_choice_can_change_with_iteration_count() {
+        let gpu = Gpu::default();
+        let predictor = trained_predictor(&gpu);
+        let mut rng = SplitMix64::new(12);
+        let m = generators::skewed_rows(60_000, 4, 5000, 0.003, &mut rng);
+        let sweep = AmortizationSweep::run(&gpu, &predictor, "skew", &m, &[1, 500]);
+        // At one iteration a no-preprocessing kernel wins; by 500 iterations a
+        // preprocessing kernel (adaptive or merge-path or ELL) can take over.
+        // At minimum, the winner's per-iteration time must not get worse.
+        let early = sweep.points[0].oracle;
+        let late = sweep.points[1].oracle;
+        let early_per_iter = sweep.points[0].total_of(early).as_nanos();
+        let late_per_iter = (sweep.points[1].total_of(late).as_nanos()
+            - sweep.points[0].total_of(late).as_nanos())
+            / 499.0;
+        assert!(late_per_iter <= early_per_iter);
+    }
+}

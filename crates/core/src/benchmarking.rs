@@ -1,0 +1,168 @@
+//! The GPU benchmarking stage of the Seer training abstraction.
+//!
+//! Given a representative dataset and the registered kernels, this stage
+//! measures every kernel's per-iteration runtime and preprocessing cost on
+//! every matrix, together with the known features, the gathered features and
+//! the cost of gathering them. Its output feeds both the CSV artifacts of the
+//! Seer API ([`crate::csv`]) and the model-training stage
+//! ([`crate::training`]).
+
+use seer_gpu::{Gpu, SimTime};
+use seer_kernels::{KernelId, KernelProfile, MatrixBenchmark};
+use seer_sparse::collection::DatasetEntry;
+use seer_sparse::CsrMatrix;
+
+use crate::features::{FeatureCollector, GatheredFeatures, KnownFeatures};
+
+/// Everything the benchmarking stage records about one (matrix, iteration
+/// count) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkRecord {
+    /// Name of the dataset member.
+    pub name: String,
+    /// Iteration count of the workload this record describes.
+    pub iterations: usize,
+    /// Trivially known features.
+    pub known: KnownFeatures,
+    /// Dynamically gathered features.
+    pub gathered: GatheredFeatures,
+    /// Modelled cost of gathering them.
+    pub collection_cost: SimTime,
+    /// Per-kernel profiles (runtime + preprocessing), in [`KernelId::ALL`] order.
+    pub profiles: Vec<KernelProfile>,
+}
+
+impl BenchmarkRecord {
+    /// Measures one matrix at one iteration count.
+    pub fn measure(gpu: &Gpu, name: &str, matrix: &CsrMatrix, iterations: usize) -> Self {
+        let bench = MatrixBenchmark::measure(gpu, name, matrix, iterations);
+        let collection = FeatureCollector::new().collect(gpu, matrix);
+        Self {
+            name: name.to_string(),
+            iterations,
+            known: KnownFeatures::of(matrix, iterations),
+            gathered: collection.features,
+            collection_cost: collection.cost,
+            profiles: bench.profiles,
+        }
+    }
+
+    /// The profile of a specific kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is somehow missing from the record (cannot happen
+    /// for records produced by [`BenchmarkRecord::measure`]).
+    pub fn profile(&self, kernel: KernelId) -> &KernelProfile {
+        self.profiles
+            .iter()
+            .find(|p| p.kernel == kernel)
+            .expect("every registered kernel is measured")
+    }
+
+    /// Total workload time (preprocessing + all iterations) of a kernel.
+    pub fn total_of(&self, kernel: KernelId) -> SimTime {
+        self.profile(kernel).total()
+    }
+
+    /// The kernel with the smallest total workload time — the classification
+    /// label used for training.
+    pub fn best_kernel(&self) -> KernelId {
+        self.profiles
+            .iter()
+            .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("times are finite"))
+            .expect("at least one kernel is registered")
+            .kernel
+    }
+
+    /// The total workload time of the best kernel (the Oracle's time).
+    pub fn oracle_total(&self) -> SimTime {
+        self.total_of(self.best_kernel())
+    }
+
+    /// Feature vector for the known-feature classifier.
+    pub fn known_vector(&self) -> Vec<f64> {
+        self.known.to_vector()
+    }
+
+    /// Feature vector for the gathered-feature classifier (known ++ gathered).
+    pub fn gathered_vector(&self) -> Vec<f64> {
+        let mut v = self.known.to_vector();
+        v.extend(self.gathered.to_vector());
+        v
+    }
+}
+
+/// Benchmarks every entry of a dataset collection at every iteration count in
+/// `iteration_counts`, producing one record per (matrix, iterations) pair.
+pub fn benchmark_collection(
+    gpu: &Gpu,
+    entries: &[DatasetEntry],
+    iteration_counts: &[usize],
+) -> Vec<BenchmarkRecord> {
+    let mut records = Vec::with_capacity(entries.len() * iteration_counts.len());
+    for entry in entries {
+        for &iterations in iteration_counts {
+            records.push(BenchmarkRecord::measure(gpu, &entry.name, &entry.matrix, iterations));
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::collection::{generate, CollectionConfig};
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn record_contains_all_kernels_and_features() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(1);
+        let m = generators::power_law(800, 2.0, 128, &mut rng);
+        let record = BenchmarkRecord::measure(&gpu, "pl", &m, 3);
+        assert_eq!(record.profiles.len(), KernelId::ALL.len());
+        assert_eq!(record.known.rows, 800);
+        assert_eq!(record.known.iterations, 3);
+        assert!(record.collection_cost.as_micros() > 0.0);
+        assert_eq!(record.known_vector().len(), 4);
+        assert_eq!(record.gathered_vector().len(), 8);
+    }
+
+    #[test]
+    fn best_kernel_minimises_total() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(2);
+        let m = generators::skewed_rows(3000, 3, 1500, 0.01, &mut rng);
+        let record = BenchmarkRecord::measure(&gpu, "skew", &m, 1);
+        let best = record.best_kernel();
+        for id in KernelId::ALL {
+            assert!(record.total_of(best) <= record.total_of(id));
+        }
+        assert_eq!(record.oracle_total(), record.total_of(best));
+    }
+
+    #[test]
+    fn collection_benchmark_produces_cartesian_product() {
+        let gpu = Gpu::default();
+        let entries = generate(&CollectionConfig { matrices_per_family: 1, ..CollectionConfig::tiny() });
+        let records = benchmark_collection(&gpu, &entries, &[1, 19]);
+        assert_eq!(records.len(), entries.len() * 2);
+        // Iteration counts alternate per entry.
+        assert_eq!(records[0].iterations, 1);
+        assert_eq!(records[1].iterations, 19);
+        assert_eq!(records[0].name, records[1].name);
+    }
+
+    #[test]
+    fn higher_iteration_counts_increase_totals() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(3);
+        let m = generators::banded(2000, 3, &mut rng);
+        let one = BenchmarkRecord::measure(&gpu, "b", &m, 1);
+        let many = BenchmarkRecord::measure(&gpu, "b", &m, 20);
+        for id in KernelId::ALL {
+            assert!(many.total_of(id) > one.total_of(id));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The CSV artifacts of the Seer API (Section III-D of the paper).
+//!
+//! The paper's benchmarking stage emits, per kernel, a CSV with three columns
+//! (dataset name, kernel runtime, preprocessing time); these are then
+//! aggregated into tables with one runtime column per kernel. The feature-
+//! collection stage emits one CSV whose first column is the dataset name, the
+//! middle columns the gathered features, and the last column the collection
+//! time. This module reproduces those formats so the training pipeline can be
+//! driven from files exactly as the paper's scripts are.
+
+use seer_gpu::SimTime;
+use seer_kernels::KernelId;
+
+use crate::benchmarking::BenchmarkRecord;
+use crate::features::GatheredFeatures;
+use crate::SeerError;
+
+/// Serialises the per-kernel benchmarking CSV: `name,runtime_ms,preprocessing_ms`.
+pub fn kernel_benchmark_csv(records: &[BenchmarkRecord], kernel: KernelId) -> String {
+    let mut out = String::from("name,runtime_ms,preprocessing_ms\n");
+    for record in records {
+        let profile = record.profile(kernel);
+        out.push_str(&format!(
+            "{},{},{}\n",
+            record.name,
+            profile.per_iteration.as_millis(),
+            profile.preprocessing.as_millis()
+        ));
+    }
+    out
+}
+
+/// Serialises the aggregated runtime CSV: `name,<kernel label>...` with one
+/// per-iteration runtime column per kernel.
+pub fn aggregate_runtime_csv(records: &[BenchmarkRecord]) -> String {
+    aggregate_csv(records, |record, kernel| record.profile(kernel).per_iteration)
+}
+
+/// Serialises the aggregated preprocessing CSV: `name,<kernel label>...` with
+/// one preprocessing-time column per kernel.
+pub fn aggregate_preprocessing_csv(records: &[BenchmarkRecord]) -> String {
+    aggregate_csv(records, |record, kernel| record.profile(kernel).preprocessing)
+}
+
+fn aggregate_csv(
+    records: &[BenchmarkRecord],
+    value: impl Fn(&BenchmarkRecord, KernelId) -> SimTime,
+) -> String {
+    let mut out = String::from("name");
+    for kernel in KernelId::ALL {
+        out.push(',');
+        out.push_str(&format!("\"{}\"", kernel.label()));
+    }
+    out.push('\n');
+    for record in records {
+        out.push_str(&record.name);
+        for kernel in KernelId::ALL {
+            out.push_str(&format!(",{}", value(record, kernel).as_millis()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises the feature CSV: `name,<features...>,collection_time_ms`
+/// (features + 2 columns, as the paper specifies).
+pub fn features_csv(records: &[BenchmarkRecord]) -> String {
+    let mut out = String::from("name");
+    for name in GatheredFeatures::NAMES {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push_str(",collection_time_ms\n");
+    for record in records {
+        out.push_str(&record.name);
+        for value in record.gathered.to_vector() {
+            out.push_str(&format!(",{value}"));
+        }
+        out.push_str(&format!(",{}\n", record.collection_cost.as_millis()));
+    }
+    out
+}
+
+/// A parsed aggregated-runtime table: dataset names and one value per kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateTable {
+    /// Kernel labels, in column order.
+    pub kernels: Vec<String>,
+    /// One row per dataset member: `(name, values_ms)`.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Parses a CSV produced by [`aggregate_runtime_csv`] or
+/// [`aggregate_preprocessing_csv`].
+///
+/// # Errors
+///
+/// Returns [`SeerError::Table`] on structural problems (missing header, ragged
+/// rows, non-numeric values).
+pub fn parse_aggregate_csv(content: &str) -> Result<AggregateTable, SeerError> {
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| SeerError::Table {
+        reason: "empty csv".to_string(),
+    })?;
+    let columns: Vec<String> = split_csv_line(header);
+    if columns.len() < 2 || columns[0] != "name" {
+        return Err(SeerError::Table {
+            reason: format!("expected 'name,<kernels...>' header, found '{header}'"),
+        });
+    }
+    let kernels = columns[1..].to_vec();
+    let mut rows = Vec::new();
+    for (line_no, line) in lines.enumerate() {
+        let fields = split_csv_line(line);
+        if fields.len() != kernels.len() + 1 {
+            return Err(SeerError::Table {
+                reason: format!(
+                    "row {} has {} fields, expected {}",
+                    line_no + 2,
+                    fields.len(),
+                    kernels.len() + 1
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(kernels.len());
+        for field in &fields[1..] {
+            values.push(field.parse::<f64>().map_err(|e| SeerError::Table {
+                reason: format!("bad number '{field}' on row {}: {e}", line_no + 2),
+            })?);
+        }
+        rows.push((fields[0].clone(), values));
+    }
+    Ok(AggregateTable { kernels, rows })
+}
+
+/// Splits one CSV line, honouring double-quoted fields (kernel labels contain commas).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_gpu::Gpu;
+    use seer_sparse::{generators, SplitMix64};
+
+    fn sample_records() -> Vec<BenchmarkRecord> {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(5);
+        let a = generators::banded(500, 2, &mut rng);
+        let b = generators::power_law(500, 2.0, 64, &mut rng);
+        vec![
+            BenchmarkRecord::measure(&gpu, "banded_a", &a, 1),
+            BenchmarkRecord::measure(&gpu, "powerlaw_b", &b, 1),
+        ]
+    }
+
+    #[test]
+    fn kernel_csv_has_three_columns() {
+        let records = sample_records();
+        let csv = kernel_benchmark_csv(&records, KernelId::CsrThreadMapped);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,runtime_ms,preprocessing_ms");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("banded_a,"));
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+
+    #[test]
+    fn aggregate_csv_has_one_column_per_kernel() {
+        let records = sample_records();
+        let csv = aggregate_runtime_csv(&records);
+        let header = csv.lines().next().unwrap();
+        let fields = split_csv_line(header);
+        assert_eq!(fields.len(), KernelId::ALL.len() + 1);
+        assert_eq!(fields[1], KernelId::CsrAdaptive.label());
+    }
+
+    #[test]
+    fn aggregate_round_trip_parses() {
+        let records = sample_records();
+        let csv = aggregate_runtime_csv(&records);
+        let table = parse_aggregate_csv(&csv).unwrap();
+        assert_eq!(table.kernels.len(), KernelId::ALL.len());
+        assert_eq!(table.rows.len(), records.len());
+        assert_eq!(table.rows[0].0, "banded_a");
+        // Values round-trip within float-formatting precision.
+        let expected = records[0].profile(KernelId::CsrAdaptive).per_iteration.as_millis();
+        assert!((table.rows[0].1[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preprocessing_csv_differs_from_runtime_csv() {
+        let records = sample_records();
+        assert_ne!(aggregate_runtime_csv(&records), aggregate_preprocessing_csv(&records));
+    }
+
+    #[test]
+    fn features_csv_shape() {
+        let records = sample_records();
+        let csv = features_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "name,max_density,min_density,mean_density,var_density,collection_time_ms"
+        );
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].split(',').count(), GatheredFeatures::NAMES.len() + 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tables() {
+        assert!(parse_aggregate_csv("").is_err());
+        assert!(parse_aggregate_csv("foo,bar\nx,1\n").is_err());
+        assert!(parse_aggregate_csv("name,\"CSR,A\"\nx,notanumber\n").is_err());
+        assert!(parse_aggregate_csv("name,\"CSR,A\"\nx,1,2\n").is_err());
+    }
+
+    #[test]
+    fn quoted_labels_survive_splitting() {
+        let fields = split_csv_line("name,\"CSR,A\",\"ELL,TM\"");
+        assert_eq!(fields, vec!["name", "CSR,A", "ELL,TM"]);
+    }
+}

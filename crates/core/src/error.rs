@@ -1,0 +1,88 @@
+//! Error type for the Seer pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use seer_ml::MlError;
+use seer_sparse::SparseError;
+
+/// Errors produced by the Seer training and inference pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SeerError {
+    /// A model-training step failed.
+    Training(MlError),
+    /// A sparse-matrix operation failed.
+    Sparse(SparseError),
+    /// A CSV table could not be parsed or was structurally inconsistent.
+    Table {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The training data was insufficient (e.g. empty collection).
+    InsufficientData {
+        /// Description of what was missing.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SeerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeerError::Training(err) => write!(f, "training failed: {err}"),
+            SeerError::Sparse(err) => write!(f, "sparse-matrix error: {err}"),
+            SeerError::Table { reason } => write!(f, "invalid table: {reason}"),
+            SeerError::InsufficientData { reason } => {
+                write!(f, "insufficient training data: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SeerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SeerError::Training(err) => Some(err),
+            SeerError::Sparse(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MlError> for SeerError {
+    fn from(err: MlError) -> Self {
+        SeerError::Training(err)
+    }
+}
+
+impl From<SparseError> for SeerError {
+    fn from(err: SparseError) -> Self {
+        SeerError::Sparse(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        let err: SeerError = MlError::EmptyDataset.into();
+        assert!(matches!(err, SeerError::Training(_)));
+        assert!(err.source().is_some());
+        let err: SeerError = SparseError::Io("boom".into()).into();
+        assert!(matches!(err, SeerError::Sparse(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = SeerError::InsufficientData { reason: "empty collection".into() };
+        assert!(err.to_string().contains("empty collection"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SeerError>();
+    }
+}

@@ -1,0 +1,275 @@
+//! Evaluation of the trained predictors against the Oracle and every single
+//! kernel — the data behind Fig. 5 and the headline 2x / 6.5x claims.
+
+use seer_gpu::SimTime;
+use seer_kernels::KernelId;
+use seer_ml::metrics;
+
+use crate::benchmarking::BenchmarkRecord;
+use crate::inference::SeerPredictor;
+
+/// Aggregate workload time of one selection approach over a set of records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproachTotals {
+    /// Unachievable ideal: always the fastest kernel, no selection overhead.
+    pub oracle: SimTime,
+    /// Full Seer: classifier-selection model arbitrating known vs gathered.
+    pub selector: SimTime,
+    /// Always collect features and use the gathered-feature classifier.
+    pub gathered: SimTime,
+    /// Always use the known-feature classifier.
+    pub known: SimTime,
+    /// Always run one fixed kernel, for every kernel.
+    pub per_kernel: Vec<(KernelId, SimTime)>,
+}
+
+impl ApproachTotals {
+    /// The fastest fixed single kernel and its aggregate time.
+    pub fn best_single_kernel(&self) -> (KernelId, SimTime) {
+        self.per_kernel
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+            .expect("at least one kernel")
+    }
+
+    /// Aggregate speed-up of the Seer selector over the best fixed kernel
+    /// (the paper's headline "2x over the best single kernel").
+    pub fn selector_speedup_over_best_kernel(&self) -> f64 {
+        self.best_single_kernel().1 / self.selector
+    }
+}
+
+/// Per-matrix decisions and times for one record, retained so the per-matrix
+/// panels of Fig. 5 can be printed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordEvaluation {
+    /// Name of the dataset member.
+    pub name: String,
+    /// Iteration count of the workload.
+    pub iterations: usize,
+    /// Oracle choice (fastest kernel).
+    pub oracle_kernel: KernelId,
+    /// Oracle total time.
+    pub oracle_total: SimTime,
+    /// Kernel chosen by the full selector pipeline and its end-to-end time.
+    pub selector: (KernelId, SimTime),
+    /// Whether the selector took the gathered path.
+    pub selector_used_gathered: bool,
+    /// Kernel chosen by the always-gather predictor and its end-to-end time.
+    pub gathered: (KernelId, SimTime),
+    /// Kernel chosen by the known-only predictor and its end-to-end time.
+    pub known: (KernelId, SimTime),
+    /// Total workload time of every fixed kernel.
+    pub per_kernel: Vec<(KernelId, SimTime)>,
+}
+
+/// The full evaluation report for a set of records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationReport {
+    /// Aggregate totals per approach (the stacked bars of Fig. 5d).
+    pub totals: ApproachTotals,
+    /// Prediction accuracy of each predictor against the Oracle label.
+    pub selector_accuracy: f64,
+    /// Accuracy of the known-feature predictor.
+    pub known_accuracy: f64,
+    /// Accuracy of the gathered-feature predictor.
+    pub gathered_accuracy: f64,
+    /// Fraction of records where the selector chose to gather features.
+    pub gather_rate: f64,
+    /// Geometric-mean speed-up of the selector over each fixed kernel.
+    pub geomean_speedup_per_kernel: Vec<(KernelId, f64)>,
+    /// Per-record details.
+    pub records: Vec<RecordEvaluation>,
+}
+
+impl EvaluationReport {
+    /// Geometric mean of the selector's speed-up over every fixed kernel and
+    /// every record (the paper's "6.5x geomean speed-up across the test set").
+    pub fn geomean_speedup_over_all_kernels(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .records
+            .iter()
+            .flat_map(|r| {
+                let selector_time = r.selector.1;
+                r.per_kernel
+                    .iter()
+                    .map(move |(_, t)| *t / selector_time)
+            })
+            .collect();
+        metrics::geometric_mean(&ratios)
+    }
+
+    /// Geometric-mean speed-up of the selector over the single best fixed kernel.
+    pub fn geomean_speedup_over_best_kernel(&self) -> f64 {
+        let best = self.totals.best_single_kernel().0;
+        self.geomean_speedup_per_kernel
+            .iter()
+            .find(|(k, _)| *k == best)
+            .map(|(_, s)| *s)
+            .unwrap_or(1.0)
+    }
+}
+
+/// Evaluates the trained predictor over `records`.
+pub fn evaluate(predictor: &SeerPredictor<'_>, records: &[BenchmarkRecord]) -> EvaluationReport {
+    let mut oracle_sum = SimTime::ZERO;
+    let mut selector_sum = SimTime::ZERO;
+    let mut gathered_sum = SimTime::ZERO;
+    let mut known_sum = SimTime::ZERO;
+    let mut kernel_sums: Vec<SimTime> = vec![SimTime::ZERO; KernelId::ALL.len()];
+    let mut evaluations = Vec::with_capacity(records.len());
+    let mut selector_correct = 0usize;
+    let mut known_correct = 0usize;
+    let mut gathered_correct = 0usize;
+    let mut gathered_taken = 0usize;
+
+    for record in records {
+        let oracle_kernel = record.best_kernel();
+        let oracle_total = record.total_of(oracle_kernel);
+
+        let selection = predictor.select_from_record(record);
+        let selector_total = selection.overhead() + record.total_of(selection.kernel);
+
+        // Always-gathered predictor: gathered model + collection cost.
+        let gathered_class = predictor.models().gathered.predict(&record.gathered_vector());
+        let gathered_kernel =
+            KernelId::from_class_index(gathered_class).unwrap_or(KernelId::CsrAdaptive);
+        let gathered_total = record.collection_cost + record.total_of(gathered_kernel);
+
+        // Known-only predictor.
+        let known_class = predictor.models().known.predict(&record.known_vector());
+        let known_kernel =
+            KernelId::from_class_index(known_class).unwrap_or(KernelId::CsrAdaptive);
+        let known_total = record.total_of(known_kernel);
+
+        oracle_sum += oracle_total;
+        selector_sum += selector_total;
+        gathered_sum += gathered_total;
+        known_sum += known_total;
+        for (i, id) in KernelId::ALL.iter().enumerate() {
+            kernel_sums[i] += record.total_of(*id);
+        }
+        selector_correct += usize::from(selection.kernel == oracle_kernel);
+        known_correct += usize::from(known_kernel == oracle_kernel);
+        gathered_correct += usize::from(gathered_kernel == oracle_kernel);
+        gathered_taken += usize::from(selection.used_gathered);
+
+        evaluations.push(RecordEvaluation {
+            name: record.name.clone(),
+            iterations: record.iterations,
+            oracle_kernel,
+            oracle_total,
+            selector: (selection.kernel, selector_total),
+            selector_used_gathered: selection.used_gathered,
+            gathered: (gathered_kernel, gathered_total),
+            known: (known_kernel, known_total),
+            per_kernel: KernelId::ALL.iter().map(|&id| (id, record.total_of(id))).collect(),
+        });
+    }
+
+    let n = records.len().max(1) as f64;
+    let per_kernel: Vec<(KernelId, SimTime)> =
+        KernelId::ALL.iter().copied().zip(kernel_sums).collect();
+    let geomean_speedup_per_kernel = KernelId::ALL
+        .iter()
+        .map(|&id| {
+            let ratios: Vec<f64> = evaluations
+                .iter()
+                .map(|e| {
+                    let kernel_time =
+                        e.per_kernel.iter().find(|(k, _)| *k == id).expect("present").1;
+                    kernel_time / e.selector.1
+                })
+                .collect();
+            (id, metrics::geometric_mean(&ratios))
+        })
+        .collect();
+
+    EvaluationReport {
+        totals: ApproachTotals {
+            oracle: oracle_sum,
+            selector: selector_sum,
+            gathered: gathered_sum,
+            known: known_sum,
+            per_kernel,
+        },
+        selector_accuracy: selector_correct as f64 / n,
+        known_accuracy: known_correct as f64 / n,
+        gathered_accuracy: gathered_correct as f64 / n,
+        gather_rate: gathered_taken as f64 / n,
+        geomean_speedup_per_kernel,
+        records: evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train, TrainingConfig};
+    use seer_gpu::Gpu;
+    use seer_sparse::collection::{generate, CollectionConfig};
+
+    fn report() -> EvaluationReport {
+        let gpu = Gpu::default();
+        let entries = generate(&CollectionConfig::tiny());
+        let outcome = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
+        let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+        let records = if outcome.test_records.is_empty() {
+            outcome.train_records.clone()
+        } else {
+            outcome.test_records.clone()
+        };
+        evaluate(&predictor, &records)
+    }
+
+    #[test]
+    fn oracle_is_a_lower_bound() {
+        let r = report();
+        assert!(r.totals.oracle <= r.totals.selector);
+        assert!(r.totals.oracle <= r.totals.known);
+        assert!(r.totals.oracle <= r.totals.gathered);
+        for &(_, t) in &r.totals.per_kernel {
+            assert!(r.totals.oracle <= t);
+        }
+    }
+
+    #[test]
+    fn accuracies_and_rates_are_probabilities() {
+        let r = report();
+        for v in [r.selector_accuracy, r.known_accuracy, r.gathered_accuracy, r.gather_rate] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn per_kernel_totals_cover_all_kernels() {
+        let r = report();
+        assert_eq!(r.totals.per_kernel.len(), KernelId::ALL.len());
+        let (best, best_time) = r.totals.best_single_kernel();
+        assert!(KernelId::ALL.contains(&best));
+        for &(_, t) in &r.totals.per_kernel {
+            assert!(best_time <= t);
+        }
+    }
+
+    #[test]
+    fn speedup_metrics_are_positive() {
+        let r = report();
+        assert!(r.totals.selector_speedup_over_best_kernel() > 0.0);
+        assert!(r.geomean_speedup_over_all_kernels() > 0.0);
+        assert!(r.geomean_speedup_over_best_kernel() > 0.0);
+        assert_eq!(r.geomean_speedup_per_kernel.len(), KernelId::ALL.len());
+    }
+
+    #[test]
+    fn record_evaluations_align_with_input() {
+        let r = report();
+        assert!(!r.records.is_empty());
+        for record in &r.records {
+            assert!(record.oracle_total <= record.selector.1);
+            assert!(record.oracle_total <= record.known.1);
+            assert!(record.oracle_total <= record.gathered.1);
+        }
+    }
+}

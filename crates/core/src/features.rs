@@ -1,0 +1,225 @@
+//! Known and gathered features, and the feature-collection kernel model.
+//!
+//! Seer distinguishes (Section III-A of the paper) between:
+//!
+//! * **trivially known features** — metadata that accompanies the dataset at
+//!   no additional runtime cost: the matrix dimensions, the nonzero count and
+//!   the number of iterations the workload will run;
+//! * **dynamically computed (gathered) features** — row-density statistics
+//!   that require extra GPU kernels to collect, whose cost must be charged to
+//!   the gathered-feature predictor.
+
+use seer_gpu::{Gpu, SimTime};
+use seer_kernels::MatrixProfile;
+use seer_sparse::{CsrMatrix, RowStats};
+
+/// Features known at runtime for free: the matrix dimensions, nonzero count
+/// and the workload's iteration count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnownFeatures {
+    /// Number of matrix rows.
+    pub rows: usize,
+    /// Number of matrix columns.
+    pub cols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Number of SpMV iterations the workload will execute.
+    pub iterations: usize,
+}
+
+impl KnownFeatures {
+    /// Names of the known features, in vector order.
+    pub const NAMES: [&'static str; 4] = ["rows", "cols", "nnz", "iterations"];
+
+    /// Extracts the known features of `matrix` for a workload of `iterations`.
+    pub fn of(matrix: &CsrMatrix, iterations: usize) -> Self {
+        Self { rows: matrix.rows(), cols: matrix.cols(), nnz: matrix.nnz(), iterations }
+    }
+
+    /// The feature vector consumed by the known-feature classifier.
+    pub fn to_vector(self) -> Vec<f64> {
+        vec![self.rows as f64, self.cols as f64, self.nnz as f64, self.iterations as f64]
+    }
+}
+
+/// Dynamically computed row-density statistics (Section IV-A of the paper):
+/// maximum, minimum, mean and variance of the per-row density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatheredFeatures {
+    /// Maximum row density (`max_row_len / cols`).
+    pub max_density: f64,
+    /// Minimum row density.
+    pub min_density: f64,
+    /// Mean row density.
+    pub mean_density: f64,
+    /// Variance of the row density.
+    pub var_density: f64,
+}
+
+impl GatheredFeatures {
+    /// Names of the gathered features, in vector order.
+    pub const NAMES: [&'static str; 4] = ["max_density", "min_density", "mean_density", "var_density"];
+
+    /// Computes the gathered features from precomputed row statistics.
+    pub fn from_stats(stats: &RowStats) -> Self {
+        Self {
+            max_density: stats.max_density,
+            min_density: stats.min_density,
+            mean_density: stats.mean_density,
+            var_density: stats.var_density,
+        }
+    }
+
+    /// The gathered-feature part of the feature vector.
+    pub fn to_vector(self) -> Vec<f64> {
+        vec![self.max_density, self.min_density, self.mean_density, self.var_density]
+    }
+}
+
+/// Feature names used by the gathered-feature classifier: the known features
+/// followed by the gathered statistics.
+pub fn gathered_feature_names() -> Vec<String> {
+    KnownFeatures::NAMES
+        .iter()
+        .chain(GatheredFeatures::NAMES.iter())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Feature names used by the known-feature classifier and the selector model.
+pub fn known_feature_names() -> Vec<String> {
+    KnownFeatures::NAMES.iter().map(|s| s.to_string()).collect()
+}
+
+/// The result of running the feature-collection kernels on a matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureCollection {
+    /// The gathered statistics.
+    pub features: GatheredFeatures,
+    /// Modelled cost of collecting them on the GPU.
+    pub cost: SimTime,
+}
+
+/// The GPU feature-collection kernels.
+///
+/// As in the paper, the statistics are computed by parallel kernels that loop
+/// over the CSR row offsets, so the collection cost grows with the number of
+/// rows (Fig. 6) and is *not* free: the classifier-selection model exists
+/// precisely to decide when paying it is worthwhile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureCollector;
+
+impl FeatureCollector {
+    /// Cycles each lane spends per row it inspects (offset subtraction,
+    /// min/max/mean/variance accumulation).
+    const CYCLES_PER_ROW: f64 = 10.0;
+    /// Number of separate statistic kernels dispatched (a max/min pass and a
+    /// mean/variance pass).
+    const DISPATCHES: usize = 2;
+
+    /// Creates the collector.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Runs the (modelled) feature-collection kernels on `matrix`.
+    pub fn collect(&self, gpu: &Gpu, matrix: &CsrMatrix) -> FeatureCollection {
+        FeatureCollection {
+            features: GatheredFeatures::from_stats(&RowStats::compute(matrix)),
+            cost: self.collection_cost(gpu, matrix),
+        }
+    }
+
+    /// Modelled cost of the collection kernels without computing the features
+    /// (used by the evaluation sweeps of Fig. 6).
+    pub fn collection_cost(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+        let wavefront = gpu.spec().wavefront_size;
+        let rows = matrix.rows();
+        let wavefronts = rows.div_ceil(wavefront.max(1)).max(1);
+        let profile = MatrixProfile::new(matrix);
+        let mut launch = gpu.launch();
+        launch.set_gather_profile(profile.x_footprint_bytes, 1.0);
+        // Each lane reads two adjacent offsets (coalesced) and updates running
+        // statistics; a log-step reduction combines lane partials.
+        launch.add_uniform_wavefronts(
+            wavefronts,
+            (Self::CYCLES_PER_ROW + 6.0 * 4.0) as u64,
+            (wavefront as f64 * Self::CYCLES_PER_ROW) as u64,
+            wavefront as u64 * 8,
+            0,
+        );
+        launch.set_dispatches(Self::DISPATCHES);
+        launch.finish().total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn known_features_extraction() {
+        let m = CsrMatrix::identity(42);
+        let known = KnownFeatures::of(&m, 19);
+        assert_eq!(known.rows, 42);
+        assert_eq!(known.cols, 42);
+        assert_eq!(known.nnz, 42);
+        assert_eq!(known.iterations, 19);
+        assert_eq!(known.to_vector(), vec![42.0, 42.0, 42.0, 19.0]);
+        assert_eq!(KnownFeatures::NAMES.len(), known.to_vector().len());
+    }
+
+    #[test]
+    fn gathered_features_match_row_stats() {
+        let mut rng = SplitMix64::new(1);
+        let m = generators::skewed_rows(500, 3, 200, 0.05, &mut rng);
+        let stats = RowStats::compute(&m);
+        let gathered = GatheredFeatures::from_stats(&stats);
+        assert_eq!(gathered.to_vector(), stats.density_feature_vector().to_vec());
+        assert_eq!(GatheredFeatures::NAMES.len(), gathered.to_vector().len());
+    }
+
+    #[test]
+    fn feature_name_lists_are_consistent() {
+        assert_eq!(known_feature_names().len(), 4);
+        assert_eq!(gathered_feature_names().len(), 8);
+        assert_eq!(&gathered_feature_names()[..4], &known_feature_names()[..]);
+    }
+
+    #[test]
+    fn collection_cost_grows_with_rows() {
+        let gpu = Gpu::default();
+        let collector = FeatureCollector::new();
+        let small = CsrMatrix::identity(1_000);
+        let large = CsrMatrix::identity(2_000_000);
+        let t_small = collector.collection_cost(&gpu, &small);
+        let t_large = collector.collection_cost(&gpu, &large);
+        assert!(t_large > t_small * 2.0, "large {} vs small {}", t_large.as_micros(), t_small.as_micros());
+    }
+
+    #[test]
+    fn collection_cost_has_fixed_floor() {
+        // For tiny matrices the cost is dominated by the dispatch overhead,
+        // which is the regime (left of the crossover in Fig. 6) where
+        // collecting features is not worth it.
+        let gpu = Gpu::default();
+        let collector = FeatureCollector::new();
+        let tiny = CsrMatrix::identity(64);
+        let floor = SimTime::from_micros(
+            gpu.spec().kernel_launch_overhead_us * FeatureCollector::DISPATCHES as f64,
+        );
+        assert!(collector.collection_cost(&gpu, &tiny) >= floor);
+    }
+
+    #[test]
+    fn collect_returns_features_and_cost() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(2);
+        let m = generators::uniform_random(2000, 2000, 0.01, &mut rng);
+        let result = FeatureCollector::new().collect(&gpu, &m);
+        assert!(result.cost.as_micros() > 0.0);
+        assert!(result.features.max_density >= result.features.mean_density);
+        assert!(result.features.mean_density >= result.features.min_density);
+    }
+}

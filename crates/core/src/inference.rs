@@ -1,0 +1,271 @@
+//! Runtime inference (Fig. 3 of the paper).
+//!
+//! At runtime, Seer consults the classifier-selection model on the trivially
+//! known features. If the selector decides feature collection is worthwhile,
+//! the feature-collection kernels are executed (and their cost charged), and
+//! the gathered-feature classifier names the kernel to launch; otherwise the
+//! known-feature classifier answers immediately.
+
+use seer_gpu::{Gpu, SimTime};
+use seer_kernels::{kernel_for, KernelId};
+use seer_sparse::{CsrMatrix, Scalar};
+
+use crate::benchmarking::BenchmarkRecord;
+use crate::features::{FeatureCollector, KnownFeatures};
+use crate::training::SeerModels;
+
+/// Approximate wall-clock cost of evaluating one decision-tree comparison.
+///
+/// The paper notes the inference cost of a decision tree is negligible but
+/// still accounts for it; we do the same.
+const NANOS_PER_TREE_NODE: f64 = 15.0;
+
+/// The outcome of one runtime selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The kernel Seer decided to launch.
+    pub kernel: KernelId,
+    /// Whether the gathered-feature path (and therefore feature collection) was taken.
+    pub used_gathered: bool,
+    /// Cost of running the feature-collection kernels (zero on the known path).
+    pub feature_collection_cost: SimTime,
+    /// Cost of the decision-tree evaluations themselves.
+    pub inference_overhead: SimTime,
+}
+
+impl Selection {
+    /// Total selection overhead added on top of the chosen kernel's runtime.
+    pub fn overhead(&self) -> SimTime {
+        self.feature_collection_cost + self.inference_overhead
+    }
+}
+
+/// The modelled end-to-end outcome of letting Seer run a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionOutcome {
+    /// The selection that was made.
+    pub selection: Selection,
+    /// The product vector `y = A * x` computed by the chosen kernel.
+    pub result: Vec<Scalar>,
+    /// Modelled total time: selection overhead + preprocessing + all iterations.
+    pub total_time: SimTime,
+}
+
+/// The Seer runtime predictor: the three trained models bound to a device.
+#[derive(Debug, Clone)]
+pub struct SeerPredictor<'a> {
+    gpu: &'a Gpu,
+    models: SeerModels,
+    collector: FeatureCollector,
+}
+
+impl<'a> SeerPredictor<'a> {
+    /// Creates a predictor from trained models.
+    pub fn new(gpu: &'a Gpu, models: SeerModels) -> Self {
+        Self { gpu, models, collector: FeatureCollector::new() }
+    }
+
+    /// The models backing this predictor.
+    pub fn models(&self) -> &SeerModels {
+        &self.models
+    }
+
+    /// Selects a kernel for `matrix` and a workload of `iterations` iterations,
+    /// following the classifier-selection flow of Fig. 3.
+    pub fn select(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
+        let known = KnownFeatures::of(matrix, iterations).to_vector();
+        let mut tree_nodes = self.models.selector.decision_path_length(&known);
+        let gather = self.models.selector.predict(&known) == 1;
+        let (kernel, collection_cost) = if gather {
+            let collection = self.collector.collect(self.gpu, matrix);
+            let mut features = known.clone();
+            features.extend(collection.features.to_vector());
+            tree_nodes += self.models.gathered.decision_path_length(&features);
+            let class = self.models.gathered.predict(&features);
+            (KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive), collection.cost)
+        } else {
+            tree_nodes += self.models.known.decision_path_length(&known);
+            let class = self.models.known.predict(&known);
+            (KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive), SimTime::ZERO)
+        };
+        Selection {
+            kernel,
+            used_gathered: gather,
+            feature_collection_cost: collection_cost,
+            inference_overhead: SimTime::from_nanos(tree_nodes as f64 * NANOS_PER_TREE_NODE),
+        }
+    }
+
+    /// Selects a kernel using only the known-feature classifier (the "Known"
+    /// predictor evaluated in Fig. 5).
+    pub fn select_known_only(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
+        let known = KnownFeatures::of(matrix, iterations).to_vector();
+        let class = self.models.known.predict(&known);
+        Selection {
+            kernel: KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive),
+            used_gathered: false,
+            feature_collection_cost: SimTime::ZERO,
+            inference_overhead: SimTime::from_nanos(
+                self.models.known.decision_path_length(&known) as f64 * NANOS_PER_TREE_NODE,
+            ),
+        }
+    }
+
+    /// Selects a kernel by always collecting features and consulting the
+    /// gathered-feature classifier (the "Gathered" predictor of Fig. 5).
+    pub fn select_gathered_only(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
+        let collection = self.collector.collect(self.gpu, matrix);
+        let mut features = KnownFeatures::of(matrix, iterations).to_vector();
+        features.extend(collection.features.to_vector());
+        let class = self.models.gathered.predict(&features);
+        Selection {
+            kernel: KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive),
+            used_gathered: true,
+            feature_collection_cost: collection.cost,
+            inference_overhead: SimTime::from_nanos(
+                self.models.gathered.decision_path_length(&features) as f64 * NANOS_PER_TREE_NODE,
+            ),
+        }
+    }
+
+    /// Runs the full pipeline: select a kernel, execute it functionally and
+    /// return the modelled end-to-end time of the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+    ) -> ExecutionOutcome {
+        let selection = self.select(matrix, iterations);
+        let kernel = kernel_for(selection.kernel);
+        let result = kernel.compute(matrix, x);
+        let profile = kernel.measure(self.gpu, matrix, iterations);
+        ExecutionOutcome { selection, result, total_time: selection.overhead() + profile.total() }
+    }
+
+    /// Modelled total workload time if Seer's selection is followed, reusing a
+    /// benchmark record instead of re-measuring (used by the evaluation
+    /// binaries so Fig. 5 sums stay consistent with training data).
+    pub fn modelled_total_from_record(&self, record: &BenchmarkRecord) -> SimTime {
+        let selection = self.select_from_record(record);
+        selection.overhead() + record.total_of(selection.kernel)
+    }
+
+    /// Performs the Fig. 3 selection using the features already stored in a
+    /// benchmark record (no re-collection), charging the recorded collection
+    /// cost when the gathered path is taken.
+    pub fn select_from_record(&self, record: &BenchmarkRecord) -> Selection {
+        let known = record.known_vector();
+        let mut tree_nodes = self.models.selector.decision_path_length(&known);
+        let gather = self.models.selector.predict(&known) == 1;
+        let (kernel, collection_cost) = if gather {
+            let features = record.gathered_vector();
+            tree_nodes += self.models.gathered.decision_path_length(&features);
+            let class = self.models.gathered.predict(&features);
+            (
+                KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive),
+                record.collection_cost,
+            )
+        } else {
+            tree_nodes += self.models.known.decision_path_length(&known);
+            let class = self.models.known.predict(&known);
+            (KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive), SimTime::ZERO)
+        };
+        Selection {
+            kernel,
+            used_gathered: gather,
+            feature_collection_cost: collection_cost,
+            inference_overhead: SimTime::from_nanos(tree_nodes as f64 * NANOS_PER_TREE_NODE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train, TrainingConfig};
+    use seer_sparse::collection::{generate, CollectionConfig};
+
+    fn predictor_and_collection() -> (Gpu, SeerModels, Vec<seer_sparse::collection::DatasetEntry>) {
+        let gpu = Gpu::default();
+        let entries = generate(&CollectionConfig::tiny());
+        let outcome = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
+        (gpu, outcome.models, entries)
+    }
+
+    #[test]
+    fn selection_returns_valid_kernel_and_overheads() {
+        let (gpu, models, entries) = predictor_and_collection();
+        let predictor = SeerPredictor::new(&gpu, models);
+        for entry in entries.iter().take(6) {
+            let selection = predictor.select(&entry.matrix, 1);
+            assert!(KernelId::ALL.contains(&selection.kernel));
+            assert!(selection.inference_overhead.as_nanos() > 0.0);
+            if selection.used_gathered {
+                assert!(selection.feature_collection_cost.as_nanos() > 0.0);
+            } else {
+                assert_eq!(selection.feature_collection_cost, SimTime::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn execute_produces_correct_spmv_result() {
+        let (gpu, models, entries) = predictor_and_collection();
+        let predictor = SeerPredictor::new(&gpu, models);
+        let matrix = &entries[3].matrix;
+        let x: Vec<f64> = (0..matrix.cols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let outcome = predictor.execute(matrix, &x, 2);
+        let reference = matrix.spmv(&x);
+        assert_eq!(outcome.result.len(), reference.len());
+        for (a, b) in outcome.result.iter().zip(&reference) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+        assert!(outcome.total_time >= outcome.selection.overhead());
+    }
+
+    #[test]
+    fn known_only_never_pays_collection() {
+        let (gpu, models, entries) = predictor_and_collection();
+        let predictor = SeerPredictor::new(&gpu, models);
+        let s = predictor.select_known_only(&entries[0].matrix, 1);
+        assert!(!s.used_gathered);
+        assert_eq!(s.feature_collection_cost, SimTime::ZERO);
+    }
+
+    #[test]
+    fn gathered_only_always_pays_collection() {
+        let (gpu, models, entries) = predictor_and_collection();
+        let predictor = SeerPredictor::new(&gpu, models);
+        let s = predictor.select_gathered_only(&entries[0].matrix, 1);
+        assert!(s.used_gathered);
+        assert!(s.feature_collection_cost.as_nanos() > 0.0);
+    }
+
+    #[test]
+    fn record_based_selection_matches_live_selection() {
+        let (gpu, models, entries) = predictor_and_collection();
+        let predictor = SeerPredictor::new(&gpu, models);
+        for entry in entries.iter().take(5) {
+            let record = BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, 1);
+            let live = predictor.select(&entry.matrix, 1);
+            let recorded = predictor.select_from_record(&record);
+            assert_eq!(live.kernel, recorded.kernel);
+            assert_eq!(live.used_gathered, recorded.used_gathered);
+        }
+    }
+
+    #[test]
+    fn modelled_total_is_at_least_the_chosen_kernel_total() {
+        let (gpu, models, entries) = predictor_and_collection();
+        let predictor = SeerPredictor::new(&gpu, models);
+        let record = BenchmarkRecord::measure(&gpu, &entries[1].name, &entries[1].matrix, 19);
+        let selection = predictor.select_from_record(&record);
+        let total = predictor.modelled_total_from_record(&record);
+        assert!(total >= record.total_of(selection.kernel));
+    }
+}

@@ -1,0 +1,57 @@
+//! Seer: predictive runtime kernel selection for irregular problems.
+//!
+//! This crate implements the paper's two-level abstraction:
+//!
+//! * the **training abstraction** (Fig. 2): benchmark a set of SpMV kernels
+//!   over a representative dataset ([`benchmarking`]), collect trivially known
+//!   and dynamically gathered features ([`features`]), and train three
+//!   decision-tree models — a known-feature classifier, a gathered-feature
+//!   classifier, and a classifier-selection model that arbitrates between
+//!   them ([`training`]);
+//! * the **runtime inference** path (Fig. 3): consult the selector on the
+//!   trivially known features, optionally run the feature-collection kernels
+//!   (paying their modelled cost), and dispatch the predicted kernel
+//!   ([`inference`]).
+//!
+//! The multi-iteration / preprocessing-amortization analysis of Fig. 7 lives
+//! in [`amortization`], and the CSV formats of the Seer API (Section III-D of
+//! the paper) in [`csv`].
+//!
+//! # Example: train and select
+//!
+//! ```
+//! use seer_core::training::{train, TrainingConfig};
+//! use seer_core::inference::SeerPredictor;
+//! use seer_gpu::Gpu;
+//! use seer_sparse::collection::{generate, CollectionConfig};
+//!
+//! # fn main() -> Result<(), seer_core::SeerError> {
+//! let gpu = Gpu::default();
+//! let collection = generate(&CollectionConfig::tiny());
+//!
+//! // Train the known, gathered and selector models (Fig. 2).
+//! let outcome = train(&gpu, &collection, &TrainingConfig::fast())?;
+//!
+//! // Use them at runtime (Fig. 3).
+//! let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+//! let selection = predictor.select(&collection[0].matrix, 1);
+//! println!("run {} ({} feature collection)", selection.kernel,
+//!          if selection.used_gathered { "with" } else { "without" });
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amortization;
+pub mod benchmarking;
+pub mod csv;
+pub mod evaluation;
+pub mod features;
+pub mod inference;
+pub mod training;
+
+mod error;
+
+pub use error::SeerError;

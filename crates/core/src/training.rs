@@ -1,0 +1,346 @@
+//! The Seer training abstraction (Fig. 2 of the paper).
+//!
+//! Three decision-tree models are trained from the benchmarking records:
+//!
+//! 1. the **known-feature classifier**, which predicts the fastest kernel
+//!    from the trivially known features only;
+//! 2. the **gathered-feature classifier**, which additionally sees the
+//!    dynamically computed row-density statistics and is the more accurate of
+//!    the two, at the price of the feature-collection cost;
+//! 3. the **classifier-selection model**, which looks at the known features
+//!    and decides whether paying for feature collection is worthwhile for
+//!    this input.
+
+use seer_gpu::Gpu;
+use seer_ml::{Dataset, DecisionTree, DecisionTreeParams};
+use seer_sparse::collection::DatasetEntry;
+
+use crate::benchmarking::{benchmark_collection, BenchmarkRecord};
+use crate::features::{gathered_feature_names, known_feature_names};
+use crate::SeerError;
+
+/// Configuration of the training pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingConfig {
+    /// Iteration counts at which every matrix is benchmarked; the paper trains
+    /// on "data which had various numbers of iterations".
+    pub iteration_counts: Vec<usize>,
+    /// Fraction of records used for training (the paper uses an 80/20 split).
+    pub train_fraction: f64,
+    /// Seed of the deterministic train/test split.
+    pub seed: u64,
+    /// Hyperparameters of the known- and gathered-feature classifiers.
+    pub tree_params: DecisionTreeParams,
+    /// Hyperparameters of the classifier-selection model.
+    pub selector_params: DecisionTreeParams,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            iteration_counts: vec![1, 5, 19, 50],
+            train_fraction: 0.8,
+            seed: 2024,
+            tree_params: DecisionTreeParams { max_depth: 8, ..Default::default() },
+            selector_params: DecisionTreeParams { max_depth: 5, ..Default::default() },
+        }
+    }
+}
+
+impl TrainingConfig {
+    /// A smaller configuration for unit tests and examples.
+    pub fn fast() -> Self {
+        Self { iteration_counts: vec![1, 19], ..Default::default() }
+    }
+}
+
+/// The three trained models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeerModels {
+    /// Classifier over the trivially known features.
+    pub known: DecisionTree,
+    /// Classifier over known + gathered features.
+    pub gathered: DecisionTree,
+    /// Binary classifier choosing between the two (1 = gather features).
+    pub selector: DecisionTree,
+}
+
+/// Test-set accuracies of the three models (Section IV-C of the paper reports
+/// 77% / 83% / 95% for known / gathered / selector respectively).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelAccuracies {
+    /// Accuracy of the known-feature classifier at naming the fastest kernel.
+    pub known: f64,
+    /// Accuracy of the gathered-feature classifier at naming the fastest kernel.
+    pub gathered: f64,
+    /// Accuracy of the selector at choosing the cheaper of the two submodels.
+    pub selector: f64,
+}
+
+/// Everything produced by a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingOutcome {
+    /// The trained models.
+    pub models: SeerModels,
+    /// Test-set accuracies.
+    pub accuracies: ModelAccuracies,
+    /// Benchmark records used for training.
+    pub train_records: Vec<BenchmarkRecord>,
+    /// Held-out benchmark records (the paper's test set).
+    pub test_records: Vec<BenchmarkRecord>,
+}
+
+/// Benchmarks `entries` on `gpu` and trains the three Seer models.
+///
+/// # Errors
+///
+/// Returns [`SeerError::InsufficientData`] when the collection is empty and
+/// propagates model-training failures.
+pub fn train(
+    gpu: &Gpu,
+    entries: &[DatasetEntry],
+    config: &TrainingConfig,
+) -> Result<TrainingOutcome, SeerError> {
+    if entries.is_empty() {
+        return Err(SeerError::InsufficientData { reason: "empty dataset collection".to_string() });
+    }
+    if config.iteration_counts.is_empty() {
+        return Err(SeerError::InsufficientData {
+            reason: "no iteration counts configured".to_string(),
+        });
+    }
+    let records = benchmark_collection(gpu, entries, &config.iteration_counts);
+    train_from_records(records, config)
+}
+
+/// Trains the three Seer models from pre-computed benchmark records.
+///
+/// This is the programmatic equivalent of the paper's
+/// `seer(runtime, preprocessing_data, features)` entry point: the records
+/// bundle the same three tables (per-kernel runtimes, preprocessing times and
+/// gathered features with their collection cost).
+///
+/// # Errors
+///
+/// Returns [`SeerError::InsufficientData`] when `records` is empty or the
+/// train split ends up empty.
+pub fn train_from_records(
+    records: Vec<BenchmarkRecord>,
+    config: &TrainingConfig,
+) -> Result<TrainingOutcome, SeerError> {
+    if records.is_empty() {
+        return Err(SeerError::InsufficientData { reason: "no benchmark records".to_string() });
+    }
+    // Deterministic split over record indices.
+    let index_dataset = Dataset::new(
+        vec!["index".to_string()],
+        (0..records.len()).map(|i| vec![i as f64]).collect(),
+        vec![0; records.len()],
+    )?;
+    let split = index_dataset.train_test_split(config.train_fraction, config.seed);
+    let pick = |d: &Dataset| -> Vec<BenchmarkRecord> {
+        d.features().iter().map(|row| records[row[0] as usize].clone()).collect()
+    };
+    let train_records = pick(&split.train);
+    let test_records = pick(&split.test);
+    if train_records.is_empty() {
+        return Err(SeerError::InsufficientData {
+            reason: "training split is empty; lower train_fraction or add data".to_string(),
+        });
+    }
+
+    let num_classes = seer_kernels::KernelId::ALL.len();
+    let known_dataset = |records: &[BenchmarkRecord]| -> Result<Dataset, SeerError> {
+        Ok(Dataset::with_classes(
+            known_feature_names(),
+            records.iter().map(BenchmarkRecord::known_vector).collect(),
+            records.iter().map(|r| r.best_kernel().class_index()).collect(),
+            num_classes,
+        )?)
+    };
+    let gathered_dataset = |records: &[BenchmarkRecord]| -> Result<Dataset, SeerError> {
+        Ok(Dataset::with_classes(
+            gathered_feature_names(),
+            records.iter().map(BenchmarkRecord::gathered_vector).collect(),
+            records.iter().map(|r| r.best_kernel().class_index()).collect(),
+            num_classes,
+        )?)
+    };
+
+    let known_train = known_dataset(&train_records)?;
+    let gathered_train = gathered_dataset(&train_records)?;
+    let known_model = DecisionTree::fit(&known_train, &config.tree_params)?;
+    let gathered_model = DecisionTree::fit(&gathered_train, &config.tree_params)?;
+
+    // Selector labels: 1 when following the gathered model (and paying the
+    // collection cost) is cheaper than following the known model.
+    let selector_label = |record: &BenchmarkRecord| -> usize {
+        usize::from(selector_should_gather(record, &known_model, &gathered_model))
+    };
+    let selector_dataset = |records: &[BenchmarkRecord]| -> Result<Dataset, SeerError> {
+        Ok(Dataset::with_classes(
+            known_feature_names(),
+            records.iter().map(BenchmarkRecord::known_vector).collect(),
+            records.iter().map(selector_label).collect(),
+            2,
+        )?)
+    };
+    let selector_train = selector_dataset(&train_records)?;
+    let selector_model = DecisionTree::fit(&selector_train, &config.selector_params)?;
+
+    // Test-set accuracies (fall back to the training set when the test split is empty).
+    let eval_records: &[BenchmarkRecord] =
+        if test_records.is_empty() { &train_records } else { &test_records };
+    let known_test = known_dataset(eval_records)?;
+    let gathered_test = gathered_dataset(eval_records)?;
+    let selector_test = selector_dataset(eval_records)?;
+    let accuracies = ModelAccuracies {
+        known: known_model.accuracy(&known_test),
+        gathered: gathered_model.accuracy(&gathered_test),
+        selector: selector_model.accuracy(&selector_test),
+    };
+
+    Ok(TrainingOutcome {
+        models: SeerModels {
+            known: known_model,
+            gathered: gathered_model,
+            selector: selector_model,
+        },
+        accuracies,
+        train_records,
+        test_records,
+    })
+}
+
+/// Decides, with hindsight, whether gathering features would have paid off for
+/// `record` given the two trained submodels. This is the ground-truth label
+/// the classifier-selection model is trained to reproduce.
+pub fn selector_should_gather(
+    record: &BenchmarkRecord,
+    known_model: &DecisionTree,
+    gathered_model: &DecisionTree,
+) -> bool {
+    let known_choice = seer_kernels::KernelId::from_class_index(
+        known_model.predict(&record.known_vector()),
+    )
+    .expect("model classes map to kernels");
+    let gathered_choice = seer_kernels::KernelId::from_class_index(
+        gathered_model.predict(&record.gathered_vector()),
+    )
+    .expect("model classes map to kernels");
+    let known_cost = record.total_of(known_choice);
+    let gathered_cost = record.total_of(gathered_choice) + record.collection_cost;
+    gathered_cost < known_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::collection::{generate, CollectionConfig};
+
+    fn tiny_outcome() -> TrainingOutcome {
+        let gpu = Gpu::default();
+        let entries = generate(&CollectionConfig::tiny());
+        train(&gpu, &entries, &TrainingConfig::fast()).unwrap()
+    }
+
+    #[test]
+    fn training_produces_three_models_with_expected_shapes() {
+        let outcome = tiny_outcome();
+        assert_eq!(outcome.models.known.num_features(), 4);
+        assert_eq!(outcome.models.gathered.num_features(), 8);
+        assert_eq!(outcome.models.selector.num_features(), 4);
+        assert_eq!(outcome.models.known.num_classes(), 8);
+        assert_eq!(outcome.models.selector.num_classes(), 2);
+    }
+
+    #[test]
+    fn split_sizes_follow_train_fraction() {
+        let outcome = tiny_outcome();
+        let total = outcome.train_records.len() + outcome.test_records.len();
+        let expected_train = (total as f64 * 0.8).round() as usize;
+        assert_eq!(outcome.train_records.len(), expected_train);
+    }
+
+    #[test]
+    fn accuracies_are_probabilities() {
+        let outcome = tiny_outcome();
+        for acc in [
+            outcome.accuracies.known,
+            outcome.accuracies.gathered,
+            outcome.accuracies.selector,
+        ] {
+            assert!((0.0..=1.0).contains(&acc), "accuracy {acc} out of range");
+        }
+    }
+
+    #[test]
+    fn gathered_model_is_at_least_as_accurate_on_training_data() {
+        // With strictly more information the gathered model should not be
+        // worse in-sample.
+        let outcome = tiny_outcome();
+        let records = &outcome.train_records;
+        let known_correct = records
+            .iter()
+            .filter(|r| {
+                outcome.models.known.predict(&r.known_vector()) == r.best_kernel().class_index()
+            })
+            .count();
+        let gathered_correct = records
+            .iter()
+            .filter(|r| {
+                outcome.models.gathered.predict(&r.gathered_vector())
+                    == r.best_kernel().class_index()
+            })
+            .count();
+        assert!(gathered_correct >= known_correct);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let gpu = Gpu::default();
+        let entries = generate(&CollectionConfig::tiny());
+        let a = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
+        let b = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
+        assert_eq!(a.models, b.models);
+        assert_eq!(a.accuracies, b.accuracies);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let gpu = Gpu::default();
+        assert!(matches!(
+            train(&gpu, &[], &TrainingConfig::fast()),
+            Err(SeerError::InsufficientData { .. })
+        ));
+        let entries = generate(&CollectionConfig::tiny());
+        let config = TrainingConfig { iteration_counts: vec![], ..TrainingConfig::fast() };
+        assert!(train(&gpu, &entries, &config).is_err());
+        assert!(train_from_records(vec![], &TrainingConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn selector_labels_reflect_cost_comparison() {
+        let outcome = tiny_outcome();
+        // For every training record the hindsight label must agree with the
+        // explicit cost comparison.
+        for record in &outcome.train_records {
+            let should = selector_should_gather(
+                record,
+                &outcome.models.known,
+                &outcome.models.gathered,
+            );
+            let known_choice = seer_kernels::KernelId::from_class_index(
+                outcome.models.known.predict(&record.known_vector()),
+            )
+            .unwrap();
+            let gathered_choice = seer_kernels::KernelId::from_class_index(
+                outcome.models.gathered.predict(&record.gathered_vector()),
+            )
+            .unwrap();
+            let known_cost = record.total_of(known_choice);
+            let gathered_cost = record.total_of(gathered_choice) + record.collection_cost;
+            assert_eq!(should, gathered_cost < known_cost);
+        }
+    }
+}

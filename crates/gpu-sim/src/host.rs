@@ -1,0 +1,109 @@
+//! Host-side (CPU + interconnect) cost model.
+
+use crate::{HostSpec, SimTime};
+
+/// Cost model for work executed on the host CPU and for host-to-device copies.
+///
+/// The SpMV kernels in the case study differ not only in their per-iteration
+/// GPU time but also in how much *host* work they require before the first
+/// iteration: CSR-Adaptive bins rows sequentially, ELL conversion materialises
+/// a padded copy, merge-path precomputes a partition table. This model prices
+/// those preprocessing steps so the multi-iteration amortization study
+/// (Fig. 7 of the paper) can be reproduced.
+///
+/// # Example
+///
+/// ```
+/// use seer_gpu::{HostModel, HostSpec};
+///
+/// let host = HostModel::new(HostSpec::default());
+/// let bin = host.sequential_pass_time(1_000_000, 4.0);
+/// let copy = host.h2d_transfer_time(8 * 1_000_000);
+/// assert!(bin.as_millis() > 0.0 && copy.as_millis() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostModel {
+    spec: HostSpec,
+}
+
+impl HostModel {
+    /// Creates a host model from its specification.
+    pub fn new(spec: HostSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &HostSpec {
+        &self.spec
+    }
+
+    /// Time for a sequential host loop over `items` elements performing
+    /// roughly `ops_per_item` scalar operations each.
+    pub fn sequential_pass_time(&self, items: usize, ops_per_item: f64) -> SimTime {
+        SimTime::from_secs(items as f64 * ops_per_item.max(0.0) / self.spec.scalar_ops_per_second)
+    }
+
+    /// Time for a bandwidth-bound host pass that touches `bytes` of memory
+    /// (e.g. building a padded ELL copy of the matrix).
+    pub fn bandwidth_pass_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs(bytes as f64 / self.spec.host_memory_bandwidth)
+    }
+
+    /// Time to copy `bytes` from host to device, including the fixed transfer latency.
+    pub fn h2d_transfer_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_micros(self.spec.h2d_latency_us)
+            + SimTime::from_secs(bytes as f64 / self.spec.h2d_bandwidth)
+    }
+
+    /// Time for a host pass that both computes and writes, i.e. the maximum of
+    /// the scalar-throughput and bandwidth models.
+    pub fn mixed_pass_time(&self, items: usize, ops_per_item: f64, bytes: usize) -> SimTime {
+        self.sequential_pass_time(items, ops_per_item).max(self.bandwidth_pass_time(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostModel {
+        HostModel::new(HostSpec::default())
+    }
+
+    #[test]
+    fn sequential_pass_scales_linearly() {
+        let h = host();
+        let a = h.sequential_pass_time(1000, 2.0);
+        let b = h.sequential_pass_time(2000, 2.0);
+        assert!((b.as_nanos() / a.as_nanos() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_has_fixed_latency_floor() {
+        let h = host();
+        let tiny = h.h2d_transfer_time(8);
+        assert!(tiny.as_micros() >= h.spec().h2d_latency_us);
+    }
+
+    #[test]
+    fn transfer_grows_with_bytes() {
+        let h = host();
+        assert!(h.h2d_transfer_time(1 << 30) > h.h2d_transfer_time(1 << 20));
+    }
+
+    #[test]
+    fn mixed_pass_is_max_of_components() {
+        let h = host();
+        let compute_heavy = h.mixed_pass_time(10_000_000, 50.0, 8);
+        let bw_heavy = h.mixed_pass_time(8, 1.0, 1 << 30);
+        assert_eq!(compute_heavy, h.sequential_pass_time(10_000_000, 50.0));
+        assert_eq!(bw_heavy, h.bandwidth_pass_time(1 << 30));
+    }
+
+    #[test]
+    fn zero_items_cost_nothing() {
+        let h = host();
+        assert_eq!(h.sequential_pass_time(0, 10.0), SimTime::ZERO);
+        assert_eq!(h.bandwidth_pass_time(0), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,143 @@
+//! An analytical SIMT GPU performance model used as the Seer hardware substrate.
+//!
+//! The paper evaluates Seer on an AMD Instinct MI100. That hardware (and a
+//! ROCm toolchain) is not available in this reproduction, so this crate models
+//! the performance behaviour the paper's kernels depend on:
+//!
+//! * **SIMD lockstep / load imbalance** — a wavefront retires only when its
+//!   busiest lane finishes, so the cost of a wavefront is the *maximum* over
+//!   its lanes ([`LaunchBuilder::add_wavefront`]). This is the mechanism that
+//!   makes row-mapped SpMV slow on skewed matrices and is the entire reason a
+//!   kernel selector is needed.
+//! * **Throughput and occupancy** — wavefronts are spread over
+//!   `compute_units x simd_units_per_cu` pipelines; launches with too little
+//!   parallelism cannot fill the device ([`GpuSpec::parallel_pipelines`]).
+//! * **A roofline memory system** — streamed (coalesced) traffic is charged at
+//!   peak bandwidth, random gathers are charged per cache line with an
+//!   L2-residency hit model, and atomics pay a serialisation penalty
+//!   ([`MemoryModel`]).
+//! * **Kernel-launch overhead and host-side costs** — sequential preprocessing
+//!   (e.g. CSR-Adaptive binning) and host<->device copies are modelled by
+//!   [`HostModel`], which is how preprocessing amortization (Fig. 7 of the
+//!   paper) arises.
+//!
+//! The model is deliberately analytical rather than cycle-accurate: Seer only
+//! needs the *relative ordering* of kernels to vary with the input's shape the
+//! way it does on real hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use seer_gpu::{Gpu, GpuSpec};
+//!
+//! let gpu = Gpu::new(GpuSpec::mi100());
+//! let mut launch = gpu.launch();
+//! // Two wavefronts: one balanced, one with a straggler lane.
+//! launch.add_wavefront(64, 64 * 10, 64 * 8, 0);
+//! launch.add_wavefront(640, 64 * 10, 64 * 8, 0);
+//! let timing = launch.finish();
+//! assert!(timing.total.as_nanos() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod host;
+mod launch;
+mod memory;
+mod spec;
+mod time;
+
+pub use host::HostModel;
+pub use launch::{Boundedness, KernelTiming, LaunchBuilder, LaunchStats};
+pub use memory::{GatherEstimate, MemoryModel};
+pub use spec::{GpuSpec, HostSpec};
+pub use time::SimTime;
+
+/// A simulated GPU: the device specification plus the derived memory and host
+/// models, bundled behind one handle that kernels launch work on.
+///
+/// # Example
+///
+/// ```
+/// use seer_gpu::{Gpu, GpuSpec};
+///
+/// let gpu = Gpu::new(GpuSpec::mi100());
+/// assert_eq!(gpu.spec().wavefront_size, 64);
+/// let copy = gpu.host().h2d_transfer_time(1 << 20);
+/// assert!(copy.as_micros() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gpu {
+    spec: GpuSpec,
+    memory: MemoryModel,
+    host: HostModel,
+}
+
+impl Gpu {
+    /// Creates a simulated GPU from a device specification, with the default
+    /// host model ([`HostSpec::default`]).
+    pub fn new(spec: GpuSpec) -> Self {
+        Self { memory: MemoryModel::new(&spec), host: HostModel::new(HostSpec::default()), spec }
+    }
+
+    /// Creates a simulated GPU with an explicit host specification.
+    pub fn with_host(spec: GpuSpec, host: HostSpec) -> Self {
+        Self { memory: MemoryModel::new(&spec), host: HostModel::new(host), spec }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// The memory-system model derived from the device specification.
+    pub fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+
+    /// The host-side (CPU + PCIe) cost model.
+    pub fn host(&self) -> &HostModel {
+        &self.host
+    }
+
+    /// Starts accumulating a kernel launch.
+    pub fn launch(&self) -> LaunchBuilder<'_> {
+        LaunchBuilder::new(self)
+    }
+}
+
+impl Default for Gpu {
+    /// The default simulated device is the MI100 used in the paper.
+    fn default() -> Self {
+        Self::new(GpuSpec::mi100())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gpu_is_mi100() {
+        let gpu = Gpu::default();
+        assert_eq!(gpu.spec().name, "AMD Instinct MI100 (modelled)");
+    }
+
+    #[test]
+    fn with_host_overrides_host_model() {
+        let fast_host = HostSpec { scalar_ops_per_second: 1e12, ..HostSpec::default() };
+        let gpu = Gpu::with_host(GpuSpec::mi100(), fast_host);
+        let slow = Gpu::new(GpuSpec::mi100());
+        assert!(
+            gpu.host().sequential_pass_time(1_000_000, 1.0)
+                < slow.host().sequential_pass_time(1_000_000, 1.0)
+        );
+    }
+
+    #[test]
+    fn gpu_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gpu>();
+    }
+}

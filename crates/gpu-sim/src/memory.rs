@@ -1,0 +1,200 @@
+//! Roofline-style memory-system model.
+
+use crate::{GpuSpec, SimTime};
+
+/// Result of modelling a set of random gathers against the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatherEstimate {
+    /// Estimated fraction of gathers served by the L2 cache.
+    pub hit_ratio: f64,
+    /// DRAM bytes actually moved (misses fetch whole cache lines).
+    pub dram_bytes: f64,
+    /// Time to serve the gathers.
+    pub time: SimTime,
+}
+
+/// Bandwidth/latency model of the device memory system.
+///
+/// Three traffic classes are distinguished, matching how SpMV kernels touch
+/// memory:
+///
+/// * **streamed** traffic (row offsets, column indices, values, the output
+///   vector) is perfectly coalesced and charged at a fixed fraction of peak
+///   DRAM bandwidth;
+/// * **gathered** traffic (reads of the dense `x` vector at random column
+///   positions) is charged per cache line with a hit ratio estimated from the
+///   footprint of `x` relative to the L2 capacity;
+/// * **atomic** traffic (COO-style kernels accumulating into `y`) pays an
+///   additional serialisation cost per operation scaled by a conflict factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryModel {
+    peak_bytes_per_ns: f64,
+    streaming_efficiency: f64,
+    l2_bytes: f64,
+    cache_line_bytes: f64,
+    dram_latency_ns: f64,
+    l2_bytes_per_ns: f64,
+    atomic_cost_ns: f64,
+}
+
+impl MemoryModel {
+    /// Fraction of peak DRAM bandwidth achievable by fully coalesced streams.
+    const STREAMING_EFFICIENCY: f64 = 0.85;
+    /// L2 bandwidth relative to DRAM bandwidth.
+    const L2_BANDWIDTH_MULTIPLIER: f64 = 3.0;
+    /// Number of outstanding misses the memory system overlaps (latency hiding).
+    const MISS_OVERLAP: f64 = 48.0;
+
+    /// Builds the memory model implied by a device specification.
+    pub fn new(spec: &GpuSpec) -> Self {
+        let peak_bytes_per_ns = spec.memory_bandwidth_gbps; // GB/s == bytes/ns
+        Self {
+            peak_bytes_per_ns,
+            streaming_efficiency: Self::STREAMING_EFFICIENCY,
+            l2_bytes: spec.l2_cache_bytes as f64,
+            cache_line_bytes: spec.cache_line_bytes as f64,
+            dram_latency_ns: spec.dram_latency_ns,
+            l2_bytes_per_ns: peak_bytes_per_ns * Self::L2_BANDWIDTH_MULTIPLIER,
+            atomic_cost_ns: spec.atomic_cost_cycles * spec.cycle_ns(),
+        }
+    }
+
+    /// Effective streaming bandwidth in bytes per nanosecond.
+    pub fn streaming_bytes_per_ns(&self) -> f64 {
+        self.peak_bytes_per_ns * self.streaming_efficiency
+    }
+
+    /// Time to stream `bytes` of perfectly coalesced traffic.
+    pub fn stream_time(&self, bytes: f64) -> SimTime {
+        SimTime::from_nanos(bytes / self.streaming_bytes_per_ns())
+    }
+
+    /// Models `gathers` random word-sized reads spread over a structure of
+    /// `footprint_bytes` bytes (typically the dense `x` vector), with
+    /// `word_bytes` per access.
+    ///
+    /// The hit ratio blends L2 residency (structures smaller than L2 are
+    /// almost always resident) with spatial locality (`locality` in `[0, 1]`,
+    /// where 1 means neighbouring lanes touch neighbouring columns, as in
+    /// banded matrices, and 0 means accesses are scattered, as in random
+    /// graphs).
+    pub fn gather(&self, gathers: f64, word_bytes: f64, footprint_bytes: f64, locality: f64) -> GatherEstimate {
+        if gathers <= 0.0 {
+            return GatherEstimate { hit_ratio: 1.0, dram_bytes: 0.0, time: SimTime::ZERO };
+        }
+        let locality = locality.clamp(0.0, 1.0);
+        // Residency term: footprints under ~half of L2 hit nearly always;
+        // larger footprints degrade harmonically.
+        let residency = (self.l2_bytes * 0.5 / footprint_bytes.max(1.0)).min(1.0);
+        // Spatial term: with good locality, consecutive lanes share cache
+        // lines, so even an L2 miss is amortised over a line's worth of words.
+        let words_per_line = (self.cache_line_bytes / word_bytes).max(1.0);
+        let spatial = locality * (1.0 - 1.0 / words_per_line);
+        let hit_ratio = (residency + (1.0 - residency) * spatial).clamp(0.0, 1.0);
+
+        let misses = gathers * (1.0 - hit_ratio);
+        let dram_bytes = misses * self.cache_line_bytes;
+        let hit_bytes = gathers * hit_ratio * word_bytes;
+
+        let dram_time = dram_bytes / self.peak_bytes_per_ns;
+        let l2_time = hit_bytes / self.l2_bytes_per_ns;
+        // Latency of misses is largely hidden by other resident wavefronts;
+        // charge the unhidden fraction.
+        let latency_time = misses * self.dram_latency_ns / Self::MISS_OVERLAP;
+        GatherEstimate {
+            hit_ratio,
+            dram_bytes,
+            time: SimTime::from_nanos(dram_time + l2_time + latency_time),
+        }
+    }
+
+    /// Time to perform `ops` atomic read-modify-writes with the given conflict
+    /// factor (`1.0` = all atomics target distinct addresses, larger values
+    /// mean serialisation on hot addresses).
+    pub fn atomic_time(&self, ops: f64, conflict_factor: f64) -> SimTime {
+        // Atomics are pipelined across channels; charge throughput plus the
+        // serialisation penalty of conflicting updates.
+        let throughput = ops * self.atomic_cost_ns / Self::MISS_OVERLAP;
+        let serialised = ops * (conflict_factor.max(1.0) - 1.0) * self.atomic_cost_ns / Self::MISS_OVERLAP;
+        SimTime::from_nanos(throughput + serialised)
+    }
+
+    /// The L2 capacity in bytes (exposed for occupancy heuristics in kernels).
+    pub fn l2_capacity_bytes(&self) -> f64 {
+        self.l2_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MemoryModel {
+        MemoryModel::new(&GpuSpec::mi100())
+    }
+
+    #[test]
+    fn stream_time_is_linear_in_bytes() {
+        let m = model();
+        let t1 = m.stream_time(1e6);
+        let t2 = m.stream_time(2e6);
+        assert!((t2.as_nanos() / t1.as_nanos() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_is_below_peak() {
+        let m = model();
+        assert!(m.streaming_bytes_per_ns() < GpuSpec::mi100().memory_bandwidth_gbps);
+    }
+
+    #[test]
+    fn small_footprint_gathers_hit_cache() {
+        let m = model();
+        let small = m.gather(1e6, 8.0, 64.0 * 1024.0, 0.0);
+        let large = m.gather(1e6, 8.0, 1e9, 0.0);
+        assert!(small.hit_ratio > 0.95);
+        assert!(large.hit_ratio < 0.2);
+        assert!(small.time < large.time);
+    }
+
+    #[test]
+    fn locality_improves_gather_time() {
+        let m = model();
+        let scattered = m.gather(1e6, 8.0, 1e9, 0.0);
+        let local = m.gather(1e6, 8.0, 1e9, 1.0);
+        assert!(local.time < scattered.time);
+        assert!(local.hit_ratio > scattered.hit_ratio);
+    }
+
+    #[test]
+    fn zero_gathers_cost_nothing() {
+        let m = model();
+        let g = m.gather(0.0, 8.0, 1e9, 0.5);
+        assert_eq!(g.time, SimTime::ZERO);
+        assert_eq!(g.dram_bytes, 0.0);
+    }
+
+    #[test]
+    fn gather_dram_bytes_scale_with_misses() {
+        let m = model();
+        let g = m.gather(1000.0, 8.0, 1e9, 0.0);
+        assert!((g.dram_bytes - 1000.0 * (1.0 - g.hit_ratio) * 64.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn atomics_conflicts_serialise() {
+        let m = model();
+        let free = m.atomic_time(1e6, 1.0);
+        let hot = m.atomic_time(1e6, 8.0);
+        assert!(hot > free);
+        assert!(free.as_nanos() > 0.0);
+    }
+
+    #[test]
+    fn gather_time_monotone_in_count() {
+        let m = model();
+        let a = m.gather(1e5, 8.0, 1e8, 0.3).time;
+        let b = m.gather(1e6, 8.0, 1e8, 0.3).time;
+        assert!(b > a);
+    }
+}

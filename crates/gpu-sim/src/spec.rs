@@ -1,0 +1,194 @@
+//! Device and host specifications.
+
+/// Specification of a simulated SIMT accelerator.
+///
+/// The numbers are architectural parameters, not measured micro-benchmarks;
+/// the presets below are taken from public spec sheets. Together with the
+/// roofline memory model they determine where each SpMV kernel lands between
+/// compute-bound and memory-bound, and how expensive load imbalance is.
+///
+/// # Example
+///
+/// ```
+/// use seer_gpu::GpuSpec;
+///
+/// let spec = GpuSpec::mi100();
+/// assert_eq!(spec.compute_units, 120);
+/// assert!(spec.parallel_pipelines() >= spec.compute_units);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of compute units (CUs / SMs).
+    pub compute_units: usize,
+    /// SIMD units per compute unit that can retire independent wavefronts.
+    pub simd_units_per_cu: usize,
+    /// Lanes per wavefront (AMD: 64, NVIDIA warp: 32).
+    pub wavefront_size: usize,
+    /// Maximum wavefronts resident per SIMD unit (occupancy limit).
+    pub max_wavefronts_per_simd: usize,
+    /// Engine clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Last-level (L2) cache capacity in bytes.
+    pub l2_cache_bytes: usize,
+    /// Cache-line / minimum memory transaction size in bytes.
+    pub cache_line_bytes: usize,
+    /// DRAM access latency in nanoseconds (charged to uncovered gathers).
+    pub dram_latency_ns: f64,
+    /// Fixed launch overhead per kernel dispatch, in microseconds.
+    pub kernel_launch_overhead_us: f64,
+    /// Extra cycles charged per atomic read-modify-write.
+    pub atomic_cost_cycles: f64,
+    /// Fixed cycles a SIMD pipeline spends issuing, scheduling and draining
+    /// each wavefront, independent of the work its lanes perform.
+    ///
+    /// This is what makes schedules that launch one wavefront per tiny row
+    /// (e.g. CSR wavefront- and block-mapping on circuit matrices) pay for
+    /// their excess parallelism.
+    pub wavefront_overhead_cycles: f64,
+}
+
+impl GpuSpec {
+    /// The AMD Instinct MI100 configuration used in the paper's evaluation.
+    ///
+    /// 120 CUs x 4 SIMD16 units, 64-wide wavefronts, ~1.5 GHz, 1.23 TB/s HBM2,
+    /// 8 MiB L2.
+    pub fn mi100() -> Self {
+        Self {
+            name: "AMD Instinct MI100 (modelled)".to_string(),
+            compute_units: 120,
+            simd_units_per_cu: 4,
+            wavefront_size: 64,
+            max_wavefronts_per_simd: 10,
+            clock_ghz: 1.502,
+            memory_bandwidth_gbps: 1228.8,
+            l2_cache_bytes: 8 * 1024 * 1024,
+            cache_line_bytes: 64,
+            dram_latency_ns: 350.0,
+            kernel_launch_overhead_us: 6.0,
+            atomic_cost_cycles: 48.0,
+            wavefront_overhead_cycles: 28.0,
+        }
+    }
+
+    /// A smaller consumer-class device; useful for sensitivity studies and for
+    /// showing that the trained selector is device-specific.
+    pub fn consumer_small() -> Self {
+        Self {
+            name: "Consumer-class GPU (modelled)".to_string(),
+            compute_units: 36,
+            simd_units_per_cu: 2,
+            wavefront_size: 32,
+            max_wavefronts_per_simd: 12,
+            clock_ghz: 1.8,
+            memory_bandwidth_gbps: 448.0,
+            l2_cache_bytes: 4 * 1024 * 1024,
+            cache_line_bytes: 64,
+            dram_latency_ns: 300.0,
+            kernel_launch_overhead_us: 5.0,
+            atomic_cost_cycles: 32.0,
+            wavefront_overhead_cycles: 24.0,
+        }
+    }
+
+    /// Total independent wavefront pipelines (`compute_units * simd_units_per_cu`).
+    pub fn parallel_pipelines(&self) -> usize {
+        self.compute_units * self.simd_units_per_cu
+    }
+
+    /// Peak lane throughput in lane-cycles per nanosecond.
+    ///
+    /// Each SIMD pipeline retires `wavefront_size` lane-cycles per clock when
+    /// fully occupied.
+    pub fn lane_cycles_per_ns(&self) -> f64 {
+        self.parallel_pipelines() as f64 * self.wavefront_size as f64 * self.clock_ghz
+    }
+
+    /// Number of resident wavefronts needed to fully occupy the device.
+    pub fn full_occupancy_wavefronts(&self) -> usize {
+        self.parallel_pipelines() * self.max_wavefronts_per_simd
+    }
+
+    /// Duration of one clock cycle in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::mi100()
+    }
+}
+
+/// Specification of the host (CPU + interconnect) the GPU is attached to.
+///
+/// Sequential preprocessing steps (CSR-Adaptive row binning, ELL conversion)
+/// and host-to-device copies are charged against this model; they are the
+/// origin of the preprocessing costs that Fig. 7 of the paper shows being
+/// amortized over iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Sustained scalar operations per second for sequential host loops.
+    pub scalar_ops_per_second: f64,
+    /// Sustained host memory bandwidth in bytes per second (for host-side passes).
+    pub host_memory_bandwidth: f64,
+    /// Host-to-device transfer bandwidth in bytes per second (PCIe 4.0 x16 ~ 26 GB/s effective).
+    pub h2d_bandwidth: f64,
+    /// Fixed latency per host-to-device transfer, in microseconds.
+    pub h2d_latency_us: f64,
+}
+
+impl Default for HostSpec {
+    fn default() -> Self {
+        Self {
+            scalar_ops_per_second: 2.5e9,
+            host_memory_bandwidth: 25.0e9,
+            h2d_bandwidth: 26.0e9,
+            h2d_latency_us: 10.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mi100_headline_numbers() {
+        let spec = GpuSpec::mi100();
+        assert_eq!(spec.compute_units, 120);
+        assert_eq!(spec.wavefront_size, 64);
+        assert_eq!(spec.parallel_pipelines(), 480);
+        assert_eq!(spec.full_occupancy_wavefronts(), 4800);
+        assert!(spec.memory_bandwidth_gbps > 1000.0);
+    }
+
+    #[test]
+    fn lane_throughput_scales_with_pipelines() {
+        let mi100 = GpuSpec::mi100();
+        let small = GpuSpec::consumer_small();
+        assert!(mi100.lane_cycles_per_ns() > small.lane_cycles_per_ns());
+    }
+
+    #[test]
+    fn cycle_time_matches_clock() {
+        let spec = GpuSpec::mi100();
+        assert!((spec.cycle_ns() * spec.clock_ghz - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_spec_is_mi100() {
+        assert_eq!(GpuSpec::default(), GpuSpec::mi100());
+    }
+
+    #[test]
+    fn default_host_is_sensible() {
+        let host = HostSpec::default();
+        assert!(host.scalar_ops_per_second > 1e9);
+        assert!(host.h2d_bandwidth > 1e9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Simulated-time arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span of simulated time, stored as (fractional) nanoseconds.
+///
+/// All modelled costs in the Seer reproduction — kernel runtimes,
+/// preprocessing times, feature-collection costs — are expressed as
+/// `SimTime`. The newtype keeps milliseconds (what the paper's figures plot)
+/// and nanoseconds (what the device model computes in) from being mixed up.
+///
+/// # Example
+///
+/// ```
+/// use seer_gpu::SimTime;
+///
+/// let t = SimTime::from_micros(2.5) + SimTime::from_nanos(500.0);
+/// assert!((t.as_millis() - 0.003).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime {
+    nanos: f64,
+}
+
+impl SimTime {
+    /// The zero duration.
+    pub const ZERO: SimTime = SimTime { nanos: 0.0 };
+
+    /// Creates a time span from nanoseconds.
+    pub fn from_nanos(nanos: f64) -> Self {
+        Self { nanos }
+    }
+
+    /// Creates a time span from microseconds.
+    pub fn from_micros(micros: f64) -> Self {
+        Self { nanos: micros * 1e3 }
+    }
+
+    /// Creates a time span from milliseconds.
+    pub fn from_millis(millis: f64) -> Self {
+        Self { nanos: millis * 1e6 }
+    }
+
+    /// Creates a time span from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        Self { nanos: secs * 1e9 }
+    }
+
+    /// This time span in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.nanos
+    }
+
+    /// This time span in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.nanos / 1e3
+    }
+
+    /// This time span in milliseconds (the unit used throughout the paper's figures).
+    pub fn as_millis(self) -> f64 {
+        self.nanos / 1e6
+    }
+
+    /// This time span in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.nanos / 1e9
+    }
+
+    /// Returns the larger of two time spans.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two time spans.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.nanos <= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `true` for exactly zero duration.
+    pub fn is_zero(self) -> bool {
+        self.nanos == 0.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime { nanos: self.nanos + rhs.nanos }
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime { nanos: self.nanos - rhs.nanos }
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime { nanos: self.nanos * rhs }
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime { nanos: self.nanos / rhs }
+    }
+}
+
+impl Div<SimTime> for SimTime {
+    type Output = f64;
+
+    fn div(self, rhs: SimTime) -> f64 {
+        self.nanos / rhs.nanos
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= 1e9 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.nanos >= 1e6 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else if self.nanos >= 1e3 {
+            write!(f, "{:.3} us", self.as_micros())
+        } else {
+            write!(f, "{:.1} ns", self.nanos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let t = SimTime::from_millis(1.5);
+        assert!((t.as_micros() - 1500.0).abs() < 1e-9);
+        assert!((t.as_nanos() - 1_500_000.0).abs() < 1e-6);
+        assert!((t.as_secs() - 0.0015).abs() < 1e-12);
+        assert_eq!(SimTime::from_secs(2.0).as_millis(), 2000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_micros(10.0);
+        let b = SimTime::from_micros(5.0);
+        assert_eq!((a + b).as_micros(), 15.0);
+        assert_eq!((a - b).as_micros(), 5.0);
+        assert_eq!((a * 3.0).as_micros(), 30.0);
+        assert_eq!((a / 2.0).as_micros(), 5.0);
+        assert_eq!(a / b, 2.0);
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_nanos(i as f64)).sum();
+        assert_eq!(total.as_nanos(), 10.0);
+        assert!(SimTime::from_nanos(1.0) < SimTime::from_nanos(2.0));
+        assert_eq!(SimTime::from_nanos(1.0).max(SimTime::from_nanos(2.0)).as_nanos(), 2.0);
+        assert_eq!(SimTime::from_nanos(1.0).min(SimTime::from_nanos(2.0)).as_nanos(), 1.0);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimTime::from_nanos(5.0).to_string(), "5.0 ns");
+        assert_eq!(SimTime::from_micros(5.0).to_string(), "5.000 us");
+        assert_eq!(SimTime::from_millis(5.0).to_string(), "5.000 ms");
+        assert_eq!(SimTime::from_secs(5.0).to_string(), "5.000 s");
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!SimTime::from_nanos(1.0).is_zero());
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

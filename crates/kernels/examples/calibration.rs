@@ -1,0 +1,42 @@
+//! Prints per-kernel modelled times on representative matrix shapes.
+//!
+//! Run with `cargo run -p seer-kernels --example calibration --release`.
+
+use seer_gpu::Gpu;
+use seer_kernels::{all_kernels, KernelId};
+use seer_sparse::{generators, CsrMatrix, RowStats, SplitMix64};
+
+fn main() {
+    let gpu = Gpu::default();
+    let mut rng = SplitMix64::new(7);
+    let shapes: Vec<(&str, CsrMatrix)> = vec![
+        ("uniform_small 4096x16", generators::uniform_row_length(4096, 16, &mut rng)),
+        ("uniform_large 200k x 8", generators::uniform_row_length(200_000, 8, &mut rng)),
+        ("uniform_short 100k x 3", generators::uniform_row_length(100_000, 3, &mut rng)),
+        ("long_rows 2048x1500", generators::uniform_row_length(2048, 1500, &mut rng)),
+        ("very_long 600x8000", generators::uniform_row_length(600, 8000, &mut rng)),
+        ("skewed 20k (3,8000,0.003)", generators::skewed_rows(20_000, 3, 8000, 0.003, &mut rng)),
+        ("skewed 60k (4,5000,0.003)", generators::skewed_rows(60_000, 4, 5000, 0.003, &mut rng)),
+        ("powerlaw 30k a=1.9", generators::power_law(30_000, 1.9, 1024, &mut rng)),
+        ("banded 30k hb=2", generators::banded(30_000, 2, &mut rng)),
+        ("stencil2d 200", generators::stencil_2d(200, &mut rng)),
+    ];
+    let kernels = all_kernels();
+    print!("{:<28} {:>10} {:>8}", "shape", "nnz", "imb");
+    for id in KernelId::ALL {
+        print!(" {:>10}", id.label());
+    }
+    println!(" | pre(CSR,A) pre(ELL) pre(MP)");
+    for (name, m) in &shapes {
+        let stats = RowStats::compute(m);
+        print!("{:<28} {:>10} {:>8.2}", name, m.nnz(), stats.imbalance());
+        for k in &kernels {
+            let t = k.iteration_time(&gpu, m);
+            print!(" {:>10.3}", t.as_micros());
+        }
+        let pre_a = kernels[0].preprocessing_time(&gpu, m).as_micros();
+        let pre_ell = kernels[7].preprocessing_time(&gpu, m).as_micros();
+        let pre_mp = kernels[2].preprocessing_time(&gpu, m).as_micros();
+        println!(" | {pre_a:>10.2} {pre_ell:>8.2} {pre_mp:>7.2}");
+    }
+}

@@ -1,0 +1,160 @@
+//! CSR merge-path SpMV with a precomputed partition (`CSR,MP`).
+
+use seer_gpu::{Gpu, KernelTiming, SimTime};
+use seer_sparse::{CsrMatrix, Scalar};
+
+use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::csr_work_oriented::CsrWorkOriented;
+use crate::merge::spmv_merge_path;
+use crate::registry::KernelId;
+use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+
+/// Merge-path SpMV with the path partition computed once by a setup dispatch.
+///
+/// Identical load-balancing behaviour to [`CsrWorkOriented`] — total work is
+/// split evenly across threads — but the per-thread binary searches are hoisted
+/// out of the SpMV kernel into a small partitioning dispatch whose result is
+/// reused every iteration. Compared to `CSR,WO` this trades a preprocessing
+/// cost for a cheaper steady-state iteration, which is exactly the kind of
+/// trade-off the Seer predictor has to weigh for multi-iteration workloads.
+#[derive(Debug, Clone, Default)]
+pub struct CsrMergePath {
+    params: CostParams,
+}
+
+impl CsrMergePath {
+    /// Creates the kernel with the default cost calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the kernel with explicit cost parameters.
+    pub fn with_params(params: CostParams) -> Self {
+        Self { params }
+    }
+}
+
+impl SpmvKernel for CsrMergePath {
+    fn id(&self) -> KernelId {
+        KernelId::CsrMergePath
+    }
+
+    fn format(&self) -> SparseFormat {
+        SparseFormat::Csr
+    }
+
+    fn schedule(&self) -> LoadBalancing {
+        LoadBalancing::WorkOriented
+    }
+
+    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+        // A device dispatch in which each thread performs one merge-path
+        // search, plus the transfer of the resulting coordinate table.
+        let p = &self.params;
+        let wavefront = gpu.spec().wavefront_size;
+        let threads = CsrWorkOriented::thread_count(matrix);
+        let wavefronts = threads.div_ceil(wavefront);
+        let search_steps = ceil_log2(matrix.rows().max(2)) as f64;
+        let cycles = p.thread_prologue_cycles + search_steps * p.search_cycles_per_step;
+        let mut launch = gpu.launch();
+        launch.add_uniform_wavefronts(
+            wavefronts,
+            cycles as u64,
+            (wavefront as f64 * cycles) as u64,
+            // Each thread writes an 8-byte (row, nnz) coordinate.
+            wavefront as u64 * 8,
+            0,
+        );
+        launch.finish().total
+    }
+
+    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+        let p = &self.params;
+        let profile = MatrixProfile::new(matrix);
+        let wavefront = gpu.spec().wavefront_size;
+        let total_work = matrix.rows() + matrix.nnz();
+        let threads = CsrWorkOriented::thread_count(matrix);
+        let wavefronts = threads.div_ceil(wavefront);
+        let work_per_thread = total_work.div_ceil(threads.max(1));
+
+        // No in-kernel search: each thread reads its precomputed coordinate.
+        let max_cycles = p.thread_prologue_cycles + work_per_thread as f64 * p.cycles_per_nnz;
+        let total_cycles = wavefront as f64 * p.thread_prologue_cycles
+            + (wavefront * work_per_thread) as f64 * p.cycles_per_nnz;
+        let nnz_share = (matrix.nnz() as u64).div_ceil(wavefronts.max(1) as u64);
+        let row_share = (matrix.rows() as u64).div_ceil(wavefronts.max(1) as u64);
+        // The coordinate table adds 8 bytes per thread of streamed traffic.
+        let streamed = nnz_share * p.csr_bytes_per_nnz()
+            + row_share * p.row_meta_bytes
+            + wavefront as u64 * 8;
+
+        let mut launch = gpu.launch();
+        launch.set_gather_profile(profile.x_footprint_bytes, profile.gather_locality);
+        launch.add_uniform_wavefronts(
+            wavefronts,
+            max_cycles as u64,
+            total_cycles as u64,
+            streamed,
+            nnz_share,
+        );
+        launch.set_dispatches(2);
+        launch.finish()
+    }
+
+    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+        spmv_merge_path(matrix, x, CsrWorkOriented::thread_count(matrix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn matches_reference_spmv() {
+        let mut rng = SplitMix64::new(51);
+        let m = generators::hybrid_mesh_graph(400, 2, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 7) % 13) as f64).collect();
+        let y = CsrMergePath::new().compute(&m, &x);
+        let reference = m.spmv(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn has_nonzero_preprocessing() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(52);
+        let m = generators::power_law(5000, 2.0, 256, &mut rng);
+        assert!(CsrMergePath::new().preprocessing_time(&gpu, &m) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn iteration_is_cheaper_than_work_oriented() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(53);
+        let m = generators::skewed_rows(50_000, 3, 4000, 0.002, &mut rng);
+        let mp = CsrMergePath::new().iteration_time(&gpu, &m);
+        let wo = CsrWorkOriented::new().iteration_time(&gpu, &m);
+        assert!(mp <= wo, "MP {} vs WO {}", mp.as_millis(), wo.as_millis());
+    }
+
+    #[test]
+    fn multi_iteration_amortises_partitioning() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(54);
+        let m = generators::power_law(30_000, 1.9, 1024, &mut rng);
+        let mp = CsrMergePath::new();
+        let wo = CsrWorkOriented::new();
+        let single_mp = mp.measure(&gpu, &m, 1).total();
+        let single_wo = wo.measure(&gpu, &m, 1).total();
+        let many_mp = mp.measure(&gpu, &m, 100).total();
+        let many_wo = wo.measure(&gpu, &m, 100).total();
+        // With one iteration the setup cost makes MP no better than WO; over
+        // many iterations the cheaper steady state pays it back.
+        assert!(single_mp >= single_wo * 0.99);
+        assert!(many_mp < many_wo);
+    }
+}

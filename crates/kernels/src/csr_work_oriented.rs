@@ -1,0 +1,172 @@
+//! CSR work-oriented SpMV (`CSR,WO`).
+
+use seer_gpu::{Gpu, KernelTiming, SimTime};
+use seer_sparse::{CsrMatrix, Scalar};
+
+use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::merge::spmv_merge_path;
+use crate::registry::KernelId;
+use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+
+/// Work-oriented SpMV: the total work (nonzeros plus row terminations) is
+/// split evenly across threads, each thread locating its span with an
+/// in-kernel merge-path binary search.
+///
+/// Load balance is essentially perfect regardless of the row-length
+/// distribution, which makes this the fallback of choice for pathological
+/// matrices. The price is a fixed per-thread search cost and a carry-out
+/// fix-up dispatch, so on friendly matrices the simpler row-mapped schedules
+/// win.
+#[derive(Debug, Clone, Default)]
+pub struct CsrWorkOriented {
+    params: CostParams,
+}
+
+impl CsrWorkOriented {
+    /// Nonzero-equivalents of work assigned to each thread.
+    pub(crate) const WORK_PER_THREAD: usize = 8;
+
+    /// Creates the kernel with the default cost calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the kernel with explicit cost parameters.
+    pub fn with_params(params: CostParams) -> Self {
+        Self { params }
+    }
+
+    /// Number of threads the kernel would launch for `matrix`.
+    pub(crate) fn thread_count(matrix: &CsrMatrix) -> usize {
+        let total_work = matrix.rows() + matrix.nnz();
+        total_work.div_ceil(Self::WORK_PER_THREAD).max(1)
+    }
+}
+
+impl SpmvKernel for CsrWorkOriented {
+    fn id(&self) -> KernelId {
+        KernelId::CsrWorkOriented
+    }
+
+    fn format(&self) -> SparseFormat {
+        SparseFormat::Csr
+    }
+
+    fn schedule(&self) -> LoadBalancing {
+        LoadBalancing::WorkOriented
+    }
+
+    fn preprocessing_time(&self, _gpu: &Gpu, _matrix: &CsrMatrix) -> SimTime {
+        // The search happens inside the kernel each iteration; nothing to set up.
+        SimTime::ZERO
+    }
+
+    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+        let p = &self.params;
+        let profile = MatrixProfile::new(matrix);
+        let wavefront = gpu.spec().wavefront_size;
+        let total_work = matrix.rows() + matrix.nnz();
+        let threads = Self::thread_count(matrix);
+        let wavefronts = threads.div_ceil(wavefront);
+        let work_per_thread = total_work.div_ceil(threads.max(1));
+        let search_steps = ceil_log2(matrix.rows().max(2)) as f64;
+
+        let max_cycles = p.thread_prologue_cycles
+            + search_steps * p.search_cycles_per_step
+            + work_per_thread as f64 * p.cycles_per_nnz;
+        let total_cycles = wavefront as f64
+            * (p.thread_prologue_cycles + search_steps * p.search_cycles_per_step)
+            + (wavefront * work_per_thread) as f64 * p.cycles_per_nnz;
+        // Traffic per wavefront: its share of the nonzeros and row metadata,
+        // plus the row offsets each lane's merge-path binary search touches
+        // (mostly L2-resident, charged as extra streamed words).
+        let nnz_share = (matrix.nnz() as u64).div_ceil(wavefronts.max(1) as u64);
+        let row_share = (matrix.rows() as u64).div_ceil(wavefronts.max(1) as u64);
+        let search_bytes = wavefront as u64 * search_steps as u64 * 4;
+        let streamed =
+            nnz_share * p.csr_bytes_per_nnz() + row_share * p.row_meta_bytes + search_bytes;
+
+        let mut launch = gpu.launch();
+        launch.set_gather_profile(profile.x_footprint_bytes, profile.gather_locality);
+        launch.add_uniform_wavefronts(
+            wavefronts,
+            max_cycles as u64,
+            total_cycles as u64,
+            streamed,
+            nnz_share,
+        );
+        // Carry-out fix-up pass is a second (tiny) dispatch.
+        launch.set_dispatches(2);
+        launch.finish()
+    }
+
+    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+        spmv_merge_path(matrix, x, Self::thread_count(matrix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrThreadMapped;
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn matches_reference_spmv() {
+        let mut rng = SplitMix64::new(41);
+        let m = generators::power_law(800, 1.8, 256, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 17) as f64 * 0.1).collect();
+        let y = CsrWorkOriented::new().compute(&m, &x);
+        let reference = m.spmv(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn near_perfect_utilization_on_skewed_input() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(42);
+        let skewed = generators::skewed_rows(20_000, 3, 5000, 0.002, &mut rng);
+        let timing = CsrWorkOriented::new().iteration_timing(&gpu, &skewed);
+        assert!(timing.stats.simd_utilization > 0.9);
+    }
+
+    #[test]
+    fn beats_thread_mapping_on_skewed_input() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(43);
+        let skewed = generators::skewed_rows(20_000, 3, 8000, 0.003, &mut rng);
+        let wo = CsrWorkOriented::new().iteration_time(&gpu, &skewed);
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
+        assert!(wo < tm, "WO {} vs TM {}", wo.as_millis(), tm.as_millis());
+    }
+
+    #[test]
+    fn loses_to_thread_mapping_on_tiny_uniform_input() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(44);
+        let uniform = generators::uniform_row_length(100_000, 4, &mut rng);
+        let wo = CsrWorkOriented::new().iteration_time(&gpu, &uniform);
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform);
+        assert!(tm < wo, "TM {} vs WO {}", tm.as_millis(), wo.as_millis());
+    }
+
+    #[test]
+    fn uses_two_dispatches() {
+        let gpu = Gpu::default();
+        let m = CsrMatrix::identity(1000);
+        let timing = CsrWorkOriented::new().iteration_timing(&gpu, &m);
+        let single = SimTime::from_micros(gpu.spec().kernel_launch_overhead_us);
+        assert!((timing.overhead.as_nanos() - (single * 2.0).as_nanos()).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_preprocessing() {
+        let gpu = Gpu::default();
+        assert_eq!(
+            CsrWorkOriented::new().preprocessing_time(&gpu, &CsrMatrix::identity(10)),
+            SimTime::ZERO
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! ELL thread-mapped SpMV (`ELL,TM`).
+
+use seer_gpu::{Gpu, KernelTiming, SimTime};
+use seer_sparse::{CsrMatrix, EllMatrix, Scalar};
+
+use crate::common::{CostParams, MatrixProfile};
+use crate::registry::KernelId;
+use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+
+/// One padded ELL row per thread.
+///
+/// After converting the matrix to ELLPACK, every row has exactly
+/// `max_row_len` slots, so each lane does identical work and the column/value
+/// loads are perfectly coalesced — the fastest possible schedule on uniform
+/// matrices such as stencils and circuit problems. Two costs keep it from
+/// winning everywhere: the conversion itself (a host pass over the padded
+/// arrays plus the transfer of a structure that can be much larger than the
+/// CSR original), and the padding work, which explodes on skewed matrices.
+#[derive(Debug, Clone, Default)]
+pub struct EllThreadMapped {
+    params: CostParams,
+}
+
+impl EllThreadMapped {
+    /// Creates the kernel with the default cost calibration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the kernel with explicit cost parameters.
+    pub fn with_params(params: CostParams) -> Self {
+        Self { params }
+    }
+
+    /// Bytes of the padded device structure for `matrix`.
+    fn padded_bytes(&self, matrix: &CsrMatrix) -> usize {
+        let width = matrix.max_row_len();
+        matrix.rows() * width * (self.params.index_bytes + self.params.value_bytes) as usize
+    }
+}
+
+impl SpmvKernel for EllThreadMapped {
+    fn id(&self) -> KernelId {
+        KernelId::EllThreadMapped
+    }
+
+    fn format(&self) -> SparseFormat {
+        SparseFormat::Ell
+    }
+
+    fn schedule(&self) -> LoadBalancing {
+        LoadBalancing::ThreadMapped
+    }
+
+    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+        // The padded arrays are built by a device-side conversion kernel that
+        // reads the CSR structure and writes the (possibly much larger) ELL
+        // arrays; the cost is dominated by streaming both through DRAM.
+        let padded = self.padded_bytes(matrix);
+        let csr_bytes = matrix.memory_footprint_bytes();
+        let wavefront = gpu.spec().wavefront_size;
+        let wavefronts = matrix.rows().div_ceil(wavefront.max(1)).max(1);
+        let width = matrix.max_row_len();
+        let mut launch = gpu.launch();
+        launch.add_uniform_wavefronts(
+            wavefronts,
+            (8 + width * 2) as u64,
+            (wavefront * (8 + width * 2)) as u64,
+            ((padded + csr_bytes) as u64).div_ceil(wavefronts as u64),
+            0,
+        );
+        launch.finish().total
+    }
+
+    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+        let p = &self.params;
+        let profile = MatrixProfile::new(matrix);
+        let wavefront = gpu.spec().wavefront_size;
+        let width = matrix.max_row_len();
+        let rows = matrix.rows();
+        let wavefronts = rows.div_ceil(wavefront.max(1));
+
+        // Every lane walks `width` padded slots; padding slots still cost the
+        // loads but skip the x gather.
+        let max_cycles = p.thread_prologue_cycles + width as f64 * p.cycles_per_nnz;
+        let total_cycles = wavefront as f64 * max_cycles;
+        // ELL is stored column-major on the device, so loads coalesce
+        // perfectly and no row-offset array is read; the only per-row
+        // bookkeeping traffic is the output write.
+        let streamed_per_wavefront = (wavefront * width) as u64
+            * (p.index_bytes + p.value_bytes)
+            + wavefront as u64 * p.value_bytes;
+        // Real (non-padding) entries gather from x; distribute them evenly.
+        let gathers_per_wavefront = (matrix.nnz() as u64).div_ceil(wavefronts.max(1) as u64);
+
+        let mut launch = gpu.launch();
+        launch.set_gather_profile(profile.x_footprint_bytes, profile.gather_locality);
+        launch.add_uniform_wavefronts(
+            wavefronts,
+            max_cycles as u64,
+            total_cycles as u64,
+            streamed_per_wavefront,
+            gathers_per_wavefront,
+        );
+        launch.finish()
+    }
+
+    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        EllMatrix::from_csr(matrix).spmv(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrThreadMapped;
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn matches_reference_spmv() {
+        let mut rng = SplitMix64::new(71);
+        let m = generators::banded(300, 4, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let y = EllThreadMapped::new().compute(&m, &x);
+        let reference = m.spmv(&x);
+        for (a, b) in y.iter().zip(&reference) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn conversion_cost_is_nonzero_and_grows_with_padding() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(72);
+        let uniform = generators::uniform_row_length(5000, 8, &mut rng);
+        let skewed = generators::skewed_rows(5000, 4, 2500, 0.01, &mut rng);
+        let kernel = EllThreadMapped::new();
+        let t_uniform = kernel.preprocessing_time(&gpu, &uniform);
+        let t_skewed = kernel.preprocessing_time(&gpu, &skewed);
+        assert!(t_uniform > SimTime::ZERO);
+        assert!(t_skewed > t_uniform, "padding should inflate the conversion cost");
+    }
+
+    #[test]
+    fn fast_per_iteration_on_uniform_rows() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(73);
+        let uniform = generators::uniform_row_length(100_000, 12, &mut rng);
+        let ell = EllThreadMapped::new().iteration_time(&gpu, &uniform);
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform);
+        assert!(ell <= tm * 1.1, "ELL {} vs CSR,TM {}", ell.as_millis(), tm.as_millis());
+    }
+
+    #[test]
+    fn terrible_per_iteration_on_skewed_rows() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(74);
+        let skewed = generators::skewed_rows(20_000, 3, 10_000, 0.001, &mut rng);
+        let ell = EllThreadMapped::new().iteration_time(&gpu, &skewed);
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
+        assert!(ell > tm, "padding should make ELL slower than CSR,TM here");
+    }
+
+    #[test]
+    fn empty_matrix_is_benign() {
+        let gpu = Gpu::default();
+        let m = CsrMatrix::zeros(16, 16);
+        let kernel = EllThreadMapped::new();
+        let t = kernel.iteration_timing(&gpu, &m);
+        assert!(t.total >= t.overhead);
+        assert_eq!(kernel.compute(&m, &vec![0.0; 16]), vec![0.0; 16]);
+    }
+}

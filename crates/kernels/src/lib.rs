@@ -1,0 +1,213 @@
+//! SpMV kernel variants for the Seer case study.
+//!
+//! Table II of the paper lists the load-balancing schedules and compressed
+//! formats the authors benchmark on an MI100. This crate implements each of
+//! those kernels against the analytical GPU substrate in [`seer_gpu`]:
+//!
+//! | Label | Kernel | Schedule |
+//! |---|---|---|
+//! | `CSR,A`   | [`CsrAdaptive`] | rows binned by size (rocSPARSE/CSR-Adaptive), sequential preprocessing |
+//! | `CSR,TM`  | [`CsrThreadMapped`] | one row per thread |
+//! | `CSR,WM`  | [`CsrWavefrontMapped`] | one row per 64-lane wavefront |
+//! | `CSR,BM`  | [`CsrBlockMapped`] | one row per 256-thread workgroup |
+//! | `CSR,WO`  | [`CsrWorkOriented`] | nonzeros + rows split evenly per thread, in-kernel search |
+//! | `CSR,MP`  | [`CsrMergePath`] | merge-path partition computed by a setup dispatch |
+//! | `COO,WM`  | [`CooWavefrontMapped`] | 64-nonzero segments per wavefront with atomic combine |
+//! | `ELL,TM`  | [`EllThreadMapped`] | one padded row per thread after ELL conversion |
+//!
+//! Each kernel provides three things:
+//!
+//! 1. a **functional implementation** of `y = A * x` that mirrors the
+//!    parallel decomposition (used to verify correctness against the
+//!    sequential reference),
+//! 2. a **per-iteration performance model** built by describing its wavefront
+//!    work to [`seer_gpu::LaunchBuilder`], and
+//! 3. a **preprocessing model** covering format conversion, binning and
+//!    host-to-device transfers, which is what the multi-iteration
+//!    amortization study exercises.
+//!
+//! # Example
+//!
+//! ```
+//! use seer_gpu::Gpu;
+//! use seer_kernels::{all_kernels, Oracle};
+//! use seer_sparse::{generators, SplitMix64};
+//!
+//! let gpu = Gpu::default();
+//! let matrix = generators::power_law(500, 2.0, 64, &mut SplitMix64::new(1));
+//! let x = vec![1.0; matrix.cols()];
+//!
+//! // Every kernel computes the same product.
+//! let reference = matrix.spmv(&x);
+//! for kernel in all_kernels() {
+//!     let y = kernel.compute(&matrix, &x);
+//!     assert_eq!(y.len(), reference.len());
+//! }
+//!
+//! // And the Oracle picks the one the model says is fastest.
+//! let oracle = Oracle::new(&gpu);
+//! let best = oracle.best_kernel(&matrix, 1);
+//! println!("best kernel: {}", best.kernel);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod coo_wavefront_mapped;
+mod csr_adaptive;
+mod csr_block_mapped;
+mod csr_merge_path;
+mod csr_thread_mapped;
+mod csr_wavefront_mapped;
+mod csr_work_oriented;
+mod ell_thread_mapped;
+mod merge;
+mod measurement;
+mod oracle;
+mod registry;
+
+pub use common::{CostParams, MatrixProfile};
+pub use coo_wavefront_mapped::CooWavefrontMapped;
+pub use csr_adaptive::CsrAdaptive;
+pub use csr_block_mapped::CsrBlockMapped;
+pub use csr_merge_path::CsrMergePath;
+pub use csr_thread_mapped::CsrThreadMapped;
+pub use csr_wavefront_mapped::CsrWavefrontMapped;
+pub use csr_work_oriented::CsrWorkOriented;
+pub use ell_thread_mapped::EllThreadMapped;
+pub use measurement::{KernelProfile, MatrixBenchmark};
+pub use oracle::{Oracle, OracleChoice};
+pub use registry::{all_kernels, kernel_for, KernelId};
+
+use seer_gpu::{Gpu, KernelTiming, SimTime};
+use seer_sparse::{CsrMatrix, Scalar};
+use std::fmt;
+
+/// Compressed sparse format a kernel consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparseFormat {
+    /// Compressed Sparse Row.
+    Csr,
+    /// Coordinate triplets.
+    Coo,
+    /// ELLPACK padded rows.
+    Ell,
+}
+
+impl fmt::Display for SparseFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseFormat::Csr => f.write_str("CSR"),
+            SparseFormat::Coo => f.write_str("COO"),
+            SparseFormat::Ell => f.write_str("ELL"),
+        }
+    }
+}
+
+/// Load-balancing schedule a kernel applies (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadBalancing {
+    /// Rows binned by size and processed per bin (Adaptive-CSR / rocSPARSE).
+    Adaptive,
+    /// One row (or fixed slice) per thread.
+    ThreadMapped,
+    /// One row per wavefront.
+    WavefrontMapped,
+    /// One row per workgroup.
+    BlockMapped,
+    /// Total work (nonzeros + rows) split evenly across threads.
+    WorkOriented,
+}
+
+impl fmt::Display for LoadBalancing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadBalancing::Adaptive => f.write_str("Adaptive"),
+            LoadBalancing::ThreadMapped => f.write_str("Thread Mapped"),
+            LoadBalancing::WavefrontMapped => f.write_str("Wavefront Mapped"),
+            LoadBalancing::BlockMapped => f.write_str("Block Mapped"),
+            LoadBalancing::WorkOriented => f.write_str("Work Oriented"),
+        }
+    }
+}
+
+/// A GPU SpMV kernel variant: a functional implementation plus a performance
+/// and preprocessing model on the simulated device.
+///
+/// The trait is object-safe; the registry hands out `Box<dyn SpmvKernel>` so
+/// the Seer training and inference pipelines can treat kernels uniformly.
+pub trait SpmvKernel: fmt::Debug + Send + Sync {
+    /// Stable identifier of this kernel.
+    fn id(&self) -> KernelId;
+
+    /// Compressed format the kernel operates on.
+    fn format(&self) -> SparseFormat;
+
+    /// Load-balancing schedule the kernel applies.
+    fn schedule(&self) -> LoadBalancing;
+
+    /// Modelled one-time preprocessing cost for `matrix` (format conversion,
+    /// row binning, partition tables, host-to-device transfers).
+    ///
+    /// Kernels that consume the device-resident CSR directly return
+    /// [`SimTime::ZERO`].
+    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime;
+
+    /// Modelled runtime of one SpMV iteration on `matrix`.
+    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming;
+
+    /// Functional execution of `y = A * x` mirroring the kernel's parallel
+    /// decomposition. Used for correctness testing only; it carries no cost
+    /// information.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.len() != matrix.cols()`.
+    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar>;
+
+    /// Paper-style label, e.g. `CSR,TM`.
+    fn label(&self) -> &'static str {
+        self.id().label()
+    }
+
+    /// Convenience accessor for the total time of one iteration.
+    fn iteration_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+        self.iteration_timing(gpu, matrix).total
+    }
+
+    /// Measures an `iterations`-long run of this kernel on `matrix`,
+    /// including its preprocessing, and returns the profile the Seer
+    /// benchmarking stage records.
+    fn measure(&self, gpu: &Gpu, matrix: &CsrMatrix, iterations: usize) -> KernelProfile {
+        let preprocessing = self.preprocessing_time(gpu, matrix);
+        let timing = self.iteration_timing(gpu, matrix);
+        KernelProfile::new(self.id(), preprocessing, timing.total, iterations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn takes_object(_k: &dyn SpmvKernel) {}
+        takes_object(&CsrThreadMapped::new());
+    }
+
+    #[test]
+    fn format_and_schedule_display() {
+        assert_eq!(SparseFormat::Csr.to_string(), "CSR");
+        assert_eq!(SparseFormat::Coo.to_string(), "COO");
+        assert_eq!(SparseFormat::Ell.to_string(), "ELL");
+        assert_eq!(LoadBalancing::WorkOriented.to_string(), "Work Oriented");
+        assert_eq!(LoadBalancing::Adaptive.to_string(), "Adaptive");
+    }
+
+    #[test]
+    fn label_matches_id() {
+        let k = CsrThreadMapped::new();
+        assert_eq!(k.label(), k.id().label());
+    }
+}

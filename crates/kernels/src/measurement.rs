@@ -1,0 +1,185 @@
+//! Benchmark measurements: what the Seer GPU-benchmarking stage records.
+
+use seer_gpu::{Gpu, SimTime};
+use seer_sparse::CsrMatrix;
+
+use crate::registry::{all_kernels, KernelId};
+
+/// The measured profile of one kernel on one matrix: its one-time
+/// preprocessing cost and its steady-state per-iteration runtime.
+///
+/// This is the row the paper's GPU-benchmarking CSVs store per kernel
+/// (Section III-D: "the runtime of the kernel, and the preprocessing time of
+/// the kernel").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Which kernel was measured.
+    pub kernel: KernelId,
+    /// One-time preprocessing cost (zero for kernels that run off the raw CSR).
+    pub preprocessing: SimTime,
+    /// Runtime of a single SpMV iteration.
+    pub per_iteration: SimTime,
+    /// Number of iterations of the workload this profile is evaluated at.
+    pub iterations: usize,
+}
+
+impl KernelProfile {
+    /// Creates a profile.
+    pub fn new(
+        kernel: KernelId,
+        preprocessing: SimTime,
+        per_iteration: SimTime,
+        iterations: usize,
+    ) -> Self {
+        Self { kernel, preprocessing, per_iteration, iterations }
+    }
+
+    /// Total time of the workload: preprocessing plus all iterations.
+    pub fn total(&self) -> SimTime {
+        self.preprocessing + self.per_iteration * self.iterations as f64
+    }
+
+    /// Total time at a different iteration count, reusing the same measurements.
+    pub fn total_at(&self, iterations: usize) -> SimTime {
+        self.preprocessing + self.per_iteration * iterations as f64
+    }
+
+    /// Number of iterations needed before this kernel's total undercuts
+    /// `other`'s, i.e. the amortization crossover point. Returns `None` if it
+    /// never does (this kernel's per-iteration time is not better).
+    pub fn crossover_iterations(&self, other: &KernelProfile) -> Option<usize> {
+        let per_iter_gain = other.per_iteration.as_nanos() - self.per_iteration.as_nanos();
+        if per_iter_gain <= 0.0 {
+            return None;
+        }
+        let extra_setup = self.preprocessing.as_nanos() - other.preprocessing.as_nanos();
+        if extra_setup <= 0.0 {
+            return Some(1);
+        }
+        Some((extra_setup / per_iter_gain).ceil().max(1.0) as usize)
+    }
+}
+
+/// All kernel profiles measured for one matrix: a single row of the aggregated
+/// benchmarking table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixBenchmark {
+    /// Name of the dataset member.
+    pub name: String,
+    /// Number of iterations the workload runs.
+    pub iterations: usize,
+    /// One profile per kernel, in [`KernelId::ALL`] order.
+    pub profiles: Vec<KernelProfile>,
+}
+
+impl MatrixBenchmark {
+    /// Benchmarks every registered kernel on `matrix` at the given iteration count.
+    pub fn measure(gpu: &Gpu, name: &str, matrix: &CsrMatrix, iterations: usize) -> Self {
+        let profiles = all_kernels()
+            .iter()
+            .map(|kernel| kernel.measure(gpu, matrix, iterations))
+            .collect();
+        Self { name: name.to_string(), iterations, profiles }
+    }
+
+    /// The profile of a specific kernel.
+    pub fn profile(&self, kernel: KernelId) -> Option<&KernelProfile> {
+        self.profiles.iter().find(|p| p.kernel == kernel)
+    }
+
+    /// The kernel with the smallest total (preprocessing-inclusive) time.
+    pub fn fastest(&self) -> &KernelProfile {
+        self.profiles
+            .iter()
+            .min_by(|a, b| a.total().partial_cmp(&b.total()).expect("times are finite"))
+            .expect("at least one kernel is registered")
+    }
+
+    /// The kernel with the smallest single-iteration time, ignoring preprocessing.
+    pub fn fastest_single_iteration(&self) -> &KernelProfile {
+        self.profiles
+            .iter()
+            .min_by(|a, b| {
+                a.per_iteration.partial_cmp(&b.per_iteration).expect("times are finite")
+            })
+            .expect("at least one kernel is registered")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn profile_total_includes_preprocessing_and_iterations() {
+        let p = KernelProfile::new(
+            KernelId::CsrAdaptive,
+            SimTime::from_millis(3.0),
+            SimTime::from_millis(2.0),
+            5,
+        );
+        assert_eq!(p.total().as_millis(), 13.0);
+        assert_eq!(p.total_at(1).as_millis(), 5.0);
+    }
+
+    #[test]
+    fn crossover_matches_hand_computation() {
+        let adaptive = KernelProfile::new(
+            KernelId::CsrAdaptive,
+            SimTime::from_millis(10.0),
+            SimTime::from_millis(1.0),
+            1,
+        );
+        let plain = KernelProfile::new(
+            KernelId::CsrThreadMapped,
+            SimTime::ZERO,
+            SimTime::from_millis(2.0),
+            1,
+        );
+        // 10ms extra setup, 1ms per-iteration gain -> crossover at 10 iterations.
+        assert_eq!(adaptive.crossover_iterations(&plain), Some(10));
+        assert_eq!(plain.crossover_iterations(&adaptive), None);
+    }
+
+    #[test]
+    fn crossover_is_one_when_strictly_better() {
+        let better = KernelProfile::new(
+            KernelId::CsrWorkOriented,
+            SimTime::ZERO,
+            SimTime::from_millis(1.0),
+            1,
+        );
+        let worse = KernelProfile::new(
+            KernelId::CsrThreadMapped,
+            SimTime::from_millis(1.0),
+            SimTime::from_millis(2.0),
+            1,
+        );
+        assert_eq!(better.crossover_iterations(&worse), Some(1));
+    }
+
+    #[test]
+    fn matrix_benchmark_covers_all_kernels() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(91);
+        let m = generators::power_law(500, 2.0, 64, &mut rng);
+        let bench = MatrixBenchmark::measure(&gpu, "powerlaw_test", &m, 1);
+        assert_eq!(bench.profiles.len(), KernelId::ALL.len());
+        for id in KernelId::ALL {
+            assert!(bench.profile(id).is_some());
+        }
+        assert!(bench.fastest().total() <= bench.profiles[0].total());
+    }
+
+    #[test]
+    fn fastest_single_iteration_ignores_preprocessing() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(92);
+        let m = generators::uniform_row_length(3000, 6, &mut rng);
+        let bench = MatrixBenchmark::measure(&gpu, "uniform", &m, 1);
+        let by_total = bench.fastest();
+        let by_iteration = bench.fastest_single_iteration();
+        assert!(by_iteration.per_iteration <= by_total.per_iteration);
+    }
+}

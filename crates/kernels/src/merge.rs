@@ -1,0 +1,180 @@
+//! Merge-path partitioning shared by the work-oriented kernels.
+//!
+//! Merrill & Garland's merge-based SpMV treats the computation as a merge of
+//! two sorted lists: the row boundaries (the CSR offsets) and the nonzero
+//! indices. Splitting the merge path into equal-length segments gives every
+//! thread exactly the same amount of *work* (nonzeros plus row terminations),
+//! which removes load imbalance entirely at the cost of per-thread searches
+//! and a carry-out fix-up pass.
+
+use seer_sparse::{CsrMatrix, Scalar};
+
+/// A thread's position on the merge path: the row it starts in and the index
+/// of its first nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MergeCoordinate {
+    /// Row index the segment starts in.
+    pub row: usize,
+    /// Global nonzero index the segment starts at.
+    pub nnz: usize,
+}
+
+/// Finds the merge-path coordinate at `diagonal`, i.e. the `(row, nnz)` pair
+/// such that `row + nnz == diagonal` and the merge order is respected.
+///
+/// This is the binary search each thread of the work-oriented kernel performs
+/// at runtime (and which the merge-path kernel precomputes).
+pub(crate) fn merge_path_search(matrix: &CsrMatrix, diagonal: usize) -> MergeCoordinate {
+    let row_offsets = matrix.row_offsets();
+    let rows = matrix.rows();
+    // Search over how many row-ends precede the diagonal.
+    let mut lo = diagonal.saturating_sub(matrix.nnz());
+    let mut hi = diagonal.min(rows);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // row_offsets[mid + 1] is the number of nonzeros consumed once mid+1 rows are done.
+        if row_offsets[mid + 1] <= diagonal - mid - 1 {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    MergeCoordinate { row: lo, nnz: diagonal - lo }
+}
+
+/// Computes the merge-path partition of `matrix` into `segments` equal-work
+/// spans. Returns `segments + 1` coordinates; segment `i` covers the
+/// half-open range between coordinates `i` and `i + 1`.
+pub(crate) fn merge_path_partition(matrix: &CsrMatrix, segments: usize) -> Vec<MergeCoordinate> {
+    let total_work = matrix.rows() + matrix.nnz();
+    let segments = segments.max(1);
+    (0..=segments)
+        .map(|s| {
+            let diagonal = (s * total_work).div_ceil(segments).min(total_work);
+            merge_path_search(matrix, diagonal)
+        })
+        .collect()
+}
+
+/// Executes SpMV by walking the merge path in `segments` independent chunks,
+/// mimicking the parallel kernel: each segment accumulates complete rows
+/// locally and produces a carry-out for the row it ends in the middle of;
+/// carry-outs are combined in a fix-up pass.
+pub(crate) fn spmv_merge_path(matrix: &CsrMatrix, x: &[Scalar], segments: usize) -> Vec<Scalar> {
+    assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+    let mut y = vec![0.0; matrix.rows()];
+    if matrix.rows() == 0 {
+        return y;
+    }
+    let partition = merge_path_partition(matrix, segments);
+    let col_indices = matrix.col_indices();
+    let values = matrix.values();
+    let row_offsets = matrix.row_offsets();
+    // (row, partial) carry-outs, one per segment.
+    let mut carries: Vec<(usize, Scalar)> = Vec::with_capacity(partition.len() - 1);
+    for window in partition.windows(2) {
+        let (start, end) = (window[0], window[1]);
+        let mut row = start.row;
+        let mut nnz = start.nnz;
+        let mut acc = 0.0;
+        // Consume work items in merge order: a nonzero if it belongs to the
+        // current row, otherwise a row terminator.
+        while row < end.row || (row == end.row && nnz < end.nnz) {
+            if row < matrix.rows() && nnz < row_offsets[row + 1] {
+                acc += values[nnz] * x[col_indices[nnz]];
+                nnz += 1;
+            } else {
+                y[row] += acc;
+                acc = 0.0;
+                row += 1;
+            }
+        }
+        carries.push((row.min(matrix.rows().saturating_sub(1)), acc));
+    }
+    // Fix-up: add each segment's trailing partial sum to the row it stopped in.
+    for (row, partial) in carries {
+        if partial != 0.0 {
+            y[row] += partial;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::{generators, CsrMatrix, SplitMix64};
+
+    fn assert_close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= 1e-9 * y.abs().max(1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn search_endpoints() {
+        let m = CsrMatrix::identity(4);
+        let start = merge_path_search(&m, 0);
+        assert_eq!(start, MergeCoordinate { row: 0, nnz: 0 });
+        let end = merge_path_search(&m, m.rows() + m.nnz());
+        assert_eq!(end.row, 4);
+        assert_eq!(end.nnz, 4);
+    }
+
+    #[test]
+    fn partition_is_monotone_and_covers_everything() {
+        let mut rng = SplitMix64::new(31);
+        let m = generators::skewed_rows(500, 2, 300, 0.02, &mut rng);
+        let parts = merge_path_partition(&m, 37);
+        assert_eq!(parts.len(), 38);
+        assert_eq!(parts[0], MergeCoordinate { row: 0, nnz: 0 });
+        assert_eq!(parts.last().unwrap().row, m.rows());
+        assert_eq!(parts.last().unwrap().nnz, m.nnz());
+        for w in parts.windows(2) {
+            assert!(w[1].row >= w[0].row);
+            assert!(w[1].nnz >= w[0].nnz);
+        }
+    }
+
+    #[test]
+    fn partition_balances_work() {
+        let mut rng = SplitMix64::new(32);
+        let m = generators::power_law(2000, 1.9, 512, &mut rng);
+        let segments = 64;
+        let parts = merge_path_partition(&m, segments);
+        let total = m.rows() + m.nnz();
+        let target = total as f64 / segments as f64;
+        for w in parts.windows(2) {
+            let work = (w[1].row - w[0].row) + (w[1].nnz - w[0].nnz);
+            assert!((work as f64) <= target + 2.0, "segment work {work} exceeds target {target}");
+        }
+    }
+
+    #[test]
+    fn merge_spmv_matches_reference_on_various_segment_counts() {
+        let mut rng = SplitMix64::new(33);
+        let m = generators::skewed_rows(300, 3, 200, 0.03, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 + (i % 11) as f64).collect();
+        let reference = m.spmv(&x);
+        for segments in [1, 2, 7, 64, 1000, 10_000] {
+            let y = spmv_merge_path(&m, &x, segments);
+            assert_close(&y, &reference);
+        }
+    }
+
+    #[test]
+    fn merge_spmv_handles_empty_rows() {
+        let m = CsrMatrix::try_new(4, 4, vec![0, 0, 2, 2, 3], vec![1, 3, 0], vec![1.0, 2.0, 3.0])
+            .unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = spmv_merge_path(&m, &x, 3);
+        assert_close(&y, &m.spmv(&x));
+    }
+
+    #[test]
+    fn merge_spmv_empty_matrix() {
+        let m = CsrMatrix::zeros(0, 0);
+        assert!(spmv_merge_path(&m, &[], 8).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The Oracle selector: exhaustive best-kernel search.
+
+use seer_gpu::{Gpu, SimTime};
+use seer_sparse::CsrMatrix;
+
+use crate::measurement::MatrixBenchmark;
+use crate::registry::KernelId;
+
+/// The kernel the Oracle picked for a matrix, together with its cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleChoice {
+    /// Winning kernel.
+    pub kernel: KernelId,
+    /// Total time of the winning kernel (preprocessing + iterations).
+    pub total: SimTime,
+    /// Per-iteration time of the winning kernel.
+    pub per_iteration: SimTime,
+}
+
+/// An unachievable ideal selector that measures every kernel and picks the
+/// fastest one for each input.
+///
+/// The paper compares every predictor against this Oracle because it bounds
+/// the best any selector could possibly do; its cost in practice would be
+/// running all kernel variants, which is exactly what a runtime selector is
+/// trying to avoid.
+#[derive(Debug, Clone, Copy)]
+pub struct Oracle<'a> {
+    gpu: &'a Gpu,
+}
+
+impl<'a> Oracle<'a> {
+    /// Creates an Oracle bound to a simulated device.
+    pub fn new(gpu: &'a Gpu) -> Self {
+        Self { gpu }
+    }
+
+    /// Benchmarks every kernel on `matrix` and returns the best choice for a
+    /// workload of `iterations` iterations (preprocessing included).
+    pub fn best_kernel(&self, matrix: &CsrMatrix, iterations: usize) -> OracleChoice {
+        let bench = MatrixBenchmark::measure(self.gpu, "oracle", matrix, iterations);
+        let best = bench.fastest();
+        OracleChoice {
+            kernel: best.kernel,
+            total: best.total(),
+            per_iteration: best.per_iteration,
+        }
+    }
+
+    /// Like [`Oracle::best_kernel`] but reusing an existing benchmark, so the
+    /// caller can share measurements with the training pipeline.
+    pub fn best_from_benchmark(bench: &MatrixBenchmark) -> OracleChoice {
+        let best = bench.fastest();
+        OracleChoice {
+            kernel: best.kernel,
+            total: best.total(),
+            per_iteration: best.per_iteration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::{generators, SplitMix64};
+
+    #[test]
+    fn oracle_is_no_worse_than_any_kernel() {
+        let gpu = Gpu::default();
+        let mut rng = SplitMix64::new(101);
+        let m = generators::skewed_rows(5000, 3, 1000, 0.01, &mut rng);
+        let bench = MatrixBenchmark::measure(&gpu, "m", &m, 1);
+        let oracle = Oracle::best_from_benchmark(&bench);
+        for profile in &bench.profiles {
+            assert!(oracle.total <= profile.total());
+        }
+    }
+
+    #[test]
+    fn oracle_choice_differs_across_matrix_shapes() {
+        let gpu = Gpu::default();
+        let oracle = Oracle::new(&gpu);
+        let mut rng = SplitMix64::new(102);
+        let shapes = vec![
+            generators::uniform_row_length(20_000, 4, &mut rng),
+            generators::skewed_rows(20_000, 3, 8000, 0.002, &mut rng),
+            generators::uniform_row_length(400, 6000, &mut rng),
+            generators::banded(30_000, 2, &mut rng),
+        ];
+        let choices: Vec<KernelId> =
+            shapes.iter().map(|m| oracle.best_kernel(m, 1).kernel).collect();
+        let mut distinct = choices.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 2,
+            "expected shape-dependent winners, got {choices:?}"
+        );
+    }
+
+    #[test]
+    fn iteration_count_changes_the_winner_when_preprocessing_amortises() {
+        let gpu = Gpu::default();
+        let oracle = Oracle::new(&gpu);
+        let mut rng = SplitMix64::new(103);
+        let m = generators::skewed_rows(60_000, 4, 5000, 0.003, &mut rng);
+        let single = oracle.best_kernel(&m, 1);
+        let many = oracle.best_kernel(&m, 200);
+        // With many iterations, preprocessing-heavy kernels become viable, so
+        // the per-iteration time of the winner can only improve.
+        assert!(many.per_iteration <= single.per_iteration);
+    }
+}

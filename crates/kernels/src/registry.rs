@@ -1,0 +1,176 @@
+//! Kernel identifiers and the kernel registry.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{
+    CooWavefrontMapped, CsrAdaptive, CsrBlockMapped, CsrMergePath, CsrThreadMapped,
+    CsrWavefrontMapped, CsrWorkOriented, EllThreadMapped, SpmvKernel,
+};
+
+/// Stable identifier of an SpMV kernel variant (the classes of the Seer
+/// classifiers and the columns of the benchmarking CSVs).
+///
+/// The order of [`KernelId::ALL`] matches the x-axis ordering used in Fig. 5
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum KernelId {
+    /// Adaptive-CSR / rocSPARSE (`CSR,A`).
+    CsrAdaptive,
+    /// CSR block-mapped (`CSR,BM`).
+    CsrBlockMapped,
+    /// CSR merge-path with precomputed partition (`CSR,MP`).
+    CsrMergePath,
+    /// CSR wavefront-mapped (`CSR,WM`).
+    CsrWavefrontMapped,
+    /// CSR work-oriented with in-kernel search (`CSR,WO`).
+    CsrWorkOriented,
+    /// CSR thread-mapped (`CSR,TM`).
+    CsrThreadMapped,
+    /// COO wavefront-mapped (`COO,WM`).
+    CooWavefrontMapped,
+    /// ELL thread-mapped (`ELL,TM`).
+    EllThreadMapped,
+}
+
+impl KernelId {
+    /// Every kernel variant, in the paper's presentation order.
+    pub const ALL: [KernelId; 8] = [
+        KernelId::CsrAdaptive,
+        KernelId::CsrBlockMapped,
+        KernelId::CsrMergePath,
+        KernelId::CsrWavefrontMapped,
+        KernelId::CsrWorkOriented,
+        KernelId::CsrThreadMapped,
+        KernelId::CooWavefrontMapped,
+        KernelId::EllThreadMapped,
+    ];
+
+    /// The label used in the paper's figures, e.g. `CSR,TM`.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelId::CsrAdaptive => "CSR,A",
+            KernelId::CsrBlockMapped => "CSR,BM",
+            KernelId::CsrMergePath => "CSR,MP",
+            KernelId::CsrWavefrontMapped => "CSR,WM",
+            KernelId::CsrWorkOriented => "CSR,WO",
+            KernelId::CsrThreadMapped => "CSR,TM",
+            KernelId::CooWavefrontMapped => "COO,WM",
+            KernelId::EllThreadMapped => "ELL,TM",
+        }
+    }
+
+    /// Index of this kernel in [`KernelId::ALL`] (the class index used by the
+    /// decision-tree classifiers).
+    pub fn class_index(self) -> usize {
+        KernelId::ALL.iter().position(|&k| k == self).expect("ALL contains every variant")
+    }
+
+    /// Reconstructs a kernel identifier from its class index.
+    ///
+    /// Returns `None` if the index is out of range.
+    pub fn from_class_index(index: usize) -> Option<KernelId> {
+        KernelId::ALL.get(index).copied()
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown kernel label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKernelIdError {
+    label: String,
+}
+
+impl fmt::Display for ParseKernelIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown kernel label '{}'", self.label)
+    }
+}
+
+impl std::error::Error for ParseKernelIdError {}
+
+impl FromStr for KernelId {
+    type Err = ParseKernelIdError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelId::ALL
+            .iter()
+            .copied()
+            .find(|k| k.label().eq_ignore_ascii_case(s.trim()))
+            .ok_or_else(|| ParseKernelIdError { label: s.to_string() })
+    }
+}
+
+/// Instantiates the kernel implementation behind an identifier.
+pub fn kernel_for(id: KernelId) -> Box<dyn SpmvKernel> {
+    match id {
+        KernelId::CsrAdaptive => Box::new(CsrAdaptive::new()),
+        KernelId::CsrBlockMapped => Box::new(CsrBlockMapped::new()),
+        KernelId::CsrMergePath => Box::new(CsrMergePath::new()),
+        KernelId::CsrWavefrontMapped => Box::new(CsrWavefrontMapped::new()),
+        KernelId::CsrWorkOriented => Box::new(CsrWorkOriented::new()),
+        KernelId::CsrThreadMapped => Box::new(CsrThreadMapped::new()),
+        KernelId::CooWavefrontMapped => Box::new(CooWavefrontMapped::new()),
+        KernelId::EllThreadMapped => Box::new(EllThreadMapped::new()),
+    }
+}
+
+/// Instantiates every kernel variant, in [`KernelId::ALL`] order.
+pub fn all_kernels() -> Vec<Box<dyn SpmvKernel>> {
+    KernelId::ALL.iter().map(|&id| kernel_for(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_eight_distinct_kernels() {
+        assert_eq!(KernelId::ALL.len(), 8);
+        let mut labels: Vec<_> = KernelId::ALL.iter().map(|k| k.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn class_index_round_trips() {
+        for id in KernelId::ALL {
+            assert_eq!(KernelId::from_class_index(id.class_index()), Some(id));
+        }
+        assert_eq!(KernelId::from_class_index(99), None);
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for id in KernelId::ALL {
+            assert_eq!(id.label().parse::<KernelId>().unwrap(), id);
+        }
+        assert_eq!("csr,tm".parse::<KernelId>().unwrap(), KernelId::CsrThreadMapped);
+        assert!("CSR,XYZ".parse::<KernelId>().is_err());
+    }
+
+    #[test]
+    fn registry_instantiates_matching_ids() {
+        for id in KernelId::ALL {
+            assert_eq!(kernel_for(id).id(), id);
+        }
+        let kernels = all_kernels();
+        assert_eq!(kernels.len(), KernelId::ALL.len());
+        for (kernel, id) in kernels.iter().zip(KernelId::ALL) {
+            assert_eq!(kernel.id(), id);
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_labels() {
+        assert_eq!(KernelId::CsrAdaptive.to_string(), "CSR,A");
+        assert_eq!(KernelId::EllThreadMapped.to_string(), "ELL,TM");
+    }
+}

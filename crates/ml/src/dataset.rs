@@ -1,0 +1,262 @@
+//! Labelled feature matrices and train/test splitting.
+
+use crate::MlError;
+
+/// A labelled classification dataset: one feature vector and one integer
+/// class label per sample.
+///
+/// Samples correspond to matrices of the representative dataset, features to
+/// the known or gathered statistics, and labels to the index of the fastest
+/// kernel (see `seer-core` for how the tables are assembled).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset after validating shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] when there are no samples and
+    /// [`MlError::ShapeMismatch`] when rows have inconsistent lengths or the
+    /// label count differs from the sample count.
+    pub fn new(
+        feature_names: Vec<String>,
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+    ) -> Result<Self, MlError> {
+        if features.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if features.len() != labels.len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!("{} feature rows but {} labels", features.len(), labels.len()),
+            });
+        }
+        let width = feature_names.len();
+        for (i, row) in features.iter().enumerate() {
+            if row.len() != width {
+                return Err(MlError::ShapeMismatch {
+                    reason: format!(
+                        "row {i} has {} features but {width} names were given",
+                        row.len()
+                    ),
+                });
+            }
+        }
+        let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        Ok(Self { feature_names, features, labels, num_classes })
+    }
+
+    /// Builds a dataset declaring `num_classes` explicitly (useful when some
+    /// classes are absent from the sample).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Dataset::new`], plus a [`MlError::ShapeMismatch`] if a label
+    /// is `>= num_classes`.
+    pub fn with_classes(
+        feature_names: Vec<String>,
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, MlError> {
+        let mut dataset = Self::new(feature_names, features, labels)?;
+        if dataset.num_classes > num_classes {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "labels reference class {} but only {num_classes} classes were declared",
+                    dataset.num_classes - 1
+                ),
+            });
+        }
+        dataset.num_classes = num_classes;
+        Ok(dataset)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no samples (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn num_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes (max label + 1, or the declared count).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature names, in column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The feature matrix, one row per sample.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Returns `(features, label)` of sample `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn sample(&self, index: usize) -> (&[f64], usize) {
+        (&self.features[index], self.labels[index])
+    }
+
+    /// Builds a new dataset from a subset of sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits the dataset into train and test partitions.
+    ///
+    /// `train_fraction` is clamped to `[0, 1]`; the paper uses 0.8. The split
+    /// is a deterministic pseudo-random permutation derived from `seed`, so
+    /// the same seed always yields the same partition.
+    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> TrainTestSplit {
+        let n = self.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with an inline SplitMix64 so this crate stays dependency-free.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            indices.swap(i, j);
+        }
+        let train_len =
+            ((n as f64) * train_fraction.clamp(0.0, 1.0)).round().min(n as f64) as usize;
+        let (train_idx, test_idx) = indices.split_at(train_len);
+        TrainTestSplit { train: self.subset(train_idx), test: self.subset(test_idx) }
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &label in &self.labels {
+            counts[label] += 1;
+        }
+        counts
+    }
+}
+
+/// The result of [`Dataset::train_test_split`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainTestSplit {
+    /// The training partition.
+    pub train: Dataset,
+    /// The held-out test partition.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        Dataset::new(vec!["a".into(), "b".into()], features, labels).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy(12);
+        assert_eq!(d.len(), 12);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.sample(3), (&[3.0, 9.0][..], 0));
+        assert_eq!(d.class_counts(), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert_eq!(
+            Dataset::new(vec!["a".into()], vec![], vec![]).unwrap_err(),
+            MlError::EmptyDataset
+        );
+        assert!(Dataset::new(vec!["a".into()], vec![vec![1.0]], vec![0, 1]).is_err());
+        assert!(Dataset::new(vec!["a".into()], vec![vec![1.0, 2.0]], vec![0]).is_err());
+    }
+
+    #[test]
+    fn with_classes_validates_labels() {
+        let features = vec![vec![1.0], vec![2.0]];
+        assert!(Dataset::with_classes(vec!["a".into()], features.clone(), vec![0, 5], 3).is_err());
+        let d = Dataset::with_classes(vec!["a".into()], features, vec![0, 1], 8).unwrap();
+        assert_eq!(d.num_classes(), 8);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_disjoint() {
+        let d = toy(100);
+        let a = d.train_test_split(0.8, 42);
+        let b = d.train_test_split(0.8, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.train.len(), 80);
+        assert_eq!(a.test.len(), 20);
+        let c = d.train_test_split(0.8, 43);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn split_preserves_total_samples() {
+        let d = toy(37);
+        let split = d.train_test_split(0.8, 7);
+        assert_eq!(split.train.len() + split.test.len(), 37);
+    }
+
+    #[test]
+    fn subset_selects_requested_rows() {
+        let d = toy(10);
+        let s = d.subset(&[1, 4, 7]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.sample(1).0, &[4.0, 16.0]);
+        assert_eq!(s.num_classes(), 3);
+    }
+
+    #[test]
+    fn extreme_split_fractions() {
+        let d = toy(10);
+        let all_train = d.train_test_split(1.0, 1);
+        assert_eq!(all_train.train.len(), 10);
+        assert_eq!(all_train.test.len(), 0);
+        let all_test = d.train_test_split(0.0, 1);
+        assert_eq!(all_test.train.len(), 0);
+        assert_eq!(all_test.test.len(), 10);
+    }
+}

@@ -1,0 +1,469 @@
+//! CART decision-tree classifier with Gini impurity.
+
+use crate::{Dataset, MlError};
+
+/// Hyperparameters of the decision-tree classifier.
+///
+/// Mirrors the regularisation policy described in the paper: an explicit
+/// maximum depth to stop branches from splitting to zero impurity, and no
+/// hyperparameter tuning against the test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionTreeParams {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples a node must hold to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum number of samples each child of a split must receive.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_split: 2, min_samples_leaf: 1 }
+    }
+}
+
+/// A node of the trained tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Internal node: samples with `feature < threshold` go left, others right.
+    Split {
+        /// Index of the feature tested.
+        feature: usize,
+        /// Threshold compared against.
+        threshold: f64,
+        /// Subtree for `feature < threshold`.
+        left: Box<TreeNode>,
+        /// Subtree for `feature >= threshold`.
+        right: Box<TreeNode>,
+    },
+    /// Leaf node: predicts `class`.
+    Leaf {
+        /// Predicted class index.
+        class: usize,
+        /// Number of training samples of each class that reached this leaf.
+        class_counts: Vec<usize>,
+    },
+}
+
+/// A CART decision-tree classifier trained with Gini impurity.
+///
+/// The inference path is a chain of `if feature < threshold` comparisons —
+/// "effectively a number of nested if-else statements", as the paper puts it —
+/// so prediction cost is negligible next to any GPU kernel, and the trained
+/// weights can be dumped as a C++ header (see [`crate::export`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: TreeNode,
+    num_features: usize,
+    num_classes: usize,
+    feature_names: Vec<String>,
+    params: DecisionTreeParams,
+}
+
+impl DecisionTree {
+    /// Trains a tree on `dataset` with the given hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] if the dataset has no samples.
+    pub fn fit(dataset: &Dataset, params: &DecisionTreeParams) -> Result<Self, MlError> {
+        if dataset.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        let root = build_node(dataset, &indices, params, 0);
+        Ok(Self {
+            root,
+            num_features: dataset.num_features(),
+            num_classes: dataset.num_classes(),
+            feature_names: dataset.feature_names().to_vec(),
+            params: *params,
+        })
+    }
+
+    /// Predicts the class of a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training feature count.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(
+            features.len(),
+            self.num_features,
+            "feature vector length must match training data"
+        );
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { class, .. } => return *class,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] < *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Checked variant of [`DecisionTree::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureLengthMismatch`] on a wrong-length input.
+    pub fn try_predict(&self, features: &[f64]) -> Result<usize, MlError> {
+        if features.len() != self.num_features {
+            return Err(MlError::FeatureLengthMismatch {
+                expected: self.num_features,
+                found: features.len(),
+            });
+        }
+        Ok(self.predict(features))
+    }
+
+    /// Predicts classes for a batch of feature vectors.
+    pub fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+
+    /// Fraction of `dataset` classified correctly.
+    pub fn accuracy(&self, dataset: &Dataset) -> f64 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        let correct = dataset
+            .features()
+            .iter()
+            .zip(dataset.labels())
+            .filter(|(f, &label)| self.predict(f) == label)
+            .count();
+        correct as f64 / dataset.len() as f64
+    }
+
+    /// The root node of the trained tree.
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// Number of features the tree was trained on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of classes the tree can predict.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature names recorded at training time.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Hyperparameters used for training.
+    pub fn params(&self) -> &DecisionTreeParams {
+        &self.params
+    }
+
+    /// Depth of the trained tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(&self.root)
+    }
+
+    /// Total number of nodes (splits plus leaves).
+    pub fn node_count(&self) -> usize {
+        fn count(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// How often each feature is used in a split; a crude importance measure
+    /// that supports the explainability discussion in the paper.
+    pub fn feature_split_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_features];
+        fn walk(node: &TreeNode, counts: &mut [usize]) {
+            if let TreeNode::Split { feature, left, right, .. } = node {
+                counts[*feature] += 1;
+                walk(left, counts);
+                walk(right, counts);
+            }
+        }
+        walk(&self.root, &mut counts);
+        counts
+    }
+
+    /// Number of comparisons performed to classify `features`: the cost of an
+    /// inference, measured in if-else evaluations.
+    pub fn decision_path_length(&self, features: &[f64]) -> usize {
+        let mut node = &self.root;
+        let mut steps = 0;
+        loop {
+            match node {
+                TreeNode::Leaf { .. } => return steps,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    steps += 1;
+                    node = if features[*feature] < *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+/// Gini impurity of a class-count histogram.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / total).powi(2)).sum::<f64>()
+}
+
+fn class_counts(dataset: &Dataset, indices: &[usize]) -> Vec<usize> {
+    let mut counts = vec![0usize; dataset.num_classes()];
+    for &i in indices {
+        counts[dataset.labels()[i]] += 1;
+    }
+    counts
+}
+
+fn majority_class(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(class, _)| class)
+        .unwrap_or(0)
+}
+
+fn build_node(
+    dataset: &Dataset,
+    indices: &[usize],
+    params: &DecisionTreeParams,
+    depth: usize,
+) -> TreeNode {
+    let counts = class_counts(dataset, indices);
+    let node_impurity = gini(&counts, indices.len());
+    let leaf = TreeNode::Leaf { class: majority_class(&counts), class_counts: counts.clone() };
+
+    if depth >= params.max_depth
+        || indices.len() < params.min_samples_split
+        || node_impurity == 0.0
+    {
+        return leaf;
+    }
+
+    let Some((feature, threshold)) = best_split(dataset, indices, params) else {
+        return leaf;
+    };
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| dataset.features()[i][feature] < threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return leaf;
+    }
+    TreeNode::Split {
+        feature,
+        threshold,
+        left: Box::new(build_node(dataset, &left_idx, params, depth + 1)),
+        right: Box::new(build_node(dataset, &right_idx, params, depth + 1)),
+    }
+}
+
+/// Finds the `(feature, threshold)` pair minimising the weighted Gini impurity
+/// of the two children, or `None` if no split improves on the parent.
+fn best_split(
+    dataset: &Dataset,
+    indices: &[usize],
+    params: &DecisionTreeParams,
+) -> Option<(usize, f64)> {
+    let parent_counts = class_counts(dataset, indices);
+    let parent_gini = gini(&parent_counts, indices.len());
+    let n = indices.len() as f64;
+    let num_classes = dataset.num_classes();
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+    for feature in 0..dataset.num_features() {
+        // Sort samples by this feature and sweep candidate thresholds.
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            dataset.features()[a][feature]
+                .partial_cmp(&dataset.features()[b][feature])
+                .expect("features are finite")
+        });
+        let mut left_counts = vec![0usize; num_classes];
+        let mut right_counts = parent_counts.clone();
+        for split_at in 1..order.len() {
+            let moved = order[split_at - 1];
+            left_counts[dataset.labels()[moved]] += 1;
+            right_counts[dataset.labels()[moved]] -= 1;
+            let prev_value = dataset.features()[order[split_at - 1]][feature];
+            let this_value = dataset.features()[order[split_at]][feature];
+            if prev_value == this_value {
+                continue;
+            }
+            if split_at < params.min_samples_leaf
+                || order.len() - split_at < params.min_samples_leaf
+            {
+                continue;
+            }
+            let threshold = (prev_value + this_value) / 2.0;
+            let left_gini = gini(&left_counts, split_at);
+            let right_gini = gini(&right_counts, order.len() - split_at);
+            let weighted = (split_at as f64 / n) * left_gini
+                + ((order.len() - split_at) as f64 / n) * right_gini;
+            if weighted + 1e-12 < best.map_or(parent_gini, |(_, _, b)| b) {
+                best = Some((feature, threshold, weighted));
+            }
+        }
+    }
+    best.map(|(feature, threshold, _)| (feature, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Dataset {
+        let names = (0..features[0].len()).map(|i| format!("f{i}")).collect();
+        Dataset::new(names, features, labels).unwrap()
+    }
+
+    #[test]
+    fn gini_impurity_values() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert!((gini(&[1, 1, 1, 1], 4) - 0.75).abs() < 1e-12);
+        assert_eq!(gini(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn learns_axis_aligned_boundary() {
+        let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let labels: Vec<usize> = (0..200).map(|i| usize::from(i >= 120)).collect();
+        let d = dataset_from(features, labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        assert_eq!(tree.predict(&[0.1]), 0);
+        assert_eq!(tree.predict(&[0.9]), 1);
+        assert!((tree.accuracy(&d) - 1.0).abs() < 1e-12);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn learns_xor_with_enough_depth() {
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = i as f64 / 20.0;
+                let y = j as f64 / 20.0;
+                features.push(vec![x, y]);
+                labels.push(usize::from((x > 0.5) ^ (y > 0.5)));
+            }
+        }
+        let d = dataset_from(features, labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        assert!(tree.accuracy(&d) > 0.98);
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn max_depth_caps_the_tree() {
+        let features: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..256).map(|i| (i / 16) % 2).collect();
+        let d = dataset_from(features, labels);
+        let shallow =
+            DecisionTree::fit(&d, &DecisionTreeParams { max_depth: 2, ..Default::default() })
+                .unwrap();
+        let deep =
+            DecisionTree::fit(&d, &DecisionTreeParams { max_depth: 10, ..Default::default() })
+                .unwrap();
+        assert!(shallow.depth() <= 2);
+        assert!(deep.accuracy(&d) > shallow.accuracy(&d));
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let d = dataset_from(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1]);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let features: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let d = dataset_from(features, labels);
+        let tree = DecisionTree::fit(
+            &d,
+            &DecisionTreeParams { min_samples_leaf: 3, ..Default::default() },
+        )
+        .unwrap();
+        // No leaf may end up with fewer than three training samples.
+        fn check_leaves(node: &TreeNode) {
+            match node {
+                TreeNode::Leaf { class_counts, .. } => {
+                    assert!(class_counts.iter().sum::<usize>() >= 3);
+                }
+                TreeNode::Split { left, right, .. } => {
+                    check_leaves(left);
+                    check_leaves(right);
+                }
+            }
+        }
+        check_leaves(tree.root());
+    }
+
+    #[test]
+    fn try_predict_validates_length() {
+        let d = dataset_from(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![0, 1]);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        assert!(tree.try_predict(&[1.0]).is_err());
+        assert!(tree.try_predict(&[1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn feature_split_counts_identify_informative_feature() {
+        // Only feature 1 is informative.
+        let features: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 7) as f64, i as f64]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
+        let d = dataset_from(features, labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        let counts = tree.feature_split_counts();
+        assert!(counts[1] >= 1);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn decision_path_length_bounded_by_depth() {
+        let features: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| i % 4).collect();
+        let d = dataset_from(features, labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        for i in 0..64 {
+            assert!(tree.decision_path_length(&[i as f64]) <= tree.depth());
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_individual_predictions() {
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let labels: Vec<usize> = (0..50).map(|i| usize::from(i % 5 == 0)).collect();
+        let d = dataset_from(features.clone(), labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        let batch = tree.predict_batch(&features);
+        for (i, f) in features.iter().enumerate() {
+            assert_eq!(batch[i], tree.predict(f));
+        }
+    }
+}

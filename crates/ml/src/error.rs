@@ -1,0 +1,64 @@
+//! Error type for model construction and training.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling datasets or training models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The dataset is empty or otherwise unusable for training.
+    EmptyDataset,
+    /// Feature rows have inconsistent lengths, or labels and features differ in count.
+    ShapeMismatch {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A model received a feature vector whose length does not match training.
+    FeatureLengthMismatch {
+        /// Number of features the model was trained with.
+        expected: usize,
+        /// Number of features provided at prediction time.
+        found: usize,
+    },
+    /// A numerical routine failed (e.g. a singular system in least squares).
+    Numerical {
+        /// Description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyDataset => write!(f, "dataset contains no samples"),
+            MlError::ShapeMismatch { reason } => write!(f, "shape mismatch: {reason}"),
+            MlError::FeatureLengthMismatch { expected, found } => write!(
+                f,
+                "feature vector has {found} entries but the model expects {expected}"
+            ),
+            MlError::Numerical { reason } => write!(f, "numerical failure: {reason}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::EmptyDataset.to_string().contains("no samples"));
+        let err = MlError::FeatureLengthMismatch { expected: 6, found: 3 };
+        assert!(err.to_string().contains('6'));
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

@@ -1,0 +1,305 @@
+//! Gradient-boosted regression stumps, the second rejected baseline.
+//!
+//! The paper mentions evaluating "gradient boosting based methods" that
+//! predict runtimes quantitatively before settling on a classifier. This is a
+//! compact reimplementation: least-squares gradient boosting over depth-1
+//! regression trees (stumps), one model per output, used to predict each
+//! kernel's runtime and pick the argmin.
+
+use crate::MlError;
+
+/// Hyperparameters for [`GradientBoosting`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradientBoostingParams {
+    /// Number of boosting rounds (stumps) per output.
+    pub rounds: usize,
+    /// Shrinkage applied to each stump's contribution.
+    pub learning_rate: f64,
+}
+
+impl Default for GradientBoostingParams {
+    fn default() -> Self {
+        Self { rounds: 100, learning_rate: 0.1 }
+    }
+}
+
+/// A single regression stump: one split, two constant predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Stump {
+    feature: usize,
+    threshold: f64,
+    left_value: f64,
+    right_value: f64,
+}
+
+impl Stump {
+    fn predict(&self, features: &[f64]) -> f64 {
+        if features[self.feature] < self.threshold {
+            self.left_value
+        } else {
+            self.right_value
+        }
+    }
+}
+
+/// One boosted-ensemble regressor per output dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientBoosting {
+    base: Vec<f64>,
+    stumps: Vec<Vec<Stump>>,
+    learning_rate: f64,
+    num_features: usize,
+}
+
+impl GradientBoosting {
+    /// Fits boosted stumps to multi-output regression targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] with no samples and
+    /// [`MlError::ShapeMismatch`] on inconsistent rows.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        params: &GradientBoostingParams,
+    ) -> Result<Self, MlError> {
+        if features.is_empty() || targets.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if features.len() != targets.len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!(
+                    "{} feature rows but {} target rows",
+                    features.len(),
+                    targets.len()
+                ),
+            });
+        }
+        let num_features = features[0].len();
+        let num_outputs = targets[0].len();
+        if features.iter().any(|r| r.len() != num_features) {
+            return Err(MlError::ShapeMismatch {
+                reason: "feature rows have inconsistent lengths".to_string(),
+            });
+        }
+        if targets.iter().any(|r| r.len() != num_outputs) {
+            return Err(MlError::ShapeMismatch {
+                reason: "target rows have inconsistent lengths".to_string(),
+            });
+        }
+
+        let n = features.len() as f64;
+        let mut base = vec![0.0; num_outputs];
+        for target in targets {
+            for (k, &t) in target.iter().enumerate() {
+                base[k] += t / n;
+            }
+        }
+
+        let mut stumps = vec![Vec::new(); num_outputs];
+        for output in 0..num_outputs {
+            let mut predictions: Vec<f64> = vec![base[output]; features.len()];
+            for _ in 0..params.rounds {
+                let residuals: Vec<f64> = targets
+                    .iter()
+                    .zip(&predictions)
+                    .map(|(t, p)| t[output] - p)
+                    .collect();
+                let Some(stump) = fit_stump(features, &residuals) else {
+                    break;
+                };
+                for (pred, row) in predictions.iter_mut().zip(features) {
+                    *pred += params.learning_rate * stump.predict(row);
+                }
+                stumps[output].push(Stump {
+                    left_value: stump.left_value * params.learning_rate,
+                    right_value: stump.right_value * params.learning_rate,
+                    ..stump
+                });
+            }
+        }
+        Ok(Self { base, stumps, learning_rate: params.learning_rate, num_features })
+    }
+
+    /// Predicts the target vector for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureLengthMismatch`] on a wrong-length input.
+    pub fn predict(&self, features: &[f64]) -> Result<Vec<f64>, MlError> {
+        if features.len() != self.num_features {
+            return Err(MlError::FeatureLengthMismatch {
+                expected: self.num_features,
+                found: features.len(),
+            });
+        }
+        Ok(self
+            .base
+            .iter()
+            .zip(&self.stumps)
+            .map(|(&b, ensemble)| {
+                b + ensemble.iter().map(|s| s.predict(features)).sum::<f64>()
+            })
+            .collect())
+    }
+
+    /// Predicts the index of the smallest output.
+    ///
+    /// # Errors
+    ///
+    /// See [`GradientBoosting::predict`].
+    pub fn predict_argmin(&self, features: &[f64]) -> Result<usize, MlError> {
+        let outputs = self.predict(features)?;
+        Ok(outputs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Number of boosting rounds actually fitted for the first output.
+    pub fn rounds(&self) -> usize {
+        self.stumps.first().map_or(0, Vec::len)
+    }
+
+    /// The shrinkage factor the ensemble was trained with.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+/// Fits the least-squares-optimal stump to the residuals, or `None` if no
+/// split reduces the error (e.g. constant features).
+fn fit_stump(features: &[Vec<f64>], residuals: &[f64]) -> Option<Stump> {
+    let num_features = features[0].len();
+    let mut best: Option<(f64, Stump)> = None;
+    for feature in 0..num_features {
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        order.sort_by(|&a, &b| {
+            features[a][feature].partial_cmp(&features[b][feature]).expect("finite features")
+        });
+        let total_sum: f64 = residuals.iter().sum();
+        let total_count = residuals.len() as f64;
+        let mut left_sum = 0.0;
+        let mut left_count = 0.0;
+        for split_at in 1..order.len() {
+            let moved = order[split_at - 1];
+            left_sum += residuals[moved];
+            left_count += 1.0;
+            let prev = features[order[split_at - 1]][feature];
+            let this = features[order[split_at]][feature];
+            if prev == this {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_count = total_count - left_count;
+            let left_mean = left_sum / left_count;
+            let right_mean = right_sum / right_count;
+            // Maximising the variance reduction is equivalent to maximising
+            // left_sum^2/left_count + right_sum^2/right_count.
+            let score = left_sum * left_mean + right_sum * right_mean;
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((
+                    score,
+                    Stump {
+                        feature,
+                        threshold: (prev + this) / 2.0,
+                        left_value: left_mean,
+                        right_value: right_mean,
+                    },
+                ));
+            }
+        }
+    }
+    best.map(|(_, stump)| stump)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function() {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let targets: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![if i < 60 { 1.0 } else { 5.0 }]).collect();
+        let model =
+            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
+                .unwrap();
+        assert!((model.predict(&[10.0]).unwrap()[0] - 1.0).abs() < 0.2);
+        assert!((model.predict(&[90.0]).unwrap()[0] - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn approximates_smooth_function_better_with_more_rounds() {
+        let features: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0]).collect();
+        let targets: Vec<Vec<f64>> = features.iter().map(|f| vec![(f[0] * 6.0).sin()]).collect();
+        let weak = GradientBoosting::fit(
+            &features,
+            &targets,
+            &GradientBoostingParams { rounds: 5, learning_rate: 0.3 },
+        )
+        .unwrap();
+        let strong = GradientBoosting::fit(
+            &features,
+            &targets,
+            &GradientBoostingParams { rounds: 200, learning_rate: 0.3 },
+        )
+        .unwrap();
+        let mse = |model: &GradientBoosting| -> f64 {
+            features
+                .iter()
+                .zip(&targets)
+                .map(|(f, t)| (model.predict(f).unwrap()[0] - t[0]).powi(2))
+                .sum::<f64>()
+                / features.len() as f64
+        };
+        assert!(mse(&strong) < mse(&weak));
+    }
+
+    #[test]
+    fn argmin_picks_fastest_output() {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let targets: Vec<Vec<f64>> =
+            features.iter().map(|f| vec![f[0] + 10.0, 100.0 - f[0]]).collect();
+        let model =
+            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
+                .unwrap();
+        assert_eq!(model.predict_argmin(&[5.0]).unwrap(), 0);
+        assert_eq!(model.predict_argmin(&[95.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn constant_features_produce_constant_model() {
+        let features = vec![vec![1.0]; 10];
+        let targets: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let model =
+            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
+                .unwrap();
+        assert_eq!(model.rounds(), 0);
+        assert!((model.predict(&[1.0]).unwrap()[0] - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(GradientBoosting::fit(&[], &[], &GradientBoostingParams::default()).is_err());
+        assert!(GradientBoosting::fit(
+            &[vec![1.0]],
+            &[vec![1.0], vec![2.0]],
+            &GradientBoostingParams::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn predict_validates_feature_length() {
+        let model = GradientBoosting::fit(
+            &[vec![1.0], vec![2.0]],
+            &[vec![1.0], vec![2.0]],
+            &GradientBoostingParams::default(),
+        )
+        .unwrap();
+        assert!(model.predict(&[1.0, 2.0]).is_err());
+    }
+}

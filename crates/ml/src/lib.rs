@@ -1,0 +1,52 @@
+//! Machine-learning components of the Seer reproduction.
+//!
+//! The paper trains its kernel-selection predictors with scikit-learn's CART
+//! decision tree (Gini impurity, capped depth, no hyperparameter tuning on
+//! the test set) and exports them as C++ headers. This crate reimplements
+//! that stack from scratch:
+//!
+//! * [`Dataset`] — a labelled feature matrix with deterministic train/test
+//!   splitting (the paper uses an 80/20 split),
+//! * [`DecisionTree`] — CART with Gini impurity and a maximum-depth cap,
+//! * [`LinearRegression`] and [`GradientBoosting`] — the quantitative
+//!   (runtime-predicting) baselines the paper reports rejecting in its design
+//!   discussion,
+//! * [`metrics`] — accuracy, confusion matrices, geometric means and the
+//!   Kendall rank correlation used in Table III,
+//! * [`export`] — C++-header and Rust-source code generation for trained
+//!   trees, matching the Seer API's deliverable.
+//!
+//! # Example
+//!
+//! ```
+//! use seer_ml::{Dataset, DecisionTree, DecisionTreeParams};
+//!
+//! # fn main() -> Result<(), seer_ml::MlError> {
+//! // Tiny toy problem: class = whether the first feature exceeds 0.5.
+//! let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0, 1.0]).collect();
+//! let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
+//! let dataset = Dataset::new(vec!["x".into(), "bias".into()], features, labels)?;
+//! let tree = DecisionTree::fit(&dataset, &DecisionTreeParams::default())?;
+//! assert_eq!(tree.predict(&[0.9, 1.0]), 1);
+//! assert_eq!(tree.predict(&[0.1, 1.0]), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod decision_tree;
+mod error;
+mod gradient_boosting;
+mod linear_regression;
+
+pub mod export;
+pub mod metrics;
+
+pub use dataset::{Dataset, TrainTestSplit};
+pub use decision_tree::{DecisionTree, DecisionTreeParams, TreeNode};
+pub use error::MlError;
+pub use gradient_boosting::{GradientBoosting, GradientBoostingParams};
+pub use linear_regression::LinearRegression;

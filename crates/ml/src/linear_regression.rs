@@ -1,0 +1,233 @@
+//! Multi-output ridge regression, one of the rejected baseline models.
+//!
+//! The paper's design-decision section explains that quantitative (runtime-
+//! predicting) models such as linear regression "required significantly more
+//! information to make an accurate inference and were unable to capture the
+//! relationship between the data and a kernel's runtime". This implementation
+//! exists so that comparison can be reproduced: it predicts a runtime per
+//! kernel and selects the argmin.
+
+use crate::MlError;
+
+/// Multi-output linear (ridge) regression fitted by the normal equations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// `weights[output][feature]`, with the bias stored in the last column.
+    weights: Vec<Vec<f64>>,
+    num_features: usize,
+}
+
+impl LinearRegression {
+    /// Fits a ridge-regularised least-squares model.
+    ///
+    /// `targets[i]` holds the target vector (e.g. per-kernel runtimes) of
+    /// sample `i`. `ridge` is the L2 regularisation strength; a small positive
+    /// value keeps the normal equations well conditioned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] with no samples,
+    /// [`MlError::ShapeMismatch`] on inconsistent rows, and
+    /// [`MlError::Numerical`] if the system is singular.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        ridge: f64,
+    ) -> Result<Self, MlError> {
+        if features.is_empty() || targets.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if features.len() != targets.len() {
+            return Err(MlError::ShapeMismatch {
+                reason: format!("{} feature rows but {} target rows", features.len(), targets.len()),
+            });
+        }
+        let num_features = features[0].len();
+        let num_outputs = targets[0].len();
+        for row in features {
+            if row.len() != num_features {
+                return Err(MlError::ShapeMismatch {
+                    reason: "feature rows have inconsistent lengths".to_string(),
+                });
+            }
+        }
+        for row in targets {
+            if row.len() != num_outputs {
+                return Err(MlError::ShapeMismatch {
+                    reason: "target rows have inconsistent lengths".to_string(),
+                });
+            }
+        }
+        // Augment with a bias column: d = num_features + 1.
+        let d = num_features + 1;
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![vec![0.0f64; num_outputs]; d];
+        for (row, target) in features.iter().zip(targets) {
+            let augmented: Vec<f64> = row.iter().copied().chain(std::iter::once(1.0)).collect();
+            for i in 0..d {
+                for j in 0..d {
+                    xtx[i][j] += augmented[i] * augmented[j];
+                }
+                for (k, &t) in target.iter().enumerate() {
+                    xty[i][k] += augmented[i] * t;
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate().take(d) {
+            row[i] += ridge.max(0.0);
+        }
+        let solution = solve_multi(xtx, xty)?;
+        // solution is d x num_outputs; transpose into per-output weight rows.
+        let weights = (0..num_outputs)
+            .map(|k| (0..d).map(|i| solution[i][k]).collect())
+            .collect();
+        Ok(Self { weights, num_features })
+    }
+
+    /// Predicts the target vector for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::FeatureLengthMismatch`] on a wrong-length input.
+    pub fn predict(&self, features: &[f64]) -> Result<Vec<f64>, MlError> {
+        if features.len() != self.num_features {
+            return Err(MlError::FeatureLengthMismatch {
+                expected: self.num_features,
+                found: features.len(),
+            });
+        }
+        Ok(self
+            .weights
+            .iter()
+            .map(|w| {
+                let dot: f64 = w[..self.num_features]
+                    .iter()
+                    .zip(features)
+                    .map(|(wi, xi)| wi * xi)
+                    .sum();
+                dot + w[self.num_features]
+            })
+            .collect())
+    }
+
+    /// Predicts the index of the smallest output (the "fastest kernel" when
+    /// outputs are runtimes).
+    ///
+    /// # Errors
+    ///
+    /// See [`LinearRegression::predict`].
+    pub fn predict_argmin(&self, features: &[f64]) -> Result<usize, MlError> {
+        let outputs = self.predict(features)?;
+        Ok(outputs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Number of output targets.
+    pub fn num_outputs(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Solves `A * X = B` for X by Gaussian elimination with partial pivoting,
+/// where B has multiple right-hand-side columns.
+fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MlError> {
+    let n = a.len();
+    let outputs = b[0].len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(MlError::Numerical { reason: "singular normal equations".to_string() });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            for k in 0..outputs {
+                b[row][k] -= factor * b[col][k];
+            }
+        }
+    }
+    for col in 0..n {
+        let pivot = a[col][col];
+        for k in 0..outputs {
+            b[col][k] /= pivot;
+        }
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y0 = 2x0 + 3x1 + 1 ; y1 = -x0 + 4
+        let features: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let targets: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| vec![2.0 * f[0] + 3.0 * f[1] + 1.0, -f[0] + 4.0])
+            .collect();
+        let model = LinearRegression::fit(&features, &targets, 1e-9).unwrap();
+        let pred = model.predict(&[10.0, 5.0]).unwrap();
+        assert!((pred[0] - 36.0).abs() < 1e-6);
+        assert!((pred[1] + 6.0).abs() < 1e-6);
+        assert_eq!(model.num_outputs(), 2);
+    }
+
+    #[test]
+    fn argmin_selects_smallest_output() {
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        // Output 0 grows, output 1 shrinks: argmin flips at x = 10.
+        let targets: Vec<Vec<f64>> =
+            features.iter().map(|f| vec![f[0], 20.0 - f[0]]).collect();
+        let model = LinearRegression::fit(&features, &targets, 1e-9).unwrap();
+        assert_eq!(model.predict_argmin(&[2.0]).unwrap(), 0);
+        assert_eq!(model.predict_argmin(&[18.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(LinearRegression::fit(&[], &[], 0.0).is_err());
+        assert!(LinearRegression::fit(&[vec![1.0]], &[vec![1.0], vec![2.0]], 0.0).is_err());
+        assert!(
+            LinearRegression::fit(&[vec![1.0], vec![1.0, 2.0]], &[vec![1.0], vec![1.0]], 0.0)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn predict_validates_feature_length() {
+        let model =
+            LinearRegression::fit(&[vec![1.0], vec![2.0]], &[vec![1.0], vec![2.0]], 1e-6).unwrap();
+        assert!(model.predict(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_handles_duplicate_features() {
+        // Two identical columns make plain least squares singular; ridge should cope.
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<Vec<f64>> = (0..30).map(|i| vec![3.0 * i as f64]).collect();
+        let model = LinearRegression::fit(&features, &targets, 1e-3).unwrap();
+        let pred = model.predict(&[10.0, 10.0]).unwrap();
+        assert!((pred[0] - 30.0).abs() < 0.5);
+    }
+}

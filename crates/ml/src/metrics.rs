@@ -1,0 +1,184 @@
+//! Evaluation metrics: accuracy, confusion matrices, geometric means and the
+//! Kendall rank correlation reported in Table III of the paper.
+
+/// Fraction of predictions equal to their label.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix: `matrix[actual][predicted]` counts.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or a label/prediction exceeds `num_classes`.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    let mut matrix = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < num_classes && l < num_classes, "class index out of range");
+        matrix[l][p] += 1;
+    }
+    matrix
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// Returns 0 for an empty input. Non-positive entries are clamped to a tiny
+/// positive value so a single zero does not collapse the whole mean.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-300).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric-mean speed-up of `baseline` over `candidate`, i.e. the geomean of
+/// `baseline[i] / candidate[i]`. Values above 1 mean the candidate is faster.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn geomean_speedup(baseline: &[f64], candidate: &[f64]) -> f64 {
+    assert_eq!(baseline.len(), candidate.len(), "speedup inputs must align");
+    let ratios: Vec<f64> =
+        baseline.iter().zip(candidate).map(|(&b, &c)| b / c.max(1e-300)).collect();
+    geometric_mean(&ratios)
+}
+
+/// Kendall rank correlation coefficient (tau-a) between two sequences.
+///
+/// The paper uses Kendall's tau to quantify the monotonic relationship between
+/// each load-balancing kernel's runtime and each matrix feature (Table III);
+/// a magnitude near 1 means the two quantities move together.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall tau inputs must align");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let product = da * db;
+            if product > 0.0 {
+                concordant += 1;
+            } else if product < 0.0 {
+                discordant += 1;
+            }
+            // Ties contribute to neither count (tau-a convention).
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Per-class recall (diagonal of the row-normalised confusion matrix).
+pub fn per_class_recall(confusion: &[Vec<usize>]) -> Vec<f64> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(class, row)| {
+            let total: usize = row.iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                row[class] as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[0, 0], &[0, 0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn accuracy_panics_on_length_mismatch() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn geometric_mean_known_values() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_speedup_is_ratio_geomean() {
+        let baseline = vec![10.0, 10.0];
+        let candidate = vec![5.0, 2.5];
+        assert!((geomean_speedup(&baseline, &candidate) - (2.0f64 * 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_perfect_and_inverse() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        let c = vec![4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_uncorrelated_is_near_zero() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        assert!(kendall_tau(&a, &b).abs() < 0.2);
+    }
+
+    #[test]
+    fn kendall_tau_handles_ties_and_tiny_inputs() {
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+        let tau = kendall_tau(&[1.0, 1.0, 2.0], &[5.0, 5.0, 9.0]);
+        assert!(tau > 0.0 && tau <= 1.0);
+    }
+
+    #[test]
+    fn per_class_recall_from_confusion() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        let recall = per_class_recall(&m);
+        assert_eq!(recall[0], 1.0);
+        assert!((recall[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

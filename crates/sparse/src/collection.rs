@@ -1,0 +1,386 @@
+//! A deterministic synthetic stand-in for the SuiteSparse Matrix Collection.
+//!
+//! The paper benchmarks every kernel on the entire SuiteSparse collection
+//! (~2,800 matrices spanning circuit simulation, FEM meshes, optimisation,
+//! graphs, …). That dataset is several hundred gigabytes and not available
+//! offline, so this module generates a structurally diverse collection that
+//! plays the same role: it contains enough distinct sparsity *shapes* that no
+//! single kernel wins everywhere, which is the property the Seer predictor is
+//! trained to exploit.
+//!
+//! Two entry points:
+//!
+//! * [`generate`] builds the full training/evaluation collection from a
+//!   [`CollectionConfig`],
+//! * [`named_standins`] builds scaled-down analogues of the specific matrices
+//!   the paper's figures call out (nlpkkt200, matrix-new_3, Ga41As41H72,
+//!   CurlCurl_3, G3_circuit, PWTK).
+
+use std::fmt;
+
+use crate::{generators, CsrMatrix, SplitMix64};
+
+/// Structural family a synthetic matrix belongs to.
+///
+/// Families mirror the SuiteSparse "kind" metadata at a coarse granularity;
+/// each family systematically favours a different load-balancing schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Family {
+    /// Nearly uniform short rows (banded / circuit-like).
+    Banded,
+    /// 2-D PDE stencils (5-point Laplacian).
+    Stencil2D,
+    /// 3-D PDE stencils (7-point Laplacian).
+    Stencil3D,
+    /// Scale-free graphs with power-law degree distributions.
+    PowerLawGraph,
+    /// Dense block-diagonal (KKT / multiphysics) systems.
+    BlockDiagonal,
+    /// Mostly-short rows with a few very long ones.
+    SkewedRows,
+    /// Exactly uniform row lengths (ELL-friendly).
+    UniformRows,
+    /// Uniformly random entries at a target density.
+    UniformRandom,
+    /// Tall-and-skinny rectangular least-squares style.
+    TallSkinny,
+    /// Mesh with long-range coupling rows (band + power-law overlay).
+    HybridMeshGraph,
+    /// Diagonal matrices (degenerate but present in SuiteSparse).
+    Diagonal,
+}
+
+impl Family {
+    /// All families, in a fixed order.
+    pub const ALL: [Family; 11] = [
+        Family::Banded,
+        Family::Stencil2D,
+        Family::Stencil3D,
+        Family::PowerLawGraph,
+        Family::BlockDiagonal,
+        Family::SkewedRows,
+        Family::UniformRows,
+        Family::UniformRandom,
+        Family::TallSkinny,
+        Family::HybridMeshGraph,
+        Family::Diagonal,
+    ];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Family::Banded => "banded",
+            Family::Stencil2D => "stencil2d",
+            Family::Stencil3D => "stencil3d",
+            Family::PowerLawGraph => "powerlaw",
+            Family::BlockDiagonal => "blockdiag",
+            Family::SkewedRows => "skewed",
+            Family::UniformRows => "uniformrows",
+            Family::UniformRandom => "random",
+            Family::TallSkinny => "tallskinny",
+            Family::HybridMeshGraph => "hybrid",
+            Family::Diagonal => "diagonal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One member of the synthetic collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetEntry {
+    /// Unique identifier (plays the role of the SuiteSparse matrix name).
+    pub name: String,
+    /// Structural family the matrix was drawn from.
+    pub family: Family,
+    /// The matrix itself, in CSR form.
+    pub matrix: CsrMatrix,
+}
+
+/// Overall size scale of the generated collection.
+///
+/// `Tiny` is meant for unit tests, `Small` for integration tests and CI,
+/// `Medium` for the figure-regeneration binaries, and `Large` for longer
+/// offline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SizeScale {
+    /// Matrices up to a few hundred rows.
+    Tiny,
+    /// Matrices up to a few thousand rows.
+    #[default]
+    Small,
+    /// Matrices up to tens of thousands of rows.
+    Medium,
+    /// Matrices up to hundreds of thousands of rows.
+    Large,
+}
+
+impl SizeScale {
+    /// Multiplier applied to the base dimension of every generator.
+    fn factor(self) -> usize {
+        match self {
+            SizeScale::Tiny => 1,
+            SizeScale::Small => 4,
+            SizeScale::Medium => 16,
+            SizeScale::Large => 64,
+        }
+    }
+}
+
+/// Configuration of the synthetic collection generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollectionConfig {
+    /// Seed of the deterministic RNG; two equal configs generate identical collections.
+    pub seed: u64,
+    /// Number of matrices generated per family.
+    pub matrices_per_family: usize,
+    /// Size scale of the generated matrices.
+    pub scale: SizeScale,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        Self { seed: 0x5EE2, matrices_per_family: 8, scale: SizeScale::Small }
+    }
+}
+
+impl CollectionConfig {
+    /// Configuration suitable for fast unit tests.
+    pub fn tiny() -> Self {
+        Self { seed: 7, matrices_per_family: 3, scale: SizeScale::Tiny }
+    }
+
+    /// Configuration used by the figure-regeneration binaries.
+    pub fn evaluation() -> Self {
+        Self { seed: 2024, matrices_per_family: 12, scale: SizeScale::Medium }
+    }
+}
+
+/// Generates the synthetic collection described by `config`.
+///
+/// The result is deterministic in `config` and sorted by name so downstream
+/// train/test splits are reproducible.
+pub fn generate(config: &CollectionConfig) -> Vec<DatasetEntry> {
+    let mut rng = SplitMix64::new(config.seed);
+    let f = config.scale.factor();
+    let mut entries = Vec::new();
+    for family in Family::ALL {
+        let mut family_rng = rng.split(family as u64 + 1);
+        for i in 0..config.matrices_per_family {
+            let matrix = generate_member(family, i, f, &mut family_rng);
+            entries.push(DatasetEntry {
+                name: format!("{family}_{i:03}"),
+                family,
+                matrix,
+            });
+        }
+    }
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    entries
+}
+
+/// Generates the `i`-th member of `family` at scale factor `f`.
+fn generate_member(family: Family, i: usize, f: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    // Sizes within a family span roughly two orders of magnitude (the x-axis
+    // spread of Fig. 1): successive members grow geometrically, wrapping every
+    // five so large collections revisit each size class with fresh structure.
+    let grow = (1usize << (i % 5)) * (1 + i / 5);
+    let dim = 300 * f * grow;
+    match family {
+        Family::Banded => {
+            let hb = 1 + rng.next_below(4) + i % 3;
+            generators::banded(dim, hb, rng)
+        }
+        Family::Stencil2D => {
+            let grid = ((dim as f64).sqrt() as usize).max(4);
+            generators::stencil_2d(grid, rng)
+        }
+        Family::Stencil3D => {
+            let grid = ((dim as f64).cbrt() as usize).max(3);
+            generators::stencil_3d(grid, rng)
+        }
+        Family::PowerLawGraph => {
+            let n = dim / 2;
+            let alpha = 1.7 + 0.1 * (i % 5) as f64;
+            let max_deg = (n / 8).max(4);
+            generators::power_law(n, alpha, max_deg, rng)
+        }
+        Family::BlockDiagonal => {
+            let block = 4 + 2 * (i % 6);
+            let blocks = (dim / block.max(1)).max(1);
+            generators::block_diagonal(blocks, block, rng)
+        }
+        Family::SkewedRows => {
+            // Deliberately matched to the UniformRows family in rows and
+            // expected nonzero count: the trivially known features cannot tell
+            // the two apart, only the gathered row-density statistics can.
+            // This mirrors SuiteSparse, where matrices of identical size can
+            // be either regular or heavily skewed.
+            let n = dim;
+            let base = 3;
+            let heavy = (n / 16).max(16);
+            let target_extra = (3 * (1 + i % 8)) as f64;
+            let fraction = (target_extra / heavy as f64).min(0.5);
+            generators::skewed_rows(n, base, heavy, fraction, rng)
+        }
+        Family::UniformRows => generators::uniform_row_length(dim, 4 + 3 * (i % 8), rng),
+        Family::UniformRandom => {
+            let n = dim / 2;
+            // Density chosen so the expected row length stays moderate no
+            // matter how large the matrix grows.
+            let avg_row = (6 + 3 * (i % 5)) as f64;
+            generators::uniform_random(n, n, avg_row / n as f64, rng)
+        }
+        Family::TallSkinny => {
+            let rows = dim;
+            let cols = (rows / 20).max(8);
+            generators::tall_skinny(rows, cols, 3 + i % 5, rng)
+        }
+        Family::HybridMeshGraph => generators::hybrid_mesh_graph(dim / 2, 2 + i % 3, rng),
+        Family::Diagonal => generators::diagonal(dim, rng),
+    }
+}
+
+/// Scaled-down analogues of the matrices highlighted in the paper's figures.
+///
+/// | Stand-in | SuiteSparse original | Structure reproduced |
+/// |---|---|---|
+/// | `nlpkkt200`   | optimisation KKT system, huge, block structure | large block-diagonal + band |
+/// | `matrix-new_3`| small device-simulation matrix | small skewed rows |
+/// | `Ga41As41H72` | quantum chemistry, wide dense-ish rows with skew | hybrid mesh/graph |
+/// | `CurlCurl_3`  | 3-D electromagnetics FEM | 3-D stencil |
+/// | `G3_circuit`  | circuit simulation, very uniform short rows | 2-D stencil |
+/// | `PWTK`        | pressurised wind tunnel stiffness, banded blocks | banded with wide band |
+pub fn named_standins(scale: SizeScale) -> Vec<DatasetEntry> {
+    // The stand-ins are already hundreds of thousands of rows at `Medium`;
+    // cap the growth so `Large` stays tractable on a laptop.
+    let f = scale.factor().min(24);
+    let mut rng = SplitMix64::new(0xFEED_FACE);
+    let make = |name: &str, family: Family, matrix: CsrMatrix| DatasetEntry {
+        name: name.to_string(),
+        family,
+        matrix,
+    };
+    vec![
+        make(
+            "nlpkkt200",
+            Family::BlockDiagonal,
+            {
+                let block = 8;
+                let blocks = (2_000 * f / block).max(4);
+                generators::block_diagonal(blocks, block, &mut rng)
+            },
+        ),
+        make(
+            "matrix-new_3",
+            Family::SkewedRows,
+            generators::skewed_rows(8_000 * f, 5, (1_000 * f).max(16), 0.002, &mut rng),
+        ),
+        make(
+            "Ga41As41H72",
+            Family::HybridMeshGraph,
+            generators::hybrid_mesh_graph(6_000 * f, 3, &mut rng),
+        ),
+        make("CurlCurl_3", Family::Stencil3D, generators::stencil_3d(14 + 3 * f, &mut rng)),
+        make("G3_circuit", Family::Stencil2D, generators::stencil_2d(40 * f, &mut rng)),
+        make("PWTK", Family::Banded, generators::banded(10_000 * f, 10, &mut rng)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = CollectionConfig::tiny();
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_collections() {
+        let a = generate(&CollectionConfig { seed: 1, ..CollectionConfig::tiny() });
+        let b = generate(&CollectionConfig { seed: 2, ..CollectionConfig::tiny() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expected_number_of_entries() {
+        let config = CollectionConfig { matrices_per_family: 2, ..CollectionConfig::tiny() };
+        let entries = generate(&config);
+        assert_eq!(entries.len(), 2 * Family::ALL.len());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let entries = generate(&CollectionConfig::tiny());
+        let mut names: Vec<_> = entries.iter().map(|e| e.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), entries.len());
+    }
+
+    #[test]
+    fn every_family_is_represented() {
+        let entries = generate(&CollectionConfig::tiny());
+        for family in Family::ALL {
+            assert!(entries.iter().any(|e| e.family == family), "missing {family}");
+        }
+    }
+
+    #[test]
+    fn collection_spans_diverse_imbalance() {
+        let entries = generate(&CollectionConfig::tiny());
+        let imbalances: Vec<f64> =
+            entries.iter().map(|e| RowStats::compute(&e.matrix).imbalance()).collect();
+        let min = imbalances.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = imbalances.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 0.05, "expected some regular matrices, min imbalance {min}");
+        assert!(max > 0.8, "expected some irregular matrices, max imbalance {max}");
+    }
+
+    #[test]
+    fn matrices_are_nonempty_and_valid() {
+        for entry in generate(&CollectionConfig::tiny()) {
+            assert!(entry.matrix.rows() > 0, "{}", entry.name);
+            assert!(entry.matrix.nnz() > 0, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn named_standins_cover_paper_matrices() {
+        let standins = named_standins(SizeScale::Tiny);
+        let names: Vec<&str> = standins.iter().map(|e| e.name.as_str()).collect();
+        for expected in
+            ["nlpkkt200", "matrix-new_3", "Ga41As41H72", "CurlCurl_3", "G3_circuit", "PWTK"]
+        {
+            assert!(names.contains(&expected), "missing stand-in {expected}");
+        }
+    }
+
+    #[test]
+    fn standin_structures_match_descriptions() {
+        let standins = named_standins(SizeScale::Tiny);
+        let by_name = |n: &str| standins.iter().find(|e| e.name == n).unwrap();
+        // G3_circuit stand-in should be very regular; matrix-new_3 should be skewed.
+        let g3 = RowStats::compute(&by_name("G3_circuit").matrix);
+        let mn3 = RowStats::compute(&by_name("matrix-new_3").matrix);
+        assert!(g3.imbalance() < mn3.imbalance());
+        // nlpkkt200 stand-in should be the perfectly balanced block matrix.
+        let kkt = RowStats::compute(&by_name("nlpkkt200").matrix);
+        assert_eq!(kkt.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn scale_grows_matrix_sizes() {
+        let tiny = named_standins(SizeScale::Tiny);
+        let small = named_standins(SizeScale::Small);
+        let tiny_nnz: usize = tiny.iter().map(|e| e.matrix.nnz()).sum();
+        let small_nnz: usize = small.iter().map(|e| e.matrix.nnz()).sum();
+        assert!(small_nnz > 2 * tiny_nnz);
+    }
+}

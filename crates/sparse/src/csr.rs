@@ -1,0 +1,384 @@
+//! Compressed Sparse Row (CSR) matrices.
+
+use crate::{CooMatrix, DenseMatrix, Scalar, SparseError};
+
+/// A sparse matrix in Compressed Sparse Row format.
+///
+/// CSR stores, for an `m x n` matrix with `nnz` explicit entries:
+///
+/// * `row_offsets`: `m + 1` monotonically non-decreasing offsets into the
+///   column/value arrays; row `i` occupies `row_offsets[i]..row_offsets[i+1]`,
+/// * `col_indices`: `nnz` column indices, each `< n`,
+/// * `values`: `nnz` scalar values.
+///
+/// CSR is the base representation for most of the load-balancing schedules in
+/// the Seer SpMV case study (Table II of the paper); every other format in
+/// this crate converts to and from it losslessly.
+///
+/// # Example
+///
+/// ```
+/// use seer_sparse::CsrMatrix;
+///
+/// # fn main() -> Result<(), seer_sparse::SparseError> {
+/// // [ 1 0 2 ]
+/// // [ 0 0 0 ]
+/// // [ 0 3 4 ]
+/// let a = CsrMatrix::try_new(3, 3, vec![0, 2, 2, 4], vec![0, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let y = a.spmv(&[1.0, 1.0, 1.0]);
+/// assert_eq!(y, vec![3.0, 0.0, 7.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<Scalar>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix after validating every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidRowPointers`] when `row_offsets` does not
+    /// have `rows + 1` entries, is not monotone, does not start at zero or
+    /// does not end at `col_indices.len()`; [`SparseError::LengthMismatch`]
+    /// when `col_indices` and `values` differ in length; and
+    /// [`SparseError::IndexOutOfBounds`] when a column index is `>= cols`.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<Scalar>,
+    ) -> Result<Self, SparseError> {
+        if col_indices.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                left: "col_indices",
+                left_len: col_indices.len(),
+                right: "values",
+                right_len: values.len(),
+            });
+        }
+        if row_offsets.len() != rows + 1 {
+            return Err(SparseError::InvalidRowPointers {
+                reason: format!("expected {} offsets, found {}", rows + 1, row_offsets.len()),
+            });
+        }
+        if row_offsets.first() != Some(&0) {
+            return Err(SparseError::InvalidRowPointers {
+                reason: "first offset must be 0".to_string(),
+            });
+        }
+        if *row_offsets.last().expect("offsets are non-empty") != col_indices.len() {
+            return Err(SparseError::InvalidRowPointers {
+                reason: format!(
+                    "last offset {} does not equal nnz {}",
+                    row_offsets.last().unwrap(),
+                    col_indices.len()
+                ),
+            });
+        }
+        if row_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SparseError::InvalidRowPointers {
+                reason: "offsets must be non-decreasing".to_string(),
+            });
+        }
+        for (row, window) in row_offsets.windows(2).enumerate() {
+            for &col in &col_indices[window[0]..window[1]] {
+                if col >= cols {
+                    return Err(SparseError::IndexOutOfBounds { row, col, rows, cols });
+                }
+            }
+        }
+        Ok(Self { rows, cols, row_offsets, col_indices, values })
+    }
+
+    /// Builds an empty `rows x cols` matrix with no stored entries.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_offsets: vec![0; rows + 1],
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_offsets: (0..=n).collect(),
+            col_indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of explicitly stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// The row-offset array (`rows + 1` entries).
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// The column-index array (`nnz` entries).
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_indices
+    }
+
+    /// The value array (`nnz` entries).
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Number of stored entries in row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_len(&self, row: usize) -> usize {
+        self.row_offsets[row + 1] - self.row_offsets[row]
+    }
+
+    /// Returns `(col_indices, values)` slices for row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> (&[usize], &[Scalar]) {
+        let span = self.row_offsets[row]..self.row_offsets[row + 1];
+        (&self.col_indices[span.clone()], &self.values[span])
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Scalar)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals.iter()).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Length of the longest row.
+    pub fn max_row_len(&self) -> usize {
+        (0..self.rows).map(|r| self.row_len(r)).max().unwrap_or(0)
+    }
+
+    /// Reference sequential SpMV: `y = A * x`.
+    ///
+    /// This is the golden implementation every simulated GPU kernel is tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
+        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        let mut y = vec![0.0; self.rows];
+        for row in 0..self.rows {
+            let (cols, vals) = self.row(row);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[row] = acc;
+        }
+        y
+    }
+
+    /// Checked variant of [`CsrMatrix::spmv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `x.len() != self.cols()`.
+    pub fn try_spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>, SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch { expected: self.cols, found: x.len() });
+        }
+        Ok(self.spmv(x))
+    }
+
+    /// Converts to a dense matrix (intended for tests and tiny inputs).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut dense = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            *dense.get_mut(r, c) += v;
+        }
+        dense
+    }
+
+    /// Converts to coordinate (COO) format preserving row-major order.
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.rows, self.cols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v).expect("csr entries are in bounds");
+        }
+        coo
+    }
+
+    /// Consumes the matrix and returns `(rows, cols, row_offsets, col_indices, values)`.
+    pub fn into_raw(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<Scalar>) {
+        (self.rows, self.cols, self.row_offsets, self.col_indices, self.values)
+    }
+
+    /// Total bytes occupied by the explicit representation (offsets, indices,
+    /// values), as seen by the memory-traffic model in the GPU simulator.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.row_offsets.len() * std::mem::size_of::<usize>()
+            + self.col_indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<Scalar>()
+    }
+}
+
+impl From<CooMatrix> for CsrMatrix {
+    fn from(coo: CooMatrix) -> Self {
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::try_new(
+            3,
+            4,
+            vec![0, 2, 3, 6],
+            vec![0, 3, 1, 0, 2, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_nnz() {
+        let a = sample();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.cols(), 4);
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(a.row_len(0), 2);
+        assert_eq!(a.row_len(1), 1);
+        assert_eq!(a.row_len(2), 3);
+        assert_eq!(a.max_row_len(), 3);
+    }
+
+    #[test]
+    fn spmv_matches_hand_computation() {
+        let a = sample();
+        let y = a.spmv(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y, vec![1.0 + 8.0, 6.0, 4.0 + 15.0 + 24.0]);
+    }
+
+    #[test]
+    fn try_spmv_rejects_bad_dimension() {
+        let a = sample();
+        let err = a.try_spmv(&[1.0, 2.0]).unwrap_err();
+        assert_eq!(err, SparseError::DimensionMismatch { expected: 4, found: 2 });
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let err =
+            CsrMatrix::try_new(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_offset_count() {
+        let err = CsrMatrix::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidRowPointers { .. }));
+    }
+
+    #[test]
+    fn rejects_nonzero_first_offset() {
+        let err = CsrMatrix::try_new(1, 2, vec![1, 1], vec![], vec![]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidRowPointers { .. }));
+    }
+
+    #[test]
+    fn rejects_non_monotone_offsets() {
+        let err =
+            CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidRowPointers { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_offset_not_nnz() {
+        let err =
+            CsrMatrix::try_new(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::InvalidRowPointers { .. }));
+    }
+
+    #[test]
+    fn rejects_column_out_of_bounds() {
+        let err = CsrMatrix::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { col: 5, .. }));
+    }
+
+    #[test]
+    fn identity_spmv_is_identity() {
+        let eye = CsrMatrix::identity(5);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(eye.spmv(&x), x);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CsrMatrix::zeros(4, 7);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.spmv(&vec![1.0; 7]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let a = sample();
+        let triplets: Vec<_> = a.iter().collect();
+        assert_eq!(triplets[0], (0, 0, 1.0));
+        assert_eq!(triplets.last().copied(), Some((2, 3, 6.0)));
+        assert_eq!(triplets.len(), a.nnz());
+    }
+
+    #[test]
+    fn dense_round_trip_matches() {
+        let a = sample();
+        let dense = a.to_dense();
+        for (r, c, v) in a.iter() {
+            assert_eq!(dense.get(r, c), v);
+        }
+        assert_eq!(dense.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn coo_round_trip_preserves_spmv() {
+        let a = sample();
+        let back: CsrMatrix = a.to_coo().into();
+        let x = vec![0.5, -1.0, 2.0, 3.0];
+        assert_eq!(a.spmv(&x), back.spmv(&x));
+    }
+
+    #[test]
+    fn memory_footprint_counts_all_arrays() {
+        let a = sample();
+        let expected = 4 * 8 + 6 * 8 + 6 * 8;
+        assert_eq!(a.memory_footprint_bytes(), expected);
+    }
+}

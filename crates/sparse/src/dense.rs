@@ -1,0 +1,133 @@
+//! A minimal dense matrix used as a correctness reference in tests.
+
+use crate::{CsrMatrix, Scalar};
+
+/// A dense row-major matrix.
+///
+/// Only intended for small test inputs and for cross-checking the sparse
+/// kernels; none of the performance-model code paths use it.
+///
+/// # Example
+///
+/// ```
+/// use seer_sparse::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// *m.get_mut(0, 1) = 3.0;
+/// assert_eq!(m.get(0, 1), 3.0);
+/// assert_eq!(m.spmv(&[0.0, 2.0]), vec![6.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Scalar>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> Scalar {
+        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Returns a mutable reference to the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut Scalar {
+        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// Dense matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
+        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
+            .collect()
+    }
+
+    /// Converts to CSR, dropping explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut offsets = Vec::with_capacity(self.rows + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        offsets.push(0);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let v = self.get(r, c);
+                if v != 0.0 {
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+            offsets.push(cols.len());
+        }
+        CsrMatrix::try_new(self.rows, self.cols, offsets, cols, vals)
+            .expect("dense conversion produces valid csr")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut m = DenseMatrix::zeros(3, 2);
+        *m.get_mut(2, 1) = 4.5;
+        assert_eq!(m.get(2, 1), 4.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_manual() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        *m.get_mut(0, 0) = 1.0;
+        *m.get_mut(0, 2) = 2.0;
+        *m.get_mut(1, 1) = 3.0;
+        assert_eq!(m.spmv(&[1.0, 2.0, 3.0]), vec![7.0, 6.0]);
+    }
+
+    #[test]
+    fn csr_round_trip_spmv() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        *m.get_mut(0, 1) = 1.0;
+        *m.get_mut(2, 2) = -2.0;
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(csr.spmv(&x), m.spmv(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense index out of bounds")]
+    fn out_of_bounds_get_panics() {
+        DenseMatrix::zeros(1, 1).get(1, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! ELLPACK (ELL) format sparse matrices.
+
+use crate::{CsrMatrix, Scalar, SparseError};
+
+/// A sparse matrix in ELLPACK format.
+///
+/// ELL pads every row to the same width `k = max_row_len` and stores column
+/// indices and values in two dense `rows x k` arrays (row-major here; a real
+/// GPU library would transpose for coalescing, which the memory model in
+/// `seer-gpu` accounts for separately). Padding slots hold a sentinel column
+/// and a zero value.
+///
+/// ELL is extremely regular — the ELL thread-mapped kernel in the case study
+/// wins on matrices whose rows are uniformly sized (e.g. the G3_circuit
+/// example in Fig. 7 of the paper) — but its footprint explodes when a single
+/// long row forces a huge padding width, which is exactly the trade-off the
+/// Seer predictor has to learn.
+///
+/// # Example
+///
+/// ```
+/// use seer_sparse::{CsrMatrix, EllMatrix};
+///
+/// # fn main() -> Result<(), seer_sparse::SparseError> {
+/// let csr = CsrMatrix::try_new(2, 2, vec![0, 1, 3], vec![0, 0, 1], vec![1.0, 2.0, 3.0])?;
+/// let ell = EllMatrix::from_csr(&csr);
+/// assert_eq!(ell.width(), 2);
+/// assert_eq!(ell.spmv(&[1.0, 1.0]), vec![1.0, 5.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix {
+    rows: usize,
+    cols: usize,
+    width: usize,
+    nnz: usize,
+    /// `rows * width` column indices; padding slots hold `usize::MAX`.
+    col_indices: Vec<usize>,
+    /// `rows * width` values; padding slots hold `0.0`.
+    values: Vec<Scalar>,
+}
+
+impl EllMatrix {
+    /// Sentinel column index marking a padding slot.
+    pub const PAD: usize = usize::MAX;
+
+    /// Converts a CSR matrix to ELL, padding all rows to the maximum row length.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        let rows = csr.rows();
+        let cols = csr.cols();
+        let width = csr.max_row_len();
+        let mut col_indices = vec![Self::PAD; rows * width];
+        let mut values = vec![0.0; rows * width];
+        for row in 0..rows {
+            let (rcols, rvals) = csr.row(row);
+            for (slot, (&c, &v)) in rcols.iter().zip(rvals).enumerate() {
+                col_indices[row * width + slot] = c;
+                values[row * width + slot] = v;
+            }
+        }
+        Self { rows, cols, width, nnz: csr.nnz(), col_indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Padded row width (the maximum row length of the source matrix).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of non-padding entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of stored slots including padding (`rows * width`).
+    pub fn padded_len(&self) -> usize {
+        self.rows * self.width
+    }
+
+    /// Fraction of stored slots that are padding, in `[0, 1]`.
+    ///
+    /// A high padding ratio is the signature of a skewed matrix on which the
+    /// ELL kernel wastes both memory bandwidth and SIMD lanes.
+    pub fn padding_ratio(&self) -> f64 {
+        if self.padded_len() == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz as f64 / self.padded_len() as f64
+    }
+
+    /// Returns the `(column, value)` stored at `(row, slot)`, where
+    /// `slot < self.width()`. Padding slots return `(EllMatrix::PAD, 0.0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows` or `slot >= width`.
+    pub fn slot(&self, row: usize, slot: usize) -> (usize, Scalar) {
+        assert!(row < self.rows && slot < self.width, "slot index out of range");
+        let idx = row * self.width + slot;
+        (self.col_indices[idx], self.values[idx])
+    }
+
+    /// Reference sequential SpMV over the padded representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
+        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        let mut y = vec![0.0; self.rows];
+        for row in 0..self.rows {
+            let mut acc = 0.0;
+            for slot in 0..self.width {
+                let idx = row * self.width + slot;
+                let c = self.col_indices[idx];
+                if c != Self::PAD {
+                    acc += self.values[idx] * x[c];
+                }
+            }
+            y[row] = acc;
+        }
+        y
+    }
+
+    /// Checked variant of [`EllMatrix::spmv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `x.len() != self.cols()`.
+    pub fn try_spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>, SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch { expected: self.cols, found: x.len() });
+        }
+        Ok(self.spmv(x))
+    }
+
+    /// Converts back to CSR, dropping the padding.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut offsets = Vec::with_capacity(self.rows + 1);
+        let mut cols = Vec::with_capacity(self.nnz);
+        let mut vals = Vec::with_capacity(self.nnz);
+        offsets.push(0);
+        for row in 0..self.rows {
+            for slot in 0..self.width {
+                let idx = row * self.width + slot;
+                if self.col_indices[idx] != Self::PAD {
+                    cols.push(self.col_indices[idx]);
+                    vals.push(self.values[idx]);
+                }
+            }
+            offsets.push(cols.len());
+        }
+        CsrMatrix::try_new(self.rows, self.cols, offsets, cols, vals)
+            .expect("ell slots originate from a valid csr matrix")
+    }
+
+    /// Total bytes occupied by the padded representation.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.col_indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<Scalar>()
+    }
+}
+
+impl From<&CsrMatrix> for EllMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        EllMatrix::from_csr(csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> CsrMatrix {
+        // Row 0 has 4 entries, rows 1..3 have one each: padding ratio 9/16... wait 3 rows.
+        CsrMatrix::try_new(
+            3,
+            5,
+            vec![0, 4, 5, 6],
+            vec![0, 1, 2, 3, 4, 0],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_csr_pads_to_max_row() {
+        let ell = EllMatrix::from_csr(&skewed());
+        assert_eq!(ell.width(), 4);
+        assert_eq!(ell.padded_len(), 12);
+        assert_eq!(ell.nnz(), 6);
+        let ratio = ell.padding_ratio();
+        assert!((ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spmv_matches_csr() {
+        let csr = skewed();
+        let ell = EllMatrix::from_csr(&csr);
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(ell.spmv(&x), csr.spmv(&x));
+    }
+
+    #[test]
+    fn round_trip_to_csr() {
+        let csr = skewed();
+        let back = EllMatrix::from_csr(&csr).to_csr();
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn slot_access_reports_padding() {
+        let ell = EllMatrix::from_csr(&skewed());
+        let (c, v) = ell.slot(1, 0);
+        assert_eq!((c, v), (4, 5.0));
+        let (c, v) = ell.slot(1, 3);
+        assert_eq!(c, EllMatrix::PAD);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_padding_ratio() {
+        let csr = CsrMatrix::zeros(4, 4);
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.width(), 0);
+        assert_eq!(ell.padding_ratio(), 0.0);
+        assert_eq!(ell.spmv(&[0.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn try_spmv_rejects_bad_dimension() {
+        let ell = EllMatrix::from_csr(&skewed());
+        assert!(ell.try_spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_matrix_has_no_padding() {
+        let csr = CsrMatrix::identity(8);
+        let ell = EllMatrix::from_csr(&csr);
+        assert_eq!(ell.padding_ratio(), 0.0);
+        assert_eq!(ell.width(), 1);
+    }
+
+    #[test]
+    fn footprint_grows_with_padding() {
+        let uniform = EllMatrix::from_csr(&CsrMatrix::identity(16));
+        let skew = EllMatrix::from_csr(&skewed());
+        assert!(skew.padded_len() > skew.nnz());
+        assert_eq!(uniform.padded_len(), uniform.nnz());
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared by the sparse-matrix constructors and I/O routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, converting or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseError {
+    /// A coordinate `(row, col)` lies outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// The CSR row-pointer array is malformed (wrong length, non-monotone, or
+    /// not ending at `nnz`).
+    InvalidRowPointers {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// Two parallel arrays (e.g. column indices and values) have different lengths.
+    LengthMismatch {
+        /// Name of the first array.
+        left: &'static str,
+        /// Length of the first array.
+        left_len: usize,
+        /// Name of the second array.
+        right: &'static str,
+        /// Length of the second array.
+        right_len: usize,
+    },
+    /// A vector passed to an SpMV-style routine has the wrong dimension.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        found: usize,
+    },
+    /// A MatrixMarket file could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed (0 when unknown).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An I/O error occurred while reading or writing a matrix file.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
+            ),
+            SparseError::InvalidRowPointers { reason } => {
+                write!(f, "invalid CSR row pointers: {reason}")
+            }
+            SparseError::LengthMismatch { left, left_len, right, right_len } => write!(
+                f,
+                "length mismatch: {left} has {left_len} elements but {right} has {right_len}"
+            ),
+            SparseError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SparseError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            SparseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(err: std::io::Error) -> Self {
+        SparseError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shape() {
+        let err = SparseError::IndexOutOfBounds { row: 3, col: 9, rows: 2, cols: 2 };
+        let msg = err.to_string();
+        assert!(msg.contains("(3, 9)"));
+        assert!(msg.contains("2x2"));
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_period() {
+        let errors: Vec<SparseError> = vec![
+            SparseError::InvalidRowPointers { reason: "not monotone".into() },
+            SparseError::DimensionMismatch { expected: 4, found: 2 },
+            SparseError::Io("boom".into()),
+            SparseError::Parse { line: 7, reason: "bad header".into() },
+        ];
+        for err in errors {
+            let msg = err.to_string();
+            assert!(!msg.ends_with('.'), "{msg}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing.mtx");
+        let err = SparseError::from(io);
+        assert!(matches!(err, SparseError::Io(_)));
+    }
+}

@@ -1,0 +1,418 @@
+//! Synthetic sparse-matrix generators.
+//!
+//! The SuiteSparse Matrix Collection spans a wide range of structural
+//! families — FEM stencils, circuit matrices, optimisation KKT systems,
+//! social/web graphs, structural-mechanics meshes — and the whole point of
+//! the Seer predictor is that *different families favour different kernels*.
+//! These generators produce deterministic members of each family so the
+//! collection in [`crate::collection`] exhibits the same kernel-selection
+//! diversity (Fig. 1 of the paper) without access to the real dataset.
+//!
+//! Every generator takes an explicit [`SplitMix64`] so the data is fully
+//! reproducible.
+
+use crate::{CooMatrix, CsrMatrix, Scalar, SplitMix64};
+
+/// Generates an `rows x cols` matrix where each entry is present independently
+/// with probability `density`.
+///
+/// Row lengths follow a binomial distribution, so the result is mildly
+/// irregular: a good "average case" input.
+pub fn uniform_random(rows: usize, cols: usize, density: f64, rng: &mut SplitMix64) -> CsrMatrix {
+    let density = density.clamp(0.0, 1.0);
+    let expected_per_row = (density * cols as f64).max(0.0);
+    let mut value_rng = rng.split(0x1);
+    let mut offsets = Vec::with_capacity(rows + 1);
+    let mut col_indices = Vec::new();
+    let mut values = Vec::new();
+    offsets.push(0);
+    for _ in 0..rows {
+        // Sample the row length from a Poisson-like approximation (normal
+        // around the mean) and then choose distinct columns.
+        let jitter = rng.next_gaussian() * expected_per_row.sqrt();
+        let len = ((expected_per_row + jitter).round().max(0.0) as usize).min(cols);
+        push_random_row(len, cols, rng, &mut value_rng, &mut col_indices, &mut values);
+        offsets.push(col_indices.len());
+    }
+    CsrMatrix::try_new(rows, cols, offsets, col_indices, values)
+        .expect("generator emits valid structure")
+}
+
+/// Generates a diagonal matrix with random nonzero diagonal values.
+pub fn diagonal(n: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(nonzero_value(rng));
+    }
+    CsrMatrix::try_new(n, n, (0..=n).collect(), (0..n).collect(), values)
+        .expect("diagonal structure is valid")
+}
+
+/// Generates a banded matrix with `half_bandwidth` sub- and super-diagonals.
+///
+/// Row lengths are almost perfectly uniform (edge rows are shorter), which is
+/// the regime where thread-mapped and ELL kernels shine.
+pub fn banded(n: usize, half_bandwidth: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0);
+    for row in 0..n {
+        let lo = row.saturating_sub(half_bandwidth);
+        let hi = (row + half_bandwidth + 1).min(n);
+        for c in lo..hi {
+            cols.push(c);
+            vals.push(nonzero_value(rng));
+        }
+        offsets.push(cols.len());
+    }
+    CsrMatrix::try_new(n, n, offsets, cols, vals).expect("banded structure is valid")
+}
+
+/// Generates the classic 5-point Laplacian stencil on a `grid x grid` mesh
+/// (matrix dimension `grid^2`). Representative of 2-D FEM/finite-difference
+/// matrices such as G3_circuit-class problems.
+pub fn stencil_2d(grid: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let n = grid * grid;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for i in 0..grid {
+        for j in 0..grid {
+            let row = i * grid + j;
+            coo.push(row, row, 4.0 + 0.01 * rng.next_f64()).expect("in bounds");
+            if i > 0 {
+                coo.push(row, row - grid, -1.0).expect("in bounds");
+            }
+            if i + 1 < grid {
+                coo.push(row, row + grid, -1.0).expect("in bounds");
+            }
+            if j > 0 {
+                coo.push(row, row - 1, -1.0).expect("in bounds");
+            }
+            if j + 1 < grid {
+                coo.push(row, row + 1, -1.0).expect("in bounds");
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates the 7-point Laplacian stencil on a `grid^3` mesh, representative
+/// of 3-D PDE discretisations (PWTK/CurlCurl-class structural matrices).
+pub fn stencil_3d(grid: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let n = grid * grid * grid;
+    let idx = |i: usize, j: usize, k: usize| (i * grid + j) * grid + k;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    for i in 0..grid {
+        for j in 0..grid {
+            for k in 0..grid {
+                let row = idx(i, j, k);
+                coo.push(row, row, 6.0 + 0.01 * rng.next_f64()).expect("in bounds");
+                if i > 0 {
+                    coo.push(row, idx(i - 1, j, k), -1.0).expect("in bounds");
+                }
+                if i + 1 < grid {
+                    coo.push(row, idx(i + 1, j, k), -1.0).expect("in bounds");
+                }
+                if j > 0 {
+                    coo.push(row, idx(i, j - 1, k), -1.0).expect("in bounds");
+                }
+                if j + 1 < grid {
+                    coo.push(row, idx(i, j + 1, k), -1.0).expect("in bounds");
+                }
+                if k > 0 {
+                    coo.push(row, idx(i, j, k - 1), -1.0).expect("in bounds");
+                }
+                if k + 1 < grid {
+                    coo.push(row, idx(i, j, k + 1), -1.0).expect("in bounds");
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Generates a scale-free graph adjacency matrix whose out-degrees follow a
+/// truncated power law with exponent `alpha`.
+///
+/// This is the archetypal irregular input: most rows are tiny, a handful are
+/// enormous, and row-mapped kernels suffer badly from the imbalance.
+pub fn power_law(n: usize, alpha: f64, max_degree: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let max_degree = max_degree.min(n.max(1));
+    let mut value_rng = rng.split(0x2);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0);
+    for _ in 0..n {
+        let len = rng.next_power_law(alpha, max_degree).min(n);
+        push_random_row(len, n, rng, &mut value_rng, &mut cols, &mut vals);
+        offsets.push(cols.len());
+    }
+    CsrMatrix::try_new(n, n, offsets, cols, vals).expect("power-law structure is valid")
+}
+
+/// Generates a block-diagonal matrix with `blocks` dense `block_size^2` blocks.
+/// Representative of multi-physics / KKT saddle-point systems (nlpkkt-class).
+pub fn block_diagonal(blocks: usize, block_size: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let n = blocks * block_size;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0);
+    for row in 0..n {
+        let block = row / block_size;
+        let start = block * block_size;
+        for c in start..start + block_size {
+            cols.push(c);
+            vals.push(nonzero_value(rng));
+        }
+        offsets.push(cols.len());
+    }
+    CsrMatrix::try_new(n, n, offsets, cols, vals).expect("block structure is valid")
+}
+
+/// Generates a matrix where most rows have `base_len` entries but a fraction
+/// `heavy_fraction` of rows have `heavy_len` entries.
+///
+/// This "few very long rows" shape is the worst case for thread-mapped
+/// schedules and the motivating case for CSR-Adaptive binning.
+pub fn skewed_rows(
+    n: usize,
+    base_len: usize,
+    heavy_len: usize,
+    heavy_fraction: f64,
+    rng: &mut SplitMix64,
+) -> CsrMatrix {
+    let mut value_rng = rng.split(0x3);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0);
+    for _ in 0..n {
+        let len = if rng.next_f64() < heavy_fraction { heavy_len } else { base_len };
+        push_random_row(len.min(n), n, rng, &mut value_rng, &mut cols, &mut vals);
+        offsets.push(cols.len());
+    }
+    CsrMatrix::try_new(n, n, offsets, cols, vals).expect("skewed structure is valid")
+}
+
+/// Generates a matrix with exactly `row_len` entries in every row, placed at
+/// random columns. The ideal ELL input.
+pub fn uniform_row_length(n: usize, row_len: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let mut value_rng = rng.split(0x4);
+    let row_len = row_len.min(n);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0);
+    for _ in 0..n {
+        push_random_row(row_len, n, rng, &mut value_rng, &mut cols, &mut vals);
+        offsets.push(cols.len());
+    }
+    CsrMatrix::try_new(n, n, offsets, cols, vals).expect("uniform structure is valid")
+}
+
+/// Generates a tall rectangular matrix (`rows >> cols`) with short rows,
+/// representative of least-squares / tall-skinny problems.
+pub fn tall_skinny(rows: usize, cols: usize, row_len: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let mut value_rng = rng.split(0x5);
+    let row_len = row_len.min(cols);
+    let mut offsets = Vec::with_capacity(rows + 1);
+    let mut col_indices = Vec::new();
+    let mut values = Vec::new();
+    offsets.push(0);
+    for _ in 0..rows {
+        push_random_row(row_len, cols, rng, &mut value_rng, &mut col_indices, &mut values);
+        offsets.push(col_indices.len());
+    }
+    CsrMatrix::try_new(rows, cols, offsets, col_indices, values)
+        .expect("tall-skinny structure is valid")
+}
+
+/// Generates a matrix combining a banded core with a power-law overlay, i.e.
+/// a mesh with a few global coupling rows. Hard for any single schedule.
+pub fn hybrid_mesh_graph(n: usize, half_bandwidth: usize, rng: &mut SplitMix64) -> CsrMatrix {
+    let core = banded(n, half_bandwidth, rng);
+    let overlay = power_law(n, 2.0, (n / 8).max(2), rng);
+    let mut coo = CooMatrix::with_capacity(n, n, core.nnz() + overlay.nnz());
+    for (r, c, v) in core.iter().chain(overlay.iter()) {
+        coo.push(r, c, v).expect("both operands are n x n");
+    }
+    coo.to_csr()
+}
+
+/// Pushes `len` distinct random column indices (sorted) and values into the
+/// CSR assembly buffers.
+fn push_random_row(
+    len: usize,
+    cols: usize,
+    rng: &mut SplitMix64,
+    value_rng: &mut SplitMix64,
+    col_buf: &mut Vec<usize>,
+    val_buf: &mut Vec<Scalar>,
+) {
+    let start = col_buf.len();
+    if len == 0 || cols == 0 {
+        return;
+    }
+    if len * 4 >= cols {
+        // Dense-ish row: reservoir-style selection over all columns.
+        let mut chosen: Vec<usize> = (0..cols).collect();
+        rng.shuffle(&mut chosen);
+        chosen.truncate(len);
+        chosen.sort_unstable();
+        for c in chosen {
+            col_buf.push(c);
+            val_buf.push(nonzero_value(value_rng));
+        }
+    } else {
+        // Sparse row: rejection sampling of distinct columns.
+        let mut picked = std::collections::BTreeSet::new();
+        while picked.len() < len {
+            picked.insert(rng.next_below(cols));
+        }
+        for c in picked {
+            col_buf.push(c);
+            val_buf.push(nonzero_value(value_rng));
+        }
+    }
+    debug_assert!(col_buf[start..].windows(2).all(|w| w[0] < w[1]));
+}
+
+/// Draws a value bounded away from zero so generated entries never vanish.
+fn nonzero_value(rng: &mut SplitMix64) -> Scalar {
+    let v = rng.next_f64_range(0.1, 1.0);
+    if rng.next_u64() & 1 == 0 {
+        v
+    } else {
+        -v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowStats;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn uniform_random_has_expected_density() {
+        let m = uniform_random(500, 400, 0.02, &mut rng());
+        let expected = 500.0 * 400.0 * 0.02;
+        let actual = m.nnz() as f64;
+        assert!((actual - expected).abs() / expected < 0.25, "nnz {actual} vs {expected}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = power_law(300, 2.1, 64, &mut SplitMix64::new(1));
+        let b = power_law(300, 2.1, 64, &mut SplitMix64::new(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diagonal_is_identity_structured() {
+        let m = diagonal(50, &mut rng());
+        assert_eq!(m.nnz(), 50);
+        assert_eq!(RowStats::compute(&m).max_row_len, 1);
+        assert!(m.values().iter().all(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn banded_rows_are_nearly_uniform() {
+        let m = banded(100, 3, &mut rng());
+        let stats = RowStats::compute(&m);
+        assert_eq!(stats.max_row_len, 7);
+        assert_eq!(stats.min_row_len, 4);
+        assert!(stats.imbalance() < 0.2);
+    }
+
+    #[test]
+    fn stencil_2d_shape() {
+        let m = stencil_2d(10, &mut rng());
+        assert_eq!(m.rows(), 100);
+        assert_eq!(m.cols(), 100);
+        // interior rows have 5 entries
+        assert_eq!(RowStats::compute(&m).max_row_len, 5);
+        assert_eq!(m.nnz(), 5 * 100 - 4 * 10); // 2 boundaries per dimension
+    }
+
+    #[test]
+    fn stencil_3d_shape() {
+        let m = stencil_3d(5, &mut rng());
+        assert_eq!(m.rows(), 125);
+        assert_eq!(RowStats::compute(&m).max_row_len, 7);
+    }
+
+    #[test]
+    fn power_law_is_irregular() {
+        let m = power_law(2000, 1.8, 512, &mut rng());
+        let stats = RowStats::compute(&m);
+        assert!(stats.max_row_len > 20 * stats.min_row_len.max(1));
+        assert!(stats.imbalance() > 0.5, "imbalance {}", stats.imbalance());
+    }
+
+    #[test]
+    fn block_diagonal_shape() {
+        let m = block_diagonal(10, 8, &mut rng());
+        assert_eq!(m.rows(), 80);
+        assert_eq!(m.nnz(), 80 * 8);
+        assert_eq!(RowStats::compute(&m).imbalance(), 0.0);
+    }
+
+    #[test]
+    fn skewed_rows_have_two_modes() {
+        let m = skewed_rows(1000, 4, 400, 0.02, &mut rng());
+        let stats = RowStats::compute(&m);
+        assert_eq!(stats.max_row_len, 400);
+        assert!(stats.mean_row_len < 30.0);
+    }
+
+    #[test]
+    fn uniform_row_length_is_exact() {
+        let m = uniform_row_length(200, 9, &mut rng());
+        let stats = RowStats::compute(&m);
+        assert_eq!(stats.max_row_len, 9);
+        assert_eq!(stats.min_row_len, 9);
+    }
+
+    #[test]
+    fn tall_skinny_dimensions() {
+        let m = tall_skinny(1000, 50, 3, &mut rng());
+        assert_eq!(m.rows(), 1000);
+        assert_eq!(m.cols(), 50);
+        assert_eq!(m.nnz(), 3000);
+    }
+
+    #[test]
+    fn hybrid_contains_band_and_tail() {
+        let m = hybrid_mesh_graph(300, 2, &mut rng());
+        let stats = RowStats::compute(&m);
+        assert!(stats.max_row_len > 10);
+        assert!(stats.min_row_len >= 3);
+    }
+
+    #[test]
+    fn rows_have_sorted_distinct_columns() {
+        let m = power_law(500, 2.0, 128, &mut rng());
+        for row in 0..m.rows() {
+            let (cols, _) = m.row(row);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {row} not sorted/distinct");
+        }
+    }
+
+    #[test]
+    fn spmv_against_dense_reference() {
+        let m = uniform_random(40, 30, 0.2, &mut rng());
+        let x: Vec<f64> = (0..30).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let dense = m.to_dense();
+        let expect = dense.spmv(&x);
+        let got = m.spmv(&x);
+        for (a, b) in expect.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

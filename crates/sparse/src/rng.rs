@@ -1,0 +1,228 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The synthetic dataset generator must be bit-reproducible across runs and
+//! machines so that the accuracy and speed-up numbers in EXPERIMENTS.md can be
+//! regenerated exactly. Rather than depending on an external RNG crate whose
+//! stream may change between versions, we use the well-known SplitMix64
+//! generator (Steele, Lea & Flood, OOPSLA 2014): a 64-bit state, a single
+//! additive constant, and a finalizer borrowed from MurmurHash3.
+
+/// Deterministic 64-bit pseudo-random number generator (SplitMix64).
+///
+/// # Example
+///
+/// ```
+/// use seer_sparse::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit value in the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a float uniformly distributed in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns an integer uniformly distributed in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "bound must be positive");
+        // Multiplicative range reduction; bias is negligible for our bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Returns an integer uniformly distributed in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn next_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns a float uniformly distributed in `[lo, hi)`.
+    pub fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns a sample from the standard normal distribution (Box–Muller).
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Avoid log(0) by nudging u1 away from zero.
+        let u1 = (self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Returns a sample from a (truncated) power-law distribution on
+    /// `[1, max]` with exponent `alpha > 1`.
+    ///
+    /// Used to synthesise scale-free graph degree distributions, which are the
+    /// archetypal "irregular" inputs in the paper.
+    pub fn next_power_law(&mut self, alpha: f64, max: usize) -> usize {
+        debug_assert!(alpha > 1.0);
+        let u = self.next_f64();
+        let max = max.max(1) as f64;
+        // Inverse-CDF sampling of a bounded Pareto with x_min = 1.
+        let one_minus = 1.0 - u * (1.0 - max.powf(1.0 - alpha));
+        let x = one_minus.powf(1.0 / (1.0 - alpha));
+        (x.round() as usize).clamp(1, max as usize)
+    }
+
+    /// Shuffles `slice` in place with the Fisher–Yates algorithm.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Splitting keeps unrelated generation steps (e.g. structure versus
+    /// values) decoupled so that adding a draw to one does not perturb the
+    /// other.
+    pub fn split(&mut self, label: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ label.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+impl Default for SplitMix64 {
+    fn default() -> Self {
+        Self::new(0x5EED_5EED_5EED_5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SplitMix64::new(11);
+        for bound in [1usize, 2, 3, 7, 100, 12345] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_range_is_in_range() {
+        let mut rng = SplitMix64::new(13);
+        for _ in 0..1000 {
+            let v = rng.next_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn gaussian_has_reasonable_moments() {
+        let mut rng = SplitMix64::new(17);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn power_law_bounds() {
+        let mut rng = SplitMix64::new(19);
+        for _ in 0..5000 {
+            let x = rng.next_power_law(2.2, 1000);
+            assert!((1..=1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        let mut rng = SplitMix64::new(23);
+        let n = 20_000;
+        let samples: Vec<usize> = (0..n).map(|_| rng.next_power_law(2.0, 10_000)).collect();
+        let ones = samples.iter().filter(|&&x| x == 1).count();
+        let large = samples.iter().filter(|&&x| x > 100).count();
+        // Most mass at small values, but a heavy tail exists.
+        assert!(ones > n / 4, "ones = {ones}");
+        assert!(large > 0);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SplitMix64::new(29);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_later_draws() {
+        let mut parent_a = SplitMix64::new(31);
+        let mut parent_b = SplitMix64::new(31);
+        let mut child_a = parent_a.split(1);
+        let mut child_b = parent_b.split(1);
+        // Drawing extra values from one parent does not change its child's stream.
+        parent_a.next_u64();
+        assert_eq!(child_a.next_u64(), child_b.next_u64());
+    }
+}

@@ -1,0 +1,321 @@
+//! Per-row shape statistics of sparse matrices.
+//!
+//! These are exactly the quantities the paper's feature-collection kernels
+//! gather at runtime (Section IV-A): maximum, minimum, mean and variance of
+//! the *row density* (row length normalised by the number of columns), plus
+//! the raw row-length moments that the Kendall-correlation study (Table III)
+//! reports against.
+
+use crate::{CsrMatrix, Scalar};
+
+/// Summary statistics of the row-length / row-density distribution of a
+/// sparse matrix.
+///
+/// The density of a row with `len` stored entries in a matrix with `cols`
+/// columns is `len / cols`; the paper normalises this way so that the feature
+/// is "a metric of both problem size and row-size rather than one or the
+/// other" (Section IV-A).
+///
+/// # Example
+///
+/// ```
+/// use seer_sparse::{CsrMatrix, RowStats};
+///
+/// # fn main() -> Result<(), seer_sparse::SparseError> {
+/// let a = CsrMatrix::try_new(2, 4, vec![0, 1, 4], vec![0, 0, 1, 2], vec![1.0; 4])?;
+/// let stats = RowStats::compute(&a);
+/// assert_eq!(stats.max_row_len, 3);
+/// assert_eq!(stats.min_row_len, 1);
+/// assert!((stats.mean_row_len - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RowStats {
+    /// Number of rows the statistics were computed over.
+    pub rows: usize,
+    /// Number of columns of the matrix (the density normaliser).
+    pub cols: usize,
+    /// Total number of stored entries.
+    pub nnz: usize,
+    /// Length of the longest row.
+    pub max_row_len: usize,
+    /// Length of the shortest row (0 for empty rows).
+    pub min_row_len: usize,
+    /// Mean row length.
+    pub mean_row_len: f64,
+    /// Population variance of the row length.
+    pub var_row_len: f64,
+    /// Maximum row density (`max_row_len / cols`).
+    pub max_density: f64,
+    /// Minimum row density.
+    pub min_density: f64,
+    /// Mean row density.
+    pub mean_density: f64,
+    /// Population variance of the row density.
+    pub var_density: f64,
+    /// Number of rows with no stored entries.
+    pub empty_rows: usize,
+}
+
+impl RowStats {
+    /// Computes row statistics for a CSR matrix in a single O(rows) pass.
+    pub fn compute(matrix: &CsrMatrix) -> Self {
+        Self::from_row_lengths(
+            matrix.cols(),
+            (0..matrix.rows()).map(|r| matrix.row_len(r)),
+        )
+    }
+
+    /// Computes the same statistics from an iterator of row lengths.
+    ///
+    /// Exposed separately so the GPU feature-collection kernels in
+    /// `seer-core` can reuse the arithmetic while modelling their own cost.
+    pub fn from_row_lengths<I>(cols: usize, row_lengths: I) -> Self
+    where
+        I: IntoIterator<Item = usize>,
+    {
+        let mut rows = 0usize;
+        let mut nnz = 0usize;
+        let mut max_row_len = 0usize;
+        let mut min_row_len = usize::MAX;
+        let mut empty_rows = 0usize;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for len in row_lengths {
+            rows += 1;
+            nnz += len;
+            max_row_len = max_row_len.max(len);
+            min_row_len = min_row_len.min(len);
+            if len == 0 {
+                empty_rows += 1;
+            }
+            let lf = len as f64;
+            sum += lf;
+            sum_sq += lf * lf;
+        }
+        if rows == 0 {
+            return Self::default();
+        }
+        let mean = sum / rows as f64;
+        let var = (sum_sq / rows as f64 - mean * mean).max(0.0);
+        let norm = if cols == 0 { 1.0 } else { cols as f64 };
+        Self {
+            rows,
+            cols,
+            nnz,
+            max_row_len,
+            min_row_len,
+            mean_row_len: mean,
+            var_row_len: var,
+            max_density: max_row_len as f64 / norm,
+            min_density: min_row_len as f64 / norm,
+            mean_density: mean / norm,
+            var_density: var / (norm * norm),
+            empty_rows,
+        }
+    }
+
+    /// Coefficient of variation of the row lengths (`stddev / mean`).
+    ///
+    /// This is a convenient single-number proxy for load imbalance: 0 for
+    /// perfectly uniform rows, large for skewed matrices.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_row_len == 0.0 {
+            0.0
+        } else {
+            self.var_row_len.sqrt() / self.mean_row_len
+        }
+    }
+
+    /// Average number of stored entries per row (alias of `mean_row_len`).
+    pub fn avg_nnz_per_row(&self) -> f64 {
+        self.mean_row_len
+    }
+
+    /// Returns the statistics as the gathered-feature vector used by the Seer
+    /// models: `[max_density, min_density, mean_density, var_density]`.
+    pub fn density_feature_vector(&self) -> [f64; 4] {
+        [self.max_density, self.min_density, self.mean_density, self.var_density]
+    }
+}
+
+/// Computes the fraction of padding slots an ELL conversion of `matrix` would
+/// introduce, without materialising the conversion.
+pub fn ell_padding_ratio(matrix: &CsrMatrix) -> f64 {
+    let stats = RowStats::compute(matrix);
+    let padded = stats.rows * stats.max_row_len;
+    if padded == 0 {
+        0.0
+    } else {
+        1.0 - stats.nnz as f64 / padded as f64
+    }
+}
+
+/// Histogram of row lengths in power-of-two buckets.
+///
+/// Used by the Adaptive-CSR kernel's binning preprocessing model and useful
+/// for inspecting dataset skew.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowLengthHistogram {
+    /// `buckets[i]` counts rows whose length `l` satisfies
+    /// `2^(i-1) < l <= 2^i`, with bucket 0 counting empty rows and rows of
+    /// length 1 in bucket 1... more precisely rows with `l == 0` land in
+    /// bucket 0 and otherwise bucket `ceil(log2(l)) + 1`.
+    pub buckets: Vec<usize>,
+}
+
+impl RowLengthHistogram {
+    /// Builds the histogram for a CSR matrix.
+    pub fn compute(matrix: &CsrMatrix) -> Self {
+        let mut buckets = Vec::new();
+        for row in 0..matrix.rows() {
+            let len = matrix.row_len(row);
+            let bucket = if len == 0 { 0 } else { (usize::BITS - (len - 1).leading_zeros()) as usize + 1 };
+            if buckets.len() <= bucket {
+                buckets.resize(bucket + 1, 0);
+            }
+            buckets[bucket] += 1;
+        }
+        Self { buckets }
+    }
+
+    /// Total number of rows accounted for.
+    pub fn total_rows(&self) -> usize {
+        self.buckets.iter().sum()
+    }
+
+    /// Number of distinct non-empty buckets.
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+/// Scalar used by [`bandwidth`]; kept here to avoid leaking `Scalar` details.
+#[allow(dead_code)]
+type Value = Scalar;
+
+/// Computes the matrix bandwidth: the maximum of `|row - col|` over stored
+/// entries. Banded/stencil matrices have small bandwidth; random and
+/// power-law matrices have bandwidth close to the matrix dimension.
+pub fn bandwidth(matrix: &CsrMatrix) -> usize {
+    matrix
+        .iter()
+        .map(|(r, c, _)| r.abs_diff(c))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrMatrix;
+
+    fn skewed() -> CsrMatrix {
+        // Row lengths: 4, 0, 2
+        CsrMatrix::try_new(
+            3,
+            8,
+            vec![0, 4, 4, 6],
+            vec![0, 1, 2, 3, 6, 7],
+            vec![1.0; 6],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = RowStats::compute(&skewed());
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.nnz, 6);
+        assert_eq!(s.max_row_len, 4);
+        assert_eq!(s.min_row_len, 0);
+        assert_eq!(s.empty_rows, 1);
+        assert!((s.mean_row_len - 2.0).abs() < 1e-12);
+        // lengths 4,0,2 -> mean 2, var ((4)+(4)+(0))/3 = 8/3
+        assert!((s.var_row_len - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densities_are_normalised_by_cols() {
+        let s = RowStats::compute(&skewed());
+        assert!((s.max_density - 0.5).abs() < 1e-12);
+        assert!((s.mean_density - 0.25).abs() < 1e-12);
+        assert!((s.var_density - (8.0 / 3.0) / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_zero_for_uniform_rows() {
+        let eye = CsrMatrix::identity(10);
+        let s = RowStats::compute(&eye);
+        assert_eq!(s.imbalance(), 0.0);
+        assert!(RowStats::compute(&skewed()).imbalance() > 0.5);
+    }
+
+    #[test]
+    fn empty_matrix_defaults() {
+        let s = RowStats::compute(&CsrMatrix::zeros(0, 0));
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn feature_vector_order() {
+        let s = RowStats::compute(&skewed());
+        let v = s.density_feature_vector();
+        assert_eq!(v[0], s.max_density);
+        assert_eq!(v[1], s.min_density);
+        assert_eq!(v[2], s.mean_density);
+        assert_eq!(v[3], s.var_density);
+    }
+
+    #[test]
+    fn ell_padding_ratio_matches_materialised_conversion() {
+        let m = skewed();
+        let predicted = ell_padding_ratio(&m);
+        let actual = crate::EllMatrix::from_csr(&m).padding_ratio();
+        assert!((predicted - actual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_every_row() {
+        let h = RowLengthHistogram::compute(&skewed());
+        assert_eq!(h.total_rows(), 3);
+        assert!(h.occupied_buckets() >= 2);
+        // empty row goes to bucket 0
+        assert_eq!(h.buckets[0], 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // lengths 1,2,3,4 -> buckets 1,2,3,3
+        let m = CsrMatrix::try_new(
+            4,
+            8,
+            vec![0, 1, 3, 6, 10],
+            vec![0, 0, 1, 0, 1, 2, 0, 1, 2, 3],
+            vec![1.0; 10],
+        )
+        .unwrap();
+        let h = RowLengthHistogram::compute(&m);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[3], 2);
+    }
+
+    #[test]
+    fn bandwidth_of_identity_and_full_offdiag() {
+        assert_eq!(bandwidth(&CsrMatrix::identity(5)), 0);
+        let m = CsrMatrix::try_new(2, 5, vec![0, 1, 1], vec![4], vec![1.0]).unwrap();
+        assert_eq!(bandwidth(&m), 4);
+    }
+
+    #[test]
+    fn from_row_lengths_agrees_with_compute() {
+        let m = skewed();
+        let a = RowStats::compute(&m);
+        let b = RowStats::from_row_lengths(m.cols(), (0..m.rows()).map(|r| m.row_len(r)));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Using the Seer abstraction on *your own* data: load matrices from
+//! MatrixMarket files (or generate them), benchmark, train, export the models
+//! as a C++ header, and drive selection from the exported artifacts.
+//!
+//! Run with `cargo run --example custom_workload --release`.
+
+use seer::core::benchmarking::benchmark_collection;
+use seer::core::csv::{aggregate_preprocessing_csv, aggregate_runtime_csv, features_csv};
+use seer::core::training::{train_from_records, TrainingConfig};
+use seer::core::SeerError;
+use seer::gpu::Gpu;
+use seer::ml::export;
+use seer::sparse::collection::DatasetEntry;
+use seer::sparse::{collection::Family, generators, market, SplitMix64};
+
+fn main() -> Result<(), SeerError> {
+    let gpu = Gpu::default();
+
+    // A "user-provided" representative dataset. Matrices can come from
+    // MatrixMarket files; here we write one out and read it back to show the
+    // I/O path, and synthesise the rest.
+    let mut rng = SplitMix64::new(77);
+    let mesh = generators::stencil_2d(80, &mut rng);
+    let mut mtx_bytes = Vec::new();
+    market::write_csr(&mesh, &mut mtx_bytes)?;
+    let reloaded = market::read_csr(mtx_bytes.as_slice())?;
+    println!(
+        "round-tripped a {}x{} mesh matrix with {} nonzeros through MatrixMarket",
+        reloaded.rows(),
+        reloaded.cols(),
+        reloaded.nnz()
+    );
+
+    let mut dataset: Vec<DatasetEntry> = vec![DatasetEntry {
+        name: "user_mesh".to_string(),
+        family: Family::Stencil2D,
+        matrix: reloaded,
+    }];
+    for i in 0..10 {
+        dataset.push(DatasetEntry {
+            name: format!("user_graph_{i}"),
+            family: Family::PowerLawGraph,
+            matrix: generators::power_law(2_000 * (i + 1), 1.8 + 0.05 * i as f64, 512, &mut rng),
+        });
+        dataset.push(DatasetEntry {
+            name: format!("user_band_{i}"),
+            family: Family::Banded,
+            matrix: generators::banded(3_000 * (i + 1), 2 + i % 4, &mut rng),
+        });
+    }
+
+    // GPU benchmarking stage: this is what produces the CSV artifacts of the
+    // Seer API (Section III-D of the paper).
+    let records = benchmark_collection(&gpu, &dataset, &[1, 19]);
+    println!("\nfirst lines of the aggregated runtime CSV:");
+    for line in aggregate_runtime_csv(&records).lines().take(4) {
+        println!("  {line}");
+    }
+    println!("(preprocessing CSV has {} rows, feature CSV has {} rows)",
+        aggregate_preprocessing_csv(&records).lines().count() - 1,
+        features_csv(&records).lines().count() - 1);
+
+    // Train from the records (the programmatic `seer(...)` entry point).
+    let outcome = train_from_records(records, &TrainingConfig::fast())?;
+    println!(
+        "\ntrained on {} records, held out {}; accuracies: known {:.0}%, gathered {:.0}%, selector {:.0}%",
+        outcome.train_records.len(),
+        outcome.test_records.len(),
+        outcome.accuracies.known * 100.0,
+        outcome.accuracies.gathered * 100.0,
+        outcome.accuracies.selector * 100.0
+    );
+
+    // Export the trained models the way the paper's training script does:
+    // as C++ headers (plus a Rust rendering and a human-readable dump).
+    let header = export::to_cpp_header(&outcome.models.selector, "seer_classifier_selector");
+    println!("\nexported C++ selector header ({} lines); first lines:", header.lines().count());
+    for line in header.lines().take(6) {
+        println!("  {line}");
+    }
+    let text = export::to_text(&outcome.models.known);
+    println!("\nknown-feature decision tree (explainable form, first lines):");
+    for line in text.lines().take(8) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Explainability: inspect the trained decision trees, their feature usage,
+//! and the Kendall correlation between features and kernel runtimes
+//! (the Table III analysis).
+//!
+//! Run with `cargo run --example explain_model --release`.
+
+use seer::core::benchmarking::benchmark_collection;
+use seer::core::features::{gathered_feature_names, known_feature_names};
+use seer::core::training::{train_from_records, TrainingConfig};
+use seer::core::SeerError;
+use seer::gpu::Gpu;
+use seer::kernels::KernelId;
+use seer::ml::{export, metrics};
+use seer::sparse::collection::{generate, CollectionConfig};
+
+fn main() -> Result<(), SeerError> {
+    let gpu = Gpu::default();
+    let collection = generate(&CollectionConfig::default());
+    let records = benchmark_collection(&gpu, &collection, &[1]);
+
+    // Kendall correlation between each kernel's runtime and each feature.
+    println!("Kendall tau between per-iteration runtime and features:");
+    let feature_names = gathered_feature_names();
+    print!("{:<10}", "kernel");
+    for name in &feature_names {
+        print!(" {name:>13}");
+    }
+    println!();
+    for kernel in KernelId::ALL {
+        let runtimes: Vec<f64> =
+            records.iter().map(|r| r.profile(kernel).per_iteration.as_millis()).collect();
+        print!("{:<10}", kernel.to_string());
+        for idx in 0..feature_names.len() {
+            let feature: Vec<f64> = records.iter().map(|r| r.gathered_vector()[idx]).collect();
+            print!(" {:>13.2}", metrics::kendall_tau(&runtimes, &feature));
+        }
+        println!();
+    }
+
+    // Train and dissect the models.
+    let outcome = train_from_records(records, &TrainingConfig::fast())?;
+    let known = &outcome.models.known;
+    let gathered = &outcome.models.gathered;
+    let selector = &outcome.models.selector;
+
+    println!("\nmodel sizes: known {} nodes (depth {}), gathered {} nodes (depth {}), selector {} nodes (depth {})",
+        known.node_count(), known.depth(),
+        gathered.node_count(), gathered.depth(),
+        selector.node_count(), selector.depth());
+
+    println!("\nsplit counts per feature (how often each feature is consulted):");
+    for (model_name, model, names) in [
+        ("known", known, known_feature_names()),
+        ("gathered", gathered, gathered_feature_names()),
+    ] {
+        let counts = model.feature_split_counts();
+        let summary: Vec<String> =
+            names.iter().zip(&counts).map(|(n, c)| format!("{n}={c}")).collect();
+        println!("  {model_name:<9}: {}", summary.join(", "));
+    }
+
+    println!("\nclassifier-selection model as readable rules:");
+    for line in export::to_text(selector).lines().take(16) {
+        println!("  {line}");
+    }
+    println!("\n(gathered model exported as C++ header: {} lines)",
+        export::to_cpp_header(gathered, "seer_gathered_predictor").lines().count());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! The paper's SpMV case study in miniature: benchmark every kernel variant
+//! over a diverse collection, train the three predictors, and compare the
+//! selector against the Oracle and every fixed kernel (the Fig. 5 analysis).
+//!
+//! Run with `cargo run --example spmv_case_study --release`.
+
+use seer::core::evaluation::evaluate;
+use seer::core::inference::SeerPredictor;
+use seer::core::training::{train, TrainingConfig};
+use seer::core::SeerError;
+use seer::gpu::Gpu;
+use seer::kernels::KernelId;
+use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
+
+fn main() -> Result<(), SeerError> {
+    let gpu = Gpu::default();
+    let collection = generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 6,
+        scale: SizeScale::Small,
+    });
+    println!("benchmarking {} matrices x {} kernels ...", collection.len(), KernelId::ALL.len());
+
+    let config = TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() };
+    let outcome = train(&gpu, &collection, &config)?;
+    println!(
+        "model accuracies (test set): known {:.1}%, gathered {:.1}%, selector {:.1}%",
+        outcome.accuracies.known * 100.0,
+        outcome.accuracies.gathered * 100.0,
+        outcome.accuracies.selector * 100.0
+    );
+
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let report = evaluate(&predictor, &outcome.test_records);
+
+    println!("\naggregate workload time over the test set (lower is better):");
+    println!("  {:<22} {:>12.3} ms", "Oracle", report.totals.oracle.as_millis());
+    println!("  {:<22} {:>12.3} ms", "Seer selector", report.totals.selector.as_millis());
+    println!("  {:<22} {:>12.3} ms", "Gathered predictor", report.totals.gathered.as_millis());
+    println!("  {:<22} {:>12.3} ms", "Known predictor", report.totals.known.as_millis());
+    for (kernel, total) in &report.totals.per_kernel {
+        println!("  {:<22} {:>12.3} ms", kernel.to_string(), total.as_millis());
+    }
+
+    let (best_kernel, best_total) = report.totals.best_single_kernel();
+    println!(
+        "\nbest fixed kernel is {best_kernel} at {:.3} ms; the selector is {:.2}x faster",
+        best_total.as_millis(),
+        report.totals.selector_speedup_over_best_kernel()
+    );
+    println!(
+        "geomean speed-up over all fixed kernels: {:.2}x, feature collection used on {:.0}% of inputs",
+        report.geomean_speedup_over_all_kernels(),
+        report.gather_rate * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Seer: predictive runtime kernel selection for irregular problems.
+//!
+//! This is the facade crate of the Seer reproduction (CGO 2024,
+//! arXiv:2403.17017). It re-exports the public API of the workspace crates so
+//! applications can depend on a single crate:
+//!
+//! * [`sparse`] — sparse formats, statistics, MatrixMarket I/O and the
+//!   synthetic SuiteSparse-like collection,
+//! * [`gpu`] — the analytical MI100-class GPU performance model,
+//! * [`kernels`] — the eight SpMV kernel variants of the case study,
+//! * [`ml`] — the CART decision tree, baselines, metrics and model export,
+//! * [`core`] — the Seer abstraction itself: feature collection, GPU
+//!   benchmarking, training and runtime inference.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seer::core::training::{train, TrainingConfig};
+//! use seer::core::inference::SeerPredictor;
+//! use seer::gpu::Gpu;
+//! use seer::sparse::collection::{generate, CollectionConfig};
+//!
+//! # fn main() -> Result<(), seer::core::SeerError> {
+//! let gpu = Gpu::default();
+//! let collection = generate(&CollectionConfig::tiny());
+//! let outcome = train(&gpu, &collection, &TrainingConfig::fast())?;
+//! let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+//!
+//! let matrix = &collection[0].matrix;
+//! let selection = predictor.select(matrix, 19);
+//! println!("Seer would launch {} for a 19-iteration run", selection.kernel);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The runnable examples under `examples/` walk through the full case study:
+//! `quickstart`, `spmv_case_study`, `iterative_solver`, `custom_workload` and
+//! `explain_model`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use seer_core as core;
+pub use seer_gpu as gpu;
+pub use seer_kernels as kernels;
+pub use seer_ml as ml;
+pub use seer_sparse as sparse;
+
+/// Version string of the Seer reproduction.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

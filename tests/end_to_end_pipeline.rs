@@ -1,0 +1,146 @@
+//! End-to-end integration tests: benchmark -> train -> export -> infer.
+
+use seer::core::benchmarking::benchmark_collection;
+use seer::core::csv::{aggregate_runtime_csv, parse_aggregate_csv};
+use seer::core::evaluation::evaluate;
+use seer::core::inference::SeerPredictor;
+use seer::core::training::{train, train_from_records, TrainingConfig};
+use seer::gpu::Gpu;
+use seer::kernels::KernelId;
+use seer::ml::export;
+use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
+
+fn collection_config() -> CollectionConfig {
+    CollectionConfig { seed: 11, matrices_per_family: 3, scale: SizeScale::Tiny }
+}
+
+#[test]
+fn full_pipeline_trains_and_selects_valid_kernels() {
+    let gpu = Gpu::default();
+    let entries = generate(&collection_config());
+    let outcome = train(&gpu, &entries, &TrainingConfig::fast()).expect("training succeeds");
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+
+    for entry in &entries {
+        for iterations in [1usize, 19] {
+            let selection = predictor.select(&entry.matrix, iterations);
+            assert!(KernelId::ALL.contains(&selection.kernel), "{}", entry.name);
+        }
+    }
+}
+
+#[test]
+fn execution_results_match_reference_spmv() {
+    let gpu = Gpu::default();
+    let entries = generate(&collection_config());
+    let outcome = train(&gpu, &entries, &TrainingConfig::fast()).expect("training succeeds");
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+
+    for entry in entries.iter().step_by(5) {
+        let x: Vec<f64> = (0..entry.matrix.cols()).map(|i| ((i % 13) as f64) * 0.25 - 1.0).collect();
+        let result = predictor.execute(&entry.matrix, &x, 3);
+        let reference = entry.matrix.spmv(&x);
+        for (a, b) in result.result.iter().zip(&reference) {
+            assert!(
+                (a - b).abs() <= 1e-8 * b.abs().max(1.0),
+                "{}: kernel {} diverges from reference",
+                entry.name,
+                result.selection.kernel
+            );
+        }
+    }
+}
+
+#[test]
+fn selector_beats_or_matches_the_single_kernel_baselines_in_aggregate() {
+    let gpu = Gpu::default();
+    let entries = generate(&CollectionConfig {
+        seed: 3,
+        matrices_per_family: 4,
+        scale: SizeScale::Small,
+    });
+    let config = TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() };
+    let outcome = train(&gpu, &entries, &config).expect("training succeeds");
+    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let report = evaluate(&predictor, &outcome.test_records);
+
+    // The selector can never beat the Oracle...
+    assert!(report.totals.selector >= report.totals.oracle);
+    // ...but across a diverse test set it should not lose badly to the best
+    // fixed kernel (the paper reports it being ~2x better).
+    let (_, best_fixed) = report.totals.best_single_kernel();
+    assert!(
+        report.totals.selector <= best_fixed * 1.25,
+        "selector {} ms should be competitive with best fixed kernel {} ms",
+        report.totals.selector.as_millis(),
+        best_fixed.as_millis()
+    );
+}
+
+#[test]
+fn accuracy_ordering_matches_the_paper() {
+    // Gathered >= known accuracy is the qualitative relationship the paper
+    // reports (83% vs 77%); the selector's binary task is easier still.
+    let gpu = Gpu::default();
+    let entries = generate(&CollectionConfig {
+        seed: 5,
+        matrices_per_family: 5,
+        scale: SizeScale::Small,
+    });
+    let config = TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() };
+    let outcome = train(&gpu, &entries, &config).expect("training succeeds");
+    // On the small CI-sized test split the two accuracies can swap by a
+    // sample or two; the qualitative claim is that both are strong and the
+    // gathered model does not collapse relative to the known one.
+    assert!(
+        outcome.accuracies.gathered >= outcome.accuracies.known - 0.15,
+        "gathered {} should not trail known {} materially",
+        outcome.accuracies.gathered,
+        outcome.accuracies.known
+    );
+    assert!(outcome.accuracies.known >= 0.5);
+    assert!(outcome.accuracies.gathered >= 0.5);
+    assert!(outcome.accuracies.selector >= 0.5);
+}
+
+#[test]
+fn csv_round_trip_preserves_benchmark_values() {
+    let gpu = Gpu::default();
+    let entries = generate(&collection_config());
+    let records = benchmark_collection(&gpu, &entries[..6], &[1]);
+    let csv = aggregate_runtime_csv(&records);
+    let table = parse_aggregate_csv(&csv).expect("csv parses");
+    assert_eq!(table.rows.len(), records.len());
+    for (row, record) in table.rows.iter().zip(&records) {
+        assert_eq!(row.0, record.name);
+        for (value, kernel) in row.1.iter().zip(KernelId::ALL) {
+            let expected = record.profile(kernel).per_iteration.as_millis();
+            assert!((value - expected).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn exported_models_reflect_trained_trees() {
+    let gpu = Gpu::default();
+    let entries = generate(&collection_config());
+    let records = benchmark_collection(&gpu, &entries, &[1, 19]);
+    let outcome = train_from_records(records, &TrainingConfig::fast()).expect("training succeeds");
+    let header = export::to_cpp_header(&outcome.models.gathered, "seer_gathered");
+    assert!(header.contains("inline int seer_gathered(const double* features)"));
+    assert!(header.contains("features[0] = rows"));
+    assert!(header.contains("max_density"));
+    let rust = export::to_rust_source(&outcome.models.known, "seer_known");
+    assert!(rust.contains("pub fn seer_known(features: &[f64]) -> usize"));
+}
+
+#[test]
+fn training_is_reproducible_across_runs() {
+    let gpu = Gpu::default();
+    let entries = generate(&collection_config());
+    let a = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
+    let b = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
+    assert_eq!(a.models, b.models);
+    assert_eq!(a.accuracies, b.accuracies);
+    assert_eq!(a.test_records.len(), b.test_records.len());
+}

@@ -1,0 +1,181 @@
+//! Integration tests asserting the qualitative "shapes" the paper reports:
+//! kernel diversity (Fig. 1), the feature-collection crossover (Fig. 6), and
+//! preprocessing amortization (Fig. 7).
+
+use std::collections::BTreeSet;
+
+use seer::core::amortization::amortization_crossover;
+use seer::core::benchmarking::BenchmarkRecord;
+use seer::core::features::FeatureCollector;
+use seer::gpu::Gpu;
+use seer::kernels::{KernelId, MatrixBenchmark};
+use seer::sparse::collection::{generate, named_standins, CollectionConfig, SizeScale};
+use seer::sparse::{generators, SplitMix64};
+
+#[test]
+fn no_single_kernel_wins_everywhere() {
+    // Fig. 1: the fastest kernel varies with the shape of the input. Like the
+    // paper's training set, workloads span single- and multi-iteration runs.
+    let gpu = Gpu::default();
+    let mut rng = SplitMix64::new(21);
+    let shapes = vec![
+        ("short_uniform", generators::uniform_row_length(200_000, 4, &mut rng)),
+        ("medium_uniform", generators::uniform_row_length(150_000, 16, &mut rng)),
+        ("skewed", generators::skewed_rows(60_000, 3, 8_000, 0.003, &mut rng)),
+        ("very_long_rows", generators::uniform_row_length(400, 60_000, &mut rng)),
+        ("scale_free", generators::power_law(150_000, 1.8, 20_000, &mut rng)),
+        ("banded", generators::banded(120_000, 3, &mut rng)),
+    ];
+    let mut winners = BTreeSet::new();
+    for (name, matrix) in &shapes {
+        for iterations in [1usize, 19] {
+            let record = BenchmarkRecord::measure(&gpu, name, matrix, iterations);
+            winners.insert(record.best_kernel());
+        }
+    }
+    // The analytical device model compresses the differences between the
+    // well-balanced kernels (they are all bandwidth-bound), so we assert the
+    // robust part of the Fig. 1 claim: the winner is shape-dependent, and the
+    // schedules that collapse on irregular inputs are never the global winner.
+    assert!(
+        winners.len() >= 2,
+        "expected shape-dependent winners, got {winners:?}"
+    );
+    assert!(
+        !winners.contains(&KernelId::CooWavefrontMapped),
+        "COO,WM should never be the overall winner"
+    );
+}
+
+#[test]
+fn collection_winners_are_diverse_across_iteration_counts() {
+    // The synthetic SuiteSparse stand-in itself must not be dominated by a
+    // single kernel either once multi-iteration workloads are considered.
+    let gpu = Gpu::default();
+    let entries = generate(&CollectionConfig {
+        seed: 21,
+        matrices_per_family: 3,
+        scale: SizeScale::Small,
+    });
+    let mut winners = BTreeSet::new();
+    for entry in &entries {
+        for iterations in [1usize, 50] {
+            let record =
+                BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, iterations);
+            winners.insert(record.best_kernel());
+        }
+    }
+    assert!(
+        winners.len() >= 2,
+        "expected at least two distinct winners across the collection, got {winners:?}"
+    );
+}
+
+#[test]
+fn feature_collection_cost_crosses_kernel_runtime_as_rows_grow() {
+    // Fig. 6: for small matrices the feature-collection cost rivals or exceeds
+    // the CSR,BM runtime; past a crossover in the row count the kernel runtime
+    // grows faster than the collection cost.
+    let gpu = Gpu::default();
+    let collector = FeatureCollector::new();
+    let mut rng = SplitMix64::new(22);
+    let mut ratio_small = 0.0;
+    let mut ratio_large = 0.0;
+    for (rows, ratio) in [(2_000usize, &mut ratio_small), (400_000usize, &mut ratio_large)] {
+        let matrix = generators::uniform_row_length(rows, 16, &mut rng);
+        let collection = collector.collection_cost(&gpu, &matrix);
+        let bench = MatrixBenchmark::measure(&gpu, "fig6", &matrix, 1);
+        let bm = bench.profile(KernelId::CsrBlockMapped).unwrap().per_iteration;
+        *ratio = collection.as_nanos() / bm.as_nanos();
+    }
+    assert!(
+        ratio_small > ratio_large,
+        "collection cost should matter more for small matrices (small {ratio_small:.3} vs large {ratio_large:.3})"
+    );
+    assert!(ratio_large < 1.0, "collection should be cheaper than CSR,BM on large matrices");
+}
+
+#[test]
+fn adaptive_preprocessing_amortizes_on_multi_iteration_workloads() {
+    // Fig. 7: kernels with preprocessing lose at one iteration but win once
+    // the iteration count passes their crossover.
+    let gpu = Gpu::default();
+    let mut rng = SplitMix64::new(23);
+    let matrix = generators::skewed_rows(80_000, 4, 6_000, 0.002, &mut rng);
+    let bench_single = MatrixBenchmark::measure(&gpu, "single", &matrix, 1);
+    let adaptive = bench_single.profile(KernelId::CsrAdaptive).unwrap();
+    let thread_mapped = bench_single.profile(KernelId::CsrThreadMapped).unwrap();
+
+    // Preprocessing makes adaptive worse for a single shot...
+    assert!(adaptive.total() > thread_mapped.total());
+    // ...but it has the better per-iteration time, so a crossover exists...
+    let crossover = adaptive.crossover_iterations(thread_mapped).expect("crossover exists");
+    // ...and past the crossover its total undercuts the no-preprocessing kernel.
+    assert!(adaptive.total_at(crossover + 5) < thread_mapped.total_at(crossover + 5));
+    // The helper agrees with the profile-level computation.
+    assert_eq!(
+        amortization_crossover(&gpu, &matrix, KernelId::CsrAdaptive, KernelId::CsrThreadMapped),
+        Some(crossover)
+    );
+}
+
+#[test]
+fn ell_wins_on_regular_matrices_once_converted() {
+    // Fig. 7c/7d: on very regular matrices (the G3_circuit stand-in) the ELL
+    // kernel has the best per-iteration time even though its conversion cost
+    // makes it unattractive for single-shot runs.
+    let gpu = Gpu::default();
+    let standins = named_standins(SizeScale::Small);
+    let g3 = standins.iter().find(|e| e.name == "G3_circuit").expect("stand-in exists");
+    let bench = MatrixBenchmark::measure(&gpu, &g3.name, &g3.matrix, 1);
+    let ell = bench.profile(KernelId::EllThreadMapped).unwrap();
+    let others_best_iteration = KernelId::ALL
+        .iter()
+        .filter(|&&k| k != KernelId::EllThreadMapped)
+        .map(|&k| bench.profile(k).unwrap().per_iteration)
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+        .unwrap();
+    assert!(ell.per_iteration <= others_best_iteration * 1.05);
+    assert!(ell.preprocessing.as_micros() > 0.0);
+}
+
+#[test]
+fn thread_mapping_collapses_on_the_skewed_standin() {
+    // The matrix-new_3 stand-in is skewed: thread mapping and ELL should both
+    // be far from the best kernel, which is the load-balanced family.
+    let gpu = Gpu::default();
+    let standins = named_standins(SizeScale::Small);
+    let skewed = standins.iter().find(|e| e.name == "matrix-new_3").expect("stand-in exists");
+    let bench = MatrixBenchmark::measure(&gpu, &skewed.name, &skewed.matrix, 1);
+    let best = bench.fastest_single_iteration().per_iteration;
+    let tm = bench.profile(KernelId::CsrThreadMapped).unwrap().per_iteration;
+    let ell = bench.profile(KernelId::EllThreadMapped).unwrap().per_iteration;
+    assert!(
+        tm > best * 1.3,
+        "CSR,TM ({} ms) should trail the best kernel ({} ms) on skewed input",
+        tm.as_millis(),
+        best.as_millis()
+    );
+    assert!(
+        ell > best * 1.5,
+        "ELL,TM ({} ms) should trail the best kernel ({} ms) on skewed input",
+        ell.as_millis(),
+        best.as_millis()
+    );
+}
+
+#[test]
+fn oracle_never_loses_and_is_shape_dependent() {
+    let gpu = Gpu::default();
+    let standins = named_standins(SizeScale::Tiny);
+    let mut winners = BTreeSet::new();
+    for entry in &standins {
+        let bench = MatrixBenchmark::measure(&gpu, &entry.name, &entry.matrix, 19);
+        let fastest = bench.fastest();
+        for profile in &bench.profiles {
+            assert!(fastest.total() <= profile.total());
+        }
+        winners.insert(fastest.kernel);
+    }
+    assert!(winners.len() >= 2, "winners should vary across the named stand-ins: {winners:?}");
+}
