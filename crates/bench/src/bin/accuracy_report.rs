@@ -2,48 +2,71 @@
 //! selection models (the paper reports 77% / 83% / 95%), plus the rejected
 //! regression baselines from the design-decision discussion.
 
-use seer_bench::{analysis_collection, train_evaluation_models};
+use seer_bench::{analysis_collection, evaluation_engine};
 use seer_core::benchmarking::benchmark_collection;
 use seer_core::evaluation::evaluate;
-use seer_core::inference::SeerPredictor;
-use seer_gpu::Gpu;
 use seer_kernels::KernelId;
 use seer_ml::{metrics, GradientBoosting, GradientBoostingParams, LinearRegression};
 
 fn main() {
-    let gpu = Gpu::default();
     eprintln!("accuracy_report: training the Seer models...");
-    let outcome = train_evaluation_models(&gpu).expect("training succeeds");
+    let (engine, outcome) = evaluation_engine().expect("training succeeds");
 
-    println!("Seer model accuracies (held-out test records: {}):", outcome.test_records.len());
-    println!("  known-feature classifier    : {:>5.1}%  (paper: 77%)", outcome.accuracies.known * 100.0);
-    println!("  gathered-feature classifier : {:>5.1}%  (paper: 83%)", outcome.accuracies.gathered * 100.0);
-    println!("  classifier-selection model  : {:>5.1}%  (paper: 95%)", outcome.accuracies.selector * 100.0);
+    println!(
+        "Seer model accuracies (held-out test records: {}):",
+        outcome.test_records.len()
+    );
+    println!(
+        "  known-feature classifier    : {:>5.1}%  (paper: 77%)",
+        outcome.accuracies.known * 100.0
+    );
+    println!(
+        "  gathered-feature classifier : {:>5.1}%  (paper: 83%)",
+        outcome.accuracies.gathered * 100.0
+    );
+    println!(
+        "  classifier-selection model  : {:>5.1}%  (paper: 95%)",
+        outcome.accuracies.selector * 100.0
+    );
 
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
-    let report = evaluate(&predictor, &outcome.test_records);
+    let report = evaluate(&engine, &outcome.test_records);
     println!("\nend-to-end on the test records:");
-    println!("  selector picks the oracle kernel on {:.1}% of inputs", report.selector_accuracy * 100.0);
-    println!("  feature collection triggered on {:.1}% of inputs", report.gather_rate * 100.0);
-    println!("  selector total {:.3} ms vs oracle {:.3} ms ({:.2}x of ideal)",
+    println!(
+        "  selector picks the oracle kernel on {:.1}% of inputs",
+        report.selector_accuracy * 100.0
+    );
+    println!(
+        "  feature collection triggered on {:.1}% of inputs",
+        report.gather_rate * 100.0
+    );
+    println!(
+        "  selector total {:.3} ms vs oracle {:.3} ms ({:.2}x of ideal)",
         report.totals.selector.as_millis(),
         report.totals.oracle.as_millis(),
-        report.totals.selector / report.totals.oracle);
+        report.totals.selector / report.totals.oracle
+    );
 
     // The rejected quantitative baselines (Section III-C): predict per-kernel
     // runtimes and take the argmin.
     eprintln!("\ntraining regression baselines on a smaller collection...");
     let collection = analysis_collection();
-    let records = benchmark_collection(&gpu, &collection, &[1, 19]);
+    let records = benchmark_collection(engine.gpu(), &collection, &[1, 19]);
     let split_at = records.len() * 4 / 5;
     let (train_recs, test_recs) = records.split_at(split_at);
     let features: Vec<Vec<f64>> = train_recs.iter().map(|r| r.gathered_vector()).collect();
     let targets: Vec<Vec<f64>> = train_recs
         .iter()
-        .map(|r| KernelId::ALL.iter().map(|&k| r.total_of(k).as_millis()).collect())
+        .map(|r| {
+            KernelId::ALL
+                .iter()
+                .map(|&k| r.total_of(k).as_millis())
+                .collect()
+        })
         .collect();
-    let labels: Vec<usize> =
-        test_recs.iter().map(|r| r.best_kernel().class_index()).collect();
+    let labels: Vec<usize> = test_recs
+        .iter()
+        .map(|r| r.best_kernel().class_index())
+        .collect();
 
     let linear = LinearRegression::fit(&features, &targets, 1e-6).expect("fit succeeds");
     let boosted = GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
@@ -56,8 +79,16 @@ fn main() {
         .iter()
         .map(|r| boosted.predict_argmin(&r.gathered_vector()).unwrap_or(0))
         .collect();
-    println!("\nrejected quantitative baselines (argmin of predicted runtimes, gathered features):");
-    println!("  linear regression  : {:>5.1}% accuracy", metrics::accuracy(&linear_preds, &labels) * 100.0);
-    println!("  gradient boosting  : {:>5.1}% accuracy", metrics::accuracy(&boosted_preds, &labels) * 100.0);
+    println!(
+        "\nrejected quantitative baselines (argmin of predicted runtimes, gathered features):"
+    );
+    println!(
+        "  linear regression  : {:>5.1}% accuracy",
+        metrics::accuracy(&linear_preds, &labels) * 100.0
+    );
+    println!(
+        "  gradient boosting  : {:>5.1}% accuracy",
+        metrics::accuracy(&boosted_preds, &labels) * 100.0
+    );
     println!("(the paper reports these quantitative models were unable to capture the kernel/runtime relationship)");
 }

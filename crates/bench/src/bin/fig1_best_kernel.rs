@@ -12,7 +12,10 @@ use seer_gpu::Gpu;
 fn main() {
     let gpu = Gpu::default();
     let collection = evaluation_collection();
-    eprintln!("fig1: benchmarking {} matrices (single iteration)...", collection.len());
+    eprintln!(
+        "fig1: benchmarking {} matrices (single iteration)...",
+        collection.len()
+    );
 
     println!("name,nnz,best_kernel,best_runtime_ms");
     let mut winner_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
@@ -29,7 +32,10 @@ fn main() {
         println!("{name},{nnz},\"{}\",{:.6}", best.label(), time.as_millis());
     }
 
-    eprintln!("\nfig1 summary: winner distribution across {} matrices", rows.len());
+    eprintln!(
+        "\nfig1 summary: winner distribution across {} matrices",
+        rows.len()
+    );
     for (kernel, count) in &winner_counts {
         eprintln!("  {kernel:<8} wins {count:>4} matrices");
     }

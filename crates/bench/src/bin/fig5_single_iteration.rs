@@ -3,31 +3,26 @@
 //! kernel — for the named stand-in matrices (5a-c) and aggregated over the
 //! test set (5d), including the 2x / geomean headline numbers.
 
-use seer_bench::{fmt_ms, paper_standins, train_evaluation_models};
+use seer_bench::{evaluation_engine, fmt_ms, paper_standins};
 use seer_core::benchmarking::BenchmarkRecord;
 use seer_core::evaluation::evaluate;
-use seer_core::inference::SeerPredictor;
-use seer_gpu::Gpu;
 use seer_kernels::KernelId;
 
 fn main() {
-    let gpu = Gpu::default();
     eprintln!("fig5: training on the evaluation collection...");
-    let outcome = train_evaluation_models(&gpu).expect("training succeeds");
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let (engine, outcome) = evaluation_engine().expect("training succeeds");
 
     // Panels (a)-(c): named stand-ins, single iteration.
     println!("Fig. 5a-c analogues: single-iteration totals on the named stand-ins (ms)\n");
     println!(
-        "{:<14} {:>9} {:>9} {:>9} {:>9} {}",
-        "matrix", "Oracle", "Selector", "Gathered", "Known", "per-kernel (CSR,A CSR,BM CSR,MP CSR,WM CSR,WO CSR,TM COO,WM ELL,TM)"
+        "{:<14} {:>9} {:>9} {:>9} {:>9} per-kernel (CSR,A CSR,BM CSR,MP CSR,WM CSR,WO CSR,TM COO,WM ELL,TM)",
+        "matrix", "Oracle", "Selector", "Gathered", "Known"
     );
     for entry in paper_standins() {
-        let record = BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, 1);
-        let report = evaluate(&predictor, std::slice::from_ref(&record));
+        let record = BenchmarkRecord::measure(engine.gpu(), &entry.name, &entry.matrix, 1);
+        let report = evaluate(&engine, std::slice::from_ref(&record));
         let totals = &report.totals;
-        let per_kernel: Vec<String> =
-            totals.per_kernel.iter().map(|(_, t)| fmt_ms(*t)).collect();
+        let per_kernel: Vec<String> = totals.per_kernel.iter().map(|(_, t)| fmt_ms(*t)).collect();
         println!(
             "{:<14} {:>9} {:>9} {:>9} {:>9}   {}",
             entry.name,
@@ -40,11 +35,22 @@ fn main() {
     }
 
     // Panel (d): aggregate over the held-out test records.
-    let report = evaluate(&predictor, &outcome.test_records);
-    println!("\nFig. 5d analogue: aggregate totals over the {} held-out records (ms)\n", report.records.len());
+    let report = evaluate(&engine, &outcome.test_records);
+    println!(
+        "\nFig. 5d analogue: aggregate totals over the {} held-out records (ms)\n",
+        report.records.len()
+    );
     println!("  {:<22} {:>12}", "Oracle", fmt_ms(report.totals.oracle));
-    println!("  {:<22} {:>12}", "Selector", fmt_ms(report.totals.selector));
-    println!("  {:<22} {:>12}", "Gathered", fmt_ms(report.totals.gathered));
+    println!(
+        "  {:<22} {:>12}",
+        "Selector",
+        fmt_ms(report.totals.selector)
+    );
+    println!(
+        "  {:<22} {:>12}",
+        "Gathered",
+        fmt_ms(report.totals.gathered)
+    );
     println!("  {:<22} {:>12}", "Known", fmt_ms(report.totals.known));
     for (kernel, total) in &report.totals.per_kernel {
         println!("  {:<22} {:>12}", kernel.label(), fmt_ms(*total));

@@ -34,7 +34,14 @@ fn main() {
         );
     }
     // Extend the sweep into the hundreds of thousands of rows like the paper.
-    for rows in [200_000usize, 400_000, 800_000, 1_600_000, 3_200_000, 6_400_000] {
+    for rows in [
+        200_000usize,
+        400_000,
+        800_000,
+        1_600_000,
+        3_200_000,
+        6_400_000,
+    ] {
         let matrix = generators::uniform_row_length(rows, 8, &mut rng);
         let collection = collector.collection_cost(&gpu, &matrix);
         let runtime = kernel.iteration_time(&gpu, &matrix);

@@ -2,29 +2,22 @@
 //! CurlCurl_3, G3_circuit and PWTK stand-ins at 1 and 19 iterations, plus the
 //! modelled crossover iteration counts.
 
-use seer_bench::{fmt_ms, paper_standins, train_evaluation_models};
+use seer_bench::{evaluation_engine, fmt_ms, paper_standins};
 use seer_core::amortization::{amortization_crossover, AmortizationSweep};
-use seer_core::inference::SeerPredictor;
-use seer_gpu::Gpu;
 use seer_kernels::KernelId;
 
 fn main() {
-    let gpu = Gpu::default();
     eprintln!("fig7: training on the evaluation collection...");
-    let outcome = train_evaluation_models(&gpu).expect("training succeeds");
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let (engine, _outcome) = evaluation_engine().expect("training succeeds");
 
     let standins = paper_standins();
     let panels = ["CurlCurl_3", "G3_circuit", "PWTK"];
     for name in panels {
-        let entry = standins.iter().find(|e| e.name == name).expect("stand-in exists");
-        let sweep = AmortizationSweep::run(
-            &gpu,
-            &predictor,
-            name,
-            &entry.matrix,
-            &[1, 19, 100],
-        );
+        let entry = standins
+            .iter()
+            .find(|e| e.name == name)
+            .expect("stand-in exists");
+        let sweep = AmortizationSweep::run(&engine, name, &entry.matrix, &[1, 19, 100]);
         println!(
             "\n== {} ({} rows, {} nnz) ==",
             name,
@@ -33,7 +26,15 @@ fn main() {
         );
         println!(
             "{:<6} {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7} | {:>10} {:>7}",
-            "iters", "Oracle", "kernel", "Selector", "kernel", "Gathered", "kernel", "Known", "kernel"
+            "iters",
+            "Oracle",
+            "kernel",
+            "Selector",
+            "kernel",
+            "Gathered",
+            "kernel",
+            "Known",
+            "kernel"
         );
         for point in &sweep.points {
             println!(
@@ -65,7 +66,7 @@ fn main() {
             (KernelId::EllThreadMapped, KernelId::CsrWavefrontMapped),
             (KernelId::CsrMergePath, KernelId::CsrWorkOriented),
         ] {
-            match amortization_crossover(&gpu, &entry.matrix, candidate, baseline) {
+            match amortization_crossover(engine.gpu(), &entry.matrix, candidate, baseline) {
                 Some(iterations) => println!(
                     "  {} amortizes its preprocessing vs {} after ~{} iterations",
                     candidate.label(),

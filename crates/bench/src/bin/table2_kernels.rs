@@ -8,10 +8,15 @@ use seer_kernels::{all_kernels, KernelId};
 fn main() {
     let gpu = Gpu::default();
     println!("Table II: kernel variants in the SpMV case study\n");
-    println!("{:<8} {:<18} {:<17} {}", "label", "schedule", "format", "description");
+    println!(
+        "{:<8} {:<18} {:<17} description",
+        "label", "schedule", "format"
+    );
     for kernel in all_kernels() {
         let description = match kernel.id() {
-            KernelId::CsrAdaptive => "rows binned by size (rocSPARSE/CSR-Adaptive), host preprocessing",
+            KernelId::CsrAdaptive => {
+                "rows binned by size (rocSPARSE/CSR-Adaptive), host preprocessing"
+            }
             KernelId::CsrBlockMapped => "one row per 256-thread workgroup",
             KernelId::CsrMergePath => "merge-path, partition precomputed by a setup dispatch",
             KernelId::CsrWavefrontMapped => "one row per 64-lane wavefront",
@@ -32,14 +37,20 @@ fn main() {
 
     // Smoke run on the PWTK stand-in so the table is backed by working code.
     let standins = paper_standins();
-    let pwtk = standins.iter().find(|e| e.name == "PWTK").expect("stand-in exists");
+    let pwtk = standins
+        .iter()
+        .find(|e| e.name == "PWTK")
+        .expect("stand-in exists");
     println!(
         "\nsmoke benchmark on the {} stand-in ({} rows, {} nnz), 1 iteration:",
         pwtk.name,
         pwtk.matrix.rows(),
         pwtk.matrix.nnz()
     );
-    println!("{:<8} {:>16} {:>18}", "kernel", "iteration (ms)", "preprocessing (ms)");
+    println!(
+        "{:<8} {:>16} {:>18}",
+        "kernel", "iteration (ms)", "preprocessing (ms)"
+    );
     for kernel in all_kernels() {
         let profile = kernel.measure(&gpu, &pwtk.matrix, 1);
         println!(

@@ -16,12 +16,27 @@ fn main() {
 
     // Feature columns in the order of the paper's Table III.
     let feature_columns: Vec<(&str, Vec<f64>)> = vec![
-        ("rows", records.iter().map(|r| r.known.rows as f64).collect()),
+        (
+            "rows",
+            records.iter().map(|r| r.known.rows as f64).collect(),
+        ),
         ("nnz", records.iter().map(|r| r.known.nnz as f64).collect()),
-        ("Most", records.iter().map(|r| r.gathered.max_density).collect()),
-        ("Least", records.iter().map(|r| r.gathered.min_density).collect()),
-        ("Avg", records.iter().map(|r| r.gathered.mean_density).collect()),
-        ("Var", records.iter().map(|r| r.gathered.var_density).collect()),
+        (
+            "Most",
+            records.iter().map(|r| r.gathered.max_density).collect(),
+        ),
+        (
+            "Least",
+            records.iter().map(|r| r.gathered.min_density).collect(),
+        ),
+        (
+            "Avg",
+            records.iter().map(|r| r.gathered.mean_density).collect(),
+        ),
+        (
+            "Var",
+            records.iter().map(|r| r.gathered.var_density).collect(),
+        ),
     ];
 
     println!("Table III: Kendall tau between per-iteration runtime and features\n");
@@ -31,8 +46,10 @@ fn main() {
     }
     println!();
     for kernel in KernelId::ALL {
-        let runtimes: Vec<f64> =
-            records.iter().map(|r| r.profile(kernel).per_iteration.as_millis()).collect();
+        let runtimes: Vec<f64> = records
+            .iter()
+            .map(|r| r.profile(kernel).per_iteration.as_millis())
+            .collect();
         print!("{:<10}", kernel.label());
         for (_, feature) in &feature_columns {
             print!(" {:>8.2}", kendall_tau(&runtimes, feature));

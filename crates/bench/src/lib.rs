@@ -5,10 +5,13 @@
 //! evaluation setup: the MI100-class device model, the synthetic SuiteSparse
 //! stand-in collection, and a Seer training run.
 
+use seer_core::engine::SeerEngine;
 use seer_core::training::{train, TrainingConfig, TrainingOutcome};
 use seer_core::SeerError;
 use seer_gpu::{Gpu, SimTime};
-use seer_sparse::collection::{generate, named_standins, CollectionConfig, DatasetEntry, SizeScale};
+use seer_sparse::collection::{
+    generate, named_standins, CollectionConfig, DatasetEntry, SizeScale,
+};
 
 /// The evaluation scale used by the figure binaries.
 ///
@@ -16,12 +19,20 @@ use seer_sparse::collection::{generate, named_standins, CollectionConfig, Datase
 /// under a couple of minutes on a laptop while spanning matrix sizes from a
 /// few thousand to a few hundred thousand rows.
 pub fn evaluation_collection() -> Vec<DatasetEntry> {
-    generate(&CollectionConfig { seed: 2024, matrices_per_family: 8, scale: SizeScale::Medium })
+    generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 8,
+        scale: SizeScale::Medium,
+    })
 }
 
 /// A smaller collection for the quicker binaries (Table III, accuracy report).
 pub fn analysis_collection() -> Vec<DatasetEntry> {
-    generate(&CollectionConfig { seed: 2024, matrices_per_family: 6, scale: SizeScale::Small })
+    generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 6,
+        scale: SizeScale::Small,
+    })
 }
 
 /// The scaled stand-ins for the matrices named in Figs. 5 and 7.
@@ -40,8 +51,25 @@ pub fn train_evaluation_models(gpu: &Gpu) -> Result<TrainingOutcome, SeerError> 
     train(
         gpu,
         &collection,
-        &TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() },
+        &TrainingConfig {
+            iteration_counts: vec![1, 19],
+            ..TrainingConfig::default()
+        },
     )
+}
+
+/// Trains the evaluation models on the default device and binds them to a
+/// ready-to-serve [`SeerEngine`] — the shared setup of every figure binary
+/// that performs runtime selection.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn evaluation_engine() -> Result<(SeerEngine, TrainingOutcome), SeerError> {
+    let gpu = Gpu::default();
+    let outcome = train_evaluation_models(&gpu)?;
+    let engine = SeerEngine::from_parts(gpu, outcome.models.clone());
+    Ok((engine, outcome))
 }
 
 /// Formats a time the way the paper's log-scale figures label bars.
@@ -71,8 +99,10 @@ mod tests {
     #[test]
     fn bar_length_grows_with_time() {
         let reference = SimTime::from_micros(10.0);
-        assert!(bar(SimTime::from_millis(10.0), reference).len()
-            > bar(SimTime::from_micros(20.0), reference).len());
+        assert!(
+            bar(SimTime::from_millis(10.0), reference).len()
+                > bar(SimTime::from_micros(20.0), reference).len()
+        );
     }
 
     #[test]

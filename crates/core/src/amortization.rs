@@ -11,7 +11,7 @@ use seer_kernels::{KernelId, MatrixBenchmark};
 use seer_sparse::CsrMatrix;
 
 use crate::benchmarking::BenchmarkRecord;
-use crate::inference::SeerPredictor;
+use crate::engine::SeerEngine;
 
 /// One point of the amortization sweep: a specific iteration count.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,10 +56,10 @@ pub struct AmortizationSweep {
 }
 
 impl AmortizationSweep {
-    /// Runs the sweep for `matrix` at each iteration count.
+    /// Runs the sweep for `matrix` at each iteration count on the engine's
+    /// device.
     pub fn run(
-        gpu: &Gpu,
-        predictor: &SeerPredictor<'_>,
+        engine: &SeerEngine,
         name: &str,
         matrix: &CsrMatrix,
         iteration_counts: &[usize],
@@ -67,18 +67,12 @@ impl AmortizationSweep {
         let points = iteration_counts
             .iter()
             .map(|&iterations| {
-                let record = BenchmarkRecord::measure(gpu, name, matrix, iterations);
-                let selection = predictor.select_from_record(&record);
+                let record = BenchmarkRecord::measure(engine.gpu(), name, matrix, iterations);
+                let selection = engine.select_from_record(&record);
                 let selector_total = selection.overhead() + record.total_of(selection.kernel);
 
-                let known_class =
-                    predictor.models().known.predict(&record.known_vector());
-                let known_kernel =
-                    KernelId::from_class_index(known_class).unwrap_or(KernelId::CsrAdaptive);
-                let gathered_class =
-                    predictor.models().gathered.predict(&record.gathered_vector());
-                let gathered_kernel =
-                    KernelId::from_class_index(gathered_class).unwrap_or(KernelId::CsrAdaptive);
+                let known_kernel = engine.predict_known(&record.known_vector());
+                let gathered_kernel = engine.predict_gathered(&record.gathered_vector());
 
                 AmortizationPoint {
                     iterations,
@@ -96,13 +90,19 @@ impl AmortizationSweep {
                 }
             })
             .collect();
-        Self { name: name.to_string(), points }
+        Self {
+            name: name.to_string(),
+            points,
+        }
     }
 
     /// The smallest swept iteration count at which `kernel` becomes the
     /// Oracle's choice, if it ever does.
     pub fn first_iteration_where_best(&self, kernel: KernelId) -> Option<usize> {
-        self.points.iter().find(|p| p.oracle == kernel).map(|p| p.iterations)
+        self.points
+            .iter()
+            .find(|p| p.oracle == kernel)
+            .map(|p| p.iterations)
     }
 }
 
@@ -126,28 +126,23 @@ pub fn amortization_crossover(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::training::{train, TrainingConfig};
+    use crate::training::TrainingConfig;
     use seer_sparse::collection::{generate, named_standins, CollectionConfig, SizeScale};
     use seer_sparse::{generators, SplitMix64};
 
-    fn trained_predictor(gpu: &Gpu) -> SeerPredictor<'_> {
+    fn trained_engine() -> SeerEngine {
         let entries = generate(&CollectionConfig::tiny());
-        let outcome = train(gpu, &entries, &TrainingConfig::fast()).unwrap();
-        SeerPredictor::new(gpu, outcome.models)
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        engine
     }
 
     #[test]
     fn sweep_points_follow_requested_iterations() {
-        let gpu = Gpu::default();
-        let predictor = trained_predictor(&gpu);
+        let engine = trained_engine();
         let standins = named_standins(SizeScale::Tiny);
-        let sweep = AmortizationSweep::run(
-            &gpu,
-            &predictor,
-            &standins[0].name,
-            &standins[0].matrix,
-            &[1, 19],
-        );
+        let sweep =
+            AmortizationSweep::run(&engine, &standins[0].name, &standins[0].matrix, &[1, 19]);
         assert_eq!(sweep.points.len(), 2);
         assert_eq!(sweep.points[0].iterations, 1);
         assert_eq!(sweep.points[1].iterations, 19);
@@ -159,11 +154,10 @@ mod tests {
 
     #[test]
     fn totals_grow_with_iterations() {
-        let gpu = Gpu::default();
-        let predictor = trained_predictor(&gpu);
+        let engine = trained_engine();
         let mut rng = SplitMix64::new(9);
         let m = generators::skewed_rows(2000, 3, 800, 0.01, &mut rng);
-        let sweep = AmortizationSweep::run(&gpu, &predictor, "skew", &m, &[1, 10, 100]);
+        let sweep = AmortizationSweep::run(&engine, "skew", &m, &[1, 10, 100]);
         for id in KernelId::ALL {
             assert!(sweep.points[0].total_of(id) < sweep.points[2].total_of(id));
         }
@@ -189,18 +183,21 @@ mod tests {
         // On a heavily skewed matrix ELL's per-iteration time is worse than
         // the work-oriented kernel, so its conversion never pays off.
         let m = generators::skewed_rows(10_000, 3, 5000, 0.002, &mut rng);
-        let crossover =
-            amortization_crossover(&gpu, &m, KernelId::EllThreadMapped, KernelId::CsrWorkOriented);
+        let crossover = amortization_crossover(
+            &gpu,
+            &m,
+            KernelId::EllThreadMapped,
+            KernelId::CsrWorkOriented,
+        );
         assert!(crossover.is_none());
     }
 
     #[test]
     fn oracle_choice_can_change_with_iteration_count() {
-        let gpu = Gpu::default();
-        let predictor = trained_predictor(&gpu);
+        let engine = trained_engine();
         let mut rng = SplitMix64::new(12);
         let m = generators::skewed_rows(60_000, 4, 5000, 0.003, &mut rng);
-        let sweep = AmortizationSweep::run(&gpu, &predictor, "skew", &m, &[1, 500]);
+        let sweep = AmortizationSweep::run(&engine, "skew", &m, &[1, 500]);
         // At one iteration a no-preprocessing kernel wins; by 500 iterations a
         // preprocessing kernel (adaptive or merge-path or ELL) can take over.
         // At minimum, the winner's per-iteration time must not get worse.

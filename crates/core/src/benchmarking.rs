@@ -103,7 +103,12 @@ pub fn benchmark_collection(
     let mut records = Vec::with_capacity(entries.len() * iteration_counts.len());
     for entry in entries {
         for &iterations in iteration_counts {
-            records.push(BenchmarkRecord::measure(gpu, &entry.name, &entry.matrix, iterations));
+            records.push(BenchmarkRecord::measure(
+                gpu,
+                &entry.name,
+                &entry.matrix,
+                iterations,
+            ));
         }
     }
     records
@@ -145,7 +150,10 @@ mod tests {
     #[test]
     fn collection_benchmark_produces_cartesian_product() {
         let gpu = Gpu::default();
-        let entries = generate(&CollectionConfig { matrices_per_family: 1, ..CollectionConfig::tiny() });
+        let entries = generate(&CollectionConfig {
+            matrices_per_family: 1,
+            ..CollectionConfig::tiny()
+        });
         let records = benchmark_collection(&gpu, &entries, &[1, 19]);
         assert_eq!(records.len(), entries.len() * 2);
         // Iteration counts alternate per entry.

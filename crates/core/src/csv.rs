@@ -33,13 +33,17 @@ pub fn kernel_benchmark_csv(records: &[BenchmarkRecord], kernel: KernelId) -> St
 /// Serialises the aggregated runtime CSV: `name,<kernel label>...` with one
 /// per-iteration runtime column per kernel.
 pub fn aggregate_runtime_csv(records: &[BenchmarkRecord]) -> String {
-    aggregate_csv(records, |record, kernel| record.profile(kernel).per_iteration)
+    aggregate_csv(records, |record, kernel| {
+        record.profile(kernel).per_iteration
+    })
 }
 
 /// Serialises the aggregated preprocessing CSV: `name,<kernel label>...` with
 /// one preprocessing-time column per kernel.
 pub fn aggregate_preprocessing_csv(records: &[BenchmarkRecord]) -> String {
-    aggregate_csv(records, |record, kernel| record.profile(kernel).preprocessing)
+    aggregate_csv(records, |record, kernel| {
+        record.profile(kernel).preprocessing
+    })
 }
 
 fn aggregate_csv(
@@ -198,14 +202,20 @@ mod tests {
         assert_eq!(table.rows.len(), records.len());
         assert_eq!(table.rows[0].0, "banded_a");
         // Values round-trip within float-formatting precision.
-        let expected = records[0].profile(KernelId::CsrAdaptive).per_iteration.as_millis();
+        let expected = records[0]
+            .profile(KernelId::CsrAdaptive)
+            .per_iteration
+            .as_millis();
         assert!((table.rows[0].1[0] - expected).abs() < 1e-9);
     }
 
     #[test]
     fn preprocessing_csv_differs_from_runtime_csv() {
         let records = sample_records();
-        assert_ne!(aggregate_runtime_csv(&records), aggregate_preprocessing_csv(&records));
+        assert_ne!(
+            aggregate_runtime_csv(&records),
+            aggregate_preprocessing_csv(&records)
+        );
     }
 
     #[test]
@@ -218,7 +228,10 @@ mod tests {
             "name,max_density,min_density,mean_density,var_density,collection_time_ms"
         );
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[1].split(',').count(), GatheredFeatures::NAMES.len() + 2);
+        assert_eq!(
+            lines[1].split(',').count(),
+            GatheredFeatures::NAMES.len() + 2
+        );
     }
 
     #[test]

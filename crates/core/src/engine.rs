@@ -1,0 +1,789 @@
+//! The Seer runtime service layer: an owned, thread-safe engine that amortizes
+//! selection cost across repeated and batched requests.
+//!
+//! The one-shot predictor of earlier revisions re-ran feature collection and
+//! re-walked the decision trees on every call. A production deployment of
+//! Seer faces the opposite traffic shape: the same matrices come back over
+//! and over (iterative solvers, request fleets hitting shared operators), so
+//! the engine memoizes per-matrix work behind a content fingerprint
+//! ([`seer_sparse::CsrMatrix::content_fingerprint`]):
+//!
+//! * **feature cache** — the gathered-feature collection (statistics + the
+//!   modelled GPU cost of collecting them) is computed once per distinct
+//!   matrix;
+//! * **plan cache** — the full [`Selection`] for a `(matrix, iterations,
+//!   policy)` triple is computed once and replayed bit-identically on every
+//!   later request.
+//!
+//! Hit/miss/fallback counters are exposed through [`SeerEngine::stats`] so
+//! evaluations can verify exactly how much work was saved.
+//!
+//! # Example: share one engine across threads
+//!
+//! ```
+//! use std::sync::Arc;
+//! use seer_core::engine::SeerEngine;
+//! use seer_core::training::TrainingConfig;
+//! use seer_gpu::Gpu;
+//! use seer_sparse::collection::{generate, CollectionConfig};
+//!
+//! # fn main() -> Result<(), seer_core::SeerError> {
+//! let collection = generate(&CollectionConfig::tiny());
+//! let (engine, _outcome) =
+//!     SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())?;
+//! let engine = Arc::new(engine);
+//!
+//! // `SeerEngine` is `Send + Sync`: clones of the handle can serve requests
+//! // from any thread, all sharing the same plan cache.
+//! let workers: Vec<_> = (0..2)
+//!     .map(|_| {
+//!         let engine = Arc::clone(&engine);
+//!         let matrix = collection[0].matrix.clone();
+//!         std::thread::spawn(move || engine.select(&matrix, 19))
+//!     })
+//!     .collect();
+//! let selections: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+//! assert_eq!(selections[0], selections[1]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use seer_gpu::{Gpu, SimTime};
+use seer_kernels::{kernel, KernelId};
+use seer_sparse::collection::DatasetEntry;
+use seer_sparse::{CsrMatrix, Scalar};
+
+use crate::benchmarking::BenchmarkRecord;
+use crate::features::{FeatureCollection, FeatureCollector, KnownFeatures};
+use crate::inference::{inference_overhead, ExecutionOutcome, Selection, SelectionPolicy};
+use crate::training::{train, SeerModels, TrainingConfig, TrainingOutcome};
+use crate::SeerError;
+
+/// Cache key of one memoized selection plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PlanKey {
+    fingerprint: u64,
+    iterations: usize,
+    policy: SelectionPolicy,
+}
+
+/// Snapshot of the engine's cache and fallback counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Selections answered straight from the plan cache.
+    pub plan_hits: u64,
+    /// Selections that had to be computed (and were then cached).
+    pub plan_misses: u64,
+    /// Gathered-feature collections actually performed (not replayed).
+    pub feature_collections: u64,
+    /// Times a model emitted an out-of-range class and the engine fell back
+    /// to the default kernel. Always zero for correctly trained models.
+    pub misprediction_fallbacks: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    feature_collections: AtomicU64,
+    misprediction_fallbacks: AtomicU64,
+}
+
+/// Where a selection's features come from: a live matrix (collection on
+/// demand, memoized) or a benchmark record (features already measured).
+enum FeatureSource<'m> {
+    Live {
+        matrix: &'m CsrMatrix,
+        fingerprint: u64,
+    },
+    Record {
+        record: &'m BenchmarkRecord,
+    },
+}
+
+/// Everything one selection needs, independent of which of the four public
+/// entry points produced it. All selection paths are a `SelectionCtx` plus a
+/// [`SelectionPolicy`] fed through [`SeerEngine::decide`].
+struct SelectionCtx<'m> {
+    known: Vec<f64>,
+    source: FeatureSource<'m>,
+}
+
+/// The Seer runtime engine: the three trained models bound to a device, with
+/// per-matrix plan caching and batch entry points.
+///
+/// The engine is owned (`'static`) and `Send + Sync`; wrap it in an
+/// [`Arc`] to serve selections from many threads. See the
+/// [module docs](self) for the caching model.
+#[derive(Debug)]
+pub struct SeerEngine {
+    gpu: Arc<Gpu>,
+    models: Arc<SeerModels>,
+    collector: FeatureCollector,
+    features: RwLock<HashMap<u64, FeatureCollection>>,
+    plans: RwLock<HashMap<PlanKey, Selection>>,
+    counters: Counters,
+}
+
+impl SeerEngine {
+    /// Creates an engine from shared handles to a device and trained models.
+    pub fn new(gpu: Arc<Gpu>, models: Arc<SeerModels>) -> Self {
+        Self {
+            gpu,
+            models,
+            collector: FeatureCollector::new(),
+            features: RwLock::new(HashMap::new()),
+            plans: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Creates an engine that takes ownership of a device and models.
+    pub fn from_parts(gpu: Gpu, models: SeerModels) -> Self {
+        Self::new(Arc::new(gpu), Arc::new(models))
+    }
+
+    /// Creates an engine from a finished training run.
+    pub fn from_training(gpu: Arc<Gpu>, outcome: &TrainingOutcome) -> Self {
+        Self::new(gpu, Arc::new(outcome.models.clone()))
+    }
+
+    /// Benchmarks `entries` on `gpu`, trains the three Seer models (Fig. 2)
+    /// and wraps them in a ready-to-serve engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures ([`SeerError::InsufficientData`] and
+    /// model-fitting errors).
+    pub fn train(
+        gpu: Gpu,
+        entries: &[DatasetEntry],
+        config: &TrainingConfig,
+    ) -> Result<(Self, TrainingOutcome), SeerError> {
+        let outcome = train(&gpu, entries, config)?;
+        let engine = Self::from_parts(gpu, outcome.models.clone());
+        Ok((engine, outcome))
+    }
+
+    /// The device this engine selects kernels for.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// A shared handle to the device, for callers spawning their own work.
+    pub fn gpu_handle(&self) -> Arc<Gpu> {
+        Arc::clone(&self.gpu)
+    }
+
+    /// The models backing this engine.
+    pub fn models(&self) -> &SeerModels {
+        &self.models
+    }
+
+    /// Snapshot of the cache and fallback counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.counters.plan_misses.load(Ordering::Relaxed),
+            feature_collections: self.counters.feature_collections.load(Ordering::Relaxed),
+            misprediction_fallbacks: self
+                .counters
+                .misprediction_fallbacks
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct selection plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Drops every cached plan and feature collection (counters are kept).
+    ///
+    /// Long-lived services cycling through unbounded distinct matrices should
+    /// call this periodically; entries are never evicted otherwise.
+    pub fn clear_caches(&self) {
+        self.plans
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.features
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Selects a kernel for `matrix` and a workload of `iterations`
+    /// iterations, following the classifier-selection flow of Fig. 3.
+    ///
+    /// Repeated calls with the same matrix content, iteration count and
+    /// policy are answered from the plan cache with a bit-identical
+    /// [`Selection`] and no recomputation.
+    pub fn select(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
+        self.select_with_policy(matrix, iterations, SelectionPolicy::Adaptive)
+    }
+
+    /// Selects a kernel using only the known-feature classifier (the "Known"
+    /// predictor evaluated in Fig. 5).
+    pub fn select_known_only(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
+        self.select_with_policy(matrix, iterations, SelectionPolicy::KnownOnly)
+    }
+
+    /// Selects a kernel by always collecting features and consulting the
+    /// gathered-feature classifier (the "Gathered" predictor of Fig. 5).
+    pub fn select_gathered_only(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
+        self.select_with_policy(matrix, iterations, SelectionPolicy::GatheredOnly)
+    }
+
+    /// Selects a kernel for `matrix` under an explicit [`SelectionPolicy`],
+    /// consulting and filling the plan cache.
+    pub fn select_with_policy(
+        &self,
+        matrix: &CsrMatrix,
+        iterations: usize,
+        policy: SelectionPolicy,
+    ) -> Selection {
+        self.select_with_policy_charged(matrix, iterations, policy)
+            .0
+    }
+
+    /// Cache-aware selection core. Returns the plan plus the overhead that
+    /// was actually incurred by *this call*: zero on a plan-cache replay,
+    /// tree walks plus (only if the collection kernels really ran) the
+    /// collection cost on a miss. The plan itself always reports its
+    /// intrinsic costs, so cached replays stay bit-identical.
+    ///
+    /// The content fingerprint is the cache key by design — it is what lets
+    /// a mutated matrix miss and a regenerated identical one hit. First
+    /// contact with a matrix therefore pays one O(nnz) hash pass even on the
+    /// known-features-only path; [`CsrMatrix::content_fingerprint`] memoizes
+    /// it, so the pass runs once per matrix value, not per call.
+    fn select_with_policy_charged(
+        &self,
+        matrix: &CsrMatrix,
+        iterations: usize,
+        policy: SelectionPolicy,
+    ) -> (Selection, SimTime) {
+        let fingerprint = matrix.content_fingerprint();
+        let key = PlanKey {
+            fingerprint,
+            iterations,
+            policy,
+        };
+        if let Some(plan) = self
+            .plans
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .copied()
+        {
+            self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return (plan, SimTime::ZERO);
+        }
+        self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let ctx = SelectionCtx {
+            known: KnownFeatures::of(matrix, iterations).to_vector(),
+            source: FeatureSource::Live {
+                matrix,
+                fingerprint,
+            },
+        };
+        let (selection, collection_ran) = self.decide(ctx, policy);
+        self.plans
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, selection);
+        let charged = if collection_ran {
+            selection.overhead()
+        } else {
+            selection.inference_overhead
+        };
+        (selection, charged)
+    }
+
+    /// Performs the Fig. 3 selection using the features already stored in a
+    /// benchmark record (no re-collection), charging the recorded collection
+    /// cost when the gathered path is taken.
+    pub fn select_from_record(&self, record: &BenchmarkRecord) -> Selection {
+        self.select_from_record_with_policy(record, SelectionPolicy::Adaptive)
+    }
+
+    /// Record-based selection under an explicit policy.
+    ///
+    /// Records carry their features with them, so this path never touches the
+    /// feature or plan caches.
+    pub fn select_from_record_with_policy(
+        &self,
+        record: &BenchmarkRecord,
+        policy: SelectionPolicy,
+    ) -> Selection {
+        let ctx = SelectionCtx {
+            known: record.known_vector(),
+            source: FeatureSource::Record { record },
+        };
+        self.decide(ctx, policy).0
+    }
+
+    /// Modelled total workload time if Seer's selection is followed, reusing a
+    /// benchmark record instead of re-measuring (used by the evaluation
+    /// binaries so Fig. 5 sums stay consistent with training data).
+    pub fn modelled_total_from_record(&self, record: &BenchmarkRecord) -> SimTime {
+        let selection = self.select_from_record(record);
+        selection.overhead() + record.total_of(selection.kernel)
+    }
+
+    /// Runs the full pipeline: select a kernel, execute it functionally and
+    /// return the modelled end-to-end time of the workload.
+    ///
+    /// Selection overhead (feature collection + tree walks) is charged only
+    /// when the plan is computed; a cache-replayed plan contributes kernel
+    /// time alone, so repeated executions on the same matrix pay the
+    /// selection cost once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute(&self, matrix: &CsrMatrix, x: &[Scalar], iterations: usize) -> ExecutionOutcome {
+        let (selection, charged_overhead) =
+            self.select_with_policy_charged(matrix, iterations, SelectionPolicy::Adaptive);
+        let kernel = kernel(selection.kernel);
+        let result = kernel.compute(matrix, x);
+        let profile = kernel.measure(&self.gpu, matrix, iterations);
+        // Only the selection work that actually ran on this call is billed:
+        // nothing for a plan replay, tree walks alone when the gathered
+        // features came from the feature cache. The embedded `selection`
+        // still reports the plan's intrinsic costs.
+        ExecutionOutcome {
+            selection,
+            result,
+            total_time: charged_overhead + profile.total(),
+        }
+    }
+
+    /// Selects kernels for a batch of `(matrix, iterations)` requests.
+    ///
+    /// Results are returned in request order. Duplicate matrices inside one
+    /// batch hit the plan cache just like repeated single calls, so a batch
+    /// of N requests over one distinct matrix pays for one selection.
+    pub fn select_batch(&self, requests: &[(&CsrMatrix, usize)]) -> Vec<Selection> {
+        requests
+            .iter()
+            .map(|&(matrix, iterations)| self.select(matrix, iterations))
+            .collect()
+    }
+
+    /// Executes a batch of `(matrix, x, iterations)` workloads, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has `x.len() != matrix.cols()`.
+    pub fn execute_batch(
+        &self,
+        requests: &[(&CsrMatrix, &[Scalar], usize)],
+    ) -> Vec<ExecutionOutcome> {
+        requests
+            .iter()
+            .map(|&(matrix, x, iterations)| self.execute(matrix, x, iterations))
+            .collect()
+    }
+
+    /// Maps a known-feature classifier output to a kernel, counting (and, in
+    /// debug builds, rejecting) out-of-range classes.
+    pub fn predict_known(&self, known_vector: &[f64]) -> KernelId {
+        self.kernel_from_class(self.models.known.predict(known_vector))
+    }
+
+    /// Maps a gathered-feature classifier output to a kernel, counting (and,
+    /// in debug builds, rejecting) out-of-range classes.
+    pub fn predict_gathered(&self, gathered_vector: &[f64]) -> KernelId {
+        self.kernel_from_class(self.models.gathered.predict(gathered_vector))
+    }
+
+    /// The single selection routine behind every public entry point: charge
+    /// the tree walks the policy requires, resolve gathered features from the
+    /// context's source when needed, and map the winning class to a kernel.
+    fn decide(&self, ctx: SelectionCtx<'_>, policy: SelectionPolicy) -> (Selection, bool) {
+        let mut tree_nodes = 0;
+        let gather = match policy {
+            SelectionPolicy::Adaptive => {
+                tree_nodes += self.models.selector.decision_path_length(&ctx.known);
+                self.models.selector.predict(&ctx.known) == 1
+            }
+            SelectionPolicy::KnownOnly => false,
+            SelectionPolicy::GatheredOnly => true,
+        };
+        let mut collection_ran = false;
+        let (kernel, collection_cost) = if gather {
+            let (gathered, cost, ran) = self.gathered_vector(&ctx);
+            collection_ran = ran;
+            tree_nodes += self.models.gathered.decision_path_length(&gathered);
+            (
+                self.kernel_from_class(self.models.gathered.predict(&gathered)),
+                cost,
+            )
+        } else {
+            tree_nodes += self.models.known.decision_path_length(&ctx.known);
+            (
+                self.kernel_from_class(self.models.known.predict(&ctx.known)),
+                SimTime::ZERO,
+            )
+        };
+        let selection = Selection {
+            kernel,
+            used_gathered: gather,
+            feature_collection_cost: collection_cost,
+            inference_overhead: inference_overhead(tree_nodes),
+        };
+        (selection, collection_ran)
+    }
+
+    /// The full gathered-path feature vector (known ++ gathered), the
+    /// intrinsic collection cost of the plan, and whether the collection
+    /// kernels actually ran on this call (false on a feature-cache replay or
+    /// a record-based context).
+    fn gathered_vector(&self, ctx: &SelectionCtx<'_>) -> (Vec<f64>, SimTime, bool) {
+        let (features, cost, ran) = match ctx.source {
+            FeatureSource::Live {
+                matrix,
+                fingerprint,
+            } => {
+                let (collection, ran) = self.collect_cached(matrix, fingerprint);
+                (collection.features.to_vector(), collection.cost, ran)
+            }
+            FeatureSource::Record { record } => {
+                (record.gathered.to_vector(), record.collection_cost, false)
+            }
+        };
+        let mut gathered = ctx.known.clone();
+        gathered.extend(features);
+        (gathered, cost, ran)
+    }
+
+    /// Runs the feature-collection kernels at most once per distinct matrix.
+    /// The boolean is `true` when the kernels ran on this call (a cache miss).
+    fn collect_cached(&self, matrix: &CsrMatrix, fingerprint: u64) -> (FeatureCollection, bool) {
+        if let Some(collection) = self
+            .features
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fingerprint)
+            .copied()
+        {
+            return (collection, false);
+        }
+        let collection = self.collector.collect(&self.gpu, matrix);
+        self.counters
+            .feature_collections
+            .fetch_add(1, Ordering::Relaxed);
+        self.features
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fingerprint, collection);
+        (collection, true)
+    }
+
+    /// The one place an out-of-range model output can reach a kernel choice:
+    /// debug builds treat it as a model/registry mismatch and abort, release
+    /// builds count the fallback and launch the paper's default kernel.
+    fn kernel_from_class(&self, class: usize) -> KernelId {
+        KernelId::from_class_index(class).unwrap_or_else(|| {
+            debug_assert!(
+                false,
+                "classifier produced class {class}, but only {} kernels are registered",
+                KernelId::ALL.len()
+            );
+            self.counters
+                .misprediction_fallbacks
+                .fetch_add(1, Ordering::Relaxed);
+            KernelId::CsrAdaptive
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seer_sparse::collection::{generate, CollectionConfig};
+
+    fn engine_and_collection() -> (SeerEngine, Vec<DatasetEntry>) {
+        let entries = generate(&CollectionConfig::tiny());
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        (engine, entries)
+    }
+
+    #[test]
+    fn engine_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<SeerEngine>();
+    }
+
+    #[test]
+    fn selection_returns_valid_kernel_and_overheads() {
+        let (engine, entries) = engine_and_collection();
+        for entry in entries.iter().take(6) {
+            let selection = engine.select(&entry.matrix, 1);
+            assert!(KernelId::ALL.contains(&selection.kernel));
+            assert!(selection.inference_overhead.as_nanos() > 0.0);
+            if selection.used_gathered {
+                assert!(selection.feature_collection_cost.as_nanos() > 0.0);
+            } else {
+                assert_eq!(selection.feature_collection_cost, SimTime::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_select_hits_the_plan_cache_exactly() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[0].matrix;
+
+        let first = engine.select(matrix, 19);
+        let after_first = engine.stats();
+        assert_eq!(after_first.plan_hits, 0);
+        assert_eq!(after_first.plan_misses, 1);
+
+        let second = engine.select(matrix, 19);
+        let after_second = engine.stats();
+        // Bit-identical replay, one hit, no extra miss, no extra collection.
+        assert_eq!(first, second);
+        assert_eq!(after_second.plan_hits, 1);
+        assert_eq!(after_second.plan_misses, 1);
+        assert_eq!(
+            after_second.feature_collections,
+            after_first.feature_collections
+        );
+        assert_eq!(engine.cached_plans(), 1);
+    }
+
+    #[test]
+    fn different_iterations_or_policy_are_distinct_plans() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[0].matrix;
+        engine.select(matrix, 1);
+        engine.select(matrix, 19);
+        engine.select_known_only(matrix, 1);
+        engine.select_gathered_only(matrix, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.plan_misses, 4);
+        assert_eq!(stats.plan_hits, 0);
+        assert_eq!(engine.cached_plans(), 4);
+        // The gathered collection itself is shared across plans: at most one
+        // collection ran for this matrix no matter how many plans needed it.
+        assert!(stats.feature_collections <= 1);
+    }
+
+    #[test]
+    fn mutated_matrix_misses_the_cache() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[0].matrix;
+        engine.select(matrix, 1);
+
+        // Same shape, one value changed: must be a different plan.
+        let mut values = matrix.values().to_vec();
+        values[0] += 0.5;
+        let mutated = CsrMatrix::try_new(
+            matrix.rows(),
+            matrix.cols(),
+            matrix.row_offsets().to_vec(),
+            matrix.col_indices().to_vec(),
+            values,
+        )
+        .unwrap();
+        engine.select(&mutated, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.plan_hits, 0);
+
+        // A regenerated bit-identical matrix is the same content: cache hit.
+        let clone = matrix.clone();
+        engine.select(&clone, 1);
+        assert_eq!(engine.stats().plan_hits, 1);
+    }
+
+    #[test]
+    fn clear_caches_resets_plans_but_keeps_counters() {
+        let (engine, entries) = engine_and_collection();
+        engine.select(&entries[0].matrix, 1);
+        assert_eq!(engine.cached_plans(), 1);
+        engine.clear_caches();
+        assert_eq!(engine.cached_plans(), 0);
+        assert_eq!(engine.stats().plan_misses, 1);
+        engine.select(&entries[0].matrix, 1);
+        assert_eq!(engine.stats().plan_misses, 2);
+    }
+
+    #[test]
+    fn known_only_never_pays_collection() {
+        let (engine, entries) = engine_and_collection();
+        let s = engine.select_known_only(&entries[0].matrix, 1);
+        assert!(!s.used_gathered);
+        assert_eq!(s.feature_collection_cost, SimTime::ZERO);
+    }
+
+    #[test]
+    fn gathered_only_always_pays_collection() {
+        let (engine, entries) = engine_and_collection();
+        let s = engine.select_gathered_only(&entries[0].matrix, 1);
+        assert!(s.used_gathered);
+        assert!(s.feature_collection_cost.as_nanos() > 0.0);
+    }
+
+    #[test]
+    fn execute_produces_correct_spmv_result() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[3].matrix;
+        let x: Vec<f64> = (0..matrix.cols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let outcome = engine.execute(matrix, &x, 2);
+        let reference = matrix.spmv(&x);
+        assert_eq!(outcome.result.len(), reference.len());
+        for (a, b) in outcome.result.iter().zip(&reference) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+        assert!(outcome.total_time >= outcome.selection.overhead());
+    }
+
+    #[test]
+    fn feature_cache_replay_is_not_billed_again() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[0].matrix;
+
+        // First gathered selection: the collection kernels really run, so the
+        // call is charged the full overhead.
+        let (first, charge_first) =
+            engine.select_with_policy_charged(matrix, 1, SelectionPolicy::GatheredOnly);
+        assert_eq!(charge_first, first.overhead());
+        assert_eq!(engine.stats().feature_collections, 1);
+
+        // A different plan key on the same matrix replays the collection from
+        // the feature cache: the plan still reports the intrinsic collection
+        // cost, but this call is only charged its tree walks.
+        let (second, charge_second) =
+            engine.select_with_policy_charged(matrix, 19, SelectionPolicy::GatheredOnly);
+        assert_eq!(engine.stats().feature_collections, 1);
+        assert!(second.feature_collection_cost.as_nanos() > 0.0);
+        assert_eq!(charge_second, second.inference_overhead);
+
+        // And a plan replay is charged nothing at all.
+        let (_, charge_third) =
+            engine.select_with_policy_charged(matrix, 19, SelectionPolicy::GatheredOnly);
+        assert_eq!(charge_third, SimTime::ZERO);
+    }
+
+    #[test]
+    fn repeated_execute_amortizes_selection_overhead() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[2].matrix;
+        let x: Vec<f64> = vec![1.0; matrix.cols()];
+        let first = engine.execute(matrix, &x, 5);
+        let second = engine.execute(matrix, &x, 5);
+        // Identical plan, identical kernel time — but the replay charges no
+        // selection overhead.
+        assert_eq!(first.selection, second.selection);
+        assert!(first.selection.overhead().as_nanos() > 0.0);
+        assert_eq!(
+            first.total_time,
+            first.selection.overhead() + second.total_time
+        );
+    }
+
+    #[test]
+    fn record_based_selection_matches_live_selection() {
+        let (engine, entries) = engine_and_collection();
+        for entry in entries.iter().take(5) {
+            let record = BenchmarkRecord::measure(engine.gpu(), &entry.name, &entry.matrix, 1);
+            let live = engine.select(&entry.matrix, 1);
+            let recorded = engine.select_from_record(&record);
+            assert_eq!(live.kernel, recorded.kernel);
+            assert_eq!(live.used_gathered, recorded.used_gathered);
+        }
+    }
+
+    #[test]
+    fn modelled_total_is_at_least_the_chosen_kernel_total() {
+        let (engine, entries) = engine_and_collection();
+        let record =
+            BenchmarkRecord::measure(engine.gpu(), &entries[1].name, &entries[1].matrix, 19);
+        let selection = engine.select_from_record(&record);
+        let total = engine.modelled_total_from_record(&record);
+        assert!(total >= record.total_of(selection.kernel));
+    }
+
+    #[test]
+    fn batch_entry_points_match_single_calls_and_share_plans() {
+        let (engine, entries) = engine_and_collection();
+        let a = &entries[0].matrix;
+        let b = &entries[1].matrix;
+        let selections = engine.select_batch(&[(a, 1), (b, 1), (a, 1), (a, 19)]);
+        assert_eq!(selections.len(), 4);
+        assert_eq!(selections[0], selections[2]);
+        let stats = engine.stats();
+        // (a,1), (b,1), (a,19) computed; second (a,1) replayed.
+        assert_eq!(stats.plan_misses, 3);
+        assert_eq!(stats.plan_hits, 1);
+
+        let x_a: Vec<f64> = vec![1.0; a.cols()];
+        let x_b: Vec<f64> = vec![1.0; b.cols()];
+        let outcomes = engine.execute_batch(&[(a, x_a.as_slice(), 1), (b, x_b.as_slice(), 1)]);
+        assert_eq!(outcomes.len(), 2);
+        for (outcome, reference) in outcomes.iter().zip([a.spmv(&x_a), b.spmv(&x_b)]) {
+            assert_eq!(outcome.result.len(), reference.len());
+            for (got, want) in outcome.result.iter().zip(&reference) {
+                assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+            }
+        }
+        // Both executes replayed plans cached by the select_batch above.
+        assert_eq!(engine.stats().plan_misses, 3);
+    }
+
+    #[test]
+    fn concurrent_selects_share_one_cache() {
+        let (engine, entries) = engine_and_collection();
+        let engine = Arc::new(engine);
+        let matrix = entries[0].matrix.clone();
+        let per_thread = 8;
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let matrix = matrix.clone();
+                std::thread::spawn(move || {
+                    (0..per_thread)
+                        .map(|_| engine.select(&matrix, 19))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Selection>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect();
+        for selections in &results {
+            for s in selections {
+                assert_eq!(*s, results[0][0]);
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.plan_hits + stats.plan_misses, 2 * per_thread);
+        // Both threads raced on the same key: at most one miss per thread,
+        // at least one plan computed.
+        assert!(stats.plan_misses >= 1 && stats.plan_misses <= 2);
+        assert_eq!(engine.cached_plans(), 1);
+    }
+
+    #[test]
+    fn no_fallbacks_for_correctly_trained_models() {
+        let (engine, entries) = engine_and_collection();
+        for entry in entries.iter().take(4) {
+            engine.select(&entry.matrix, 1);
+            engine.select_gathered_only(&entry.matrix, 1);
+        }
+        assert_eq!(engine.stats().misprediction_fallbacks, 0);
+    }
+}

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = SeerError::InsufficientData { reason: "empty collection".into() };
+        let err = SeerError::InsufficientData {
+            reason: "empty collection".into(),
+        };
         assert!(err.to_string().contains("empty collection"));
     }
 

@@ -6,7 +6,7 @@ use seer_kernels::KernelId;
 use seer_ml::metrics;
 
 use crate::benchmarking::BenchmarkRecord;
-use crate::inference::SeerPredictor;
+use crate::engine::SeerEngine;
 
 /// Aggregate workload time of one selection approach over a set of records.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,9 +92,7 @@ impl EvaluationReport {
             .iter()
             .flat_map(|r| {
                 let selector_time = r.selector.1;
-                r.per_kernel
-                    .iter()
-                    .map(move |(_, t)| *t / selector_time)
+                r.per_kernel.iter().map(move |(_, t)| *t / selector_time)
             })
             .collect();
         metrics::geometric_mean(&ratios)
@@ -111,8 +109,8 @@ impl EvaluationReport {
     }
 }
 
-/// Evaluates the trained predictor over `records`.
-pub fn evaluate(predictor: &SeerPredictor<'_>, records: &[BenchmarkRecord]) -> EvaluationReport {
+/// Evaluates the trained engine over `records`.
+pub fn evaluate(engine: &SeerEngine, records: &[BenchmarkRecord]) -> EvaluationReport {
     let mut oracle_sum = SimTime::ZERO;
     let mut selector_sum = SimTime::ZERO;
     let mut gathered_sum = SimTime::ZERO;
@@ -128,19 +126,15 @@ pub fn evaluate(predictor: &SeerPredictor<'_>, records: &[BenchmarkRecord]) -> E
         let oracle_kernel = record.best_kernel();
         let oracle_total = record.total_of(oracle_kernel);
 
-        let selection = predictor.select_from_record(record);
+        let selection = engine.select_from_record(record);
         let selector_total = selection.overhead() + record.total_of(selection.kernel);
 
         // Always-gathered predictor: gathered model + collection cost.
-        let gathered_class = predictor.models().gathered.predict(&record.gathered_vector());
-        let gathered_kernel =
-            KernelId::from_class_index(gathered_class).unwrap_or(KernelId::CsrAdaptive);
+        let gathered_kernel = engine.predict_gathered(&record.gathered_vector());
         let gathered_total = record.collection_cost + record.total_of(gathered_kernel);
 
         // Known-only predictor.
-        let known_class = predictor.models().known.predict(&record.known_vector());
-        let known_kernel =
-            KernelId::from_class_index(known_class).unwrap_or(KernelId::CsrAdaptive);
+        let known_kernel = engine.predict_known(&record.known_vector());
         let known_total = record.total_of(known_kernel);
 
         oracle_sum += oracle_total;
@@ -164,7 +158,10 @@ pub fn evaluate(predictor: &SeerPredictor<'_>, records: &[BenchmarkRecord]) -> E
             selector_used_gathered: selection.used_gathered,
             gathered: (gathered_kernel, gathered_total),
             known: (known_kernel, known_total),
-            per_kernel: KernelId::ALL.iter().map(|&id| (id, record.total_of(id))).collect(),
+            per_kernel: KernelId::ALL
+                .iter()
+                .map(|&id| (id, record.total_of(id)))
+                .collect(),
         });
     }
 
@@ -177,8 +174,12 @@ pub fn evaluate(predictor: &SeerPredictor<'_>, records: &[BenchmarkRecord]) -> E
             let ratios: Vec<f64> = evaluations
                 .iter()
                 .map(|e| {
-                    let kernel_time =
-                        e.per_kernel.iter().find(|(k, _)| *k == id).expect("present").1;
+                    let kernel_time = e
+                        .per_kernel
+                        .iter()
+                        .find(|(k, _)| *k == id)
+                        .expect("present")
+                        .1;
                     kernel_time / e.selector.1
                 })
                 .collect();
@@ -206,21 +207,20 @@ pub fn evaluate(predictor: &SeerPredictor<'_>, records: &[BenchmarkRecord]) -> E
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::training::{train, TrainingConfig};
+    use crate::training::TrainingConfig;
     use seer_gpu::Gpu;
     use seer_sparse::collection::{generate, CollectionConfig};
 
     fn report() -> EvaluationReport {
-        let gpu = Gpu::default();
         let entries = generate(&CollectionConfig::tiny());
-        let outcome = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
-        let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+        let (engine, outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
         let records = if outcome.test_records.is_empty() {
             outcome.train_records.clone()
         } else {
             outcome.test_records.clone()
         };
-        evaluate(&predictor, &records)
+        evaluate(&engine, &records)
     }
 
     #[test]
@@ -237,7 +237,12 @@ mod tests {
     #[test]
     fn accuracies_and_rates_are_probabilities() {
         let r = report();
-        for v in [r.selector_accuracy, r.known_accuracy, r.gathered_accuracy, r.gather_rate] {
+        for v in [
+            r.selector_accuracy,
+            r.known_accuracy,
+            r.gathered_accuracy,
+            r.gather_rate,
+        ] {
             assert!((0.0..=1.0).contains(&v));
         }
     }

@@ -33,12 +33,22 @@ impl KnownFeatures {
 
     /// Extracts the known features of `matrix` for a workload of `iterations`.
     pub fn of(matrix: &CsrMatrix, iterations: usize) -> Self {
-        Self { rows: matrix.rows(), cols: matrix.cols(), nnz: matrix.nnz(), iterations }
+        Self {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            nnz: matrix.nnz(),
+            iterations,
+        }
     }
 
     /// The feature vector consumed by the known-feature classifier.
     pub fn to_vector(self) -> Vec<f64> {
-        vec![self.rows as f64, self.cols as f64, self.nnz as f64, self.iterations as f64]
+        vec![
+            self.rows as f64,
+            self.cols as f64,
+            self.nnz as f64,
+            self.iterations as f64,
+        ]
     }
 }
 
@@ -58,7 +68,8 @@ pub struct GatheredFeatures {
 
 impl GatheredFeatures {
     /// Names of the gathered features, in vector order.
-    pub const NAMES: [&'static str; 4] = ["max_density", "min_density", "mean_density", "var_density"];
+    pub const NAMES: [&'static str; 4] =
+        ["max_density", "min_density", "mean_density", "var_density"];
 
     /// Computes the gathered features from precomputed row statistics.
     pub fn from_stats(stats: &RowStats) -> Self {
@@ -72,7 +83,12 @@ impl GatheredFeatures {
 
     /// The gathered-feature part of the feature vector.
     pub fn to_vector(self) -> Vec<f64> {
-        vec![self.max_density, self.min_density, self.mean_density, self.var_density]
+        vec![
+            self.max_density,
+            self.min_density,
+            self.mean_density,
+            self.var_density,
+        ]
     }
 }
 
@@ -176,7 +192,10 @@ mod tests {
         let m = generators::skewed_rows(500, 3, 200, 0.05, &mut rng);
         let stats = RowStats::compute(&m);
         let gathered = GatheredFeatures::from_stats(&stats);
-        assert_eq!(gathered.to_vector(), stats.density_feature_vector().to_vec());
+        assert_eq!(
+            gathered.to_vector(),
+            stats.density_feature_vector().to_vec()
+        );
         assert_eq!(GatheredFeatures::NAMES.len(), gathered.to_vector().len());
     }
 
@@ -195,7 +214,12 @@ mod tests {
         let large = CsrMatrix::identity(2_000_000);
         let t_small = collector.collection_cost(&gpu, &small);
         let t_large = collector.collection_cost(&gpu, &large);
-        assert!(t_large > t_small * 2.0, "large {} vs small {}", t_large.as_micros(), t_small.as_micros());
+        assert!(
+            t_large > t_small * 2.0,
+            "large {} vs small {}",
+            t_large.as_micros(),
+            t_small.as_micros()
+        );
     }
 
     #[test]

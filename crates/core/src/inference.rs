@@ -1,24 +1,51 @@
-//! Runtime inference (Fig. 3 of the paper).
+//! Runtime-selection vocabulary (Fig. 3 of the paper).
 //!
 //! At runtime, Seer consults the classifier-selection model on the trivially
 //! known features. If the selector decides feature collection is worthwhile,
 //! the feature-collection kernels are executed (and their cost charged), and
 //! the gathered-feature classifier names the kernel to launch; otherwise the
 //! known-feature classifier answers immediately.
+//!
+//! This module defines the shared vocabulary of that flow — [`Selection`],
+//! [`ExecutionOutcome`], [`SelectionPolicy`] and the modelled decision-tree
+//! [`inference_overhead`]. The service that actually performs selections
+//! (with plan caching and batching) is [`crate::engine::SeerEngine`].
 
-use seer_gpu::{Gpu, SimTime};
-use seer_kernels::{kernel_for, KernelId};
-use seer_sparse::{CsrMatrix, Scalar};
-
-use crate::benchmarking::BenchmarkRecord;
-use crate::features::{FeatureCollector, KnownFeatures};
-use crate::training::SeerModels;
+use seer_gpu::SimTime;
+use seer_kernels::KernelId;
+use seer_sparse::Scalar;
 
 /// Approximate wall-clock cost of evaluating one decision-tree comparison.
 ///
 /// The paper notes the inference cost of a decision tree is negligible but
 /// still accounts for it; we do the same.
 const NANOS_PER_TREE_NODE: f64 = 15.0;
+
+/// Modelled cost of walking `tree_nodes` decision-tree comparisons.
+///
+/// Every selection path charges its tree walks through this one helper so the
+/// inference-overhead accounting cannot drift between paths.
+pub fn inference_overhead(tree_nodes: usize) -> SimTime {
+    SimTime::from_nanos(tree_nodes as f64 * NANOS_PER_TREE_NODE)
+}
+
+/// Which predictor flow a selection follows.
+///
+/// The paper's runtime flow is [`SelectionPolicy::Adaptive`]; the other two
+/// are the fixed "Known" and "Gathered" predictors evaluated against it in
+/// Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SelectionPolicy {
+    /// Full Fig. 3 flow: the classifier-selection model decides per input
+    /// whether paying for feature collection is worthwhile.
+    Adaptive,
+    /// Always answer from the known-feature classifier (never collect).
+    KnownOnly,
+    /// Always collect features and answer from the gathered-feature
+    /// classifier.
+    GatheredOnly,
+}
 
 /// The outcome of one runtime selection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,221 +78,44 @@ pub struct ExecutionOutcome {
     pub total_time: SimTime,
 }
 
-/// The Seer runtime predictor: the three trained models bound to a device.
-#[derive(Debug, Clone)]
-pub struct SeerPredictor<'a> {
-    gpu: &'a Gpu,
-    models: SeerModels,
-    collector: FeatureCollector,
-}
-
-impl<'a> SeerPredictor<'a> {
-    /// Creates a predictor from trained models.
-    pub fn new(gpu: &'a Gpu, models: SeerModels) -> Self {
-        Self { gpu, models, collector: FeatureCollector::new() }
-    }
-
-    /// The models backing this predictor.
-    pub fn models(&self) -> &SeerModels {
-        &self.models
-    }
-
-    /// Selects a kernel for `matrix` and a workload of `iterations` iterations,
-    /// following the classifier-selection flow of Fig. 3.
-    pub fn select(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
-        let known = KnownFeatures::of(matrix, iterations).to_vector();
-        let mut tree_nodes = self.models.selector.decision_path_length(&known);
-        let gather = self.models.selector.predict(&known) == 1;
-        let (kernel, collection_cost) = if gather {
-            let collection = self.collector.collect(self.gpu, matrix);
-            let mut features = known.clone();
-            features.extend(collection.features.to_vector());
-            tree_nodes += self.models.gathered.decision_path_length(&features);
-            let class = self.models.gathered.predict(&features);
-            (KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive), collection.cost)
-        } else {
-            tree_nodes += self.models.known.decision_path_length(&known);
-            let class = self.models.known.predict(&known);
-            (KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive), SimTime::ZERO)
-        };
-        Selection {
-            kernel,
-            used_gathered: gather,
-            feature_collection_cost: collection_cost,
-            inference_overhead: SimTime::from_nanos(tree_nodes as f64 * NANOS_PER_TREE_NODE),
-        }
-    }
-
-    /// Selects a kernel using only the known-feature classifier (the "Known"
-    /// predictor evaluated in Fig. 5).
-    pub fn select_known_only(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
-        let known = KnownFeatures::of(matrix, iterations).to_vector();
-        let class = self.models.known.predict(&known);
-        Selection {
-            kernel: KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive),
-            used_gathered: false,
-            feature_collection_cost: SimTime::ZERO,
-            inference_overhead: SimTime::from_nanos(
-                self.models.known.decision_path_length(&known) as f64 * NANOS_PER_TREE_NODE,
-            ),
-        }
-    }
-
-    /// Selects a kernel by always collecting features and consulting the
-    /// gathered-feature classifier (the "Gathered" predictor of Fig. 5).
-    pub fn select_gathered_only(&self, matrix: &CsrMatrix, iterations: usize) -> Selection {
-        let collection = self.collector.collect(self.gpu, matrix);
-        let mut features = KnownFeatures::of(matrix, iterations).to_vector();
-        features.extend(collection.features.to_vector());
-        let class = self.models.gathered.predict(&features);
-        Selection {
-            kernel: KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive),
-            used_gathered: true,
-            feature_collection_cost: collection.cost,
-            inference_overhead: SimTime::from_nanos(
-                self.models.gathered.decision_path_length(&features) as f64 * NANOS_PER_TREE_NODE,
-            ),
-        }
-    }
-
-    /// Runs the full pipeline: select a kernel, execute it functionally and
-    /// return the modelled end-to-end time of the workload.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x.len() != matrix.cols()`.
-    pub fn execute(
-        &self,
-        matrix: &CsrMatrix,
-        x: &[Scalar],
-        iterations: usize,
-    ) -> ExecutionOutcome {
-        let selection = self.select(matrix, iterations);
-        let kernel = kernel_for(selection.kernel);
-        let result = kernel.compute(matrix, x);
-        let profile = kernel.measure(self.gpu, matrix, iterations);
-        ExecutionOutcome { selection, result, total_time: selection.overhead() + profile.total() }
-    }
-
-    /// Modelled total workload time if Seer's selection is followed, reusing a
-    /// benchmark record instead of re-measuring (used by the evaluation
-    /// binaries so Fig. 5 sums stay consistent with training data).
-    pub fn modelled_total_from_record(&self, record: &BenchmarkRecord) -> SimTime {
-        let selection = self.select_from_record(record);
-        selection.overhead() + record.total_of(selection.kernel)
-    }
-
-    /// Performs the Fig. 3 selection using the features already stored in a
-    /// benchmark record (no re-collection), charging the recorded collection
-    /// cost when the gathered path is taken.
-    pub fn select_from_record(&self, record: &BenchmarkRecord) -> Selection {
-        let known = record.known_vector();
-        let mut tree_nodes = self.models.selector.decision_path_length(&known);
-        let gather = self.models.selector.predict(&known) == 1;
-        let (kernel, collection_cost) = if gather {
-            let features = record.gathered_vector();
-            tree_nodes += self.models.gathered.decision_path_length(&features);
-            let class = self.models.gathered.predict(&features);
-            (
-                KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive),
-                record.collection_cost,
-            )
-        } else {
-            tree_nodes += self.models.known.decision_path_length(&known);
-            let class = self.models.known.predict(&known);
-            (KernelId::from_class_index(class).unwrap_or(KernelId::CsrAdaptive), SimTime::ZERO)
-        };
-        Selection {
-            kernel,
-            used_gathered: gather,
-            feature_collection_cost: collection_cost,
-            inference_overhead: SimTime::from_nanos(tree_nodes as f64 * NANOS_PER_TREE_NODE),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::training::{train, TrainingConfig};
-    use seer_sparse::collection::{generate, CollectionConfig};
 
-    fn predictor_and_collection() -> (Gpu, SeerModels, Vec<seer_sparse::collection::DatasetEntry>) {
-        let gpu = Gpu::default();
-        let entries = generate(&CollectionConfig::tiny());
-        let outcome = train(&gpu, &entries, &TrainingConfig::fast()).unwrap();
-        (gpu, outcome.models, entries)
+    #[test]
+    fn inference_overhead_is_linear_in_tree_nodes() {
+        assert_eq!(inference_overhead(0), SimTime::ZERO);
+        assert_eq!(inference_overhead(10), SimTime::from_nanos(150.0));
+        assert_eq!(
+            inference_overhead(3) + inference_overhead(4),
+            inference_overhead(7)
+        );
     }
 
     #[test]
-    fn selection_returns_valid_kernel_and_overheads() {
-        let (gpu, models, entries) = predictor_and_collection();
-        let predictor = SeerPredictor::new(&gpu, models);
-        for entry in entries.iter().take(6) {
-            let selection = predictor.select(&entry.matrix, 1);
-            assert!(KernelId::ALL.contains(&selection.kernel));
-            assert!(selection.inference_overhead.as_nanos() > 0.0);
-            if selection.used_gathered {
-                assert!(selection.feature_collection_cost.as_nanos() > 0.0);
-            } else {
-                assert_eq!(selection.feature_collection_cost, SimTime::ZERO);
-            }
-        }
+    fn selection_overhead_sums_both_costs() {
+        let selection = Selection {
+            kernel: KernelId::CsrAdaptive,
+            used_gathered: true,
+            feature_collection_cost: SimTime::from_micros(5.0),
+            inference_overhead: SimTime::from_nanos(300.0),
+        };
+        assert_eq!(
+            selection.overhead(),
+            SimTime::from_micros(5.0) + SimTime::from_nanos(300.0)
+        );
     }
 
     #[test]
-    fn execute_produces_correct_spmv_result() {
-        let (gpu, models, entries) = predictor_and_collection();
-        let predictor = SeerPredictor::new(&gpu, models);
-        let matrix = &entries[3].matrix;
-        let x: Vec<f64> = (0..matrix.cols()).map(|i| (i % 5) as f64 - 2.0).collect();
-        let outcome = predictor.execute(matrix, &x, 2);
-        let reference = matrix.spmv(&x);
-        assert_eq!(outcome.result.len(), reference.len());
-        for (a, b) in outcome.result.iter().zip(&reference) {
-            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0));
-        }
-        assert!(outcome.total_time >= outcome.selection.overhead());
-    }
-
-    #[test]
-    fn known_only_never_pays_collection() {
-        let (gpu, models, entries) = predictor_and_collection();
-        let predictor = SeerPredictor::new(&gpu, models);
-        let s = predictor.select_known_only(&entries[0].matrix, 1);
-        assert!(!s.used_gathered);
-        assert_eq!(s.feature_collection_cost, SimTime::ZERO);
-    }
-
-    #[test]
-    fn gathered_only_always_pays_collection() {
-        let (gpu, models, entries) = predictor_and_collection();
-        let predictor = SeerPredictor::new(&gpu, models);
-        let s = predictor.select_gathered_only(&entries[0].matrix, 1);
-        assert!(s.used_gathered);
-        assert!(s.feature_collection_cost.as_nanos() > 0.0);
-    }
-
-    #[test]
-    fn record_based_selection_matches_live_selection() {
-        let (gpu, models, entries) = predictor_and_collection();
-        let predictor = SeerPredictor::new(&gpu, models);
-        for entry in entries.iter().take(5) {
-            let record = BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, 1);
-            let live = predictor.select(&entry.matrix, 1);
-            let recorded = predictor.select_from_record(&record);
-            assert_eq!(live.kernel, recorded.kernel);
-            assert_eq!(live.used_gathered, recorded.used_gathered);
-        }
-    }
-
-    #[test]
-    fn modelled_total_is_at_least_the_chosen_kernel_total() {
-        let (gpu, models, entries) = predictor_and_collection();
-        let predictor = SeerPredictor::new(&gpu, models);
-        let record = BenchmarkRecord::measure(&gpu, &entries[1].name, &entries[1].matrix, 19);
-        let selection = predictor.select_from_record(&record);
-        let total = predictor.modelled_total_from_record(&record);
-        assert!(total >= record.total_of(selection.kernel));
+    fn policies_are_distinct_hashable_keys() {
+        use std::collections::HashSet;
+        let set: HashSet<SelectionPolicy> = [
+            SelectionPolicy::Adaptive,
+            SelectionPolicy::KnownOnly,
+            SelectionPolicy::GatheredOnly,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 3);
     }
 }

@@ -41,8 +41,14 @@ impl Default for TrainingConfig {
             iteration_counts: vec![1, 5, 19, 50],
             train_fraction: 0.8,
             seed: 2024,
-            tree_params: DecisionTreeParams { max_depth: 8, ..Default::default() },
-            selector_params: DecisionTreeParams { max_depth: 5, ..Default::default() },
+            tree_params: DecisionTreeParams {
+                max_depth: 8,
+                ..Default::default()
+            },
+            selector_params: DecisionTreeParams {
+                max_depth: 5,
+                ..Default::default()
+            },
         }
     }
 }
@@ -50,7 +56,10 @@ impl Default for TrainingConfig {
 impl TrainingConfig {
     /// A smaller configuration for unit tests and examples.
     pub fn fast() -> Self {
-        Self { iteration_counts: vec![1, 19], ..Default::default() }
+        Self {
+            iteration_counts: vec![1, 19],
+            ..Default::default()
+        }
     }
 }
 
@@ -102,7 +111,9 @@ pub fn train(
     config: &TrainingConfig,
 ) -> Result<TrainingOutcome, SeerError> {
     if entries.is_empty() {
-        return Err(SeerError::InsufficientData { reason: "empty dataset collection".to_string() });
+        return Err(SeerError::InsufficientData {
+            reason: "empty dataset collection".to_string(),
+        });
     }
     if config.iteration_counts.is_empty() {
         return Err(SeerError::InsufficientData {
@@ -129,7 +140,9 @@ pub fn train_from_records(
     config: &TrainingConfig,
 ) -> Result<TrainingOutcome, SeerError> {
     if records.is_empty() {
-        return Err(SeerError::InsufficientData { reason: "no benchmark records".to_string() });
+        return Err(SeerError::InsufficientData {
+            reason: "no benchmark records".to_string(),
+        });
     }
     // Deterministic split over record indices.
     let index_dataset = Dataset::new(
@@ -139,7 +152,10 @@ pub fn train_from_records(
     )?;
     let split = index_dataset.train_test_split(config.train_fraction, config.seed);
     let pick = |d: &Dataset| -> Vec<BenchmarkRecord> {
-        d.features().iter().map(|row| records[row[0] as usize].clone()).collect()
+        d.features()
+            .iter()
+            .map(|row| records[row[0] as usize].clone())
+            .collect()
     };
     let train_records = pick(&split.train);
     let test_records = pick(&split.test);
@@ -154,15 +170,24 @@ pub fn train_from_records(
         Ok(Dataset::with_classes(
             known_feature_names(),
             records.iter().map(BenchmarkRecord::known_vector).collect(),
-            records.iter().map(|r| r.best_kernel().class_index()).collect(),
+            records
+                .iter()
+                .map(|r| r.best_kernel().class_index())
+                .collect(),
             num_classes,
         )?)
     };
     let gathered_dataset = |records: &[BenchmarkRecord]| -> Result<Dataset, SeerError> {
         Ok(Dataset::with_classes(
             gathered_feature_names(),
-            records.iter().map(BenchmarkRecord::gathered_vector).collect(),
-            records.iter().map(|r| r.best_kernel().class_index()).collect(),
+            records
+                .iter()
+                .map(BenchmarkRecord::gathered_vector)
+                .collect(),
+            records
+                .iter()
+                .map(|r| r.best_kernel().class_index())
+                .collect(),
             num_classes,
         )?)
     };
@@ -175,7 +200,11 @@ pub fn train_from_records(
     // Selector labels: 1 when following the gathered model (and paying the
     // collection cost) is cheaper than following the known model.
     let selector_label = |record: &BenchmarkRecord| -> usize {
-        usize::from(selector_should_gather(record, &known_model, &gathered_model))
+        usize::from(selector_should_gather(
+            record,
+            &known_model,
+            &gathered_model,
+        ))
     };
     let selector_dataset = |records: &[BenchmarkRecord]| -> Result<Dataset, SeerError> {
         Ok(Dataset::with_classes(
@@ -189,8 +218,11 @@ pub fn train_from_records(
     let selector_model = DecisionTree::fit(&selector_train, &config.selector_params)?;
 
     // Test-set accuracies (fall back to the training set when the test split is empty).
-    let eval_records: &[BenchmarkRecord] =
-        if test_records.is_empty() { &train_records } else { &test_records };
+    let eval_records: &[BenchmarkRecord] = if test_records.is_empty() {
+        &train_records
+    } else {
+        &test_records
+    };
     let known_test = known_dataset(eval_records)?;
     let gathered_test = gathered_dataset(eval_records)?;
     let selector_test = selector_dataset(eval_records)?;
@@ -220,14 +252,12 @@ pub fn selector_should_gather(
     known_model: &DecisionTree,
     gathered_model: &DecisionTree,
 ) -> bool {
-    let known_choice = seer_kernels::KernelId::from_class_index(
-        known_model.predict(&record.known_vector()),
-    )
-    .expect("model classes map to kernels");
-    let gathered_choice = seer_kernels::KernelId::from_class_index(
-        gathered_model.predict(&record.gathered_vector()),
-    )
-    .expect("model classes map to kernels");
+    let known_choice =
+        seer_kernels::KernelId::from_class_index(known_model.predict(&record.known_vector()))
+            .expect("model classes map to kernels");
+    let gathered_choice =
+        seer_kernels::KernelId::from_class_index(gathered_model.predict(&record.gathered_vector()))
+            .expect("model classes map to kernels");
     let known_cost = record.total_of(known_choice);
     let gathered_cost = record.total_of(gathered_choice) + record.collection_cost;
     gathered_cost < known_cost
@@ -314,7 +344,10 @@ mod tests {
             Err(SeerError::InsufficientData { .. })
         ));
         let entries = generate(&CollectionConfig::tiny());
-        let config = TrainingConfig { iteration_counts: vec![], ..TrainingConfig::fast() };
+        let config = TrainingConfig {
+            iteration_counts: vec![],
+            ..TrainingConfig::fast()
+        };
         assert!(train(&gpu, &entries, &config).is_err());
         assert!(train_from_records(vec![], &TrainingConfig::fast()).is_err());
     }
@@ -325,11 +358,8 @@ mod tests {
         // For every training record the hindsight label must agree with the
         // explicit cost comparison.
         for record in &outcome.train_records {
-            let should = selector_should_gather(
-                record,
-                &outcome.models.known,
-                &outcome.models.gathered,
-            );
+            let should =
+                selector_should_gather(record, &outcome.models.known, &outcome.models.gathered);
             let known_choice = seer_kernels::KernelId::from_class_index(
                 outcome.models.known.predict(&record.known_vector()),
             )

@@ -58,7 +58,8 @@ impl HostModel {
     /// Time for a host pass that both computes and writes, i.e. the maximum of
     /// the scalar-throughput and bandwidth models.
     pub fn mixed_pass_time(&self, items: usize, ops_per_item: f64, bytes: usize) -> SimTime {
-        self.sequential_pass_time(items, ops_per_item).max(self.bandwidth_pass_time(bytes))
+        self.sequential_pass_time(items, ops_per_item)
+            .max(self.bandwidth_pass_time(bytes))
     }
 }
 

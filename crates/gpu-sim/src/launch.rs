@@ -220,8 +220,11 @@ impl<'a> LaunchBuilder<'a> {
 
         let overhead =
             SimTime::from_micros(spec.kernel_launch_overhead_us) * self.dispatches as f64;
-        let bound =
-            if compute >= memory { Boundedness::Compute } else { Boundedness::Memory };
+        let bound = if compute >= memory {
+            Boundedness::Compute
+        } else {
+            Boundedness::Memory
+        };
         let total = overhead + compute.max(memory);
 
         let issued_lane_cycles = self.total_wavefront_cycles * spec.wavefront_size as f64;
@@ -293,8 +296,7 @@ mod tests {
         // A single enormous wavefront cannot be parallelised.
         launch.add_wavefront(1_000_000, 1_000_000, 0, 0);
         let t = launch.finish();
-        let expected =
-            (1_000_000.0 + gpu.spec().wavefront_overhead_cycles) * gpu.spec().cycle_ns();
+        let expected = (1_000_000.0 + gpu.spec().wavefront_overhead_cycles) * gpu.spec().cycle_ns();
         assert!((t.compute.as_nanos() - expected).abs() / expected < 1e-9);
     }
 

@@ -78,12 +78,20 @@ impl Gpu {
     /// Creates a simulated GPU from a device specification, with the default
     /// host model ([`HostSpec::default`]).
     pub fn new(spec: GpuSpec) -> Self {
-        Self { memory: MemoryModel::new(&spec), host: HostModel::new(HostSpec::default()), spec }
+        Self {
+            memory: MemoryModel::new(&spec),
+            host: HostModel::new(HostSpec::default()),
+            spec,
+        }
     }
 
     /// Creates a simulated GPU with an explicit host specification.
     pub fn with_host(spec: GpuSpec, host: HostSpec) -> Self {
-        Self { memory: MemoryModel::new(&spec), host: HostModel::new(host), spec }
+        Self {
+            memory: MemoryModel::new(&spec),
+            host: HostModel::new(host),
+            spec,
+        }
     }
 
     /// The device specification.
@@ -126,7 +134,10 @@ mod tests {
 
     #[test]
     fn with_host_overrides_host_model() {
-        let fast_host = HostSpec { scalar_ops_per_second: 1e12, ..HostSpec::default() };
+        let fast_host = HostSpec {
+            scalar_ops_per_second: 1e12,
+            ..HostSpec::default()
+        };
         let gpu = Gpu::with_host(GpuSpec::mi100(), fast_host);
         let slow = Gpu::new(GpuSpec::mi100());
         assert!(

@@ -78,9 +78,19 @@ impl MemoryModel {
     /// where 1 means neighbouring lanes touch neighbouring columns, as in
     /// banded matrices, and 0 means accesses are scattered, as in random
     /// graphs).
-    pub fn gather(&self, gathers: f64, word_bytes: f64, footprint_bytes: f64, locality: f64) -> GatherEstimate {
+    pub fn gather(
+        &self,
+        gathers: f64,
+        word_bytes: f64,
+        footprint_bytes: f64,
+        locality: f64,
+    ) -> GatherEstimate {
         if gathers <= 0.0 {
-            return GatherEstimate { hit_ratio: 1.0, dram_bytes: 0.0, time: SimTime::ZERO };
+            return GatherEstimate {
+                hit_ratio: 1.0,
+                dram_bytes: 0.0,
+                time: SimTime::ZERO,
+            };
         }
         let locality = locality.clamp(0.0, 1.0);
         // Residency term: footprints under ~half of L2 hit nearly always;
@@ -115,7 +125,8 @@ impl MemoryModel {
         // Atomics are pipelined across channels; charge throughput plus the
         // serialisation penalty of conflicting updates.
         let throughput = ops * self.atomic_cost_ns / Self::MISS_OVERLAP;
-        let serialised = ops * (conflict_factor.max(1.0) - 1.0) * self.atomic_cost_ns / Self::MISS_OVERLAP;
+        let serialised =
+            ops * (conflict_factor.max(1.0) - 1.0) * self.atomic_cost_ns / Self::MISS_OVERLAP;
         SimTime::from_nanos(throughput + serialised)
     }
 

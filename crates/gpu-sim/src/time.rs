@@ -35,12 +35,16 @@ impl SimTime {
 
     /// Creates a time span from microseconds.
     pub fn from_micros(micros: f64) -> Self {
-        Self { nanos: micros * 1e3 }
+        Self {
+            nanos: micros * 1e3,
+        }
     }
 
     /// Creates a time span from milliseconds.
     pub fn from_millis(millis: f64) -> Self {
-        Self { nanos: millis * 1e6 }
+        Self {
+            nanos: millis * 1e6,
+        }
     }
 
     /// Creates a time span from seconds.
@@ -96,7 +100,9 @@ impl Add for SimTime {
     type Output = SimTime;
 
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime { nanos: self.nanos + rhs.nanos }
+        SimTime {
+            nanos: self.nanos + rhs.nanos,
+        }
     }
 }
 
@@ -110,7 +116,9 @@ impl Sub for SimTime {
     type Output = SimTime;
 
     fn sub(self, rhs: SimTime) -> SimTime {
-        SimTime { nanos: self.nanos - rhs.nanos }
+        SimTime {
+            nanos: self.nanos - rhs.nanos,
+        }
     }
 }
 
@@ -118,7 +126,9 @@ impl Mul<f64> for SimTime {
     type Output = SimTime;
 
     fn mul(self, rhs: f64) -> SimTime {
-        SimTime { nanos: self.nanos * rhs }
+        SimTime {
+            nanos: self.nanos * rhs,
+        }
     }
 }
 
@@ -126,7 +136,9 @@ impl Div<f64> for SimTime {
     type Output = SimTime;
 
     fn div(self, rhs: f64) -> SimTime {
-        SimTime { nanos: self.nanos / rhs }
+        SimTime {
+            nanos: self.nanos / rhs,
+        }
     }
 }
 
@@ -187,8 +199,18 @@ mod tests {
         let total: SimTime = (1..=4).map(|i| SimTime::from_nanos(i as f64)).sum();
         assert_eq!(total.as_nanos(), 10.0);
         assert!(SimTime::from_nanos(1.0) < SimTime::from_nanos(2.0));
-        assert_eq!(SimTime::from_nanos(1.0).max(SimTime::from_nanos(2.0)).as_nanos(), 2.0);
-        assert_eq!(SimTime::from_nanos(1.0).min(SimTime::from_nanos(2.0)).as_nanos(), 1.0);
+        assert_eq!(
+            SimTime::from_nanos(1.0)
+                .max(SimTime::from_nanos(2.0))
+                .as_nanos(),
+            2.0
+        );
+        assert_eq!(
+            SimTime::from_nanos(1.0)
+                .min(SimTime::from_nanos(2.0))
+                .as_nanos(),
+            1.0
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Prints per-kernel modelled times on representative matrix shapes.
 //!
-//! Run with `cargo run -p seer-kernels --example calibration --release`.
+//! Run with `cargo run -p seer_kernels --example calibration --release`.
 
 use seer_gpu::Gpu;
 use seer_kernels::{all_kernels, KernelId};
@@ -10,14 +10,38 @@ fn main() {
     let gpu = Gpu::default();
     let mut rng = SplitMix64::new(7);
     let shapes: Vec<(&str, CsrMatrix)> = vec![
-        ("uniform_small 4096x16", generators::uniform_row_length(4096, 16, &mut rng)),
-        ("uniform_large 200k x 8", generators::uniform_row_length(200_000, 8, &mut rng)),
-        ("uniform_short 100k x 3", generators::uniform_row_length(100_000, 3, &mut rng)),
-        ("long_rows 2048x1500", generators::uniform_row_length(2048, 1500, &mut rng)),
-        ("very_long 600x8000", generators::uniform_row_length(600, 8000, &mut rng)),
-        ("skewed 20k (3,8000,0.003)", generators::skewed_rows(20_000, 3, 8000, 0.003, &mut rng)),
-        ("skewed 60k (4,5000,0.003)", generators::skewed_rows(60_000, 4, 5000, 0.003, &mut rng)),
-        ("powerlaw 30k a=1.9", generators::power_law(30_000, 1.9, 1024, &mut rng)),
+        (
+            "uniform_small 4096x16",
+            generators::uniform_row_length(4096, 16, &mut rng),
+        ),
+        (
+            "uniform_large 200k x 8",
+            generators::uniform_row_length(200_000, 8, &mut rng),
+        ),
+        (
+            "uniform_short 100k x 3",
+            generators::uniform_row_length(100_000, 3, &mut rng),
+        ),
+        (
+            "long_rows 2048x1500",
+            generators::uniform_row_length(2048, 1500, &mut rng),
+        ),
+        (
+            "very_long 600x8000",
+            generators::uniform_row_length(600, 8000, &mut rng),
+        ),
+        (
+            "skewed 20k (3,8000,0.003)",
+            generators::skewed_rows(20_000, 3, 8000, 0.003, &mut rng),
+        ),
+        (
+            "skewed 60k (4,5000,0.003)",
+            generators::skewed_rows(60_000, 4, 5000, 0.003, &mut rng),
+        ),
+        (
+            "powerlaw 30k a=1.9",
+            generators::power_law(30_000, 1.9, 1024, &mut rng),
+        ),
         ("banded 30k hb=2", generators::banded(30_000, 2, &mut rng)),
         ("stencil2d 200", generators::stencil_2d(200, &mut rng)),
     ];

@@ -60,7 +60,11 @@ impl CostParams {
     /// once rows are longer than a cache line most of each DRAM transaction is
     /// wasted. Short rows keep several consecutive rows within one line and
     /// coalesce well.
-    pub fn thread_mapped_streaming_efficiency(&self, avg_row_len: f64, cache_line_bytes: f64) -> f64 {
+    pub fn thread_mapped_streaming_efficiency(
+        &self,
+        avg_row_len: f64,
+        cache_line_bytes: f64,
+    ) -> f64 {
         let entries_per_line = cache_line_bytes / (self.index_bytes + self.value_bytes) as f64;
         (entries_per_line / avg_row_len.max(1.0)).clamp(0.1, 1.0)
     }
@@ -124,10 +128,18 @@ impl MatrixProfile {
                 sampled += 1;
                 idx += step;
             }
-            let mean_distance = if sampled == 0 { 0.0 } else { distance_sum / sampled as f64 };
+            let mean_distance = if sampled == 0 {
+                0.0
+            } else {
+                distance_sum / sampled as f64
+            };
             (1.0 - 3.0 * mean_distance).clamp(0.0, 1.0)
         };
-        Self { x_footprint_bytes, gather_locality, avg_row_len: nnz as f64 / rows as f64 }
+        Self {
+            x_footprint_bytes,
+            gather_locality,
+            avg_row_len: nnz as f64 / rows as f64,
+        }
     }
 }
 
@@ -194,7 +206,11 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         let banded = generators::banded(2000, 3, &mut rng);
         let profile = MatrixProfile::new(&banded);
-        assert!(profile.gather_locality > 0.9, "locality {}", profile.gather_locality);
+        assert!(
+            profile.gather_locality > 0.9,
+            "locality {}",
+            profile.gather_locality
+        );
     }
 
     #[test]
@@ -202,7 +218,11 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let random = generators::uniform_random(2000, 2000, 0.005, &mut rng);
         let profile = MatrixProfile::new(&random);
-        assert!(profile.gather_locality < 0.4, "locality {}", profile.gather_locality);
+        assert!(
+            profile.gather_locality < 0.4,
+            "locality {}",
+            profile.gather_locality
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl SpmvKernel for CooWavefrontMapped {
     }
 
     fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
         // Walk 64-entry segments of the triplet stream, accumulating runs of
         // equal rows locally and committing with `+=` (the atomic add).
         let mut y = vec![0.0; matrix.rows()];
@@ -182,7 +186,7 @@ mod tests {
         let gpu = Gpu::default();
         let m = CsrMatrix::zeros(8, 8);
         let kernel = CooWavefrontMapped::new();
-        assert_eq!(kernel.compute(&m, &vec![0.0; 8]), vec![0.0; 8]);
+        assert_eq!(kernel.compute(&m, &[0.0; 8]), vec![0.0; 8]);
         assert!(kernel.iteration_timing(&gpu, &m).total.as_nanos() > 0.0);
     }
 }

@@ -108,7 +108,9 @@ impl SpmvKernel for CsrAdaptive {
     fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
         // Sequential binning over the row offsets, then upload of the
         // row-block table (one 8-byte descriptor per row).
-        let binning = gpu.host().sequential_pass_time(matrix.rows(), Self::BINNING_OPS_PER_ROW);
+        let binning = gpu
+            .host()
+            .sequential_pass_time(matrix.rows(), Self::BINNING_OPS_PER_ROW);
         let upload = gpu.host().h2d_transfer_time(8 * matrix.rows());
         binning + upload
     }
@@ -191,11 +193,20 @@ impl SpmvKernel for CsrAdaptive {
     }
 
     fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
         // Process rows bin by bin, exactly as the dispatches would.
         let binning = RowBinning::compute(matrix);
         let mut y = vec![0.0; matrix.rows()];
-        for &row in binning.small.iter().chain(&binning.medium).chain(&binning.large) {
+        for &row in binning
+            .small
+            .iter()
+            .chain(&binning.medium)
+            .chain(&binning.large)
+        {
             let (cols, vals) = matrix.row(row);
             y[row] = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
         }
@@ -226,7 +237,10 @@ mod tests {
         let mut rng = SplitMix64::new(62);
         let m = generators::skewed_rows(2000, 3, 2000, 0.01, &mut rng);
         let bins = RowBinning::compute(&m);
-        assert_eq!(bins.small.len() + bins.medium.len() + bins.large.len(), m.rows());
+        assert_eq!(
+            bins.small.len() + bins.medium.len() + bins.large.len(),
+            m.rows()
+        );
         for &r in &bins.small {
             assert!(m.row_len(r) <= CsrAdaptive::SMALL_ROW_LIMIT);
         }
@@ -259,7 +273,12 @@ mod tests {
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
         let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &skewed);
         assert!(adaptive < tm);
-        assert!(adaptive <= wm * 1.02, "CSR,A {} vs CSR,WM {}", adaptive.as_millis(), wm.as_millis());
+        assert!(
+            adaptive <= wm * 1.02,
+            "CSR,A {} vs CSR,WM {}",
+            adaptive.as_millis(),
+            wm.as_millis()
+        );
     }
 
     #[test]
@@ -275,16 +294,31 @@ mod tests {
         let one_tm = baseline.measure(&gpu, &m, 1).total();
         let many_a = adaptive.measure(&gpu, &m, 50).total();
         let many_tm = baseline.measure(&gpu, &m, 50).total();
-        assert!(one_a > one_tm * 0.5, "preprocessing should be visible at 1 iteration");
+        assert!(
+            one_a > one_tm * 0.5,
+            "preprocessing should be visible at 1 iteration"
+        );
         assert!(many_a < many_tm, "adaptive should win at 50 iterations");
     }
 
     #[test]
     fn classify_boundaries() {
         assert_eq!(RowBinning::classify(0), RowBin::Small);
-        assert_eq!(RowBinning::classify(CsrAdaptive::SMALL_ROW_LIMIT), RowBin::Small);
-        assert_eq!(RowBinning::classify(CsrAdaptive::SMALL_ROW_LIMIT + 1), RowBin::Medium);
-        assert_eq!(RowBinning::classify(CsrAdaptive::MEDIUM_ROW_LIMIT), RowBin::Medium);
-        assert_eq!(RowBinning::classify(CsrAdaptive::MEDIUM_ROW_LIMIT + 1), RowBin::Large);
+        assert_eq!(
+            RowBinning::classify(CsrAdaptive::SMALL_ROW_LIMIT),
+            RowBin::Small
+        );
+        assert_eq!(
+            RowBinning::classify(CsrAdaptive::SMALL_ROW_LIMIT + 1),
+            RowBin::Medium
+        );
+        assert_eq!(
+            RowBinning::classify(CsrAdaptive::MEDIUM_ROW_LIMIT),
+            RowBin::Medium
+        );
+        assert_eq!(
+            RowBinning::classify(CsrAdaptive::MEDIUM_ROW_LIMIT + 1),
+            RowBin::Large
+        );
     }
 }

@@ -71,8 +71,7 @@ impl SpmvKernel for CsrBlockMapped {
             let total_cycles = wavefront as f64 * p.thread_prologue_cycles
                 + per_wavefront_len as f64 * p.cycles_per_nnz
                 + wavefront as f64 * p.reduction_cycles_per_step;
-            let streamed =
-                per_wavefront_len * p.csr_bytes_per_nnz() + p.row_meta_bytes;
+            let streamed = per_wavefront_len * p.csr_bytes_per_nnz() + p.row_meta_bytes;
             launch.add_uniform_wavefronts(
                 wavefronts_per_block,
                 max_cycles as u64,
@@ -85,7 +84,11 @@ impl SpmvKernel for CsrBlockMapped {
     }
 
     fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
         let mut y = vec![0.0; matrix.rows()];
         let mut partial = vec![0.0f64; Self::BLOCK];
         for (row, out) in y.iter_mut().enumerate() {
@@ -134,7 +137,12 @@ mod tests {
         let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &very_long);
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &very_long);
         assert!(bm < tm);
-        assert!(bm <= wm * 1.05, "BM {} vs WM {}", bm.as_millis(), wm.as_millis());
+        assert!(
+            bm <= wm * 1.05,
+            "BM {} vs WM {}",
+            bm.as_millis(),
+            wm.as_millis()
+        );
     }
 
     #[test]

@@ -84,9 +84,8 @@ impl SpmvKernel for CsrMergePath {
         let nnz_share = (matrix.nnz() as u64).div_ceil(wavefronts.max(1) as u64);
         let row_share = (matrix.rows() as u64).div_ceil(wavefronts.max(1) as u64);
         // The coordinate table adds 8 bytes per thread of streamed traffic.
-        let streamed = nnz_share * p.csr_bytes_per_nnz()
-            + row_share * p.row_meta_bytes
-            + wavefront as u64 * 8;
+        let streamed =
+            nnz_share * p.csr_bytes_per_nnz() + row_share * p.row_meta_bytes + wavefront as u64 * 8;
 
         let mut launch = gpu.launch();
         launch.set_gather_profile(profile.x_footprint_bytes, profile.gather_locality);

@@ -61,12 +61,11 @@ impl SpmvKernel for CsrThreadMapped {
             gpu.spec().cache_line_bytes as f64,
         ));
         for (max_len, sum_len) in row_groups(matrix, wavefront) {
-            let max_cycles =
-                p.thread_prologue_cycles + max_len as f64 * p.cycles_per_nnz;
-            let total_cycles = wavefront as f64 * p.thread_prologue_cycles
-                + sum_len as f64 * p.cycles_per_nnz;
-            let streamed = sum_len as u64 * p.csr_bytes_per_nnz()
-                + wavefront as u64 * p.row_meta_bytes;
+            let max_cycles = p.thread_prologue_cycles + max_len as f64 * p.cycles_per_nnz;
+            let total_cycles =
+                wavefront as f64 * p.thread_prologue_cycles + sum_len as f64 * p.cycles_per_nnz;
+            let streamed =
+                sum_len as u64 * p.csr_bytes_per_nnz() + wavefront as u64 * p.row_meta_bytes;
             launch.add_wavefront(
                 max_cycles as u64,
                 total_cycles as u64,
@@ -78,7 +77,11 @@ impl SpmvKernel for CsrThreadMapped {
     }
 
     fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
         // One "thread" per row: identical to the sequential reference.
         let mut y = vec![0.0; matrix.rows()];
         for (row, value) in y.iter_mut().enumerate() {
@@ -111,7 +114,10 @@ mod tests {
     fn no_preprocessing() {
         let gpu = Gpu::default();
         let m = CsrMatrix::identity(100);
-        assert_eq!(CsrThreadMapped::new().preprocessing_time(&gpu, &m), SimTime::ZERO);
+        assert_eq!(
+            CsrThreadMapped::new().preprocessing_time(&gpu, &m),
+            SimTime::ZERO
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ impl SpmvKernel for CsrWavefrontMapped {
     }
 
     fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
         let lanes = 64;
         let mut y = vec![0.0; matrix.rows()];
         let mut partial = vec![0.0f64; lanes];
@@ -127,7 +131,12 @@ mod tests {
         let long_rows = generators::uniform_row_length(2048, 1500, &mut rng);
         let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &long_rows);
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &long_rows);
-        assert!(wm < tm, "WM {} should beat TM {}", wm.as_millis(), tm.as_millis());
+        assert!(
+            wm < tm,
+            "WM {} should beat TM {}",
+            wm.as_millis(),
+            tm.as_millis()
+        );
     }
 
     #[test]
@@ -137,7 +146,12 @@ mod tests {
         let short_rows = generators::uniform_row_length(250_000, 3, &mut rng);
         let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &short_rows);
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &short_rows);
-        assert!(tm < wm, "TM {} should beat WM {}", tm.as_millis(), wm.as_millis());
+        assert!(
+            tm < wm,
+            "TM {} should beat WM {}",
+            tm.as_millis(),
+            wm.as_millis()
+        );
     }
 
     #[test]

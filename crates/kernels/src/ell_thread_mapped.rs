@@ -87,8 +87,7 @@ impl SpmvKernel for EllThreadMapped {
         // ELL is stored column-major on the device, so loads coalesce
         // perfectly and no row-offset array is read; the only per-row
         // bookkeeping traffic is the output write.
-        let streamed_per_wavefront = (wavefront * width) as u64
-            * (p.index_bytes + p.value_bytes)
+        let streamed_per_wavefront = (wavefront * width) as u64 * (p.index_bytes + p.value_bytes)
             + wavefront as u64 * p.value_bytes;
         // Real (non-padding) entries gather from x; distribute them evenly.
         let gathers_per_wavefront = (matrix.nnz() as u64).div_ceil(wavefronts.max(1) as u64);
@@ -106,7 +105,11 @@ impl SpmvKernel for EllThreadMapped {
     }
 
     fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
         EllMatrix::from_csr(matrix).spmv(x)
     }
 }
@@ -139,7 +142,10 @@ mod tests {
         let t_uniform = kernel.preprocessing_time(&gpu, &uniform);
         let t_skewed = kernel.preprocessing_time(&gpu, &skewed);
         assert!(t_uniform > SimTime::ZERO);
-        assert!(t_skewed > t_uniform, "padding should inflate the conversion cost");
+        assert!(
+            t_skewed > t_uniform,
+            "padding should inflate the conversion cost"
+        );
     }
 
     #[test]
@@ -149,7 +155,12 @@ mod tests {
         let uniform = generators::uniform_row_length(100_000, 12, &mut rng);
         let ell = EllThreadMapped::new().iteration_time(&gpu, &uniform);
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform);
-        assert!(ell <= tm * 1.1, "ELL {} vs CSR,TM {}", ell.as_millis(), tm.as_millis());
+        assert!(
+            ell <= tm * 1.1,
+            "ELL {} vs CSR,TM {}",
+            ell.as_millis(),
+            tm.as_millis()
+        );
     }
 
     #[test]
@@ -169,6 +180,6 @@ mod tests {
         let kernel = EllThreadMapped::new();
         let t = kernel.iteration_timing(&gpu, &m);
         assert!(t.total >= t.overhead);
-        assert_eq!(kernel.compute(&m, &vec![0.0; 16]), vec![0.0; 16]);
+        assert_eq!(kernel.compute(&m, &[0.0; 16]), vec![0.0; 16]);
     }
 }

@@ -62,8 +62,8 @@ mod csr_thread_mapped;
 mod csr_wavefront_mapped;
 mod csr_work_oriented;
 mod ell_thread_mapped;
-mod merge;
 mod measurement;
+mod merge;
 mod oracle;
 mod registry;
 
@@ -78,7 +78,7 @@ pub use csr_work_oriented::CsrWorkOriented;
 pub use ell_thread_mapped::EllThreadMapped;
 pub use measurement::{KernelProfile, MatrixBenchmark};
 pub use oracle::{Oracle, OracleChoice};
-pub use registry::{all_kernels, kernel_for, KernelId};
+pub use registry::{all_kernels, kernel, kernel_for, KernelId};
 
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};

@@ -31,7 +31,12 @@ impl KernelProfile {
         per_iteration: SimTime,
         iterations: usize,
     ) -> Self {
-        Self { kernel, preprocessing, per_iteration, iterations }
+        Self {
+            kernel,
+            preprocessing,
+            per_iteration,
+            iterations,
+        }
     }
 
     /// Total time of the workload: preprocessing plus all iterations.
@@ -79,7 +84,11 @@ impl MatrixBenchmark {
             .iter()
             .map(|kernel| kernel.measure(gpu, matrix, iterations))
             .collect();
-        Self { name: name.to_string(), iterations, profiles }
+        Self {
+            name: name.to_string(),
+            iterations,
+            profiles,
+        }
     }
 
     /// The profile of a specific kernel.
@@ -100,7 +109,9 @@ impl MatrixBenchmark {
         self.profiles
             .iter()
             .min_by(|a, b| {
-                a.per_iteration.partial_cmp(&b.per_iteration).expect("times are finite")
+                a.per_iteration
+                    .partial_cmp(&b.per_iteration)
+                    .expect("times are finite")
             })
             .expect("at least one kernel is registered")
     }

@@ -33,13 +33,16 @@ pub(crate) fn merge_path_search(matrix: &CsrMatrix, diagonal: usize) -> MergeCoo
     while lo < hi {
         let mid = (lo + hi) / 2;
         // row_offsets[mid + 1] is the number of nonzeros consumed once mid+1 rows are done.
-        if row_offsets[mid + 1] <= diagonal - mid - 1 {
+        if row_offsets[mid + 1] < diagonal - mid {
             lo = mid + 1;
         } else {
             hi = mid;
         }
     }
-    MergeCoordinate { row: lo, nnz: diagonal - lo }
+    MergeCoordinate {
+        row: lo,
+        nnz: diagonal - lo,
+    }
 }
 
 /// Computes the merge-path partition of `matrix` into `segments` equal-work
@@ -61,7 +64,11 @@ pub(crate) fn merge_path_partition(matrix: &CsrMatrix, segments: usize) -> Vec<M
 /// locally and produces a carry-out for the row it ends in the middle of;
 /// carry-outs are combined in a fix-up pass.
 pub(crate) fn spmv_merge_path(matrix: &CsrMatrix, x: &[Scalar], segments: usize) -> Vec<Scalar> {
-    assert_eq!(x.len(), matrix.cols(), "input vector length must equal matrix columns");
+    assert_eq!(
+        x.len(),
+        matrix.cols(),
+        "input vector length must equal matrix columns"
+    );
     let mut y = vec![0.0; matrix.rows()];
     if matrix.rows() == 0 {
         return y;
@@ -147,7 +154,10 @@ mod tests {
         let target = total as f64 / segments as f64;
         for w in parts.windows(2) {
             let work = (w[1].row - w[0].row) + (w[1].nnz - w[0].nnz);
-            assert!((work as f64) <= target + 2.0, "segment work {work} exceeds target {target}");
+            assert!(
+                (work as f64) <= target + 2.0,
+                "segment work {work} exceeds target {target}"
+            );
         }
     }
 
@@ -165,8 +175,14 @@ mod tests {
 
     #[test]
     fn merge_spmv_handles_empty_rows() {
-        let m = CsrMatrix::try_new(4, 4, vec![0, 0, 2, 2, 3], vec![1, 3, 0], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let m = CsrMatrix::try_new(
+            4,
+            4,
+            vec![0, 0, 2, 2, 3],
+            vec![1, 3, 0],
+            vec![1.0, 2.0, 3.0],
+        )
+        .unwrap();
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let y = spmv_merge_path(&m, &x, 3);
         assert_close(&y, &m.spmv(&x));

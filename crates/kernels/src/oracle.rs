@@ -81,14 +81,16 @@ mod tests {
         let gpu = Gpu::default();
         let oracle = Oracle::new(&gpu);
         let mut rng = SplitMix64::new(102);
-        let shapes = vec![
+        let shapes = [
             generators::uniform_row_length(20_000, 4, &mut rng),
             generators::skewed_rows(20_000, 3, 8000, 0.002, &mut rng),
             generators::uniform_row_length(400, 6000, &mut rng),
             generators::banded(30_000, 2, &mut rng),
         ];
-        let choices: Vec<KernelId> =
-            shapes.iter().map(|m| oracle.best_kernel(m, 1).kernel).collect();
+        let choices: Vec<KernelId> = shapes
+            .iter()
+            .map(|m| oracle.best_kernel(m, 1).kernel)
+            .collect();
         let mut distinct = choices.clone();
         distinct.sort();
         distinct.dedup();

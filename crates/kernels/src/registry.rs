@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::LazyLock;
 
 use crate::{
     CooWavefrontMapped, CsrAdaptive, CsrBlockMapped, CsrMergePath, CsrThreadMapped,
@@ -64,7 +65,10 @@ impl KernelId {
     /// Index of this kernel in [`KernelId::ALL`] (the class index used by the
     /// decision-tree classifiers).
     pub fn class_index(self) -> usize {
-        KernelId::ALL.iter().position(|&k| k == self).expect("ALL contains every variant")
+        KernelId::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("ALL contains every variant")
     }
 
     /// Reconstructs a kernel identifier from its class index.
@@ -103,7 +107,9 @@ impl FromStr for KernelId {
             .iter()
             .copied()
             .find(|k| k.label().eq_ignore_ascii_case(s.trim()))
-            .ok_or_else(|| ParseKernelIdError { label: s.to_string() })
+            .ok_or_else(|| ParseKernelIdError {
+                label: s.to_string(),
+            })
     }
 }
 
@@ -124,6 +130,20 @@ pub fn kernel_for(id: KernelId) -> Box<dyn SpmvKernel> {
 /// Instantiates every kernel variant, in [`KernelId::ALL`] order.
 pub fn all_kernels() -> Vec<Box<dyn SpmvKernel>> {
     KernelId::ALL.iter().map(|&id| kernel_for(id)).collect()
+}
+
+/// The process-wide shared kernel registry, one instance per variant in
+/// [`KernelId::ALL`] order. Kernel implementations are stateless, so sharing
+/// them is free; long-lived services (the Seer engine) borrow from here
+/// instead of boxing a fresh kernel per dispatch.
+static SHARED_REGISTRY: LazyLock<Vec<Box<dyn SpmvKernel>>> = LazyLock::new(all_kernels);
+
+/// Borrows the shared, process-wide instance of the kernel behind `id`.
+///
+/// Unlike [`kernel_for`] this allocates nothing after the first call and
+/// hands out a `'static` borrow, which is what owned service layers need.
+pub fn kernel(id: KernelId) -> &'static dyn SpmvKernel {
+    &*SHARED_REGISTRY[id.class_index()]
 }
 
 #[cfg(test)]
@@ -152,7 +172,10 @@ mod tests {
         for id in KernelId::ALL {
             assert_eq!(id.label().parse::<KernelId>().unwrap(), id);
         }
-        assert_eq!("csr,tm".parse::<KernelId>().unwrap(), KernelId::CsrThreadMapped);
+        assert_eq!(
+            "csr,tm".parse::<KernelId>().unwrap(),
+            KernelId::CsrThreadMapped
+        );
         assert!("CSR,XYZ".parse::<KernelId>().is_err());
     }
 
@@ -166,6 +189,17 @@ mod tests {
         for (kernel, id) in kernels.iter().zip(KernelId::ALL) {
             assert_eq!(kernel.id(), id);
         }
+    }
+
+    #[test]
+    fn shared_registry_matches_ids_and_is_stable() {
+        for id in KernelId::ALL {
+            assert_eq!(kernel(id).id(), id);
+        }
+        // Two lookups of the same id alias the same shared instance.
+        let a = kernel(KernelId::CsrAdaptive) as *const dyn SpmvKernel;
+        let b = kernel(KernelId::CsrAdaptive) as *const dyn SpmvKernel;
+        assert!(std::ptr::eq(a, b));
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl Dataset {
         }
         if features.len() != labels.len() {
             return Err(MlError::ShapeMismatch {
-                reason: format!("{} feature rows but {} labels", features.len(), labels.len()),
+                reason: format!(
+                    "{} feature rows but {} labels",
+                    features.len(),
+                    labels.len()
+                ),
             });
         }
         let width = feature_names.len();
@@ -49,7 +53,12 @@ impl Dataset {
             }
         }
         let num_classes = labels.iter().copied().max().unwrap_or(0) + 1;
-        Ok(Self { feature_names, features, labels, num_classes })
+        Ok(Self {
+            feature_names,
+            features,
+            labels,
+            num_classes,
+        })
     }
 
     /// Builds a dataset declaring `num_classes` explicitly (useful when some
@@ -157,10 +166,14 @@ impl Dataset {
             let j = (next() % (i as u64 + 1)) as usize;
             indices.swap(i, j);
         }
-        let train_len =
-            ((n as f64) * train_fraction.clamp(0.0, 1.0)).round().min(n as f64) as usize;
+        let train_len = ((n as f64) * train_fraction.clamp(0.0, 1.0))
+            .round()
+            .min(n as f64) as usize;
         let (train_idx, test_idx) = indices.split_at(train_len);
-        TrainTestSplit { train: self.subset(train_idx), test: self.subset(test_idx) }
+        TrainTestSplit {
+            train: self.subset(train_idx),
+            test: self.subset(test_idx),
+        }
     }
 
     /// Per-class sample counts.

@@ -19,7 +19,11 @@ pub struct DecisionTreeParams {
 
 impl Default for DecisionTreeParams {
     fn default() -> Self {
-        Self { max_depth: 8, min_samples_split: 2, min_samples_leaf: 1 }
+        Self {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
     }
 }
 
@@ -97,8 +101,17 @@ impl DecisionTree {
         loop {
             match node {
                 TreeNode::Leaf { class, .. } => return *class,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] < *threshold { left } else { right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -190,7 +203,13 @@ impl DecisionTree {
     pub fn feature_split_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_features];
         fn walk(node: &TreeNode, counts: &mut [usize]) {
-            if let TreeNode::Split { feature, left, right, .. } = node {
+            if let TreeNode::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = node
+            {
                 counts[*feature] += 1;
                 walk(left, counts);
                 walk(right, counts);
@@ -208,9 +227,18 @@ impl DecisionTree {
         loop {
             match node {
                 TreeNode::Leaf { .. } => return steps,
-                TreeNode::Split { feature, threshold, left, right } => {
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     steps += 1;
-                    node = if features[*feature] < *threshold { left } else { right };
+                    node = if features[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -223,7 +251,10 @@ fn gini(counts: &[usize], total: usize) -> f64 {
         return 0.0;
     }
     let total = total as f64;
-    1.0 - counts.iter().map(|&c| (c as f64 / total).powi(2)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c as f64 / total).powi(2))
+        .sum::<f64>()
 }
 
 fn class_counts(dataset: &Dataset, indices: &[usize]) -> Vec<usize> {
@@ -251,11 +282,12 @@ fn build_node(
 ) -> TreeNode {
     let counts = class_counts(dataset, indices);
     let node_impurity = gini(&counts, indices.len());
-    let leaf = TreeNode::Leaf { class: majority_class(&counts), class_counts: counts.clone() };
+    let leaf = TreeNode::Leaf {
+        class: majority_class(&counts),
+        class_counts: counts.clone(),
+    };
 
-    if depth >= params.max_depth
-        || indices.len() < params.min_samples_split
-        || node_impurity == 0.0
+    if depth >= params.max_depth || indices.len() < params.min_samples_split || node_impurity == 0.0
     {
         return leaf;
     }
@@ -380,12 +412,22 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
         let labels: Vec<usize> = (0..256).map(|i| (i / 16) % 2).collect();
         let d = dataset_from(features, labels);
-        let shallow =
-            DecisionTree::fit(&d, &DecisionTreeParams { max_depth: 2, ..Default::default() })
-                .unwrap();
-        let deep =
-            DecisionTree::fit(&d, &DecisionTreeParams { max_depth: 10, ..Default::default() })
-                .unwrap();
+        let shallow = DecisionTree::fit(
+            &d,
+            &DecisionTreeParams {
+                max_depth: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let deep = DecisionTree::fit(
+            &d,
+            &DecisionTreeParams {
+                max_depth: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(shallow.depth() <= 2);
         assert!(deep.accuracy(&d) > shallow.accuracy(&d));
     }
@@ -405,7 +447,10 @@ mod tests {
         let d = dataset_from(features, labels);
         let tree = DecisionTree::fit(
             &d,
-            &DecisionTreeParams { min_samples_leaf: 3, ..Default::default() },
+            &DecisionTreeParams {
+                min_samples_leaf: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         // No leaf may end up with fewer than three training samples.
@@ -434,8 +479,7 @@ mod tests {
     #[test]
     fn feature_split_counts_identify_informative_feature() {
         // Only feature 1 is informative.
-        let features: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![(i % 7) as f64, i as f64]).collect();
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 7) as f64, i as f64]).collect();
         let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 50)).collect();
         let d = dataset_from(features, labels);
         let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();

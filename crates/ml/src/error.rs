@@ -51,7 +51,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(MlError::EmptyDataset.to_string().contains("no samples"));
-        let err = MlError::FeatureLengthMismatch { expected: 6, found: 3 };
+        let err = MlError::FeatureLengthMismatch {
+            expected: 6,
+            found: 3,
+        };
         assert!(err.to_string().contains('6'));
         assert!(err.to_string().contains('3'));
     }

@@ -19,7 +19,10 @@ pub struct GradientBoostingParams {
 
 impl Default for GradientBoostingParams {
     fn default() -> Self {
-        Self { rounds: 100, learning_rate: 0.1 }
+        Self {
+            rounds: 100,
+            learning_rate: 0.1,
+        }
     }
 }
 
@@ -118,7 +121,12 @@ impl GradientBoosting {
                 });
             }
         }
-        Ok(Self { base, stumps, learning_rate: params.learning_rate, num_features })
+        Ok(Self {
+            base,
+            stumps,
+            learning_rate: params.learning_rate,
+            num_features,
+        })
     }
 
     /// Predicts the target vector for one feature vector.
@@ -137,9 +145,7 @@ impl GradientBoosting {
             .base
             .iter()
             .zip(&self.stumps)
-            .map(|(&b, ensemble)| {
-                b + ensemble.iter().map(|s| s.predict(features)).sum::<f64>()
-            })
+            .map(|(&b, ensemble)| b + ensemble.iter().map(|s| s.predict(features)).sum::<f64>())
             .collect())
     }
 
@@ -177,7 +183,9 @@ fn fit_stump(features: &[Vec<f64>], residuals: &[f64]) -> Option<Stump> {
     for feature in 0..num_features {
         let mut order: Vec<usize> = (0..features.len()).collect();
         order.sort_by(|&a, &b| {
-            features[a][feature].partial_cmp(&features[b][feature]).expect("finite features")
+            features[a][feature]
+                .partial_cmp(&features[b][feature])
+                .expect("finite features")
         });
         let total_sum: f64 = residuals.iter().sum();
         let total_count = residuals.len() as f64;
@@ -222,11 +230,11 @@ mod tests {
     #[test]
     fn fits_step_function() {
         let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
-        let targets: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![if i < 60 { 1.0 } else { 5.0 }]).collect();
+        let targets: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i < 60 { 1.0 } else { 5.0 }])
+            .collect();
         let model =
-            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
-                .unwrap();
+            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default()).unwrap();
         assert!((model.predict(&[10.0]).unwrap()[0] - 1.0).abs() < 0.2);
         assert!((model.predict(&[90.0]).unwrap()[0] - 5.0).abs() < 0.2);
     }
@@ -238,13 +246,19 @@ mod tests {
         let weak = GradientBoosting::fit(
             &features,
             &targets,
-            &GradientBoostingParams { rounds: 5, learning_rate: 0.3 },
+            &GradientBoostingParams {
+                rounds: 5,
+                learning_rate: 0.3,
+            },
         )
         .unwrap();
         let strong = GradientBoosting::fit(
             &features,
             &targets,
-            &GradientBoostingParams { rounds: 200, learning_rate: 0.3 },
+            &GradientBoostingParams {
+                rounds: 200,
+                learning_rate: 0.3,
+            },
         )
         .unwrap();
         let mse = |model: &GradientBoosting| -> f64 {
@@ -261,11 +275,12 @@ mod tests {
     #[test]
     fn argmin_picks_fastest_output() {
         let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
-        let targets: Vec<Vec<f64>> =
-            features.iter().map(|f| vec![f[0] + 10.0, 100.0 - f[0]]).collect();
+        let targets: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| vec![f[0] + 10.0, 100.0 - f[0]])
+            .collect();
         let model =
-            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
-                .unwrap();
+            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default()).unwrap();
         assert_eq!(model.predict_argmin(&[5.0]).unwrap(), 0);
         assert_eq!(model.predict_argmin(&[95.0]).unwrap(), 1);
     }
@@ -275,8 +290,7 @@ mod tests {
         let features = vec![vec![1.0]; 10];
         let targets: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let model =
-            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default())
-                .unwrap();
+            GradientBoosting::fit(&features, &targets, &GradientBoostingParams::default()).unwrap();
         assert_eq!(model.rounds(), 0);
         assert!((model.predict(&[1.0]).unwrap()[0] - 4.5).abs() < 1e-9);
     }

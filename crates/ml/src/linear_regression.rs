@@ -29,17 +29,17 @@ impl LinearRegression {
     /// Returns [`MlError::EmptyDataset`] with no samples,
     /// [`MlError::ShapeMismatch`] on inconsistent rows, and
     /// [`MlError::Numerical`] if the system is singular.
-    pub fn fit(
-        features: &[Vec<f64>],
-        targets: &[Vec<f64>],
-        ridge: f64,
-    ) -> Result<Self, MlError> {
+    pub fn fit(features: &[Vec<f64>], targets: &[Vec<f64>], ridge: f64) -> Result<Self, MlError> {
         if features.is_empty() || targets.is_empty() {
             return Err(MlError::EmptyDataset);
         }
         if features.len() != targets.len() {
             return Err(MlError::ShapeMismatch {
-                reason: format!("{} feature rows but {} target rows", features.len(), targets.len()),
+                reason: format!(
+                    "{} feature rows but {} target rows",
+                    features.len(),
+                    targets.len()
+                ),
             });
         }
         let num_features = features[0].len();
@@ -81,7 +81,10 @@ impl LinearRegression {
         let weights = (0..num_outputs)
             .map(|k| (0..d).map(|i| solution[i][k]).collect())
             .collect();
-        Ok(Self { weights, num_features })
+        Ok(Self {
+            weights,
+            num_features,
+        })
     }
 
     /// Predicts the target vector for one feature vector.
@@ -136,18 +139,28 @@ impl LinearRegression {
 /// where B has multiple right-hand-side columns.
 fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, MlError> {
     let n = a.len();
-    let outputs = b[0].len();
     for col in 0..n {
         // Partial pivot.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if a[pivot_row][col].abs() < 1e-12 {
-            return Err(MlError::Numerical { reason: "singular normal equations".to_string() });
+            return Err(MlError::Numerical {
+                reason: "singular normal equations".to_string(),
+            });
         }
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
         let pivot = a[col][col];
+        // The pivot row itself is skipped below, so one snapshot per column
+        // suffices for the whole elimination pass.
+        let pivot_coeffs = a[col].clone();
+        let pivot_rhs = b[col].clone();
         for row in 0..n {
             if row == col {
                 continue;
@@ -156,18 +169,18 @@ fn solve_multi(mut a: Vec<Vec<f64>>, mut b: Vec<Vec<f64>>) -> Result<Vec<Vec<f64
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            for (k, &pivot_val) in pivot_coeffs.iter().enumerate().skip(col) {
+                a[row][k] -= factor * pivot_val;
             }
-            for k in 0..outputs {
-                b[row][k] -= factor * b[col][k];
+            for (k, &pivot_val) in pivot_rhs.iter().enumerate() {
+                b[row][k] -= factor * pivot_val;
             }
         }
     }
     for col in 0..n {
         let pivot = a[col][col];
-        for k in 0..outputs {
-            b[col][k] /= pivot;
+        for value in b[col].iter_mut() {
+            *value /= pivot;
         }
     }
     Ok(b)
@@ -180,8 +193,9 @@ mod tests {
     #[test]
     fn recovers_exact_linear_relationship() {
         // y0 = 2x0 + 3x1 + 1 ; y1 = -x0 + 4
-        let features: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, (i * i % 17) as f64]).collect();
+        let features: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
         let targets: Vec<Vec<f64>> = features
             .iter()
             .map(|f| vec![2.0 * f[0] + 3.0 * f[1] + 1.0, -f[0] + 4.0])
@@ -197,8 +211,7 @@ mod tests {
     fn argmin_selects_smallest_output() {
         let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
         // Output 0 grows, output 1 shrinks: argmin flips at x = 10.
-        let targets: Vec<Vec<f64>> =
-            features.iter().map(|f| vec![f[0], 20.0 - f[0]]).collect();
+        let targets: Vec<Vec<f64>> = features.iter().map(|f| vec![f[0], 20.0 - f[0]]).collect();
         let model = LinearRegression::fit(&features, &targets, 1e-9).unwrap();
         assert_eq!(model.predict_argmin(&[2.0]).unwrap(), 0);
         assert_eq!(model.predict_argmin(&[18.0]).unwrap(), 1);

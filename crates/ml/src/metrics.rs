@@ -7,11 +7,19 @@
 ///
 /// Panics if the slices differ in length.
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / predictions.len() as f64
 }
 
@@ -25,10 +33,17 @@ pub fn confusion_matrix(
     labels: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<usize>> {
-    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
     let mut matrix = vec![vec![0usize; num_classes]; num_classes];
     for (&p, &l) in predictions.iter().zip(labels) {
-        assert!(p < num_classes && l < num_classes, "class index out of range");
+        assert!(
+            p < num_classes && l < num_classes,
+            "class index out of range"
+        );
         matrix[l][p] += 1;
     }
     matrix
@@ -54,8 +69,11 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// Panics if the slices differ in length.
 pub fn geomean_speedup(baseline: &[f64], candidate: &[f64]) -> f64 {
     assert_eq!(baseline.len(), candidate.len(), "speedup inputs must align");
-    let ratios: Vec<f64> =
-        baseline.iter().zip(candidate).map(|(&b, &c)| b / c.max(1e-300)).collect();
+    let ratios: Vec<f64> = baseline
+        .iter()
+        .zip(candidate)
+        .map(|(&b, &c)| b / c.max(1e-300))
+        .collect();
     geometric_mean(&ratios)
 }
 

@@ -141,19 +141,31 @@ pub struct CollectionConfig {
 
 impl Default for CollectionConfig {
     fn default() -> Self {
-        Self { seed: 0x5EE2, matrices_per_family: 8, scale: SizeScale::Small }
+        Self {
+            seed: 0x5EE2,
+            matrices_per_family: 8,
+            scale: SizeScale::Small,
+        }
     }
 }
 
 impl CollectionConfig {
     /// Configuration suitable for fast unit tests.
     pub fn tiny() -> Self {
-        Self { seed: 7, matrices_per_family: 3, scale: SizeScale::Tiny }
+        Self {
+            seed: 7,
+            matrices_per_family: 3,
+            scale: SizeScale::Tiny,
+        }
     }
 
     /// Configuration used by the figure-regeneration binaries.
     pub fn evaluation() -> Self {
-        Self { seed: 2024, matrices_per_family: 12, scale: SizeScale::Medium }
+        Self {
+            seed: 2024,
+            matrices_per_family: 12,
+            scale: SizeScale::Medium,
+        }
     }
 }
 
@@ -263,15 +275,11 @@ pub fn named_standins(scale: SizeScale) -> Vec<DatasetEntry> {
         matrix,
     };
     vec![
-        make(
-            "nlpkkt200",
-            Family::BlockDiagonal,
-            {
-                let block = 8;
-                let blocks = (2_000 * f / block).max(4);
-                generators::block_diagonal(blocks, block, &mut rng)
-            },
-        ),
+        make("nlpkkt200", Family::BlockDiagonal, {
+            let block = 8;
+            let blocks = (2_000 * f / block).max(4);
+            generators::block_diagonal(blocks, block, &mut rng)
+        }),
         make(
             "matrix-new_3",
             Family::SkewedRows,
@@ -282,9 +290,21 @@ pub fn named_standins(scale: SizeScale) -> Vec<DatasetEntry> {
             Family::HybridMeshGraph,
             generators::hybrid_mesh_graph(6_000 * f, 3, &mut rng),
         ),
-        make("CurlCurl_3", Family::Stencil3D, generators::stencil_3d(14 + 3 * f, &mut rng)),
-        make("G3_circuit", Family::Stencil2D, generators::stencil_2d(40 * f, &mut rng)),
-        make("PWTK", Family::Banded, generators::banded(10_000 * f, 10, &mut rng)),
+        make(
+            "CurlCurl_3",
+            Family::Stencil3D,
+            generators::stencil_3d(14 + 3 * f, &mut rng),
+        ),
+        make(
+            "G3_circuit",
+            Family::Stencil2D,
+            generators::stencil_2d(40 * f, &mut rng),
+        ),
+        make(
+            "PWTK",
+            Family::Banded,
+            generators::banded(10_000 * f, 10, &mut rng),
+        ),
     ]
 }
 
@@ -303,14 +323,23 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_collections() {
-        let a = generate(&CollectionConfig { seed: 1, ..CollectionConfig::tiny() });
-        let b = generate(&CollectionConfig { seed: 2, ..CollectionConfig::tiny() });
+        let a = generate(&CollectionConfig {
+            seed: 1,
+            ..CollectionConfig::tiny()
+        });
+        let b = generate(&CollectionConfig {
+            seed: 2,
+            ..CollectionConfig::tiny()
+        });
         assert_ne!(a, b);
     }
 
     #[test]
     fn expected_number_of_entries() {
-        let config = CollectionConfig { matrices_per_family: 2, ..CollectionConfig::tiny() };
+        let config = CollectionConfig {
+            matrices_per_family: 2,
+            ..CollectionConfig::tiny()
+        };
         let entries = generate(&config);
         assert_eq!(entries.len(), 2 * Family::ALL.len());
     }
@@ -328,19 +357,30 @@ mod tests {
     fn every_family_is_represented() {
         let entries = generate(&CollectionConfig::tiny());
         for family in Family::ALL {
-            assert!(entries.iter().any(|e| e.family == family), "missing {family}");
+            assert!(
+                entries.iter().any(|e| e.family == family),
+                "missing {family}"
+            );
         }
     }
 
     #[test]
     fn collection_spans_diverse_imbalance() {
         let entries = generate(&CollectionConfig::tiny());
-        let imbalances: Vec<f64> =
-            entries.iter().map(|e| RowStats::compute(&e.matrix).imbalance()).collect();
+        let imbalances: Vec<f64> = entries
+            .iter()
+            .map(|e| RowStats::compute(&e.matrix).imbalance())
+            .collect();
         let min = imbalances.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = imbalances.iter().cloned().fold(0.0, f64::max);
-        assert!(min < 0.05, "expected some regular matrices, min imbalance {min}");
-        assert!(max > 0.8, "expected some irregular matrices, max imbalance {max}");
+        assert!(
+            min < 0.05,
+            "expected some regular matrices, min imbalance {min}"
+        );
+        assert!(
+            max > 0.8,
+            "expected some irregular matrices, max imbalance {max}"
+        );
     }
 
     #[test]
@@ -355,9 +395,14 @@ mod tests {
     fn named_standins_cover_paper_matrices() {
         let standins = named_standins(SizeScale::Tiny);
         let names: Vec<&str> = standins.iter().map(|e| e.name.as_str()).collect();
-        for expected in
-            ["nlpkkt200", "matrix-new_3", "Ga41As41H72", "CurlCurl_3", "G3_circuit", "PWTK"]
-        {
+        for expected in [
+            "nlpkkt200",
+            "matrix-new_3",
+            "Ga41As41H72",
+            "CurlCurl_3",
+            "G3_circuit",
+            "PWTK",
+        ] {
             assert!(names.contains(&expected), "missing stand-in {expected}");
         }
     }

@@ -39,7 +39,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty `rows x cols` COO matrix.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_indices: Vec::new(), col_indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            row_indices: Vec::new(),
+            col_indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates an empty COO matrix with capacity reserved for `nnz` entries.
@@ -85,10 +91,21 @@ impl CooMatrix {
         }
         for (&r, &c) in row_indices.iter().zip(&col_indices) {
             if r >= rows || c >= cols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
-        Ok(Self { rows, cols, row_indices, col_indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_indices,
+            col_indices,
+            values,
+        })
     }
 
     /// Appends one `(row, col, value)` entry.
@@ -157,7 +174,11 @@ impl CooMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "input vector length must equal matrix columns"
+        );
         let mut y = vec![0.0; self.rows];
         for (r, c, v) in self.iter() {
             y[r] += v * x[c];
@@ -192,8 +213,11 @@ impl CooMatrix {
         merged_offsets.push(0);
         for row in 0..self.rows {
             let span = counts[row]..counts[row + 1];
-            let mut entries: Vec<(usize, Scalar)> =
-                cols[span.clone()].iter().copied().zip(vals[span].iter().copied()).collect();
+            let mut entries: Vec<(usize, Scalar)> = cols[span.clone()]
+                .iter()
+                .copied()
+                .zip(vals[span].iter().copied())
+                .collect();
             entries.sort_unstable_by_key(|&(c, _)| c);
             for (c, v) in entries {
                 if merged_cols.len() > *merged_offsets.last().unwrap()
@@ -207,8 +231,14 @@ impl CooMatrix {
             }
             merged_offsets.push(merged_cols.len());
         }
-        CsrMatrix::try_new(self.rows, self.cols, merged_offsets, merged_cols, merged_vals)
-            .expect("coo entries were validated on insertion")
+        CsrMatrix::try_new(
+            self.rows,
+            self.cols,
+            merged_offsets,
+            merged_cols,
+            merged_vals,
+        )
+        .expect("coo entries were validated on insertion")
     }
 
     /// Total bytes occupied by the triplet representation.
@@ -251,8 +281,7 @@ mod tests {
     fn try_from_triplets_validates() {
         let err = CooMatrix::try_from_triplets(2, 2, vec![0], vec![0, 1], vec![1.0]).unwrap_err();
         assert!(matches!(err, SparseError::LengthMismatch { .. }));
-        let err =
-            CooMatrix::try_from_triplets(2, 2, vec![0], vec![5], vec![1.0]).unwrap_err();
+        let err = CooMatrix::try_from_triplets(2, 2, vec![0], vec![5], vec![1.0]).unwrap_err();
         assert!(matches!(err, SparseError::IndexOutOfBounds { .. }));
         let ok = CooMatrix::try_from_triplets(2, 2, vec![0, 1], vec![1, 0], vec![1.0, 2.0]);
         assert!(ok.is_ok());
@@ -300,14 +329,7 @@ mod tests {
 
     #[test]
     fn csr_coo_round_trip() {
-        let csr = CsrMatrix::try_new(
-            2,
-            2,
-            vec![0, 1, 2],
-            vec![1, 0],
-            vec![7.0, 8.0],
-        )
-        .unwrap();
+        let csr = CsrMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 0], vec![7.0, 8.0]).unwrap();
         let coo: CooMatrix = csr.clone().into();
         let back: CsrMatrix = coo.into();
         assert_eq!(csr, back);

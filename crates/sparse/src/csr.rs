@@ -1,5 +1,7 @@
 //! Compressed Sparse Row (CSR) matrices.
 
+use std::sync::OnceLock;
+
 use crate::{CooMatrix, DenseMatrix, Scalar, SparseError};
 
 /// A sparse matrix in Compressed Sparse Row format.
@@ -30,13 +32,29 @@ use crate::{CooMatrix, DenseMatrix, Scalar, SparseError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
     row_offsets: Vec<usize>,
     col_indices: Vec<usize>,
     values: Vec<Scalar>,
+    /// Lazily computed [`CsrMatrix::content_fingerprint`]. The matrix is
+    /// immutable after construction, so the cached value can never go stale;
+    /// cloning carries it along for free.
+    fingerprint: OnceLock<u64>,
+}
+
+/// Equality is over the matrix content only; whether the fingerprint cache
+/// has been populated is not observable.
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.row_offsets == other.row_offsets
+            && self.col_indices == other.col_indices
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
@@ -91,11 +109,23 @@ impl CsrMatrix {
         for (row, window) in row_offsets.windows(2).enumerate() {
             for &col in &col_indices[window[0]..window[1]] {
                 if col >= cols {
-                    return Err(SparseError::IndexOutOfBounds { row, col, rows, cols });
+                    return Err(SparseError::IndexOutOfBounds {
+                        row,
+                        col,
+                        rows,
+                        cols,
+                    });
                 }
             }
         }
-        Ok(Self { rows, cols, row_offsets, col_indices, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+            fingerprint: OnceLock::new(),
+        })
     }
 
     /// Builds an empty `rows x cols` matrix with no stored entries.
@@ -106,6 +136,7 @@ impl CsrMatrix {
             row_offsets: vec![0; rows + 1],
             col_indices: Vec::new(),
             values: Vec::new(),
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -117,6 +148,7 @@ impl CsrMatrix {
             row_offsets: (0..=n).collect(),
             col_indices: (0..n).collect(),
             values: vec![1.0; n],
+            fingerprint: OnceLock::new(),
         }
     }
 
@@ -191,15 +223,19 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "input vector length must equal matrix columns"
+        );
         let mut y = vec![0.0; self.rows];
-        for row in 0..self.rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(row);
             let mut acc = 0.0;
             for (&c, &v) in cols.iter().zip(vals) {
                 acc += v * x[c];
             }
-            y[row] = acc;
+            *out = acc;
         }
         y
     }
@@ -211,7 +247,10 @@ impl CsrMatrix {
     /// Returns [`SparseError::DimensionMismatch`] when `x.len() != self.cols()`.
     pub fn try_spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>, SparseError> {
         if x.len() != self.cols {
-            return Err(SparseError::DimensionMismatch { expected: self.cols, found: x.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+            });
         }
         Ok(self.spmv(x))
     }
@@ -236,7 +275,58 @@ impl CsrMatrix {
 
     /// Consumes the matrix and returns `(rows, cols, row_offsets, col_indices, values)`.
     pub fn into_raw(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<Scalar>) {
-        (self.rows, self.cols, self.row_offsets, self.col_indices, self.values)
+        (
+            self.rows,
+            self.cols,
+            self.row_offsets,
+            self.col_indices,
+            self.values,
+        )
+    }
+
+    /// A 64-bit content fingerprint over the full explicit representation:
+    /// dimensions, row offsets, column indices and the bit patterns of the
+    /// values.
+    ///
+    /// Two matrices have the same fingerprint exactly when their CSR
+    /// representations are identical (up to the astronomically unlikely hash
+    /// collision), so the fingerprint can key caches of per-matrix derived
+    /// data — the Seer engine uses it to memoize feature collections and
+    /// selection plans. `CsrMatrix` has no mutating methods, so a fingerprint
+    /// taken once stays valid for the lifetime of the value.
+    ///
+    /// The hash is a deterministic FNV-1a over the raw arrays; it makes no
+    /// cryptographic claims. It is computed lazily on first call and cached,
+    /// so repeated calls are O(1).
+    pub fn content_fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+            // One xor + multiply per 8-byte word (not per byte) keeps the
+            // first-contact pass cheap on large matrices; the splitmix-style
+            // finalizer restores the avalanche the word-wide mix gives up.
+            let mut hash = FNV_OFFSET;
+            let mut mix = |word: u64| {
+                hash = (hash ^ word).wrapping_mul(FNV_PRIME);
+            };
+            mix(self.rows as u64);
+            mix(self.cols as u64);
+            mix(self.col_indices.len() as u64);
+            for &offset in &self.row_offsets {
+                mix(offset as u64);
+            }
+            for &col in &self.col_indices {
+                mix(col as u64);
+            }
+            for &value in &self.values {
+                mix(value.to_bits());
+            }
+            hash ^= hash >> 30;
+            hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            hash ^= hash >> 27;
+            hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+            hash ^ (hash >> 31)
+        })
     }
 
     /// Total bytes occupied by the explicit representation (offsets, indices,
@@ -292,13 +382,18 @@ mod tests {
     fn try_spmv_rejects_bad_dimension() {
         let a = sample();
         let err = a.try_spmv(&[1.0, 2.0]).unwrap_err();
-        assert_eq!(err, SparseError::DimensionMismatch { expected: 4, found: 2 });
+        assert_eq!(
+            err,
+            SparseError::DimensionMismatch {
+                expected: 4,
+                found: 2
+            }
+        );
     }
 
     #[test]
     fn rejects_mismatched_lengths() {
-        let err =
-            CsrMatrix::try_new(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).unwrap_err();
+        let err = CsrMatrix::try_new(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).unwrap_err();
         assert!(matches!(err, SparseError::LengthMismatch { .. }));
     }
 
@@ -316,15 +411,13 @@ mod tests {
 
     #[test]
     fn rejects_non_monotone_offsets() {
-        let err =
-            CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, SparseError::InvalidRowPointers { .. }));
     }
 
     #[test]
     fn rejects_trailing_offset_not_nnz() {
-        let err =
-            CsrMatrix::try_new(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::try_new(2, 2, vec![0, 1, 3], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, SparseError::InvalidRowPointers { .. }));
     }
 
@@ -345,7 +438,7 @@ mod tests {
     fn zeros_has_no_entries() {
         let z = CsrMatrix::zeros(4, 7);
         assert_eq!(z.nnz(), 0);
-        assert_eq!(z.spmv(&vec![1.0; 7]), vec![0.0; 4]);
+        assert_eq!(z.spmv(&[1.0; 7]), vec![0.0; 4]);
     }
 
     #[test]
@@ -373,6 +466,44 @@ mod tests {
         let back: CsrMatrix = a.to_coo().into();
         let x = vec![0.5, -1.0, 2.0, 3.0];
         assert_eq!(a.spmv(&x), back.spmv(&x));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_content_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+
+        // Any difference in values, structure or shape changes the hash.
+        let mut values = a.values().to_vec();
+        values[0] += 1.0;
+        let changed_value = CsrMatrix::try_new(
+            3,
+            4,
+            a.row_offsets().to_vec(),
+            a.col_indices().to_vec(),
+            values,
+        )
+        .unwrap();
+        assert_ne!(a.content_fingerprint(), changed_value.content_fingerprint());
+
+        let mut cols = a.col_indices().to_vec();
+        cols[0] = 1;
+        let changed_structure =
+            CsrMatrix::try_new(3, 4, a.row_offsets().to_vec(), cols, a.values().to_vec()).unwrap();
+        assert_ne!(
+            a.content_fingerprint(),
+            changed_structure.content_fingerprint()
+        );
+
+        assert_ne!(
+            CsrMatrix::identity(5).content_fingerprint(),
+            CsrMatrix::identity(6).content_fingerprint()
+        );
+        assert_ne!(
+            CsrMatrix::zeros(2, 3).content_fingerprint(),
+            CsrMatrix::zeros(3, 2).content_fingerprint()
+        );
     }
 
     #[test]

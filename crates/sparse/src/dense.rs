@@ -27,7 +27,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -46,7 +50,10 @@ impl DenseMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn get(&self, row: usize, col: usize) -> Scalar {
-        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dense index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -56,7 +63,10 @@ impl DenseMatrix {
     ///
     /// Panics if the coordinate is out of bounds.
     pub fn get_mut(&mut self, row: usize, col: usize) -> &mut Scalar {
-        assert!(row < self.rows && col < self.cols, "dense index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "dense index out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 
@@ -66,7 +76,11 @@ impl DenseMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "input vector length must equal matrix columns"
+        );
         (0..self.rows)
             .map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum())
             .collect()

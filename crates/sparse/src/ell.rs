@@ -59,7 +59,14 @@ impl EllMatrix {
                 values[row * width + slot] = v;
             }
         }
-        Self { rows, cols, width, nnz: csr.nnz(), col_indices, values }
+        Self {
+            rows,
+            cols,
+            width,
+            nnz: csr.nnz(),
+            col_indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -105,7 +112,10 @@ impl EllMatrix {
     ///
     /// Panics if `row >= rows` or `slot >= width`.
     pub fn slot(&self, row: usize, slot: usize) -> (usize, Scalar) {
-        assert!(row < self.rows && slot < self.width, "slot index out of range");
+        assert!(
+            row < self.rows && slot < self.width,
+            "slot index out of range"
+        );
         let idx = row * self.width + slot;
         (self.col_indices[idx], self.values[idx])
     }
@@ -116,9 +126,13 @@ impl EllMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(x.len(), self.cols, "input vector length must equal matrix columns");
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "input vector length must equal matrix columns"
+        );
         let mut y = vec![0.0; self.rows];
-        for row in 0..self.rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for slot in 0..self.width {
                 let idx = row * self.width + slot;
@@ -127,7 +141,7 @@ impl EllMatrix {
                     acc += self.values[idx] * x[c];
                 }
             }
-            y[row] = acc;
+            *out = acc;
         }
         y
     }
@@ -139,7 +153,10 @@ impl EllMatrix {
     /// Returns [`SparseError::DimensionMismatch`] when `x.len() != self.cols()`.
     pub fn try_spmv(&self, x: &[Scalar]) -> Result<Vec<Scalar>, SparseError> {
         if x.len() != self.cols {
-            return Err(SparseError::DimensionMismatch { expected: self.cols, found: x.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+            });
         }
         Ok(self.spmv(x))
     }

@@ -56,14 +56,24 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) is outside the {rows}x{cols} matrix shape"
             ),
             SparseError::InvalidRowPointers { reason } => {
                 write!(f, "invalid CSR row pointers: {reason}")
             }
-            SparseError::LengthMismatch { left, left_len, right, right_len } => write!(
+            SparseError::LengthMismatch {
+                left,
+                left_len,
+                right,
+                right_len,
+            } => write!(
                 f,
                 "length mismatch: {left} has {left_len} elements but {right} has {right_len}"
             ),
@@ -92,7 +102,12 @@ mod tests {
 
     #[test]
     fn display_mentions_shape() {
-        let err = SparseError::IndexOutOfBounds { row: 3, col: 9, rows: 2, cols: 2 };
+        let err = SparseError::IndexOutOfBounds {
+            row: 3,
+            col: 9,
+            rows: 2,
+            cols: 2,
+        };
         let msg = err.to_string();
         assert!(msg.contains("(3, 9)"));
         assert!(msg.contains("2x2"));
@@ -101,10 +116,18 @@ mod tests {
     #[test]
     fn display_is_lowercase_without_trailing_period() {
         let errors: Vec<SparseError> = vec![
-            SparseError::InvalidRowPointers { reason: "not monotone".into() },
-            SparseError::DimensionMismatch { expected: 4, found: 2 },
+            SparseError::InvalidRowPointers {
+                reason: "not monotone".into(),
+            },
+            SparseError::DimensionMismatch {
+                expected: 4,
+                found: 2,
+            },
             SparseError::Io("boom".into()),
-            SparseError::Parse { line: 7, reason: "bad header".into() },
+            SparseError::Parse {
+                line: 7,
+                reason: "bad header".into(),
+            },
         ];
         for err in errors {
             let msg = err.to_string();

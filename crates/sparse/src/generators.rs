@@ -31,7 +31,14 @@ pub fn uniform_random(rows: usize, cols: usize, density: f64, rng: &mut SplitMix
         // around the mean) and then choose distinct columns.
         let jitter = rng.next_gaussian() * expected_per_row.sqrt();
         let len = ((expected_per_row + jitter).round().max(0.0) as usize).min(cols);
-        push_random_row(len, cols, rng, &mut value_rng, &mut col_indices, &mut values);
+        push_random_row(
+            len,
+            cols,
+            rng,
+            &mut value_rng,
+            &mut col_indices,
+            &mut values,
+        );
         offsets.push(col_indices.len());
     }
     CsrMatrix::try_new(rows, cols, offsets, col_indices, values)
@@ -78,7 +85,8 @@ pub fn stencil_2d(grid: usize, rng: &mut SplitMix64) -> CsrMatrix {
     for i in 0..grid {
         for j in 0..grid {
             let row = i * grid + j;
-            coo.push(row, row, 4.0 + 0.01 * rng.next_f64()).expect("in bounds");
+            coo.push(row, row, 4.0 + 0.01 * rng.next_f64())
+                .expect("in bounds");
             if i > 0 {
                 coo.push(row, row - grid, -1.0).expect("in bounds");
             }
@@ -106,7 +114,8 @@ pub fn stencil_3d(grid: usize, rng: &mut SplitMix64) -> CsrMatrix {
         for j in 0..grid {
             for k in 0..grid {
                 let row = idx(i, j, k);
-                coo.push(row, row, 6.0 + 0.01 * rng.next_f64()).expect("in bounds");
+                coo.push(row, row, 6.0 + 0.01 * rng.next_f64())
+                    .expect("in bounds");
                 if i > 0 {
                     coo.push(row, idx(i - 1, j, k), -1.0).expect("in bounds");
                 }
@@ -189,7 +198,11 @@ pub fn skewed_rows(
     let mut vals = Vec::new();
     offsets.push(0);
     for _ in 0..n {
-        let len = if rng.next_f64() < heavy_fraction { heavy_len } else { base_len };
+        let len = if rng.next_f64() < heavy_fraction {
+            heavy_len
+        } else {
+            base_len
+        };
         push_random_row(len.min(n), n, rng, &mut value_rng, &mut cols, &mut vals);
         offsets.push(cols.len());
     }
@@ -222,7 +235,14 @@ pub fn tall_skinny(rows: usize, cols: usize, row_len: usize, rng: &mut SplitMix6
     let mut values = Vec::new();
     offsets.push(0);
     for _ in 0..rows {
-        push_random_row(row_len, cols, rng, &mut value_rng, &mut col_indices, &mut values);
+        push_random_row(
+            row_len,
+            cols,
+            rng,
+            &mut value_rng,
+            &mut col_indices,
+            &mut values,
+        );
         offsets.push(col_indices.len());
     }
     CsrMatrix::try_new(rows, cols, offsets, col_indices, values)
@@ -303,7 +323,10 @@ mod tests {
         let m = uniform_random(500, 400, 0.02, &mut rng());
         let expected = 500.0 * 400.0 * 0.02;
         let actual = m.nnz() as f64;
-        assert!((actual - expected).abs() / expected < 0.25, "nnz {actual} vs {expected}");
+        assert!(
+            (actual - expected).abs() / expected < 0.25,
+            "nnz {actual} vs {expected}"
+        );
     }
 
     #[test]
@@ -400,7 +423,10 @@ mod tests {
         let m = power_law(500, 2.0, 128, &mut rng());
         for row in 0..m.rows() {
             let (cols, _) = m.row(row);
-            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {row} not sorted/distinct");
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "row {row} not sorted/distinct"
+            );
         }
     }
 

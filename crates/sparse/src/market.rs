@@ -51,7 +51,10 @@ pub fn read_coo<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: 0, reason: "empty file".to_string() })
+                return Err(SparseError::Parse {
+                    line: 0,
+                    reason: "empty file".to_string(),
+                })
             }
         }
     };
@@ -103,7 +106,10 @@ pub fn read_coo<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
         if parts.len() < min_parts {
             return Err(SparseError::Parse {
                 line: line_no,
-                reason: format!("expected at least {min_parts} fields, found {}", parts.len()),
+                reason: format!(
+                    "expected at least {min_parts} fields, found {}",
+                    parts.len()
+                ),
             });
         }
         let r = parse_usize(parts[0], line_no)?;
@@ -116,9 +122,12 @@ pub fn read_coo<R: Read>(reader: R) -> Result<CooMatrix, SparseError> {
         }
         let value = match field {
             Field::Pattern => 1.0,
-            Field::Real | Field::Integer => parts[2].parse::<f64>().map_err(|e| {
-                SparseError::Parse { line: line_no, reason: format!("bad value '{}': {e}", parts[2]) }
-            })?,
+            Field::Real | Field::Integer => {
+                parts[2].parse::<f64>().map_err(|e| SparseError::Parse {
+                    line: line_no,
+                    reason: format!("bad value '{}': {e}", parts[2]),
+                })?
+            }
         };
         coo.push(r - 1, c - 1, value)?;
         match symmetry {
@@ -173,7 +182,13 @@ pub fn read_csr_from_path<P: AsRef<Path>>(path: P) -> Result<CsrMatrix, SparseEr
 pub fn write_csr<W: Write>(matrix: &CsrMatrix, mut writer: W) -> Result<(), SparseError> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% generated by seer-sparse")?;
-    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    )?;
     for (r, c, v) in matrix.iter() {
         writeln!(writer, "{} {} {v:e}", r + 1, c + 1)?;
     }
@@ -181,8 +196,10 @@ pub fn write_csr<W: Write>(matrix: &CsrMatrix, mut writer: W) -> Result<(), Spar
 }
 
 fn parse_header(header: &str, line_no: usize) -> Result<(Field, Symmetry), SparseError> {
-    let tokens: Vec<String> =
-        header.split_whitespace().map(|t| t.to_ascii_lowercase()).collect();
+    let tokens: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect();
     if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(SparseError::Parse {
             line: line_no,
@@ -192,7 +209,10 @@ fn parse_header(header: &str, line_no: usize) -> Result<(Field, Symmetry), Spars
     if tokens[2] != "coordinate" {
         return Err(SparseError::Parse {
             line: line_no,
-            reason: format!("unsupported storage format '{}' (only coordinate)", tokens[2]),
+            reason: format!(
+                "unsupported storage format '{}' (only coordinate)",
+                tokens[2]
+            ),
         });
     }
     let field = match tokens[3].as_str() {

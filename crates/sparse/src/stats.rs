@@ -61,10 +61,7 @@ pub struct RowStats {
 impl RowStats {
     /// Computes row statistics for a CSR matrix in a single O(rows) pass.
     pub fn compute(matrix: &CsrMatrix) -> Self {
-        Self::from_row_lengths(
-            matrix.cols(),
-            (0..matrix.rows()).map(|r| matrix.row_len(r)),
-        )
+        Self::from_row_lengths(matrix.cols(), (0..matrix.rows()).map(|r| matrix.row_len(r)))
     }
 
     /// Computes the same statistics from an iterator of row lengths.
@@ -136,7 +133,12 @@ impl RowStats {
     /// Returns the statistics as the gathered-feature vector used by the Seer
     /// models: `[max_density, min_density, mean_density, var_density]`.
     pub fn density_feature_vector(&self) -> [f64; 4] {
-        [self.max_density, self.min_density, self.mean_density, self.var_density]
+        [
+            self.max_density,
+            self.min_density,
+            self.mean_density,
+            self.var_density,
+        ]
     }
 }
 
@@ -171,7 +173,11 @@ impl RowLengthHistogram {
         let mut buckets = Vec::new();
         for row in 0..matrix.rows() {
             let len = matrix.row_len(row);
-            let bucket = if len == 0 { 0 } else { (usize::BITS - (len - 1).leading_zeros()) as usize + 1 };
+            let bucket = if len == 0 {
+                0
+            } else {
+                (usize::BITS - (len - 1).leading_zeros()) as usize + 1
+            };
             if buckets.len() <= bucket {
                 buckets.resize(bucket + 1, 0);
             }
@@ -213,14 +219,7 @@ mod tests {
 
     fn skewed() -> CsrMatrix {
         // Row lengths: 4, 0, 2
-        CsrMatrix::try_new(
-            3,
-            8,
-            vec![0, 4, 4, 6],
-            vec![0, 1, 2, 3, 6, 7],
-            vec![1.0; 6],
-        )
-        .unwrap()
+        CsrMatrix::try_new(3, 8, vec![0, 4, 4, 6], vec![0, 1, 2, 3, 6, 7], vec![1.0; 6]).unwrap()
     }
 
     #[test]

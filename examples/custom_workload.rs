@@ -56,9 +56,11 @@ fn main() -> Result<(), SeerError> {
     for line in aggregate_runtime_csv(&records).lines().take(4) {
         println!("  {line}");
     }
-    println!("(preprocessing CSV has {} rows, feature CSV has {} rows)",
+    println!(
+        "(preprocessing CSV has {} rows, feature CSV has {} rows)",
         aggregate_preprocessing_csv(&records).lines().count() - 1,
-        features_csv(&records).lines().count() - 1);
+        features_csv(&records).lines().count() - 1
+    );
 
     // Train from the records (the programmatic `seer(...)` entry point).
     let outcome = train_from_records(records, &TrainingConfig::fast())?;
@@ -74,7 +76,10 @@ fn main() -> Result<(), SeerError> {
     // Export the trained models the way the paper's training script does:
     // as C++ headers (plus a Rust rendering and a human-readable dump).
     let header = export::to_cpp_header(&outcome.models.selector, "seer_classifier_selector");
-    println!("\nexported C++ selector header ({} lines); first lines:", header.lines().count());
+    println!(
+        "\nexported C++ selector header ({} lines); first lines:",
+        header.lines().count()
+    );
     for line in header.lines().take(6) {
         println!("  {line}");
     }

@@ -27,8 +27,10 @@ fn main() -> Result<(), SeerError> {
     }
     println!();
     for kernel in KernelId::ALL {
-        let runtimes: Vec<f64> =
-            records.iter().map(|r| r.profile(kernel).per_iteration.as_millis()).collect();
+        let runtimes: Vec<f64> = records
+            .iter()
+            .map(|r| r.profile(kernel).per_iteration.as_millis())
+            .collect();
         print!("{:<10}", kernel.to_string());
         for idx in 0..feature_names.len() {
             let feature: Vec<f64> = records.iter().map(|r| r.gathered_vector()[idx]).collect();
@@ -54,8 +56,11 @@ fn main() -> Result<(), SeerError> {
         ("gathered", gathered, gathered_feature_names()),
     ] {
         let counts = model.feature_split_counts();
-        let summary: Vec<String> =
-            names.iter().zip(&counts).map(|(n, c)| format!("{n}={c}")).collect();
+        let summary: Vec<String> = names
+            .iter()
+            .zip(&counts)
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect();
         println!("  {model_name:<9}: {}", summary.join(", "));
     }
 
@@ -63,7 +68,11 @@ fn main() -> Result<(), SeerError> {
     for line in export::to_text(selector).lines().take(16) {
         println!("  {line}");
     }
-    println!("\n(gathered model exported as C++ header: {} lines)",
-        export::to_cpp_header(gathered, "seer_gathered_predictor").lines().count());
+    println!(
+        "\n(gathered model exported as C++ header: {} lines)",
+        export::to_cpp_header(gathered, "seer_gathered_predictor")
+            .lines()
+            .count()
+    );
     Ok(())
 }

@@ -5,18 +5,20 @@
 //! Run with `cargo run --example iterative_solver --release`.
 
 use seer::core::amortization::AmortizationSweep;
-use seer::core::inference::SeerPredictor;
-use seer::core::training::{train, TrainingConfig};
+use seer::core::training::TrainingConfig;
 use seer::core::SeerError;
 use seer::gpu::Gpu;
-use seer::kernels::{kernel_for, KernelId};
+use seer::kernels::{kernel, KernelId};
 use seer::sparse::collection::{generate, CollectionConfig};
 use seer::sparse::{generators, SplitMix64};
+use seer::SeerEngine;
 
 fn main() -> Result<(), SeerError> {
-    let gpu = Gpu::default();
-    let outcome = train(&gpu, &generate(&CollectionConfig::default()), &TrainingConfig::fast())?;
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let (engine, _outcome) = SeerEngine::train(
+        Gpu::default(),
+        &generate(&CollectionConfig::default()),
+        &TrainingConfig::fast(),
+    )?;
 
     // A diagonally dominant skewed system, the kind of matrix where
     // Adaptive-CSR's binning pays off once enough iterations run.
@@ -25,8 +27,7 @@ fn main() -> Result<(), SeerError> {
     let b = vec![1.0; matrix.rows()];
 
     // How does the decision change with the iteration budget?
-    let sweep =
-        AmortizationSweep::run(&gpu, &predictor, "jacobi_system", &matrix, &[1, 5, 19, 100]);
+    let sweep = AmortizationSweep::run(&engine, "jacobi_system", &matrix, &[1, 5, 19, 100]);
     println!("predicted kernel by iteration budget:");
     for point in &sweep.points {
         println!(
@@ -42,8 +43,8 @@ fn main() -> Result<(), SeerError> {
     // Run a fixed-point iteration x_{k+1} = x_k + omega * (b - A x_k) with the
     // kernel Seer selected for the full budget.
     let iterations = 100;
-    let selection = predictor.select(&matrix, iterations);
-    let kernel = kernel_for(selection.kernel);
+    let selection = engine.select(&matrix, iterations);
+    let kernel = kernel(selection.kernel);
     println!(
         "\nrunning {iterations} damped-Jacobi iterations with {} (feature collection: {})",
         selection.kernel, selection.used_gathered

@@ -3,13 +3,13 @@
 //!
 //! Run with `cargo run --example quickstart --release`.
 
-use seer::core::inference::SeerPredictor;
-use seer::core::training::{train, TrainingConfig};
+use seer::core::training::TrainingConfig;
 use seer::core::SeerError;
 use seer::gpu::Gpu;
 use seer::kernels::Oracle;
 use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
 use seer::sparse::{generators, SplitMix64};
+use seer::SeerEngine;
 
 fn main() -> Result<(), SeerError> {
     // 1. The simulated device (an MI100-class accelerator) and a
@@ -22,8 +22,9 @@ fn main() -> Result<(), SeerError> {
     });
     println!("representative dataset: {} matrices", collection.len());
 
-    // 2. Train the known, gathered and classifier-selection models (Fig. 2).
-    let outcome = train(&gpu, &collection, &TrainingConfig::fast())?;
+    // 2. Train the known, gathered and classifier-selection models (Fig. 2)
+    //    and bind them to the device as a long-lived engine.
+    let (engine, outcome) = SeerEngine::train(gpu, &collection, &TrainingConfig::fast())?;
     println!(
         "test accuracies: known {:.0}%, gathered {:.0}%, selector {:.0}%",
         outcome.accuracies.known * 100.0,
@@ -31,17 +32,22 @@ fn main() -> Result<(), SeerError> {
         outcome.accuracies.selector * 100.0
     );
 
-    // 3. Use the predictor at runtime on matrices it has never seen (Fig. 3).
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
-    let oracle = Oracle::new(&gpu);
+    // 3. Use the engine at runtime on matrices it has never seen (Fig. 3).
+    let oracle = Oracle::new(engine.gpu());
     let mut rng = SplitMix64::new(999);
     let unseen = vec![
         ("uniform_mesh", generators::stencil_2d(120, &mut rng)),
-        ("scale_free_graph", generators::power_law(30_000, 1.9, 2048, &mut rng)),
-        ("skewed_rows", generators::skewed_rows(50_000, 4, 6000, 0.002, &mut rng)),
+        (
+            "scale_free_graph",
+            generators::power_law(30_000, 1.9, 2048, &mut rng),
+        ),
+        (
+            "skewed_rows",
+            generators::skewed_rows(50_000, 4, 6000, 0.002, &mut rng),
+        ),
     ];
     for (name, matrix) in &unseen {
-        let selection = predictor.select(matrix, 1);
+        let selection = engine.select(matrix, 1);
         let best = oracle.best_kernel(matrix, 1);
         println!(
             "{name:<18} seer -> {:<7} (gathered features: {:5}) | oracle -> {}",
@@ -54,12 +60,21 @@ fn main() -> Result<(), SeerError> {
     // 4. And actually run one workload end to end.
     let matrix = &unseen[2].1;
     let x = vec![1.0; matrix.cols()];
-    let outcome = predictor.execute(matrix, &x, 19);
+    let outcome = engine.execute(matrix, &x, 19);
     println!(
         "executed 19 iterations with {}: modelled total {:.3} ms, y[0] = {:.3}",
         outcome.selection.kernel,
         outcome.total_time.as_millis(),
         outcome.result[0]
+    );
+
+    // 5. Repeated traffic on the same matrix is served from the plan cache.
+    let replay = engine.select(matrix, 19);
+    assert_eq!(replay, outcome.selection);
+    let stats = engine.stats();
+    println!(
+        "plan cache after the session: {} hits / {} misses, {} feature collections",
+        stats.plan_hits, stats.plan_misses, stats.feature_collections
     );
     Ok(())
 }

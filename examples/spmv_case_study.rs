@@ -5,12 +5,12 @@
 //! Run with `cargo run --example spmv_case_study --release`.
 
 use seer::core::evaluation::evaluate;
-use seer::core::inference::SeerPredictor;
-use seer::core::training::{train, TrainingConfig};
+use seer::core::training::TrainingConfig;
 use seer::core::SeerError;
 use seer::gpu::Gpu;
 use seer::kernels::KernelId;
 use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
+use seer::SeerEngine;
 
 fn main() -> Result<(), SeerError> {
     let gpu = Gpu::default();
@@ -19,10 +19,17 @@ fn main() -> Result<(), SeerError> {
         matrices_per_family: 6,
         scale: SizeScale::Small,
     });
-    println!("benchmarking {} matrices x {} kernels ...", collection.len(), KernelId::ALL.len());
+    println!(
+        "benchmarking {} matrices x {} kernels ...",
+        collection.len(),
+        KernelId::ALL.len()
+    );
 
-    let config = TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() };
-    let outcome = train(&gpu, &collection, &config)?;
+    let config = TrainingConfig {
+        iteration_counts: vec![1, 19],
+        ..TrainingConfig::default()
+    };
+    let (engine, outcome) = SeerEngine::train(gpu, &collection, &config)?;
     println!(
         "model accuracies (test set): known {:.1}%, gathered {:.1}%, selector {:.1}%",
         outcome.accuracies.known * 100.0,
@@ -30,16 +37,35 @@ fn main() -> Result<(), SeerError> {
         outcome.accuracies.selector * 100.0
     );
 
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
-    let report = evaluate(&predictor, &outcome.test_records);
+    let report = evaluate(&engine, &outcome.test_records);
 
     println!("\naggregate workload time over the test set (lower is better):");
-    println!("  {:<22} {:>12.3} ms", "Oracle", report.totals.oracle.as_millis());
-    println!("  {:<22} {:>12.3} ms", "Seer selector", report.totals.selector.as_millis());
-    println!("  {:<22} {:>12.3} ms", "Gathered predictor", report.totals.gathered.as_millis());
-    println!("  {:<22} {:>12.3} ms", "Known predictor", report.totals.known.as_millis());
+    println!(
+        "  {:<22} {:>12.3} ms",
+        "Oracle",
+        report.totals.oracle.as_millis()
+    );
+    println!(
+        "  {:<22} {:>12.3} ms",
+        "Seer selector",
+        report.totals.selector.as_millis()
+    );
+    println!(
+        "  {:<22} {:>12.3} ms",
+        "Gathered predictor",
+        report.totals.gathered.as_millis()
+    );
+    println!(
+        "  {:<22} {:>12.3} ms",
+        "Known predictor",
+        report.totals.known.as_millis()
+    );
     for (kernel, total) in &report.totals.per_kernel {
-        println!("  {:<22} {:>12.3} ms", kernel.to_string(), total.as_millis());
+        println!(
+            "  {:<22} {:>12.3} ms",
+            kernel.to_string(),
+            total.as_millis()
+        );
     }
 
     let (best_kernel, best_total) = report.totals.best_single_kernel();

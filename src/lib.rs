@@ -10,25 +10,38 @@
 //! * [`kernels`] — the eight SpMV kernel variants of the case study,
 //! * [`ml`] — the CART decision tree, baselines, metrics and model export,
 //! * [`core`] — the Seer abstraction itself: feature collection, GPU
-//!   benchmarking, training and runtime inference.
+//!   benchmarking, training and the runtime [`SeerEngine`] service.
 //!
 //! # Quickstart
 //!
+//! Train once, then serve selections from a long-lived, thread-safe
+//! [`SeerEngine`]. The engine memoizes feature collections and selection
+//! plans per matrix (keyed by content fingerprint), so repeated and batched
+//! requests on the same matrix pay the selection cost once:
+//!
 //! ```
-//! use seer::core::training::{train, TrainingConfig};
-//! use seer::core::inference::SeerPredictor;
+//! use seer::SeerEngine;
+//! use seer::core::training::TrainingConfig;
 //! use seer::gpu::Gpu;
 //! use seer::sparse::collection::{generate, CollectionConfig};
 //!
 //! # fn main() -> Result<(), seer::core::SeerError> {
-//! let gpu = Gpu::default();
 //! let collection = generate(&CollectionConfig::tiny());
-//! let outcome = train(&gpu, &collection, &TrainingConfig::fast())?;
-//! let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+//! let (engine, outcome) =
+//!     SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())?;
+//! println!("selector accuracy: {:.0}%", outcome.accuracies.selector * 100.0);
 //!
 //! let matrix = &collection[0].matrix;
-//! let selection = predictor.select(matrix, 19);
+//! let selection = engine.select(matrix, 19);
 //! println!("Seer would launch {} for a 19-iteration run", selection.kernel);
+//!
+//! // A second request on the same matrix is a plan-cache hit.
+//! assert_eq!(engine.select(matrix, 19), selection);
+//! assert_eq!(engine.stats().plan_hits, 1);
+//!
+//! // Batched selection shares the same cache.
+//! let plans = engine.select_batch(&[(matrix, 1), (matrix, 19)]);
+//! assert_eq!(plans[1], selection);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,6 +58,8 @@ pub use seer_gpu as gpu;
 pub use seer_kernels as kernels;
 pub use seer_ml as ml;
 pub use seer_sparse as sparse;
+
+pub use seer_core::{EngineStats, SeerEngine};
 
 /// Version string of the Seer reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

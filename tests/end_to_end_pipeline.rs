@@ -3,42 +3,58 @@
 use seer::core::benchmarking::benchmark_collection;
 use seer::core::csv::{aggregate_runtime_csv, parse_aggregate_csv};
 use seer::core::evaluation::evaluate;
-use seer::core::inference::SeerPredictor;
 use seer::core::training::{train, train_from_records, TrainingConfig};
 use seer::gpu::Gpu;
 use seer::kernels::KernelId;
 use seer::ml::export;
 use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
+use seer::SeerEngine;
 
 fn collection_config() -> CollectionConfig {
-    CollectionConfig { seed: 11, matrices_per_family: 3, scale: SizeScale::Tiny }
-}
-
-#[test]
-fn full_pipeline_trains_and_selects_valid_kernels() {
-    let gpu = Gpu::default();
-    let entries = generate(&collection_config());
-    let outcome = train(&gpu, &entries, &TrainingConfig::fast()).expect("training succeeds");
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
-
-    for entry in &entries {
-        for iterations in [1usize, 19] {
-            let selection = predictor.select(&entry.matrix, iterations);
-            assert!(KernelId::ALL.contains(&selection.kernel), "{}", entry.name);
-        }
+    CollectionConfig {
+        seed: 11,
+        matrices_per_family: 3,
+        scale: SizeScale::Tiny,
     }
 }
 
 #[test]
-fn execution_results_match_reference_spmv() {
-    let gpu = Gpu::default();
+fn full_pipeline_trains_and_selects_valid_kernels() {
     let entries = generate(&collection_config());
-    let outcome = train(&gpu, &entries, &TrainingConfig::fast()).expect("training succeeds");
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
+    let (engine, _outcome) = SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast())
+        .expect("training succeeds");
+
+    for entry in &entries {
+        for iterations in [1usize, 19] {
+            let selection = engine.select(&entry.matrix, iterations);
+            assert!(KernelId::ALL.contains(&selection.kernel), "{}", entry.name);
+        }
+    }
+
+    // Re-running the whole sweep is answered entirely from the plan cache.
+    let before = engine.stats();
+    for entry in &entries {
+        for iterations in [1usize, 19] {
+            engine.select(&entry.matrix, iterations);
+        }
+    }
+    let after = engine.stats();
+    assert_eq!(after.plan_misses, before.plan_misses);
+    assert_eq!(after.plan_hits, before.plan_hits + 2 * entries.len() as u64);
+    assert_eq!(after.feature_collections, before.feature_collections);
+}
+
+#[test]
+fn execution_results_match_reference_spmv() {
+    let entries = generate(&collection_config());
+    let (engine, _outcome) = SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast())
+        .expect("training succeeds");
 
     for entry in entries.iter().step_by(5) {
-        let x: Vec<f64> = (0..entry.matrix.cols()).map(|i| ((i % 13) as f64) * 0.25 - 1.0).collect();
-        let result = predictor.execute(&entry.matrix, &x, 3);
+        let x: Vec<f64> = (0..entry.matrix.cols())
+            .map(|i| ((i % 13) as f64) * 0.25 - 1.0)
+            .collect();
+        let result = engine.execute(&entry.matrix, &x, 3);
         let reference = entry.matrix.spmv(&x);
         for (a, b) in result.result.iter().zip(&reference) {
             assert!(
@@ -59,10 +75,12 @@ fn selector_beats_or_matches_the_single_kernel_baselines_in_aggregate() {
         matrices_per_family: 4,
         scale: SizeScale::Small,
     });
-    let config = TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() };
-    let outcome = train(&gpu, &entries, &config).expect("training succeeds");
-    let predictor = SeerPredictor::new(&gpu, outcome.models.clone());
-    let report = evaluate(&predictor, &outcome.test_records);
+    let config = TrainingConfig {
+        iteration_counts: vec![1, 19],
+        ..TrainingConfig::default()
+    };
+    let (engine, outcome) = SeerEngine::train(gpu, &entries, &config).expect("training succeeds");
+    let report = evaluate(&engine, &outcome.test_records);
 
     // The selector can never beat the Oracle...
     assert!(report.totals.selector >= report.totals.oracle);
@@ -87,7 +105,10 @@ fn accuracy_ordering_matches_the_paper() {
         matrices_per_family: 5,
         scale: SizeScale::Small,
     });
-    let config = TrainingConfig { iteration_counts: vec![1, 19], ..TrainingConfig::default() };
+    let config = TrainingConfig {
+        iteration_counts: vec![1, 19],
+        ..TrainingConfig::default()
+    };
     let outcome = train(&gpu, &entries, &config).expect("training succeeds");
     // On the small CI-sized test split the two accuracies can swap by a
     // sample or two; the qualitative claim is that both are strong and the

@@ -1,0 +1,114 @@
+//! Integration tests of the `SeerEngine` service layer through the facade
+//! crate: plan-cache semantics, batch entry points and cross-thread sharing.
+
+use std::sync::Arc;
+
+use seer::core::training::TrainingConfig;
+use seer::gpu::Gpu;
+use seer::kernels::KernelId;
+use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
+use seer::sparse::CsrMatrix;
+use seer::SeerEngine;
+
+fn trained_engine() -> (SeerEngine, Vec<seer::sparse::collection::DatasetEntry>) {
+    let entries = generate(&CollectionConfig {
+        seed: 13,
+        matrices_per_family: 2,
+        scale: SizeScale::Tiny,
+    });
+    let (engine, _outcome) = SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast())
+        .expect("training succeeds");
+    (engine, entries)
+}
+
+#[test]
+fn cached_selection_is_bit_identical_and_counted() {
+    let (engine, entries) = trained_engine();
+    let matrix = &entries[0].matrix;
+
+    let fresh = engine.select(matrix, 19);
+    let cached = engine.select(matrix, 19);
+    assert_eq!(fresh, cached, "cache replay must be bit-identical");
+    assert_eq!(
+        fresh.feature_collection_cost,
+        cached.feature_collection_cost
+    );
+    assert_eq!(fresh.inference_overhead, cached.inference_overhead);
+
+    let stats = engine.stats();
+    assert_eq!(stats.plan_hits, 1);
+    assert_eq!(stats.plan_misses, 1);
+    // The replay charged no additional feature collection: at most the one
+    // collection performed by the fresh selection was ever run.
+    assert!(stats.feature_collections <= 1);
+}
+
+#[test]
+fn regenerated_matrix_with_different_content_misses() {
+    let (engine, entries) = trained_engine();
+    let matrix = &entries[0].matrix;
+    engine.select(matrix, 1);
+
+    // A structurally identical clone replays the plan...
+    engine.select(&matrix.clone(), 1);
+    assert_eq!(engine.stats().plan_hits, 1);
+
+    // ...but regenerating the collection with a different seed produces
+    // different content, which must miss.
+    let other = generate(&CollectionConfig {
+        seed: 14,
+        matrices_per_family: 2,
+        scale: SizeScale::Tiny,
+    });
+    assert_ne!(
+        matrix.content_fingerprint(),
+        other[0].matrix.content_fingerprint(),
+        "different seeds should generate different matrices"
+    );
+    engine.select(&other[0].matrix, 1);
+    let stats = engine.stats();
+    assert_eq!(stats.plan_misses, 2);
+    assert_eq!(stats.plan_hits, 1);
+}
+
+#[test]
+fn select_batch_agrees_with_sequential_selects() {
+    let (engine, entries) = trained_engine();
+    let requests: Vec<(&CsrMatrix, usize)> =
+        entries.iter().take(4).map(|e| (&e.matrix, 19)).collect();
+    let batch = engine.select_batch(&requests);
+    assert_eq!(batch.len(), requests.len());
+    for (selection, &(matrix, iterations)) in batch.iter().zip(&requests) {
+        assert!(KernelId::ALL.contains(&selection.kernel));
+        assert_eq!(*selection, engine.select(matrix, iterations));
+    }
+}
+
+#[test]
+fn engine_serves_identical_plans_from_two_threads() {
+    let (engine, entries) = trained_engine();
+    let engine = Arc::new(engine);
+    let matrix = entries[0].matrix.clone();
+
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let matrix = matrix.clone();
+            std::thread::spawn(move || {
+                (0..16)
+                    .map(|i| engine.select(&matrix, 1 + (i % 2) * 18))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let results: Vec<Vec<_>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert_eq!(results[0], results[1]);
+
+    let stats = engine.stats();
+    assert_eq!(stats.plan_hits + stats.plan_misses, 32);
+    // Two iteration counts on one matrix: at most one racing miss per thread
+    // and per key, and the cache ends up with exactly two plans.
+    assert!(stats.plan_misses <= 4);
+    assert_eq!(engine.cached_plans(), 2);
+    assert_eq!(stats.misprediction_fallbacks, 0);
+}

@@ -19,11 +19,26 @@ fn no_single_kernel_wins_everywhere() {
     let gpu = Gpu::default();
     let mut rng = SplitMix64::new(21);
     let shapes = vec![
-        ("short_uniform", generators::uniform_row_length(200_000, 4, &mut rng)),
-        ("medium_uniform", generators::uniform_row_length(150_000, 16, &mut rng)),
-        ("skewed", generators::skewed_rows(60_000, 3, 8_000, 0.003, &mut rng)),
-        ("very_long_rows", generators::uniform_row_length(400, 60_000, &mut rng)),
-        ("scale_free", generators::power_law(150_000, 1.8, 20_000, &mut rng)),
+        (
+            "short_uniform",
+            generators::uniform_row_length(200_000, 4, &mut rng),
+        ),
+        (
+            "medium_uniform",
+            generators::uniform_row_length(150_000, 16, &mut rng),
+        ),
+        (
+            "skewed",
+            generators::skewed_rows(60_000, 3, 8_000, 0.003, &mut rng),
+        ),
+        (
+            "very_long_rows",
+            generators::uniform_row_length(400, 60_000, &mut rng),
+        ),
+        (
+            "scale_free",
+            generators::power_law(150_000, 1.8, 20_000, &mut rng),
+        ),
         ("banded", generators::banded(120_000, 3, &mut rng)),
     ];
     let mut winners = BTreeSet::new();
@@ -60,8 +75,7 @@ fn collection_winners_are_diverse_across_iteration_counts() {
     let mut winners = BTreeSet::new();
     for entry in &entries {
         for iterations in [1usize, 50] {
-            let record =
-                BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, iterations);
+            let record = BenchmarkRecord::measure(&gpu, &entry.name, &entry.matrix, iterations);
             winners.insert(record.best_kernel());
         }
     }
@@ -81,18 +95,27 @@ fn feature_collection_cost_crosses_kernel_runtime_as_rows_grow() {
     let mut rng = SplitMix64::new(22);
     let mut ratio_small = 0.0;
     let mut ratio_large = 0.0;
-    for (rows, ratio) in [(2_000usize, &mut ratio_small), (400_000usize, &mut ratio_large)] {
+    for (rows, ratio) in [
+        (2_000usize, &mut ratio_small),
+        (400_000usize, &mut ratio_large),
+    ] {
         let matrix = generators::uniform_row_length(rows, 16, &mut rng);
         let collection = collector.collection_cost(&gpu, &matrix);
         let bench = MatrixBenchmark::measure(&gpu, "fig6", &matrix, 1);
-        let bm = bench.profile(KernelId::CsrBlockMapped).unwrap().per_iteration;
+        let bm = bench
+            .profile(KernelId::CsrBlockMapped)
+            .unwrap()
+            .per_iteration;
         *ratio = collection.as_nanos() / bm.as_nanos();
     }
     assert!(
         ratio_small > ratio_large,
         "collection cost should matter more for small matrices (small {ratio_small:.3} vs large {ratio_large:.3})"
     );
-    assert!(ratio_large < 1.0, "collection should be cheaper than CSR,BM on large matrices");
+    assert!(
+        ratio_large < 1.0,
+        "collection should be cheaper than CSR,BM on large matrices"
+    );
 }
 
 #[test]
@@ -109,12 +132,19 @@ fn adaptive_preprocessing_amortizes_on_multi_iteration_workloads() {
     // Preprocessing makes adaptive worse for a single shot...
     assert!(adaptive.total() > thread_mapped.total());
     // ...but it has the better per-iteration time, so a crossover exists...
-    let crossover = adaptive.crossover_iterations(thread_mapped).expect("crossover exists");
+    let crossover = adaptive
+        .crossover_iterations(thread_mapped)
+        .expect("crossover exists");
     // ...and past the crossover its total undercuts the no-preprocessing kernel.
     assert!(adaptive.total_at(crossover + 5) < thread_mapped.total_at(crossover + 5));
     // The helper agrees with the profile-level computation.
     assert_eq!(
-        amortization_crossover(&gpu, &matrix, KernelId::CsrAdaptive, KernelId::CsrThreadMapped),
+        amortization_crossover(
+            &gpu,
+            &matrix,
+            KernelId::CsrAdaptive,
+            KernelId::CsrThreadMapped
+        ),
         Some(crossover)
     );
 }
@@ -126,7 +156,10 @@ fn ell_wins_on_regular_matrices_once_converted() {
     // makes it unattractive for single-shot runs.
     let gpu = Gpu::default();
     let standins = named_standins(SizeScale::Small);
-    let g3 = standins.iter().find(|e| e.name == "G3_circuit").expect("stand-in exists");
+    let g3 = standins
+        .iter()
+        .find(|e| e.name == "G3_circuit")
+        .expect("stand-in exists");
     let bench = MatrixBenchmark::measure(&gpu, &g3.name, &g3.matrix, 1);
     let ell = bench.profile(KernelId::EllThreadMapped).unwrap();
     let others_best_iteration = KernelId::ALL
@@ -145,11 +178,20 @@ fn thread_mapping_collapses_on_the_skewed_standin() {
     // be far from the best kernel, which is the load-balanced family.
     let gpu = Gpu::default();
     let standins = named_standins(SizeScale::Small);
-    let skewed = standins.iter().find(|e| e.name == "matrix-new_3").expect("stand-in exists");
+    let skewed = standins
+        .iter()
+        .find(|e| e.name == "matrix-new_3")
+        .expect("stand-in exists");
     let bench = MatrixBenchmark::measure(&gpu, &skewed.name, &skewed.matrix, 1);
     let best = bench.fastest_single_iteration().per_iteration;
-    let tm = bench.profile(KernelId::CsrThreadMapped).unwrap().per_iteration;
-    let ell = bench.profile(KernelId::EllThreadMapped).unwrap().per_iteration;
+    let tm = bench
+        .profile(KernelId::CsrThreadMapped)
+        .unwrap()
+        .per_iteration;
+    let ell = bench
+        .profile(KernelId::EllThreadMapped)
+        .unwrap()
+        .per_iteration;
     assert!(
         tm > best * 1.3,
         "CSR,TM ({} ms) should trail the best kernel ({} ms) on skewed input",
@@ -177,5 +219,8 @@ fn oracle_never_loses_and_is_shape_dependent() {
         }
         winners.insert(fastest.kernel);
     }
-    assert!(winners.len() >= 2, "winners should vary across the named stand-ins: {winners:?}");
+    assert!(
+        winners.len() >= 2,
+        "winners should vary across the named stand-ins: {winners:?}"
+    );
 }
