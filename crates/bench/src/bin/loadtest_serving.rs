@@ -1,0 +1,225 @@
+//! Load test of the sharded [`ServingPool`] against a sequential
+//! [`SeerEngine`] on the same deterministic traffic stream.
+//!
+//! The stream comes from [`seer_sparse::traffic`] (Zipf-like hot set, bursts,
+//! bimodal iteration counts), so every run — and every future regression
+//! check — replays the exact same requests. Both sides execute the full
+//! select-and-run pipeline: plan lookup/computation plus a functional SpMV of
+//! the chosen kernel, which is the CPU-bound work that gives the pool
+//! something real to parallelize.
+//!
+//! ```text
+//! cargo run -p seer_bench --release --bin loadtest_serving            # full run
+//! cargo run -p seer_bench --release --bin loadtest_serving -- --smoke # CI smoke
+//! cargo run -p seer_bench --release --bin loadtest_serving -- \
+//!     --shards 8 --requests 20000                                     # custom
+//! ```
+//!
+//! The binary always verifies that the pooled responses are bit-identical to
+//! the sequential replay (selections and result vectors) before printing
+//! throughput, and exits non-zero on any mismatch. The pooled-vs-sequential
+//! speedup is reported but only *asserted* (>= 2x, the PR acceptance bar)
+//! when the machine actually has >= 4 CPUs available and `--assert-speedup`
+//! is passed, because a 4-shard pool cannot beat a single thread on a
+//! single-core box no matter how good the code is.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use seer_core::engine::SeerEngine;
+use seer_core::serving::{PoolConfig, ServingPool, ServingRequest};
+use seer_core::training::TrainingConfig;
+use seer_gpu::Gpu;
+use seer_sparse::collection::{generate, CollectionConfig, SizeScale};
+use seer_sparse::traffic::{TrafficConfig, TrafficGenerator, TrafficRequest};
+use seer_sparse::{CsrMatrix, Scalar};
+
+struct Options {
+    smoke: bool,
+    shards: usize,
+    requests: usize,
+    assert_speedup: bool,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        smoke: false,
+        shards: 4,
+        requests: 8_000,
+        assert_speedup: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--assert-speedup" => options.assert_speedup = true,
+            "--shards" => {
+                options.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a positive integer");
+            }
+            "--requests" => {
+                options.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests takes a positive integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: loadtest_serving [--smoke] [--shards N] [--requests N] [--assert-speedup]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if options.smoke {
+        options.requests = options.requests.min(1_000);
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+
+    // Deterministic setup: corpus, trained engine, request stream.
+    let collection = generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 4,
+        scale: if options.smoke {
+            SizeScale::Tiny
+        } else {
+            SizeScale::Small
+        },
+    });
+    let (engine, _outcome) =
+        SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
+            .expect("training the loadtest models");
+
+    let corpus: Vec<Arc<CsrMatrix>> = collection
+        .iter()
+        .map(|e| Arc::new(e.matrix.clone()))
+        .collect();
+    let inputs: Vec<Arc<Vec<Scalar>>> = corpus
+        .iter()
+        .map(|m| Arc::new(vec![1.0; m.cols()]))
+        .collect();
+    let stream: Vec<TrafficRequest> =
+        TrafficGenerator::new(&TrafficConfig::skewed(corpus.len(), 0x10AD))
+            .take(options.requests)
+            .collect();
+    println!(
+        "loadtest: {} requests over {} matrices, {} shards{}",
+        stream.len(),
+        corpus.len(),
+        options.shards,
+        if options.smoke { " (smoke)" } else { "" }
+    );
+
+    // Sequential baseline: one engine, one thread, same stream.
+    let sequential_start = Instant::now();
+    let sequential: Vec<_> = stream
+        .iter()
+        .map(|r| {
+            engine.execute(
+                &corpus[r.matrix_index],
+                &inputs[r.matrix_index],
+                r.iterations,
+            )
+        })
+        .collect();
+    let sequential_secs = sequential_start.elapsed().as_secs_f64();
+    let sequential_rps = stream.len() as f64 / sequential_secs;
+    let engine_stats = engine.stats();
+
+    // Pooled run: same models, fresh caches, N shards.
+    let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(options.shards));
+    let pooled_start = Instant::now();
+    let tickets = pool.submit_batch(stream.iter().map(|r| {
+        ServingRequest::execute(
+            Arc::clone(&corpus[r.matrix_index]),
+            Arc::clone(&inputs[r.matrix_index]),
+            r.iterations,
+        )
+    }));
+    let pooled: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let pooled_secs = pooled_start.elapsed().as_secs_f64();
+    let pooled_rps = stream.len() as f64 / pooled_secs;
+    let stats = pool.shutdown();
+
+    // Differential check: the pool must be a bit-identical replay.
+    let mut mismatches = 0usize;
+    for (index, (seq, pool_response)) in sequential.iter().zip(&pooled).enumerate() {
+        if seq.selection != pool_response.selection
+            || pool_response.result.as_deref() != Some(seq.result.as_slice())
+        {
+            if mismatches == 0 {
+                eprintln!(
+                    "MISMATCH at request {index}: sequential {:?} vs pooled {:?}",
+                    seq.selection, pool_response.selection
+                );
+            }
+            mismatches += 1;
+        }
+    }
+
+    let aggregated = stats.engine();
+    println!("\n                     requests/sec    plan hit rate");
+    println!(
+        "  sequential (1 thr)   {sequential_rps:>10.0}          {:>5.1}%",
+        engine_stats.plan_hit_rate() * 100.0
+    );
+    println!(
+        "  pooled ({} shards)    {pooled_rps:>10.0}          {:>5.1}%",
+        options.shards,
+        aggregated.plan_hit_rate() * 100.0
+    );
+    let speedup = pooled_rps / sequential_rps;
+    println!("  speedup              {speedup:>10.2}x");
+    println!("\nper-shard: (submitted / completed / hits / misses / cached plans)");
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: {:>6} / {:>6} / {:>6} / {:>6} / {:>4}",
+            shard.shard,
+            shard.submitted,
+            shard.completed,
+            shard.engine.plan_hits,
+            shard.engine.plan_misses,
+            shard.cached_plans
+        );
+    }
+    println!(
+        "\ntotals: {} submitted, {} completed, queue depth {}, {} feature collections, {} fallbacks",
+        stats.submitted(),
+        stats.completed(),
+        stats.queue_depth(),
+        aggregated.feature_collections,
+        aggregated.misprediction_fallbacks
+    );
+
+    // Invariants the driver relies on, checked on every run including smoke.
+    assert_eq!(mismatches, 0, "pooled results diverged from sequential");
+    assert_eq!(stats.completed(), stream.len() as u64);
+    assert_eq!(stats.queue_depth(), 0);
+    assert_eq!(
+        aggregated.selections(),
+        stream.len() as u64,
+        "every request makes exactly one selection"
+    );
+    println!(
+        "\ndifferential check: OK ({} requests bit-identical)",
+        stream.len()
+    );
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if options.assert_speedup {
+        if cpus >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "expected >= 2x pooled speedup on {cpus} CPUs, measured {speedup:.2}x"
+            );
+            println!("speedup check: OK ({speedup:.2}x on {cpus} CPUs)");
+        } else {
+            println!("speedup check: skipped ({cpus} CPU(s) available, need >= 4)");
+        }
+    }
+}

@@ -72,6 +72,12 @@ struct PlanKey {
 }
 
 /// Snapshot of the engine's cache and fallback counters.
+///
+/// Snapshots are plain counter tuples; combine them with
+/// [`EngineStats::saturating_add`] (aggregating shards) and diff them with
+/// [`EngineStats::saturating_sub`] (progress since an earlier snapshot).
+/// Both are saturating so stats arithmetic can never wrap, even when a
+/// snapshot straddles a [`SeerEngine::clear_caches`] counter reset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
     /// Selections answered straight from the plan cache.
@@ -83,6 +89,56 @@ pub struct EngineStats {
     /// Times a model emitted an out-of-range class and the engine fell back
     /// to the default kernel. Always zero for correctly trained models.
     pub misprediction_fallbacks: u64,
+}
+
+impl EngineStats {
+    /// Total selections served (cache hits plus computed plans).
+    pub fn selections(&self) -> u64 {
+        self.plan_hits.saturating_add(self.plan_misses)
+    }
+
+    /// Fraction of selections answered from the plan cache, in `[0, 1]`.
+    /// Zero when no selections have been served.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.selections();
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise saturating sum, for aggregating per-shard snapshots.
+    pub fn saturating_add(self, other: EngineStats) -> EngineStats {
+        EngineStats {
+            plan_hits: self.plan_hits.saturating_add(other.plan_hits),
+            plan_misses: self.plan_misses.saturating_add(other.plan_misses),
+            feature_collections: self
+                .feature_collections
+                .saturating_add(other.feature_collections),
+            misprediction_fallbacks: self
+                .misprediction_fallbacks
+                .saturating_add(other.misprediction_fallbacks),
+        }
+    }
+
+    /// Component-wise saturating difference against an `earlier` snapshot.
+    ///
+    /// When `earlier` was taken before a [`SeerEngine::clear_caches`] counter
+    /// reset, the naive subtraction would underflow; saturation clamps each
+    /// component at zero instead.
+    pub fn saturating_sub(self, earlier: EngineStats) -> EngineStats {
+        EngineStats {
+            plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
+            feature_collections: self
+                .feature_collections
+                .saturating_sub(earlier.feature_collections),
+            misprediction_fallbacks: self
+                .misprediction_fallbacks
+                .saturating_sub(earlier.misprediction_fallbacks),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -184,6 +240,12 @@ impl SeerEngine {
         &self.models
     }
 
+    /// A shared handle to the models, for callers building sibling engines
+    /// (e.g. the shards of a [`crate::serving::ServingPool`]).
+    pub fn models_handle(&self) -> Arc<SeerModels> {
+        Arc::clone(&self.models)
+    }
+
     /// Snapshot of the cache and fallback counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -205,19 +267,33 @@ impl SeerEngine {
             .len()
     }
 
-    /// Drops every cached plan and feature collection (counters are kept).
+    /// Drops every cached plan and feature collection and resets the cache
+    /// counters together, so stats describe the current cache generation:
+    /// absent concurrent in-flight selections, `plan_hits + plan_misses`
+    /// equals the selections served since the last clear.
     ///
     /// Long-lived services cycling through unbounded distinct matrices should
-    /// call this periodically; entries are never evicted otherwise.
+    /// call this periodically; entries are never evicted otherwise. Callers
+    /// tracking lifetime totals should snapshot [`SeerEngine::stats`] before
+    /// clearing and accumulate with [`EngineStats::saturating_add`].
     pub fn clear_caches(&self) {
-        self.plans
+        // Take both write locks before touching maps or counters so a
+        // concurrent select never observes cleared maps with stale counters.
+        let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
+        let mut features = self
+            .features
             .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
-        self.features
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
+            .unwrap_or_else(PoisonError::into_inner);
+        plans.clear();
+        features.clear();
+        self.counters.plan_hits.store(0, Ordering::Relaxed);
+        self.counters.plan_misses.store(0, Ordering::Relaxed);
+        self.counters
+            .feature_collections
+            .store(0, Ordering::Relaxed);
+        self.counters
+            .misprediction_fallbacks
+            .store(0, Ordering::Relaxed);
     }
 
     /// Selects a kernel for `matrix` and a workload of `iterations`
@@ -351,8 +427,23 @@ impl SeerEngine {
     ///
     /// Panics if `x.len() != matrix.cols()`.
     pub fn execute(&self, matrix: &CsrMatrix, x: &[Scalar], iterations: usize) -> ExecutionOutcome {
+        self.execute_with_policy(matrix, x, iterations, SelectionPolicy::Adaptive)
+    }
+
+    /// [`SeerEngine::execute`] under an explicit [`SelectionPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute_with_policy(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        policy: SelectionPolicy,
+    ) -> ExecutionOutcome {
         let (selection, charged_overhead) =
-            self.select_with_policy_charged(matrix, iterations, SelectionPolicy::Adaptive);
+            self.select_with_policy_charged(matrix, iterations, policy);
         let kernel = kernel(selection.kernel);
         let result = kernel.compute(matrix, x);
         let profile = kernel.measure(&self.gpu, matrix, iterations);
@@ -609,15 +700,76 @@ mod tests {
     }
 
     #[test]
-    fn clear_caches_resets_plans_but_keeps_counters() {
+    fn clear_caches_resets_plans_and_counters_together() {
         let (engine, entries) = engine_and_collection();
         engine.select(&entries[0].matrix, 1);
         assert_eq!(engine.cached_plans(), 1);
         engine.clear_caches();
         assert_eq!(engine.cached_plans(), 0);
-        assert_eq!(engine.stats().plan_misses, 1);
+        assert_eq!(engine.stats(), EngineStats::default());
+        // After the reset the counters describe the new cache generation: the
+        // next select on a cleared cache is a miss again.
         engine.select(&entries[0].matrix, 1);
-        assert_eq!(engine.stats().plan_misses, 2);
+        let stats = engine.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 0);
+    }
+
+    #[test]
+    fn stats_never_underflow_across_interleaved_clears() {
+        let (engine, entries) = engine_and_collection();
+        let mut lifetime = EngineStats::default();
+        let mut before = engine.stats();
+        for round in 0..4 {
+            for entry in entries.iter().take(3 + round) {
+                engine.select(&entry.matrix, 1);
+                engine.select(&entry.matrix, 19);
+                engine.select(&entry.matrix, 19);
+            }
+            let after = engine.stats();
+            let delta = after.saturating_sub(before);
+            // Every delta component is sane (u64 can't be negative, so the
+            // underflow symptom would be a huge wrapped value).
+            assert!(delta.plan_hits <= after.selections());
+            assert!(delta.plan_misses <= after.selections());
+            assert_eq!(
+                delta.selections(),
+                3 * (3 + round) as u64,
+                "round {round} served exactly its requests"
+            );
+            lifetime = lifetime.saturating_add(delta);
+            engine.clear_caches();
+            // A snapshot diffed across the reset saturates at zero instead of
+            // wrapping to u64::MAX.
+            let across_reset = engine.stats().saturating_sub(after);
+            assert_eq!(across_reset, EngineStats::default());
+            before = engine.stats();
+        }
+        assert_eq!(lifetime.selections(), (3 * (3 + 4 + 5 + 6)) as u64);
+        assert_eq!(lifetime.misprediction_fallbacks, 0);
+    }
+
+    #[test]
+    fn stats_arithmetic_saturates_and_rates_are_bounded() {
+        let a = EngineStats {
+            plan_hits: 3,
+            plan_misses: 1,
+            feature_collections: 1,
+            misprediction_fallbacks: 0,
+        };
+        let b = EngineStats {
+            plan_hits: 5,
+            plan_misses: u64::MAX,
+            feature_collections: 2,
+            misprediction_fallbacks: 0,
+        };
+        assert_eq!(a.saturating_sub(b), EngineStats::default());
+        assert_eq!(b.saturating_add(b).plan_misses, u64::MAX);
+        assert_eq!(a.selections(), 4);
+        assert!((a.plan_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(EngineStats::default().plan_hit_rate(), 0.0);
+        // Saturating selections: hits + misses cannot wrap either.
+        assert_eq!(b.selections(), u64::MAX);
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! Runtime selection is served by [`engine::SeerEngine`] — an owned,
 //! `Send + Sync` service that memoizes feature collections and selection
 //! plans per matrix (keyed by content fingerprint) and offers batch entry
-//! points, so repeated traffic pays the selection cost once.
+//! points, so repeated traffic pays the selection cost once. For concurrent
+//! traffic, [`serving::ServingPool`] shards the engine across worker threads
+//! (routing by fingerprint so cache locality survives concurrency).
 //!
 //! The multi-iteration / preprocessing-amortization analysis of Fig. 7 lives
 //! in [`amortization`], and the CSV formats of the Seer API (Section III-D of
@@ -60,9 +62,11 @@ pub mod engine;
 pub mod evaluation;
 pub mod features;
 pub mod inference;
+pub mod serving;
 pub mod training;
 
 mod error;
 
 pub use engine::{EngineStats, SeerEngine};
 pub use error::SeerError;
+pub use serving::{PoolConfig, PoolStats, ServingPool, ServingRequest, ServingResponse};

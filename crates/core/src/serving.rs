@@ -1,0 +1,759 @@
+//! Sharded concurrent serving on top of [`SeerEngine`].
+//!
+//! A single [`SeerEngine`] is `Send + Sync`, but every caller contends on the
+//! same two `RwLock`-guarded caches, and under heavy mixed traffic the write
+//! side (plan insertion, feature collection) serializes everything. The
+//! [`ServingPool`] scales the service out instead of up:
+//!
+//! * it owns `N` **shards**, each a private [`SeerEngine`] (own plan/feature
+//!   caches, own counters) sharing one device model and one set of trained
+//!   models, plus one `std::thread` worker draining a queue;
+//! * requests are routed by
+//!   [`content_fingerprint`](seer_sparse::CsrMatrix::content_fingerprint)` %
+//!   N`, so every distinct matrix has exactly one home shard. Repeat traffic
+//!   on a matrix always lands on the shard that already cached its plan —
+//!   cache locality survives concurrency, and no plan is ever computed twice
+//!   across shards for the same `(matrix, iterations, policy)` key;
+//! * [`ServingPool::submit`] is non-blocking and returns a [`Ticket`] that
+//!   resolves to the [`ServingResponse`]; [`ServingPool::drain`] blocks until
+//!   every accepted request has been served; [`ServingPool::shutdown`] drains,
+//!   joins the workers and returns the final [`PoolStats`].
+//!
+//! Because selection is a pure function of (models, matrix, iterations,
+//! policy), a pooled run returns **bit-identical** selections to a sequential
+//! [`SeerEngine`] replay of the same request stream, whatever the
+//! thread/shard interleaving — `tests/serving_pool.rs` holds this invariant
+//! under an 8-thread hammer.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use seer_core::engine::SeerEngine;
+//! use seer_core::serving::{PoolConfig, ServingPool, ServingRequest};
+//! use seer_core::training::TrainingConfig;
+//! use seer_gpu::Gpu;
+//! use seer_sparse::collection::{generate, CollectionConfig};
+//!
+//! # fn main() -> Result<(), seer_core::SeerError> {
+//! let collection = generate(&CollectionConfig::tiny());
+//! let (engine, _) =
+//!     SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())?;
+//!
+//! let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(2));
+//! let matrix = Arc::new(collection[0].matrix.clone());
+//! let ticket = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+//! assert_eq!(ticket.wait().selection, engine.select(&matrix, 19));
+//!
+//! let stats = pool.shutdown();
+//! assert_eq!(stats.completed(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use seer_gpu::{Gpu, SimTime};
+use seer_sparse::{CsrMatrix, Scalar};
+
+use crate::engine::{EngineStats, SeerEngine};
+use crate::inference::{Selection, SelectionPolicy};
+use crate::training::SeerModels;
+
+/// Configuration of a [`ServingPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of shards (worker threads with private engines).
+    pub shards: usize,
+}
+
+impl PoolConfig {
+    /// A pool with `shards` shards (clamped to at least one).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::with_shards(4)
+    }
+}
+
+/// What a request asks its shard to do.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// Produce a [`Selection`] only (the paper's runtime decision).
+    SelectOnly,
+    /// Select, then functionally execute the chosen kernel on `x` and report
+    /// the modelled end-to-end time.
+    Execute {
+        /// The dense input vector; must satisfy `x.len() == matrix.cols()`.
+        x: Arc<Vec<Scalar>>,
+    },
+}
+
+/// One request submitted to a [`ServingPool`].
+#[derive(Debug, Clone)]
+pub struct ServingRequest {
+    /// The target matrix. `Arc` so a hot matrix is shared, not copied, across
+    /// the submitters and queues of a busy service.
+    pub matrix: Arc<CsrMatrix>,
+    /// Workload length the selection optimizes for.
+    pub iterations: usize,
+    /// Which predictor flow to follow.
+    pub policy: SelectionPolicy,
+    /// Whether to stop at the selection or also execute the kernel.
+    pub workload: Workload,
+}
+
+impl ServingRequest {
+    /// A selection-only request under the adaptive (Fig. 3) policy.
+    pub fn select(matrix: Arc<CsrMatrix>, iterations: usize) -> Self {
+        Self {
+            matrix,
+            iterations,
+            policy: SelectionPolicy::Adaptive,
+            workload: Workload::SelectOnly,
+        }
+    }
+
+    /// A select-and-execute request under the adaptive policy.
+    pub fn execute(matrix: Arc<CsrMatrix>, x: Arc<Vec<Scalar>>, iterations: usize) -> Self {
+        Self {
+            matrix,
+            iterations,
+            policy: SelectionPolicy::Adaptive,
+            workload: Workload::Execute { x },
+        }
+    }
+
+    /// The same request under a different [`SelectionPolicy`].
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The served result of one [`ServingRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingResponse {
+    /// The selection the shard's engine made.
+    pub selection: Selection,
+    /// The product vector, for [`Workload::Execute`] requests.
+    pub result: Option<Vec<Scalar>>,
+    /// Modelled end-to-end time, for [`Workload::Execute`] requests. Plan
+    /// replays charge no selection overhead, exactly like
+    /// [`SeerEngine::execute`].
+    pub total_time: Option<SimTime>,
+    /// Index of the shard that served the request.
+    pub shard: usize,
+}
+
+/// A pending response from a [`ServingPool`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<ServingResponse>,
+    shard: usize,
+    /// A response already pulled off the channel by [`Ticket::try_wait`],
+    /// kept so a later `wait` still observes it.
+    received: Option<ServingResponse>,
+}
+
+impl Ticket {
+    /// The shard the request was routed to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Blocks until the response is served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before replying (a worker panic;
+    /// never happens in normal operation — shutdown drains accepted requests
+    /// first).
+    pub fn wait(mut self) -> ServingResponse {
+        match self.received.take() {
+            Some(response) => response,
+            None => self.rx.recv().expect("serving worker dropped the request"),
+        }
+    }
+
+    /// Returns the response if it is already available, without blocking.
+    ///
+    /// A response observed here stays owned by the ticket: polling
+    /// `try_wait` and then calling [`Ticket::wait`] returns the same
+    /// response rather than losing it.
+    pub fn try_wait(&mut self) -> Option<&ServingResponse> {
+        if self.received.is_none() {
+            self.received = self.rx.try_recv().ok();
+        }
+        self.received.as_ref()
+    }
+}
+
+/// Snapshot of one shard's serving counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Requests accepted (routed and enqueued) by this shard.
+    pub submitted: u64,
+    /// Requests fully served by this shard.
+    pub completed: u64,
+    /// Cache/fallback counters of the shard's engine.
+    pub engine: EngineStats,
+    /// Distinct plans currently cached by the shard's engine.
+    pub cached_plans: usize,
+}
+
+impl ShardStats {
+    /// Requests accepted but not yet served.
+    pub fn queue_depth(&self) -> u64 {
+        self.submitted.saturating_sub(self.completed)
+    }
+}
+
+/// Aggregate snapshot of a [`ServingPool`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Wall-clock time since the pool was created.
+    pub elapsed: Duration,
+}
+
+impl PoolStats {
+    /// Total requests accepted across all shards.
+    pub fn submitted(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.submitted))
+    }
+
+    /// Total requests served across all shards.
+    pub fn completed(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.completed))
+    }
+
+    /// Total requests accepted but not yet served.
+    pub fn queue_depth(&self) -> u64 {
+        self.submitted().saturating_sub(self.completed())
+    }
+
+    /// Engine counters aggregated over every shard (saturating sums).
+    pub fn engine(&self) -> EngineStats {
+        self.shards.iter().fold(EngineStats::default(), |acc, s| {
+            acc.saturating_add(s.engine)
+        })
+    }
+
+    /// Served requests per second of pool lifetime.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / secs
+        }
+    }
+}
+
+/// A job in flight: the request plus its reply channel.
+struct Job {
+    request: ServingRequest,
+    reply: mpsc::Sender<ServingResponse>,
+}
+
+/// Drain/shutdown coordination: workers notify after a served request, but
+/// only when a drain is actually parked — the common serving path pays one
+/// relaxed-free atomic load, not a mutex round-trip per request.
+///
+/// `waiters` and the completion counters are all `SeqCst` so a worker's
+/// "completed, is anyone waiting?" and a drain's "waiting, is anything
+/// pending?" cannot both read stale values: one of them always observes the
+/// other, which rules out a sleep with nothing left to wake it.
+struct Progress {
+    lock: Mutex<()>,
+    served: Condvar,
+    waiters: AtomicU64,
+}
+
+struct Shard {
+    engine: Arc<SeerEngine>,
+    /// `None` once shutdown has begun; dropping the sender stops the worker
+    /// after it drains the queue.
+    sender: Option<mpsc::Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+    submitted: Arc<AtomicU64>,
+    completed: Arc<AtomicU64>,
+}
+
+/// A sharded, multi-threaded serving front-end for Seer selections.
+///
+/// See the [module docs](self) for the sharding and determinism model.
+pub struct ServingPool {
+    shards: Vec<Shard>,
+    progress: Arc<Progress>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for ServingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingPool")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServingPool {
+    /// Builds a pool of `config.shards` engines over shared device and model
+    /// handles and starts one worker thread per shard.
+    pub fn new(gpu: Arc<Gpu>, models: Arc<SeerModels>, config: PoolConfig) -> Self {
+        let progress = Arc::new(Progress {
+            lock: Mutex::new(()),
+            served: Condvar::new(),
+            waiters: AtomicU64::new(0),
+        });
+        let shards = (0..config.shards.max(1))
+            .map(|index| {
+                let engine = Arc::new(SeerEngine::new(Arc::clone(&gpu), Arc::clone(&models)));
+                let (sender, receiver) = mpsc::channel::<Job>();
+                let completed = Arc::new(AtomicU64::new(0));
+                let worker = {
+                    let engine = Arc::clone(&engine);
+                    let completed = Arc::clone(&completed);
+                    let progress = Arc::clone(&progress);
+                    std::thread::Builder::new()
+                        .name(format!("seer-shard-{index}"))
+                        .spawn(move || {
+                            worker_loop(index, &engine, &receiver, &completed, &progress)
+                        })
+                        .expect("spawn serving worker")
+                };
+                Shard {
+                    engine,
+                    sender: Some(sender),
+                    worker: Some(worker),
+                    submitted: Arc::new(AtomicU64::new(0)),
+                    completed,
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            progress,
+            started: Instant::now(),
+        }
+    }
+
+    /// Builds a pool serving the same device and models as `engine`.
+    ///
+    /// The pool's shards keep their own caches; nothing already cached by
+    /// `engine` is shared.
+    pub fn from_engine(engine: &SeerEngine, config: PoolConfig) -> Self {
+        Self::new(engine.gpu_handle(), engine.models_handle(), config)
+    }
+
+    /// Number of shards (and worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of `matrix`: `content_fingerprint() % shards`.
+    pub fn shard_for(&self, matrix: &CsrMatrix) -> usize {
+        (matrix.content_fingerprint() % self.shards.len() as u64) as usize
+    }
+
+    /// Enqueues one request on its home shard and returns a [`Ticket`] for
+    /// the response. Never blocks on the serving work itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Workload::Execute`] request has `x.len() !=
+    /// matrix.cols()`. Validating here keeps the precondition violation on
+    /// the submitting thread — exactly where [`SeerEngine::execute`] would
+    /// raise it — instead of killing a shard worker.
+    pub fn submit(&self, request: ServingRequest) -> Ticket {
+        if let Workload::Execute { x } = &request.workload {
+            assert_eq!(
+                x.len(),
+                request.matrix.cols(),
+                "execute request needs x.len() == matrix.cols()"
+            );
+        }
+        let shard_index = self.shard_for(&request.matrix);
+        let shard = &self.shards[shard_index];
+        let (reply, rx) = mpsc::channel();
+        shard.submitted.fetch_add(1, Ordering::Relaxed);
+        shard
+            .sender
+            .as_ref()
+            .expect("pool has not been shut down")
+            .send(Job { request, reply })
+            .expect("serving worker is alive");
+        Ticket {
+            rx,
+            shard: shard_index,
+            received: None,
+        }
+    }
+
+    /// Enqueues a batch of requests (in order) and returns their tickets in
+    /// the same order. Requests for different shards proceed concurrently.
+    pub fn submit_batch(&self, requests: impl IntoIterator<Item = ServingRequest>) -> Vec<Ticket> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Blocks until every accepted request has been served.
+    pub fn drain(&self) {
+        // Announce the wait before checking pending (both SeqCst): either a
+        // worker's completion is visible to our pending check, or our waiter
+        // announcement is visible to that worker's post-completion check and
+        // it will notify. See the `Progress` docs.
+        self.progress.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self
+            .progress
+            .lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while self.pending() > 0 {
+            guard = self
+                .progress
+                .served
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(guard);
+        self.progress.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests accepted but not yet served, across all shards.
+    fn pending(&self) -> u64 {
+        self.shards.iter().fold(0u64, |n, s| {
+            n.saturating_add(
+                s.submitted
+                    .load(Ordering::SeqCst)
+                    .saturating_sub(s.completed.load(Ordering::SeqCst)),
+            )
+        })
+    }
+
+    /// Current per-shard and aggregate counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(index, shard)| ShardStats {
+                    shard: index,
+                    submitted: shard.submitted.load(Ordering::Acquire),
+                    completed: shard.completed.load(Ordering::Acquire),
+                    engine: shard.engine.stats(),
+                    cached_plans: shard.engine.cached_plans(),
+                })
+                .collect(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Serves every accepted request, stops the workers, joins them and
+    /// returns the final stats.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.stop_workers();
+        self.stats()
+    }
+
+    /// Graceful stop: closing each queue lets its worker finish the backlog
+    /// and exit; joining guarantees no thread outlives the pool.
+    fn stop_workers(&mut self) {
+        for shard in &mut self.shards {
+            shard.sender = None;
+        }
+        for shard in &mut self.shards {
+            if let Some(worker) = shard.worker.take() {
+                let joined = worker.join();
+                // Re-raising a worker panic while this drop itself runs
+                // during an unwind would double-panic and abort the process;
+                // the original panic is already propagating, so let it.
+                if joined.is_err() && !std::thread::panicking() {
+                    panic!("serving worker panicked");
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ServingPool {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// One shard's serve loop: drain the queue until every sender is gone.
+fn worker_loop(
+    shard: usize,
+    engine: &SeerEngine,
+    receiver: &mpsc::Receiver<Job>,
+    completed: &AtomicU64,
+    progress: &Progress,
+) {
+    for job in receiver.iter() {
+        let response = serve(shard, engine, &job.request);
+        completed.fetch_add(1, Ordering::SeqCst);
+        if progress.waiters.load(Ordering::SeqCst) > 0 {
+            // Taking the lock before notifying pairs with `drain` holding it
+            // across its pending-check, so no wakeup is ever missed.
+            let _guard = progress.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            progress.served.notify_all();
+        }
+        // The submitter may have dropped its ticket; that is not an error.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Serves one request on the shard's engine.
+fn serve(shard: usize, engine: &SeerEngine, request: &ServingRequest) -> ServingResponse {
+    match &request.workload {
+        Workload::SelectOnly => ServingResponse {
+            selection: engine.select_with_policy(
+                &request.matrix,
+                request.iterations,
+                request.policy,
+            ),
+            result: None,
+            total_time: None,
+            shard,
+        },
+        Workload::Execute { x } => {
+            let outcome =
+                engine.execute_with_policy(&request.matrix, x, request.iterations, request.policy);
+            ServingResponse {
+                selection: outcome.selection,
+                result: Some(outcome.result),
+                total_time: Some(outcome.total_time),
+                shard,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::TrainingConfig;
+    use seer_sparse::collection::{generate, CollectionConfig, DatasetEntry};
+
+    fn pool_and_corpus(shards: usize) -> (ServingPool, SeerEngine, Vec<DatasetEntry>) {
+        let entries = generate(&CollectionConfig::tiny());
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(shards));
+        (pool, engine, entries)
+    }
+
+    #[test]
+    fn pool_is_send_and_shuts_down_cleanly() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ServingPool>();
+        let (pool, _engine, _entries) = pool_and_corpus(3);
+        assert_eq!(pool.shards(), 3);
+        let stats = pool.shutdown();
+        assert_eq!(stats.submitted(), 0);
+        assert_eq!(stats.completed(), 0);
+    }
+
+    #[test]
+    fn pooled_selections_match_a_sequential_engine() {
+        let (pool, engine, entries) = pool_and_corpus(4);
+        let tickets: Vec<Ticket> = entries
+            .iter()
+            .take(8)
+            .map(|e| pool.submit(ServingRequest::select(Arc::new(e.matrix.clone()), 19)))
+            .collect();
+        for (ticket, entry) in tickets.into_iter().zip(entries.iter().take(8)) {
+            assert_eq!(ticket.wait().selection, engine.select(&entry.matrix, 19));
+        }
+    }
+
+    #[test]
+    fn routing_is_by_fingerprint_modulo_shards() {
+        let (pool, _engine, entries) = pool_and_corpus(4);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let home = pool.shard_for(&matrix);
+        assert_eq!(
+            home,
+            (matrix.content_fingerprint() % 4) as usize,
+            "routing must be fingerprint % shards"
+        );
+        let tickets =
+            pool.submit_batch((0..10).map(|_| ServingRequest::select(Arc::clone(&matrix), 1)));
+        assert!(tickets.iter().all(|t| t.shard() == home));
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(stats.shards[home].completed, 10);
+        assert_eq!(stats.completed(), 10);
+        // One miss on the home shard, nine replays; other shards untouched.
+        assert_eq!(stats.engine().plan_misses, 1);
+        assert_eq!(stats.engine().plan_hits, 9);
+        for (index, shard) in stats.shards.iter().enumerate() {
+            if index != home {
+                assert_eq!(shard.engine, EngineStats::default());
+                assert_eq!(shard.cached_plans, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn drain_empties_the_queues() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let requests = entries
+            .iter()
+            .cycle()
+            .take(40)
+            .map(|e| ServingRequest::select(Arc::new(e.matrix.clone()), 1));
+        let _tickets = pool.submit_batch(requests);
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(stats.submitted(), 40);
+        assert_eq!(stats.completed(), 40);
+        assert_eq!(stats.queue_depth(), 0);
+        for shard in &stats.shards {
+            assert_eq!(shard.queue_depth(), 0);
+        }
+    }
+
+    #[test]
+    fn execute_workload_returns_the_product() {
+        let (pool, engine, entries) = pool_and_corpus(2);
+        let matrix = Arc::new(entries[1].matrix.clone());
+        let x = Arc::new(vec![1.0; matrix.cols()]);
+        let response = pool
+            .submit(ServingRequest::execute(
+                Arc::clone(&matrix),
+                Arc::clone(&x),
+                5,
+            ))
+            .wait();
+        let reference = engine.execute(&matrix, &x, 5);
+        assert_eq!(
+            response.result.as_deref(),
+            Some(reference.result.as_slice())
+        );
+        assert_eq!(response.selection, reference.selection);
+        // Both runs were cold for their respective caches, so both charge the
+        // full selection overhead on top of the kernel time.
+        assert_eq!(response.total_time, Some(reference.total_time));
+    }
+
+    #[test]
+    fn policies_are_honoured_per_request() {
+        let (pool, engine, entries) = pool_and_corpus(2);
+        let matrix = Arc::new(entries[2].matrix.clone());
+        let known = pool
+            .submit(
+                ServingRequest::select(Arc::clone(&matrix), 1)
+                    .with_policy(SelectionPolicy::KnownOnly),
+            )
+            .wait();
+        let gathered = pool
+            .submit(
+                ServingRequest::select(Arc::clone(&matrix), 1)
+                    .with_policy(SelectionPolicy::GatheredOnly),
+            )
+            .wait();
+        assert!(!known.selection.used_gathered);
+        assert!(gathered.selection.used_gathered);
+        assert_eq!(known.selection, engine.select_known_only(&matrix, 1));
+        assert_eq!(gathered.selection, engine.select_gathered_only(&matrix, 1));
+    }
+
+    #[test]
+    fn single_shard_pool_serves_in_submission_order() {
+        let (pool, _engine, entries) = pool_and_corpus(1);
+        let tickets = pool.submit_batch(
+            entries
+                .iter()
+                .take(6)
+                .map(|e| ServingRequest::select(Arc::new(e.matrix.clone()), 1)),
+        );
+        let shards: Vec<usize> = tickets.iter().map(Ticket::shard).collect();
+        assert!(shards.iter().all(|&s| s == 0));
+        let responses: Vec<ServingResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(responses.len(), 6);
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed(), 6);
+        assert_eq!(stats.engine().selections(), 6);
+    }
+
+    #[test]
+    fn shutdown_serves_the_backlog_first() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let requests: Vec<ServingRequest> = entries
+            .iter()
+            .cycle()
+            .take(60)
+            .map(|e| ServingRequest::select(Arc::new(e.matrix.clone()), 19))
+            .collect();
+        let tickets = pool.submit_batch(requests);
+        // Shut down immediately: every accepted request must still be served.
+        let stats = pool.shutdown();
+        assert_eq!(stats.submitted(), 60);
+        assert_eq!(stats.completed(), 60);
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+    }
+
+    #[test]
+    fn try_wait_keeps_the_response_for_wait() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let mut ticket = pool.submit(ServingRequest::select(
+            Arc::new(entries[0].matrix.clone()),
+            1,
+        ));
+        pool.drain();
+        let polled = loop {
+            if let Some(response) = ticket.try_wait() {
+                break response.clone();
+            }
+        };
+        // The polled response is not lost: wait() returns the same one.
+        assert_eq!(ticket.wait(), polled);
+    }
+
+    #[test]
+    #[should_panic(expected = "x.len() == matrix.cols()")]
+    fn malformed_execute_request_panics_on_the_submitting_thread() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let wrong_len = Arc::new(vec![1.0; matrix.cols() + 1]);
+        // Must fail here, in the submitter — not kill a shard worker (which
+        // would abort the process when the pool's Drop joins it mid-unwind).
+        let _ = pool.submit(ServingRequest::execute(matrix, wrong_len, 1));
+    }
+
+    #[test]
+    fn throughput_and_elapsed_are_populated() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let _ = pool
+            .submit(ServingRequest::select(
+                Arc::new(entries[0].matrix.clone()),
+                1,
+            ))
+            .wait();
+        pool.drain();
+        let stats = pool.stats();
+        assert!(stats.elapsed > Duration::ZERO);
+        assert!(stats.throughput_per_sec() > 0.0);
+    }
+}

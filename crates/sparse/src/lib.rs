@@ -10,7 +10,9 @@
 //!   "dynamically computed features",
 //! * MatrixMarket I/O so real SuiteSparse files can be used when available,
 //! * a deterministic synthetic collection generator ([`collection`]) standing
-//!   in for the SuiteSparse Matrix Collection, and
+//!   in for the SuiteSparse Matrix Collection,
+//! * a deterministic serving-traffic generator ([`traffic`]) producing
+//!   replayable request streams with configurable reuse skew and bursts, and
 //! * a tiny deterministic RNG ([`SplitMix64`]) so every generated dataset is
 //!   bit-reproducible.
 //!
@@ -43,6 +45,7 @@ pub mod collection;
 pub mod generators;
 pub mod market;
 pub mod stats;
+pub mod traffic;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;

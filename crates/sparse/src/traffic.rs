@@ -1,0 +1,419 @@
+//! Deterministic request-stream generation for serving experiments.
+//!
+//! Throughput and cache-locality claims about a serving layer only mean
+//! something when the request stream that produced them can be replayed
+//! bit-for-bit. This module turns a [`SplitMix64`] seed into an infinite-ish
+//! stream of [`TrafficRequest`]s over a corpus of `corpus_size` matrices
+//! (by index — the caller owns the actual matrices, typically a
+//! [`crate::collection::generate`] collection) with three independently
+//! configurable axes of realism:
+//!
+//! * **reuse skew** — a Zipf-like hot set: most requests go to a small set of
+//!   popular matrices, the rest spread uniformly over the cold corpus. This is
+//!   the regime plan caches are built for, and the knob that controls how much
+//!   a cache can possibly help.
+//! * **burst structure** — real traffic repeats: an iterative solver submits
+//!   the same operator many times in a row. Bursts replay the previous matrix
+//!   for a sampled run length.
+//! * **iteration mix** — per-request iteration counts drawn from a
+//!   configurable distribution, matching the paper's observation that
+//!   workloads span single-shot to hundreds of iterations.
+//!
+//! Two generators built from equal configs yield identical streams; the
+//! stream is also independent of how the consumer interleaves calls, so a
+//! sequential replay and a sharded concurrent replay see the same requests.
+//!
+//! # Example
+//!
+//! ```
+//! use seer_sparse::traffic::{TrafficConfig, TrafficGenerator};
+//!
+//! let config = TrafficConfig::smoke(16);
+//! let requests: Vec<_> = TrafficGenerator::new(&config).take(100).collect();
+//! let replay: Vec<_> = TrafficGenerator::new(&config).take(100).collect();
+//! assert_eq!(requests, replay);
+//! assert!(requests.iter().all(|r| r.matrix_index < 16));
+//! ```
+
+use crate::SplitMix64;
+
+/// Per-request iteration-count distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum IterationMix {
+    /// Every request runs the same number of iterations.
+    Fixed(usize),
+    /// Iteration counts drawn uniformly from `[lo, hi]`.
+    Uniform {
+        /// Smallest iteration count (inclusive).
+        lo: usize,
+        /// Largest iteration count (inclusive).
+        hi: usize,
+    },
+    /// A two-mode mix: mostly `short` runs with an occasional `long` solver
+    /// run — the shape the amortization study (Fig. 7) cares about.
+    Bimodal {
+        /// Iteration count of the common short requests.
+        short: usize,
+        /// Iteration count of the rare long requests.
+        long: usize,
+        /// Fraction of requests that are long, in `[0, 1]`.
+        long_fraction: f64,
+    },
+}
+
+impl IterationMix {
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        match *self {
+            IterationMix::Fixed(n) => n.max(1),
+            IterationMix::Uniform { lo, hi } => {
+                let lo = lo.max(1);
+                let hi = hi.max(lo);
+                rng.next_range(lo, hi + 1)
+            }
+            IterationMix::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => {
+                if rng.next_f64() < long_fraction.clamp(0.0, 1.0) {
+                    long.max(1)
+                } else {
+                    short.max(1)
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of a deterministic traffic stream.
+///
+/// Equal configs generate identical streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Seed of the stream; every draw derives from it.
+    pub seed: u64,
+    /// Number of distinct matrices the stream addresses (requests carry
+    /// indices in `[0, corpus_size)`).
+    pub corpus_size: usize,
+    /// Number of matrices in the popular hot set (clamped to `corpus_size`).
+    pub hot_set_size: usize,
+    /// Probability that a fresh (non-burst) request targets the hot set.
+    pub hot_fraction: f64,
+    /// Zipf-like exponent of rank popularity inside the hot set; larger means
+    /// more mass on the few hottest matrices. Must be `> 1`.
+    pub zipf_exponent: f64,
+    /// Probability that a request opens a burst replaying its matrix.
+    pub burst_fraction: f64,
+    /// Maximum burst run length (a burst replays the same matrix for a
+    /// uniformly sampled `2..=max_burst_len` consecutive requests).
+    pub max_burst_len: usize,
+    /// Distribution of per-request iteration counts.
+    pub iterations: IterationMix,
+}
+
+impl TrafficConfig {
+    /// A stream with solver-like locality: a small hot set takes most of the
+    /// traffic and a third of requests open short bursts.
+    pub fn skewed(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            seed,
+            corpus_size,
+            hot_set_size: (corpus_size / 8).max(1),
+            hot_fraction: 0.8,
+            zipf_exponent: 1.8,
+            burst_fraction: 0.3,
+            max_burst_len: 6,
+            iterations: IterationMix::Bimodal {
+                short: 1,
+                long: 19,
+                long_fraction: 0.25,
+            },
+        }
+    }
+
+    /// A uniform stream (every draw lands anywhere in the corpus with equal
+    /// probability) — the cache-hostile baseline.
+    pub fn uniform(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            seed,
+            corpus_size,
+            hot_set_size: corpus_size.max(1),
+            hot_fraction: 0.0,
+            zipf_exponent: 1.5,
+            burst_fraction: 0.0,
+            max_burst_len: 1,
+            iterations: IterationMix::Fixed(1),
+        }
+    }
+
+    /// A tiny deterministic stream for unit tests and CI smoke runs.
+    pub fn smoke(corpus_size: usize) -> Self {
+        Self {
+            seed: 0x7AF1C,
+            ..Self::skewed(corpus_size, 0x7AF1C)
+        }
+    }
+}
+
+/// One request of a traffic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrafficRequest {
+    /// Index of the target matrix in the caller's corpus.
+    pub matrix_index: usize,
+    /// Number of SpMV iterations the request runs.
+    pub iterations: usize,
+    /// Position within a burst (0 = fresh draw, 1.. = replay of the previous
+    /// request's matrix). Useful for asserting burst structure in tests.
+    pub burst_position: usize,
+}
+
+/// Deterministic iterator over a [`TrafficConfig`]'s request stream.
+///
+/// The generator is infinite; bound it with [`Iterator::take`].
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    config: TrafficConfig,
+    /// Draws deciding hot/cold, burst openings and burst lengths.
+    structure_rng: SplitMix64,
+    /// Draws for iteration counts, decoupled so changing the iteration mix
+    /// does not perturb which matrices are requested.
+    iteration_rng: SplitMix64,
+    /// Shuffled map from popularity rank to corpus index, so the hot set is
+    /// spread across the corpus (and therefore across serving shards) instead
+    /// of clustering at the low indices.
+    rank_to_index: Vec<usize>,
+    /// Remaining replays of `current` before a fresh draw.
+    burst_left: usize,
+    current: usize,
+    burst_position: usize,
+}
+
+impl TrafficGenerator {
+    /// Builds the deterministic stream described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.corpus_size` is zero or `config.zipf_exponent <= 1`.
+    pub fn new(config: &TrafficConfig) -> Self {
+        assert!(config.corpus_size > 0, "traffic needs a non-empty corpus");
+        assert!(
+            config.zipf_exponent > 1.0,
+            "zipf_exponent must be > 1 (got {})",
+            config.zipf_exponent
+        );
+        let mut root = SplitMix64::new(config.seed);
+        let mut permutation_rng = root.split(0x9A9);
+        let mut rank_to_index: Vec<usize> = (0..config.corpus_size).collect();
+        permutation_rng.shuffle(&mut rank_to_index);
+        Self {
+            structure_rng: root.split(0x57),
+            iteration_rng: root.split(0x17E),
+            rank_to_index,
+            config: config.clone(),
+            burst_left: 0,
+            current: 0,
+            burst_position: 0,
+        }
+    }
+
+    /// The hot set as corpus indices, most popular first.
+    ///
+    /// Useful for tests asserting that skew concentrates on these indices.
+    pub fn hot_set(&self) -> &[usize] {
+        let hot = self.config.hot_set_size.clamp(1, self.config.corpus_size);
+        &self.rank_to_index[..hot]
+    }
+
+    /// Draws the next fresh (non-burst) matrix index.
+    fn draw_index(&mut self) -> usize {
+        let hot = self.config.hot_set_size.clamp(1, self.config.corpus_size);
+        if self.structure_rng.next_f64() < self.config.hot_fraction.clamp(0.0, 1.0) {
+            // Zipf-like rank sampling inside the hot set: rank 1 is hottest.
+            let rank = self
+                .structure_rng
+                .next_power_law(self.config.zipf_exponent, hot);
+            self.rank_to_index[rank - 1]
+        } else {
+            self.rank_to_index[self.structure_rng.next_below(self.config.corpus_size)]
+        }
+    }
+}
+
+impl Iterator for TrafficGenerator {
+    type Item = TrafficRequest;
+
+    fn next(&mut self) -> Option<TrafficRequest> {
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.burst_position += 1;
+        } else {
+            self.current = self.draw_index();
+            self.burst_position = 0;
+            if self.config.max_burst_len >= 2
+                && self.structure_rng.next_f64() < self.config.burst_fraction.clamp(0.0, 1.0)
+            {
+                // The burst replays `current` for the next `len - 1` requests.
+                let len = self
+                    .structure_rng
+                    .next_range(2, self.config.max_burst_len + 1);
+                self.burst_left = len - 1;
+            }
+        }
+        Some(TrafficRequest {
+            matrix_index: self.current,
+            iterations: self.config.iterations.sample(&mut self.iteration_rng),
+            burst_position: self.burst_position,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn take(config: &TrafficConfig, n: usize) -> Vec<TrafficRequest> {
+        TrafficGenerator::new(config).take(n).collect()
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let config = TrafficConfig::skewed(64, 42);
+        assert_eq!(take(&config, 5_000), take(&config, 5_000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = take(&TrafficConfig::skewed(64, 1), 500);
+        let b = take(&TrafficConfig::skewed(64, 2), 500);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indices_stay_in_corpus() {
+        for request in take(&TrafficConfig::skewed(17, 3), 2_000) {
+            assert!(request.matrix_index < 17);
+            assert!(request.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn hot_set_dominates_a_skewed_stream() {
+        let config = TrafficConfig::skewed(64, 7);
+        let generator = TrafficGenerator::new(&config);
+        let hot: Vec<usize> = generator.hot_set().to_vec();
+        assert_eq!(hot.len(), 8);
+        let requests = take(&config, 10_000);
+        let in_hot = requests
+            .iter()
+            .filter(|r| hot.contains(&r.matrix_index))
+            .count();
+        // hot_fraction is 0.8 and bursts replay hot matrices proportionally.
+        assert!(
+            in_hot as f64 > 0.7 * requests.len() as f64,
+            "hot set got {in_hot}/{} requests",
+            requests.len()
+        );
+    }
+
+    #[test]
+    fn zipf_ranks_are_ordered_by_popularity() {
+        let config = TrafficConfig {
+            burst_fraction: 0.0,
+            hot_fraction: 1.0,
+            ..TrafficConfig::skewed(32, 11)
+        };
+        let generator = TrafficGenerator::new(&config);
+        let hottest = generator.hot_set()[0];
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for request in take(&config, 20_000) {
+            *counts.entry(request.matrix_index).or_default() += 1;
+        }
+        let max_count = counts.values().copied().max().unwrap();
+        assert_eq!(counts[&hottest], max_count, "rank 1 must be the hottest");
+    }
+
+    #[test]
+    fn bursts_replay_the_previous_matrix() {
+        let requests = take(&TrafficConfig::skewed(64, 13), 5_000);
+        let mut burst_requests = 0;
+        for pair in requests.windows(2) {
+            if pair[1].burst_position > 0 {
+                assert_eq!(pair[1].matrix_index, pair[0].matrix_index);
+                assert_eq!(pair[1].burst_position, pair[0].burst_position + 1);
+                burst_requests += 1;
+            }
+        }
+        assert!(
+            burst_requests > 100,
+            "expected bursts, saw {burst_requests}"
+        );
+    }
+
+    #[test]
+    fn uniform_stream_has_no_bursts_and_spreads_out() {
+        let config = TrafficConfig::uniform(32, 5);
+        let requests = take(&config, 10_000);
+        assert!(requests.iter().all(|r| r.burst_position == 0));
+        let mut counts = vec![0usize; 32];
+        for r in &requests {
+            counts[r.matrix_index] += 1;
+        }
+        // Every matrix shows up; no matrix takes more than a few percent.
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(*counts.iter().max().unwrap() < 1_000);
+    }
+
+    #[test]
+    fn iteration_mixes_respect_bounds() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..2_000 {
+            assert_eq!(IterationMix::Fixed(7).sample(&mut rng), 7);
+            let u = IterationMix::Uniform { lo: 3, hi: 9 }.sample(&mut rng);
+            assert!((3..=9).contains(&u));
+            let b = IterationMix::Bimodal {
+                short: 1,
+                long: 19,
+                long_fraction: 0.5,
+            }
+            .sample(&mut rng);
+            assert!(b == 1 || b == 19);
+        }
+    }
+
+    #[test]
+    fn bimodal_mix_hits_both_modes() {
+        let config = TrafficConfig::skewed(8, 21);
+        let requests = take(&config, 4_000);
+        let long = requests.iter().filter(|r| r.iterations == 19).count();
+        let short = requests.iter().filter(|r| r.iterations == 1).count();
+        assert_eq!(long + short, requests.len());
+        assert!(long > 500 && short > 2_000, "long {long} short {short}");
+    }
+
+    #[test]
+    fn iteration_mix_does_not_perturb_matrix_choice() {
+        let base = TrafficConfig::skewed(64, 31);
+        let other = TrafficConfig {
+            iterations: IterationMix::Fixed(5),
+            ..base.clone()
+        };
+        let a: Vec<usize> = take(&base, 2_000).iter().map(|r| r.matrix_index).collect();
+        let b: Vec<usize> = take(&other, 2_000).iter().map(|r| r.matrix_index).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty corpus")]
+    fn empty_corpus_panics() {
+        TrafficGenerator::new(&TrafficConfig::skewed(0, 1));
+    }
+
+    #[test]
+    fn single_matrix_corpus_works() {
+        for request in take(&TrafficConfig::smoke(1), 100) {
+            assert_eq!(request.matrix_index, 0);
+        }
+    }
+}

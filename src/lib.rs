@@ -10,7 +10,8 @@
 //! * [`kernels`] — the eight SpMV kernel variants of the case study,
 //! * [`ml`] — the CART decision tree, baselines, metrics and model export,
 //! * [`core`] — the Seer abstraction itself: feature collection, GPU
-//!   benchmarking, training and the runtime [`SeerEngine`] service.
+//!   benchmarking, training, the runtime [`SeerEngine`] service and the
+//!   sharded concurrent [`ServingPool`] front-end.
 //!
 //! # Quickstart
 //!
@@ -59,7 +60,9 @@ pub use seer_kernels as kernels;
 pub use seer_ml as ml;
 pub use seer_sparse as sparse;
 
-pub use seer_core::{EngineStats, SeerEngine};
+pub use seer_core::{
+    EngineStats, PoolConfig, PoolStats, SeerEngine, ServingPool, ServingRequest, ServingResponse,
+};
 
 /// Version string of the Seer reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

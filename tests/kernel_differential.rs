@@ -1,0 +1,166 @@
+//! Differential test sweep: every registered kernel against the dense
+//! reference SpMV on adversarial matrices.
+//!
+//! The eight kernel implementations mirror eight different parallel
+//! decompositions (Table II), and each decomposition has its own degenerate
+//! corner: zero-row matrices for thread-mapped schedules, empty rows for
+//! wavefront segmentation, one enormous row for binning, rectangular shapes
+//! for anything assuming squareness. A kernel that silently disagrees with
+//! the dense reference on any of these would poison training data and
+//! selections alike, so every `(kernel, adversarial matrix)` pair is swept.
+
+use seer::gpu::Gpu;
+use seer::kernels::{all_kernels, KernelId};
+use seer::sparse::{generators, CsrMatrix, SplitMix64};
+
+/// Relative-ish tolerance: kernels reassociate floating-point sums (segment
+/// combines, per-bin accumulation), so exact equality is too strict, but the
+/// error must stay within a few ulps of the dense result's magnitude.
+fn assert_agrees(name: &str, kernel: KernelId, got: &[f64], want: &[f64]) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{kernel} on {name}: wrong output length"
+    );
+    for (row, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+            "{kernel} on {name} row {row}: {a} vs dense {b}"
+        );
+    }
+}
+
+/// A deterministic, mildly adversarial input vector (no zeros, mixed signs).
+fn input_for(cols: usize) -> Vec<f64> {
+    (0..cols).map(|i| ((i % 7) as f64) - 2.5).collect()
+}
+
+/// The adversarial corpus of the sweep. Every matrix here has broken at least
+/// one real SpMV implementation in the wild.
+fn adversarial_matrices() -> Vec<(String, CsrMatrix)> {
+    let mut rng = SplitMix64::new(0xD1FF);
+    let single_dense_row = {
+        // One row holding every column, the rest empty: the binning /
+        // wavefront worst case.
+        let cols = 257;
+        let rows = 64;
+        let mut offsets = vec![0usize; rows + 1];
+        offsets[1..].fill(cols);
+        CsrMatrix::try_new(
+            rows,
+            cols,
+            offsets,
+            (0..cols).collect(),
+            (0..cols).map(|c| 1.0 + (c % 9) as f64).collect(),
+        )
+        .expect("single dense row is valid CSR")
+    };
+    vec![
+        ("empty_0x0".to_string(), CsrMatrix::zeros(0, 0)),
+        ("empty_rows_8x5".to_string(), CsrMatrix::zeros(8, 5)),
+        ("empty_cols_5x0".to_string(), CsrMatrix::zeros(5, 0)),
+        ("one_by_one".to_string(), CsrMatrix::identity(1)),
+        ("one_by_one_zero".to_string(), CsrMatrix::zeros(1, 1)),
+        ("single_dense_row".to_string(), single_dense_row),
+        (
+            // A 1:400 row-length skew at 3% heavy rows: the motivating case
+            // for CSR-Adaptive, and the case thread-mapping handles worst.
+            "extreme_skew".to_string(),
+            generators::skewed_rows(600, 1, 400, 0.03, &mut rng),
+        ),
+        (
+            "tall_skinny".to_string(),
+            generators::tall_skinny(2_000, 16, 3, &mut rng),
+        ),
+        (
+            // The transpose shape of the tall-skinny case: cols >> rows.
+            "wide_short".to_string(),
+            generators::tall_skinny(16, 2_000, 5, &mut rng),
+        ),
+        (
+            "interleaved_empty_rows".to_string(),
+            // Alternating empty and short rows: exercises row-skipping in
+            // every schedule.
+            {
+                let n = 100;
+                let mut offsets = Vec::with_capacity(n + 1);
+                let mut cols = Vec::new();
+                let mut vals = Vec::new();
+                offsets.push(0);
+                for row in 0..n {
+                    if row % 2 == 0 {
+                        cols.push(row % 17);
+                        vals.push(1.0 + row as f64 * 0.25);
+                    }
+                    offsets.push(cols.len());
+                }
+                CsrMatrix::try_new(n, 17, offsets, cols, vals).expect("valid structure")
+            },
+        ),
+    ]
+}
+
+#[test]
+fn every_kernel_matches_the_dense_reference_on_adversarial_matrices() {
+    let kernels = all_kernels();
+    assert_eq!(
+        kernels.len(),
+        KernelId::ALL.len(),
+        "the sweep must cover every registered kernel"
+    );
+    for (name, matrix) in adversarial_matrices() {
+        let x = input_for(matrix.cols());
+        let dense = matrix.to_dense().spmv(&x);
+        assert_eq!(dense.len(), matrix.rows(), "dense reference shape ({name})");
+        for kernel in &kernels {
+            let got = kernel.compute(&matrix, &x);
+            assert_agrees(&name, kernel.id(), &got, &dense);
+        }
+    }
+}
+
+#[test]
+fn every_kernel_models_finite_nonnegative_costs_on_adversarial_matrices() {
+    // The performance models back every Seer training label; they must stay
+    // finite (no 0/0 from empty rows or zero nonzeros) on the same corpus.
+    let gpu = Gpu::default();
+    for (name, matrix) in adversarial_matrices() {
+        for kernel in all_kernels() {
+            let preprocessing = kernel.preprocessing_time(&gpu, &matrix);
+            let iteration = kernel.iteration_time(&gpu, &matrix);
+            assert!(
+                preprocessing.as_nanos().is_finite() && preprocessing.as_nanos() >= 0.0,
+                "{} on {name}: preprocessing {:?}",
+                kernel.id(),
+                preprocessing
+            );
+            assert!(
+                iteration.as_nanos().is_finite() && iteration.as_nanos() >= 0.0,
+                "{} on {name}: iteration {:?}",
+                kernel.id(),
+                iteration
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_agrees_with_csr_spmv_on_random_rectangular_shapes() {
+    // Belt-and-braces: beyond the hand-built corpus, sweep a few random
+    // rectangular shapes of both aspect ratios against the CSR reference.
+    let mut rng = SplitMix64::new(0xA5A5);
+    for (rows, cols) in [(1, 64), (64, 1), (33, 65), (128, 31)] {
+        let matrix = generators::uniform_random(rows, cols, 0.2, &mut rng);
+        let x = input_for(matrix.cols());
+        let reference = matrix.spmv(&x);
+        for kernel in all_kernels() {
+            let got = kernel.compute(&matrix, &x);
+            assert_agrees(
+                &format!("random_{rows}x{cols}"),
+                kernel.id(),
+                &got,
+                &reference,
+            );
+        }
+    }
+}

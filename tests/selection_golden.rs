@@ -1,0 +1,118 @@
+//! Golden selection-snapshot test.
+//!
+//! Training and selection are fully deterministic: a fixed collection seed, a
+//! fixed training config and a fixed device model must produce the same
+//! `(fingerprint, kernel)` selection for every corpus matrix, forever. This
+//! test pins those selections to an in-repo golden table so that any silent
+//! drift — a feature computed differently, a tree split reordered, a changed
+//! cost model, an RNG stream perturbation — turns into a loud, reviewable
+//! test failure instead of quietly shifting every downstream figure.
+//!
+//! If a change *intentionally* alters selections (retuned cost model, new
+//! features, a new kernel), regenerate the table and commit it with the
+//! change so the diff documents the drift:
+//!
+//! ```text
+//! SEER_BLESS_GOLDEN=1 cargo test --test selection_golden
+//! ```
+
+use std::fmt::Write as _;
+
+use seer::core::training::TrainingConfig;
+use seer::gpu::Gpu;
+use seer::sparse::collection::{generate, CollectionConfig, SizeScale};
+use seer::SeerEngine;
+
+/// The pinned corpus: 11 families x 5 members = 55 matrices, tiny scale so
+/// the sweep (generation + benchmarking + training + selection) stays fast.
+fn golden_corpus_config() -> CollectionConfig {
+    CollectionConfig {
+        seed: 0x601D,
+        matrices_per_family: 5,
+        scale: SizeScale::Tiny,
+    }
+}
+
+/// Renders the current selections in the golden table format:
+/// `name <fingerprint-hex> <kernel@1 iteration> <kernel@19 iterations>`.
+fn current_table() -> String {
+    let collection = generate(&golden_corpus_config());
+    let (engine, _outcome) =
+        SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
+            .expect("training the golden models");
+    let mut table = String::from(
+        "# Golden Seer selections. Regenerate with:\n\
+         #   SEER_BLESS_GOLDEN=1 cargo test --test selection_golden\n\
+         # Columns: name fingerprint kernel@1 kernel@19\n",
+    );
+    for entry in &collection {
+        let single = engine.select(&entry.matrix, 1);
+        let solver = engine.select(&entry.matrix, 19);
+        writeln!(
+            table,
+            "{} {:016x} {} {}",
+            entry.name,
+            entry.matrix.content_fingerprint(),
+            single.kernel.label(),
+            solver.kernel.label()
+        )
+        .expect("writing to a String cannot fail");
+    }
+    table
+}
+
+#[test]
+fn selections_match_the_golden_table() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_selections.txt");
+    let current = current_table();
+    if std::env::var_os("SEER_BLESS_GOLDEN").is_some() {
+        std::fs::write(golden_path, &current).expect("writing the golden table");
+        eprintln!("blessed {golden_path}");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("tests/golden_selections.txt is missing; run with SEER_BLESS_GOLDEN=1 once");
+
+    // Compare line-by-line so a failure names the drifting matrix instead of
+    // dumping two 55-line blobs.
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    let current_lines: Vec<&str> = current.lines().collect();
+    for (index, (want, got)) in golden_lines.iter().zip(&current_lines).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "selection drift at golden line {} — if intentional, regenerate with \
+             SEER_BLESS_GOLDEN=1 cargo test --test selection_golden and commit the diff",
+            index + 1
+        );
+    }
+    assert_eq!(
+        current_lines.len(),
+        golden_lines.len(),
+        "corpus size changed — regenerate the golden table"
+    );
+}
+
+#[test]
+fn golden_corpus_is_a_meaningful_snapshot() {
+    // The snapshot only guards against drift if it covers real diversity:
+    // enough matrices, and more than one kernel actually selected.
+    let current = current_table();
+    let rows: Vec<&str> = current
+        .lines()
+        .filter(|line| !line.starts_with('#'))
+        .collect();
+    assert!(
+        rows.len() >= 50,
+        "expected >= 50 matrices, got {}",
+        rows.len()
+    );
+    let distinct_kernels: std::collections::HashSet<&str> = rows
+        .iter()
+        .flat_map(|line| line.split_whitespace().skip(2))
+        .collect();
+    assert!(
+        distinct_kernels.len() >= 2,
+        "a one-kernel snapshot cannot catch selection drift: {distinct_kernels:?}"
+    );
+}

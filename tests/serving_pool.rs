@@ -1,0 +1,190 @@
+//! Concurrency stress test of the sharded [`ServingPool`].
+//!
+//! One pool is hammered from 8 submitter threads with heavily overlapping
+//! fingerprints (a deterministic skewed traffic stream, so the same hot
+//! matrices race across submitters constantly). The test then proves the two
+//! properties the serving layer promises:
+//!
+//! 1. **determinism** — every pooled response is bit-identical to a
+//!    sequential [`SeerEngine`] replay of the same request, whatever the
+//!    thread/shard interleaving;
+//! 2. **exact accounting** — the pool's counters sum exactly to the request
+//!    count: no request is lost, none is double-counted.
+
+use std::sync::Arc;
+
+use seer::core::inference::{Selection, SelectionPolicy};
+use seer::core::training::TrainingConfig;
+use seer::gpu::Gpu;
+use seer::sparse::collection::{generate, CollectionConfig};
+use seer::sparse::traffic::{TrafficConfig, TrafficGenerator, TrafficRequest};
+use seer::sparse::CsrMatrix;
+use seer::{PoolConfig, SeerEngine, ServingPool, ServingRequest};
+
+const SUBMITTERS: usize = 8;
+const REQUESTS_PER_SUBMITTER: usize = 150;
+
+fn trained_engine() -> (SeerEngine, Vec<Arc<CsrMatrix>>) {
+    let entries = generate(&CollectionConfig::tiny());
+    let (engine, _outcome) =
+        SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+    let corpus = entries.iter().map(|e| Arc::new(e.matrix.clone())).collect();
+    (engine, corpus)
+}
+
+/// The deterministic stream all submitters partition: skewed so fingerprints
+/// overlap heavily both within and across submitter threads.
+fn stress_stream(corpus_len: usize) -> Vec<TrafficRequest> {
+    TrafficGenerator::new(&TrafficConfig::skewed(corpus_len, 0x57A255))
+        .take(SUBMITTERS * REQUESTS_PER_SUBMITTER)
+        .collect()
+}
+
+#[test]
+fn eight_submitters_get_bit_identical_results_and_exact_counters() {
+    let (engine, corpus) = trained_engine();
+    let stream = stress_stream(corpus.len());
+    let pool = Arc::new(ServingPool::from_engine(
+        &engine,
+        PoolConfig::with_shards(4),
+    ));
+
+    // Hammer the pool: 8 threads, each submitting its slice of the stream and
+    // waiting for every response. Responses are collected with their global
+    // stream position so the replay below compares request-for-request.
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|thread_index| {
+            let pool = Arc::clone(&pool);
+            let corpus: Vec<Arc<CsrMatrix>> = corpus.to_vec();
+            let slice: Vec<TrafficRequest> = stream[thread_index * REQUESTS_PER_SUBMITTER
+                ..(thread_index + 1) * REQUESTS_PER_SUBMITTER]
+                .to_vec();
+            std::thread::spawn(move || {
+                slice
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, request)| {
+                        let position = thread_index * REQUESTS_PER_SUBMITTER + offset;
+                        let ticket = pool.submit(ServingRequest::select(
+                            Arc::clone(&corpus[request.matrix_index]),
+                            request.iterations,
+                        ));
+                        (position, ticket.wait())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut responses: Vec<_> = submitters
+        .into_iter()
+        .flat_map(|handle| handle.join().expect("submitter thread"))
+        .collect();
+    responses.sort_by_key(|(position, _)| *position);
+    assert_eq!(responses.len(), stream.len());
+
+    // Property 1: bit-identical to a sequential replay on a fresh engine.
+    let replay_engine = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    let sequential: Vec<Selection> = stream
+        .iter()
+        .map(|r| replay_engine.select(&corpus[r.matrix_index], r.iterations))
+        .collect();
+    for ((position, response), expected) in responses.iter().zip(&sequential) {
+        assert_eq!(
+            response.selection, *expected,
+            "request {position} diverged from the sequential replay"
+        );
+    }
+
+    // Property 2: counters sum exactly to the request count.
+    let pool = Arc::into_inner(pool).expect("all submitters joined");
+    let stats = pool.shutdown();
+    let total = stream.len() as u64;
+    assert_eq!(stats.submitted(), total, "no request lost at submission");
+    assert_eq!(stats.completed(), total, "no request lost in serving");
+    assert_eq!(stats.queue_depth(), 0);
+    let engine_totals = stats.engine();
+    assert_eq!(
+        engine_totals.selections(),
+        total,
+        "hits + misses must account for every request exactly"
+    );
+    assert_eq!(engine_totals.misprediction_fallbacks, 0);
+
+    // Per-shard accounting is exact too, and routing kept every distinct
+    // fingerprint on one home shard: across shards, each distinct
+    // (fingerprint, iterations) plan was computed exactly once.
+    for shard in &stats.shards {
+        assert_eq!(shard.queue_depth(), 0);
+        assert_eq!(shard.engine.selections(), shard.completed);
+    }
+    let distinct_plans: std::collections::HashSet<(u64, usize)> = stream
+        .iter()
+        .map(|r| (corpus[r.matrix_index].content_fingerprint(), r.iterations))
+        .collect();
+    assert_eq!(
+        stats.engine().plan_misses,
+        distinct_plans.len() as u64,
+        "each distinct plan computed exactly once across the whole pool"
+    );
+    let cached: usize = stats.shards.iter().map(|s| s.cached_plans).sum();
+    assert_eq!(cached, distinct_plans.len());
+}
+
+#[test]
+fn mixed_policies_under_concurrency_stay_deterministic() {
+    let (engine, corpus) = trained_engine();
+    let stream = stress_stream(corpus.len());
+    let pool = Arc::new(ServingPool::from_engine(
+        &engine,
+        PoolConfig::with_shards(3),
+    ));
+    let policies = [
+        SelectionPolicy::Adaptive,
+        SelectionPolicy::KnownOnly,
+        SelectionPolicy::GatheredOnly,
+    ];
+
+    let submitters: Vec<_> = (0..4)
+        .map(|thread_index| {
+            let pool = Arc::clone(&pool);
+            let corpus: Vec<Arc<CsrMatrix>> = corpus.to_vec();
+            let slice: Vec<TrafficRequest> =
+                stream[thread_index * 100..(thread_index + 1) * 100].to_vec();
+            std::thread::spawn(move || {
+                slice
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, request)| {
+                        let policy = policies[(thread_index + offset) % policies.len()];
+                        let response = pool
+                            .submit(
+                                ServingRequest::select(
+                                    Arc::clone(&corpus[request.matrix_index]),
+                                    request.iterations,
+                                )
+                                .with_policy(policy),
+                            )
+                            .wait();
+                        (request.matrix_index, request.iterations, policy, response)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    let replay_engine = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    let mut served = 0u64;
+    for handle in submitters {
+        for (matrix_index, iterations, policy, response) in handle.join().expect("submitter thread")
+        {
+            served += 1;
+            let expected =
+                replay_engine.select_with_policy(&corpus[matrix_index], iterations, policy);
+            assert_eq!(response.selection, expected);
+        }
+    }
+    pool.drain();
+    let stats = pool.stats();
+    assert_eq!(stats.completed(), served);
+    assert_eq!(stats.engine().selections(), served);
+}
