@@ -20,7 +20,7 @@ fn main() {
         let rows = rows.min(2_000_000);
         let matrix = generators::uniform_row_length(rows, 8, &mut rng);
         let collection = collector.collection_cost(&gpu, &matrix);
-        let runtime = kernel.iteration_time(&gpu, &matrix);
+        let runtime = kernel.iteration_time(&gpu, &matrix, matrix.profile());
         let ratio = collection.as_nanos() / runtime.as_nanos();
         if crossover.is_none() && ratio < 1.0 {
             crossover = Some(rows);
@@ -44,7 +44,7 @@ fn main() {
     ] {
         let matrix = generators::uniform_row_length(rows, 8, &mut rng);
         let collection = collector.collection_cost(&gpu, &matrix);
-        let runtime = kernel.iteration_time(&gpu, &matrix);
+        let runtime = kernel.iteration_time(&gpu, &matrix, matrix.profile());
         let ratio = collection.as_nanos() / runtime.as_nanos();
         if crossover.is_none() && ratio < 1.0 {
             crossover = Some(rows);

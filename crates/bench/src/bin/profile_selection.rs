@@ -1,0 +1,365 @@
+//! Before/after proof of the fused one-pass profiling and the
+//! allocation-free execute hot path.
+//!
+//! ```text
+//! cargo run -p seer_bench --release --bin profile_selection             # full run
+//! cargo run -p seer_bench --release --bin profile_selection -- --smoke  # CI smoke
+//! cargo run -p seer_bench --release --bin profile_selection -- --check  # + golden check
+//! ```
+//!
+//! The binary measures, on the pinned golden corpus (so numbers are
+//! comparable across commits):
+//!
+//! 1. **Cold selection profiling passes** — fresh matrices, fresh engine:
+//!    the fused profiler must run **exactly one** traversal per matrix for a
+//!    full cold `execute` (plan miss + all eight kernel cost models + feature
+//!    collection), where the pre-fused code ran ~10 redundant sweeps (one
+//!    `MatrixProfile` per kernel model, plus the feature collector's
+//!    `RowStats` pass and its own cost-model profile). The legacy cost is
+//!    emulated by running the same fused pass 10x per matrix, which is what
+//!    the old per-kernel derivations added up to.
+//! 2. **Steady-state execute allocations** — with plan, profile and timing
+//!    caches warm, `SeerEngine::execute_into` into a reused
+//!    [`EngineWorkspace`] must perform **zero** heap allocations per request;
+//!    the allocating `execute` wrapper (the old hot path) is measured next to
+//!    it.
+//!
+//! Both properties are *asserted*, not just reported — the binary exits
+//! non-zero if either regresses. With `--check` it additionally replays every
+//! corpus selection against `tests/golden_selections.txt` (same corpus seed
+//! and training config as `cargo test --test selection_golden`), proving the
+//! fused profile changed no selection. Results are written to
+//! `BENCH_selection.json` (override with `--out PATH`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use seer_core::engine::{EngineWorkspace, SeerEngine};
+use seer_core::training::TrainingConfig;
+use seer_gpu::Gpu;
+use seer_kernels::MatrixBenchmark;
+use seer_sparse::collection::{generate, CollectionConfig, DatasetEntry, SizeScale};
+use seer_sparse::MatrixProfile;
+
+/// Counts every heap allocation in the process so the steady-state execute
+/// path can be pinned at zero allocations per request.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Redundant full-matrix sweeps one cold 8-kernel selection performed before
+/// the fused profile: one sampled `MatrixProfile` per kernel model (8), plus
+/// the feature collector's `RowStats` pass and its cost model's profile.
+const LEGACY_SWEEPS_PER_SELECTION: u64 = 10;
+
+struct Options {
+    smoke: bool,
+    check: bool,
+    out: String,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        smoke: false,
+        check: false,
+        out: "BENCH_selection.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => options.smoke = true,
+            "--check" => options.check = true,
+            "--out" => {
+                options.out = args.next().expect("--out takes a path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: profile_selection [--smoke] [--check] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    options
+}
+
+/// The corpus pinned by `tests/selection_golden.rs`: same seed, same scale,
+/// same training config, so `--check` can compare against the committed
+/// golden table line for line.
+fn golden_corpus() -> Vec<DatasetEntry> {
+    generate(&CollectionConfig {
+        seed: 0x601D,
+        matrices_per_family: 5,
+        scale: SizeScale::Tiny,
+    })
+}
+
+fn locate_golden_table() -> Option<String> {
+    let candidates = [
+        "tests/golden_selections.txt".to_string(),
+        format!(
+            "{}/../../tests/golden_selections.txt",
+            env!("CARGO_MANIFEST_DIR")
+        ),
+    ];
+    candidates
+        .iter()
+        .find_map(|path| std::fs::read_to_string(path).ok())
+}
+
+fn main() {
+    let options = parse_options();
+    let gpu = Gpu::default();
+
+    // Train once; the engine under measurement shares the device and models.
+    let collection = golden_corpus();
+    let (engine, _outcome) =
+        SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
+            .expect("training the bench models");
+    println!(
+        "profile_selection: {} corpus matrices{}",
+        collection.len(),
+        if options.smoke { " (smoke)" } else { "" }
+    );
+
+    // ---- 1. Cold selection: profiling passes and time. -------------------
+    // Fresh matrix values (the regenerated collection has empty profile
+    // memos) against the engine's cold caches: a full cold execute — plan
+    // miss, eight kernel cost models, possible feature collection — must
+    // profile each matrix exactly once.
+    let fresh = golden_corpus();
+    let mut workspace = EngineWorkspace::new();
+    let passes_before = MatrixProfile::passes();
+    let cold_start = Instant::now();
+    for entry in &fresh {
+        let x = vec![1.0; entry.matrix.cols()];
+        let _ = engine.execute_into(&entry.matrix, &x, 19, &mut workspace);
+    }
+    let cold_execute_secs = cold_start.elapsed().as_secs_f64();
+    let cold_passes = MatrixProfile::passes() - passes_before;
+    let engine_passes = engine.stats().profile_passes;
+    assert_eq!(
+        cold_passes,
+        fresh.len() as u64,
+        "cold execute must profile each matrix exactly once"
+    );
+    assert_eq!(
+        engine_passes, cold_passes,
+        "engine-attributed passes must match the global counter"
+    );
+
+    // The 8-kernel benchmark sweep (oracle/training path) on fresh matrices:
+    // also exactly one pass per matrix.
+    let fresh_bench = golden_corpus();
+    let passes_before = MatrixProfile::passes();
+    let bench_start = Instant::now();
+    for entry in &fresh_bench {
+        let _ = MatrixBenchmark::measure(&gpu, &entry.name, &entry.matrix, 1);
+    }
+    let cold_benchmark_secs = bench_start.elapsed().as_secs_f64();
+    let bench_passes = MatrixProfile::passes() - passes_before;
+    assert_eq!(
+        bench_passes,
+        fresh_bench.len() as u64,
+        "an 8-kernel benchmark must profile each matrix exactly once"
+    );
+
+    // Legacy emulation: the pre-fused code re-derived the profile once per
+    // kernel model plus twice in feature collection — run the same pass 10x
+    // per matrix to time what those redundant sweeps cost.
+    let legacy = golden_corpus();
+    let legacy_start = Instant::now();
+    for entry in &legacy {
+        for _ in 0..LEGACY_SWEEPS_PER_SELECTION {
+            let _ = MatrixProfile::compute(&entry.matrix);
+        }
+    }
+    let legacy_profiling_secs = legacy_start.elapsed().as_secs_f64();
+    let fused = golden_corpus();
+    let fused_start = Instant::now();
+    for entry in &fused {
+        let _ = MatrixProfile::compute(&entry.matrix);
+    }
+    let fused_profiling_secs = fused_start.elapsed().as_secs_f64();
+
+    println!("\ncold selection (per matrix):");
+    println!("  profiling passes      before ~{LEGACY_SWEEPS_PER_SELECTION}   after 1 (measured: {} over {} matrices)",
+        cold_passes, fresh.len());
+    println!(
+        "  profiling time        before {:.1}us   after {:.1}us   ({:.2}x)",
+        1e6 * legacy_profiling_secs / legacy.len() as f64,
+        1e6 * fused_profiling_secs / fused.len() as f64,
+        legacy_profiling_secs / fused_profiling_secs.max(1e-12)
+    );
+    println!(
+        "  cold execute          {:.1}us   cold 8-kernel benchmark {:.1}us",
+        1e6 * cold_execute_secs / fresh.len() as f64,
+        1e6 * cold_benchmark_secs / fresh_bench.len() as f64
+    );
+
+    // ---- 2. Steady-state execute: zero allocations. ----------------------
+    let hot = &collection[0].matrix;
+    let x = vec![1.0; hot.cols()];
+    let steady_iters: u64 = if options.smoke { 2_000 } else { 20_000 };
+    // Warm every cache and the workspace buffers.
+    for _ in 0..3 {
+        let _ = engine.execute_into(hot, &x, 19, &mut workspace);
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let steady_start = Instant::now();
+    for _ in 0..steady_iters {
+        let _ = engine.execute_into(hot, &x, 19, &mut workspace);
+    }
+    let steady_secs = steady_start.elapsed().as_secs_f64();
+    let steady_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state execute_into must not allocate"
+    );
+
+    // The allocating wrapper (the previous hot path) for comparison.
+    for _ in 0..3 {
+        let _ = engine.execute(hot, &x, 19);
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let alloc_start = Instant::now();
+    for _ in 0..steady_iters {
+        let _ = engine.execute(hot, &x, 19);
+    }
+    let alloc_secs = alloc_start.elapsed().as_secs_f64();
+    let wrapper_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+
+    println!("\nsteady-state execute ({steady_iters} requests on one hot matrix):");
+    println!(
+        "  execute_into (workspace)   {:>8.0} ns/req   {} allocs/req",
+        1e9 * steady_secs / steady_iters as f64,
+        steady_allocs / steady_iters
+    );
+    println!(
+        "  execute (allocating)       {:>8.0} ns/req   {} allocs/req",
+        1e9 * alloc_secs / steady_iters as f64,
+        wrapper_allocs / steady_iters
+    );
+
+    // ---- 3. Optional golden-selection agreement check. -------------------
+    let mut golden_checked = false;
+    if options.check {
+        let golden = locate_golden_table().expect(
+            "tests/golden_selections.txt not found; run from the workspace root \
+             or regenerate it with SEER_BLESS_GOLDEN=1 cargo test --test selection_golden",
+        );
+        let golden_rows: Vec<&str> = golden.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            golden_rows.len(),
+            collection.len(),
+            "golden table size does not match the corpus"
+        );
+        for (entry, row) in collection.iter().zip(&golden_rows) {
+            let fields: Vec<&str> = row.split_whitespace().collect();
+            let single = engine.select(&entry.matrix, 1);
+            let solver = engine.select(&entry.matrix, 19);
+            assert_eq!(fields[0], entry.name, "golden row order drifted");
+            assert_eq!(
+                fields[2],
+                single.kernel.label(),
+                "{}: kernel@1 drifted from the golden table",
+                entry.name
+            );
+            assert_eq!(
+                fields[3],
+                solver.kernel.label(),
+                "{}: kernel@19 drifted from the golden table",
+                entry.name
+            );
+        }
+        golden_checked = true;
+        println!(
+            "\ngolden check: OK ({} selections agree with tests/golden_selections.txt)",
+            2 * golden_rows.len()
+        );
+    }
+
+    // ---- 4. Emit the JSON trajectory point. ------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"profile_selection\",");
+    let _ = writeln!(json, "  \"corpus_matrices\": {},", collection.len());
+    let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+    let _ = writeln!(json, "  \"cold_selection\": {{");
+    let _ = writeln!(
+        json,
+        "    \"profiling_passes_per_matrix_before\": {LEGACY_SWEEPS_PER_SELECTION},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"profiling_passes_per_matrix_after\": {},",
+        cold_passes / fresh.len() as u64
+    );
+    let _ = writeln!(
+        json,
+        "    \"profiling_us_per_matrix_before\": {:.3},",
+        1e6 * legacy_profiling_secs / legacy.len() as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"profiling_us_per_matrix_after\": {:.3},",
+        1e6 * fused_profiling_secs / fused.len() as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_execute_us_per_matrix\": {:.3},",
+        1e6 * cold_execute_secs / fresh.len() as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_benchmark_us_per_matrix\": {:.3}",
+        1e6 * cold_benchmark_secs / fresh_bench.len() as f64
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"steady_state_execute\": {{");
+    let _ = writeln!(json, "    \"requests\": {steady_iters},");
+    let _ = writeln!(
+        json,
+        "    \"allocs_per_request_workspace\": {},",
+        steady_allocs / steady_iters
+    );
+    let _ = writeln!(
+        json,
+        "    \"allocs_per_request_allocating\": {},",
+        wrapper_allocs / steady_iters
+    );
+    let _ = writeln!(
+        json,
+        "    \"ns_per_request_workspace\": {:.0},",
+        1e9 * steady_secs / steady_iters as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"ns_per_request_allocating\": {:.0}",
+        1e9 * alloc_secs / steady_iters as f64
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"golden_checked\": {golden_checked}");
+    json.push_str("}\n");
+    std::fs::write(&options.out, &json).expect("writing the bench report");
+    println!("\nwrote {}", options.out);
+}

@@ -52,7 +52,7 @@ fn main() {
         "kernel", "iteration (ms)", "preprocessing (ms)"
     );
     for kernel in all_kernels() {
-        let profile = kernel.measure(&gpu, &pwtk.matrix, 1);
+        let profile = kernel.measure(&gpu, &pwtk.matrix, pwtk.matrix.profile(), 1);
         println!(
             "{:<8} {:>16.4} {:>18.4}",
             kernel.label(),

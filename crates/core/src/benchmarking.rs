@@ -34,9 +34,12 @@ pub struct BenchmarkRecord {
 
 impl BenchmarkRecord {
     /// Measures one matrix at one iteration count.
+    ///
+    /// The matrix is profiled once (memoized fused profile); the eight kernel
+    /// models and the feature collection all read from that single pass.
     pub fn measure(gpu: &Gpu, name: &str, matrix: &CsrMatrix, iterations: usize) -> Self {
         let bench = MatrixBenchmark::measure(gpu, name, matrix, iterations);
-        let collection = FeatureCollector::new().collect(gpu, matrix);
+        let collection = FeatureCollector::new().collect(gpu, matrix, matrix.profile());
         Self {
             name: name.to_string(),
             iterations,

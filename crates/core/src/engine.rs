@@ -53,9 +53,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use seer_gpu::{Gpu, SimTime};
-use seer_kernels::{kernel, KernelId};
+use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile};
 use seer_sparse::collection::DatasetEntry;
-use seer_sparse::{CsrMatrix, Scalar};
+use seer_sparse::{CsrMatrix, MatrixProfile, Scalar};
 
 use crate::benchmarking::BenchmarkRecord;
 use crate::features::{FeatureCollection, FeatureCollector, KnownFeatures};
@@ -86,6 +86,11 @@ pub struct EngineStats {
     pub plan_misses: u64,
     /// Gathered-feature collections actually performed (not replayed).
     pub feature_collections: u64,
+    /// Fused matrix-profiling passes this engine actually triggered (cache
+    /// replays — engine-level or on the matrix's own memoized profile — are
+    /// not counted). A plan-cache miss performs at most one; a hit performs
+    /// zero.
+    pub profile_passes: u64,
     /// Times a model emitted an out-of-range class and the engine fell back
     /// to the default kernel. Always zero for correctly trained models.
     pub misprediction_fallbacks: u64,
@@ -116,6 +121,7 @@ impl EngineStats {
             feature_collections: self
                 .feature_collections
                 .saturating_add(other.feature_collections),
+            profile_passes: self.profile_passes.saturating_add(other.profile_passes),
             misprediction_fallbacks: self
                 .misprediction_fallbacks
                 .saturating_add(other.misprediction_fallbacks),
@@ -134,6 +140,7 @@ impl EngineStats {
             feature_collections: self
                 .feature_collections
                 .saturating_sub(earlier.feature_collections),
+            profile_passes: self.profile_passes.saturating_sub(earlier.profile_passes),
             misprediction_fallbacks: self
                 .misprediction_fallbacks
                 .saturating_sub(earlier.misprediction_fallbacks),
@@ -146,7 +153,58 @@ struct Counters {
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
     feature_collections: AtomicU64,
+    profile_passes: AtomicU64,
     misprediction_fallbacks: AtomicU64,
+}
+
+/// Iteration-independent modelled costs of one kernel on one matrix, cached
+/// per `(fingerprint, kernel)` so steady-state execute never re-runs the
+/// O(rows) cost models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct KernelCosts {
+    preprocessing: SimTime,
+    per_iteration: SimTime,
+}
+
+impl KernelCosts {
+    /// Total workload time at `iterations`, via the same arithmetic as
+    /// [`KernelProfile::total`] so cached and freshly measured totals are
+    /// bit-identical.
+    fn total_at(&self, kernel: KernelId, iterations: usize) -> SimTime {
+        KernelProfile::new(kernel, self.preprocessing, self.per_iteration, iterations).total()
+    }
+}
+
+/// Reusable per-caller buffers for the allocation-free
+/// [`SeerEngine::execute_into`] path: the output vector and the kernel lane
+/// scratch survive across requests, so a steady-state execute performs zero
+/// heap allocations.
+///
+/// Each [`crate::serving::ServingPool`] shard worker owns one workspace for
+/// its whole lifetime.
+#[derive(Debug, Default)]
+pub struct EngineWorkspace {
+    y: Vec<Scalar>,
+    scratch: ComputeScratch,
+}
+
+impl EngineWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The product vector of the most recent execute served into this
+    /// workspace.
+    pub fn result(&self) -> &[Scalar] {
+        &self.y
+    }
+
+    /// Takes ownership of the most recent product vector, leaving the
+    /// workspace empty (it re-grows on the next request).
+    pub fn take_result(&mut self) -> Vec<Scalar> {
+        std::mem::take(&mut self.y)
+    }
 }
 
 /// Where a selection's features come from: a live matrix (collection on
@@ -182,6 +240,13 @@ pub struct SeerEngine {
     collector: FeatureCollector,
     features: RwLock<HashMap<u64, FeatureCollection>>,
     plans: RwLock<HashMap<PlanKey, Selection>>,
+    /// Fused matrix profiles keyed by content fingerprint, so repeat traffic
+    /// presenting regenerated (bit-identical) matrices never re-profiles.
+    profiles: RwLock<HashMap<u64, Arc<MatrixProfile>>>,
+    /// Iteration-independent kernel cost models keyed by
+    /// `(fingerprint, kernel)`, so steady-state execute re-prices a workload
+    /// with two cached numbers instead of an O(rows) modelling pass.
+    timings: RwLock<HashMap<(u64, KernelId), KernelCosts>>,
     counters: Counters,
 }
 
@@ -194,6 +259,8 @@ impl SeerEngine {
             collector: FeatureCollector::new(),
             features: RwLock::new(HashMap::new()),
             plans: RwLock::new(HashMap::new()),
+            profiles: RwLock::new(HashMap::new()),
+            timings: RwLock::new(HashMap::new()),
             counters: Counters::default(),
         }
     }
@@ -252,6 +319,7 @@ impl SeerEngine {
             plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.counters.plan_misses.load(Ordering::Relaxed),
             feature_collections: self.counters.feature_collections.load(Ordering::Relaxed),
+            profile_passes: self.counters.profile_passes.load(Ordering::Relaxed),
             misprediction_fallbacks: self
                 .counters
                 .misprediction_fallbacks
@@ -277,20 +345,28 @@ impl SeerEngine {
     /// tracking lifetime totals should snapshot [`SeerEngine::stats`] before
     /// clearing and accumulate with [`EngineStats::saturating_add`].
     pub fn clear_caches(&self) {
-        // Take both write locks before touching maps or counters so a
+        // Take every write lock before touching maps or counters so a
         // concurrent select never observes cleared maps with stale counters.
         let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
         let mut features = self
             .features
             .write()
             .unwrap_or_else(PoisonError::into_inner);
+        let mut profiles = self
+            .profiles
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut timings = self.timings.write().unwrap_or_else(PoisonError::into_inner);
         plans.clear();
         features.clear();
+        profiles.clear();
+        timings.clear();
         self.counters.plan_hits.store(0, Ordering::Relaxed);
         self.counters.plan_misses.store(0, Ordering::Relaxed);
         self.counters
             .feature_collections
             .store(0, Ordering::Relaxed);
+        self.counters.profile_passes.store(0, Ordering::Relaxed);
         self.counters
             .misprediction_fallbacks
             .store(0, Ordering::Relaxed);
@@ -442,20 +518,117 @@ impl SeerEngine {
         iterations: usize,
         policy: SelectionPolicy,
     ) -> ExecutionOutcome {
+        let mut workspace = EngineWorkspace::new();
+        let (selection, total_time) =
+            self.execute_with_policy_into(matrix, x, iterations, policy, &mut workspace);
+        ExecutionOutcome {
+            selection,
+            result: workspace.take_result(),
+            total_time,
+        }
+    }
+
+    /// Allocation-free [`SeerEngine::execute`]: the product vector and the
+    /// kernel scratch live in the caller's [`EngineWorkspace`] and are reused
+    /// across requests. Returns the selection and the modelled end-to-end
+    /// time; the product is available as [`EngineWorkspace::result`].
+    ///
+    /// In steady state (plan, profile and timing caches warm) a call performs
+    /// zero heap allocations — the serving hot path the `profile_selection`
+    /// bench pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        workspace: &mut EngineWorkspace,
+    ) -> (Selection, SimTime) {
+        self.execute_with_policy_into(matrix, x, iterations, SelectionPolicy::Adaptive, workspace)
+    }
+
+    /// [`SeerEngine::execute_into`] under an explicit [`SelectionPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute_with_policy_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        policy: SelectionPolicy,
+        workspace: &mut EngineWorkspace,
+    ) -> (Selection, SimTime) {
         let (selection, charged_overhead) =
             self.select_with_policy_charged(matrix, iterations, policy);
-        let kernel = kernel(selection.kernel);
-        let result = kernel.compute(matrix, x);
-        let profile = kernel.measure(&self.gpu, matrix, iterations);
+        let costs = self.kernel_costs(matrix, selection.kernel);
+        workspace.y.resize(matrix.rows(), 0.0);
+        kernel(selection.kernel).compute_into(matrix, x, &mut workspace.y, &mut workspace.scratch);
         // Only the selection work that actually ran on this call is billed:
         // nothing for a plan replay, tree walks alone when the gathered
         // features came from the feature cache. The embedded `selection`
         // still reports the plan's intrinsic costs.
-        ExecutionOutcome {
+        (
             selection,
-            result,
-            total_time: charged_overhead + profile.total(),
+            charged_overhead + costs.total_at(selection.kernel, iterations),
+        )
+    }
+
+    /// The matrix's fused profile, answered from (and installed into) the
+    /// engine's per-fingerprint profile cache. Exactly one profiling pass
+    /// runs per distinct matrix content, even across regenerated values.
+    fn profile_for(&self, matrix: &CsrMatrix, fingerprint: u64) -> Arc<MatrixProfile> {
+        if let Some(profile) = self
+            .profiles
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&fingerprint)
+        {
+            return Arc::clone(profile);
         }
+        // Count only passes this call actually ran: the tracked accessor
+        // reports `true` for exactly one caller per matrix value, so
+        // concurrent cold selections cannot double-count a single pass.
+        let (profile, computed) = matrix.profile_handle_tracked();
+        if computed {
+            self.counters.profile_passes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.profiles
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fingerprint, Arc::clone(&profile));
+        profile
+    }
+
+    /// Iteration-independent modelled costs of `kernel_id` on `matrix`,
+    /// cached per `(fingerprint, kernel)`.
+    fn kernel_costs(&self, matrix: &CsrMatrix, kernel_id: KernelId) -> KernelCosts {
+        let fingerprint = matrix.content_fingerprint();
+        let key = (fingerprint, kernel_id);
+        if let Some(costs) = self
+            .timings
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+            .copied()
+        {
+            return costs;
+        }
+        let profile = self.profile_for(matrix, fingerprint);
+        let kernel = kernel(kernel_id);
+        let costs = KernelCosts {
+            preprocessing: kernel.preprocessing_time(&self.gpu, matrix, &profile),
+            per_iteration: kernel.iteration_timing(&self.gpu, matrix, &profile).total,
+        };
+        self.timings
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, costs);
+        costs
     }
 
     /// Selects kernels for a batch of `(matrix, iterations)` requests.
@@ -559,6 +732,10 @@ impl SeerEngine {
 
     /// Runs the feature-collection kernels at most once per distinct matrix.
     /// The boolean is `true` when the kernels ran on this call (a cache miss).
+    ///
+    /// The statistics come out of the shared fused profile (one traversal per
+    /// distinct matrix, via [`SeerEngine::profile_for`]) rather than a
+    /// dedicated row sweep.
     fn collect_cached(&self, matrix: &CsrMatrix, fingerprint: u64) -> (FeatureCollection, bool) {
         if let Some(collection) = self
             .features
@@ -569,7 +746,8 @@ impl SeerEngine {
         {
             return (collection, false);
         }
-        let collection = self.collector.collect(&self.gpu, matrix);
+        let profile = self.profile_for(matrix, fingerprint);
+        let collection = self.collector.collect(&self.gpu, matrix, &profile);
         self.counters
             .feature_collections
             .fetch_add(1, Ordering::Relaxed);
@@ -755,12 +933,14 @@ mod tests {
             plan_hits: 3,
             plan_misses: 1,
             feature_collections: 1,
+            profile_passes: 1,
             misprediction_fallbacks: 0,
         };
         let b = EngineStats {
             plan_hits: 5,
             plan_misses: u64::MAX,
             feature_collections: 2,
+            profile_passes: 2,
             misprediction_fallbacks: 0,
         };
         assert_eq!(a.saturating_sub(b), EngineStats::default());

@@ -139,20 +139,41 @@ impl FeatureCollector {
     }
 
     /// Runs the (modelled) feature-collection kernels on `matrix`.
-    pub fn collect(&self, gpu: &Gpu, matrix: &CsrMatrix) -> FeatureCollection {
+    ///
+    /// The statistics are read straight out of the fused [`MatrixProfile`]
+    /// (bit-identical to a standalone [`RowStats::compute`]); only the
+    /// modelled GPU cost of collecting them is charged here.
+    pub fn collect(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> FeatureCollection {
         FeatureCollection {
-            features: GatheredFeatures::from_stats(&RowStats::compute(matrix)),
-            cost: self.collection_cost(gpu, matrix),
+            features: GatheredFeatures::from_stats(&profile.row_stats),
+            cost: self.collection_cost_with(gpu, matrix, profile),
         }
     }
 
     /// Modelled cost of the collection kernels without computing the features
-    /// (used by the evaluation sweeps of Fig. 6).
+    /// (used by the evaluation sweeps of Fig. 6). Convenience wrapper over
+    /// [`FeatureCollector::collection_cost_with`] using the matrix's memoized
+    /// profile.
     pub fn collection_cost(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+        self.collection_cost_with(gpu, matrix, matrix.profile())
+    }
+
+    /// Modelled cost of the collection kernels given an already-computed
+    /// profile.
+    pub fn collection_cost_with(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> SimTime {
         let wavefront = gpu.spec().wavefront_size;
         let rows = matrix.rows();
         let wavefronts = rows.div_ceil(wavefront.max(1)).max(1);
-        let profile = MatrixProfile::new(matrix);
         let mut launch = gpu.launch();
         launch.set_gather_profile(profile.x_footprint_bytes, 1.0);
         // Each lane reads two adjacent offsets (coalesced) and updates running
@@ -241,7 +262,7 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(2);
         let m = generators::uniform_random(2000, 2000, 0.01, &mut rng);
-        let result = FeatureCollector::new().collect(&gpu, &m);
+        let result = FeatureCollector::new().collect(&gpu, &m, m.profile());
         assert!(result.cost.as_micros() > 0.0);
         assert!(result.features.max_density >= result.features.mean_density);
         assert!(result.features.mean_density >= result.features.min_density);

@@ -59,7 +59,7 @@ use std::time::{Duration, Instant};
 use seer_gpu::{Gpu, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::engine::{EngineStats, SeerEngine};
+use crate::engine::{EngineStats, EngineWorkspace, SeerEngine};
 use crate::inference::{Selection, SelectionPolicy};
 use crate::training::SeerModels;
 
@@ -500,6 +500,10 @@ impl Drop for ServingPool {
 }
 
 /// One shard's serve loop: drain the queue until every sender is gone.
+///
+/// The worker owns one [`EngineWorkspace`] for its whole lifetime, so the
+/// execute hot path reuses the same output and scratch buffers across every
+/// request the shard ever serves.
 fn worker_loop(
     shard: usize,
     engine: &SeerEngine,
@@ -507,8 +511,9 @@ fn worker_loop(
     completed: &AtomicU64,
     progress: &Progress,
 ) {
+    let mut workspace = EngineWorkspace::new();
     for job in receiver.iter() {
-        let response = serve(shard, engine, &job.request);
+        let response = serve(shard, engine, &job.request, &mut workspace);
         completed.fetch_add(1, Ordering::SeqCst);
         if progress.waiters.load(Ordering::SeqCst) > 0 {
             // Taking the lock before notifying pairs with `drain` holding it
@@ -521,8 +526,15 @@ fn worker_loop(
     }
 }
 
-/// Serves one request on the shard's engine.
-fn serve(shard: usize, engine: &SeerEngine, request: &ServingRequest) -> ServingResponse {
+/// Serves one request on the shard's engine, reusing the shard's workspace
+/// for execute workloads (the only allocation left on a warm path is the
+/// response's owned copy of the product).
+fn serve(
+    shard: usize,
+    engine: &SeerEngine,
+    request: &ServingRequest,
+    workspace: &mut EngineWorkspace,
+) -> ServingResponse {
     match &request.workload {
         Workload::SelectOnly => ServingResponse {
             selection: engine.select_with_policy(
@@ -535,12 +547,17 @@ fn serve(shard: usize, engine: &SeerEngine, request: &ServingRequest) -> Serving
             shard,
         },
         Workload::Execute { x } => {
-            let outcome =
-                engine.execute_with_policy(&request.matrix, x, request.iterations, request.policy);
+            let (selection, total_time) = engine.execute_with_policy_into(
+                &request.matrix,
+                x,
+                request.iterations,
+                request.policy,
+                workspace,
+            );
             ServingResponse {
-                selection: outcome.selection,
-                result: Some(outcome.result),
-                total_time: Some(outcome.total_time),
+                selection,
+                result: Some(workspace.result().to_vec()),
+                total_time: Some(total_time),
                 shard,
             }
         }

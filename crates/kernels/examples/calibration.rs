@@ -52,15 +52,16 @@ fn main() {
     }
     println!(" | pre(CSR,A) pre(ELL) pre(MP)");
     for (name, m) in &shapes {
+        let profile = m.profile();
         let stats = RowStats::compute(m);
         print!("{:<28} {:>10} {:>8.2}", name, m.nnz(), stats.imbalance());
         for k in &kernels {
-            let t = k.iteration_time(&gpu, m);
+            let t = k.iteration_time(&gpu, m, profile);
             print!(" {:>10.3}", t.as_micros());
         }
-        let pre_a = kernels[0].preprocessing_time(&gpu, m).as_micros();
-        let pre_ell = kernels[7].preprocessing_time(&gpu, m).as_micros();
-        let pre_mp = kernels[2].preprocessing_time(&gpu, m).as_micros();
+        let pre_a = kernels[0].preprocessing_time(&gpu, m, profile).as_micros();
+        let pre_ell = kernels[7].preprocessing_time(&gpu, m, profile).as_micros();
+        let pre_mp = kernels[2].preprocessing_time(&gpu, m, profile).as_micros();
         println!(" | {pre_a:>10.2} {pre_ell:>8.2} {pre_mp:>7.2}");
     }
 }

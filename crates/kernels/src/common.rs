@@ -1,4 +1,8 @@
-//! Shared cost parameters and per-matrix access-pattern profiling.
+//! Shared cost parameters and row-group helpers for the kernel models.
+//!
+//! Per-matrix access-pattern profiling lives in the fused one-pass
+//! [`seer_sparse::MatrixProfile`], memoized on the matrix; the kernel models
+//! receive it by reference instead of re-deriving it.
 
 use seer_sparse::CsrMatrix;
 
@@ -76,73 +80,6 @@ impl Default for CostParams {
     }
 }
 
-/// Access-pattern profile of a matrix, shared by every kernel model.
-///
-/// The profile captures the two quantities the memory model needs that are
-/// properties of the *matrix* rather than of the kernel: the footprint of the
-/// dense input vector and the spatial locality of column accesses.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MatrixProfile {
-    /// Bytes of the dense `x` vector (`8 * cols`).
-    pub x_footprint_bytes: f64,
-    /// Spatial locality of the column-index stream in `[0, 1]`; 1 means
-    /// neighbouring nonzeros reference neighbouring columns (banded/stencil
-    /// matrices), 0 means columns are scattered (graphs, random matrices).
-    pub gather_locality: f64,
-    /// Average stored entries per row; used by adaptive bin sizing.
-    pub avg_row_len: f64,
-}
-
-impl MatrixProfile {
-    /// Maximum number of nonzeros sampled when estimating locality.
-    const LOCALITY_SAMPLES: usize = 4096;
-
-    /// Profiles `matrix`, sampling at most a few thousand entries so the cost
-    /// stays negligible next to the modelled kernel work.
-    pub fn new(matrix: &CsrMatrix) -> Self {
-        let cols = matrix.cols().max(1);
-        let nnz = matrix.nnz();
-        let rows = matrix.rows().max(1);
-        let x_footprint_bytes = 8.0 * cols as f64;
-        let gather_locality = if nnz == 0 {
-            1.0
-        } else {
-            let step = (nnz / Self::LOCALITY_SAMPLES).max(1);
-            let col_indices = matrix.col_indices();
-            let row_offsets = matrix.row_offsets();
-            let mut sampled = 0usize;
-            let mut distance_sum = 0.0f64;
-            let mut row = 0usize;
-            let mut idx = 0usize;
-            while idx < nnz {
-                // Advance `row` so that row_offsets[row] <= idx < row_offsets[row + 1].
-                while row + 1 < row_offsets.len() && row_offsets[row + 1] <= idx {
-                    row += 1;
-                }
-                // Distance between the referenced column and the "diagonal"
-                // position scaled to the column space; banded matrices score
-                // near zero, scattered matrices near one.
-                let diag = (row as f64 / rows as f64) * cols as f64;
-                let distance = (col_indices[idx] as f64 - diag).abs() / cols as f64;
-                distance_sum += distance;
-                sampled += 1;
-                idx += step;
-            }
-            let mean_distance = if sampled == 0 {
-                0.0
-            } else {
-                distance_sum / sampled as f64
-            };
-            (1.0 - 3.0 * mean_distance).clamp(0.0, 1.0)
-        };
-        Self {
-            x_footprint_bytes,
-            gather_locality,
-            avg_row_len: nnz as f64 / rows as f64,
-        }
-    }
-}
-
 /// Iterates over consecutive groups of `group` rows, yielding
 /// `(max_row_len, sum_row_len)` per group.
 ///
@@ -199,46 +136,6 @@ mod tests {
         assert_eq!(short, 1.0);
         assert!(long < 0.2);
         assert!(long >= 0.1);
-    }
-
-    #[test]
-    fn banded_matrix_has_high_locality() {
-        let mut rng = SplitMix64::new(3);
-        let banded = generators::banded(2000, 3, &mut rng);
-        let profile = MatrixProfile::new(&banded);
-        assert!(
-            profile.gather_locality > 0.9,
-            "locality {}",
-            profile.gather_locality
-        );
-    }
-
-    #[test]
-    fn random_matrix_has_low_locality() {
-        let mut rng = SplitMix64::new(4);
-        let random = generators::uniform_random(2000, 2000, 0.005, &mut rng);
-        let profile = MatrixProfile::new(&random);
-        assert!(
-            profile.gather_locality < 0.4,
-            "locality {}",
-            profile.gather_locality
-        );
-    }
-
-    #[test]
-    fn footprint_tracks_columns() {
-        let mut rng = SplitMix64::new(5);
-        let m = generators::tall_skinny(100, 32, 3, &mut rng);
-        let profile = MatrixProfile::new(&m);
-        assert_eq!(profile.x_footprint_bytes, 8.0 * 32.0);
-    }
-
-    #[test]
-    fn empty_matrix_profile_is_benign() {
-        let m = seer_sparse::CsrMatrix::zeros(10, 10);
-        let p = MatrixProfile::new(&m);
-        assert_eq!(p.gather_locality, 1.0);
-        assert_eq!(p.avg_row_len, 0.0);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::common::{ceil_log2, CostParams};
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// Segments of 64 nonzeros per wavefront over the COO triplet representation.
 ///
@@ -45,7 +45,12 @@ impl SpmvKernel for CooWavefrontMapped {
         LoadBalancing::WavefrontMapped
     }
 
-    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         // A device kernel expands the CSR row offsets into an explicit
         // row-index array (columns and values are already device resident);
         // the cost is streaming the offsets in and the row indices out.
@@ -64,9 +69,13 @@ impl SpmvKernel for CooWavefrontMapped {
         launch.finish().total
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let nnz = matrix.nnz();
         let wavefronts = nnz.div_ceil(wavefront.max(1)).max(1);
@@ -95,38 +104,49 @@ impl SpmvKernel for CooWavefrontMapped {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
         assert_eq!(
             x.len(),
             matrix.cols(),
             "input vector length must equal matrix columns"
         );
-        // Walk 64-entry segments of the triplet stream, accumulating runs of
-        // equal rows locally and committing with `+=` (the atomic add).
-        let mut y = vec![0.0; matrix.rows()];
-        let coo = matrix.to_coo();
-        let rows = coo.row_indices();
-        let cols = coo.col_indices();
-        let vals = coo.values();
-        for segment in (0..coo.nnz()).step_by(64) {
-            let end = (segment + 64).min(coo.nnz());
-            let mut current_row = usize::MAX;
-            let mut acc = 0.0;
-            for i in segment..end {
-                if rows[i] != current_row {
+        assert_eq!(
+            y.len(),
+            matrix.rows(),
+            "output vector length must equal matrix rows"
+        );
+        // Walk 64-entry segments of the row-major triplet stream directly
+        // over the CSR arrays (the stream order is identical to an explicit
+        // COO expansion), accumulating runs of equal rows locally and
+        // committing with `+=` (the atomic add). A segment boundary or a row
+        // change both flush the local accumulator.
+        y.fill(0.0);
+        let mut current_row = usize::MAX;
+        let mut acc = 0.0;
+        let mut index = 0usize;
+        for row in 0..matrix.rows() {
+            let (cols, vals) = matrix.row(row);
+            for (&c, &v) in cols.iter().zip(vals) {
+                if index.is_multiple_of(64) || row != current_row {
                     if current_row != usize::MAX {
                         y[current_row] += acc;
                     }
-                    current_row = rows[i];
+                    current_row = row;
                     acc = 0.0;
                 }
-                acc += vals[i] * x[cols[i]];
-            }
-            if current_row != usize::MAX {
-                y[current_row] += acc;
+                acc += v * x[c];
+                index += 1;
             }
         }
-        y
+        if current_row != usize::MAX {
+            y[current_row] += acc;
+        }
     }
 }
 
@@ -155,7 +175,10 @@ mod tests {
         let small = generators::uniform_random(1000, 1000, 0.001, &mut rng);
         let large = generators::uniform_random(1000, 1000, 0.05, &mut rng);
         let kernel = CooWavefrontMapped::new();
-        assert!(kernel.preprocessing_time(&gpu, &large) > kernel.preprocessing_time(&gpu, &small));
+        assert!(
+            kernel.preprocessing_time(&gpu, &large, large.profile())
+                > kernel.preprocessing_time(&gpu, &small, small.profile())
+        );
     }
 
     #[test]
@@ -163,9 +186,9 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(83);
         let skewed = generators::skewed_rows(20_000, 2, 15_000, 0.001, &mut rng);
-        let timing = CooWavefrontMapped::new().iteration_timing(&gpu, &skewed);
+        let timing = CooWavefrontMapped::new().iteration_timing(&gpu, &skewed, skewed.profile());
         assert!(timing.stats.simd_utilization > 0.9);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         assert!(timing.total < tm);
     }
 
@@ -176,8 +199,8 @@ mod tests {
         // On a friendly uniform matrix the extra row indices and atomics make
         // COO slower than plain thread mapping.
         let uniform = generators::uniform_row_length(100_000, 8, &mut rng);
-        let coo = CooWavefrontMapped::new().iteration_time(&gpu, &uniform);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform);
+        let coo = CooWavefrontMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
         assert!(coo > tm);
     }
 
@@ -187,6 +210,12 @@ mod tests {
         let m = CsrMatrix::zeros(8, 8);
         let kernel = CooWavefrontMapped::new();
         assert_eq!(kernel.compute(&m, &[0.0; 8]), vec![0.0; 8]);
-        assert!(kernel.iteration_timing(&gpu, &m).total.as_nanos() > 0.0);
+        assert!(
+            kernel
+                .iteration_timing(&gpu, &m, m.profile())
+                .total
+                .as_nanos()
+                > 0.0
+        );
     }
 }

@@ -3,9 +3,9 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::common::{ceil_log2, CostParams};
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// Size classes the Adaptive-CSR preprocessing sorts rows into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,7 +105,12 @@ impl SpmvKernel for CsrAdaptive {
         LoadBalancing::Adaptive
     }
 
-    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         // Sequential binning over the row offsets, then upload of the
         // row-block table (one 8-byte descriptor per row).
         let binning = gpu
@@ -115,9 +120,13 @@ impl SpmvKernel for CsrAdaptive {
         binning + upload
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let binning = RowBinning::compute(matrix);
 
@@ -192,25 +201,18 @@ impl SpmvKernel for CsrAdaptive {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(
-            x.len(),
-            matrix.cols(),
-            "input vector length must equal matrix columns"
-        );
-        // Process rows bin by bin, exactly as the dispatches would.
-        let binning = RowBinning::compute(matrix);
-        let mut y = vec![0.0; matrix.rows()];
-        for &row in binning
-            .small
-            .iter()
-            .chain(&binning.medium)
-            .chain(&binning.large)
-        {
-            let (cols, vals) = matrix.row(row);
-            y[row] = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
-        }
-        y
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        // Each row is reduced independently, so the bin-by-bin dispatch order
+        // of the real kernel cannot change any row's value; the shared
+        // row-walk core produces the identical result without materialising
+        // the binning.
+        matrix.spmv_into(x, y);
     }
 }
 
@@ -259,8 +261,8 @@ mod tests {
         let small = CsrMatrix::identity(1_000);
         let large = CsrMatrix::identity(1_000_000);
         let kernel = CsrAdaptive::new();
-        let t_small = kernel.preprocessing_time(&gpu, &small);
-        let t_large = kernel.preprocessing_time(&gpu, &large);
+        let t_small = kernel.preprocessing_time(&gpu, &small, small.profile());
+        let t_large = kernel.preprocessing_time(&gpu, &large, large.profile());
         assert!(t_large > t_small * 10.0);
     }
 
@@ -269,9 +271,9 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(63);
         let skewed = generators::skewed_rows(30_000, 3, 6000, 0.002, &mut rng);
-        let adaptive = CsrAdaptive::new().iteration_time(&gpu, &skewed);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
-        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &skewed);
+        let adaptive = CsrAdaptive::new().iteration_time(&gpu, &skewed, skewed.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
+        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         assert!(adaptive < tm);
         assert!(
             adaptive <= wm * 1.02,
@@ -290,10 +292,10 @@ mod tests {
         let baseline = CsrThreadMapped::new();
         // Adaptive's total must eventually undercut a no-preprocessing kernel
         // whose per-iteration time is worse.
-        let one_a = adaptive.measure(&gpu, &m, 1).total();
-        let one_tm = baseline.measure(&gpu, &m, 1).total();
-        let many_a = adaptive.measure(&gpu, &m, 50).total();
-        let many_tm = baseline.measure(&gpu, &m, 50).total();
+        let one_a = adaptive.measure(&gpu, &m, m.profile(), 1).total();
+        let one_tm = baseline.measure(&gpu, &m, m.profile(), 1).total();
+        let many_a = adaptive.measure(&gpu, &m, m.profile(), 50).total();
+        let many_tm = baseline.measure(&gpu, &m, m.profile(), 50).total();
         assert!(
             one_a > one_tm * 0.5,
             "preprocessing should be visible at 1 iteration"

@@ -3,9 +3,9 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::common::{ceil_log2, CostParams};
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// One matrix row per 256-thread workgroup.
 ///
@@ -47,13 +47,22 @@ impl SpmvKernel for CsrBlockMapped {
         LoadBalancing::BlockMapped
     }
 
-    fn preprocessing_time(&self, _gpu: &Gpu, _matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        _gpu: &Gpu,
+        _matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         SimTime::ZERO
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let wavefronts_per_block = Self::BLOCK / wavefront.max(1);
         // Intra-wavefront shuffle reduction plus an LDS combine across the block.
@@ -83,14 +92,24 @@ impl SpmvKernel for CsrBlockMapped {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        scratch: &mut ComputeScratch,
+    ) {
         assert_eq!(
             x.len(),
             matrix.cols(),
             "input vector length must equal matrix columns"
         );
-        let mut y = vec![0.0; matrix.rows()];
-        let mut partial = vec![0.0f64; Self::BLOCK];
+        assert_eq!(
+            y.len(),
+            matrix.rows(),
+            "output vector length must equal matrix rows"
+        );
+        let partial = scratch.lanes(Self::BLOCK);
         for (row, out) in y.iter_mut().enumerate() {
             let (cols, vals) = matrix.row(row);
             partial.iter_mut().for_each(|p| *p = 0.0);
@@ -106,7 +125,6 @@ impl SpmvKernel for CsrBlockMapped {
             }
             *out = partial[0];
         }
-        y
     }
 }
 
@@ -133,9 +151,9 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(22);
         let very_long = generators::uniform_row_length(600, 8000, &mut rng);
-        let bm = CsrBlockMapped::new().iteration_time(&gpu, &very_long);
-        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &very_long);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &very_long);
+        let bm = CsrBlockMapped::new().iteration_time(&gpu, &very_long, very_long.profile());
+        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &very_long, very_long.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &very_long, very_long.profile());
         assert!(bm < tm);
         assert!(
             bm <= wm * 1.05,
@@ -150,16 +168,17 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(23);
         let short = generators::uniform_row_length(50_000, 3, &mut rng);
-        let bm = CsrBlockMapped::new().iteration_time(&gpu, &short);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &short);
+        let bm = CsrBlockMapped::new().iteration_time(&gpu, &short, short.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &short, short.profile());
         assert!(bm > tm * 2.0);
     }
 
     #[test]
     fn no_preprocessing() {
         let gpu = Gpu::default();
+        let m = CsrMatrix::identity(4);
         assert_eq!(
-            CsrBlockMapped::new().preprocessing_time(&gpu, &CsrMatrix::identity(4)),
+            CsrBlockMapped::new().preprocessing_time(&gpu, &m, m.profile()),
             SimTime::ZERO
         );
     }

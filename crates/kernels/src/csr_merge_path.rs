@@ -3,11 +3,11 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::common::{ceil_log2, CostParams};
 use crate::csr_work_oriented::CsrWorkOriented;
-use crate::merge::spmv_merge_path;
+use crate::merge::spmv_merge_path_into;
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// Merge-path SpMV with the path partition computed once by a setup dispatch.
 ///
@@ -47,7 +47,12 @@ impl SpmvKernel for CsrMergePath {
         LoadBalancing::WorkOriented
     }
 
-    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         // A device dispatch in which each thread performs one merge-path
         // search, plus the transfer of the resulting coordinate table.
         let p = &self.params;
@@ -68,9 +73,13 @@ impl SpmvKernel for CsrMergePath {
         launch.finish().total
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let total_work = matrix.rows() + matrix.nnz();
         let threads = CsrWorkOriented::thread_count(matrix);
@@ -100,8 +109,14 @@ impl SpmvKernel for CsrMergePath {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        spmv_merge_path(matrix, x, CsrWorkOriented::thread_count(matrix))
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        spmv_merge_path_into(matrix, x, CsrWorkOriented::thread_count(matrix), y);
     }
 }
 
@@ -127,7 +142,7 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(52);
         let m = generators::power_law(5000, 2.0, 256, &mut rng);
-        assert!(CsrMergePath::new().preprocessing_time(&gpu, &m) > SimTime::ZERO);
+        assert!(CsrMergePath::new().preprocessing_time(&gpu, &m, m.profile()) > SimTime::ZERO);
     }
 
     #[test]
@@ -135,8 +150,8 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(53);
         let m = generators::skewed_rows(50_000, 3, 4000, 0.002, &mut rng);
-        let mp = CsrMergePath::new().iteration_time(&gpu, &m);
-        let wo = CsrWorkOriented::new().iteration_time(&gpu, &m);
+        let mp = CsrMergePath::new().iteration_time(&gpu, &m, m.profile());
+        let wo = CsrWorkOriented::new().iteration_time(&gpu, &m, m.profile());
         assert!(mp <= wo, "MP {} vs WO {}", mp.as_millis(), wo.as_millis());
     }
 
@@ -147,10 +162,10 @@ mod tests {
         let m = generators::power_law(30_000, 1.9, 1024, &mut rng);
         let mp = CsrMergePath::new();
         let wo = CsrWorkOriented::new();
-        let single_mp = mp.measure(&gpu, &m, 1).total();
-        let single_wo = wo.measure(&gpu, &m, 1).total();
-        let many_mp = mp.measure(&gpu, &m, 100).total();
-        let many_wo = wo.measure(&gpu, &m, 100).total();
+        let single_mp = mp.measure(&gpu, &m, m.profile(), 1).total();
+        let single_wo = wo.measure(&gpu, &m, m.profile(), 1).total();
+        let many_mp = mp.measure(&gpu, &m, m.profile(), 100).total();
+        let many_wo = wo.measure(&gpu, &m, m.profile(), 100).total();
         // With one iteration the setup cost makes MP no better than WO; over
         // many iterations the cheaper steady state pays it back.
         assert!(single_mp >= single_wo * 0.99);

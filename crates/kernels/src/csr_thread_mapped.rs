@@ -3,9 +3,9 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{row_groups, CostParams, MatrixProfile};
+use crate::common::{row_groups, CostParams};
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// One matrix row per GPU thread (Bell & Garland's "CSR scalar" kernel).
 ///
@@ -45,14 +45,23 @@ impl SpmvKernel for CsrThreadMapped {
         LoadBalancing::ThreadMapped
     }
 
-    fn preprocessing_time(&self, _gpu: &Gpu, _matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        _gpu: &Gpu,
+        _matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         // Consumes the device-resident CSR arrays directly.
         SimTime::ZERO
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let mut launch = gpu.launch();
         launch.set_gather_profile(profile.x_footprint_bytes, profile.gather_locality);
@@ -60,7 +69,7 @@ impl SpmvKernel for CsrThreadMapped {
             profile.avg_row_len,
             gpu.spec().cache_line_bytes as f64,
         ));
-        for (max_len, sum_len) in row_groups(matrix, wavefront) {
+        let mut add_group = |max_len: usize, sum_len: usize| {
             let max_cycles = p.thread_prologue_cycles + max_len as f64 * p.cycles_per_nnz;
             let total_cycles =
                 wavefront as f64 * p.thread_prologue_cycles + sum_len as f64 * p.cycles_per_nnz;
@@ -72,23 +81,30 @@ impl SpmvKernel for CsrThreadMapped {
                 streamed,
                 sum_len as u64,
             );
+        };
+        if wavefront == MatrixProfile::WAVEFRONT_GROUP {
+            // The fused profile already carries the per-wavefront row groups.
+            for &(max_len, sum_len) in &profile.wavefront_groups {
+                add_group(max_len, sum_len);
+            }
+        } else {
+            for (max_len, sum_len) in row_groups(matrix, wavefront) {
+                add_group(max_len, sum_len);
+            }
         }
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(
-            x.len(),
-            matrix.cols(),
-            "input vector length must equal matrix columns"
-        );
-        // One "thread" per row: identical to the sequential reference.
-        let mut y = vec![0.0; matrix.rows()];
-        for (row, value) in y.iter_mut().enumerate() {
-            let (cols, vals) = matrix.row(row);
-            *value = cols.iter().zip(vals).map(|(&c, &v)| v * x[c]).sum();
-        }
-        y
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        // One "thread" per row: identical to the sequential reference, so the
+        // shared allocation-free core *is* this kernel's decomposition.
+        matrix.spmv_into(x, y);
     }
 }
 
@@ -115,7 +131,7 @@ mod tests {
         let gpu = Gpu::default();
         let m = CsrMatrix::identity(100);
         assert_eq!(
-            CsrThreadMapped::new().preprocessing_time(&gpu, &m),
+            CsrThreadMapped::new().preprocessing_time(&gpu, &m, m.profile()),
             SimTime::ZERO
         );
     }
@@ -127,8 +143,9 @@ mod tests {
         // On a heavily skewed matrix the straggler rows dominate thread
         // mapping, while a balanced schedule shrugs them off.
         let skewed = generators::skewed_rows(20_000, 3, 8000, 0.003, &mut rng);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
-        let balanced = crate::CsrWavefrontMapped::new().iteration_time(&gpu, &skewed);
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
+        let balanced =
+            crate::CsrWavefrontMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         assert!(
             tm > balanced * 2.0,
             "TM {} should be far slower than WM {} on skewed input",
@@ -142,7 +159,7 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(3);
         let uniform = generators::uniform_row_length(2048, 8, &mut rng);
-        let timing = CsrThreadMapped::new().iteration_timing(&gpu, &uniform);
+        let timing = CsrThreadMapped::new().iteration_timing(&gpu, &uniform, uniform.profile());
         assert!(timing.stats.simd_utilization > 0.8);
     }
 
@@ -150,7 +167,7 @@ mod tests {
     fn empty_matrix_costs_only_overhead() {
         let gpu = Gpu::default();
         let m = CsrMatrix::zeros(0, 0);
-        let timing = CsrThreadMapped::new().iteration_timing(&gpu, &m);
+        let timing = CsrThreadMapped::new().iteration_timing(&gpu, &m, m.profile());
         assert_eq!(timing.total, timing.overhead);
     }
 
@@ -158,7 +175,7 @@ mod tests {
     fn measure_reports_iterations() {
         let gpu = Gpu::default();
         let m = CsrMatrix::identity(256);
-        let profile = CsrThreadMapped::new().measure(&gpu, &m, 19);
+        let profile = CsrThreadMapped::new().measure(&gpu, &m, m.profile(), 19);
         assert_eq!(profile.iterations, 19);
         assert_eq!(profile.kernel, KernelId::CsrThreadMapped);
         assert!(profile.total() >= profile.per_iteration * 19.0);

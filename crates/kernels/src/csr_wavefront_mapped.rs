@@ -3,9 +3,9 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{ceil_log2, CostParams, MatrixProfile};
+use crate::common::{ceil_log2, CostParams};
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// One matrix row per 64-lane wavefront (the "CSR vector" kernel).
 ///
@@ -45,13 +45,22 @@ impl SpmvKernel for CsrWavefrontMapped {
         LoadBalancing::WavefrontMapped
     }
 
-    fn preprocessing_time(&self, _gpu: &Gpu, _matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        _gpu: &Gpu,
+        _matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         SimTime::ZERO
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let reduction_steps = ceil_log2(wavefront) as f64;
         let mut launch = gpu.launch();
@@ -75,15 +84,25 @@ impl SpmvKernel for CsrWavefrontMapped {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        scratch: &mut ComputeScratch,
+    ) {
         assert_eq!(
             x.len(),
             matrix.cols(),
             "input vector length must equal matrix columns"
         );
+        assert_eq!(
+            y.len(),
+            matrix.rows(),
+            "output vector length must equal matrix rows"
+        );
         let lanes = 64;
-        let mut y = vec![0.0; matrix.rows()];
-        let mut partial = vec![0.0f64; lanes];
+        let partial = scratch.lanes(lanes);
         for (row, out) in y.iter_mut().enumerate() {
             let (cols, vals) = matrix.row(row);
             partial.iter_mut().for_each(|p| *p = 0.0);
@@ -101,7 +120,6 @@ impl SpmvKernel for CsrWavefrontMapped {
             }
             *out = partial[0];
         }
-        y
     }
 }
 
@@ -129,8 +147,8 @@ mod tests {
         let mut rng = SplitMix64::new(12);
         // A few thousand rows of several thousand nonzeros each.
         let long_rows = generators::uniform_row_length(2048, 1500, &mut rng);
-        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &long_rows);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &long_rows);
+        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &long_rows, long_rows.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &long_rows, long_rows.profile());
         assert!(
             wm < tm,
             "WM {} should beat TM {}",
@@ -144,8 +162,8 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(13);
         let short_rows = generators::uniform_row_length(250_000, 3, &mut rng);
-        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &short_rows);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &short_rows);
+        let wm = CsrWavefrontMapped::new().iteration_time(&gpu, &short_rows, short_rows.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &short_rows, short_rows.profile());
         assert!(
             tm < wm,
             "TM {} should beat WM {}",
@@ -159,15 +177,17 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(14);
         let short_rows = generators::uniform_row_length(5000, 2, &mut rng);
-        let timing = CsrWavefrontMapped::new().iteration_timing(&gpu, &short_rows);
+        let timing =
+            CsrWavefrontMapped::new().iteration_timing(&gpu, &short_rows, short_rows.profile());
         assert!(timing.stats.simd_utilization < 0.6);
     }
 
     #[test]
     fn no_preprocessing() {
         let gpu = Gpu::default();
+        let m = CsrMatrix::identity(10);
         assert_eq!(
-            CsrWavefrontMapped::new().preprocessing_time(&gpu, &CsrMatrix::identity(10)),
+            CsrWavefrontMapped::new().preprocessing_time(&gpu, &m, m.profile()),
             SimTime::ZERO
         );
     }

@@ -3,10 +3,10 @@
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{ceil_log2, CostParams, MatrixProfile};
-use crate::merge::spmv_merge_path;
+use crate::common::{ceil_log2, CostParams};
+use crate::merge::spmv_merge_path_into;
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// Work-oriented SpMV: the total work (nonzeros plus row terminations) is
 /// split evenly across threads, each thread locating its span with an
@@ -56,14 +56,23 @@ impl SpmvKernel for CsrWorkOriented {
         LoadBalancing::WorkOriented
     }
 
-    fn preprocessing_time(&self, _gpu: &Gpu, _matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        _gpu: &Gpu,
+        _matrix: &CsrMatrix,
+        _profile: &MatrixProfile,
+    ) -> SimTime {
         // The search happens inside the kernel each iteration; nothing to set up.
         SimTime::ZERO
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
         let total_work = matrix.rows() + matrix.nnz();
         let threads = Self::thread_count(matrix);
@@ -100,8 +109,14 @@ impl SpmvKernel for CsrWorkOriented {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        spmv_merge_path(matrix, x, Self::thread_count(matrix))
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        spmv_merge_path_into(matrix, x, Self::thread_count(matrix), y);
     }
 }
 
@@ -128,7 +143,7 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(42);
         let skewed = generators::skewed_rows(20_000, 3, 5000, 0.002, &mut rng);
-        let timing = CsrWorkOriented::new().iteration_timing(&gpu, &skewed);
+        let timing = CsrWorkOriented::new().iteration_timing(&gpu, &skewed, skewed.profile());
         assert!(timing.stats.simd_utilization > 0.9);
     }
 
@@ -137,8 +152,8 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(43);
         let skewed = generators::skewed_rows(20_000, 3, 8000, 0.003, &mut rng);
-        let wo = CsrWorkOriented::new().iteration_time(&gpu, &skewed);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
+        let wo = CsrWorkOriented::new().iteration_time(&gpu, &skewed, skewed.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         assert!(wo < tm, "WO {} vs TM {}", wo.as_millis(), tm.as_millis());
     }
 
@@ -147,8 +162,8 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(44);
         let uniform = generators::uniform_row_length(100_000, 4, &mut rng);
-        let wo = CsrWorkOriented::new().iteration_time(&gpu, &uniform);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform);
+        let wo = CsrWorkOriented::new().iteration_time(&gpu, &uniform, uniform.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
         assert!(tm < wo, "TM {} vs WO {}", tm.as_millis(), wo.as_millis());
     }
 
@@ -156,7 +171,7 @@ mod tests {
     fn uses_two_dispatches() {
         let gpu = Gpu::default();
         let m = CsrMatrix::identity(1000);
-        let timing = CsrWorkOriented::new().iteration_timing(&gpu, &m);
+        let timing = CsrWorkOriented::new().iteration_timing(&gpu, &m, m.profile());
         let single = SimTime::from_micros(gpu.spec().kernel_launch_overhead_us);
         assert!((timing.overhead.as_nanos() - (single * 2.0).as_nanos()).abs() < 1.0);
     }
@@ -164,8 +179,9 @@ mod tests {
     #[test]
     fn no_preprocessing() {
         let gpu = Gpu::default();
+        let m = CsrMatrix::identity(10);
         assert_eq!(
-            CsrWorkOriented::new().preprocessing_time(&gpu, &CsrMatrix::identity(10)),
+            CsrWorkOriented::new().preprocessing_time(&gpu, &m, m.profile()),
             SimTime::ZERO
         );
     }

@@ -1,11 +1,11 @@
 //! ELL thread-mapped SpMV (`ELL,TM`).
 
 use seer_gpu::{Gpu, KernelTiming, SimTime};
-use seer_sparse::{CsrMatrix, EllMatrix, Scalar};
+use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::common::{CostParams, MatrixProfile};
+use crate::common::CostParams;
 use crate::registry::KernelId;
-use crate::{LoadBalancing, SparseFormat, SpmvKernel};
+use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
 /// One padded ELL row per thread.
 ///
@@ -33,8 +33,7 @@ impl EllThreadMapped {
     }
 
     /// Bytes of the padded device structure for `matrix`.
-    fn padded_bytes(&self, matrix: &CsrMatrix) -> usize {
-        let width = matrix.max_row_len();
+    fn padded_bytes(&self, matrix: &CsrMatrix, width: usize) -> usize {
         matrix.rows() * width * (self.params.index_bytes + self.params.value_bytes) as usize
     }
 }
@@ -52,15 +51,20 @@ impl SpmvKernel for EllThreadMapped {
         LoadBalancing::ThreadMapped
     }
 
-    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
+    fn preprocessing_time(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> SimTime {
         // The padded arrays are built by a device-side conversion kernel that
         // reads the CSR structure and writes the (possibly much larger) ELL
         // arrays; the cost is dominated by streaming both through DRAM.
-        let padded = self.padded_bytes(matrix);
+        let width = profile.max_row_len();
+        let padded = self.padded_bytes(matrix, width);
         let csr_bytes = matrix.memory_footprint_bytes();
         let wavefront = gpu.spec().wavefront_size;
         let wavefronts = matrix.rows().div_ceil(wavefront.max(1)).max(1);
-        let width = matrix.max_row_len();
         let mut launch = gpu.launch();
         launch.add_uniform_wavefronts(
             wavefronts,
@@ -72,11 +76,15 @@ impl SpmvKernel for EllThreadMapped {
         launch.finish().total
     }
 
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming {
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming {
         let p = &self.params;
-        let profile = MatrixProfile::new(matrix);
         let wavefront = gpu.spec().wavefront_size;
-        let width = matrix.max_row_len();
+        let width = profile.max_row_len();
         let rows = matrix.rows();
         let wavefronts = rows.div_ceil(wavefront.max(1));
 
@@ -104,13 +112,18 @@ impl SpmvKernel for EllThreadMapped {
         launch.finish()
     }
 
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
-        assert_eq!(
-            x.len(),
-            matrix.cols(),
-            "input vector length must equal matrix columns"
-        );
-        EllMatrix::from_csr(matrix).spmv(x)
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        // Each lane walks its padded row slot by slot; padding slots gather
+        // nothing, so the accumulation order over the real entries is exactly
+        // the CSR row order — the shared row-walk core yields the identical
+        // result without materialising the padded arrays.
+        matrix.spmv_into(x, y);
     }
 }
 
@@ -139,8 +152,8 @@ mod tests {
         let uniform = generators::uniform_row_length(5000, 8, &mut rng);
         let skewed = generators::skewed_rows(5000, 4, 2500, 0.01, &mut rng);
         let kernel = EllThreadMapped::new();
-        let t_uniform = kernel.preprocessing_time(&gpu, &uniform);
-        let t_skewed = kernel.preprocessing_time(&gpu, &skewed);
+        let t_uniform = kernel.preprocessing_time(&gpu, &uniform, uniform.profile());
+        let t_skewed = kernel.preprocessing_time(&gpu, &skewed, skewed.profile());
         assert!(t_uniform > SimTime::ZERO);
         assert!(
             t_skewed > t_uniform,
@@ -153,8 +166,8 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(73);
         let uniform = generators::uniform_row_length(100_000, 12, &mut rng);
-        let ell = EllThreadMapped::new().iteration_time(&gpu, &uniform);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform);
+        let ell = EllThreadMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
         assert!(
             ell <= tm * 1.1,
             "ELL {} vs CSR,TM {}",
@@ -168,8 +181,8 @@ mod tests {
         let gpu = Gpu::default();
         let mut rng = SplitMix64::new(74);
         let skewed = generators::skewed_rows(20_000, 3, 10_000, 0.001, &mut rng);
-        let ell = EllThreadMapped::new().iteration_time(&gpu, &skewed);
-        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed);
+        let ell = EllThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
+        let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         assert!(ell > tm, "padding should make ELL slower than CSR,TM here");
     }
 
@@ -178,7 +191,7 @@ mod tests {
         let gpu = Gpu::default();
         let m = CsrMatrix::zeros(16, 16);
         let kernel = EllThreadMapped::new();
-        let t = kernel.iteration_timing(&gpu, &m);
+        let t = kernel.iteration_timing(&gpu, &m, m.profile());
         assert!(t.total >= t.overhead);
         assert_eq!(kernel.compute(&m, &[0.0; 16]), vec![0.0; 16]);
     }

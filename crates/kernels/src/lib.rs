@@ -67,7 +67,7 @@ mod merge;
 mod oracle;
 mod registry;
 
-pub use common::{CostParams, MatrixProfile};
+pub use common::CostParams;
 pub use coo_wavefront_mapped::CooWavefrontMapped;
 pub use csr_adaptive::CsrAdaptive;
 pub use csr_block_mapped::CsrBlockMapped;
@@ -79,6 +79,7 @@ pub use ell_thread_mapped::EllThreadMapped;
 pub use measurement::{KernelProfile, MatrixBenchmark};
 pub use oracle::{Oracle, OracleChoice};
 pub use registry::{all_kernels, kernel, kernel_for, KernelId};
+pub use seer_sparse::MatrixProfile;
 
 use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
@@ -132,11 +133,44 @@ impl fmt::Display for LoadBalancing {
     }
 }
 
+/// Reusable per-thread scratch space for [`SpmvKernel::compute_into`].
+///
+/// The cooperative schedules (wavefront-, block-mapped) mirror their lane
+/// partial sums in a small buffer; holding it here lets a serving worker run
+/// millions of functional executions without a single heap allocation after
+/// warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeScratch {
+    lanes: Vec<Scalar>,
+}
+
+impl ComputeScratch {
+    /// Creates an empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A lane-partial buffer of at least `n` slots. Contents are
+    /// unspecified; kernels zero the lanes they use per row.
+    pub fn lanes(&mut self, n: usize) -> &mut [Scalar] {
+        if self.lanes.len() < n {
+            self.lanes.resize(n, 0.0);
+        }
+        &mut self.lanes[..n]
+    }
+}
+
 /// A GPU SpMV kernel variant: a functional implementation plus a performance
 /// and preprocessing model on the simulated device.
 ///
 /// The trait is object-safe; the registry hands out `Box<dyn SpmvKernel>` so
 /// the Seer training and inference pipelines can treat kernels uniformly.
+///
+/// The cost-model methods receive the matrix's fused [`MatrixProfile`] by
+/// reference: callers obtain it once (memoized via
+/// [`CsrMatrix::profile`](seer_sparse::CsrMatrix::profile) or an engine
+/// cache) and every kernel model reads from the same single-traversal
+/// profile instead of re-deriving it.
 pub trait SpmvKernel: fmt::Debug + Send + Sync {
     /// Stable identifier of this kernel.
     fn id(&self) -> KernelId;
@@ -152,19 +186,45 @@ pub trait SpmvKernel: fmt::Debug + Send + Sync {
     ///
     /// Kernels that consume the device-resident CSR directly return
     /// [`SimTime::ZERO`].
-    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime;
+    fn preprocessing_time(&self, gpu: &Gpu, matrix: &CsrMatrix, profile: &MatrixProfile)
+        -> SimTime;
 
     /// Modelled runtime of one SpMV iteration on `matrix`.
-    fn iteration_timing(&self, gpu: &Gpu, matrix: &CsrMatrix) -> KernelTiming;
+    fn iteration_timing(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+    ) -> KernelTiming;
 
-    /// Functional execution of `y = A * x` mirroring the kernel's parallel
-    /// decomposition. Used for correctness testing only; it carries no cost
-    /// information.
+    /// Functional execution of `y = A * x` into a caller-provided buffer,
+    /// mirroring the kernel's parallel decomposition without allocating.
+    /// Every element of `y` is overwritten. Used for correctness testing and
+    /// the serving execute path; it carries no cost information.
     ///
     /// # Panics
     ///
-    /// Implementations panic if `x.len() != matrix.cols()`.
-    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar>;
+    /// Implementations panic if `x.len() != matrix.cols()` or
+    /// `y.len() != matrix.rows()`.
+    fn compute_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        scratch: &mut ComputeScratch,
+    );
+
+    /// Allocating convenience wrapper around [`SpmvKernel::compute_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    fn compute(&self, matrix: &CsrMatrix, x: &[Scalar]) -> Vec<Scalar> {
+        let mut y = vec![0.0; matrix.rows()];
+        let mut scratch = ComputeScratch::new();
+        self.compute_into(matrix, x, &mut y, &mut scratch);
+        y
+    }
 
     /// Paper-style label, e.g. `CSR,TM`.
     fn label(&self) -> &'static str {
@@ -172,16 +232,22 @@ pub trait SpmvKernel: fmt::Debug + Send + Sync {
     }
 
     /// Convenience accessor for the total time of one iteration.
-    fn iteration_time(&self, gpu: &Gpu, matrix: &CsrMatrix) -> SimTime {
-        self.iteration_timing(gpu, matrix).total
+    fn iteration_time(&self, gpu: &Gpu, matrix: &CsrMatrix, profile: &MatrixProfile) -> SimTime {
+        self.iteration_timing(gpu, matrix, profile).total
     }
 
     /// Measures an `iterations`-long run of this kernel on `matrix`,
     /// including its preprocessing, and returns the profile the Seer
     /// benchmarking stage records.
-    fn measure(&self, gpu: &Gpu, matrix: &CsrMatrix, iterations: usize) -> KernelProfile {
-        let preprocessing = self.preprocessing_time(gpu, matrix);
-        let timing = self.iteration_timing(gpu, matrix);
+    fn measure(
+        &self,
+        gpu: &Gpu,
+        matrix: &CsrMatrix,
+        profile: &MatrixProfile,
+        iterations: usize,
+    ) -> KernelProfile {
+        let preprocessing = self.preprocessing_time(gpu, matrix, profile);
+        let timing = self.iteration_timing(gpu, matrix, profile);
         KernelProfile::new(self.id(), preprocessing, timing.total, iterations)
     }
 }

@@ -78,11 +78,18 @@ pub struct MatrixBenchmark {
 }
 
 impl MatrixBenchmark {
-    /// Benchmarks every registered kernel on `matrix` at the given iteration count.
+    /// Benchmarks every registered kernel on `matrix` at the given iteration
+    /// count.
+    ///
+    /// The matrix is profiled exactly once (via the memoized fused
+    /// [`seer_sparse::MatrixProfile`]) and the single profile is shared by
+    /// all eight cost models — this is the cold-selection path whose ~10
+    /// redundant per-kernel sweeps the fused profile eliminated.
     pub fn measure(gpu: &Gpu, name: &str, matrix: &CsrMatrix, iterations: usize) -> Self {
+        let profile = matrix.profile();
         let profiles = all_kernels()
             .iter()
-            .map(|kernel| kernel.measure(gpu, matrix, iterations))
+            .map(|kernel| kernel.measure(gpu, matrix, profile, iterations))
             .collect();
         Self {
             name: name.to_string(),

@@ -48,6 +48,11 @@ pub(crate) fn merge_path_search(matrix: &CsrMatrix, diagonal: usize) -> MergeCoo
 /// Computes the merge-path partition of `matrix` into `segments` equal-work
 /// spans. Returns `segments + 1` coordinates; segment `i` covers the
 /// half-open range between coordinates `i` and `i + 1`.
+///
+/// The execution path derives coordinates incrementally
+/// ([`spmv_merge_path_into`]); the materialised table remains as the test
+/// oracle for that incremental walk.
+#[cfg(test)]
 pub(crate) fn merge_path_partition(matrix: &CsrMatrix, segments: usize) -> Vec<MergeCoordinate> {
     let total_work = matrix.rows() + matrix.nnz();
     let segments = segments.max(1);
@@ -62,25 +67,47 @@ pub(crate) fn merge_path_partition(matrix: &CsrMatrix, segments: usize) -> Vec<M
 /// Executes SpMV by walking the merge path in `segments` independent chunks,
 /// mimicking the parallel kernel: each segment accumulates complete rows
 /// locally and produces a carry-out for the row it ends in the middle of;
-/// carry-outs are combined in a fix-up pass.
+/// carry-outs are combined in a fix-up step.
+#[cfg(test)]
 pub(crate) fn spmv_merge_path(matrix: &CsrMatrix, x: &[Scalar], segments: usize) -> Vec<Scalar> {
+    let mut y = vec![0.0; matrix.rows()];
+    spmv_merge_path_into(matrix, x, segments, &mut y);
+    y
+}
+
+/// Allocation-free core of [`spmv_merge_path`]: walks the merge path segment
+/// by segment, deriving each segment's coordinates incrementally (one binary
+/// search per segment, no materialised partition table) and applying
+/// carry-outs as each segment retires. Every element of `y` is overwritten.
+pub(crate) fn spmv_merge_path_into(
+    matrix: &CsrMatrix,
+    x: &[Scalar],
+    segments: usize,
+    y: &mut [Scalar],
+) {
     assert_eq!(
         x.len(),
         matrix.cols(),
         "input vector length must equal matrix columns"
     );
-    let mut y = vec![0.0; matrix.rows()];
+    assert_eq!(
+        y.len(),
+        matrix.rows(),
+        "output vector length must equal matrix rows"
+    );
+    y.fill(0.0);
     if matrix.rows() == 0 {
-        return y;
+        return;
     }
-    let partition = merge_path_partition(matrix, segments);
+    let segments = segments.max(1);
+    let total_work = matrix.rows() + matrix.nnz();
     let col_indices = matrix.col_indices();
     let values = matrix.values();
     let row_offsets = matrix.row_offsets();
-    // (row, partial) carry-outs, one per segment.
-    let mut carries: Vec<(usize, Scalar)> = Vec::with_capacity(partition.len() - 1);
-    for window in partition.windows(2) {
-        let (start, end) = (window[0], window[1]);
+    let mut start = merge_path_search(matrix, 0);
+    for s in 1..=segments {
+        let diagonal = (s * total_work).div_ceil(segments).min(total_work);
+        let end = merge_path_search(matrix, diagonal);
         let mut row = start.row;
         let mut nnz = start.nnz;
         let mut acc = 0.0;
@@ -96,15 +123,13 @@ pub(crate) fn spmv_merge_path(matrix: &CsrMatrix, x: &[Scalar], segments: usize)
                 row += 1;
             }
         }
-        carries.push((row.min(matrix.rows().saturating_sub(1)), acc));
-    }
-    // Fix-up: add each segment's trailing partial sum to the row it stopped in.
-    for (row, partial) in carries {
-        if partial != 0.0 {
-            y[row] += partial;
+        // Carry-out: the segment's trailing partial sum belongs to the row it
+        // stopped in the middle of.
+        if acc != 0.0 {
+            y[row.min(matrix.rows() - 1)] += acc;
         }
+        start = end;
     }
-    y
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Compressed Sparse Row (CSR) matrices.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
-use crate::{CooMatrix, DenseMatrix, Scalar, SparseError};
+use crate::{CooMatrix, DenseMatrix, MatrixProfile, Scalar, SparseError};
 
 /// A sparse matrix in Compressed Sparse Row format.
 ///
@@ -43,6 +43,11 @@ pub struct CsrMatrix {
     /// immutable after construction, so the cached value can never go stale;
     /// cloning carries it along for free.
     fingerprint: OnceLock<u64>,
+    /// Lazily computed fused [`MatrixProfile`], memoized like the
+    /// fingerprint. `Arc` so long-lived caches (the Seer engine) can share
+    /// the profile across regenerated identical matrices without re-running
+    /// the pass.
+    profile: OnceLock<Arc<MatrixProfile>>,
 }
 
 /// Equality is over the matrix content only; whether the fingerprint cache
@@ -125,6 +130,7 @@ impl CsrMatrix {
             col_indices,
             values,
             fingerprint: OnceLock::new(),
+            profile: OnceLock::new(),
         })
     }
 
@@ -137,6 +143,7 @@ impl CsrMatrix {
             col_indices: Vec::new(),
             values: Vec::new(),
             fingerprint: OnceLock::new(),
+            profile: OnceLock::new(),
         }
     }
 
@@ -149,6 +156,7 @@ impl CsrMatrix {
             col_indices: (0..n).collect(),
             values: vec![1.0; n],
             fingerprint: OnceLock::new(),
+            profile: OnceLock::new(),
         }
     }
 
@@ -209,9 +217,50 @@ impl CsrMatrix {
         })
     }
 
-    /// Length of the longest row.
+    /// Length of the longest row, answered from the memoized
+    /// [`MatrixProfile`] so repeated queries (ELL conversion, kernel cost
+    /// models) share one profiling pass.
     pub fn max_row_len(&self) -> usize {
-        (0..self.rows).map(|r| self.row_len(r)).max().unwrap_or(0)
+        self.profile().max_row_len()
+    }
+
+    /// The fused one-pass [`MatrixProfile`] of this matrix.
+    ///
+    /// Computed lazily on first call and cached for the lifetime of the
+    /// value, exactly like [`CsrMatrix::content_fingerprint`]; cloning the
+    /// matrix carries the cached profile along.
+    pub fn profile(&self) -> &MatrixProfile {
+        self.profile_arc()
+    }
+
+    /// A shared handle to the memoized profile, for caches that outlive the
+    /// matrix value (the Seer engine keys these by content fingerprint).
+    pub fn profile_handle(&self) -> Arc<MatrixProfile> {
+        Arc::clone(self.profile_arc())
+    }
+
+    /// Like [`CsrMatrix::profile_handle`], additionally reporting whether
+    /// *this* call ran the profiling pass. The `OnceLock` runs its
+    /// initializer at most once, so exactly one caller ever observes `true`
+    /// per matrix value — race-free attribution for pass counters.
+    pub fn profile_handle_tracked(&self) -> (Arc<MatrixProfile>, bool) {
+        let mut computed = false;
+        let arc = self.profile.get_or_init(|| {
+            computed = true;
+            Arc::new(MatrixProfile::compute(self))
+        });
+        (Arc::clone(arc), computed)
+    }
+
+    /// The memoized profile if the pass has already run, without triggering
+    /// it. Lets profile caches count exactly how many passes they cause.
+    pub fn cached_profile(&self) -> Option<Arc<MatrixProfile>> {
+        self.profile.get().cloned()
+    }
+
+    fn profile_arc(&self) -> &Arc<MatrixProfile> {
+        self.profile
+            .get_or_init(|| Arc::new(MatrixProfile::compute(self)))
     }
 
     /// Reference sequential SpMV: `y = A * x`.
@@ -223,21 +272,47 @@ impl CsrMatrix {
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[Scalar]) -> Vec<Scalar> {
+        let mut y = vec![0.0; self.rows];
+        self.spmv_into(x, &mut y);
+        y
+    }
+
+    /// SpMV into a caller-provided output buffer: `y = A * x` with no heap
+    /// allocation.
+    ///
+    /// This is the execution hot path: the inner loop walks each row through
+    /// slice iterators (one bounds check per row when slicing, none per
+    /// nonzero), and a long-lived caller can reuse `y` across millions of
+    /// requests. Every element of `y` is overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[Scalar], y: &mut [Scalar]) {
         assert_eq!(
             x.len(),
             self.cols,
             "input vector length must equal matrix columns"
         );
-        let mut y = vec![0.0; self.rows];
-        for (row, out) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(row);
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "output vector length must equal matrix rows"
+        );
+        // `windows(2)` hands each row its offset pair without per-row
+        // indexing; the zipped slice iterators keep the nonzero loop free of
+        // bounds checks (only the `x` gather is checked, as it must be).
+        for (out, window) in y.iter_mut().zip(self.row_offsets.windows(2)) {
+            let span = window[0]..window[1];
             let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
+            for (&c, &v) in self.col_indices[span.clone()]
+                .iter()
+                .zip(&self.values[span])
+            {
                 acc += v * x[c];
             }
             *out = acc;
         }
-        y
     }
 
     /// Checked variant of [`CsrMatrix::spmv`].
@@ -253,6 +328,30 @@ impl CsrMatrix {
             });
         }
         Ok(self.spmv(x))
+    }
+
+    /// Checked variant of [`CsrMatrix::spmv_into`], sharing the same core
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `x.len() !=
+    /// self.cols()` or `y.len() != self.rows()`.
+    pub fn try_spmv_into(&self, x: &[Scalar], y: &mut [Scalar]) -> Result<(), SparseError> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                found: x.len(),
+            });
+        }
+        if y.len() != self.rows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.rows,
+                found: y.len(),
+            });
+        }
+        self.spmv_into(x, y);
+        Ok(())
     }
 
     /// Converts to a dense matrix (intended for tests and tiny inputs).

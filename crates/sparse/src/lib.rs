@@ -39,6 +39,7 @@ mod csr;
 mod dense;
 mod ell;
 mod error;
+mod profile;
 mod rng;
 
 pub mod collection;
@@ -52,8 +53,9 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use ell::EllMatrix;
 pub use error::SparseError;
+pub use profile::MatrixProfile;
 pub use rng::SplitMix64;
-pub use stats::RowStats;
+pub use stats::{RowStats, RowStatsAccumulator};
 
 /// Scalar element type used throughout the Seer reproduction.
 ///

@@ -72,45 +72,11 @@ impl RowStats {
     where
         I: IntoIterator<Item = usize>,
     {
-        let mut rows = 0usize;
-        let mut nnz = 0usize;
-        let mut max_row_len = 0usize;
-        let mut min_row_len = usize::MAX;
-        let mut empty_rows = 0usize;
-        let mut sum = 0.0f64;
-        let mut sum_sq = 0.0f64;
+        let mut acc = RowStatsAccumulator::new();
         for len in row_lengths {
-            rows += 1;
-            nnz += len;
-            max_row_len = max_row_len.max(len);
-            min_row_len = min_row_len.min(len);
-            if len == 0 {
-                empty_rows += 1;
-            }
-            let lf = len as f64;
-            sum += lf;
-            sum_sq += lf * lf;
+            acc.push(len);
         }
-        if rows == 0 {
-            return Self::default();
-        }
-        let mean = sum / rows as f64;
-        let var = (sum_sq / rows as f64 - mean * mean).max(0.0);
-        let norm = if cols == 0 { 1.0 } else { cols as f64 };
-        Self {
-            rows,
-            cols,
-            nnz,
-            max_row_len,
-            min_row_len,
-            mean_row_len: mean,
-            var_row_len: var,
-            max_density: max_row_len as f64 / norm,
-            min_density: min_row_len as f64 / norm,
-            mean_density: mean / norm,
-            var_density: var / (norm * norm),
-            empty_rows,
-        }
+        acc.finish(cols)
     }
 
     /// Coefficient of variation of the row lengths (`stddev / mean`).
@@ -142,16 +108,91 @@ impl RowStats {
     }
 }
 
+/// Streaming accumulator behind [`RowStats::from_row_lengths`].
+///
+/// Exposed so the fused one-pass matrix profiler
+/// ([`crate::MatrixProfile`]) can fold the row statistics into its single
+/// traversal while staying bit-identical to a standalone
+/// [`RowStats::compute`]: both feed row lengths through this exact
+/// accumulation order.
+#[derive(Debug, Clone, Copy)]
+pub struct RowStatsAccumulator {
+    rows: usize,
+    nnz: usize,
+    max_row_len: usize,
+    min_row_len: usize,
+    empty_rows: usize,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl RowStatsAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            rows: 0,
+            nnz: 0,
+            max_row_len: 0,
+            min_row_len: usize::MAX,
+            empty_rows: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Folds one row's length into the running statistics.
+    pub fn push(&mut self, len: usize) {
+        self.rows += 1;
+        self.nnz += len;
+        self.max_row_len = self.max_row_len.max(len);
+        self.min_row_len = self.min_row_len.min(len);
+        if len == 0 {
+            self.empty_rows += 1;
+        }
+        let lf = len as f64;
+        self.sum += lf;
+        self.sum_sq += lf * lf;
+    }
+
+    /// Finalises the statistics, normalising densities by `cols`.
+    pub fn finish(self, cols: usize) -> RowStats {
+        if self.rows == 0 {
+            return RowStats::default();
+        }
+        let mean = self.sum / self.rows as f64;
+        let var = (self.sum_sq / self.rows as f64 - mean * mean).max(0.0);
+        let norm = if cols == 0 { 1.0 } else { cols as f64 };
+        RowStats {
+            rows: self.rows,
+            cols,
+            nnz: self.nnz,
+            max_row_len: self.max_row_len,
+            min_row_len: self.min_row_len,
+            mean_row_len: mean,
+            var_row_len: var,
+            max_density: self.max_row_len as f64 / norm,
+            min_density: self.min_row_len as f64 / norm,
+            mean_density: mean / norm,
+            var_density: var / (norm * norm),
+            empty_rows: self.empty_rows,
+        }
+    }
+}
+
+impl Default for RowStatsAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Computes the fraction of padding slots an ELL conversion of `matrix` would
 /// introduce, without materialising the conversion.
+///
+/// Answered from the matrix's memoized [`crate::MatrixProfile`], so repeated
+/// queries (and the ELL kernel's cost model) share one profiling pass instead
+/// of recomputing [`RowStats`] from scratch.
 pub fn ell_padding_ratio(matrix: &CsrMatrix) -> f64 {
-    let stats = RowStats::compute(matrix);
-    let padded = stats.rows * stats.max_row_len;
-    if padded == 0 {
-        0.0
-    } else {
-        1.0 - stats.nnz as f64 / padded as f64
-    }
+    matrix.profile().ell_padding_ratio
 }
 
 /// Histogram of row lengths in power-of-two buckets.

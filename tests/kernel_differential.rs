@@ -126,8 +126,8 @@ fn every_kernel_models_finite_nonnegative_costs_on_adversarial_matrices() {
     let gpu = Gpu::default();
     for (name, matrix) in adversarial_matrices() {
         for kernel in all_kernels() {
-            let preprocessing = kernel.preprocessing_time(&gpu, &matrix);
-            let iteration = kernel.iteration_time(&gpu, &matrix);
+            let preprocessing = kernel.preprocessing_time(&gpu, &matrix, matrix.profile());
+            let iteration = kernel.iteration_time(&gpu, &matrix, matrix.profile());
             assert!(
                 preprocessing.as_nanos().is_finite() && preprocessing.as_nanos() >= 0.0,
                 "{} on {name}: preprocessing {:?}",

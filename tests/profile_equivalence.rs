@@ -1,0 +1,289 @@
+//! Equivalence suite for the fused one-pass matrix profile and the
+//! allocation-free SpMV core.
+//!
+//! The fused [`MatrixProfile`] replaced ~10 independent derivations (one
+//! sampled profile per kernel model, standalone `RowStats`, `max_row_len`
+//! scans, the ELL padding estimate, the bandwidth scan, the per-wavefront row
+//! groups). This suite re-implements each *legacy* derivation verbatim and
+//! asserts the fused pass is **bit-identical** on the full synthetic corpus
+//! plus the adversarial shapes from `tests/kernel_differential.rs` — so the
+//! perf optimisation can never silently shift a feature, a cost model or a
+//! selection.
+
+use seer::sparse::collection::{generate, CollectionConfig};
+use seer::sparse::stats::{bandwidth, ell_padding_ratio};
+use seer::sparse::{generators, CsrMatrix, MatrixProfile, RowStats, SplitMix64};
+
+/// The legacy sampled access-pattern profile, copied verbatim from the
+/// pre-fused `seer_kernels::MatrixProfile::new`.
+fn legacy_profile(matrix: &CsrMatrix) -> (f64, f64, f64) {
+    const LOCALITY_SAMPLES: usize = 4096;
+    let cols = matrix.cols().max(1);
+    let nnz = matrix.nnz();
+    let rows = matrix.rows().max(1);
+    let x_footprint_bytes = 8.0 * cols as f64;
+    let gather_locality = if nnz == 0 {
+        1.0
+    } else {
+        let step = (nnz / LOCALITY_SAMPLES).max(1);
+        let col_indices = matrix.col_indices();
+        let row_offsets = matrix.row_offsets();
+        let mut sampled = 0usize;
+        let mut distance_sum = 0.0f64;
+        let mut row = 0usize;
+        let mut idx = 0usize;
+        while idx < nnz {
+            while row + 1 < row_offsets.len() && row_offsets[row + 1] <= idx {
+                row += 1;
+            }
+            let diag = (row as f64 / rows as f64) * cols as f64;
+            let distance = (col_indices[idx] as f64 - diag).abs() / cols as f64;
+            distance_sum += distance;
+            sampled += 1;
+            idx += step;
+        }
+        let mean_distance = if sampled == 0 {
+            0.0
+        } else {
+            distance_sum / sampled as f64
+        };
+        (1.0 - 3.0 * mean_distance).clamp(0.0, 1.0)
+    };
+    (x_footprint_bytes, gather_locality, nnz as f64 / rows as f64)
+}
+
+/// The legacy standalone row statistics, copied verbatim from the pre-fused
+/// `RowStats::from_row_lengths`.
+fn legacy_row_stats(matrix: &CsrMatrix) -> RowStats {
+    let cols = matrix.cols();
+    let mut rows = 0usize;
+    let mut nnz = 0usize;
+    let mut max_row_len = 0usize;
+    let mut min_row_len = usize::MAX;
+    let mut empty_rows = 0usize;
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for r in 0..matrix.rows() {
+        let len = matrix.row_len(r);
+        rows += 1;
+        nnz += len;
+        max_row_len = max_row_len.max(len);
+        min_row_len = min_row_len.min(len);
+        if len == 0 {
+            empty_rows += 1;
+        }
+        let lf = len as f64;
+        sum += lf;
+        sum_sq += lf * lf;
+    }
+    if rows == 0 {
+        return RowStats::default();
+    }
+    let mean = sum / rows as f64;
+    let var = (sum_sq / rows as f64 - mean * mean).max(0.0);
+    let norm = if cols == 0 { 1.0 } else { cols as f64 };
+    RowStats {
+        rows,
+        cols,
+        nnz,
+        max_row_len,
+        min_row_len,
+        mean_row_len: mean,
+        var_row_len: var,
+        max_density: max_row_len as f64 / norm,
+        min_density: min_row_len as f64 / norm,
+        mean_density: mean / norm,
+        var_density: var / (norm * norm),
+        empty_rows,
+    }
+}
+
+/// The legacy per-wavefront row grouping, copied verbatim from the kernels'
+/// `row_groups` helper at the CDNA wavefront width.
+fn legacy_wavefront_groups(matrix: &CsrMatrix) -> Vec<(usize, usize)> {
+    let rows = matrix.rows();
+    let group = MatrixProfile::WAVEFRONT_GROUP;
+    (0..rows.div_ceil(group))
+        .map(|g| {
+            let start = g * group;
+            let end = ((g + 1) * group).min(rows);
+            let mut max_len = 0;
+            let mut sum_len = 0;
+            for row in start..end {
+                let len = matrix.row_len(row);
+                max_len = max_len.max(len);
+                sum_len += len;
+            }
+            (max_len, sum_len)
+        })
+        .collect()
+}
+
+/// The legacy padding estimate: recompute `RowStats` from scratch, then
+/// derive the padded fraction — exactly the old `ell_padding_ratio`.
+fn legacy_ell_padding_ratio(matrix: &CsrMatrix) -> f64 {
+    let stats = legacy_row_stats(matrix);
+    let padded = stats.rows * stats.max_row_len;
+    if padded == 0 {
+        0.0
+    } else {
+        1.0 - stats.nnz as f64 / padded as f64
+    }
+}
+
+/// Corpus + the adversarial shapes of `tests/kernel_differential.rs`.
+fn all_shapes() -> Vec<(String, CsrMatrix)> {
+    let mut rng = SplitMix64::new(0xE01);
+    let mut shapes = vec![
+        ("empty_0x0".to_string(), CsrMatrix::zeros(0, 0)),
+        ("empty_rows_8x5".to_string(), CsrMatrix::zeros(8, 5)),
+        ("empty_cols_5x0".to_string(), CsrMatrix::zeros(5, 0)),
+        ("one_by_one".to_string(), CsrMatrix::identity(1)),
+        ("one_by_one_zero".to_string(), CsrMatrix::zeros(1, 1)),
+        (
+            "single_dense_row".to_string(),
+            CsrMatrix::try_new(3, 64, vec![0, 64, 64, 64], (0..64).collect(), vec![1.5; 64])
+                .unwrap(),
+        ),
+        (
+            "extreme_skew".to_string(),
+            generators::skewed_rows(600, 1, 400, 0.03, &mut rng),
+        ),
+        (
+            "tall_skinny".to_string(),
+            generators::tall_skinny(2_000, 16, 3, &mut rng),
+        ),
+        (
+            "short_wide".to_string(),
+            generators::tall_skinny(16, 2_000, 5, &mut rng),
+        ),
+        ("banded".to_string(), generators::banded(1_000, 2, &mut rng)),
+        (
+            "uniform_random".to_string(),
+            generators::uniform_random(500, 700, 0.01, &mut rng),
+        ),
+    ];
+    for entry in generate(&CollectionConfig::tiny()) {
+        shapes.push((entry.name, entry.matrix));
+    }
+    shapes
+}
+
+#[test]
+fn fused_profile_is_bit_identical_to_legacy_derivations() {
+    for (name, matrix) in all_shapes() {
+        let profile = matrix.profile();
+
+        let (x_footprint, locality, avg_row_len) = legacy_profile(&matrix);
+        assert_eq!(
+            profile.x_footprint_bytes, x_footprint,
+            "{name}: x_footprint_bytes"
+        );
+        assert_eq!(profile.gather_locality, locality, "{name}: gather_locality");
+        assert_eq!(profile.avg_row_len, avg_row_len, "{name}: avg_row_len");
+
+        assert_eq!(
+            profile.row_stats,
+            legacy_row_stats(&matrix),
+            "{name}: row_stats"
+        );
+        // The live RowStats::compute path must also stay in lockstep.
+        assert_eq!(
+            profile.row_stats,
+            RowStats::compute(&matrix),
+            "{name}: RowStats::compute"
+        );
+
+        assert_eq!(
+            profile.wavefront_groups,
+            legacy_wavefront_groups(&matrix),
+            "{name}: wavefront_groups"
+        );
+        assert_eq!(
+            profile.ell_padding_ratio,
+            legacy_ell_padding_ratio(&matrix),
+            "{name}: ell_padding_ratio"
+        );
+        assert_eq!(
+            profile.ell_padding_ratio,
+            ell_padding_ratio(&matrix),
+            "{name}: stats::ell_padding_ratio routed through the profile"
+        );
+        assert_eq!(profile.bandwidth, bandwidth(&matrix), "{name}: bandwidth");
+
+        assert_eq!(profile.rows, matrix.rows(), "{name}: rows");
+        assert_eq!(profile.cols, matrix.cols(), "{name}: cols");
+        assert_eq!(profile.nnz, matrix.nnz(), "{name}: nnz");
+        assert_eq!(
+            profile.max_row_len(),
+            (0..matrix.rows())
+                .map(|r| matrix.row_len(r))
+                .max()
+                .unwrap_or(0),
+            "{name}: max_row_len"
+        );
+    }
+}
+
+#[test]
+fn profile_is_memoized_and_shared_across_clones() {
+    let mut rng = SplitMix64::new(42);
+    let matrix = generators::power_law(400, 2.0, 64, &mut rng);
+    let before = MatrixProfile::passes();
+    let first = matrix.profile().clone();
+    let passes_after_first = MatrixProfile::passes();
+    assert_eq!(passes_after_first, before + 1, "first access runs the pass");
+    let second = matrix.profile();
+    assert_eq!(MatrixProfile::passes(), passes_after_first, "memoized");
+    assert_eq!(&first, second);
+    // A clone carries the cached profile along.
+    let clone = matrix.clone();
+    assert!(clone.cached_profile().is_some());
+    let _ = clone.profile();
+    assert_eq!(MatrixProfile::passes(), passes_after_first);
+}
+
+#[test]
+fn spmv_into_matches_spmv_and_dense_reference() {
+    for (name, matrix) in all_shapes() {
+        let x: Vec<f64> = (0..matrix.cols()).map(|i| 0.5 * i as f64 - 3.0).collect();
+        let expected = matrix.spmv(&x);
+
+        // Start from a poisoned buffer: every element must be overwritten.
+        let mut y = vec![f64::NAN; matrix.rows()];
+        matrix.spmv_into(&x, &mut y);
+        assert_eq!(y, expected, "{name}: spmv_into vs spmv");
+
+        // Dense reference.
+        let dense = matrix.to_dense();
+        for (row, &value) in y.iter().enumerate() {
+            let want: f64 = (0..matrix.cols()).map(|c| dense.get(row, c) * x[c]).sum();
+            assert!(
+                (value - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "{name}: row {row}: {value} vs dense {want}"
+            );
+        }
+
+        // The checked variant shares the same core.
+        let mut y2 = vec![0.0; matrix.rows()];
+        matrix.try_spmv_into(&x, &mut y2).unwrap();
+        assert_eq!(y2, expected, "{name}: try_spmv_into");
+    }
+}
+
+#[test]
+fn spmv_into_rejects_bad_dimensions() {
+    let matrix = CsrMatrix::identity(4);
+    let mut y_short = vec![0.0; 3];
+    assert!(matrix.try_spmv_into(&[1.0; 4], &mut y_short).is_err());
+    assert!(matrix.try_spmv_into(&[1.0; 5], &mut [0.0; 4]).is_err());
+    assert!(matrix.try_spmv_into(&[1.0; 4], &mut [0.0; 4]).is_ok());
+}
+
+#[test]
+#[should_panic(expected = "output vector length")]
+fn spmv_into_panics_on_wrong_output_length() {
+    let matrix = CsrMatrix::identity(4);
+    let mut y = vec![0.0; 5];
+    matrix.spmv_into(&[1.0; 4], &mut y);
+}
