@@ -1,10 +1,11 @@
-//! Before/after proof of the fused one-pass profiling and the
-//! allocation-free execute hot path.
+//! Before/after proof of the fused one-pass profiling, the allocation-free
+//! execute hot path, and the prepared-execution-plan warm path.
 //!
 //! ```text
 //! cargo run -p seer_bench --release --bin profile_selection             # full run
 //! cargo run -p seer_bench --release --bin profile_selection -- --smoke  # CI smoke
 //! cargo run -p seer_bench --release --bin profile_selection -- --check  # + golden check
+//! cargo run -p seer_bench --release --bin profile_selection -- --mode streaming
 //! ```
 //!
 //! The binary measures, on the pinned golden corpus (so numbers are
@@ -18,18 +19,28 @@
 //!    `RowStats` pass and its own cost-model profile). The legacy cost is
 //!    emulated by running the same fused pass 10x per matrix, which is what
 //!    the old per-kernel derivations added up to.
-//! 2. **Steady-state execute allocations** — with plan, profile and timing
-//!    caches warm, `SeerEngine::execute_into` into a reused
-//!    [`EngineWorkspace`] must perform **zero** heap allocations per request;
-//!    the allocating `execute` wrapper (the old hot path) is measured next to
-//!    it.
+//! 2. **Steady-state execute allocations** — with plan, profile, timing and
+//!    prepared-plan caches warm, the engine's warm execute into a reused
+//!    [`EngineWorkspace`] must perform **zero** heap allocations per request.
+//!    `--mode prepared` (default) pins the prepared-plan path
+//!    (`execute_into`); `--mode streaming` pins the PR-3 streaming baseline
+//!    (`execute_streaming_into`); the allocating `execute` wrapper (the old
+//!    hot path) is measured next to both.
+//! 3. **Warm prepared vs streaming** — on the merge-path/ELL-heavy corpus
+//!    slice (every matrix under `CSR,MP`, low-padding matrices additionally
+//!    under `ELL,TM` — the kernels whose streaming `compute_into` re-derives
+//!    partition tables / padded layouts per call), the prepared warm path
+//!    must be **>= 1.5x** faster aggregate, allocation-free, bit-identical,
+//!    and counter-verified: exactly one preparation per `(matrix, kernel)`
+//!    miss, zero per hit.
 //!
-//! Both properties are *asserted*, not just reported — the binary exits
-//! non-zero if either regresses. With `--check` it additionally replays every
+//! All properties are *asserted*, not just reported — the binary exits
+//! non-zero if any regresses. With `--check` it additionally replays every
 //! corpus selection against `tests/golden_selections.txt` (same corpus seed
-//! and training config as `cargo test --test selection_golden`), proving the
-//! fused profile changed no selection. Results are written to
-//! `BENCH_selection.json` (override with `--out PATH`).
+//! and training config as `cargo test --test selection_golden`), proving
+//! neither the fused profile nor the prepared plans changed any selection.
+//! Results are written to `BENCH_selection.json` (override with `--out
+//! PATH`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -39,7 +50,7 @@ use std::time::Instant;
 use seer_core::engine::{EngineWorkspace, SeerEngine};
 use seer_core::training::TrainingConfig;
 use seer_gpu::Gpu;
-use seer_kernels::MatrixBenchmark;
+use seer_kernels::{kernel, ComputeScratch, KernelId, MatrixBenchmark};
 use seer_sparse::collection::{generate, CollectionConfig, DatasetEntry, SizeScale};
 use seer_sparse::MatrixProfile;
 
@@ -73,9 +84,19 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// the feature collector's `RowStats` pass and its cost model's profile.
 const LEGACY_SWEEPS_PER_SELECTION: u64 = 10;
 
+/// Which engine execute path the steady-state section pins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The prepared-plan warm path (`execute_into`), the serving default.
+    Prepared,
+    /// The PR-3 streaming baseline (`execute_streaming_into`).
+    Streaming,
+}
+
 struct Options {
     smoke: bool,
     check: bool,
+    mode: Mode,
     out: String,
 }
 
@@ -83,6 +104,7 @@ fn parse_options() -> Options {
     let mut options = Options {
         smoke: false,
         check: false,
+        mode: Mode::Prepared,
         out: "BENCH_selection.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -90,12 +112,25 @@ fn parse_options() -> Options {
         match arg.as_str() {
             "--smoke" => options.smoke = true,
             "--check" => options.check = true,
+            "--mode" => {
+                options.mode = match args.next().as_deref() {
+                    Some("prepared") => Mode::Prepared,
+                    Some("streaming") => Mode::Streaming,
+                    other => {
+                        eprintln!("--mode takes 'prepared' or 'streaming', got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 options.out = args.next().expect("--out takes a path");
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: profile_selection [--smoke] [--check] [--out PATH]");
+                eprintln!(
+                    "usage: profile_selection [--smoke] [--check] \
+                     [--mode prepared|streaming] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -221,20 +256,28 @@ fn main() {
     let hot = &collection[0].matrix;
     let x = vec![1.0; hot.cols()];
     let steady_iters: u64 = if options.smoke { 2_000 } else { 20_000 };
+    let mode_label = match options.mode {
+        Mode::Prepared => "execute_into (prepared)",
+        Mode::Streaming => "execute_streaming_into",
+    };
     // Warm every cache and the workspace buffers.
     for _ in 0..3 {
         let _ = engine.execute_into(hot, &x, 19, &mut workspace);
+        let _ = engine.execute_streaming_into(hot, &x, 19, &mut workspace);
     }
     let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
     let steady_start = Instant::now();
     for _ in 0..steady_iters {
-        let _ = engine.execute_into(hot, &x, 19, &mut workspace);
+        let _ = match options.mode {
+            Mode::Prepared => engine.execute_into(hot, &x, 19, &mut workspace),
+            Mode::Streaming => engine.execute_streaming_into(hot, &x, 19, &mut workspace),
+        };
     }
     let steady_secs = steady_start.elapsed().as_secs_f64();
     let steady_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     assert_eq!(
         steady_allocs, 0,
-        "steady-state execute_into must not allocate"
+        "steady-state {mode_label} must not allocate"
     );
 
     // The allocating wrapper (the previous hot path) for comparison.
@@ -251,7 +294,7 @@ fn main() {
 
     println!("\nsteady-state execute ({steady_iters} requests on one hot matrix):");
     println!(
-        "  execute_into (workspace)   {:>8.0} ns/req   {} allocs/req",
+        "  {mode_label:<26} {:>8.0} ns/req   {} allocs/req",
         1e9 * steady_secs / steady_iters as f64,
         steady_allocs / steady_iters
     );
@@ -261,7 +304,120 @@ fn main() {
         wrapper_allocs / steady_iters
     );
 
-    // ---- 3. Optional golden-selection agreement check. -------------------
+    // ---- 3. Warm prepared vs streaming on the MP/ELL-heavy slice. --------
+    // The slice pairs every corpus matrix with CSR,MP (whose streaming walk
+    // re-runs one binary search per ~8-work-item segment) and the
+    // low-padding matrices additionally with ELL,TM (whose prepared slab
+    // replaces the per-row offset walk with the coalesced column-major
+    // layout). These are the kernels whose preprocessing the warm path used
+    // to re-pay per request.
+    let slice: Vec<(&str, &seer_sparse::CsrMatrix, KernelId)> = collection
+        .iter()
+        .flat_map(|entry| {
+            let mut pairs = vec![(entry.name.as_str(), &entry.matrix, KernelId::CsrMergePath)];
+            if entry.matrix.profile().ell_padding_ratio < 0.25 {
+                pairs.push((
+                    entry.name.as_str(),
+                    &entry.matrix,
+                    KernelId::EllThreadMapped,
+                ));
+            }
+            pairs
+        })
+        .collect();
+    // A fresh engine so preparation counters start clean (the training
+    // engine already prepared plans in section 2).
+    let warm_engine = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    let slice_inputs: Vec<Vec<f64>> = slice
+        .iter()
+        .map(|(_, matrix, _)| (0..matrix.cols()).map(|i| 1.0 + (i % 7) as f64).collect())
+        .collect();
+    let max_rows = slice.iter().map(|(_, m, _)| m.rows()).max().unwrap_or(0);
+    let mut y = vec![0.0; max_rows];
+    let mut reference = vec![0.0; max_rows];
+    let mut scratch = ComputeScratch::new();
+
+    // Build every plan once (cold), verifying bit-identity along the way.
+    for ((_, matrix, kernel_id), x) in slice.iter().zip(&slice_inputs) {
+        let plan = warm_engine.prepared_plan(matrix, *kernel_id);
+        let k = kernel(*kernel_id);
+        k.compute_into(matrix, x, &mut reference[..matrix.rows()], &mut scratch);
+        k.compute_prepared_into(&plan, matrix, x, &mut y[..matrix.rows()], &mut scratch);
+        for (a, b) in y[..matrix.rows()].iter().zip(&reference[..matrix.rows()]) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "prepared path must be bit-identical"
+            );
+        }
+    }
+    let after_build = warm_engine.stats();
+    assert_eq!(
+        after_build.plan_preparations,
+        slice.len() as u64,
+        "exactly one preparation per (matrix, kernel) miss"
+    );
+
+    // Warm measurement: prepared (cache lookup + replay) vs streaming
+    // (re-derivation), as two sequential rep loops over the same round-robin
+    // pair order. Both start warm — the build/verify pass above already ran
+    // every pair through both paths — and each loop cycles through all
+    // pairs (a working set far beyond L2) between repeat visits, so
+    // neither path inherits a same-matrix cache advantage from the other.
+    let slice_reps: u64 = if options.smoke { 40 } else { 200 };
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let prepared_start = Instant::now();
+    for _ in 0..slice_reps {
+        for ((_, matrix, kernel_id), x) in slice.iter().zip(&slice_inputs) {
+            let plan = warm_engine.prepared_plan(matrix, *kernel_id);
+            kernel(*kernel_id).compute_prepared_into(
+                &plan,
+                matrix,
+                x,
+                &mut y[..matrix.rows()],
+                &mut scratch,
+            );
+        }
+    }
+    let prepared_secs = prepared_start.elapsed().as_secs_f64();
+    let prepared_allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(prepared_allocs, 0, "warm prepared path must not allocate");
+    assert_eq!(
+        warm_engine.stats().plan_preparations,
+        after_build.plan_preparations,
+        "warm hits must prepare nothing"
+    );
+
+    let streaming_start = Instant::now();
+    for _ in 0..slice_reps {
+        for ((_, matrix, kernel_id), x) in slice.iter().zip(&slice_inputs) {
+            kernel(*kernel_id).compute_into(matrix, x, &mut y[..matrix.rows()], &mut scratch);
+        }
+    }
+    let streaming_secs = streaming_start.elapsed().as_secs_f64();
+
+    let slice_requests = slice_reps * slice.len() as u64;
+    let prepared_ns = 1e9 * prepared_secs / slice_requests as f64;
+    let streaming_ns = 1e9 * streaming_secs / slice_requests as f64;
+    let warm_speedup = streaming_secs / prepared_secs.max(1e-12);
+    println!(
+        "\nwarm prepared vs streaming ({} (matrix, kernel) pairs x {slice_reps} reps, \
+         CSR,MP + low-padding ELL,TM):",
+        slice.len()
+    );
+    println!("  prepared (plan replay)     {prepared_ns:>8.0} ns/req   {prepared_allocs} allocs");
+    println!("  streaming (re-derive)      {streaming_ns:>8.0} ns/req");
+    println!(
+        "  speedup {warm_speedup:.2}x   preparations {} (1 per pair), resident {} KiB",
+        after_build.plan_preparations,
+        warm_engine.stats().resident_plan_bytes / 1024
+    );
+    assert!(
+        warm_speedup >= 1.5,
+        "prepared warm path must be >= 1.5x the streaming path, got {warm_speedup:.2}x"
+    );
+
+    // ---- 4. Optional golden-selection agreement check. -------------------
     let mut golden_checked = false;
     if options.check {
         let golden = locate_golden_table().expect(
@@ -299,11 +455,19 @@ fn main() {
         );
     }
 
-    // ---- 4. Emit the JSON trajectory point. ------------------------------
+    // ---- 5. Emit the JSON trajectory point. ------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"profile_selection\",");
     let _ = writeln!(json, "  \"corpus_matrices\": {},", collection.len());
     let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        match options.mode {
+            Mode::Prepared => "prepared",
+            Mode::Streaming => "streaming",
+        }
+    );
     let _ = writeln!(json, "  \"cold_selection\": {{");
     let _ = writeln!(
         json,
@@ -356,6 +520,28 @@ fn main() {
         json,
         "    \"ns_per_request_allocating\": {:.0}",
         1e9 * alloc_secs / steady_iters as f64
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"warm_prepared\": {{");
+    let _ = writeln!(json, "    \"slice_pairs\": {},", slice.len());
+    let _ = writeln!(json, "    \"requests_per_path\": {slice_requests},");
+    let _ = writeln!(json, "    \"ns_per_request_prepared\": {prepared_ns:.0},");
+    let _ = writeln!(json, "    \"ns_per_request_streaming\": {streaming_ns:.0},");
+    let _ = writeln!(json, "    \"speedup\": {warm_speedup:.2},");
+    let _ = writeln!(
+        json,
+        "    \"allocs_per_request_prepared\": {},",
+        prepared_allocs / slice_requests.max(1)
+    );
+    let _ = writeln!(
+        json,
+        "    \"preparations\": {},",
+        after_build.plan_preparations
+    );
+    let _ = writeln!(
+        json,
+        "    \"resident_plan_bytes\": {}",
+        warm_engine.stats().resident_plan_bytes
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"golden_checked\": {golden_checked}");

@@ -50,10 +50,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use seer_gpu::{Gpu, SimTime};
-use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile};
+use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile, PreparedPlan};
 use seer_sparse::collection::DatasetEntry;
 use seer_sparse::{CsrMatrix, MatrixProfile, Scalar};
 
@@ -94,6 +94,18 @@ pub struct EngineStats {
     /// Times a model emitted an out-of-range class and the engine fell back
     /// to the default kernel. Always zero for correctly trained models.
     pub misprediction_fallbacks: u64,
+    /// Prepared execution plans actually built (one per
+    /// `(fingerprint, kernel)` cache miss; replays build none). A plan-cache
+    /// miss that executes performs exactly one preparation; a hit performs
+    /// zero.
+    pub plan_preparations: u64,
+    /// Cache entries dropped by the eviction policy: prepared plans evicted
+    /// by the byte budget plus per-fingerprint entries dropped by a budgeted
+    /// clear. Zero under the default (generous) budgets.
+    pub cache_evictions: u64,
+    /// Heap bytes currently held by cached prepared plans — a gauge, not a
+    /// counter: snapshots report the instantaneous residency.
+    pub resident_plan_bytes: u64,
 }
 
 impl EngineStats {
@@ -125,6 +137,13 @@ impl EngineStats {
             misprediction_fallbacks: self
                 .misprediction_fallbacks
                 .saturating_add(other.misprediction_fallbacks),
+            plan_preparations: self
+                .plan_preparations
+                .saturating_add(other.plan_preparations),
+            cache_evictions: self.cache_evictions.saturating_add(other.cache_evictions),
+            resident_plan_bytes: self
+                .resident_plan_bytes
+                .saturating_add(other.resident_plan_bytes),
         }
     }
 
@@ -144,6 +163,13 @@ impl EngineStats {
             misprediction_fallbacks: self
                 .misprediction_fallbacks
                 .saturating_sub(earlier.misprediction_fallbacks),
+            plan_preparations: self
+                .plan_preparations
+                .saturating_sub(earlier.plan_preparations),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            resident_plan_bytes: self
+                .resident_plan_bytes
+                .saturating_sub(earlier.resident_plan_bytes),
         }
     }
 }
@@ -155,6 +181,80 @@ struct Counters {
     feature_collections: AtomicU64,
     profile_passes: AtomicU64,
     misprediction_fallbacks: AtomicU64,
+    plan_preparations: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+/// Byte-accounted LRU cache of prepared execution plans, keyed by
+/// `(content_fingerprint, KernelId)`.
+///
+/// Guarded by one mutex held only for map operations: the warm path pays a
+/// short lock + `HashMap` lookup + `Arc` clone (no allocation), and cold
+/// builds run unlocked (see [`SeerEngine::prepared_plan`] for the
+/// insert-race resolution). Eviction is least-recently-used by a logical
+/// clock, driven purely by the byte budget — the most recently used plan is
+/// never evicted, so a single plan larger than the budget still serves (the
+/// cache simply holds that one plan).
+#[derive(Debug)]
+struct PreparedCache {
+    map: HashMap<(u64, KernelId), PreparedEntry>,
+    bytes: usize,
+    budget: usize,
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct PreparedEntry {
+    plan: Arc<PreparedPlan>,
+    last_used: u64,
+}
+
+impl PreparedCache {
+    /// Default prepared-plan byte budget: 64 MiB, far above anything the
+    /// test corpora materialize, so eviction only engages under adversarial
+    /// traffic or an explicit tighter budget.
+    const DEFAULT_BUDGET_BYTES: usize = 64 << 20;
+
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            bytes: 0,
+            budget: Self::DEFAULT_BUDGET_BYTES,
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Evicts least-recently-used plans (never `keep`) until the byte budget
+    /// is met. Returns the number of evicted entries.
+    fn evict_to_budget(&mut self, keep: Option<(u64, KernelId)>) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > self.budget {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(key, _)| Some(**key) != keep)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key);
+            let Some(key) = victim else { break };
+            if let Some(entry) = self.map.remove(&key) {
+                self.bytes -= entry.plan.heap_bytes();
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+        // The clock deliberately survives a clear: recency comparisons stay
+        // monotone across cache generations.
+    }
 }
 
 /// Iteration-independent modelled costs of one kernel on one matrix, cached
@@ -247,10 +347,25 @@ pub struct SeerEngine {
     /// `(fingerprint, kernel)`, so steady-state execute re-prices a workload
     /// with two cached numbers instead of an O(rows) modelling pass.
     timings: RwLock<HashMap<(u64, KernelId), KernelCosts>>,
+    /// Prepared execution plans keyed by `(fingerprint, kernel)`: the
+    /// materialized preprocessing structures the warm execute path replays
+    /// instead of re-deriving. Byte-accounted LRU, see [`PreparedCache`].
+    prepared: Mutex<PreparedCache>,
+    /// Budgeted-clear threshold for the per-fingerprint maps (profiles,
+    /// features, plans, timings): when the engine has seen more distinct
+    /// matrix contents than this, all per-fingerprint caches are cleared in
+    /// one sweep and the dropped entries are counted as evictions.
+    fingerprint_budget: AtomicU64,
     counters: Counters,
 }
 
 impl SeerEngine {
+    /// Budgeted-clear default: how many distinct matrix contents the
+    /// per-fingerprint caches hold before they are swept. Far above any test
+    /// corpus; long-lived services facing unbounded distinct traffic get a
+    /// bounded footprint instead of monotone growth.
+    pub const DEFAULT_FINGERPRINT_BUDGET: u64 = 65_536;
+
     /// Creates an engine from shared handles to a device and trained models.
     pub fn new(gpu: Arc<Gpu>, models: Arc<SeerModels>) -> Self {
         Self {
@@ -261,6 +376,8 @@ impl SeerEngine {
             plans: RwLock::new(HashMap::new()),
             profiles: RwLock::new(HashMap::new()),
             timings: RwLock::new(HashMap::new()),
+            prepared: Mutex::new(PreparedCache::new()),
+            fingerprint_budget: AtomicU64::new(Self::DEFAULT_FINGERPRINT_BUDGET),
             counters: Counters::default(),
         }
     }
@@ -324,6 +441,13 @@ impl SeerEngine {
                 .counters
                 .misprediction_fallbacks
                 .load(Ordering::Relaxed),
+            plan_preparations: self.counters.plan_preparations.load(Ordering::Relaxed),
+            cache_evictions: self.counters.cache_evictions.load(Ordering::Relaxed),
+            resident_plan_bytes: self
+                .prepared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .bytes as u64,
         }
     }
 
@@ -335,18 +459,24 @@ impl SeerEngine {
             .len()
     }
 
-    /// Drops every cached plan and feature collection and resets the cache
-    /// counters together, so stats describe the current cache generation:
-    /// absent concurrent in-flight selections, `plan_hits + plan_misses`
-    /// equals the selections served since the last clear.
+    /// Drops every cached plan, feature collection and prepared plan and
+    /// resets the cache counters together, so stats describe the current
+    /// cache generation: absent concurrent in-flight selections,
+    /// `plan_hits + plan_misses` equals the selections served since the last
+    /// clear.
     ///
-    /// Long-lived services cycling through unbounded distinct matrices should
-    /// call this periodically; entries are never evicted otherwise. Callers
-    /// tracking lifetime totals should snapshot [`SeerEngine::stats`] before
-    /// clearing and accumulate with [`EngineStats::saturating_add`].
+    /// Bounded-footprint behaviour under unbounded distinct traffic is
+    /// automatic (see [`SeerEngine::set_prepared_budget_bytes`] and
+    /// [`SeerEngine::set_fingerprint_budget`]); an explicit clear remains
+    /// useful to start a fresh stats generation. Callers tracking lifetime
+    /// totals should snapshot [`SeerEngine::stats`] before clearing and
+    /// accumulate with [`EngineStats::saturating_add`].
     pub fn clear_caches(&self) {
         // Take every write lock before touching maps or counters so a
         // concurrent select never observes cleared maps with stale counters.
+        // Lock-order convention for any path holding several engine locks:
+        // `prepared` strictly before the RwLocks.
+        let mut prepared = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
         let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
         let mut features = self
             .features
@@ -361,6 +491,7 @@ impl SeerEngine {
         features.clear();
         profiles.clear();
         timings.clear();
+        prepared.clear();
         self.counters.plan_hits.store(0, Ordering::Relaxed);
         self.counters.plan_misses.store(0, Ordering::Relaxed);
         self.counters
@@ -370,6 +501,60 @@ impl SeerEngine {
         self.counters
             .misprediction_fallbacks
             .store(0, Ordering::Relaxed);
+        self.counters.plan_preparations.store(0, Ordering::Relaxed);
+        self.counters.cache_evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Sets the byte budget of the prepared-plan cache and immediately evicts
+    /// least-recently-used plans down to it. The default is a generous
+    /// 64 MiB; serving deployments facing adversarial matrix cardinality can
+    /// tighten it to bound the engine's resident footprint.
+    pub fn set_prepared_budget_bytes(&self, budget: usize) {
+        let mut cache = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+        cache.budget = budget;
+        // Preserve the cache's never-evict-the-most-recent guarantee here
+        // too: even an immediate tightening leaves the hottest plan serving.
+        let newest = cache
+            .map
+            .iter()
+            .max_by_key(|(_, entry)| entry.last_used)
+            .map(|(key, _)| *key);
+        let evicted = cache.evict_to_budget(newest);
+        if evicted > 0 {
+            self.counters
+                .cache_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Current byte budget of the prepared-plan cache.
+    pub fn prepared_budget_bytes(&self) -> usize {
+        self.prepared
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .budget
+    }
+
+    /// Number of prepared plans currently cached.
+    pub fn cached_prepared_plans(&self) -> usize {
+        self.prepared
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Sets the budgeted-clear threshold on distinct matrix contents: once
+    /// the engine holds profiles for more than `budget` distinct
+    /// fingerprints, every per-fingerprint map (profiles, features, selection
+    /// plans, kernel costs) plus the prepared-plan cache is swept in one
+    /// clear, and the dropped entries are counted in
+    /// [`EngineStats::cache_evictions`]. Counters other than the eviction
+    /// tally are *not* reset — unlike [`SeerEngine::clear_caches`], a
+    /// budgeted clear is an eviction event, not a new stats generation.
+    pub fn set_fingerprint_budget(&self, budget: u64) {
+        self.fingerprint_budget
+            .store(budget.max(1), Ordering::Relaxed);
     }
 
     /// Selects a kernel for `matrix` and a workload of `iterations`
@@ -452,6 +637,9 @@ impl SeerEngine {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, selection);
+        // A miss may have introduced a new distinct matrix; keep the
+        // per-fingerprint footprint within its budget.
+        self.enforce_fingerprint_budget();
         let charged = if collection_ran {
             selection.overhead()
         } else {
@@ -552,6 +740,12 @@ impl SeerEngine {
 
     /// [`SeerEngine::execute_into`] under an explicit [`SelectionPolicy`].
     ///
+    /// The chosen kernel runs through its cached [`PreparedPlan`]
+    /// (materialized once per `(matrix, kernel)` on the first contact): the
+    /// warm path replays the merge-path partition table / ELL slab / row bins
+    /// instead of re-deriving them, stays allocation-free, and is
+    /// bit-identical to the streaming execution.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != matrix.cols()`.
@@ -566,8 +760,15 @@ impl SeerEngine {
         let (selection, charged_overhead) =
             self.select_with_policy_charged(matrix, iterations, policy);
         let costs = self.kernel_costs(matrix, selection.kernel);
+        let plan = self.prepared_plan(matrix, selection.kernel);
         workspace.y.resize(matrix.rows(), 0.0);
-        kernel(selection.kernel).compute_into(matrix, x, &mut workspace.y, &mut workspace.scratch);
+        kernel(selection.kernel).compute_prepared_into(
+            &plan,
+            matrix,
+            x,
+            &mut workspace.y,
+            &mut workspace.scratch,
+        );
         // Only the selection work that actually ran on this call is billed:
         // nothing for a plan replay, tree walks alone when the gathered
         // features came from the feature cache. The embedded `selection`
@@ -575,6 +776,56 @@ impl SeerEngine {
         (
             selection,
             charged_overhead + costs.total_at(selection.kernel, iterations),
+        )
+    }
+
+    /// The PR-3-era streaming execute: identical selection, billing and
+    /// result to [`SeerEngine::execute_with_policy_into`], but the kernel
+    /// re-derives its auxiliary structures on every call instead of replaying
+    /// a prepared plan. Kept as the differential baseline the
+    /// `profile_selection` bench measures the prepared path against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute_streaming_with_policy_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        policy: SelectionPolicy,
+        workspace: &mut EngineWorkspace,
+    ) -> (Selection, SimTime) {
+        let (selection, charged_overhead) =
+            self.select_with_policy_charged(matrix, iterations, policy);
+        let costs = self.kernel_costs(matrix, selection.kernel);
+        workspace.y.resize(matrix.rows(), 0.0);
+        kernel(selection.kernel).compute_into(matrix, x, &mut workspace.y, &mut workspace.scratch);
+        (
+            selection,
+            charged_overhead + costs.total_at(selection.kernel, iterations),
+        )
+    }
+
+    /// [`SeerEngine::execute_streaming_with_policy_into`] under the adaptive
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn execute_streaming_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        workspace: &mut EngineWorkspace,
+    ) -> (Selection, SimTime) {
+        self.execute_streaming_with_policy_into(
+            matrix,
+            x,
+            iterations,
+            SelectionPolicy::Adaptive,
+            workspace,
         )
     }
 
@@ -629,6 +880,104 @@ impl SeerEngine {
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key, costs);
         costs
+    }
+
+    /// The prepared execution plan of `kernel_id` on `matrix`, answered from
+    /// (and installed into) the byte-budgeted `(fingerprint, kernel)` plan
+    /// cache. A warm lookup is a short-held lock, a hash probe and an `Arc`
+    /// clone: no allocation. A cold build runs with **no** lock held, so warm
+    /// traffic on other matrices is never convoyed behind an O(nnz)
+    /// preparation; when concurrent first contacts race, the winner's plan is
+    /// installed and counted and the losers adopt it (their duplicate build
+    /// is discarded), keeping [`EngineStats::plan_preparations`] at exactly
+    /// one per cached pair.
+    pub fn prepared_plan(&self, matrix: &CsrMatrix, kernel_id: KernelId) -> Arc<PreparedPlan> {
+        let fingerprint = matrix.content_fingerprint();
+        let key = (fingerprint, kernel_id);
+        {
+            let mut cache = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+            let tick = cache.tick();
+            if let Some(entry) = cache.map.get_mut(&key) {
+                entry.last_used = tick;
+                return Arc::clone(&entry.plan);
+            }
+        }
+        let profile = self.profile_for(matrix, fingerprint);
+        let plan = Arc::new(kernel(kernel_id).prepare(matrix, &profile));
+        let mut cache = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+        let tick = cache.tick();
+        if let Some(entry) = cache.map.get_mut(&key) {
+            // A concurrent first contact installed its plan while we built
+            // ours; adopt the cached one so the counter stays exact.
+            entry.last_used = tick;
+            return Arc::clone(&entry.plan);
+        }
+        self.counters
+            .plan_preparations
+            .fetch_add(1, Ordering::Relaxed);
+        cache.bytes += plan.heap_bytes();
+        cache.map.insert(
+            key,
+            PreparedEntry {
+                plan: Arc::clone(&plan),
+                last_used: tick,
+            },
+        );
+        let evicted = cache.evict_to_budget(Some(key));
+        if evicted > 0 {
+            self.counters
+                .cache_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        plan
+    }
+
+    /// Budgeted clear of the per-fingerprint caches: when the engine holds
+    /// more distinct matrix contents than the fingerprint budget, sweep every
+    /// per-fingerprint map (and the prepared plans derived from them) and
+    /// count the dropped entries as evictions. Called from the selection path
+    /// with no engine locks held; the common case costs one relaxed load and
+    /// one uncontended read-lock length check.
+    fn enforce_fingerprint_budget(&self) {
+        let budget = self.fingerprint_budget.load(Ordering::Relaxed) as usize;
+        // Profiles are keyed by fingerprint exactly; the selection-plan map
+        // (keyed by fingerprint x iterations x policy) is its upper proxy for
+        // traffic that never profiles (known-only selections).
+        let over = {
+            let profiles = self.profiles.read().unwrap_or_else(PoisonError::into_inner);
+            let plans = self.plans.read().unwrap_or_else(PoisonError::into_inner);
+            profiles.len() > budget || plans.len() > budget
+        };
+        if !over {
+            return;
+        }
+        // Same lock order as `clear_caches`: `prepared` before the RwLocks.
+        let mut prepared = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
+        let mut features = self
+            .features
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut profiles = self
+            .profiles
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut timings = self.timings.write().unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the write locks: a concurrent sweep may have won.
+        if profiles.len() <= budget && plans.len() <= budget {
+            return;
+        }
+        let dropped =
+            (plans.len() + features.len() + profiles.len() + timings.len() + prepared.map.len())
+                as u64;
+        plans.clear();
+        features.clear();
+        profiles.clear();
+        timings.clear();
+        prepared.clear();
+        self.counters
+            .cache_evictions
+            .fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// Selects kernels for a batch of `(matrix, iterations)` requests.
@@ -935,6 +1284,9 @@ mod tests {
             feature_collections: 1,
             profile_passes: 1,
             misprediction_fallbacks: 0,
+            plan_preparations: 1,
+            cache_evictions: 0,
+            resident_plan_bytes: 100,
         };
         let b = EngineStats {
             plan_hits: 5,
@@ -942,6 +1294,9 @@ mod tests {
             feature_collections: 2,
             profile_passes: 2,
             misprediction_fallbacks: 0,
+            plan_preparations: 2,
+            cache_evictions: 1,
+            resident_plan_bytes: 200,
         };
         assert_eq!(a.saturating_sub(b), EngineStats::default());
         assert_eq!(b.saturating_add(b).plan_misses, u64::MAX);
@@ -1107,6 +1462,110 @@ mod tests {
         // at least one plan computed.
         assert!(stats.plan_misses >= 1 && stats.plan_misses <= 2);
         assert_eq!(engine.cached_plans(), 1);
+    }
+
+    #[test]
+    fn execute_prepares_once_and_replays_bit_identically() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[1].matrix;
+        let x: Vec<f64> = (0..matrix.cols()).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut workspace = EngineWorkspace::new();
+
+        // Cold execute: one plan miss, one preparation.
+        let (selection, _) = engine.execute_into(matrix, &x, 19, &mut workspace);
+        let cold = workspace.result().to_vec();
+        assert_eq!(engine.stats().plan_preparations, 1);
+        assert_eq!(engine.cached_prepared_plans(), 1);
+
+        // Warm executes: zero further preparations, identical bits.
+        for _ in 0..5 {
+            let (warm_selection, _) = engine.execute_into(matrix, &x, 19, &mut workspace);
+            assert_eq!(warm_selection, selection);
+            for (a, b) in workspace.result().iter().zip(&cold) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert_eq!(engine.stats().plan_preparations, 1);
+
+        // The streaming baseline agrees bit for bit and builds no plans.
+        let mut streaming_ws = EngineWorkspace::new();
+        let (streaming_selection, _) =
+            engine.execute_streaming_into(matrix, &x, 19, &mut streaming_ws);
+        assert_eq!(streaming_selection, selection);
+        for (a, b) in streaming_ws.result().iter().zip(&cold) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(engine.stats().plan_preparations, 1);
+    }
+
+    #[test]
+    fn prepared_cache_evicts_by_byte_budget_lru() {
+        let (engine, entries) = engine_and_collection();
+        // Materialized plans (merge-path tables) on three distinct matrices.
+        let kernels = KernelId::CsrMergePath;
+        let sizes: Vec<usize> = entries
+            .iter()
+            .take(3)
+            .map(|e| engine.prepared_plan(&e.matrix, kernels).heap_bytes())
+            .collect();
+        assert!(sizes.iter().all(|&b| b > 0));
+        let stats = engine.stats();
+        assert_eq!(stats.plan_preparations, 3);
+        assert_eq!(stats.cache_evictions, 0);
+        assert_eq!(
+            stats.resident_plan_bytes,
+            sizes.iter().sum::<usize>() as u64
+        );
+
+        // Tighten the budget to hold only the largest plan: the least
+        // recently used plans are dropped immediately.
+        let largest = *sizes.iter().max().unwrap();
+        engine.set_prepared_budget_bytes(largest);
+        let stats = engine.stats();
+        assert!(stats.cache_evictions >= 1);
+        assert!(stats.resident_plan_bytes <= largest as u64);
+        assert!(engine.cached_prepared_plans() < 3);
+
+        // Touch matrix 2 (most recent), then insert matrix 0 again: the
+        // budget evicts the stale entry, never the fresh insertion.
+        let replayed = engine.prepared_plan(&entries[2].matrix, kernels);
+        let rebuilt = engine.prepared_plan(&entries[0].matrix, kernels);
+        assert_eq!(replayed.kernel(), kernels);
+        assert_eq!(
+            rebuilt.fingerprint(),
+            entries[0].matrix.content_fingerprint()
+        );
+        assert!(engine.stats().resident_plan_bytes <= largest.max(sizes[0]) as u64);
+    }
+
+    #[test]
+    fn fingerprint_budget_sweeps_per_fingerprint_caches() {
+        let (engine, entries) = engine_and_collection();
+        engine.set_fingerprint_budget(2);
+        for entry in entries.iter().take(4) {
+            engine.select(&entry.matrix, 19);
+        }
+        let stats = engine.stats();
+        // The sweep dropped entries (counted), but did not reset counters:
+        // all four selections are still visible as misses.
+        assert_eq!(stats.plan_misses, 4);
+        assert!(stats.cache_evictions > 0);
+        // The resident per-fingerprint footprint stayed bounded.
+        assert!(engine.cached_plans() <= 3);
+    }
+
+    #[test]
+    fn single_oversized_plan_still_serves() {
+        let (engine, entries) = engine_and_collection();
+        engine.set_prepared_budget_bytes(1);
+        let plan = engine.prepared_plan(&entries[0].matrix, KernelId::CsrMergePath);
+        assert!(plan.heap_bytes() > 1);
+        // Over budget but irreplaceable: the newest plan is kept.
+        assert_eq!(engine.cached_prepared_plans(), 1);
+        // The next materialized plan displaces it.
+        let _ = engine.prepared_plan(&entries[1].matrix, KernelId::CsrMergePath);
+        assert_eq!(engine.cached_prepared_plans(), 1);
+        assert!(engine.stats().cache_evictions >= 1);
     }
 
     #[test]

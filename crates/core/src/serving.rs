@@ -12,8 +12,11 @@
 //!   [`content_fingerprint`](seer_sparse::CsrMatrix::content_fingerprint)` %
 //!   N`, so every distinct matrix has exactly one home shard. Repeat traffic
 //!   on a matrix always lands on the shard that already cached its plan —
-//!   cache locality survives concurrency, and no plan is ever computed twice
-//!   across shards for the same `(matrix, iterations, policy)` key;
+//!   cache locality survives concurrency, and no selection plan (nor
+//!   prepared execution plan: each shard's warm execute replays the cached
+//!   `(matrix, kernel)` [`seer_kernels::PreparedPlan`] instead of re-deriving
+//!   partition tables or padded layouts) is ever computed twice across shards
+//!   for the same key;
 //! * [`ServingPool::submit`] is non-blocking and returns a [`Ticket`] that
 //!   resolves to the [`ServingResponse`]; [`ServingPool::drain`] blocks until
 //!   every accepted request has been served; [`ServingPool::shutdown`] drains,
@@ -528,7 +531,9 @@ fn worker_loop(
 
 /// Serves one request on the shard's engine, reusing the shard's workspace
 /// for execute workloads (the only allocation left on a warm path is the
-/// response's owned copy of the product).
+/// response's owned copy of the product). Execute workloads run through the
+/// shard engine's prepared-plan fast path, so a warm shard never re-derives
+/// a kernel's preprocessing structures.
 fn serve(
     shard: usize,
     engine: &SeerEngine,

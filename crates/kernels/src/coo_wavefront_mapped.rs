@@ -4,6 +4,7 @@ use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
 use crate::common::{ceil_log2, CostParams};
+use crate::plan::{PlanData, PreparedPlan};
 use crate::registry::KernelId;
 use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
@@ -148,6 +149,75 @@ impl SpmvKernel for CooWavefrontMapped {
             y[current_row] += acc;
         }
     }
+
+    fn prepare(&self, matrix: &CsrMatrix, _profile: &MatrixProfile) -> PreparedPlan {
+        // The CSR-to-COO expansion dispatch the preprocessing model charges
+        // for: an explicit per-nonzero row index array.
+        PreparedPlan::new(
+            self.id(),
+            matrix.content_fingerprint(),
+            PlanData::CooRows {
+                rows: matrix.expand_row_indices(),
+            },
+        )
+    }
+
+    fn compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        plan.check_matches(self.id(), matrix);
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
+        assert_eq!(
+            y.len(),
+            matrix.rows(),
+            "output vector length must equal matrix rows"
+        );
+        let PlanData::CooRows { rows } = &plan.data else {
+            unreachable!("COO,WM prepares a row-index expansion");
+        };
+        // Guard release builds too: a plan from a different matrix value
+        // would otherwise silently truncate the zip below instead of
+        // failing loudly like the index-based kernels.
+        assert_eq!(
+            rows.len(),
+            matrix.nnz(),
+            "prepared row expansion does not match this matrix"
+        );
+        // Same 64-entry segmented walk as the streaming path, but over the
+        // flat triplet stream (plan rows + CSR columns/values) — no per-row
+        // slicing. Flush points and accumulation order are identical, so the
+        // result is bit-identical.
+        y.fill(0.0);
+        let mut current_row = usize::MAX;
+        let mut acc = 0.0;
+        for (index, ((&row, &c), &v)) in rows
+            .iter()
+            .zip(matrix.col_indices())
+            .zip(matrix.values())
+            .enumerate()
+        {
+            if index.is_multiple_of(64) || row != current_row {
+                if current_row != usize::MAX {
+                    y[current_row] += acc;
+                }
+                current_row = row;
+                acc = 0.0;
+            }
+            acc += v * x[c];
+        }
+        if current_row != usize::MAX {
+            y[current_row] += acc;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +272,23 @@ mod tests {
         let coo = CooWavefrontMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &uniform, uniform.profile());
         assert!(coo > tm);
+    }
+
+    #[test]
+    fn prepared_row_expansion_is_bit_identical() {
+        let mut rng = SplitMix64::new(85);
+        // Long rows so segment flushes land mid-row, plus interleaved empties.
+        let m = generators::skewed_rows(800, 2, 700, 0.02, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 29) as f64 - 14.0).collect();
+        let kernel = CooWavefrontMapped::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(plan.is_materialized());
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

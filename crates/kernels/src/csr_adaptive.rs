@@ -4,6 +4,7 @@ use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
 use crate::common::{ceil_log2, CostParams};
+use crate::plan::{PlanData, PreparedPlan};
 use crate::registry::KernelId;
 use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
@@ -214,6 +215,63 @@ impl SpmvKernel for CsrAdaptive {
         // the binning.
         matrix.spmv_into(x, y);
     }
+
+    fn prepare(&self, matrix: &CsrMatrix, _profile: &MatrixProfile) -> PreparedPlan {
+        // The host binning pass the preprocessing model charges for,
+        // materialized as the row-block table.
+        let bins = RowBinning::compute(matrix);
+        PreparedPlan::new(
+            self.id(),
+            matrix.content_fingerprint(),
+            PlanData::RowBins {
+                small: bins.small,
+                medium: bins.medium,
+                large: bins.large,
+            },
+        )
+    }
+
+    fn compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        plan.check_matches(self.id(), matrix);
+        assert_eq!(
+            x.len(),
+            matrix.cols(),
+            "input vector length must equal matrix columns"
+        );
+        assert_eq!(
+            y.len(),
+            matrix.rows(),
+            "output vector length must equal matrix rows"
+        );
+        let PlanData::RowBins {
+            small,
+            medium,
+            large,
+        } = &plan.data
+        else {
+            unreachable!("CSR,A prepares row bins");
+        };
+        // Bin-by-bin dispatch, as the row-block table drives it. Every row
+        // lives in exactly one bin, each row is reduced independently in CSR
+        // entry order, so the result is bit-identical to the row-major walk.
+        for bin in [small, medium, large] {
+            for &row in bin {
+                let (cols, vals) = matrix.row(row);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c];
+                }
+                y[row] = acc;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,6 +359,23 @@ mod tests {
             "preprocessing should be visible at 1 iteration"
         );
         assert!(many_a < many_tm, "adaptive should win at 50 iterations");
+    }
+
+    #[test]
+    fn prepared_bins_cover_every_row_and_stay_bit_identical() {
+        let mut rng = SplitMix64::new(65);
+        let m = generators::skewed_rows(1500, 3, 1300, 0.01, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 2.0 - (i % 13) as f64).collect();
+        let kernel = CsrAdaptive::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(plan.is_materialized());
+        let streamed = kernel.compute(&m, &x);
+        // Poisoned output: every element must be overwritten by the bins.
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -182,4 +182,21 @@ mod tests {
             SimTime::ZERO
         );
     }
+
+    #[test]
+    fn prepared_plan_is_direct_and_bit_identical() {
+        let mut rng = SplitMix64::new(24);
+        let m = generators::uniform_row_length(128, 700, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 13) % 5) as f64 - 2.0).collect();
+        let kernel = CsrBlockMapped::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(!plan.is_materialized());
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        let mut scratch = ComputeScratch::new();
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut scratch);
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
 }

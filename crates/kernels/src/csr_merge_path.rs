@@ -5,7 +5,8 @@ use seer_sparse::{CsrMatrix, Scalar};
 
 use crate::common::{ceil_log2, CostParams};
 use crate::csr_work_oriented::CsrWorkOriented;
-use crate::merge::spmv_merge_path_into;
+use crate::merge::{merge_path_partition, spmv_merge_path_into, spmv_merge_path_prepared_into};
+use crate::plan::{PlanData, PreparedPlan};
 use crate::registry::KernelId;
 use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
@@ -118,6 +119,35 @@ impl SpmvKernel for CsrMergePath {
     ) {
         spmv_merge_path_into(matrix, x, CsrWorkOriented::thread_count(matrix), y);
     }
+
+    fn prepare(&self, matrix: &CsrMatrix, _profile: &MatrixProfile) -> PreparedPlan {
+        // This *is* the kernel's setup dispatch: one merge-path search per
+        // segment boundary, materialized as the coordinate table the modelled
+        // preprocessing pays to build and transfer.
+        let coords = merge_path_partition(matrix, CsrWorkOriented::thread_count(matrix));
+        PreparedPlan::new(
+            self.id(),
+            matrix.content_fingerprint(),
+            PlanData::MergePath { coords },
+        )
+    }
+
+    fn compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        plan.check_matches(self.id(), matrix);
+        match &plan.data {
+            PlanData::MergePath { coords } => {
+                spmv_merge_path_prepared_into(matrix, x, coords, y);
+            }
+            _ => unreachable!("CSR,MP prepares a merge-path partition table"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +183,23 @@ mod tests {
         let mp = CsrMergePath::new().iteration_time(&gpu, &m, m.profile());
         let wo = CsrWorkOriented::new().iteration_time(&gpu, &m, m.profile());
         assert!(mp <= wo, "MP {} vs WO {}", mp.as_millis(), wo.as_millis());
+    }
+
+    #[test]
+    fn prepared_plan_skips_searches_and_stays_bit_identical() {
+        let mut rng = SplitMix64::new(55);
+        let m = generators::power_law(900, 1.9, 256, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.5 - (i % 11) as f64).collect();
+        let kernel = CsrMergePath::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(plan.is_materialized());
+        assert!(plan.heap_bytes() > 0);
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

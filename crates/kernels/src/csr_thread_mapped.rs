@@ -172,6 +172,25 @@ mod tests {
     }
 
     #[test]
+    fn prepared_plan_is_direct_and_bit_identical() {
+        // No modelled preprocessing -> nothing to materialize: the prepared
+        // path is the streaming path, byte-free in the plan cache.
+        let mut rng = SplitMix64::new(4);
+        let m = generators::power_law(400, 2.0, 64, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let kernel = CsrThreadMapped::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(!plan.is_materialized());
+        assert_eq!(plan.heap_bytes(), 0);
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn measure_reports_iterations() {
         let gpu = Gpu::default();
         let m = CsrMatrix::identity(256);

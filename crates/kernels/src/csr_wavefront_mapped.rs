@@ -191,4 +191,21 @@ mod tests {
             SimTime::ZERO
         );
     }
+
+    #[test]
+    fn prepared_plan_is_direct_and_bit_identical() {
+        let mut rng = SplitMix64::new(15);
+        let m = generators::skewed_rows(300, 3, 150, 0.04, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.25 * i as f64 - 10.0).collect();
+        let kernel = CsrWavefrontMapped::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(!plan.is_materialized());
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        let mut scratch = ComputeScratch::new();
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut scratch);
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
 }

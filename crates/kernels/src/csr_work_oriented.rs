@@ -4,7 +4,8 @@ use seer_gpu::{Gpu, KernelTiming, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
 use crate::common::{ceil_log2, CostParams};
-use crate::merge::spmv_merge_path_into;
+use crate::merge::{merge_path_partition, spmv_merge_path_into, spmv_merge_path_prepared_into};
+use crate::plan::{PlanData, PreparedPlan};
 use crate::registry::KernelId;
 use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
@@ -118,6 +119,37 @@ impl SpmvKernel for CsrWorkOriented {
     ) {
         spmv_merge_path_into(matrix, x, Self::thread_count(matrix), y);
     }
+
+    fn prepare(&self, matrix: &CsrMatrix, _profile: &MatrixProfile) -> PreparedPlan {
+        // The real kernel searches in-kernel every iteration (that is what
+        // its cost model charges), but the search result is a pure function
+        // of the matrix structure — the functional warm path materializes the
+        // same partition table as CSR,MP and replays it, keeping the result
+        // bit-identical while skipping the per-call binary searches.
+        let coords = merge_path_partition(matrix, Self::thread_count(matrix));
+        PreparedPlan::new(
+            self.id(),
+            matrix.content_fingerprint(),
+            PlanData::MergePath { coords },
+        )
+    }
+
+    fn compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        plan.check_matches(self.id(), matrix);
+        match &plan.data {
+            PlanData::MergePath { coords } => {
+                spmv_merge_path_prepared_into(matrix, x, coords, y);
+            }
+            _ => unreachable!("CSR,WO prepares a merge-path partition table"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +216,23 @@ mod tests {
             CsrWorkOriented::new().preprocessing_time(&gpu, &m, m.profile()),
             SimTime::ZERO
         );
+    }
+
+    #[test]
+    fn prepared_plan_is_bit_identical_to_in_kernel_search() {
+        let mut rng = SplitMix64::new(45);
+        let m = generators::skewed_rows(1200, 2, 500, 0.01, &mut rng);
+        let x: Vec<f64> = (0..m.cols())
+            .map(|i| (i % 19) as f64 * 0.125 - 1.0)
+            .collect();
+        let kernel = CsrWorkOriented::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(plan.is_materialized());
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

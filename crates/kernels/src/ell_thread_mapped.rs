@@ -1,9 +1,10 @@
 //! ELL thread-mapped SpMV (`ELL,TM`).
 
 use seer_gpu::{Gpu, KernelTiming, SimTime};
-use seer_sparse::{CsrMatrix, Scalar};
+use seer_sparse::{CsrMatrix, EllSlab, Scalar};
 
 use crate::common::CostParams;
+use crate::plan::{PlanData, PreparedPlan};
 use crate::registry::KernelId;
 use crate::{ComputeScratch, LoadBalancing, MatrixProfile, SparseFormat, SpmvKernel};
 
@@ -22,6 +23,12 @@ pub struct EllThreadMapped {
 }
 
 impl EllThreadMapped {
+    /// Maximum ELL padding ratio at which a prepared plan materializes the
+    /// padded slab; beyond it the plan stays direct (see
+    /// [`EllThreadMapped::prepare`]). Caps the slab at twice the nonzero
+    /// payload.
+    pub const PAD_RATIO_LIMIT: f64 = 0.5;
+
     /// Creates the kernel with the default cost calibration.
     pub fn new() -> Self {
         Self::default()
@@ -125,6 +132,53 @@ impl SpmvKernel for EllThreadMapped {
         // result without materialising the padded arrays.
         matrix.spmv_into(x, y);
     }
+
+    fn prepare(&self, matrix: &CsrMatrix, profile: &MatrixProfile) -> PreparedPlan {
+        // The ELL conversion the preprocessing model charges for: the padded
+        // arrays in the column-major (slot-major) device layout. The width
+        // comes from the caller's profile so preparing never re-triggers the
+        // matrix's own profiling memo.
+        //
+        // Skewed matrices are fenced off: past PAD_RATIO_LIMIT the padded
+        // slab balloons (one dense row among a million short ones would
+        // materialize rows * max_row_len slots — terabytes — before any byte
+        // budget could react), and ELL is a losing schedule there anyway, so
+        // the plan degrades to direct and the warm path streams the CSR.
+        // Below the limit the slab is bounded by `nnz * 16 / (1 - limit)`
+        // bytes, i.e. at most 2x the nonzero payload.
+        if profile.ell_padding_ratio > Self::PAD_RATIO_LIMIT {
+            return PreparedPlan::direct(self.id(), matrix);
+        }
+        PreparedPlan::new(
+            self.id(),
+            matrix.content_fingerprint(),
+            PlanData::EllSlab {
+                slab: EllSlab::with_width(matrix, profile.max_row_len()),
+            },
+        )
+    }
+
+    fn compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        _scratch: &mut ComputeScratch,
+    ) {
+        plan.check_matches(self.id(), matrix);
+        match &plan.data {
+            PlanData::EllSlab { slab } => {
+                // The slab walk adds each row's terms in ascending slot order
+                // — the CSR row order — so this is bit-identical to the
+                // streaming path.
+                slab.spmv_into(x, y);
+            }
+            // Skew fence: the plan declined to materialize, stream the CSR.
+            PlanData::Direct => matrix.spmv_into(x, y),
+            _ => unreachable!("ELL,TM prepares a column-major slab or a direct plan"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +238,47 @@ mod tests {
         let ell = EllThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         let tm = CsrThreadMapped::new().iteration_time(&gpu, &skewed, skewed.profile());
         assert!(ell > tm, "padding should make ELL slower than CSR,TM here");
+    }
+
+    #[test]
+    fn prepared_slab_is_bit_identical_and_sized_by_padding() {
+        let mut rng = SplitMix64::new(75);
+        // Near-uniform rows: low padding, so the slab materializes.
+        let m = generators::banded(500, 4, &mut rng);
+        assert!(m.profile().ell_padding_ratio <= EllThreadMapped::PAD_RATIO_LIMIT);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let kernel = EllThreadMapped::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(plan.is_materialized());
+        // The slab holds the padded arrays: rows * width * (8 + 8) bytes.
+        assert_eq!(plan.heap_bytes(), m.rows() * m.profile().max_row_len() * 16);
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn skewed_matrix_declines_the_slab_but_stays_bit_identical() {
+        let mut rng = SplitMix64::new(76);
+        // One long row among short ones: materializing would pad every row
+        // to the dense width, so the plan must stay direct (byte-free) and
+        // the prepared path must stream the CSR.
+        let m = generators::skewed_rows(500, 2, 200, 0.02, &mut rng);
+        assert!(m.profile().ell_padding_ratio > EllThreadMapped::PAD_RATIO_LIMIT);
+        let kernel = EllThreadMapped::new();
+        let plan = kernel.prepare(&m, m.profile());
+        assert!(!plan.is_materialized());
+        assert_eq!(plan.heap_bytes(), 0);
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i % 9) as f64 - 4.0).collect();
+        let streamed = kernel.compute(&m, &x);
+        let mut prepared = vec![f64::NAN; m.rows()];
+        kernel.compute_prepared_into(&plan, &m, &x, &mut prepared, &mut ComputeScratch::new());
+        for (a, b) in prepared.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

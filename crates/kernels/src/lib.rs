@@ -65,6 +65,7 @@ mod ell_thread_mapped;
 mod measurement;
 mod merge;
 mod oracle;
+mod plan;
 mod registry;
 
 pub use common::CostParams;
@@ -78,6 +79,7 @@ pub use csr_work_oriented::CsrWorkOriented;
 pub use ell_thread_mapped::EllThreadMapped;
 pub use measurement::{KernelProfile, MatrixBenchmark};
 pub use oracle::{Oracle, OracleChoice};
+pub use plan::PreparedPlan;
 pub use registry::{all_kernels, kernel, kernel_for, KernelId};
 pub use seer_sparse::MatrixProfile;
 
@@ -213,6 +215,47 @@ pub trait SpmvKernel: fmt::Debug + Send + Sync {
         y: &mut [Scalar],
         scratch: &mut ComputeScratch,
     );
+
+    /// Builds this kernel's [`PreparedPlan`] for `matrix`: the materialized
+    /// auxiliary structures its modelled preprocessing describes (merge-path
+    /// partition table, ELL slab, row bins, COO row expansion). Runs once per
+    /// `(matrix, kernel)`; the engine caches the result by content
+    /// fingerprint so warm traffic replays it via
+    /// [`SpmvKernel::compute_prepared_into`].
+    ///
+    /// The default is a direct plan (nothing to materialize), which is
+    /// correct for kernels that consume the device-resident CSR arrays
+    /// as-is.
+    fn prepare(&self, matrix: &CsrMatrix, _profile: &MatrixProfile) -> PreparedPlan {
+        PreparedPlan::direct(self.id(), matrix)
+    }
+
+    /// Warm-path functional execution using a [`PreparedPlan`] built by
+    /// [`SpmvKernel::prepare`] for this same matrix value: skips the
+    /// streaming re-derivation (binary searches, padding walks, binning) and
+    /// replays the materialized structures. Allocation-free, and
+    /// **bit-identical** to [`SpmvKernel::compute_into`] — implementations
+    /// must preserve the per-row summation order.
+    ///
+    /// The default delegates to the streaming path, which is the prepared
+    /// path for direct (nothing-to-materialize) kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was prepared for a different kernel, or (like
+    /// [`SpmvKernel::compute_into`]) on mismatched `x`/`y` lengths. Debug
+    /// builds also reject a plan built from a different matrix value.
+    fn compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        scratch: &mut ComputeScratch,
+    ) {
+        plan.check_matches(self.id(), matrix);
+        self.compute_into(matrix, x, y, scratch);
+    }
 
     /// Allocating convenience wrapper around [`SpmvKernel::compute_into`].
     ///

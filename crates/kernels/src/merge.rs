@@ -49,10 +49,10 @@ pub(crate) fn merge_path_search(matrix: &CsrMatrix, diagonal: usize) -> MergeCoo
 /// spans. Returns `segments + 1` coordinates; segment `i` covers the
 /// half-open range between coordinates `i` and `i + 1`.
 ///
-/// The execution path derives coordinates incrementally
-/// ([`spmv_merge_path_into`]); the materialised table remains as the test
-/// oracle for that incremental walk.
-#[cfg(test)]
+/// The streaming execution path derives these coordinates incrementally
+/// ([`spmv_merge_path_into`]); a prepared execution plan materializes the
+/// table once so the warm path ([`spmv_merge_path_prepared_into`]) replays it
+/// without a single binary search.
 pub(crate) fn merge_path_partition(matrix: &CsrMatrix, segments: usize) -> Vec<MergeCoordinate> {
     let total_work = matrix.rows() + matrix.nnz();
     let segments = segments.max(1);
@@ -101,34 +101,79 @@ pub(crate) fn spmv_merge_path_into(
     }
     let segments = segments.max(1);
     let total_work = matrix.rows() + matrix.nnz();
-    let col_indices = matrix.col_indices();
-    let values = matrix.values();
-    let row_offsets = matrix.row_offsets();
     let mut start = merge_path_search(matrix, 0);
     for s in 1..=segments {
         let diagonal = (s * total_work).div_ceil(segments).min(total_work);
         let end = merge_path_search(matrix, diagonal);
-        let mut row = start.row;
-        let mut nnz = start.nnz;
-        let mut acc = 0.0;
-        // Consume work items in merge order: a nonzero if it belongs to the
-        // current row, otherwise a row terminator.
-        while row < end.row || (row == end.row && nnz < end.nnz) {
-            if row < matrix.rows() && nnz < row_offsets[row + 1] {
-                acc += values[nnz] * x[col_indices[nnz]];
-                nnz += 1;
-            } else {
-                y[row] += acc;
-                acc = 0.0;
-                row += 1;
-            }
-        }
-        // Carry-out: the segment's trailing partial sum belongs to the row it
-        // stopped in the middle of.
-        if acc != 0.0 {
-            y[row.min(matrix.rows() - 1)] += acc;
-        }
+        walk_segment(matrix, x, start, end, y);
         start = end;
+    }
+}
+
+/// Prepared-path variant of [`spmv_merge_path_into`]: walks the merge path
+/// using a materialized partition table (`segments + 1` coordinates from
+/// [`merge_path_partition`]) instead of deriving each boundary with a binary
+/// search. The per-segment walk is the same [`walk_segment`] core, so the
+/// result is bit-identical to the streaming path.
+pub(crate) fn spmv_merge_path_prepared_into(
+    matrix: &CsrMatrix,
+    x: &[Scalar],
+    coords: &[MergeCoordinate],
+    y: &mut [Scalar],
+) {
+    assert_eq!(
+        x.len(),
+        matrix.cols(),
+        "input vector length must equal matrix columns"
+    );
+    assert_eq!(
+        y.len(),
+        matrix.rows(),
+        "output vector length must equal matrix rows"
+    );
+    y.fill(0.0);
+    if matrix.rows() == 0 {
+        return;
+    }
+    for pair in coords.windows(2) {
+        walk_segment(matrix, x, pair[0], pair[1], y);
+    }
+}
+
+/// One segment of the merge-path walk: consume work items in merge order
+/// between `start` and `end`, retiring complete rows locally and committing
+/// the trailing partial sum as a carry-out. Shared verbatim by the streaming
+/// and prepared paths so their summation order cannot diverge.
+#[inline]
+fn walk_segment(
+    matrix: &CsrMatrix,
+    x: &[Scalar],
+    start: MergeCoordinate,
+    end: MergeCoordinate,
+    y: &mut [Scalar],
+) {
+    let col_indices = matrix.col_indices();
+    let values = matrix.values();
+    let row_offsets = matrix.row_offsets();
+    let mut row = start.row;
+    let mut nnz = start.nnz;
+    let mut acc = 0.0;
+    // Consume work items in merge order: a nonzero if it belongs to the
+    // current row, otherwise a row terminator.
+    while row < end.row || (row == end.row && nnz < end.nnz) {
+        if row < matrix.rows() && nnz < row_offsets[row + 1] {
+            acc += values[nnz] * x[col_indices[nnz]];
+            nnz += 1;
+        } else {
+            y[row] += acc;
+            acc = 0.0;
+            row += 1;
+        }
+    }
+    // Carry-out: the segment's trailing partial sum belongs to the row it
+    // stopped in the middle of.
+    if acc != 0.0 {
+        y[row.min(matrix.rows() - 1)] += acc;
     }
 }
 
@@ -217,5 +262,30 @@ mod tests {
     fn merge_spmv_empty_matrix() {
         let m = CsrMatrix::zeros(0, 0);
         assert!(spmv_merge_path(&m, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn prepared_walk_is_bit_identical_to_streaming() {
+        let mut rng = SplitMix64::new(34);
+        let m = generators::power_law(700, 1.9, 300, &mut rng);
+        let x: Vec<f64> = (0..m.cols()).map(|i| 0.75 - (i % 13) as f64).collect();
+        for segments in [1, 3, 64, 5000] {
+            let streamed = spmv_merge_path(&m, &x, segments);
+            let coords = merge_path_partition(&m, segments);
+            let mut prepared = vec![f64::NAN; m.rows()];
+            spmv_merge_path_prepared_into(&m, &x, &coords, &mut prepared);
+            for (a, b) in prepared.iter().zip(&streamed) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_walk_empty_matrix() {
+        let m = CsrMatrix::zeros(0, 0);
+        let coords = merge_path_partition(&m, 4);
+        let mut y: Vec<f64> = Vec::new();
+        spmv_merge_path_prepared_into(&m, &[], &coords, &mut y);
+        assert!(y.is_empty());
     }
 }

@@ -1,0 +1,200 @@
+//! Prepared execution plans: materialized per-`(matrix, kernel)` auxiliary
+//! structures for the warm SpMV path.
+//!
+//! Every kernel's modelled `preprocessing_time` describes work a real GPU
+//! library performs **once** per matrix — merge-path partitioning, ELL
+//! conversion, adaptive row binning, COO expansion — and then amortizes over
+//! the workload's iterations. The streaming `compute_into` implementations
+//! re-derive those structures on *every* call (one binary search per merge
+//! segment, per-row slicing, …), which is exactly the algorithmic
+//! preprocessing price the amortization argument says a warm serving path
+//! should not pay.
+//!
+//! A [`PreparedPlan`] is that one-time preparation made explicit: built once
+//! by [`SpmvKernel::prepare`](crate::SpmvKernel::prepare) on a plan-cache
+//! miss, cached by the engine as `Arc<PreparedPlan>` keyed by
+//! `(content_fingerprint, KernelId)`, and consumed by
+//! [`SpmvKernel::compute_prepared_into`](crate::SpmvKernel::compute_prepared_into)
+//! — which must stay allocation-free and **bit-identical** to the streaming
+//! path (per-row summation order is preserved by construction).
+//!
+//! Kernels whose schedule consumes the device-resident CSR arrays directly
+//! (thread-, wavefront- and block-mapped CSR — the ones whose
+//! `preprocessing_time` is zero) carry a [`PlanData::Direct`] plan: nothing to
+//! materialize, and their prepared path is their streaming path.
+//!
+//! Two deliberate trade-offs: preparation runs on the plan **miss** (the
+//! amortization bet — one-shot traffic pays a one-time O(nnz) build that
+//! repeat traffic earns back many times over; the engine's byte budget
+//! reclaims dead plans), and `CSR,MP` / `CSR,WO` each cache their own copy
+//! of the (identical) partition table — plans are keyed per kernel, and the
+//! rare matrix whose selection flips between the two under different
+//! iteration counts costs one duplicate table rather than a cross-kernel
+//! sharing layer.
+
+use seer_sparse::{CsrMatrix, EllSlab};
+
+use crate::merge::MergeCoordinate;
+use crate::registry::KernelId;
+
+/// The materialized auxiliary structure of one kernel on one matrix.
+#[derive(Debug, Clone)]
+pub(crate) enum PlanData {
+    /// The kernel streams the device-resident CSR arrays directly; there is
+    /// nothing to prepare (zero-preprocessing schedules).
+    Direct,
+    /// Merge-path partition table: `segments + 1` `(row, nnz)` coordinates,
+    /// one per segment boundary, replacing the per-segment binary searches of
+    /// the streaming walk.
+    MergePath {
+        /// Segment-boundary coordinates, ascending; `coords.len() - 1`
+        /// segments.
+        coords: Vec<MergeCoordinate>,
+    },
+    /// Adaptive-CSR row binning: each row's index in its size-class bin, the
+    /// row-block table the real kernel's host preprocessing uploads.
+    RowBins {
+        /// Rows with at most `SMALL_ROW_LIMIT` nonzeros, ascending.
+        small: Vec<usize>,
+        /// Rows with `SMALL_ROW_LIMIT < len <= MEDIUM_ROW_LIMIT`, ascending.
+        medium: Vec<usize>,
+        /// Rows longer than `MEDIUM_ROW_LIMIT`, ascending.
+        large: Vec<usize>,
+    },
+    /// COO coordinate expansion: the explicit per-nonzero row index stream.
+    CooRows {
+        /// `nnz` row indices in row-major order.
+        rows: Vec<usize>,
+    },
+    /// Column-major padded ELL storage (the coalesced device layout).
+    EllSlab {
+        /// The padded slot-major arrays.
+        slab: EllSlab,
+    },
+}
+
+/// A cached, immutable execution plan for one `(matrix, kernel)` pair.
+///
+/// Built by [`SpmvKernel::prepare`](crate::SpmvKernel::prepare); see the
+/// [module docs](self) for the lifecycle. The plan records the content
+/// fingerprint of the matrix it was built for so a mismatched replay is
+/// caught in debug builds, and its [`PreparedPlan::heap_bytes`] feeds the
+/// engine's byte-accounted cache eviction.
+#[derive(Debug, Clone)]
+pub struct PreparedPlan {
+    kernel: KernelId,
+    fingerprint: u64,
+    pub(crate) data: PlanData,
+    heap_bytes: usize,
+}
+
+impl PreparedPlan {
+    /// Wraps prepared data for `kernel` on the matrix with `fingerprint`.
+    pub(crate) fn new(kernel: KernelId, fingerprint: u64, data: PlanData) -> Self {
+        let heap_bytes = match &data {
+            PlanData::Direct => 0,
+            PlanData::MergePath { coords } => {
+                coords.capacity() * std::mem::size_of::<MergeCoordinate>()
+            }
+            PlanData::RowBins {
+                small,
+                medium,
+                large,
+            } => {
+                (small.capacity() + medium.capacity() + large.capacity())
+                    * std::mem::size_of::<usize>()
+            }
+            PlanData::CooRows { rows } => rows.capacity() * std::mem::size_of::<usize>(),
+            PlanData::EllSlab { slab } => slab.memory_footprint_bytes(),
+        };
+        Self {
+            kernel,
+            fingerprint,
+            data,
+            heap_bytes,
+        }
+    }
+
+    /// A plan for a kernel that consumes the device-resident CSR directly.
+    pub(crate) fn direct(kernel: KernelId, matrix: &CsrMatrix) -> Self {
+        Self::new(kernel, matrix.content_fingerprint(), PlanData::Direct)
+    }
+
+    /// The kernel this plan was prepared for.
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
+    }
+
+    /// Content fingerprint of the matrix this plan was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Heap bytes held by the materialized auxiliary structures (zero for
+    /// direct plans). The engine's plan cache evicts against the sum of
+    /// these.
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes
+    }
+
+    /// Whether this plan carries a materialized structure (false for
+    /// [`PlanData::Direct`]).
+    pub fn is_materialized(&self) -> bool {
+        !matches!(self.data, PlanData::Direct)
+    }
+
+    /// Debug-build guard that `matrix` is the value this plan was built for
+    /// and that `kernel` matches. The fingerprint read is memoized, so the
+    /// check is O(1) on warm matrices.
+    #[inline]
+    pub(crate) fn check_matches(&self, kernel: KernelId, matrix: &CsrMatrix) {
+        assert_eq!(
+            self.kernel, kernel,
+            "prepared plan for {} replayed through {}",
+            self.kernel, kernel
+        );
+        debug_assert_eq!(
+            self.fingerprint,
+            matrix.content_fingerprint(),
+            "prepared plan replayed against a different matrix value"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_plan_has_no_heap_bytes() {
+        let m = CsrMatrix::identity(8);
+        let plan = PreparedPlan::direct(KernelId::CsrThreadMapped, &m);
+        assert_eq!(plan.kernel(), KernelId::CsrThreadMapped);
+        assert_eq!(plan.fingerprint(), m.content_fingerprint());
+        assert_eq!(plan.heap_bytes(), 0);
+        assert!(!plan.is_materialized());
+    }
+
+    #[test]
+    fn materialized_plans_account_their_bytes() {
+        let m = CsrMatrix::identity(8);
+        let rows = m.expand_row_indices();
+        let expected = rows.capacity() * std::mem::size_of::<usize>();
+        let plan = PreparedPlan::new(
+            KernelId::CooWavefrontMapped,
+            m.content_fingerprint(),
+            PlanData::CooRows { rows },
+        );
+        assert!(plan.is_materialized());
+        assert_eq!(plan.heap_bytes(), expected);
+        assert!(plan.heap_bytes() >= 8 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    #[should_panic(expected = "replayed through")]
+    fn kernel_mismatch_is_rejected() {
+        let m = CsrMatrix::identity(4);
+        let plan = PreparedPlan::direct(KernelId::CsrThreadMapped, &m);
+        plan.check_matches(KernelId::CsrBlockMapped, &m);
+    }
+}

@@ -50,15 +50,81 @@ pub enum TreeNode {
     },
 }
 
+/// One node of the flattened inference layout: either a split or a leaf,
+/// packed into a contiguous array so a prediction walks indices instead of
+/// chasing `Box` pointers.
+///
+/// The flattening is preorder with the left child adjacent (`left == index +
+/// 1` for every split), so a typical walk stays within one or two cache
+/// lines; `feature == FlatNode::LEAF` marks a leaf whose predicted class is
+/// stored in `left`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FlatNode {
+    /// Feature index tested, or [`FlatNode::LEAF`].
+    feature: u32,
+    /// Threshold compared against (unused on leaves).
+    threshold: f64,
+    /// Index of the `< threshold` child, or the predicted class on a leaf.
+    left: u32,
+    /// Index of the `>= threshold` child (unused on leaves).
+    right: u32,
+}
+
+impl FlatNode {
+    /// Sentinel `feature` value marking a leaf node.
+    const LEAF: u32 = u32::MAX;
+}
+
+/// Appends `node` (and its subtrees, preorder) to `nodes`, returning its
+/// index.
+fn flatten_into(node: &TreeNode, nodes: &mut Vec<FlatNode>) -> u32 {
+    let index = u32::try_from(nodes.len()).expect("tree has fewer than 2^32 nodes");
+    match node {
+        TreeNode::Leaf { class, .. } => {
+            nodes.push(FlatNode {
+                feature: FlatNode::LEAF,
+                threshold: 0.0,
+                left: u32::try_from(*class).expect("class index fits u32"),
+                right: 0,
+            });
+        }
+        TreeNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            nodes.push(FlatNode {
+                feature: u32::try_from(*feature).expect("feature index fits u32"),
+                threshold: *threshold,
+                left: 0,
+                right: 0,
+            });
+            let left_index = flatten_into(left, nodes);
+            let right_index = flatten_into(right, nodes);
+            nodes[index as usize].left = left_index;
+            nodes[index as usize].right = right_index;
+        }
+    }
+    index
+}
+
 /// A CART decision-tree classifier trained with Gini impurity.
 ///
 /// The inference path is a chain of `if feature < threshold` comparisons —
 /// "effectively a number of nested if-else statements", as the paper puts it —
 /// so prediction cost is negligible next to any GPU kernel, and the trained
 /// weights can be dumped as a C++ header (see [`crate::export`]).
+///
+/// Internally the trained tree is kept twice: the pointer-based [`TreeNode`]
+/// structure (the explainability/export surface, and the reference walk) and
+/// a flattened array-of-nodes derived from it at fit time, which is what
+/// [`DecisionTree::predict`] traverses — an index-chasing loop over one
+/// contiguous allocation instead of a `Box` pointer chase per level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     root: TreeNode,
+    flat: Vec<FlatNode>,
     num_features: usize,
     num_classes: usize,
     feature_names: Vec<String>,
@@ -77,8 +143,11 @@ impl DecisionTree {
         }
         let indices: Vec<usize> = (0..dataset.len()).collect();
         let root = build_node(dataset, &indices, params, 0);
+        let mut flat = Vec::new();
+        flatten_into(&root, &mut flat);
         Ok(Self {
             root,
+            flat,
             num_features: dataset.num_features(),
             num_classes: dataset.num_classes(),
             feature_names: dataset.feature_names().to_vec(),
@@ -86,12 +155,41 @@ impl DecisionTree {
         })
     }
 
-    /// Predicts the class of a feature vector.
+    /// Predicts the class of a feature vector via the flattened,
+    /// cache-friendly node array.
     ///
     /// # Panics
     ///
     /// Panics if `features.len()` differs from the training feature count.
     pub fn predict(&self, features: &[f64]) -> usize {
+        assert_eq!(
+            features.len(),
+            self.num_features,
+            "feature vector length must match training data"
+        );
+        let mut index = 0usize;
+        loop {
+            let node = &self.flat[index];
+            if node.feature == FlatNode::LEAF {
+                return node.left as usize;
+            }
+            index = if features[node.feature as usize] < node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+
+    /// Reference prediction by walking the pointer-based [`TreeNode`]
+    /// structure. Same decisions as [`DecisionTree::predict`] — the
+    /// flattened layout is an exact transliteration — kept as the oracle the
+    /// equivalence tests compare against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training feature count.
+    pub fn predict_via_root(&self, features: &[f64]) -> usize {
         assert_eq!(
             features.len(),
             self.num_features,
@@ -220,27 +318,22 @@ impl DecisionTree {
     }
 
     /// Number of comparisons performed to classify `features`: the cost of an
-    /// inference, measured in if-else evaluations.
+    /// inference, measured in if-else evaluations. Walks the same flattened
+    /// node array as [`DecisionTree::predict`].
     pub fn decision_path_length(&self, features: &[f64]) -> usize {
-        let mut node = &self.root;
+        let mut index = 0usize;
         let mut steps = 0;
         loop {
-            match node {
-                TreeNode::Leaf { .. } => return steps,
-                TreeNode::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                } => {
-                    steps += 1;
-                    node = if features[*feature] < *threshold {
-                        left
-                    } else {
-                        right
-                    };
-                }
+            let node = &self.flat[index];
+            if node.feature == FlatNode::LEAF {
+                return steps;
             }
+            steps += 1;
+            index = if features[node.feature as usize] < node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
         }
     }
 }
@@ -496,6 +589,70 @@ mod tests {
         let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
         for i in 0..64 {
             assert!(tree.decision_path_length(&[i as f64]) <= tree.depth());
+        }
+    }
+
+    #[test]
+    fn flat_walk_is_equivalent_to_pointer_walk() {
+        // A deep, irregular tree (xor-style interaction) plus off-grid query
+        // points: the flat array traversal must make the same decision as the
+        // pointer-based reference walk on every input, including values that
+        // sit exactly on split thresholds.
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..24 {
+            for j in 0..24 {
+                let x = i as f64 / 24.0;
+                let y = j as f64 / 24.0;
+                features.push(vec![x, y]);
+                labels.push(usize::from((x > 0.5) ^ (y > 0.3)) + usize::from(x > 0.8));
+            }
+        }
+        let d = dataset_from(features.clone(), labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        assert!(tree.flat.len() == tree.node_count());
+        for f in &features {
+            assert_eq!(tree.predict(f), tree.predict_via_root(f));
+        }
+        // Off-grid and boundary probes.
+        for i in 0..200 {
+            let probe = vec![(i as f64 * 0.7919) % 1.0, (i as f64 * 0.5657) % 1.0];
+            assert_eq!(tree.predict(&probe), tree.predict_via_root(&probe));
+        }
+        // Threshold values themselves (the >= side must win in both walks).
+        fn thresholds(node: &TreeNode, out: &mut Vec<(usize, f64)>) {
+            if let TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } = node
+            {
+                out.push((*feature, *threshold));
+                thresholds(left, out);
+                thresholds(right, out);
+            }
+        }
+        let mut splits = Vec::new();
+        thresholds(tree.root(), &mut splits);
+        for (feature, threshold) in splits {
+            let mut probe = vec![0.5, 0.5];
+            probe[feature] = threshold;
+            assert_eq!(tree.predict(&probe), tree.predict_via_root(&probe));
+        }
+    }
+
+    #[test]
+    fn flat_layout_places_left_child_adjacent() {
+        let features: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..64).map(|i| i % 4).collect();
+        let d = dataset_from(features, labels);
+        let tree = DecisionTree::fit(&d, &DecisionTreeParams::default()).unwrap();
+        for (index, node) in tree.flat.iter().enumerate() {
+            if node.feature != FlatNode::LEAF {
+                assert_eq!(node.left as usize, index + 1, "preorder adjacency");
+                assert!((node.right as usize) < tree.flat.len());
+            }
         }
     }
 

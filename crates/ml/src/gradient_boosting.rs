@@ -46,10 +46,19 @@ impl Stump {
 }
 
 /// One boosted-ensemble regressor per output dimension.
+///
+/// The fitted stumps of every output live in one contiguous `Vec<Stump>`
+/// (output `k` owns `stumps[offsets[k]..offsets[k + 1]]`) rather than a
+/// vector-of-vectors, so a prediction streams a single flat allocation —
+/// the same cache-friendly array-of-nodes discipline as the flattened
+/// [`crate::DecisionTree`] inference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoosting {
     base: Vec<f64>,
-    stumps: Vec<Vec<Stump>>,
+    /// All stumps, grouped by output, concatenated.
+    stumps: Vec<Stump>,
+    /// `num_outputs + 1` offsets into `stumps`.
+    offsets: Vec<usize>,
     learning_rate: f64,
     num_features: usize,
 }
@@ -99,7 +108,9 @@ impl GradientBoosting {
             }
         }
 
-        let mut stumps = vec![Vec::new(); num_outputs];
+        let mut stumps = Vec::new();
+        let mut offsets = Vec::with_capacity(num_outputs + 1);
+        offsets.push(0);
         for output in 0..num_outputs {
             let mut predictions: Vec<f64> = vec![base[output]; features.len()];
             for _ in 0..params.rounds {
@@ -114,19 +125,27 @@ impl GradientBoosting {
                 for (pred, row) in predictions.iter_mut().zip(features) {
                     *pred += params.learning_rate * stump.predict(row);
                 }
-                stumps[output].push(Stump {
+                stumps.push(Stump {
                     left_value: stump.left_value * params.learning_rate,
                     right_value: stump.right_value * params.learning_rate,
                     ..stump
                 });
             }
+            offsets.push(stumps.len());
         }
         Ok(Self {
             base,
             stumps,
+            offsets,
             learning_rate: params.learning_rate,
             num_features,
         })
+    }
+
+    /// The stumps fitted for one output: a contiguous slice of the flat
+    /// ensemble array.
+    fn ensemble(&self, output: usize) -> &[Stump] {
+        &self.stumps[self.offsets[output]..self.offsets[output + 1]]
     }
 
     /// Predicts the target vector for one feature vector.
@@ -144,8 +163,14 @@ impl GradientBoosting {
         Ok(self
             .base
             .iter()
-            .zip(&self.stumps)
-            .map(|(&b, ensemble)| b + ensemble.iter().map(|s| s.predict(features)).sum::<f64>())
+            .enumerate()
+            .map(|(output, &b)| {
+                b + self
+                    .ensemble(output)
+                    .iter()
+                    .map(|s| s.predict(features))
+                    .sum::<f64>()
+            })
             .collect())
     }
 
@@ -166,7 +191,11 @@ impl GradientBoosting {
 
     /// Number of boosting rounds actually fitted for the first output.
     pub fn rounds(&self) -> usize {
-        self.stumps.first().map_or(0, Vec::len)
+        if self.offsets.len() < 2 {
+            0
+        } else {
+            self.offsets[1] - self.offsets[0]
+        }
     }
 
     /// The shrinkage factor the ensemble was trained with.
@@ -304,6 +333,37 @@ mod tests {
             &GradientBoostingParams::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn flat_ensemble_slices_partition_the_stumps() {
+        // Two outputs with different fitted round counts: the offsets must
+        // partition the flat array, and each output's prediction must only
+        // see its own slice.
+        let features: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let targets: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| vec![if f[0] < 30.0 { 0.0 } else { 1.0 }, 7.0])
+            .collect();
+        let model = GradientBoosting::fit(
+            &features,
+            &targets,
+            &GradientBoostingParams {
+                rounds: 20,
+                learning_rate: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(model.offsets.len(), 3);
+        assert_eq!(*model.offsets.last().unwrap(), model.stumps.len());
+        assert_eq!(
+            model.ensemble(0).len() + model.ensemble(1).len(),
+            model.stumps.len()
+        );
+        // Output 1 is constant: its stumps contribute nothing, so the flat
+        // slices must not leak output 0's corrections into it.
+        assert!((model.predict(&[45.0]).unwrap()[1] - 7.0).abs() < 1e-9);
+        assert!(model.predict(&[45.0]).unwrap()[0] > 0.5);
     }
 
     #[test]

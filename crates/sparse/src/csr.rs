@@ -428,6 +428,22 @@ impl CsrMatrix {
         })
     }
 
+    /// Expands the compressed row offsets into an explicit per-nonzero row
+    /// index array — the COO row stream a coordinate kernel's preprocessing
+    /// dispatch materializes on the device.
+    ///
+    /// Entry `i` of the result is the row that stored nonzero `i` belongs to,
+    /// in row-major order, so zipping it with [`CsrMatrix::col_indices`] and
+    /// [`CsrMatrix::values`] reproduces [`CsrMatrix::iter`] without any
+    /// per-row slicing.
+    pub fn expand_row_indices(&self) -> Vec<usize> {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for (row, window) in self.row_offsets.windows(2).enumerate() {
+            rows.resize(window[1], row);
+        }
+        rows
+    }
+
     /// Total bytes occupied by the explicit representation (offsets, indices,
     /// values), as seen by the memory-traffic model in the GPU simulator.
     pub fn memory_footprint_bytes(&self) -> usize {
@@ -603,6 +619,17 @@ mod tests {
             CsrMatrix::zeros(2, 3).content_fingerprint(),
             CsrMatrix::zeros(3, 2).content_fingerprint()
         );
+    }
+
+    #[test]
+    fn expand_row_indices_matches_iter() {
+        let a = sample();
+        let expanded = a.expand_row_indices();
+        let from_iter: Vec<usize> = a.iter().map(|(r, _, _)| r).collect();
+        assert_eq!(expanded, from_iter);
+        assert_eq!(expanded, vec![0, 0, 1, 2, 2, 2]);
+        assert!(CsrMatrix::zeros(3, 3).expand_row_indices().is_empty());
+        assert!(CsrMatrix::zeros(0, 0).expand_row_indices().is_empty());
     }
 
     #[test]

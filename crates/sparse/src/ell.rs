@@ -194,6 +194,134 @@ impl From<&CsrMatrix> for EllMatrix {
     }
 }
 
+/// Column-major ("slot-major") padded ELL storage, the device-side layout the
+/// ELL thread-mapped kernel actually streams.
+///
+/// Where [`EllMatrix`] stores its padded arrays row-major (slot `s` of row `r`
+/// at `r * width + s`), the slab transposes them: slot `s` of row `r` lives at
+/// `s * rows + r`, so walking one *slot* across all rows is a contiguous
+/// stream — exactly the coalesced access the GPU kernel relies on, and the
+/// layout a prepared execution plan wants to materialize once and replay.
+///
+/// [`EllSlab::spmv_into`] iterates slot-major but accumulates into `y[row]`,
+/// so each row's partial sums are still added in ascending slot order — the
+/// CSR row order — making the result bit-identical to
+/// [`CsrMatrix::spmv_into`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllSlab {
+    rows: usize,
+    cols: usize,
+    width: usize,
+    nnz: usize,
+    /// `width * rows` column indices, slot-major; padding slots hold
+    /// [`EllMatrix::PAD`].
+    col_indices: Vec<usize>,
+    /// `width * rows` values, slot-major; padding slots hold `0.0`.
+    values: Vec<Scalar>,
+}
+
+impl EllSlab {
+    /// Builds the column-major slab from a CSR matrix, padding every row to
+    /// the maximum row length.
+    pub fn from_csr(csr: &CsrMatrix) -> Self {
+        Self::with_width(csr, csr.max_row_len())
+    }
+
+    /// Builds the slab with an explicitly provided padded width, for callers
+    /// that already hold the matrix's profile and must not trigger the memo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the longest row of `csr`.
+    pub fn with_width(csr: &CsrMatrix, width: usize) -> Self {
+        let rows = csr.rows();
+        let cols = csr.cols();
+        let mut col_indices = vec![EllMatrix::PAD; rows * width];
+        let mut values = vec![0.0; rows * width];
+        for row in 0..rows {
+            let (rcols, rvals) = csr.row(row);
+            assert!(
+                rcols.len() <= width,
+                "row {row} has {} entries but the slab width is {width}",
+                rcols.len()
+            );
+            for (slot, (&c, &v)) in rcols.iter().zip(rvals).enumerate() {
+                col_indices[slot * rows + row] = c;
+                values[slot * rows + row] = v;
+            }
+        }
+        Self {
+            rows,
+            cols,
+            width,
+            nnz: csr.nnz(),
+            col_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Padded row width (the maximum row length of the source matrix).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of non-padding entries.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Heap bytes of the padded slot-major arrays.
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.col_indices.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<Scalar>()
+    }
+
+    /// SpMV over the slab into a caller-provided buffer, allocation-free.
+    ///
+    /// The slot-major walk visits every row once per slot, so `y[row]`
+    /// receives its terms in ascending slot order — the same per-row
+    /// summation order as the CSR reference, hence bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[Scalar], y: &mut [Scalar]) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "input vector length must equal matrix columns"
+        );
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "output vector length must equal matrix rows"
+        );
+        y.fill(0.0);
+        for slot in 0..self.width {
+            let span = slot * self.rows..(slot + 1) * self.rows;
+            for ((out, &c), &v) in y
+                .iter_mut()
+                .zip(&self.col_indices[span.clone()])
+                .zip(&self.values[span])
+            {
+                if c != EllMatrix::PAD {
+                    *out += v * x[c];
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +402,52 @@ mod tests {
         let skew = EllMatrix::from_csr(&skewed());
         assert!(skew.padded_len() > skew.nnz());
         assert_eq!(uniform.padded_len(), uniform.nnz());
+    }
+
+    #[test]
+    fn slab_spmv_is_bit_identical_to_csr() {
+        let csr = skewed();
+        let slab = EllSlab::from_csr(&csr);
+        assert_eq!(slab.width(), 4);
+        assert_eq!(slab.nnz(), 6);
+        let x = vec![0.5, -2.0, 3.25, 4.0, -0.125];
+        let mut y = vec![f64::NAN; csr.rows()];
+        slab.spmv_into(&x, &mut y);
+        let reference = csr.spmv(&x);
+        // Bit-identical, not merely close: same per-row summation order.
+        for (a, b) in y.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn slab_transposes_the_row_major_layout() {
+        let csr = skewed();
+        let slab = EllSlab::from_csr(&csr);
+        let ell = EllMatrix::from_csr(&csr);
+        // Same logical slots, transposed placement.
+        for row in 0..csr.rows() {
+            for slot in 0..slab.width() {
+                let (c, v) = ell.slot(row, slot);
+                assert_eq!(slab.col_indices[slot * slab.rows() + row], c);
+                assert_eq!(slab.values[slot * slab.rows() + row], v);
+            }
+        }
+        assert_eq!(slab.memory_footprint_bytes(), ell.memory_footprint_bytes());
+    }
+
+    #[test]
+    fn slab_handles_empty_and_degenerate_shapes() {
+        for csr in [
+            CsrMatrix::zeros(0, 0),
+            CsrMatrix::zeros(4, 4),
+            CsrMatrix::identity(1),
+        ] {
+            let slab = EllSlab::from_csr(&csr);
+            let x = vec![1.0; csr.cols()];
+            let mut y = vec![f64::NAN; csr.rows()];
+            slab.spmv_into(&x, &mut y);
+            assert_eq!(y, csr.spmv(&x));
+        }
     }
 }

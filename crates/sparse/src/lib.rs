@@ -51,7 +51,7 @@ pub mod traffic;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use ell::EllMatrix;
+pub use ell::{EllMatrix, EllSlab};
 pub use error::SparseError;
 pub use profile::MatrixProfile;
 pub use rng::SplitMix64;

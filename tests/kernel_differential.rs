@@ -145,6 +145,65 @@ fn every_kernel_models_finite_nonnegative_costs_on_adversarial_matrices() {
 }
 
 #[test]
+fn prepared_plans_are_bit_identical_to_streaming_on_adversarial_matrices() {
+    // The prepared fast path replays materialized structures (merge-path
+    // partition tables, ELL slabs, row bins, COO expansions) instead of
+    // re-deriving them; any drift in summation order would split the warm
+    // and cold serving paths apart. Sweep every kernel x adversarial matrix
+    // pair and require *bit* equality against the streaming path (and
+    // tolerance-level agreement with the dense reference).
+    use seer::kernels::ComputeScratch;
+    let kernels = all_kernels();
+    for (name, matrix) in adversarial_matrices() {
+        let x = input_for(matrix.cols());
+        let dense = matrix.to_dense().spmv(&x);
+        let mut scratch = ComputeScratch::new();
+        for kernel in &kernels {
+            let plan = kernel.prepare(&matrix, matrix.profile());
+            assert_eq!(plan.kernel(), kernel.id(), "plan is tagged ({name})");
+            assert_eq!(
+                plan.fingerprint(),
+                matrix.content_fingerprint(),
+                "plan records its matrix ({name})"
+            );
+            let streamed = kernel.compute(&matrix, &x);
+            // Poisoned output buffer: every element must be overwritten.
+            let mut prepared = vec![f64::NAN; matrix.rows()];
+            kernel.compute_prepared_into(&plan, &matrix, &x, &mut prepared, &mut scratch);
+            for (row, (a, b)) in prepared.iter().zip(&streamed).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} on {name} row {row}: prepared {a} != streaming {b}",
+                    kernel.id()
+                );
+            }
+            assert_agrees(&name, kernel.id(), &prepared, &dense);
+        }
+    }
+}
+
+#[test]
+fn prepared_plans_are_bit_identical_on_random_rectangular_shapes() {
+    use seer::kernels::ComputeScratch;
+    let mut rng = SplitMix64::new(0x5EED);
+    for (rows, cols) in [(1, 64), (64, 1), (33, 65), (128, 31)] {
+        let matrix = generators::uniform_random(rows, cols, 0.2, &mut rng);
+        let x = input_for(matrix.cols());
+        let mut scratch = ComputeScratch::new();
+        for kernel in all_kernels() {
+            let plan = kernel.prepare(&matrix, matrix.profile());
+            let streamed = kernel.compute(&matrix, &x);
+            let mut prepared = vec![f64::NAN; matrix.rows()];
+            kernel.compute_prepared_into(&plan, &matrix, &x, &mut prepared, &mut scratch);
+            for (a, b) in prepared.iter().zip(&streamed) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{} {rows}x{cols}", kernel.id());
+            }
+        }
+    }
+}
+
+#[test]
 fn sweep_agrees_with_csr_spmv_on_random_rectangular_shapes() {
     // Belt-and-braces: beyond the hand-built corpus, sweep a few random
     // rectangular shapes of both aspect ratios against the CSR reference.
