@@ -1,9 +1,11 @@
 //! Load test of the sharded [`ServingPool`] against a sequential
-//! [`SeerEngine`] on the same deterministic traffic stream.
+//! [`SeerEngine`] on the same deterministic traffic stream — in both the
+//! classic single-device configuration and a heterogeneous device fleet.
 //!
 //! The stream comes from [`seer_sparse::traffic`] (Zipf-like hot set, bursts,
-//! bimodal iteration counts), so every run — and every future regression
-//! check — replays the exact same requests. Both sides execute the full
+//! bimodal iteration counts; the fleet scenario widens the iteration mix so
+//! placement varies), so every run — and every future regression check —
+//! replays the exact same requests. Both sides execute the full
 //! select-and-run pipeline: plan lookup/computation plus a functional SpMV of
 //! the chosen kernel, which is the CPU-bound work that gives the pool
 //! something real to parallelize.
@@ -13,7 +15,15 @@
 //! cargo run -p seer_bench --release --bin loadtest_serving -- --smoke # CI smoke
 //! cargo run -p seer_bench --release --bin loadtest_serving -- \
 //!     --shards 8 --requests 20000                                     # custom
+//! cargo run -p seer_bench --release --bin loadtest_serving -- \
+//!     --fleet 3 --smoke --out BENCH_loadtest_fleet3.json              # fleet CI
 //! ```
+//!
+//! `--fleet N` builds an `N`-device heterogeneous fleet (MI250-class, MI100,
+//! consumer, APU presets in that order), augments the corpus with
+//! bandwidth-bound and skew-heavy slices that win on different devices,
+//! routes through the device-aware pool (`--shards` then counts per device),
+//! and reports per-device lanes. `--out PATH` writes a JSON summary.
 //!
 //! The binary always verifies that the pooled responses are bit-identical to
 //! the sequential replay (selections and result vectors) before printing
@@ -23,22 +33,26 @@
 //! is passed, because a 4-shard pool cannot beat a single thread on a
 //! single-core box no matter how good the code is.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
 use seer_core::engine::SeerEngine;
 use seer_core::serving::{PoolConfig, ServingPool, ServingRequest};
 use seer_core::training::TrainingConfig;
-use seer_gpu::Gpu;
+use seer_gpu::{Fleet, Gpu};
 use seer_sparse::collection::{generate, CollectionConfig, SizeScale};
 use seer_sparse::traffic::{TrafficConfig, TrafficGenerator, TrafficRequest};
-use seer_sparse::{CsrMatrix, Scalar};
+use seer_sparse::{generators, CsrMatrix, Scalar, SplitMix64};
 
 struct Options {
     smoke: bool,
     shards: usize,
     requests: usize,
     assert_speedup: bool,
+    /// Number of heterogeneous fleet devices; 0 = classic single device.
+    fleet: usize,
+    out: Option<String>,
 }
 
 fn parse_options() -> Options {
@@ -47,6 +61,8 @@ fn parse_options() -> Options {
         shards: 4,
         requests: 8_000,
         assert_speedup: false,
+        fleet: 0,
+        out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,9 +81,21 @@ fn parse_options() -> Options {
                     .and_then(|v| v.parse().ok())
                     .expect("--requests takes a positive integer");
             }
+            "--fleet" => {
+                options.fleet = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fleet takes a device count (2..=4)");
+            }
+            "--out" => {
+                options.out = Some(args.next().expect("--out takes a path"));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: loadtest_serving [--smoke] [--shards N] [--requests N] [--assert-speedup]");
+                eprintln!(
+                    "usage: loadtest_serving [--smoke] [--shards N] [--requests N] \
+                     [--assert-speedup] [--fleet N] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -76,6 +104,17 @@ fn parse_options() -> Options {
         options.requests = options.requests.min(1_000);
     }
     options
+}
+
+/// The first `devices` presets of the reference heterogeneous lineup.
+fn build_fleet(devices: usize) -> Fleet {
+    let presets = Fleet::reference_presets();
+    assert!(
+        (2..=presets.len()).contains(&devices),
+        "--fleet takes 2..={} devices",
+        presets.len()
+    );
+    Fleet::of_specs(presets.into_iter().take(devices)).expect("presets validate")
 }
 
 fn main() {
@@ -91,31 +130,68 @@ fn main() {
             SizeScale::Small
         },
     });
-    let (engine, _outcome) =
+    let (trained, _outcome) =
         SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
             .expect("training the loadtest models");
 
-    let corpus: Vec<Arc<CsrMatrix>> = collection
+    let mut corpus: Vec<Arc<CsrMatrix>> = collection
         .iter()
         .map(|e| Arc::new(e.matrix.clone()))
         .collect();
+
+    // Fleet mode: a corpus whose slices win on different devices — big
+    // bandwidth-bound uniform matrices for the flagships, small skew-heavy
+    // ones for the low-overhead devices — under a wide iteration mix.
+    let fleet = (options.fleet > 0).then(|| build_fleet(options.fleet));
+    if fleet.is_some() {
+        let mut rng = SplitMix64::new(0xF1EE7);
+        let (rows, density) = if options.smoke {
+            (1_500, 0.04)
+        } else {
+            (4_000, 0.03)
+        };
+        for _ in 0..3 {
+            corpus.push(Arc::new(generators::uniform_random(
+                rows, rows, density, &mut rng,
+            )));
+            corpus.push(Arc::new(generators::skewed_rows(
+                300, 1, 150, 0.01, &mut rng,
+            )));
+        }
+    }
+
     let inputs: Vec<Arc<Vec<Scalar>>> = corpus
         .iter()
         .map(|m| Arc::new(vec![1.0; m.cols()]))
         .collect();
-    let stream: Vec<TrafficRequest> =
-        TrafficGenerator::new(&TrafficConfig::skewed(corpus.len(), 0x10AD))
-            .take(options.requests)
-            .collect();
+    let traffic = match &fleet {
+        Some(_) => TrafficConfig::fleet_mixed(corpus.len(), 0x10AD),
+        None => TrafficConfig::skewed(corpus.len(), 0x10AD),
+    };
+    let stream: Vec<TrafficRequest> = TrafficGenerator::new(&traffic)
+        .take(options.requests)
+        .collect();
     println!(
-        "loadtest: {} requests over {} matrices, {} shards{}",
+        "loadtest: {} requests over {} matrices, {} shards{}{}",
         stream.len(),
         corpus.len(),
         options.shards,
+        match &fleet {
+            Some(fleet) => format!(" per device x {} devices", fleet.len()),
+            None => String::new(),
+        },
         if options.smoke { " (smoke)" } else { "" }
     );
+    if let Some(fleet) = &fleet {
+        print!("{fleet}");
+    }
 
-    // Sequential baseline: one engine, one thread, same stream.
+    // Sequential baseline: one engine (fleet-aware in fleet mode), one
+    // thread, same stream.
+    let engine = match &fleet {
+        Some(fleet) => SeerEngine::with_fleet(fleet.clone(), trained.models_handle()),
+        None => SeerEngine::new(trained.gpu_handle(), trained.models_handle()),
+    };
     let sequential_start = Instant::now();
     let sequential: Vec<_> = stream
         .iter()
@@ -131,8 +207,15 @@ fn main() {
     let sequential_rps = stream.len() as f64 / sequential_secs;
     let engine_stats = engine.stats();
 
-    // Pooled run: same models, fresh caches, N shards.
-    let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(options.shards));
+    // Pooled run: same models, fresh caches, N shards (per device).
+    let pool = match &fleet {
+        Some(fleet) => ServingPool::with_fleet(
+            fleet.clone(),
+            trained.models_handle(),
+            PoolConfig::with_shards(options.shards),
+        ),
+        None => ServingPool::from_engine(&engine, PoolConfig::with_shards(options.shards)),
+    };
     let pooled_start = Instant::now();
     let tickets = pool.submit_batch(stream.iter().map(|r| {
         ServingRequest::execute(
@@ -170,22 +253,38 @@ fn main() {
     );
     println!(
         "  pooled ({} shards)    {pooled_rps:>10.0}          {:>5.1}%",
-        options.shards,
+        stats.shards.len(),
         aggregated.plan_hit_rate() * 100.0
     );
     let speedup = pooled_rps / sequential_rps;
     println!("  speedup              {speedup:>10.2}x");
-    println!("\nper-shard: (submitted / completed / hits / misses / cached plans)");
+    println!("\nper-shard: (device / submitted / completed / hits / misses / cached plans)");
     for shard in &stats.shards {
         println!(
-            "  shard {}: {:>6} / {:>6} / {:>6} / {:>6} / {:>4}",
+            "  shard {}: {} / {:>6} / {:>6} / {:>6} / {:>6} / {:>4}",
             shard.shard,
+            shard.device,
             shard.submitted,
             shard.completed,
             shard.engine.plan_hits,
             shard.engine.plan_misses,
             shard.cached_plans
         );
+    }
+    let lanes = stats.devices();
+    if fleet.is_some() {
+        println!("\nper-device: (shards / submitted / completed / queue / preparations)");
+        for lane in &lanes {
+            println!(
+                "  {}: {} / {:>6} / {:>6} / {:>3} / {:>5}",
+                lane.device,
+                lane.shards,
+                lane.submitted,
+                lane.completed,
+                lane.queue_depth(),
+                lane.engine.plan_preparations
+            );
+        }
     }
     println!(
         "\ntotals: {} submitted, {} completed, queue depth {}, {} feature collections, {} fallbacks",
@@ -205,6 +304,19 @@ fn main() {
         stream.len() as u64,
         "every request makes exactly one selection"
     );
+    // Per-device lanes partition the pool exactly.
+    assert_eq!(
+        lanes.iter().map(|l| l.completed).sum::<u64>(),
+        stats.completed()
+    );
+    if let Some(fleet) = &fleet {
+        assert_eq!(lanes.len(), fleet.len());
+        let active = lanes.iter().filter(|lane| lane.completed > 0).count();
+        assert!(
+            active > 1,
+            "heterogeneous traffic must exercise more than one device, got {active}"
+        );
+    }
     println!(
         "\ndifferential check: OK ({} requests bit-identical)",
         stream.len()
@@ -221,5 +333,65 @@ fn main() {
         } else {
             println!("speedup check: skipped ({cpus} CPU(s) available, need >= 4)");
         }
+    }
+
+    if let Some(path) = &options.out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"loadtest_serving\",");
+        let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+        let _ = writeln!(json, "  \"requests\": {},", stream.len());
+        let _ = writeln!(json, "  \"corpus_matrices\": {},", corpus.len());
+        let _ = writeln!(json, "  \"shards\": {},", stats.shards.len());
+        let _ = writeln!(
+            json,
+            "  \"fleet_devices\": {},",
+            fleet.as_ref().map_or(1, Fleet::len)
+        );
+        let _ = writeln!(json, "  \"sequential_rps\": {sequential_rps:.0},");
+        let _ = writeln!(json, "  \"pooled_rps\": {pooled_rps:.0},");
+        let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+        let _ = writeln!(
+            json,
+            "  \"plan_hit_rate\": {:.4},",
+            aggregated.plan_hit_rate()
+        );
+        let _ = writeln!(
+            json,
+            "  \"plan_preparations\": {},",
+            aggregated.plan_preparations
+        );
+        let _ = writeln!(json, "  \"devices\": [");
+        for (index, lane) in lanes.iter().enumerate() {
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"device\": \"{}\",", lane.device);
+            let _ = writeln!(
+                json,
+                "      \"name\": \"{}\",",
+                fleet.as_ref().map_or_else(
+                    || engine.gpu().spec().name.clone(),
+                    |fleet| fleet.device(lane.device).name().to_string()
+                )
+            );
+            let _ = writeln!(json, "      \"shards\": {},", lane.shards);
+            let _ = writeln!(json, "      \"submitted\": {},", lane.submitted);
+            let _ = writeln!(json, "      \"completed\": {},", lane.completed);
+            let _ = writeln!(json, "      \"plan_hits\": {},", lane.engine.plan_hits);
+            let _ = writeln!(json, "      \"plan_misses\": {},", lane.engine.plan_misses);
+            let _ = writeln!(
+                json,
+                "      \"plan_preparations\": {}",
+                lane.engine.plan_preparations
+            );
+            let _ = writeln!(
+                json,
+                "    }}{}",
+                if index + 1 < lanes.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(json, "  \"differential_ok\": true");
+        json.push_str("}\n");
+        std::fs::write(path, &json).expect("writing the loadtest report");
+        println!("wrote {path}");
     }
 }

@@ -49,7 +49,7 @@ use std::time::Instant;
 
 use seer_core::engine::{EngineWorkspace, SeerEngine};
 use seer_core::training::TrainingConfig;
-use seer_gpu::Gpu;
+use seer_gpu::{Fleet, Gpu};
 use seer_kernels::{kernel, ComputeScratch, KernelId, MatrixBenchmark};
 use seer_sparse::collection::{generate, CollectionConfig, DatasetEntry, SizeScale};
 use seer_sparse::MatrixProfile;
@@ -203,6 +203,33 @@ fn main() {
         "engine-attributed passes must match the global counter"
     );
 
+    // Fleet-mode cold selection: ranking a 4-device heterogeneous fleet
+    // evaluates the chosen kernel's cost models once per device, but the
+    // fused profile feeding them is shared — still exactly one profiling
+    // pass per matrix, not one per device.
+    let fleet = Fleet::reference_heterogeneous();
+    let fleet_engine = SeerEngine::with_fleet(fleet.clone(), engine.models_handle());
+    let fleet_fresh = golden_corpus();
+    let passes_before = MatrixProfile::passes();
+    let fleet_start = Instant::now();
+    for entry in &fleet_fresh {
+        let _ = fleet_engine.select(&entry.matrix, 19);
+    }
+    let fleet_cold_secs = fleet_start.elapsed().as_secs_f64();
+    let fleet_passes = MatrixProfile::passes() - passes_before;
+    assert_eq!(
+        fleet_passes,
+        fleet_fresh.len() as u64,
+        "fleet-mode cold selection must profile each matrix exactly once \
+         (shared across {} devices), not once per device",
+        fleet.len()
+    );
+    assert_eq!(
+        fleet_engine.stats().profile_passes,
+        fleet_passes,
+        "fleet engine-attributed passes must match the global counter"
+    );
+
     // The 8-kernel benchmark sweep (oracle/training path) on fresh matrices:
     // also exactly one pass per matrix.
     let fresh_bench = golden_corpus();
@@ -250,6 +277,14 @@ fn main() {
         "  cold execute          {:.1}us   cold 8-kernel benchmark {:.1}us",
         1e6 * cold_execute_secs / fresh.len() as f64,
         1e6 * cold_benchmark_secs / fresh_bench.len() as f64
+    );
+    println!(
+        "  fleet cold select     {:.1}us/matrix over {} devices, 1 profiling pass/matrix \
+         (measured: {} over {} matrices)",
+        1e6 * fleet_cold_secs / fleet_fresh.len() as f64,
+        fleet.len(),
+        fleet_passes,
+        fleet_fresh.len()
     );
 
     // ---- 2. Steady-state execute: zero allocations. ----------------------
@@ -497,6 +532,19 @@ fn main() {
         json,
         "    \"cold_benchmark_us_per_matrix\": {:.3}",
         1e6 * cold_benchmark_secs / fresh_bench.len() as f64
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fleet_cold_selection\": {{");
+    let _ = writeln!(json, "    \"devices\": {},", fleet.len());
+    let _ = writeln!(
+        json,
+        "    \"profiling_passes_per_matrix\": {},",
+        fleet_passes / fleet_fresh.len() as u64
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_select_us_per_matrix\": {:.3}",
+        1e6 * fleet_cold_secs / fleet_fresh.len() as f64
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"steady_state_execute\": {{");

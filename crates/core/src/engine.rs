@@ -18,6 +18,24 @@
 //! Hit/miss/fallback counters are exposed through [`SeerEngine::stats`] so
 //! evaluations can verify exactly how much work was saved.
 //!
+//! # Heterogeneous fleets
+//!
+//! The engine is built over a [`Fleet`] of one or more devices. On a
+//! single-device fleet (every constructor taking a [`Gpu`]) behaviour is
+//! bit-identical to the pre-fleet engine: the device is trivially the
+//! default and no ranking runs. On a multi-device fleet, each selection
+//! additionally *places* the workload: the classifier names the kernel from
+//! matrix features alone, and the engine then evaluates that kernel's
+//! modelled total time (device-specific feature-collection cost + inference
+//! overhead + preprocessing + iterations x per-iteration) on **every** fleet
+//! device through the per-device cost models, returning the `(kernel,
+//! device)` pair with the minimum — ties break toward the lowest
+//! [`DeviceId`], so placement is deterministic. Device-dependent caches
+//! (kernel costs, prepared plans) are keyed by `(fingerprint, device,
+//! kernel)`; the fused [`MatrixProfile`] is device-independent and stays
+//! keyed by fingerprint alone, so a fleet-wide ranking still performs
+//! exactly one profiling pass per matrix.
+//!
 //! # Example: share one engine across threads
 //!
 //! ```
@@ -52,7 +70,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use seer_gpu::{Gpu, SimTime};
+use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
 use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile, PreparedPlan};
 use seer_sparse::collection::DatasetEntry;
 use seer_sparse::{CsrMatrix, MatrixProfile, Scalar};
@@ -185,8 +203,39 @@ struct Counters {
     cache_evictions: AtomicU64,
 }
 
+/// Device-attributable counters, one set per fleet device.
+///
+/// A selection is attributed to the device it places the workload on; plan
+/// preparations and prepared-plan evictions are attributed to the device in
+/// their cache key. Work that is *shared* across the fleet — profiling
+/// passes, feature collections, misprediction fallbacks, budgeted
+/// fingerprint sweeps — is only meaningful in the aggregate
+/// [`SeerEngine::stats`] and stays zero in per-device breakdowns.
+#[derive(Debug, Default)]
+struct DeviceCounters {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_preparations: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+impl DeviceCounters {
+    fn reset(&self) {
+        self.plan_hits.store(0, Ordering::Relaxed);
+        self.plan_misses.store(0, Ordering::Relaxed);
+        self.plan_preparations.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Cache key of one prepared execution plan: matrix content, target device,
+/// kernel. Prepared structures are functionally device-independent today,
+/// but the key carries the device so per-device layouts (and per-device
+/// eviction accounting) stay possible without another re-keying.
+type PreparedKey = (u64, DeviceId, KernelId);
+
 /// Byte-accounted LRU cache of prepared execution plans, keyed by
-/// `(content_fingerprint, KernelId)`.
+/// [`PreparedKey`].
 ///
 /// Guarded by one mutex held only for map operations: the warm path pays a
 /// short lock + `HashMap` lookup + `Arc` clone (no allocation), and cold
@@ -197,7 +246,7 @@ struct Counters {
 /// cache simply holds that one plan).
 #[derive(Debug)]
 struct PreparedCache {
-    map: HashMap<(u64, KernelId), PreparedEntry>,
+    map: HashMap<PreparedKey, PreparedEntry>,
     bytes: usize,
     budget: usize,
     clock: u64,
@@ -230,9 +279,10 @@ impl PreparedCache {
     }
 
     /// Evicts least-recently-used plans (never `keep`) until the byte budget
-    /// is met. Returns the number of evicted entries.
-    fn evict_to_budget(&mut self, keep: Option<(u64, KernelId)>) -> u64 {
-        let mut evicted = 0;
+    /// is met. Returns the evicted keys (empty in the common under-budget
+    /// case), so the caller can attribute each eviction to its device.
+    fn evict_to_budget(&mut self, keep: Option<PreparedKey>) -> Vec<PreparedKey> {
+        let mut evicted = Vec::new();
         while self.bytes > self.budget {
             let victim = self
                 .map
@@ -243,10 +293,21 @@ impl PreparedCache {
             let Some(key) = victim else { break };
             if let Some(entry) = self.map.remove(&key) {
                 self.bytes -= entry.plan.heap_bytes();
-                evicted += 1;
+                evicted.push(key);
             }
         }
         evicted
+    }
+
+    /// Heap bytes of cached plans bucketed by device — one pass over the
+    /// map, so snapshotting an N-device fleet holds the cache mutex for
+    /// O(cached plans), not O(devices x cached plans).
+    fn resident_bytes_by_device(&self, devices: usize) -> Vec<u64> {
+        let mut bytes = vec![0u64; devices];
+        for ((_, device, _), entry) in &self.map {
+            bytes[device.index()] += entry.plan.heap_bytes() as u64;
+        }
+        bytes
     }
 
     fn clear(&mut self) {
@@ -324,33 +385,41 @@ enum FeatureSource<'m> {
 /// [`SelectionPolicy`] fed through [`SeerEngine::decide`].
 struct SelectionCtx<'m> {
     known: Vec<f64>,
+    /// Workload length, for ranking devices by modelled total time.
+    iterations: usize,
     source: FeatureSource<'m>,
 }
 
-/// The Seer runtime engine: the three trained models bound to a device, with
-/// per-matrix plan caching and batch entry points.
+/// The Seer runtime engine: the three trained models bound to a device
+/// fleet, with per-matrix plan caching and batch entry points.
 ///
 /// The engine is owned (`'static`) and `Send + Sync`; wrap it in an
 /// [`Arc`] to serve selections from many threads. See the
-/// [module docs](self) for the caching model.
+/// [module docs](self) for the caching and fleet-placement model.
 #[derive(Debug)]
 pub struct SeerEngine {
-    gpu: Arc<Gpu>,
+    fleet: Fleet,
     models: Arc<SeerModels>,
     collector: FeatureCollector,
     features: RwLock<HashMap<u64, FeatureCollection>>,
     plans: RwLock<HashMap<PlanKey, Selection>>,
     /// Fused matrix profiles keyed by content fingerprint, so repeat traffic
     /// presenting regenerated (bit-identical) matrices never re-profiles.
+    /// Deliberately *not* keyed by device: the profile is a property of the
+    /// matrix alone and is shared by every device's cost models.
     profiles: RwLock<HashMap<u64, Arc<MatrixProfile>>>,
     /// Iteration-independent kernel cost models keyed by
-    /// `(fingerprint, kernel)`, so steady-state execute re-prices a workload
-    /// with two cached numbers instead of an O(rows) modelling pass.
-    timings: RwLock<HashMap<(u64, KernelId), KernelCosts>>,
-    /// Prepared execution plans keyed by `(fingerprint, kernel)`: the
-    /// materialized preprocessing structures the warm execute path replays
-    /// instead of re-deriving. Byte-accounted LRU, see [`PreparedCache`].
+    /// `(fingerprint, device, kernel)`, so steady-state execute re-prices a
+    /// workload with two cached numbers instead of an O(rows) modelling
+    /// pass, and a fleet ranking re-prices every device from the cache.
+    timings: RwLock<HashMap<(u64, DeviceId, KernelId), KernelCosts>>,
+    /// Prepared execution plans keyed by `(fingerprint, device, kernel)`:
+    /// the materialized preprocessing structures the warm execute path
+    /// replays instead of re-deriving. Byte-accounted LRU, see
+    /// [`PreparedCache`].
     prepared: Mutex<PreparedCache>,
+    /// Device-attributable counter breakdowns, indexed by [`DeviceId`].
+    device_counters: Vec<DeviceCounters>,
     /// Budgeted-clear threshold for the per-fingerprint maps (profiles,
     /// features, plans, timings): when the engine has seen more distinct
     /// matrix contents than this, all per-fingerprint caches are cleared in
@@ -366,10 +435,19 @@ impl SeerEngine {
     /// bounded footprint instead of monotone growth.
     pub const DEFAULT_FINGERPRINT_BUDGET: u64 = 65_536;
 
-    /// Creates an engine from shared handles to a device and trained models.
+    /// Creates a single-device engine from shared handles to a device and
+    /// trained models — bit-identical to the pre-fleet engine.
     pub fn new(gpu: Arc<Gpu>, models: Arc<SeerModels>) -> Self {
+        Self::with_fleet(Fleet::single(gpu), models)
+    }
+
+    /// Creates a fleet-aware engine: selections place each workload on the
+    /// fleet device with the minimum modelled total time. With a
+    /// single-device fleet this is exactly [`SeerEngine::new`].
+    pub fn with_fleet(fleet: Fleet, models: Arc<SeerModels>) -> Self {
+        let device_counters = fleet.ids().map(|_| DeviceCounters::default()).collect();
         Self {
-            gpu,
+            fleet,
             models,
             collector: FeatureCollector::new(),
             features: RwLock::new(HashMap::new()),
@@ -377,6 +455,7 @@ impl SeerEngine {
             profiles: RwLock::new(HashMap::new()),
             timings: RwLock::new(HashMap::new()),
             prepared: Mutex::new(PreparedCache::new()),
+            device_counters,
             fingerprint_budget: AtomicU64::new(Self::DEFAULT_FINGERPRINT_BUDGET),
             counters: Counters::default(),
         }
@@ -409,14 +488,30 @@ impl SeerEngine {
         Ok((engine, outcome))
     }
 
-    /// The device this engine selects kernels for.
+    /// The fleet's default device — the only device of a single-device
+    /// engine, and the device record-based selections resolve to.
     pub fn gpu(&self) -> &Gpu {
-        &self.gpu
+        self.fleet.default_gpu()
     }
 
-    /// A shared handle to the device, for callers spawning their own work.
+    /// A shared handle to the default device, for callers spawning their
+    /// own work.
     pub fn gpu_handle(&self) -> Arc<Gpu> {
-        Arc::clone(&self.gpu)
+        Arc::clone(self.fleet.default_gpu())
+    }
+
+    /// The device fleet this engine places workloads on.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The hardware handle of one fleet device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this engine's fleet.
+    pub fn device_gpu(&self, device: DeviceId) -> &Gpu {
+        self.fleet.gpu(device)
     }
 
     /// The models backing this engine.
@@ -449,6 +544,54 @@ impl SeerEngine {
                 .unwrap_or_else(PoisonError::into_inner)
                 .bytes as u64,
         }
+    }
+
+    /// Per-device breakdown of the device-attributable counters, indexed by
+    /// [`DeviceId`] registration order.
+    ///
+    /// A selection's hit/miss is attributed to the device it placed the
+    /// workload on; preparations, prepared-plan evictions and resident plan
+    /// bytes to the device in their cache key. Counters describing work
+    /// *shared* across the fleet — profiling passes, feature collections,
+    /// misprediction fallbacks — appear only in the aggregate
+    /// [`SeerEngine::stats`] and are zero here, so those per-device
+    /// attributable components always sum to their aggregate counterparts.
+    /// The one asymmetric counter is `cache_evictions`: prepared-plan drops
+    /// (LRU and budgeted sweeps alike) are attributed per device, but a
+    /// budgeted fingerprint sweep additionally drops device-agnostic
+    /// per-fingerprint entries that are counted in the aggregate alone, so
+    /// after a sweep the aggregate may exceed the per-device sum by exactly
+    /// those shared drops.
+    pub fn device_stats(&self) -> Vec<EngineStats> {
+        let resident = {
+            let prepared = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+            prepared.resident_bytes_by_device(self.fleet.len())
+        };
+        self.fleet
+            .ids()
+            .map(|id| {
+                let counters = &self.device_counters[id.index()];
+                EngineStats {
+                    plan_hits: counters.plan_hits.load(Ordering::Relaxed),
+                    plan_misses: counters.plan_misses.load(Ordering::Relaxed),
+                    plan_preparations: counters.plan_preparations.load(Ordering::Relaxed),
+                    cache_evictions: counters.cache_evictions.load(Ordering::Relaxed),
+                    resident_plan_bytes: resident[id.index()],
+                    ..EngineStats::default()
+                }
+            })
+            .collect()
+    }
+
+    /// The device-attributable counter breakdown of one fleet device (see
+    /// [`SeerEngine::device_stats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this engine's fleet.
+    pub fn stats_for(&self, device: DeviceId) -> EngineStats {
+        let _ = self.fleet.device(device);
+        self.device_stats()[device.index()]
     }
 
     /// Number of distinct selection plans currently cached.
@@ -503,6 +646,9 @@ impl SeerEngine {
             .store(0, Ordering::Relaxed);
         self.counters.plan_preparations.store(0, Ordering::Relaxed);
         self.counters.cache_evictions.store(0, Ordering::Relaxed);
+        for device in &self.device_counters {
+            device.reset();
+        }
     }
 
     /// Sets the byte budget of the prepared-plan cache and immediately evicts
@@ -520,10 +666,22 @@ impl SeerEngine {
             .max_by_key(|(_, entry)| entry.last_used)
             .map(|(key, _)| *key);
         let evicted = cache.evict_to_budget(newest);
-        if evicted > 0 {
-            self.counters
+        self.count_prepared_evictions(&evicted);
+    }
+
+    /// Counts prepared-plan evictions in the aggregate and attributes each
+    /// to the device in its key.
+    fn count_prepared_evictions(&self, evicted: &[PreparedKey]) {
+        if evicted.is_empty() {
+            return;
+        }
+        self.counters
+            .cache_evictions
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        for (_, device, _) in evicted {
+            self.device_counters[device.index()]
                 .cache_evictions
-                .fetch_add(evicted, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -622,17 +780,24 @@ impl SeerEngine {
             .copied()
         {
             self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.device_counters[plan.device.index()]
+                .plan_hits
+                .fetch_add(1, Ordering::Relaxed);
             return (plan, SimTime::ZERO);
         }
         self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
         let ctx = SelectionCtx {
             known: KnownFeatures::of(matrix, iterations).to_vector(),
+            iterations,
             source: FeatureSource::Live {
                 matrix,
                 fingerprint,
             },
         };
         let (selection, collection_ran) = self.decide(ctx, policy);
+        self.device_counters[selection.device.index()]
+            .plan_misses
+            .fetch_add(1, Ordering::Relaxed);
         self.plans
             .write()
             .unwrap_or_else(PoisonError::into_inner)
@@ -666,6 +831,7 @@ impl SeerEngine {
     ) -> Selection {
         let ctx = SelectionCtx {
             known: record.known_vector(),
+            iterations: record.iterations,
             source: FeatureSource::Record { record },
         };
         self.decide(ctx, policy).0
@@ -759,8 +925,8 @@ impl SeerEngine {
     ) -> (Selection, SimTime) {
         let (selection, charged_overhead) =
             self.select_with_policy_charged(matrix, iterations, policy);
-        let costs = self.kernel_costs(matrix, selection.kernel);
-        let plan = self.prepared_plan(matrix, selection.kernel);
+        let costs = self.kernel_costs_on(matrix, selection.device, selection.kernel);
+        let plan = self.prepared_plan_on(matrix, selection.device, selection.kernel);
         workspace.y.resize(matrix.rows(), 0.0);
         kernel(selection.kernel).compute_prepared_into(
             &plan,
@@ -798,7 +964,7 @@ impl SeerEngine {
     ) -> (Selection, SimTime) {
         let (selection, charged_overhead) =
             self.select_with_policy_charged(matrix, iterations, policy);
-        let costs = self.kernel_costs(matrix, selection.kernel);
+        let costs = self.kernel_costs_on(matrix, selection.device, selection.kernel);
         workspace.y.resize(matrix.rows(), 0.0);
         kernel(selection.kernel).compute_into(matrix, x, &mut workspace.y, &mut workspace.scratch);
         (
@@ -855,11 +1021,18 @@ impl SeerEngine {
         profile
     }
 
-    /// Iteration-independent modelled costs of `kernel_id` on `matrix`,
-    /// cached per `(fingerprint, kernel)`.
-    fn kernel_costs(&self, matrix: &CsrMatrix, kernel_id: KernelId) -> KernelCosts {
+    /// Iteration-independent modelled costs of `kernel_id` on `matrix` when
+    /// run on `device`, cached per `(fingerprint, device, kernel)`. Every
+    /// device's costs derive from the same shared [`MatrixProfile`], so a
+    /// fleet-wide ranking never profiles the matrix more than once.
+    fn kernel_costs_on(
+        &self,
+        matrix: &CsrMatrix,
+        device: DeviceId,
+        kernel_id: KernelId,
+    ) -> KernelCosts {
         let fingerprint = matrix.content_fingerprint();
-        let key = (fingerprint, kernel_id);
+        let key = (fingerprint, device, kernel_id);
         if let Some(costs) = self
             .timings
             .read()
@@ -870,10 +1043,11 @@ impl SeerEngine {
             return costs;
         }
         let profile = self.profile_for(matrix, fingerprint);
+        let gpu = self.fleet.gpu(device);
         let kernel = kernel(kernel_id);
         let costs = KernelCosts {
-            preprocessing: kernel.preprocessing_time(&self.gpu, matrix, &profile),
-            per_iteration: kernel.iteration_timing(&self.gpu, matrix, &profile).total,
+            preprocessing: kernel.preprocessing_time(gpu, matrix, &profile),
+            per_iteration: kernel.iteration_timing(gpu, matrix, &profile).total,
         };
         self.timings
             .write()
@@ -882,18 +1056,34 @@ impl SeerEngine {
         costs
     }
 
-    /// The prepared execution plan of `kernel_id` on `matrix`, answered from
-    /// (and installed into) the byte-budgeted `(fingerprint, kernel)` plan
-    /// cache. A warm lookup is a short-held lock, a hash probe and an `Arc`
-    /// clone: no allocation. A cold build runs with **no** lock held, so warm
-    /// traffic on other matrices is never convoyed behind an O(nnz)
-    /// preparation; when concurrent first contacts race, the winner's plan is
-    /// installed and counted and the losers adopt it (their duplicate build
-    /// is discarded), keeping [`EngineStats::plan_preparations`] at exactly
-    /// one per cached pair.
+    /// [`SeerEngine::prepared_plan_on`] for the fleet's default device — the
+    /// only device of a single-device engine.
     pub fn prepared_plan(&self, matrix: &CsrMatrix, kernel_id: KernelId) -> Arc<PreparedPlan> {
+        self.prepared_plan_on(matrix, self.fleet.default_device(), kernel_id)
+    }
+
+    /// The prepared execution plan of `kernel_id` on `matrix` for `device`,
+    /// answered from (and installed into) the byte-budgeted `(fingerprint,
+    /// device, kernel)` plan cache. A warm lookup is a short-held lock, a
+    /// hash probe and an `Arc` clone: no allocation. A cold build runs with
+    /// **no** lock held, so warm traffic on other matrices is never convoyed
+    /// behind an O(nnz) preparation; when concurrent first contacts race,
+    /// the winner's plan is installed and counted and the losers adopt it
+    /// (their duplicate build is discarded), keeping
+    /// [`EngineStats::plan_preparations`] at exactly one per cached key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this engine's fleet.
+    pub fn prepared_plan_on(
+        &self,
+        matrix: &CsrMatrix,
+        device: DeviceId,
+        kernel_id: KernelId,
+    ) -> Arc<PreparedPlan> {
+        let _ = self.fleet.device(device);
         let fingerprint = matrix.content_fingerprint();
-        let key = (fingerprint, kernel_id);
+        let key = (fingerprint, device, kernel_id);
         {
             let mut cache = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
             let tick = cache.tick();
@@ -915,6 +1105,9 @@ impl SeerEngine {
         self.counters
             .plan_preparations
             .fetch_add(1, Ordering::Relaxed);
+        self.device_counters[device.index()]
+            .plan_preparations
+            .fetch_add(1, Ordering::Relaxed);
         cache.bytes += plan.heap_bytes();
         cache.map.insert(
             key,
@@ -924,11 +1117,7 @@ impl SeerEngine {
             },
         );
         let evicted = cache.evict_to_budget(Some(key));
-        if evicted > 0 {
-            self.counters
-                .cache_evictions
-                .fetch_add(evicted, Ordering::Relaxed);
-        }
+        self.count_prepared_evictions(&evicted);
         plan
     }
 
@@ -967,17 +1156,20 @@ impl SeerEngine {
         if profiles.len() <= budget && plans.len() <= budget {
             return;
         }
-        let dropped =
-            (plans.len() + features.len() + profiles.len() + timings.len() + prepared.map.len())
-                as u64;
+        // Prepared plans carry a device in their key: attribute those drops
+        // per device (same path as LRU evictions), and count the
+        // device-agnostic fingerprint maps in the aggregate alone.
+        let prepared_keys: Vec<PreparedKey> = prepared.map.keys().copied().collect();
+        let shared_dropped = (plans.len() + features.len() + profiles.len() + timings.len()) as u64;
         plans.clear();
         features.clear();
         profiles.clear();
         timings.clear();
         prepared.clear();
+        self.count_prepared_evictions(&prepared_keys);
         self.counters
             .cache_evictions
-            .fetch_add(dropped, Ordering::Relaxed);
+            .fetch_add(shared_dropped, Ordering::Relaxed);
     }
 
     /// Selects kernels for a batch of `(matrix, iterations)` requests.
@@ -1021,7 +1213,9 @@ impl SeerEngine {
 
     /// The single selection routine behind every public entry point: charge
     /// the tree walks the policy requires, resolve gathered features from the
-    /// context's source when needed, and map the winning class to a kernel.
+    /// context's source when needed, map the winning class to a kernel, and
+    /// place the workload on the fleet device with the minimum modelled
+    /// total time.
     fn decide(&self, ctx: SelectionCtx<'_>, policy: SelectionPolicy) -> (Selection, bool) {
         let mut tree_nodes = 0;
         let gather = match policy {
@@ -1048,13 +1242,72 @@ impl SeerEngine {
                 SimTime::ZERO,
             )
         };
+        let inference = inference_overhead(tree_nodes);
+        let (device, collection_cost) =
+            self.place(&ctx, kernel, gather, collection_cost, inference);
         let selection = Selection {
             kernel,
+            device,
             used_gathered: gather,
             feature_collection_cost: collection_cost,
-            inference_overhead: inference_overhead(tree_nodes),
+            inference_overhead: inference,
         };
         (selection, collection_ran)
+    }
+
+    /// Fleet placement: evaluates the chosen kernel's modelled total time —
+    /// device-specific feature-collection cost (when the gathered path was
+    /// taken) + tree-walk overhead + preprocessing + `iterations` x
+    /// per-iteration — on every fleet device and returns the argmin device
+    /// together with the collection cost modelled on it. Ties break toward
+    /// the lowest [`DeviceId`], so placement is deterministic.
+    ///
+    /// Single-device fleets skip the ranking entirely (the argmin over one
+    /// candidate needs no cost models), which is what keeps them bit-for-bit
+    /// identical to the pre-fleet engine: no extra profiling pass, no cost
+    /// evaluation on the known-only selection path. Record-based contexts
+    /// carry no matrix to rank with and resolve to the default device.
+    fn place(
+        &self,
+        ctx: &SelectionCtx<'_>,
+        kernel_id: KernelId,
+        gather: bool,
+        default_collection_cost: SimTime,
+        inference: SimTime,
+    ) -> (DeviceId, SimTime) {
+        let default_device = self.fleet.default_device();
+        if self.fleet.is_single_device() {
+            return (default_device, default_collection_cost);
+        }
+        let FeatureSource::Live {
+            matrix,
+            fingerprint,
+        } = ctx.source
+        else {
+            return (default_device, default_collection_cost);
+        };
+        let profile = self.profile_for(matrix, fingerprint);
+        let mut best = (default_device, default_collection_cost);
+        let mut best_total: Option<SimTime> = None;
+        for device in self.fleet.ids() {
+            let collection_cost = if !gather {
+                SimTime::ZERO
+            } else if device == default_device {
+                // The cached (or recorded) cost was modelled on the default
+                // device; reusing it keeps that candidate bit-stable.
+                default_collection_cost
+            } else {
+                self.collector
+                    .collection_cost_with(self.fleet.gpu(device), matrix, &profile)
+            };
+            let costs = self.kernel_costs_on(matrix, device, kernel_id);
+            let total = collection_cost + inference + costs.total_at(kernel_id, ctx.iterations);
+            if best_total.is_none_or(|b| total < b) {
+                best = (device, collection_cost);
+                best_total = Some(total);
+            }
+        }
+        best
     }
 
     /// The full gathered-path feature vector (known ++ gathered), the
@@ -1084,7 +1337,10 @@ impl SeerEngine {
     ///
     /// The statistics come out of the shared fused profile (one traversal per
     /// distinct matrix, via [`SeerEngine::profile_for`]) rather than a
-    /// dedicated row sweep.
+    /// dedicated row sweep. The cached collection *cost* is modelled on the
+    /// fleet's default device; [`SeerEngine::place`] re-prices it per device
+    /// when ranking a multi-device fleet (the statistics themselves are
+    /// device-independent and shared).
     fn collect_cached(&self, matrix: &CsrMatrix, fingerprint: u64) -> (FeatureCollection, bool) {
         if let Some(collection) = self
             .features
@@ -1096,7 +1352,9 @@ impl SeerEngine {
             return (collection, false);
         }
         let profile = self.profile_for(matrix, fingerprint);
-        let collection = self.collector.collect(&self.gpu, matrix, &profile);
+        let collection = self
+            .collector
+            .collect(self.fleet.default_gpu(), matrix, &profile);
         self.counters
             .feature_collections
             .fetch_add(1, Ordering::Relaxed);
@@ -1566,6 +1824,151 @@ mod tests {
         let _ = engine.prepared_plan(&entries[1].matrix, KernelId::CsrMergePath);
         assert_eq!(engine.cached_prepared_plans(), 1);
         assert!(engine.stats().cache_evictions >= 1);
+    }
+
+    #[test]
+    fn single_device_fleet_is_bit_identical_to_legacy_engine() {
+        let (engine, entries) = engine_and_collection();
+        let fleet_engine =
+            SeerEngine::with_fleet(Fleet::single(engine.gpu_handle()), engine.models_handle());
+        assert!(fleet_engine.fleet().is_single_device());
+        for entry in entries.iter().take(6) {
+            for iterations in [1, 19] {
+                let legacy = engine.select(&entry.matrix, iterations);
+                let fleet = fleet_engine.select(&entry.matrix, iterations);
+                assert_eq!(legacy, fleet);
+                assert_eq!(fleet.device, DeviceId::DEFAULT);
+            }
+        }
+        // Identical counter trajectories, including zero profiling passes on
+        // known-only paths (single-device placement never runs cost models).
+        assert_eq!(engine.stats(), fleet_engine.stats());
+    }
+
+    #[test]
+    fn fleet_placement_is_the_modelled_argmin_device() {
+        let (engine, entries) = engine_and_collection();
+        let fleet = Fleet::reference_heterogeneous();
+        let fleet_engine = SeerEngine::with_fleet(fleet.clone(), engine.models_handle());
+        let collector = FeatureCollector::new();
+        for entry in entries.iter().take(10) {
+            for iterations in [1, 19] {
+                let selection = fleet_engine.select(&entry.matrix, iterations);
+                let profile = entry.matrix.profile();
+                let k = kernel(selection.kernel);
+                let totals: Vec<SimTime> = fleet
+                    .ids()
+                    .map(|id| {
+                        let gpu = fleet.gpu(id);
+                        let collection = if selection.used_gathered {
+                            collector.collection_cost_with(gpu, &entry.matrix, profile)
+                        } else {
+                            SimTime::ZERO
+                        };
+                        // Same grouping as the engine's ranking: overheads
+                        // first, then the kernel total (prep + iters x iter).
+                        let kernel_total = k.preprocessing_time(gpu, &entry.matrix, profile)
+                            + k.iteration_timing(gpu, &entry.matrix, profile).total
+                                * iterations as f64;
+                        collection + selection.inference_overhead + kernel_total
+                    })
+                    .collect();
+                let winner = selection.device.index();
+                for (index, &total) in totals.iter().enumerate() {
+                    if index < winner {
+                        // Strictly better than every earlier device (ties
+                        // break toward the lowest id).
+                        assert!(totals[winner] < total, "{}: tie-break drifted", entry.name);
+                    } else {
+                        assert!(totals[winner] <= total, "{}: not the argmin", entry.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn device_stats_sum_to_the_aggregate_counters() {
+        let (engine, entries) = engine_and_collection();
+        let fleet_engine =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        let mut workspace = EngineWorkspace::new();
+        for entry in entries.iter().take(6) {
+            let x = vec![1.0; entry.matrix.cols()];
+            for _ in 0..3 {
+                let _ = fleet_engine.execute_into(&entry.matrix, &x, 19, &mut workspace);
+            }
+        }
+        let aggregate = fleet_engine.stats();
+        let per_device = fleet_engine.device_stats();
+        assert_eq!(per_device.len(), fleet_engine.fleet().len());
+        let summed = per_device
+            .iter()
+            .fold(EngineStats::default(), |acc, s| acc.saturating_add(*s));
+        assert_eq!(summed.plan_hits, aggregate.plan_hits);
+        assert_eq!(summed.plan_misses, aggregate.plan_misses);
+        assert_eq!(summed.plan_preparations, aggregate.plan_preparations);
+        assert_eq!(summed.cache_evictions, aggregate.cache_evictions);
+        assert_eq!(summed.resident_plan_bytes, aggregate.resident_plan_bytes);
+        // Shared (fleet-wide) work lives only in the aggregate.
+        assert_eq!(summed.feature_collections, 0);
+        assert_eq!(summed.profile_passes, 0);
+        // Each selection landed its hit/miss on its placed device.
+        for (stats, id) in per_device.iter().zip(fleet_engine.fleet().ids()) {
+            assert_eq!(*stats, fleet_engine.stats_for(id));
+        }
+        assert_eq!(aggregate.selections(), 6 * 3);
+    }
+
+    #[test]
+    fn budgeted_sweep_attributes_prepared_drops_per_device() {
+        let (engine, entries) = engine_and_collection();
+        let fleet_engine =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        let mut workspace = EngineWorkspace::new();
+        for entry in entries.iter().take(2) {
+            let x = vec![1.0; entry.matrix.cols()];
+            let _ = fleet_engine.execute_into(&entry.matrix, &x, 19, &mut workspace);
+        }
+        let prepared = fleet_engine.cached_prepared_plans() as u64;
+        assert!(prepared > 0);
+
+        // Shrink the fingerprint budget and trip the sweep with a fresh
+        // distinct matrix: every cache is dropped in one clear.
+        fleet_engine.set_fingerprint_budget(1);
+        fleet_engine.select(&entries[2].matrix, 19);
+        assert_eq!(fleet_engine.cached_prepared_plans(), 0);
+        let aggregate = fleet_engine.stats();
+        let per_device: u64 = fleet_engine
+            .device_stats()
+            .iter()
+            .map(|s| s.cache_evictions)
+            .sum();
+        // Prepared-plan drops are attributed to their keyed devices; the
+        // device-agnostic fingerprint-map drops only swell the aggregate.
+        assert_eq!(per_device, prepared);
+        assert!(aggregate.cache_evictions > per_device);
+    }
+
+    #[test]
+    fn fleet_cold_selection_profiles_each_matrix_once() {
+        let (engine, entries) = engine_and_collection();
+        let fleet_engine =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        // Regenerated bit-identical matrices with cold profile memos
+        // (cloning would copy the warm memo the training pass installed).
+        let fresh_entries = generate(&CollectionConfig::tiny());
+        for entry in fresh_entries.iter().take(5) {
+            fleet_engine.select(&entry.matrix, 19);
+        }
+        // Ranking four devices still profiles each matrix exactly once: the
+        // profile is shared, only the cost models run per device.
+        assert_eq!(fleet_engine.stats().profile_passes, 5);
+        let replayed = fleet_engine.stats();
+        for entry in entries.iter().take(5) {
+            fleet_engine.select(&entry.matrix, 19);
+        }
+        assert_eq!(fleet_engine.stats().profile_passes, replayed.profile_passes);
     }
 
     #[test]

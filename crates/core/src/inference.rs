@@ -11,7 +11,7 @@
 //! [`inference_overhead`]. The service that actually performs selections
 //! (with plan caching and batching) is [`crate::engine::SeerEngine`].
 
-use seer_gpu::SimTime;
+use seer_gpu::{DeviceId, SimTime};
 use seer_kernels::KernelId;
 use seer_sparse::Scalar;
 
@@ -47,14 +47,21 @@ pub enum SelectionPolicy {
     GatheredOnly,
 }
 
-/// The outcome of one runtime selection.
+/// The outcome of one runtime selection: which kernel to launch, and — for a
+/// fleet-aware engine — on which device.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Selection {
     /// The kernel Seer decided to launch.
     pub kernel: KernelId,
+    /// The fleet device the workload is placed on, chosen by minimizing the
+    /// modelled total time across the fleet. Always the default device for a
+    /// single-device engine and for record-based selections (a benchmark
+    /// record carries no matrix to rank devices with).
+    pub device: DeviceId,
     /// Whether the gathered-feature path (and therefore feature collection) was taken.
     pub used_gathered: bool,
-    /// Cost of running the feature-collection kernels (zero on the known path).
+    /// Cost of running the feature-collection kernels (zero on the known
+    /// path), modelled on the selected device.
     pub feature_collection_cost: SimTime,
     /// Cost of the decision-tree evaluations themselves.
     pub inference_overhead: SimTime,
@@ -96,6 +103,7 @@ mod tests {
     fn selection_overhead_sums_both_costs() {
         let selection = Selection {
             kernel: KernelId::CsrAdaptive,
+            device: DeviceId::DEFAULT,
             used_gathered: true,
             feature_collection_cost: SimTime::from_micros(5.0),
             inference_overhead: SimTime::from_nanos(300.0),

@@ -69,4 +69,6 @@ mod error;
 
 pub use engine::{EngineStats, SeerEngine};
 pub use error::SeerError;
-pub use serving::{PoolConfig, PoolStats, ServingPool, ServingRequest, ServingResponse};
+pub use serving::{
+    DevicePoolStats, PoolConfig, PoolStats, ServingPool, ServingRequest, ServingResponse,
+};

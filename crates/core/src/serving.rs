@@ -28,6 +28,28 @@
 //! thread/shard interleaving — `tests/serving_pool.rs` holds this invariant
 //! under an 8-thread hammer.
 //!
+//! # Heterogeneous fleets
+//!
+//! A pool built over a multi-device [`Fleet`]
+//! ([`ServingPool::with_fleet`]) becomes a **device-aware router**:
+//! [`PoolConfig::shards`] shards are pinned to *each* device, every shard's
+//! engine shares the whole fleet (so its selections are fleet-wide
+//! deterministic), and routing composes two levels:
+//!
+//! 1. **device affinity** — a shared router engine resolves the request's
+//!    `(kernel, device)` selection (cached per plan key, so repeat traffic
+//!    routes with one hash probe) and picks the selected device's shard
+//!    group;
+//! 2. **fingerprint locality** — within the group, `content_fingerprint() %
+//!    group_size` pins the matrix to one home shard.
+//!
+//! Because placement is deterministic, every `(fingerprint, device, kernel)`
+//! triple has exactly one home shard, so each prepared execution plan is
+//! still built exactly once pool-wide. [`PoolStats::devices`] reports
+//! per-device queue depth and served counts. A single-device pool skips the
+//! router entirely and routes by bare fingerprint — bit-identical to the
+//! pre-fleet pool.
+//!
 //! # Example
 //!
 //! ```
@@ -59,7 +81,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use seer_gpu::{Gpu, SimTime};
+use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
 use crate::engine::{EngineStats, EngineWorkspace, SeerEngine};
@@ -69,12 +91,15 @@ use crate::training::SeerModels;
 /// Configuration of a [`ServingPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolConfig {
-    /// Number of shards (worker threads with private engines).
+    /// Number of shards (worker threads with private engines) pinned to
+    /// *each* fleet device: a pool over an `N`-device fleet runs `N x
+    /// shards` workers. For the single-device constructors this is simply
+    /// the total shard count.
     pub shards: usize,
 }
 
 impl PoolConfig {
-    /// A pool with `shards` shards (clamped to at least one).
+    /// A pool with `shards` shards per device (clamped to at least one).
     pub fn with_shards(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
@@ -163,15 +188,42 @@ pub struct ServingResponse {
 pub struct Ticket {
     rx: mpsc::Receiver<ServingResponse>,
     shard: usize,
-    /// A response already pulled off the channel by [`Ticket::try_wait`],
-    /// kept so a later `wait` still observes it.
-    received: Option<ServingResponse>,
+    /// A response already pulled off the channel by one of the polling
+    /// accessors ([`Ticket::is_done`], [`Ticket::try_wait`],
+    /// [`Ticket::wait_timeout`]), kept so a later `wait` still observes it.
+    /// `RefCell` so the `&self` poll of `is_done` can stash it; a `Ticket`
+    /// is single-owner (`Send` but not `Sync`), so the interior borrow can
+    /// never be contended.
+    received: std::cell::RefCell<Option<ServingResponse>>,
 }
 
 impl Ticket {
     /// The shard the request was routed to.
     pub fn shard(&self) -> usize {
         self.shard
+    }
+
+    /// Whether the response has been served, without blocking. A response
+    /// observed here stays owned by the ticket — `is_done` followed by
+    /// [`Ticket::wait`] never loses it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before replying, like
+    /// [`Ticket::wait`] — a disconnected channel would otherwise turn the
+    /// documented polling loop into a silent spin.
+    pub fn is_done(&self) -> bool {
+        let mut received = self.received.borrow_mut();
+        if received.is_none() {
+            *received = match self.rx.try_recv() {
+                Ok(response) => Some(response),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("serving worker dropped the request")
+                }
+            };
+        }
+        received.is_some()
     }
 
     /// Blocks until the response is served.
@@ -181,8 +233,8 @@ impl Ticket {
     /// Panics if the serving worker died before replying (a worker panic;
     /// never happens in normal operation — shutdown drains accepted requests
     /// first).
-    pub fn wait(mut self) -> ServingResponse {
-        match self.received.take() {
+    pub fn wait(self) -> ServingResponse {
+        match self.received.into_inner() {
             Some(response) => response,
             None => self.rx.recv().expect("serving worker dropped the request"),
         }
@@ -193,11 +245,47 @@ impl Ticket {
     /// A response observed here stays owned by the ticket: polling
     /// `try_wait` and then calling [`Ticket::wait`] returns the same
     /// response rather than losing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before replying, like
+    /// [`Ticket::wait`].
     pub fn try_wait(&mut self) -> Option<&ServingResponse> {
-        if self.received.is_none() {
-            self.received = self.rx.try_recv().ok();
+        let received = self.received.get_mut();
+        if received.is_none() {
+            *received = match self.rx.try_recv() {
+                Ok(response) => Some(response),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    panic!("serving worker dropped the request")
+                }
+            };
         }
-        self.received.as_ref()
+        received.as_ref()
+    }
+
+    /// Waits up to `timeout` for the response, without consuming the
+    /// ticket. Returns `None` on timeout; the ticket stays valid, so
+    /// callers can interleave bounded waits with other work and still
+    /// [`Ticket::wait`] (or poll again) later. Like the other accessors, an
+    /// observed response stays owned by the ticket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died before replying, like
+    /// [`Ticket::wait`].
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<&ServingResponse> {
+        let received = self.received.get_mut();
+        if received.is_none() {
+            *received = match self.rx.recv_timeout(timeout) {
+                Ok(response) => Some(response),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("serving worker dropped the request")
+                }
+            };
+        }
+        received.as_ref()
     }
 }
 
@@ -206,6 +294,9 @@ impl Ticket {
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
+    /// The fleet device this shard is pinned to (always the default device
+    /// in a single-device pool).
+    pub device: DeviceId,
     /// Requests accepted (routed and enqueued) by this shard.
     pub submitted: u64,
     /// Requests fully served by this shard.
@@ -223,16 +314,73 @@ impl ShardStats {
     }
 }
 
+/// Per-device rollup of a fleet pool's counters: the shards pinned to one
+/// device, summed. Built by [`PoolStats::devices`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DevicePoolStats {
+    /// The device this lane serves.
+    pub device: DeviceId,
+    /// Number of shards pinned to the device.
+    pub shards: usize,
+    /// Requests routed to the device's shard group.
+    pub submitted: u64,
+    /// Requests served by the device's shard group.
+    pub completed: u64,
+    /// Engine counters summed over the device's shards.
+    pub engine: EngineStats,
+}
+
+impl DevicePoolStats {
+    /// Requests accepted by this device's shards but not yet served.
+    pub fn queue_depth(&self) -> u64 {
+        self.submitted.saturating_sub(self.completed)
+    }
+}
+
 /// Aggregate snapshot of a [`ServingPool`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolStats {
     /// Per-shard counters, indexed by shard.
     pub shards: Vec<ShardStats>,
+    /// Counters of the shared router engine that resolves device affinity —
+    /// `None` for single-device pools, which route by bare fingerprint.
+    /// Router selections are routing work, not served requests: they are
+    /// deliberately kept out of the per-shard counters so
+    /// `engine().selections()` still equals the requests served.
+    pub router: Option<EngineStats>,
     /// Wall-clock time since the pool was created.
     pub elapsed: Duration,
 }
 
 impl PoolStats {
+    /// Per-device rollups, in device order: each entry sums the shards
+    /// pinned to that device, so the entries partition the pool and their
+    /// sums equal the aggregate counters.
+    pub fn devices(&self) -> Vec<DevicePoolStats> {
+        let mut lanes: Vec<DevicePoolStats> = Vec::new();
+        for shard in &self.shards {
+            let lane = match lanes.iter_mut().find(|lane| lane.device == shard.device) {
+                Some(lane) => lane,
+                None => {
+                    lanes.push(DevicePoolStats {
+                        device: shard.device,
+                        shards: 0,
+                        submitted: 0,
+                        completed: 0,
+                        engine: EngineStats::default(),
+                    });
+                    lanes.last_mut().expect("just pushed")
+                }
+            };
+            lane.shards += 1;
+            lane.submitted = lane.submitted.saturating_add(shard.submitted);
+            lane.completed = lane.completed.saturating_add(shard.completed);
+            lane.engine = lane.engine.saturating_add(shard.engine);
+        }
+        lanes.sort_by_key(|lane| lane.device);
+        lanes
+    }
+
     /// Total requests accepted across all shards.
     pub fn submitted(&self) -> u64 {
         self.shards
@@ -292,6 +440,9 @@ struct Progress {
 
 struct Shard {
     engine: Arc<SeerEngine>,
+    /// The fleet device this shard is pinned to: device-affinity routing
+    /// only sends it requests whose selection placed the workload here.
+    device: DeviceId,
     /// `None` once shutdown has begun; dropping the sender stops the worker
     /// after it drains the queue.
     sender: Option<mpsc::Sender<Job>>,
@@ -300,11 +451,21 @@ struct Shard {
     completed: Arc<AtomicU64>,
 }
 
-/// A sharded, multi-threaded serving front-end for Seer selections.
+/// A sharded, multi-threaded serving front-end for Seer selections — and,
+/// over a multi-device [`Fleet`], a device-aware router.
 ///
-/// See the [module docs](self) for the sharding and determinism model.
+/// See the [module docs](self) for the sharding, routing and determinism
+/// model.
 pub struct ServingPool {
+    fleet: Fleet,
     shards: Vec<Shard>,
+    /// Shard indices pinned to each device, indexed by [`DeviceId`].
+    device_groups: Vec<Vec<usize>>,
+    /// The shared fleet engine that resolves device affinity at submit time.
+    /// `None` for single-device pools: with one device there is nothing to
+    /// place, and routing stays the bare-fingerprint hash of the pre-fleet
+    /// pool.
+    router: Option<Arc<SeerEngine>>,
     progress: Arc<Progress>,
     started: Instant,
 }
@@ -318,17 +479,31 @@ impl std::fmt::Debug for ServingPool {
 }
 
 impl ServingPool {
-    /// Builds a pool of `config.shards` engines over shared device and model
-    /// handles and starts one worker thread per shard.
+    /// Builds a single-device pool of `config.shards` engines over shared
+    /// device and model handles and starts one worker thread per shard.
     pub fn new(gpu: Arc<Gpu>, models: Arc<SeerModels>, config: PoolConfig) -> Self {
+        Self::with_fleet(Fleet::single(gpu), models, config)
+    }
+
+    /// Builds a fleet pool: `config.shards` shards pinned to *each* fleet
+    /// device (so `fleet.len() x config.shards` workers in total), plus —
+    /// when the fleet has more than one device — a shared router engine
+    /// that resolves each request's `(kernel, device)` placement at submit
+    /// time. Every shard engine shares the whole fleet, so the selections
+    /// it serves are identical to a sequential fleet engine's.
+    pub fn with_fleet(fleet: Fleet, models: Arc<SeerModels>, config: PoolConfig) -> Self {
         let progress = Arc::new(Progress {
             lock: Mutex::new(()),
             served: Condvar::new(),
             waiters: AtomicU64::new(0),
         });
-        let shards = (0..config.shards.max(1))
-            .map(|index| {
-                let engine = Arc::new(SeerEngine::new(Arc::clone(&gpu), Arc::clone(&models)));
+        let per_device = config.shards.max(1);
+        let mut shards = Vec::with_capacity(fleet.len() * per_device);
+        let mut device_groups = vec![Vec::with_capacity(per_device); fleet.len()];
+        for device in fleet.ids() {
+            for _ in 0..per_device {
+                let index = shards.len();
+                let engine = Arc::new(SeerEngine::with_fleet(fleet.clone(), Arc::clone(&models)));
                 let (sender, receiver) = mpsc::channel::<Job>();
                 let completed = Arc::new(AtomicU64::new(0));
                 let worker = {
@@ -342,28 +517,37 @@ impl ServingPool {
                         })
                         .expect("spawn serving worker")
                 };
-                Shard {
+                device_groups[device.index()].push(index);
+                shards.push(Shard {
                     engine,
+                    device,
                     sender: Some(sender),
                     worker: Some(worker),
                     submitted: Arc::new(AtomicU64::new(0)),
                     completed,
-                }
-            })
-            .collect();
+                });
+            }
+        }
+        let router = (!fleet.is_single_device())
+            .then(|| Arc::new(SeerEngine::with_fleet(fleet.clone(), models)));
         Self {
+            fleet,
             shards,
+            device_groups,
+            router,
             progress,
             started: Instant::now(),
         }
     }
 
-    /// Builds a pool serving the same device and models as `engine`.
+    /// Builds a pool serving the same fleet and models as `engine` — a
+    /// fleet-aware engine begets a fleet pool, a single-device engine the
+    /// classic fingerprint-sharded pool.
     ///
     /// The pool's shards keep their own caches; nothing already cached by
     /// `engine` is shared.
     pub fn from_engine(engine: &SeerEngine, config: PoolConfig) -> Self {
-        Self::new(engine.gpu_handle(), engine.models_handle(), config)
+        Self::with_fleet(engine.fleet().clone(), engine.models_handle(), config)
     }
 
     /// Number of shards (and worker threads).
@@ -371,13 +555,43 @@ impl ServingPool {
         self.shards.len()
     }
 
-    /// The home shard of `matrix`: `content_fingerprint() % shards`.
+    /// The device fleet this pool routes over.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The home shard of `matrix` under bare fingerprint routing:
+    /// `content_fingerprint() % shards`. This is the complete routing
+    /// function of a single-device pool; a fleet pool first resolves the
+    /// request's device affinity (see the [module docs](self)), so its home
+    /// shard depends on the whole request — use
+    /// [`ServingPool::shard_for_request`] there.
     pub fn shard_for(&self, matrix: &CsrMatrix) -> usize {
         (matrix.content_fingerprint() % self.shards.len() as u64) as usize
     }
 
+    /// The shard `request` will be routed to: the fingerprint-local shard
+    /// of the selected device's group. For single-device pools this is
+    /// [`ServingPool::shard_for`] on the request's matrix.
+    ///
+    /// Resolving affinity on a fleet pool consults (and warms) the shared
+    /// router engine, exactly as submitting the request would.
+    pub fn shard_for_request(&self, request: &ServingRequest) -> usize {
+        match &self.router {
+            None => self.shard_for(&request.matrix),
+            Some(router) => {
+                let selection =
+                    router.select_with_policy(&request.matrix, request.iterations, request.policy);
+                let group = &self.device_groups[selection.device.index()];
+                group[(request.matrix.content_fingerprint() % group.len() as u64) as usize]
+            }
+        }
+    }
+
     /// Enqueues one request on its home shard and returns a [`Ticket`] for
-    /// the response. Never blocks on the serving work itself.
+    /// the response. Never blocks on the serving work itself; on a fleet
+    /// pool, first contact with a matrix additionally resolves its device
+    /// affinity through the shared router engine (cached thereafter).
     ///
     /// # Panics
     ///
@@ -393,7 +607,7 @@ impl ServingPool {
                 "execute request needs x.len() == matrix.cols()"
             );
         }
-        let shard_index = self.shard_for(&request.matrix);
+        let shard_index = self.shard_for_request(&request);
         let shard = &self.shards[shard_index];
         let (reply, rx) = mpsc::channel();
         shard.submitted.fetch_add(1, Ordering::Relaxed);
@@ -406,7 +620,7 @@ impl ServingPool {
         Ticket {
             rx,
             shard: shard_index,
-            received: None,
+            received: std::cell::RefCell::new(None),
         }
     }
 
@@ -459,12 +673,14 @@ impl ServingPool {
                 .enumerate()
                 .map(|(index, shard)| ShardStats {
                     shard: index,
+                    device: shard.device,
                     submitted: shard.submitted.load(Ordering::Acquire),
                     completed: shard.completed.load(Ordering::Acquire),
                     engine: shard.engine.stats(),
                     cached_plans: shard.engine.cached_plans(),
                 })
                 .collect(),
+            router: self.router.as_ref().map(|router| router.stats()),
             elapsed: self.started.elapsed(),
         }
     }
@@ -762,6 +978,134 @@ mod tests {
         // Must fail here, in the submitter — not kill a shard worker (which
         // would abort the process when the pool's Drop joins it mid-unwind).
         let _ = pool.submit(ServingRequest::execute(matrix, wrong_len, 1));
+    }
+
+    #[test]
+    fn single_device_pool_has_no_router_and_one_device_lane() {
+        let (pool, _engine, entries) = pool_and_corpus(3);
+        let _ = pool
+            .submit(ServingRequest::select(
+                Arc::new(entries[0].matrix.clone()),
+                1,
+            ))
+            .wait();
+        let stats = pool.stats();
+        assert!(stats.router.is_none());
+        let lanes = stats.devices();
+        assert_eq!(lanes.len(), 1);
+        assert_eq!(lanes[0].device, seer_gpu::DeviceId::DEFAULT);
+        assert_eq!(lanes[0].shards, 3);
+        assert_eq!(lanes[0].submitted, stats.submitted());
+        assert_eq!(lanes[0].completed, stats.completed());
+    }
+
+    #[test]
+    fn fleet_pool_matches_a_sequential_fleet_engine_and_pins_devices() {
+        use seer_gpu::Fleet;
+
+        let entries = generate(&CollectionConfig::tiny());
+        let (trained, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        let fleet = Fleet::reference_heterogeneous();
+        let reference = SeerEngine::with_fleet(fleet.clone(), trained.models_handle());
+        let pool = ServingPool::with_fleet(
+            fleet.clone(),
+            trained.models_handle(),
+            PoolConfig::with_shards(2),
+        );
+        assert_eq!(pool.shards(), 2 * fleet.len());
+        assert_eq!(pool.fleet().len(), fleet.len());
+
+        // The tiny corpus is launch-overhead-bound (the APU's regime); add a
+        // bandwidth-bound matrix so placements genuinely spread.
+        let mut rng = seer_sparse::SplitMix64::new(0xF1EE7);
+        let big = Arc::new(seer_sparse::generators::uniform_random(
+            2_000, 2_000, 0.05, &mut rng,
+        ));
+        let mut requests: Vec<(Arc<CsrMatrix>, usize)> = entries
+            .iter()
+            .take(8)
+            .flat_map(|e| {
+                let matrix = Arc::new(e.matrix.clone());
+                [(Arc::clone(&matrix), 1), (matrix, 19)]
+            })
+            .collect();
+        requests.push((Arc::clone(&big), 1));
+        requests.push((big, 19));
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|(matrix, iterations)| {
+                pool.submit(ServingRequest::select(Arc::clone(matrix), *iterations))
+            })
+            .collect();
+        let stats_devices: Vec<DeviceId> = pool
+            .stats()
+            .shards
+            .iter()
+            .map(|shard| shard.device)
+            .collect();
+        let mut placed = std::collections::HashSet::new();
+        for (ticket, (matrix, iterations)) in tickets.into_iter().zip(&requests) {
+            let response = ticket.wait();
+            let expected =
+                reference.select_with_policy(matrix, *iterations, SelectionPolicy::Adaptive);
+            // Pooled selections are bit-identical to a sequential fleet
+            // engine, and every request landed on a shard pinned to the
+            // device its selection placed it on.
+            assert_eq!(response.selection, expected);
+            assert_eq!(stats_devices[response.shard], expected.device);
+            placed.insert(expected.device);
+        }
+        // The heterogeneous corpus genuinely spread across devices.
+        assert!(
+            placed.len() > 1,
+            "expected placements on more than one device, got {placed:?}"
+        );
+
+        let stats = pool.stats();
+        assert!(stats.router.is_some());
+        let lanes = stats.devices();
+        assert_eq!(lanes.iter().map(|l| l.shards).sum::<usize>(), pool.shards());
+        assert_eq!(
+            lanes.iter().map(|l| l.submitted).sum::<u64>(),
+            stats.submitted()
+        );
+        assert_eq!(
+            lanes.iter().map(|l| l.completed).sum::<u64>(),
+            stats.completed()
+        );
+        // Shard engines served exactly the submitted requests; router
+        // selections are routing work and stay out of the aggregate.
+        assert_eq!(stats.engine().selections(), requests.len() as u64);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn ticket_polling_is_non_blocking_and_lossless() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let ticket = pool.submit(ServingRequest::select(
+            Arc::new(entries[0].matrix.clone()),
+            1,
+        ));
+        // Poll without blocking until served; is_done must never consume.
+        while !ticket.is_done() {
+            std::thread::yield_now();
+        }
+        assert!(ticket.is_done(), "is_done is idempotent");
+        let response = ticket.wait();
+        assert_eq!(response.shard, pool.shard_for(&entries[0].matrix));
+
+        // wait_timeout: a response observed within the timeout stays owned.
+        let mut ticket = pool.submit(ServingRequest::select(
+            Arc::new(entries[1].matrix.clone()),
+            1,
+        ));
+        let polled = loop {
+            if let Some(response) = ticket.wait_timeout(Duration::from_millis(50)) {
+                break response.clone();
+            }
+        };
+        assert_eq!(ticket.wait(), polled);
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! The heterogeneous device fleet: named devices behind stable identifiers.
+//!
+//! The paper's selector answers "which kernel for this matrix *on this
+//! device*"; a serving deployment rarely has just one device. This module
+//! models the hardware side of that question:
+//!
+//! * [`DeviceId`] — a stable, copyable identifier of one device in a
+//!   registry (its registration index);
+//! * [`Device`] — a named [`Gpu`] handle;
+//! * [`DeviceRegistry`] — an ordered, validated set of devices built from
+//!   [`GpuSpec`]/[`HostSpec`] presets (every spec is checked by
+//!   [`GpuSpec::validate`] before admission);
+//! * [`Fleet`] — a cheap, cloneable, shareable handle to a registry, the
+//!   value engines and serving pools are built over. A fleet of one device
+//!   reproduces the single-device world exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use seer_gpu::{Fleet, GpuSpec};
+//!
+//! let fleet = Fleet::of_specs([GpuSpec::mi100(), GpuSpec::integrated_apu()]).unwrap();
+//! assert_eq!(fleet.len(), 2);
+//! let big = fleet.default_device();
+//! assert_eq!(big.index(), 0);
+//! assert!(fleet.gpu(big).spec().memory_bandwidth_gbps > 1000.0);
+//! for device in fleet.ids() {
+//!     println!("{device}: {}", fleet.device(device).name());
+//! }
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::spec::SpecError;
+use crate::{Gpu, GpuSpec, HostSpec};
+
+/// Identifier of one device inside a [`DeviceRegistry`]: its registration
+/// index. Stable for the lifetime of the registry (devices are never
+/// removed), `Copy`, and cheap to embed in cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DeviceId(u16);
+
+impl DeviceId {
+    /// The default device of any registry: the first one registered.
+    pub const DEFAULT: DeviceId = DeviceId(0);
+
+    /// Creates an identifier from a raw registration index.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// The registration index this identifier names.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// One named device of a fleet: an identifier, a display name and a shared
+/// handle to its simulated hardware.
+#[derive(Debug, Clone)]
+pub struct Device {
+    id: DeviceId,
+    name: String,
+    gpu: Arc<Gpu>,
+}
+
+impl Device {
+    /// The device's identifier within its registry.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's display name (defaults to its spec name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulated hardware behind this device.
+    pub fn gpu(&self) -> &Arc<Gpu> {
+        &self.gpu
+    }
+}
+
+/// An ordered, validated set of named devices.
+///
+/// Registration order defines [`DeviceId`]s; the first device is the
+/// registry's *default* device, which single-device code paths (and
+/// record-based selections, which carry no matrix to rank devices with)
+/// resolve to.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceRegistry {
+    devices: Vec<Device>,
+}
+
+impl DeviceRegistry {
+    /// The largest fleet a registry admits. `DeviceId` is a `u16`, so this
+    /// is a generous ceiling far above any realistic deployment.
+    pub const MAX_DEVICES: usize = u16::MAX as usize;
+
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a device from an already-built [`Gpu`] handle under an
+    /// explicit name.
+    ///
+    /// # Errors
+    ///
+    /// Rejects specs that fail [`GpuSpec::validate`] /
+    /// [`HostSpec::validate`], and registries at [`Self::MAX_DEVICES`].
+    pub fn register_named(
+        &mut self,
+        name: impl Into<String>,
+        gpu: Arc<Gpu>,
+    ) -> Result<DeviceId, SpecError> {
+        gpu.spec().validate()?;
+        gpu.host().spec().validate()?;
+        if self.devices.len() >= Self::MAX_DEVICES {
+            return Err(SpecError {
+                field: "devices",
+                reason: format!("registry is full ({} devices)", Self::MAX_DEVICES),
+            });
+        }
+        let id = DeviceId(self.devices.len() as u16);
+        self.devices.push(Device {
+            id,
+            name: name.into(),
+            gpu,
+        });
+        Ok(id)
+    }
+
+    /// Registers a device built from a [`GpuSpec`] (default host model),
+    /// named after the spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs (see [`GpuSpec::validate`]).
+    pub fn register(&mut self, spec: GpuSpec) -> Result<DeviceId, SpecError> {
+        let name = spec.name.clone();
+        self.register_named(name, Arc::new(Gpu::new(spec)))
+    }
+
+    /// Registers a device built from an explicit `(GpuSpec, HostSpec)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs (see [`GpuSpec::validate`] and
+    /// [`HostSpec::validate`]).
+    pub fn register_with_host(
+        &mut self,
+        spec: GpuSpec,
+        host: HostSpec,
+    ) -> Result<DeviceId, SpecError> {
+        let name = spec.name.clone();
+        self.register_named(name, Arc::new(Gpu::with_host(spec, host)))
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the registry holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The registered devices, in registration (= [`DeviceId`]) order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Looks a device up by identifier.
+    pub fn get(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(id.index())
+    }
+
+    /// Looks a device up by name.
+    pub fn find(&self, name: &str) -> Option<&Device> {
+        self.devices.iter().find(|d| d.name == name)
+    }
+}
+
+/// A cheap, cloneable handle to a validated [`DeviceRegistry`]: the value a
+/// fleet-aware engine or serving pool is built over.
+///
+/// A `Fleet` always holds at least one device; [`Fleet::single`] wraps one
+/// [`Gpu`] and is the bridge from every single-device code path.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    registry: Arc<DeviceRegistry>,
+}
+
+impl Fleet {
+    /// Wraps a finished registry.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty registries — a fleet must be able to place work.
+    pub fn from_registry(registry: DeviceRegistry) -> Result<Self, SpecError> {
+        if registry.is_empty() {
+            return Err(SpecError {
+                field: "devices",
+                reason: "a fleet needs at least one device".to_string(),
+            });
+        }
+        Ok(Self {
+            registry: Arc::new(registry),
+        })
+    }
+
+    /// A single-device fleet over an existing hardware handle — the exact
+    /// configuration of the pre-fleet engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device's specs fail validation (the built-in presets
+    /// never do).
+    pub fn single(gpu: Arc<Gpu>) -> Self {
+        let mut registry = DeviceRegistry::new();
+        let name = gpu.spec().name.clone();
+        registry
+            .register_named(name, gpu)
+            .expect("single-device fleet over an invalid spec");
+        Self {
+            registry: Arc::new(registry),
+        }
+    }
+
+    /// A fleet built from specs in order (default host model each).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty spec lists and invalid specs.
+    pub fn of_specs(specs: impl IntoIterator<Item = GpuSpec>) -> Result<Self, SpecError> {
+        let mut registry = DeviceRegistry::new();
+        for spec in specs {
+            registry.register(spec)?;
+        }
+        Self::from_registry(registry)
+    }
+
+    /// The preset lineup behind [`Fleet::reference_heterogeneous`],
+    /// flagship first: MI250-class, MI100, consumer-class, integrated APU.
+    /// Exposed so benches and tests can build truncated reference fleets
+    /// without restating (and drifting from) the lineup.
+    pub fn reference_presets() -> [GpuSpec; 4] {
+        [
+            GpuSpec::mi250(),
+            GpuSpec::mi100(),
+            GpuSpec::consumer_small(),
+            GpuSpec::integrated_apu(),
+        ]
+    }
+
+    /// The reference heterogeneous fleet used by tests and benches: an
+    /// MI250-class flagship, the paper's MI100, a consumer-class part and an
+    /// integrated APU — four devices spanning ~50x in memory bandwidth and
+    /// ~4x in launch overhead.
+    pub fn reference_heterogeneous() -> Self {
+        Self::of_specs(Self::reference_presets()).expect("built-in presets always validate")
+    }
+
+    /// Number of devices in the fleet (always >= 1).
+    pub fn len(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Always `false`: fleets are non-empty by construction. Provided to
+    /// satisfy the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether this fleet has exactly one device, i.e. behaves bit-for-bit
+    /// like the pre-fleet single-device engine.
+    pub fn is_single_device(&self) -> bool {
+        self.registry.len() == 1
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The fleet's default device: the first registered.
+    pub fn default_device(&self) -> DeviceId {
+        DeviceId::DEFAULT
+    }
+
+    /// Device identifiers in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.registry.devices().iter().map(Device::id)
+    }
+
+    /// The device registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this fleet — identifiers are not
+    /// transferable between registries.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        self.registry
+            .get(id)
+            .unwrap_or_else(|| panic!("{id} is not a device of this fleet"))
+    }
+
+    /// The hardware handle of the device registered under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this fleet.
+    pub fn gpu(&self, id: DeviceId) -> &Arc<Gpu> {
+        self.device(id).gpu()
+    }
+
+    /// The hardware handle of the default device.
+    pub fn default_gpu(&self) -> &Arc<Gpu> {
+        self.gpu(self.default_device())
+    }
+}
+
+impl fmt::Display for Fleet {
+    /// Multi-line fleet roster: one `id: spec-summary` line per device.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for device in self.registry.devices() {
+            writeln!(f, "{}: {}", device.id(), device.gpu().spec())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ids_are_registration_order() {
+        let mut registry = DeviceRegistry::new();
+        let a = registry.register(GpuSpec::mi100()).unwrap();
+        let b = registry.register(GpuSpec::consumer_small()).unwrap();
+        assert_eq!(a, DeviceId::new(0));
+        assert_eq!(b, DeviceId::new(1));
+        assert_eq!(registry.get(a).unwrap().name(), GpuSpec::mi100().name);
+        assert_eq!(registry.len(), 2);
+        assert!(registry.find("no such device").is_none());
+        assert_eq!(
+            registry.find(&GpuSpec::consumer_small().name).unwrap().id(),
+            b
+        );
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_registration() {
+        let mut registry = DeviceRegistry::new();
+        let invalid = GpuSpec {
+            clock_ghz: f64::NAN,
+            ..GpuSpec::mi100()
+        };
+        let err = registry.register(invalid).unwrap_err();
+        assert_eq!(err.field, "clock_ghz");
+        assert!(registry.is_empty());
+
+        let bad_host = HostSpec {
+            h2d_bandwidth: 0.0,
+            ..HostSpec::default()
+        };
+        assert!(registry
+            .register_with_host(GpuSpec::mi100(), bad_host)
+            .is_err());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(Fleet::from_registry(DeviceRegistry::new()).is_err());
+        assert!(Fleet::of_specs([]).is_err());
+    }
+
+    #[test]
+    fn single_fleet_wraps_the_device() {
+        let gpu = Arc::new(Gpu::default());
+        let fleet = Fleet::single(Arc::clone(&gpu));
+        assert!(fleet.is_single_device());
+        assert_eq!(fleet.len(), 1);
+        assert!(!fleet.is_empty());
+        assert!(Arc::ptr_eq(fleet.default_gpu(), &gpu));
+        assert_eq!(fleet.default_device(), DeviceId::DEFAULT);
+    }
+
+    #[test]
+    fn reference_fleet_is_heterogeneous_and_displayable() {
+        let fleet = Fleet::reference_heterogeneous();
+        assert_eq!(fleet.len(), 4);
+        assert!(!fleet.is_single_device());
+        let bandwidths: Vec<f64> = fleet
+            .ids()
+            .map(|id| fleet.gpu(id).spec().memory_bandwidth_gbps)
+            .collect();
+        // Strictly decreasing bandwidth: genuinely different devices.
+        assert!(bandwidths.windows(2).all(|w| w[0] > w[1]));
+        let roster = fleet.to_string();
+        assert_eq!(roster.lines().count(), 4);
+        assert!(roster.contains("dev0"));
+        assert!(roster.contains("dev3"));
+    }
+
+    #[test]
+    fn fleets_are_cheap_to_clone_and_share() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<Fleet>();
+        let fleet = Fleet::reference_heterogeneous();
+        let clone = fleet.clone();
+        assert!(Arc::ptr_eq(&fleet.registry, &clone.registry));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a device of this fleet")]
+    fn foreign_device_ids_panic() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        let _ = fleet.gpu(DeviceId::new(7));
+    }
+
+    #[test]
+    fn device_id_display_and_ordering() {
+        assert_eq!(DeviceId::new(3).to_string(), "dev3");
+        assert!(DeviceId::new(0) < DeviceId::new(1));
+        assert_eq!(DeviceId::default(), DeviceId::DEFAULT);
+        assert_eq!(DeviceId::new(5).index(), 5);
+    }
+}

@@ -42,16 +42,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fleet;
 mod host;
 mod launch;
 mod memory;
 mod spec;
 mod time;
 
+pub use fleet::{Device, DeviceId, DeviceRegistry, Fleet};
 pub use host::HostModel;
 pub use launch::{Boundedness, KernelTiming, LaunchBuilder, LaunchStats};
 pub use memory::{GatherEstimate, MemoryModel};
-pub use spec::{GpuSpec, HostSpec};
+pub use spec::{GpuSpec, HostSpec, SpecError};
 pub use time::SimTime;
 
 /// A simulated GPU: the device specification plus the derived memory and host

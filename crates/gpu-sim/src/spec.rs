@@ -1,5 +1,75 @@
 //! Device and host specifications.
 
+use std::fmt;
+
+/// A field of a [`GpuSpec`] or [`HostSpec`] failed validation.
+///
+/// Every architectural parameter of the analytical model must be finite and
+/// strictly positive: a zero clock or bandwidth would divide the roofline by
+/// zero, and a NaN would silently poison every modelled time derived from the
+/// spec. [`GpuSpec::validate`] and [`HostSpec::validate`] reject such specs
+/// up front — the fleet registry refuses to register an invalid device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Human-readable description of the violation.
+    pub reason: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid spec field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Checks one f64 spec field: finite and strictly positive.
+fn check_positive_f64(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value.is_nan() {
+        return Err(SpecError {
+            field,
+            reason: "is NaN".to_string(),
+        });
+    }
+    if !value.is_finite() || value <= 0.0 {
+        return Err(SpecError {
+            field,
+            reason: format!("must be finite and > 0 (got {value})"),
+        });
+    }
+    Ok(())
+}
+
+/// Checks one usize spec field: strictly positive.
+fn check_positive_usize(field: &'static str, value: usize) -> Result<(), SpecError> {
+    if value == 0 {
+        return Err(SpecError {
+            field,
+            reason: "must be > 0 (got 0)".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Checks one f64 spec field that may be zero but not negative or NaN.
+fn check_non_negative_f64(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value.is_nan() {
+        return Err(SpecError {
+            field,
+            reason: "is NaN".to_string(),
+        });
+    }
+    if !value.is_finite() || value < 0.0 {
+        return Err(SpecError {
+            field,
+            reason: format!("must be finite and >= 0 (got {value})"),
+        });
+    }
+    Ok(())
+}
+
 /// Specification of a simulated SIMT accelerator.
 ///
 /// The numbers are architectural parameters, not measured micro-benchmarks;
@@ -94,6 +164,78 @@ impl GpuSpec {
         }
     }
 
+    /// An MI250-class accelerator (one modelled logical device of a dual-GCD
+    /// package): more compute units and roughly 2.6x the HBM bandwidth of the
+    /// MI100, at a slightly higher clock. On bandwidth-bound uniform matrices
+    /// this device pulls far ahead; its launch overhead is as high as the
+    /// MI100's, so tiny launches still pay the full dispatch tax.
+    pub fn mi250() -> Self {
+        Self {
+            name: "AMD Instinct MI250-class (modelled)".to_string(),
+            compute_units: 208,
+            simd_units_per_cu: 4,
+            wavefront_size: 64,
+            max_wavefronts_per_simd: 8,
+            clock_ghz: 1.7,
+            memory_bandwidth_gbps: 3276.8,
+            l2_cache_bytes: 16 * 1024 * 1024,
+            cache_line_bytes: 64,
+            dram_latency_ns: 330.0,
+            kernel_launch_overhead_us: 6.5,
+            atomic_cost_cycles: 44.0,
+            wavefront_overhead_cycles: 28.0,
+        }
+    }
+
+    /// An integrated / APU-class device sharing DDR with the host: tiny
+    /// compute and bandwidth, but very low kernel-launch overhead (no PCIe
+    /// round trip) and short DRAM latency. Small or launch-bound workloads
+    /// can genuinely win here, which is what makes a heterogeneous fleet
+    /// interesting to a (kernel, device) selector.
+    pub fn integrated_apu() -> Self {
+        Self {
+            name: "Integrated APU-class (modelled)".to_string(),
+            compute_units: 12,
+            simd_units_per_cu: 2,
+            wavefront_size: 32,
+            max_wavefronts_per_simd: 16,
+            clock_ghz: 2.2,
+            memory_bandwidth_gbps: 68.0,
+            l2_cache_bytes: 2 * 1024 * 1024,
+            cache_line_bytes: 64,
+            dram_latency_ns: 250.0,
+            kernel_launch_overhead_us: 1.5,
+            atomic_cost_cycles: 24.0,
+            wavefront_overhead_cycles: 20.0,
+        }
+    }
+
+    /// Validates every architectural parameter: counts and clocks must be
+    /// strictly positive, modelled costs non-negative, and nothing may be
+    /// NaN or infinite. The fleet registry calls this before admitting a
+    /// device, so an invalid spec can never reach the cost models.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError {
+                field: "name",
+                reason: "must not be empty".to_string(),
+            });
+        }
+        check_positive_usize("compute_units", self.compute_units)?;
+        check_positive_usize("simd_units_per_cu", self.simd_units_per_cu)?;
+        check_positive_usize("wavefront_size", self.wavefront_size)?;
+        check_positive_usize("max_wavefronts_per_simd", self.max_wavefronts_per_simd)?;
+        check_positive_usize("cache_line_bytes", self.cache_line_bytes)?;
+        check_positive_usize("l2_cache_bytes", self.l2_cache_bytes)?;
+        check_positive_f64("clock_ghz", self.clock_ghz)?;
+        check_positive_f64("memory_bandwidth_gbps", self.memory_bandwidth_gbps)?;
+        check_positive_f64("dram_latency_ns", self.dram_latency_ns)?;
+        check_non_negative_f64("kernel_launch_overhead_us", self.kernel_launch_overhead_us)?;
+        check_non_negative_f64("atomic_cost_cycles", self.atomic_cost_cycles)?;
+        check_non_negative_f64("wavefront_overhead_cycles", self.wavefront_overhead_cycles)?;
+        Ok(())
+    }
+
     /// Total independent wavefront pipelines (`compute_units * simd_units_per_cu`).
     pub fn parallel_pipelines(&self) -> usize {
         self.compute_units * self.simd_units_per_cu
@@ -124,6 +266,24 @@ impl Default for GpuSpec {
     }
 }
 
+impl fmt::Display for GpuSpec {
+    /// One-line architectural summary, e.g.
+    /// `AMD Instinct MI100 (modelled): 120 CU x 4 SIMD, wf64, 1.50 GHz, 1228.8 GB/s, 8 MiB L2`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} CU x {} SIMD, wf{}, {:.2} GHz, {:.1} GB/s, {} MiB L2",
+            self.name,
+            self.compute_units,
+            self.simd_units_per_cu,
+            self.wavefront_size,
+            self.clock_ghz,
+            self.memory_bandwidth_gbps,
+            self.l2_cache_bytes / (1024 * 1024),
+        )
+    }
+}
+
 /// Specification of the host (CPU + interconnect) the GPU is attached to.
 ///
 /// Sequential preprocessing steps (CSR-Adaptive row binning, ELL conversion)
@@ -142,6 +302,19 @@ pub struct HostSpec {
     pub h2d_latency_us: f64,
 }
 
+impl HostSpec {
+    /// Validates the host model parameters: throughputs must be strictly
+    /// positive and finite, the transfer latency non-negative, and nothing
+    /// may be NaN.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        check_positive_f64("scalar_ops_per_second", self.scalar_ops_per_second)?;
+        check_positive_f64("host_memory_bandwidth", self.host_memory_bandwidth)?;
+        check_positive_f64("h2d_bandwidth", self.h2d_bandwidth)?;
+        check_non_negative_f64("h2d_latency_us", self.h2d_latency_us)?;
+        Ok(())
+    }
+}
+
 impl Default for HostSpec {
     fn default() -> Self {
         Self {
@@ -150,6 +323,21 @@ impl Default for HostSpec {
             h2d_bandwidth: 26.0e9,
             h2d_latency_us: 10.0,
         }
+    }
+}
+
+impl fmt::Display for HostSpec {
+    /// One-line host summary, e.g.
+    /// `host: 2.5 Gop/s scalar, 25.0 GB/s DRAM, 26.0 GB/s H2D (+10.0 us)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host: {:.1} Gop/s scalar, {:.1} GB/s DRAM, {:.1} GB/s H2D (+{:.1} us)",
+            self.scalar_ops_per_second / 1e9,
+            self.host_memory_bandwidth / 1e9,
+            self.h2d_bandwidth / 1e9,
+            self.h2d_latency_us,
+        )
     }
 }
 
@@ -190,5 +378,99 @@ mod tests {
         let host = HostSpec::default();
         assert!(host.scalar_ops_per_second > 1e9);
         assert!(host.h2d_bandwidth > 1e9);
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for spec in [
+            GpuSpec::mi100(),
+            GpuSpec::consumer_small(),
+            GpuSpec::mi250(),
+            GpuSpec::integrated_apu(),
+        ] {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{} failed validation: {e}", spec.name));
+        }
+        HostSpec::default().validate().unwrap();
+    }
+
+    #[test]
+    fn preset_fleet_is_genuinely_heterogeneous() {
+        // The ranking the fleet selector depends on: MI250 > MI100 >
+        // consumer > APU in raw bandwidth, while the APU has the cheapest
+        // kernel launch.
+        let mi100 = GpuSpec::mi100();
+        let mi250 = GpuSpec::mi250();
+        let apu = GpuSpec::integrated_apu();
+        assert!(mi250.memory_bandwidth_gbps > mi100.memory_bandwidth_gbps);
+        assert!(mi100.memory_bandwidth_gbps > apu.memory_bandwidth_gbps);
+        assert!(apu.kernel_launch_overhead_us < mi100.kernel_launch_overhead_us);
+        assert!(mi250.lane_cycles_per_ns() > mi100.lane_cycles_per_ns());
+        assert!(apu.lane_cycles_per_ns() < GpuSpec::consumer_small().lane_cycles_per_ns());
+    }
+
+    #[test]
+    fn validate_rejects_zero_and_nan_fields() {
+        let zero_cu = GpuSpec {
+            compute_units: 0,
+            ..GpuSpec::mi100()
+        };
+        let err = zero_cu.validate().unwrap_err();
+        assert_eq!(err.field, "compute_units");
+
+        let nan_clock = GpuSpec {
+            clock_ghz: f64::NAN,
+            ..GpuSpec::mi100()
+        };
+        let err = nan_clock.validate().unwrap_err();
+        assert_eq!(err.field, "clock_ghz");
+        assert!(err.to_string().contains("NaN"));
+
+        let zero_bw = GpuSpec {
+            memory_bandwidth_gbps: 0.0,
+            ..GpuSpec::mi100()
+        };
+        assert_eq!(
+            zero_bw.validate().unwrap_err().field,
+            "memory_bandwidth_gbps"
+        );
+
+        let negative_overhead = GpuSpec {
+            kernel_launch_overhead_us: -1.0,
+            ..GpuSpec::mi100()
+        };
+        assert_eq!(
+            negative_overhead.validate().unwrap_err().field,
+            "kernel_launch_overhead_us"
+        );
+
+        let unnamed = GpuSpec {
+            name: String::new(),
+            ..GpuSpec::mi100()
+        };
+        assert_eq!(unnamed.validate().unwrap_err().field, "name");
+
+        let bad_host = HostSpec {
+            h2d_bandwidth: f64::NAN,
+            ..HostSpec::default()
+        };
+        assert_eq!(bad_host.validate().unwrap_err().field, "h2d_bandwidth");
+        let zero_host = HostSpec {
+            scalar_ops_per_second: 0.0,
+            ..HostSpec::default()
+        };
+        assert!(zero_host.validate().is_err());
+    }
+
+    #[test]
+    fn display_is_a_one_line_summary() {
+        let line = GpuSpec::mi100().to_string();
+        assert!(line.contains("120 CU"));
+        assert!(line.contains("wf64"));
+        assert!(line.contains("1228.8 GB/s"));
+        assert!(!line.contains('\n'));
+        let host_line = HostSpec::default().to_string();
+        assert!(host_line.contains("H2D"));
+        assert!(!host_line.contains('\n'));
     }
 }

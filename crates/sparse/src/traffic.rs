@@ -154,6 +154,30 @@ impl TrafficConfig {
             ..Self::skewed(corpus_size, 0x7AF1C)
         }
     }
+
+    /// A heterogeneous-fleet scenario: moderately skewed reuse over the
+    /// whole corpus with a **wide uniform iteration mix** (1..=200).
+    ///
+    /// Device placement depends on the *pairing* of matrix structure with
+    /// iteration count — single-shot requests are launch-overhead-bound
+    /// (small/low-latency devices win) while long solver runs amortize
+    /// preprocessing and become bandwidth-bound (big devices win) — so a
+    /// corpus mixing skew-heavy and uniform matrices under this mix
+    /// exercises every device of a fleet rather than collapsing onto one.
+    /// The hot set spans a quarter of the corpus so each serving device's
+    /// shard group sees repeat traffic of its own slice.
+    pub fn fleet_mixed(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            seed,
+            corpus_size,
+            hot_set_size: (corpus_size / 4).max(1),
+            hot_fraction: 0.7,
+            zipf_exponent: 1.5,
+            burst_fraction: 0.25,
+            max_burst_len: 5,
+            iterations: IterationMix::Uniform { lo: 1, hi: 200 },
+        }
+    }
 }
 
 /// One request of a traffic stream.
@@ -402,6 +426,27 @@ mod tests {
         let a: Vec<usize> = take(&base, 2_000).iter().map(|r| r.matrix_index).collect();
         let b: Vec<usize> = take(&other, 2_000).iter().map(|r| r.matrix_index).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_mixed_spans_the_iteration_range_and_replays() {
+        let config = TrafficConfig::fleet_mixed(48, 0xF1EE7);
+        let requests = take(&config, 8_000);
+        assert_eq!(requests, take(&config, 8_000), "stream must replay");
+        assert!(requests.iter().all(|r| (1..=200).contains(&r.iterations)));
+        // Both placement regimes are exercised: launch-bound single shots
+        // and long amortizing solver runs.
+        let short = requests.iter().filter(|r| r.iterations <= 5).count();
+        let long = requests.iter().filter(|r| r.iterations >= 150).count();
+        assert!(short > 100, "short runs {short}");
+        assert!(long > 100, "long runs {long}");
+        // The whole corpus is touched, so every slice of a mixed corpus
+        // (skew-heavy and uniform members alike) sees traffic.
+        let mut seen = [false; 48];
+        for r in &requests {
+            seen[r.matrix_index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

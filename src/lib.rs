@@ -13,6 +13,11 @@
 //!   benchmarking, training, the runtime [`SeerEngine`] service and the
 //!   sharded concurrent [`ServingPool`] front-end.
 //!
+//! Engines and pools are built over a [`Fleet`] of one or more modelled
+//! devices: a multi-device fleet turns selection into `(kernel, device)`
+//! placement and the pool into a device-aware router, while a single-device
+//! fleet behaves exactly like the classic engine.
+//!
 //! # Quickstart
 //!
 //! Train once, then serve selections from a long-lived, thread-safe
@@ -61,8 +66,10 @@ pub use seer_ml as ml;
 pub use seer_sparse as sparse;
 
 pub use seer_core::{
-    EngineStats, PoolConfig, PoolStats, SeerEngine, ServingPool, ServingRequest, ServingResponse,
+    DevicePoolStats, EngineStats, PoolConfig, PoolStats, SeerEngine, ServingPool, ServingRequest,
+    ServingResponse,
 };
+pub use seer_gpu::{DeviceId, DeviceRegistry, Fleet};
 
 /// Version string of the Seer reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -133,6 +133,68 @@ fn eviction_counters_account_resident_bytes() {
 }
 
 #[test]
+fn tiny_byte_budget_forces_evictions_and_counts_repreparations() {
+    let engine = trained_engine();
+    let mut rng = SplitMix64::new(0x71AD);
+    // Matrices whose merge-path partition tables genuinely occupy bytes.
+    let matrices: Vec<_> = (0..6)
+        .map(|i| generators::power_law(500 + 60 * i, 2.0, 90 + 10 * i, &mut rng))
+        .collect();
+    let plan_bytes: Vec<usize> = matrices
+        .iter()
+        .map(|m| {
+            let bytes = engine.prepared_plan(m, KernelId::CsrMergePath).heap_bytes();
+            assert!(bytes > 0, "merge-path plans materialize bytes");
+            bytes
+        })
+        .collect();
+    engine.clear_caches();
+
+    // A budget smaller than any single plan: every insertion immediately
+    // displaces the previous resident, so the cache holds exactly the most
+    // recent (oversized) plan at all times.
+    engine.set_prepared_budget_bytes(1);
+    let rounds = 4;
+    for _ in 0..rounds {
+        for (matrix, &bytes) in matrices.iter().zip(&plan_bytes) {
+            let plan = engine.prepared_plan(matrix, KernelId::CsrMergePath);
+            assert_eq!(plan.heap_bytes(), bytes);
+            let stats = engine.stats();
+            // Consistency under continuous eviction: exactly the newest
+            // plan is resident, and the gauge tracks it precisely.
+            assert_eq!(engine.cached_prepared_plans(), 1);
+            assert_eq!(stats.resident_plan_bytes, bytes as u64);
+        }
+    }
+    let stats = engine.stats();
+    let total = (rounds * matrices.len()) as u64;
+    // Every request after the very first displaced a resident plan...
+    assert_eq!(stats.cache_evictions, total - 1);
+    // ...and every displaced plan had to be re-prepared on its next visit:
+    // no hit was possible, so preparations equal requests.
+    assert_eq!(stats.plan_preparations, total);
+
+    // Widening the budget restores caching: one more preparation each, then
+    // replays are free again.
+    engine.set_prepared_budget_bytes(64 << 20);
+    for matrix in &matrices {
+        let _ = engine.prepared_plan(matrix, KernelId::CsrMergePath);
+    }
+    let after_refill = engine.stats();
+    for matrix in &matrices {
+        let _ = engine.prepared_plan(matrix, KernelId::CsrMergePath);
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.plan_preparations, after_refill.plan_preparations);
+    assert_eq!(stats.cache_evictions, after_refill.cache_evictions);
+    assert_eq!(
+        stats.resident_plan_bytes,
+        plan_bytes.iter().sum::<usize>() as u64
+    );
+    assert_eq!(engine.cached_prepared_plans(), matrices.len());
+}
+
+#[test]
 fn clear_caches_resets_prepared_state() {
     let engine = trained_engine();
     let mut rng = SplitMix64::new(0xC1EA);

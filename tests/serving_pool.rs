@@ -188,3 +188,61 @@ fn mixed_policies_under_concurrency_stay_deterministic() {
     assert_eq!(stats.completed(), served);
     assert_eq!(stats.engine().selections(), served);
 }
+
+#[test]
+fn tickets_can_be_polled_without_blocking_until_served() {
+    let (engine, corpus) = trained_engine();
+    let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(2));
+
+    // Submit a burst, then poll every ticket without ever blocking: is_done
+    // is a non-consuming peek, wait_timeout a bounded non-consuming wait,
+    // and both leave the response for the final wait().
+    let tickets: Vec<_> = corpus
+        .iter()
+        .take(10)
+        .map(|matrix| pool.submit(ServingRequest::select(Arc::clone(matrix), 19)))
+        .collect();
+
+    let mut pending: Vec<(usize, seer::core::serving::Ticket)> =
+        tickets.into_iter().enumerate().collect();
+    let mut done: Vec<(usize, seer::core::serving::Ticket)> = Vec::new();
+    let mut polls = 0u64;
+    while !pending.is_empty() {
+        polls += 1;
+        let (finished, still_pending): (Vec<_>, Vec<_>) =
+            pending.into_iter().partition(|(_, t)| t.is_done());
+        done.extend(finished);
+        pending = still_pending;
+        std::thread::yield_now();
+    }
+    assert!(polls >= 1);
+    assert_eq!(done.len(), 10);
+
+    // Every polled-done ticket still yields its response, bit-identical to a
+    // sequential replay.
+    let replay = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    for (index, ticket) in done {
+        assert!(ticket.is_done(), "is_done stays true once served");
+        let response = ticket.wait();
+        assert_eq!(
+            response.selection,
+            replay.select_with_policy(&corpus[index], 19, SelectionPolicy::Adaptive)
+        );
+        assert!(response.result.is_none());
+    }
+
+    // wait_timeout: bounded waits that keep the ticket alive.
+    let mut ticket = pool.submit(ServingRequest::select(Arc::clone(&corpus[0]), 1));
+    let response = loop {
+        if let Some(r) = ticket.wait_timeout(std::time::Duration::from_millis(20)) {
+            break r.clone();
+        }
+    };
+    assert_eq!(
+        response.selection,
+        replay.select_with_policy(&corpus[0], 1, SelectionPolicy::Adaptive)
+    );
+    // The non-consuming wait left the response in place for wait().
+    assert_eq!(ticket.wait(), response);
+    pool.shutdown();
+}
