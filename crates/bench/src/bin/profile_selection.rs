@@ -47,7 +47,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use seer_core::engine::{EngineWorkspace, SeerEngine};
+use seer_core::engine::{EngineStats, EngineWorkspace, SeerEngine};
 use seer_core::training::TrainingConfig;
 use seer_gpu::{Fleet, Gpu};
 use seer_kernels::{kernel, ComputeScratch, KernelId, MatrixBenchmark};
@@ -452,7 +452,239 @@ fn main() {
         "prepared warm path must be >= 1.5x the streaming path, got {warm_speedup:.2}x"
     );
 
-    // ---- 4. Optional golden-selection agreement check. -------------------
+    // ---- 4. Family reuse: structure-class inheritance + value updates. ---
+    // Two streams measure the amortization layers this PR adds to the cold
+    // path. (a) `near_duplicate_families`: fresh matrices from already-served
+    // structure classes inherit their `(kernel, device)` selection — the
+    // modelled selection overhead per fresh matrix must drop >= 5x against
+    // the reuse-free baseline (the PR-5 cold path). (b) `mutating_hot_set`:
+    // value-only mutations replayed in place stay on the sparsity-keyed warm
+    // path, against a content-keyed emulation that rebuilds the matrix (and
+    // therefore goes cold) on every mutation.
+    let family_members = if options.smoke { 4 } else { 10 };
+    // Family generators are chosen so each draw has *fresh* sparsity (random
+    // column placement — a deterministic-structure family like `banded` or
+    // `stencil_2d` would short-circuit into the exact plan cache instead of
+    // exercising inheritance) while staying inside one structure class
+    // (fixed or tightly concentrated nnz, so no log2/CV bucket straddling).
+    type FamilyShape = Box<dyn Fn(&mut seer_sparse::SplitMix64) -> seer_sparse::CsrMatrix>;
+    let families: Vec<FamilyShape> = vec![
+        Box::new(|rng| seer_sparse::generators::uniform_row_length(3_000, 8, rng)),
+        Box::new(|rng| seer_sparse::generators::uniform_row_length(1_500, 24, rng)),
+        Box::new(|rng| seer_sparse::generators::uniform_random(1_500, 1_500, 0.006, rng)),
+        Box::new(|rng| seer_sparse::generators::uniform_random(3_000, 3_000, 0.003, rng)),
+        Box::new(|rng| seer_sparse::generators::tall_skinny(3_000, 500, 6, rng)),
+        Box::new(|rng| seer_sparse::generators::tall_skinny(6_000, 800, 4, rng)),
+    ];
+    // One warm seed member plus `family_members` fresh members per family,
+    // generated twice (identical streams) so the baseline and reuse sweeps
+    // each see matrices with cold memos.
+    let generate_families = || -> (Vec<seer_sparse::CsrMatrix>, Vec<seer_sparse::CsrMatrix>) {
+        let mut rng = seer_sparse::SplitMix64::new(0xFA417);
+        let mut seeds = Vec::new();
+        let mut fresh = Vec::new();
+        for family in &families {
+            seeds.push(family(&mut rng));
+            for _ in 0..family_members {
+                fresh.push(family(&mut rng));
+            }
+        }
+        (seeds, fresh)
+    };
+
+    let fleet = Fleet::reference_heterogeneous();
+    // Baseline: reuse off — every fresh matrix pays the full cold selection
+    // (profile pass + per-device cost ranking + tree walks).
+    let (base_seeds, base_fresh) = generate_families();
+    let baseline_engine = SeerEngine::with_fleet(fleet.clone(), engine.models_handle());
+    for seed in &base_seeds {
+        let _ = baseline_engine.select(seed, 19);
+    }
+    let baseline_start = Instant::now();
+    let mut baseline_overhead_ns = 0.0f64;
+    for matrix in &base_fresh {
+        baseline_overhead_ns += baseline_engine.select(matrix, 19).overhead().as_nanos();
+    }
+    let baseline_wall_secs = baseline_start.elapsed().as_secs_f64();
+
+    // Reuse: class inheritance on — the seed members decide from scratch,
+    // and the fresh members adopt their class's selection.
+    let (reuse_seeds, reuse_fresh) = generate_families();
+    let reuse_engine = SeerEngine::with_fleet(fleet.clone(), engine.models_handle());
+    reuse_engine.set_structure_class_reuse(true);
+    for seed in &reuse_seeds {
+        let _ = reuse_engine.select(seed, 19);
+    }
+    let before_fresh = reuse_engine.stats();
+    let reuse_start = Instant::now();
+    let mut reuse_overhead_ns = 0.0f64;
+    for matrix in &reuse_fresh {
+        reuse_overhead_ns += reuse_engine.select(matrix, 19).overhead().as_nanos();
+    }
+    let reuse_wall_secs = reuse_start.elapsed().as_secs_f64();
+    let inherited = reuse_engine.stats().inherited_selections - before_fresh.inherited_selections;
+    let hit_rate = inherited as f64 / reuse_fresh.len() as f64;
+    let fresh_count = base_fresh.len() as f64;
+    let cold_reduction = baseline_overhead_ns / reuse_overhead_ns.max(1e-9);
+
+    println!(
+        "\nfamily reuse ({} families x {family_members} fresh members, 4-device fleet):",
+        families.len()
+    );
+    println!(
+        "  inheritance hit rate       {inherited}/{} ({:.0}%)",
+        reuse_fresh.len(),
+        100.0 * hit_rate
+    );
+    println!(
+        "  modelled overhead/fresh    baseline {:.0} ns   inherited {:.0} ns   ({cold_reduction:.1}x)",
+        baseline_overhead_ns / fresh_count,
+        reuse_overhead_ns / fresh_count
+    );
+    println!(
+        "  wall select/fresh          baseline {:.1} us   inherited {:.1} us",
+        1e6 * baseline_wall_secs / fresh_count,
+        1e6 * reuse_wall_secs / fresh_count
+    );
+    assert!(
+        hit_rate >= 0.8,
+        "family stream must mostly inherit, hit rate {hit_rate:.2}"
+    );
+    assert!(
+        cold_reduction >= 5.0,
+        "inherited cold path must cut modelled selection overhead >= 5x \
+         vs the reuse-free baseline, got {cold_reduction:.1}x"
+    );
+
+    // (b) The mutating hot set: value-only updates served in place. Both
+    // lanes warm the whole corpus first (at both iteration modes the stream
+    // draws), so the measured window isolates what a value update costs on
+    // an already-warm engine.
+    let mutating_requests = if options.smoke { 1_000 } else { 5_000 };
+    let traffic = seer_sparse::traffic::TrafficConfig::mutating_hot_set(collection.len(), 0x517);
+    let stream: Vec<seer_sparse::traffic::TrafficRequest> =
+        seer_sparse::traffic::TrafficGenerator::new(&traffic)
+            .take(mutating_requests)
+            .collect();
+    let value_updates = stream.iter().filter(|r| r.value_update).count();
+
+    // Sparsity-keyed engine (this PR): mutate in place, stay warm.
+    let mut warm_corpus: Vec<seer_sparse::CsrMatrix> =
+        collection.iter().map(|e| e.matrix.clone()).collect();
+    let sparsity_engine = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    let mut mutating_ws = EngineWorkspace::new();
+    let max_cols = warm_corpus.iter().map(|m| m.cols()).max().unwrap_or(0);
+    let xs = vec![1.0; max_cols];
+    for matrix in &warm_corpus {
+        for iterations in [1, 19] {
+            let _ = sparsity_engine.execute_into(
+                matrix,
+                &xs[..matrix.cols()],
+                iterations,
+                &mut mutating_ws,
+            );
+        }
+    }
+    let warm = sparsity_engine.stats();
+    let sparsity_start = Instant::now();
+    for request in &stream {
+        let matrix = &mut warm_corpus[request.matrix_index];
+        if request.value_update {
+            matrix.map_values(|_, _, v| v * 1.000_1 + 0.01);
+        }
+        let _ = sparsity_engine.execute_into(
+            matrix,
+            &xs[..matrix.cols()],
+            request.iterations,
+            &mut mutating_ws,
+        );
+    }
+    let sparsity_secs = sparsity_start.elapsed().as_secs_f64();
+    let sparsity_stats = sparsity_engine.stats();
+    assert_eq!(
+        sparsity_stats.profile_passes, warm.profile_passes,
+        "in-place value updates must never re-profile"
+    );
+    assert_eq!(
+        sparsity_stats.feature_collections, warm.feature_collections,
+        "in-place value updates must never re-collect features"
+    );
+    assert_eq!(
+        sparsity_stats.plan_misses, warm.plan_misses,
+        "in-place value updates must never miss the plan cache"
+    );
+    assert_eq!(
+        sparsity_stats.plan_preparations, warm.plan_preparations,
+        "in-place value updates must never rebuild a plan from scratch"
+    );
+    let slab_refreshes = sparsity_stats.plan_value_refreshes - warm.plan_value_refreshes;
+
+    // Content-keyed emulation (the PR-5 behaviour): under content keying a
+    // value update changed the matrix's fingerprint, so every cached
+    // artifact for it was orphaned and the next request paid a full cold
+    // contact; replays *between* mutations stayed warm. Emulated with a
+    // warm engine for replays plus a dedicated probe engine whose caches
+    // are dropped before each post-mutation execute (`clear_caches` also
+    // resets stats, so cold work is accumulated per contact).
+    let mut content_corpus: Vec<seer_sparse::CsrMatrix> =
+        collection.iter().map(|e| e.matrix.clone()).collect();
+    let content_engine = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    let cold_probe = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
+    for matrix in &content_corpus {
+        for iterations in [1, 19] {
+            let _ = content_engine.execute_into(
+                matrix,
+                &xs[..matrix.cols()],
+                iterations,
+                &mut mutating_ws,
+            );
+        }
+    }
+    let mut cold_contacts = EngineStats::default();
+    let content_start = Instant::now();
+    for request in &stream {
+        let matrix = &mut content_corpus[request.matrix_index];
+        if request.value_update {
+            matrix.map_values(|_, _, v| v * 1.000_1 + 0.01);
+            cold_probe.clear_caches();
+            let _ = cold_probe.execute_into(
+                matrix,
+                &xs[..matrix.cols()],
+                request.iterations,
+                &mut mutating_ws,
+            );
+            cold_contacts = cold_contacts.saturating_add(cold_probe.stats());
+        } else {
+            let _ = content_engine.execute_into(
+                matrix,
+                &xs[..matrix.cols()],
+                request.iterations,
+                &mut mutating_ws,
+            );
+        }
+    }
+    let content_secs = content_start.elapsed().as_secs_f64();
+
+    let mutating_speedup = content_secs / sparsity_secs.max(1e-12);
+    println!(
+        "\nmutating hot set ({mutating_requests} requests, {value_updates} value updates, warm corpus):"
+    );
+    println!(
+        "  sparsity-keyed (in-place)  {:.1} us/req   0 plan misses, {slab_refreshes} slab refreshes",
+        1e6 * sparsity_secs / mutating_requests as f64,
+    );
+    println!(
+        "  content-keyed (re-keyed)   {:.1} us/req   {} plan misses, {} preparations   ({mutating_speedup:.1}x)",
+        1e6 * content_secs / mutating_requests as f64,
+        cold_contacts.plan_misses,
+        cold_contacts.plan_preparations
+    );
+    assert!(
+        cold_contacts.plan_misses >= value_updates as u64,
+        "the content-keyed emulation must go cold on every mutation"
+    );
+
+    // ---- 5. Optional golden-selection agreement check. -------------------
     let mut golden_checked = false;
     if options.check {
         let golden = locate_golden_table().expect(
@@ -490,7 +722,7 @@ fn main() {
         );
     }
 
-    // ---- 5. Emit the JSON trajectory point. ------------------------------
+    // ---- 6. Emit the JSON trajectory point. ------------------------------
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"profile_selection\",");
     let _ = writeln!(json, "  \"corpus_matrices\": {},", collection.len());
@@ -591,6 +823,61 @@ fn main() {
         "    \"resident_plan_bytes\": {}",
         warm_engine.stats().resident_plan_bytes
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"family_reuse\": {{");
+    let _ = writeln!(json, "    \"families\": {},", families.len());
+    let _ = writeln!(json, "    \"fresh_members\": {},", base_fresh.len());
+    let _ = writeln!(json, "    \"inheritance_hit_rate\": {hit_rate:.3},");
+    let _ = writeln!(
+        json,
+        "    \"modelled_overhead_ns_per_fresh_baseline\": {:.0},",
+        baseline_overhead_ns / fresh_count
+    );
+    let _ = writeln!(
+        json,
+        "    \"modelled_overhead_ns_per_fresh_inherited\": {:.0},",
+        reuse_overhead_ns / fresh_count
+    );
+    let _ = writeln!(
+        json,
+        "    \"cold_selection_cost_reduction\": {cold_reduction:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_us_per_fresh_baseline\": {:.1},",
+        1e6 * baseline_wall_secs / fresh_count
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_us_per_fresh_inherited\": {:.1},",
+        1e6 * reuse_wall_secs / fresh_count
+    );
+    let _ = writeln!(json, "    \"mutating_stream\": {{");
+    let _ = writeln!(json, "      \"requests\": {mutating_requests},");
+    let _ = writeln!(json, "      \"value_updates\": {value_updates},");
+    let _ = writeln!(
+        json,
+        "      \"us_per_request_sparsity_keyed\": {:.1},",
+        1e6 * sparsity_secs / mutating_requests as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"us_per_request_content_keyed\": {:.1},",
+        1e6 * content_secs / mutating_requests as f64
+    );
+    let _ = writeln!(json, "      \"speedup\": {mutating_speedup:.1},");
+    let _ = writeln!(
+        json,
+        "      \"plan_misses_sparsity_keyed\": {},",
+        sparsity_stats.plan_misses - warm.plan_misses
+    );
+    let _ = writeln!(
+        json,
+        "      \"plan_misses_content_keyed\": {},",
+        cold_contacts.plan_misses
+    );
+    let _ = writeln!(json, "      \"slab_refreshes\": {slab_refreshes}");
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"golden_checked\": {golden_checked}");
     json.push_str("}\n");

@@ -5,15 +5,33 @@
 //! re-walked the decision trees on every call. A production deployment of
 //! Seer faces the opposite traffic shape: the same matrices come back over
 //! and over (iterative solvers, request fleets hitting shared operators), so
-//! the engine memoizes per-matrix work behind a content fingerprint
-//! ([`seer_sparse::CsrMatrix::content_fingerprint`]):
+//! the engine memoizes per-matrix work behind the *sparsity* fingerprint
+//! ([`seer_sparse::CsrMatrix::sparsity_fingerprint`]) — every cached
+//! artifact (profile, features, selection, cost model, prepared structure)
+//! is a function of the sparsity pattern alone, so a value-only mutation
+//! through [`seer_sparse::CsrMatrix::update_values`] keeps the entire warm
+//! path warm:
 //!
 //! * **feature cache** — the gathered-feature collection (statistics + the
 //!   modelled GPU cost of collecting them) is computed once per distinct
-//!   matrix;
-//! * **plan cache** — the full [`Selection`] for a `(matrix, iterations,
+//!   sparsity pattern;
+//! * **plan cache** — the full [`Selection`] for a `(sparsity, iterations,
 //!   policy)` triple is computed once and replayed bit-identically on every
-//!   later request.
+//!   later request, including requests presenting the same structure with
+//!   mutated values.
+//!
+//! The one values-dependent artifact — the ELL slab a prepared plan may
+//! embed — carries its own values key and is *refreshed* in place (no
+//! profile pass, no selection) when a mutated matrix arrives, counted in
+//! [`EngineStats::plan_value_refreshes`].
+//!
+//! Beyond exact sparsity matches, the engine can optionally reuse
+//! selections across a whole *structure class*: see
+//! [`SeerEngine::set_structure_class_reuse`]. A fresh matrix whose quantized
+//! [`StructureSignature`] matches an already-decided class inherits that
+//! class's `(kernel, device)` pair and skips the cost-model sweep entirely —
+//! the cold-path counterpart of the warm plan cache, for near-duplicate
+//! matrix families.
 //!
 //! Hit/miss/fallback counters are exposed through [`SeerEngine::stats`] so
 //! evaluations can verify exactly how much work was saved.
@@ -67,13 +85,13 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
 use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile, PreparedPlan};
 use seer_sparse::collection::DatasetEntry;
-use seer_sparse::{CsrMatrix, MatrixProfile, Scalar};
+use seer_sparse::{CsrMatrix, MatrixProfile, Scalar, StructureSignature};
 
 use crate::benchmarking::BenchmarkRecord;
 use crate::features::{FeatureCollection, FeatureCollector, KnownFeatures};
@@ -121,6 +139,23 @@ pub struct EngineStats {
     /// by the byte budget plus per-fingerprint entries dropped by a budgeted
     /// clear. Zero under the default (generous) budgets.
     pub cache_evictions: u64,
+    /// Prepared plans whose embedded values went stale after a value-only
+    /// mutation and were rebuilt in place (ELL slab refreshes). A refresh
+    /// runs no profile pass and no selection, and is deliberately *not*
+    /// counted as a [`EngineStats::plan_preparations`] — it is the warm
+    /// path's maintenance cost, not a cold build.
+    pub plan_value_refreshes: u64,
+    /// Structure-class index probes that found a matching class (see
+    /// [`SeerEngine::set_structure_class_reuse`]). Zero while class reuse is
+    /// disabled.
+    pub class_hits: u64,
+    /// Selections actually served by inheriting a cached class's
+    /// `(kernel, device)` pair, skipping the cost-model sweep. Each is also
+    /// counted as a plan miss (the exact plan cache did not have it).
+    pub inherited_selections: u64,
+    /// Structure-class entries dropped by the class index's LRU bound or by
+    /// a cache clear/sweep.
+    pub class_evictions: u64,
     /// Heap bytes currently held by cached prepared plans — a gauge, not a
     /// counter: snapshots report the instantaneous residency.
     pub resident_plan_bytes: u64,
@@ -159,6 +194,14 @@ impl EngineStats {
                 .plan_preparations
                 .saturating_add(other.plan_preparations),
             cache_evictions: self.cache_evictions.saturating_add(other.cache_evictions),
+            plan_value_refreshes: self
+                .plan_value_refreshes
+                .saturating_add(other.plan_value_refreshes),
+            class_hits: self.class_hits.saturating_add(other.class_hits),
+            inherited_selections: self
+                .inherited_selections
+                .saturating_add(other.inherited_selections),
+            class_evictions: self.class_evictions.saturating_add(other.class_evictions),
             resident_plan_bytes: self
                 .resident_plan_bytes
                 .saturating_add(other.resident_plan_bytes),
@@ -185,6 +228,14 @@ impl EngineStats {
                 .plan_preparations
                 .saturating_sub(earlier.plan_preparations),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            plan_value_refreshes: self
+                .plan_value_refreshes
+                .saturating_sub(earlier.plan_value_refreshes),
+            class_hits: self.class_hits.saturating_sub(earlier.class_hits),
+            inherited_selections: self
+                .inherited_selections
+                .saturating_sub(earlier.inherited_selections),
+            class_evictions: self.class_evictions.saturating_sub(earlier.class_evictions),
             resident_plan_bytes: self
                 .resident_plan_bytes
                 .saturating_sub(earlier.resident_plan_bytes),
@@ -201,6 +252,10 @@ struct Counters {
     misprediction_fallbacks: AtomicU64,
     plan_preparations: AtomicU64,
     cache_evictions: AtomicU64,
+    plan_value_refreshes: AtomicU64,
+    class_hits: AtomicU64,
+    inherited_selections: AtomicU64,
+    class_evictions: AtomicU64,
 }
 
 /// Device-attributable counters, one set per fleet device.
@@ -318,6 +373,103 @@ impl PreparedCache {
     }
 }
 
+/// Cache key of one structure class: the quantized sparsity signature plus
+/// the workload shape the selection was made for. Iterations and policy stay
+/// in the key because both flip winners (short workloads amortize less
+/// preprocessing; the policies walk different trees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ClassKey {
+    signature: StructureSignature,
+    iterations: usize,
+    policy: SelectionPolicy,
+}
+
+/// The inheritable part of one from-scratch selection: the `(kernel,
+/// device)` pair and which classifier path chose it. Costs are deliberately
+/// not inherited — an inherited selection reports zero overheads because it
+/// performed none.
+#[derive(Debug, Clone, Copy)]
+struct ClassEntry {
+    kernel: KernelId,
+    device: DeviceId,
+    used_gathered: bool,
+    last_used: u64,
+}
+
+/// Bounded LRU index of structure classes, keyed by [`ClassKey`]. Only
+/// from-scratch selections are inserted (inherited ones would merely copy an
+/// existing entry), and only Live-source selections (records carry no matrix
+/// to derive a signature from).
+#[derive(Debug)]
+struct ClassIndex {
+    map: HashMap<ClassKey, ClassEntry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ClassIndex {
+    /// Default class capacity. Signatures are coarse by construction, so
+    /// even adversarial traffic materializes few distinct classes; 1024
+    /// bounds the index at a few tens of KiB.
+    const DEFAULT_CAPACITY: usize = 1024;
+
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            capacity: Self::DEFAULT_CAPACITY,
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up the class, refreshing its recency on a hit.
+    fn lookup(&mut self, key: &ClassKey) -> Option<ClassEntry> {
+        let tick = self.tick();
+        let entry = self.map.get_mut(key)?;
+        entry.last_used = tick;
+        Some(*entry)
+    }
+
+    /// Inserts (or refreshes) a class and evicts the least recently used
+    /// entries past the capacity bound. Returns how many entries were
+    /// evicted.
+    fn insert(&mut self, key: ClassKey, kernel: KernelId, device: DeviceId, gather: bool) -> u64 {
+        let tick = self.tick();
+        self.map.insert(
+            key,
+            ClassEntry {
+                kernel,
+                device,
+                used_gathered: gather,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(candidate, _)| **candidate != key)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(candidate, _)| *candidate);
+            let Some(victim) = victim else { break };
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn clear(&mut self) -> u64 {
+        let dropped = self.map.len() as u64;
+        self.map.clear();
+        dropped
+    }
+}
+
 /// Iteration-independent modelled costs of one kernel on one matrix, cached
 /// per `(fingerprint, kernel)` so steady-state execute never re-runs the
 /// O(rows) cost models.
@@ -418,6 +570,15 @@ pub struct SeerEngine {
     /// replays instead of re-deriving. Byte-accounted LRU, see
     /// [`PreparedCache`].
     prepared: Mutex<PreparedCache>,
+    /// Bounded structure-class index backing selection inheritance (see
+    /// [`SeerEngine::set_structure_class_reuse`]); consulted only when
+    /// `class_reuse` is enabled, populated by every Live from-scratch
+    /// selection regardless so enabling reuse benefits from history.
+    classes: Mutex<ClassIndex>,
+    /// Whether a plan-cache miss may inherit a matching class's selection
+    /// instead of running the cost-model sweep. Off by default: exact-match
+    /// traffic behaves bit-identically to the pre-class engine.
+    class_reuse: AtomicBool,
     /// Device-attributable counter breakdowns, indexed by [`DeviceId`].
     device_counters: Vec<DeviceCounters>,
     /// Budgeted-clear threshold for the per-fingerprint maps (profiles,
@@ -455,6 +616,8 @@ impl SeerEngine {
             profiles: RwLock::new(HashMap::new()),
             timings: RwLock::new(HashMap::new()),
             prepared: Mutex::new(PreparedCache::new()),
+            classes: Mutex::new(ClassIndex::new()),
+            class_reuse: AtomicBool::new(false),
             device_counters,
             fingerprint_budget: AtomicU64::new(Self::DEFAULT_FINGERPRINT_BUDGET),
             counters: Counters::default(),
@@ -538,6 +701,10 @@ impl SeerEngine {
                 .load(Ordering::Relaxed),
             plan_preparations: self.counters.plan_preparations.load(Ordering::Relaxed),
             cache_evictions: self.counters.cache_evictions.load(Ordering::Relaxed),
+            plan_value_refreshes: self.counters.plan_value_refreshes.load(Ordering::Relaxed),
+            class_hits: self.counters.class_hits.load(Ordering::Relaxed),
+            inherited_selections: self.counters.inherited_selections.load(Ordering::Relaxed),
+            class_evictions: self.counters.class_evictions.load(Ordering::Relaxed),
             resident_plan_bytes: self
                 .prepared
                 .lock()
@@ -630,11 +797,13 @@ impl SeerEngine {
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         let mut timings = self.timings.write().unwrap_or_else(PoisonError::into_inner);
+        let mut classes = self.classes.lock().unwrap_or_else(PoisonError::into_inner);
         plans.clear();
         features.clear();
         profiles.clear();
         timings.clear();
         prepared.clear();
+        classes.clear();
         self.counters.plan_hits.store(0, Ordering::Relaxed);
         self.counters.plan_misses.store(0, Ordering::Relaxed);
         self.counters
@@ -646,6 +815,14 @@ impl SeerEngine {
             .store(0, Ordering::Relaxed);
         self.counters.plan_preparations.store(0, Ordering::Relaxed);
         self.counters.cache_evictions.store(0, Ordering::Relaxed);
+        self.counters
+            .plan_value_refreshes
+            .store(0, Ordering::Relaxed);
+        self.counters.class_hits.store(0, Ordering::Relaxed);
+        self.counters
+            .inherited_selections
+            .store(0, Ordering::Relaxed);
+        self.counters.class_evictions.store(0, Ordering::Relaxed);
         for device in &self.device_counters {
             device.reset();
         }
@@ -715,6 +892,63 @@ impl SeerEngine {
             .store(budget.max(1), Ordering::Relaxed);
     }
 
+    /// Enables or disables structure-class selection inheritance.
+    ///
+    /// When enabled, a plan-cache miss first probes the bounded class index
+    /// with the matrix's quantized [`StructureSignature`] (an O(rows) probe,
+    /// memoized on the matrix): a hit inherits the cached class's
+    /// `(kernel, device)` pair — skipping feature collection, the classifier
+    /// walks and the fleet cost sweep entirely — and is counted in
+    /// [`EngineStats::class_hits`] / [`EngineStats::inherited_selections`].
+    /// The exact plan cache is always consulted *first*, so exact-match
+    /// traffic replays bit-identical selections whether or not reuse is on.
+    ///
+    /// Inherited selections report zero collection and inference overheads
+    /// (none were performed) and may disagree with a from-scratch selection
+    /// near class-bucket boundaries; the differential gate in
+    /// `tests/structure_class.rs` bounds that disagreement on the corpus.
+    /// Off by default.
+    pub fn set_structure_class_reuse(&self, enabled: bool) {
+        self.class_reuse.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether structure-class selection inheritance is enabled.
+    pub fn structure_class_reuse(&self) -> bool {
+        self.class_reuse.load(Ordering::Relaxed)
+    }
+
+    /// Number of structure classes currently indexed.
+    pub fn cached_structure_classes(&self) -> usize {
+        self.classes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Sets the LRU capacity of the structure-class index (default 1024)
+    /// and immediately evicts down to it.
+    pub fn set_structure_class_capacity(&self, capacity: usize) {
+        let mut classes = self.classes.lock().unwrap_or_else(PoisonError::into_inner);
+        classes.capacity = capacity.max(1);
+        let mut evicted = 0;
+        while classes.map.len() > classes.capacity {
+            let victim = classes
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| *key);
+            let Some(victim) = victim else { break };
+            classes.map.remove(&victim);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.counters
+                .class_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
     /// Selects a kernel for `matrix` and a workload of `iterations`
     /// iterations, following the classifier-selection flow of Fig. 3.
     ///
@@ -755,18 +989,20 @@ impl SeerEngine {
     /// collection cost on a miss. The plan itself always reports its
     /// intrinsic costs, so cached replays stay bit-identical.
     ///
-    /// The content fingerprint is the cache key by design — it is what lets
-    /// a mutated matrix miss and a regenerated identical one hit. First
-    /// contact with a matrix therefore pays one O(nnz) hash pass even on the
-    /// known-features-only path; [`CsrMatrix::content_fingerprint`] memoizes
-    /// it, so the pass runs once per matrix value, not per call.
+    /// The sparsity fingerprint is the cache key by design — every quantity
+    /// a selection depends on (known features, gathered features, profile,
+    /// cost models) reads the sparsity arrays alone, so a value-mutated
+    /// matrix *hits* while a structurally-edited one misses. First contact
+    /// with a matrix therefore pays one O(nnz) hash pass even on the
+    /// known-features-only path; [`CsrMatrix::sparsity_fingerprint`]
+    /// memoizes it, so the pass runs once per matrix value, not per call.
     fn select_with_policy_charged(
         &self,
         matrix: &CsrMatrix,
         iterations: usize,
         policy: SelectionPolicy,
     ) -> (Selection, SimTime) {
-        let fingerprint = matrix.content_fingerprint();
+        let fingerprint = matrix.sparsity_fingerprint();
         let key = PlanKey {
             fingerprint,
             iterations,
@@ -786,6 +1022,51 @@ impl SeerEngine {
             return (plan, SimTime::ZERO);
         }
         self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+
+        let class_key = ClassKey {
+            signature: matrix.structure_signature(),
+            iterations,
+            policy,
+        };
+        // Structure-class inheritance (opt-in): a fresh sparsity pattern
+        // whose quantized signature matches an already-decided class adopts
+        // that class's `(kernel, device)` pair, skipping feature collection,
+        // the classifier walks and the fleet cost sweep — and, crucially,
+        // the profiling pass. The exact plan cache above always wins first,
+        // so exact repeats are untouched by reuse.
+        if self.class_reuse.load(Ordering::Relaxed) {
+            let inherited = self
+                .classes
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .lookup(&class_key);
+            if let Some(entry) = inherited {
+                self.counters.class_hits.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .inherited_selections
+                    .fetch_add(1, Ordering::Relaxed);
+                let selection = Selection {
+                    kernel: entry.kernel,
+                    device: entry.device,
+                    used_gathered: entry.used_gathered,
+                    // No collection ran and no trees were walked; the
+                    // selection honestly reports zero overheads rather than
+                    // replaying costs it never paid.
+                    feature_collection_cost: SimTime::ZERO,
+                    inference_overhead: SimTime::ZERO,
+                };
+                self.device_counters[selection.device.index()]
+                    .plan_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                self.plans
+                    .write()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key, selection);
+                self.enforce_fingerprint_budget();
+                return (selection, SimTime::ZERO);
+            }
+        }
+
         let ctx = SelectionCtx {
             known: KnownFeatures::of(matrix, iterations).to_vector(),
             iterations,
@@ -795,6 +1076,23 @@ impl SeerEngine {
             },
         };
         let (selection, collection_ran) = self.decide(ctx, policy);
+        // Index this from-scratch selection's class whether or not reuse is
+        // currently enabled, so flipping it on inherits from history.
+        let evicted = self
+            .classes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                class_key,
+                selection.kernel,
+                selection.device,
+                selection.used_gathered,
+            );
+        if evicted > 0 {
+            self.counters
+                .class_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
         self.device_counters[selection.device.index()]
             .plan_misses
             .fetch_add(1, Ordering::Relaxed);
@@ -1022,16 +1320,18 @@ impl SeerEngine {
     }
 
     /// Iteration-independent modelled costs of `kernel_id` on `matrix` when
-    /// run on `device`, cached per `(fingerprint, device, kernel)`. Every
-    /// device's costs derive from the same shared [`MatrixProfile`], so a
-    /// fleet-wide ranking never profiles the matrix more than once.
+    /// run on `device`, cached per `(sparsity fingerprint, device, kernel)`
+    /// — the cost models read the profile and structure alone, so cached
+    /// costs survive value mutation. Every device's costs derive from the
+    /// same shared [`MatrixProfile`], so a fleet-wide ranking never profiles
+    /// the matrix more than once.
     fn kernel_costs_on(
         &self,
         matrix: &CsrMatrix,
         device: DeviceId,
         kernel_id: KernelId,
     ) -> KernelCosts {
-        let fingerprint = matrix.content_fingerprint();
+        let fingerprint = matrix.sparsity_fingerprint();
         let key = (fingerprint, device, kernel_id);
         if let Some(costs) = self
             .timings
@@ -1063,14 +1363,25 @@ impl SeerEngine {
     }
 
     /// The prepared execution plan of `kernel_id` on `matrix` for `device`,
-    /// answered from (and installed into) the byte-budgeted `(fingerprint,
-    /// device, kernel)` plan cache. A warm lookup is a short-held lock, a
-    /// hash probe and an `Arc` clone: no allocation. A cold build runs with
-    /// **no** lock held, so warm traffic on other matrices is never convoyed
-    /// behind an O(nnz) preparation; when concurrent first contacts race,
-    /// the winner's plan is installed and counted and the losers adopt it
-    /// (their duplicate build is discarded), keeping
-    /// [`EngineStats::plan_preparations`] at exactly one per cached key.
+    /// answered from (and installed into) the byte-budgeted `(sparsity
+    /// fingerprint, device, kernel)` plan cache. A warm lookup is a
+    /// short-held lock, a hash probe and an `Arc` clone: no allocation. A
+    /// cold build runs with **no** lock held, so warm traffic on other
+    /// matrices is never convoyed behind an O(nnz) preparation; when
+    /// concurrent first contacts race, the winner's plan is installed and
+    /// counted and the losers adopt it (their duplicate build is discarded),
+    /// keeping [`EngineStats::plan_preparations`] at exactly one per cached
+    /// key.
+    ///
+    /// Structure-only plans (merge-path tables, row bins, COO expansions,
+    /// direct plans) survive value mutation untouched. The ELL slab embeds
+    /// value bits, so a cached slab whose values key no longer matches the
+    /// matrix is rebuilt in place — no profile pass (the profile cache is
+    /// warm), no selection, counted in
+    /// [`EngineStats::plan_value_refreshes`] rather than as a preparation.
+    /// Alternating two value versions of one sparsity pattern therefore
+    /// refreshes on every swap; callers doing that should hold their own
+    /// plan handles.
     ///
     /// # Panics
     ///
@@ -1082,14 +1393,18 @@ impl SeerEngine {
         kernel_id: KernelId,
     ) -> Arc<PreparedPlan> {
         let _ = self.fleet.device(device);
-        let fingerprint = matrix.content_fingerprint();
+        let fingerprint = matrix.sparsity_fingerprint();
         let key = (fingerprint, device, kernel_id);
+        let mut stale = false;
         {
             let mut cache = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
             let tick = cache.tick();
             if let Some(entry) = cache.map.get_mut(&key) {
-                entry.last_used = tick;
-                return Arc::clone(&entry.plan);
+                if entry.plan.values_current(matrix) {
+                    entry.last_used = tick;
+                    return Arc::clone(&entry.plan);
+                }
+                stale = true;
             }
         }
         let profile = self.profile_for(matrix, fingerprint);
@@ -1097,17 +1412,30 @@ impl SeerEngine {
         let mut cache = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
         let tick = cache.tick();
         if let Some(entry) = cache.map.get_mut(&key) {
-            // A concurrent first contact installed its plan while we built
-            // ours; adopt the cached one so the counter stays exact.
-            entry.last_used = tick;
-            return Arc::clone(&entry.plan);
+            if entry.plan.values_current(matrix) {
+                // A concurrent first contact (or refresh) installed a
+                // serviceable plan while we built ours; adopt it so the
+                // counters stay exact.
+                entry.last_used = tick;
+                return Arc::clone(&entry.plan);
+            }
+            // Value refresh: swap the stale values-keyed plan for the
+            // rebuilt one, keeping the byte accounting balanced.
+            stale = true;
+            cache.bytes -= entry.plan.heap_bytes();
         }
-        self.counters
-            .plan_preparations
-            .fetch_add(1, Ordering::Relaxed);
-        self.device_counters[device.index()]
-            .plan_preparations
-            .fetch_add(1, Ordering::Relaxed);
+        if stale {
+            self.counters
+                .plan_value_refreshes
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters
+                .plan_preparations
+                .fetch_add(1, Ordering::Relaxed);
+            self.device_counters[device.index()]
+                .plan_preparations
+                .fetch_add(1, Ordering::Relaxed);
+        }
         cache.bytes += plan.heap_bytes();
         cache.map.insert(
             key,
@@ -1457,12 +1785,13 @@ mod tests {
     }
 
     #[test]
-    fn mutated_matrix_misses_the_cache() {
+    fn value_mutation_replays_the_plan_and_structural_change_misses() {
         let (engine, entries) = engine_and_collection();
         let matrix = &entries[0].matrix;
-        engine.select(matrix, 1);
+        let first = engine.select(matrix, 1);
 
-        // Same shape, one value changed: must be a different plan.
+        // Same structure, one value changed: selections are functions of the
+        // sparsity pattern alone, so this replays the cached plan.
         let mut values = matrix.values().to_vec();
         values[0] += 0.5;
         let mutated = CsrMatrix::try_new(
@@ -1473,15 +1802,56 @@ mod tests {
             values,
         )
         .unwrap();
-        engine.select(&mutated, 1);
+        let replayed = engine.select(&mutated, 1);
+        assert_eq!(first, replayed);
+        let stats = engine.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 1);
+
+        // A structural edit is a different sparsity pattern: plan miss.
+        let mut delta = matrix.clone().into_delta();
+        delta.set_row(0, &[], &[]);
+        let restructured = delta.finish().unwrap();
+        engine.select(&restructured, 1);
         let stats = engine.stats();
         assert_eq!(stats.plan_misses, 2);
-        assert_eq!(stats.plan_hits, 0);
+        assert_eq!(stats.plan_hits, 1);
 
-        // A regenerated bit-identical matrix is the same content: cache hit.
+        // A regenerated bit-identical matrix is the same structure: hit.
         let clone = matrix.clone();
         engine.select(&clone, 1);
-        assert_eq!(engine.stats().plan_hits, 1);
+        assert_eq!(engine.stats().plan_hits, 2);
+    }
+
+    #[test]
+    fn in_place_value_mutation_stays_fully_warm() {
+        let (engine, entries) = engine_and_collection();
+        let mut matrix = entries[0].matrix.clone();
+        let x: Vec<f64> = (0..matrix.cols()).map(|i| (i % 3) as f64 - 1.0).collect();
+        let mut workspace = EngineWorkspace::new();
+
+        let (cold_selection, _) = engine.execute_into(&matrix, &x, 19, &mut workspace);
+        let warm = engine.stats();
+        assert_eq!(warm.plan_misses, 1);
+
+        // Mutate the values in place: zero profile passes, zero plan
+        // preparations, zero feature collections from here on — the
+        // acceptance criterion of the incremental-update layer.
+        let doubled: Vec<f64> = matrix.values().iter().map(|v| v * 2.0).collect();
+        matrix.update_values(&doubled).unwrap();
+        let (mutated_selection, _) = engine.execute_into(&matrix, &x, 19, &mut workspace);
+        let after = engine.stats();
+        assert_eq!(mutated_selection, cold_selection);
+        assert_eq!(after.plan_misses, warm.plan_misses);
+        assert_eq!(after.profile_passes, warm.profile_passes);
+        assert_eq!(after.plan_preparations, warm.plan_preparations);
+        assert_eq!(after.feature_collections, warm.feature_collections);
+        // The result reflects the *new* values (doubling the matrix doubles
+        // the product), not the stale pre-mutation bits.
+        let reference = matrix.spmv(&x);
+        for (got, want) in workspace.result().iter().zip(&reference) {
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        }
     }
 
     #[test]
@@ -1544,6 +1914,10 @@ mod tests {
             misprediction_fallbacks: 0,
             plan_preparations: 1,
             cache_evictions: 0,
+            plan_value_refreshes: 0,
+            class_hits: 1,
+            inherited_selections: 1,
+            class_evictions: 0,
             resident_plan_bytes: 100,
         };
         let b = EngineStats {
@@ -1554,6 +1928,10 @@ mod tests {
             misprediction_fallbacks: 0,
             plan_preparations: 2,
             cache_evictions: 1,
+            plan_value_refreshes: 1,
+            class_hits: 2,
+            inherited_selections: 2,
+            class_evictions: 1,
             resident_plan_bytes: 200,
         };
         assert_eq!(a.saturating_sub(b), EngineStats::default());
@@ -1790,8 +2168,8 @@ mod tests {
         let rebuilt = engine.prepared_plan(&entries[0].matrix, kernels);
         assert_eq!(replayed.kernel(), kernels);
         assert_eq!(
-            rebuilt.fingerprint(),
-            entries[0].matrix.content_fingerprint()
+            rebuilt.sparsity_fingerprint(),
+            entries[0].matrix.sparsity_fingerprint()
         );
         assert!(engine.stats().resident_plan_bytes <= largest.max(sizes[0]) as u64);
     }
@@ -1979,5 +2357,156 @@ mod tests {
             engine.select_gathered_only(&entry.matrix, 1);
         }
         assert_eq!(engine.stats().misprediction_fallbacks, 0);
+    }
+
+    /// Two fresh same-family matrices (same generator, nearby seeds) that
+    /// land in the same structure class.
+    fn near_duplicate_pair() -> (CsrMatrix, CsrMatrix) {
+        let mut a_rng = seer_sparse::SplitMix64::new(100);
+        let mut b_rng = seer_sparse::SplitMix64::new(101);
+        let a = seer_sparse::generators::uniform_row_length(4000, 9, &mut a_rng);
+        let b = seer_sparse::generators::uniform_row_length(4000, 9, &mut b_rng);
+        assert_eq!(a.structure_signature(), b.structure_signature());
+        assert_ne!(a.sparsity_fingerprint(), b.sparsity_fingerprint());
+        (a, b)
+    }
+
+    #[test]
+    fn class_reuse_is_off_by_default_and_off_means_no_inheritance() {
+        let (engine, _) = engine_and_collection();
+        assert!(!engine.structure_class_reuse());
+        let (a, b) = near_duplicate_pair();
+        engine.select(&a, 19);
+        engine.select(&b, 19);
+        let stats = engine.stats();
+        // Both paid the full cold path; the class index recorded them but
+        // never served an inherited selection.
+        assert_eq!(stats.plan_misses, 2);
+        assert_eq!(stats.class_hits, 0);
+        assert_eq!(stats.inherited_selections, 0);
+    }
+
+    #[test]
+    fn enabled_class_reuse_inherits_the_selection_without_profiling() {
+        let (engine, _) = engine_and_collection();
+        engine.set_structure_class_reuse(true);
+        let (a, b) = near_duplicate_pair();
+        let from_scratch = engine.select(&a, 19);
+        let cold = engine.stats();
+        assert_eq!(cold.class_hits, 0);
+
+        let inherited = engine.select(&b, 19);
+        let warm = engine.stats();
+        assert_eq!(inherited.kernel, from_scratch.kernel);
+        assert_eq!(inherited.device, from_scratch.device);
+        // The inherited selection skipped collection, inference and
+        // profiling, and honestly reports zero overheads.
+        assert_eq!(inherited.feature_collection_cost, SimTime::ZERO);
+        assert_eq!(inherited.inference_overhead, SimTime::ZERO);
+        assert_eq!(warm.class_hits, 1);
+        assert_eq!(warm.inherited_selections, 1);
+        assert_eq!(warm.profile_passes, cold.profile_passes);
+        assert_eq!(warm.feature_collections, cold.feature_collections);
+
+        // The inherited selection was installed in the exact plan cache:
+        // replaying the same matrix is a plain hit, not a second class hit.
+        engine.select(&b, 19);
+        let replay = engine.stats();
+        assert_eq!(replay.plan_hits, 1);
+        assert_eq!(replay.class_hits, 1);
+    }
+
+    #[test]
+    fn exact_plan_cache_wins_over_class_inheritance() {
+        let (engine, entries) = engine_and_collection();
+        engine.set_structure_class_reuse(true);
+        let matrix = &entries[0].matrix;
+        let first = engine.select(matrix, 19);
+        let second = engine.select(matrix, 19);
+        // An exact repeat replays the cached selection with its recorded
+        // overheads — inheritance never rewrites exact-match behaviour.
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().class_hits, 0);
+    }
+
+    #[test]
+    fn class_index_is_bounded_and_eviction_is_counted() {
+        let (engine, entries) = engine_and_collection();
+        engine.set_structure_class_capacity(2);
+        for entry in entries.iter().take(5) {
+            engine.select(&entry.matrix, 19);
+        }
+        assert!(engine.cached_structure_classes() <= 2);
+        let stats = engine.stats();
+        let distinct_classes: std::collections::HashSet<_> = entries
+            .iter()
+            .take(5)
+            .map(|e| e.matrix.structure_signature())
+            .collect();
+        if distinct_classes.len() > 2 {
+            assert!(stats.class_evictions > 0);
+        }
+        // Shrinking the capacity evicts immediately.
+        engine.set_structure_class_capacity(1);
+        assert!(engine.cached_structure_classes() <= 1);
+    }
+
+    #[test]
+    fn clear_caches_drops_the_class_index() {
+        let (engine, entries) = engine_and_collection();
+        engine.select(&entries[0].matrix, 19);
+        assert!(engine.cached_structure_classes() > 0);
+        engine.clear_caches();
+        assert_eq!(engine.cached_structure_classes(), 0);
+        assert_eq!(engine.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn slab_refresh_after_value_mutation_is_not_a_preparation() {
+        let (engine, _) = engine_and_collection();
+        // Identity has zero ELL padding, so the thread-mapped ELL kernel
+        // materializes a slab (the one values-embedding plan variant).
+        let mut matrix = CsrMatrix::identity(256);
+        let plan = engine.prepared_plan(&matrix, KernelId::EllThreadMapped);
+        assert!(plan.values_fingerprint().is_some());
+        let cold = engine.stats();
+        assert_eq!(cold.plan_preparations, 1);
+        assert_eq!(cold.plan_value_refreshes, 0);
+
+        // Mutate the values: the cached slab is stale, and the engine
+        // refreshes it in place — no new profile pass, no preparation.
+        matrix.update_values(&vec![2.0; 256]).unwrap();
+        let refreshed = engine.prepared_plan(&matrix, KernelId::EllThreadMapped);
+        assert!(refreshed.values_current(&matrix));
+        let warm = engine.stats();
+        assert_eq!(warm.plan_preparations, cold.plan_preparations);
+        assert_eq!(warm.plan_value_refreshes, 1);
+        assert_eq!(warm.profile_passes, cold.profile_passes);
+        // Byte accounting survived the swap.
+        assert_eq!(
+            warm.resident_plan_bytes,
+            refreshed.heap_bytes() as u64 + cold.resident_plan_bytes - plan.heap_bytes() as u64
+        );
+
+        // Replaying the refreshed plan with unchanged values is a plain hit.
+        let replayed = engine.prepared_plan(&matrix, KernelId::EllThreadMapped);
+        assert_eq!(engine.stats().plan_value_refreshes, 1);
+        assert!(replayed.values_current(&matrix));
+    }
+
+    #[test]
+    fn structure_only_prepared_plans_survive_value_mutation() {
+        let (engine, entries) = engine_and_collection();
+        let mut matrix = entries[0].matrix.clone();
+        let plan = engine.prepared_plan(&matrix, KernelId::CsrMergePath);
+        assert_eq!(plan.values_fingerprint(), None);
+        let cold = engine.stats();
+        let doubled: Vec<f64> = matrix.values().iter().map(|v| v * 2.0).collect();
+        matrix.update_values(&doubled).unwrap();
+        let replayed = engine.prepared_plan(&matrix, KernelId::CsrMergePath);
+        assert!(replayed.values_current(&matrix));
+        let warm = engine.stats();
+        assert_eq!(warm.plan_preparations, cold.plan_preparations);
+        assert_eq!(warm.plan_value_refreshes, 0);
     }
 }

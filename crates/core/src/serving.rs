@@ -9,11 +9,14 @@
 //!   caches, own counters) sharing one device model and one set of trained
 //!   models, plus one `std::thread` worker draining a queue;
 //! * requests are routed by
-//!   [`content_fingerprint`](seer_sparse::CsrMatrix::content_fingerprint)` %
-//!   N`, so every distinct matrix has exactly one home shard. Repeat traffic
-//!   on a matrix always lands on the shard that already cached its plan —
-//!   cache locality survives concurrency, and no selection plan (nor
-//!   prepared execution plan: each shard's warm execute replays the cached
+//!   [`sparsity_fingerprint`](seer_sparse::CsrMatrix::sparsity_fingerprint)` %
+//!   N` — the same key the engine caches under — so every distinct sparsity
+//!   pattern has exactly one home shard. Repeat traffic on a matrix always
+//!   lands on the shard that already cached its plan, *including* replays
+//!   after a value-only [`update_values`](seer_sparse::CsrMatrix::update_values)
+//!   mutation (values don't move a matrix off its home shard) — cache
+//!   locality survives concurrency, and no selection plan (nor prepared
+//!   execution plan: each shard's warm execute replays the cached
 //!   `(matrix, kernel)` [`seer_kernels::PreparedPlan`] instead of re-deriving
 //!   partition tables or padded layouts) is ever computed twice across shards
 //!   for the same key;
@@ -40,7 +43,7 @@
 //!    `(kernel, device)` selection (cached per plan key, so repeat traffic
 //!    routes with one hash probe) and picks the selected device's shard
 //!    group;
-//! 2. **fingerprint locality** — within the group, `content_fingerprint() %
+//! 2. **fingerprint locality** — within the group, `sparsity_fingerprint() %
 //!    group_size` pins the matrix to one home shard.
 //!
 //! Because placement is deterministic, every `(fingerprint, device, kernel)`
@@ -96,6 +99,13 @@ pub struct PoolConfig {
     /// shards` workers. For the single-device constructors this is simply
     /// the total shard count.
     pub shards: usize,
+    /// Enable structure-class selection inheritance
+    /// ([`SeerEngine::set_structure_class_reuse`]) on every shard engine and
+    /// on the router, so fresh matrices from an already-served structure
+    /// class skip the cold selection sweep. Off by default: inherited
+    /// selections are approximate by design, and the pool's differential
+    /// guarantees against a sequential engine hold exactly only without it.
+    pub structure_class_reuse: bool,
 }
 
 impl PoolConfig {
@@ -103,7 +113,14 @@ impl PoolConfig {
     pub fn with_shards(shards: usize) -> Self {
         Self {
             shards: shards.max(1),
+            structure_class_reuse: false,
         }
+    }
+
+    /// Returns the config with structure-class reuse switched on or off.
+    pub fn with_class_reuse(mut self, enabled: bool) -> Self {
+        self.structure_class_reuse = enabled;
+        self
     }
 }
 
@@ -504,6 +521,7 @@ impl ServingPool {
             for _ in 0..per_device {
                 let index = shards.len();
                 let engine = Arc::new(SeerEngine::with_fleet(fleet.clone(), Arc::clone(&models)));
+                engine.set_structure_class_reuse(config.structure_class_reuse);
                 let (sender, receiver) = mpsc::channel::<Job>();
                 let completed = Arc::new(AtomicU64::new(0));
                 let worker = {
@@ -528,8 +546,13 @@ impl ServingPool {
                 });
             }
         }
-        let router = (!fleet.is_single_device())
-            .then(|| Arc::new(SeerEngine::with_fleet(fleet.clone(), models)));
+        let router = (!fleet.is_single_device()).then(|| {
+            let engine = Arc::new(SeerEngine::with_fleet(fleet.clone(), models));
+            // Inherited routing stays device-affine: a class hit on the
+            // router pins the whole class's placement to one device group.
+            engine.set_structure_class_reuse(config.structure_class_reuse);
+            engine
+        });
         Self {
             fleet,
             shards,
@@ -561,13 +584,15 @@ impl ServingPool {
     }
 
     /// The home shard of `matrix` under bare fingerprint routing:
-    /// `content_fingerprint() % shards`. This is the complete routing
-    /// function of a single-device pool; a fleet pool first resolves the
-    /// request's device affinity (see the [module docs](self)), so its home
-    /// shard depends on the whole request — use
-    /// [`ServingPool::shard_for_request`] there.
+    /// `sparsity_fingerprint() % shards`. Keying on the sparsity component
+    /// (the same key every engine cache uses) means a value-only mutation
+    /// never re-homes a matrix — its warm shard keeps serving it. This is
+    /// the complete routing function of a single-device pool; a fleet pool
+    /// first resolves the request's device affinity (see the
+    /// [module docs](self)), so its home shard depends on the whole
+    /// request — use [`ServingPool::shard_for_request`] there.
     pub fn shard_for(&self, matrix: &CsrMatrix) -> usize {
-        (matrix.content_fingerprint() % self.shards.len() as u64) as usize
+        (matrix.sparsity_fingerprint() % self.shards.len() as u64) as usize
     }
 
     /// The shard `request` will be routed to: the fingerprint-local shard
@@ -583,7 +608,7 @@ impl ServingPool {
                 let selection =
                     router.select_with_policy(&request.matrix, request.iterations, request.policy);
                 let group = &self.device_groups[selection.device.index()];
-                group[(request.matrix.content_fingerprint() % group.len() as u64) as usize]
+                group[(request.matrix.sparsity_fingerprint() % group.len() as u64) as usize]
             }
         }
     }
@@ -824,14 +849,48 @@ mod tests {
     }
 
     #[test]
+    fn class_reuse_config_flows_to_every_shard_engine() {
+        let entries = generate(&CollectionConfig::tiny());
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        // Default config: reuse stays off.
+        let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(2));
+        let off = pool.shutdown();
+        assert_eq!(off.engine().inherited_selections, 0);
+
+        // One shard so every family member hits the same engine; reuse on.
+        let pool =
+            ServingPool::from_engine(&engine, PoolConfig::with_shards(1).with_class_reuse(true));
+        let mut rng = seer_sparse::SplitMix64::new(100);
+        let family: Vec<Arc<CsrMatrix>> = (0..4)
+            .map(|_| {
+                Arc::new(seer_sparse::generators::uniform_row_length(
+                    4000, 9, &mut rng,
+                ))
+            })
+            .collect();
+        let mut selections = Vec::new();
+        for matrix in &family {
+            let ticket = pool.submit(ServingRequest::select(Arc::clone(matrix), 19));
+            selections.push(ticket.wait().selection);
+        }
+        let stats = pool.shutdown();
+        // The first member decided from scratch; later members inherited.
+        assert!(stats.engine().inherited_selections >= 1);
+        assert!(selections
+            .iter()
+            .all(|s| s.kernel == selections[0].kernel && s.device == selections[0].device));
+    }
+
+    #[test]
     fn routing_is_by_fingerprint_modulo_shards() {
         let (pool, _engine, entries) = pool_and_corpus(4);
         let matrix = Arc::new(entries[0].matrix.clone());
         let home = pool.shard_for(&matrix);
         assert_eq!(
             home,
-            (matrix.content_fingerprint() % 4) as usize,
-            "routing must be fingerprint % shards"
+            (matrix.sparsity_fingerprint() % 4) as usize,
+            "routing must be sparsity fingerprint % shards"
         );
         let tickets =
             pool.submit_batch((0..10).map(|_| ServingRequest::select(Arc::clone(&matrix), 1)));
@@ -849,6 +908,20 @@ mod tests {
                 assert_eq!(shard.cached_plans, 0);
             }
         }
+    }
+
+    #[test]
+    fn value_mutation_never_re_homes_a_matrix() {
+        let (pool, _engine, entries) = pool_and_corpus(4);
+        let mut matrix = entries[0].matrix.clone();
+        let home = pool.shard_for(&matrix);
+        let shifted: Vec<f64> = matrix.values().iter().map(|v| v * 3.0 - 1.0).collect();
+        matrix.update_values(&shifted).expect("same-length values");
+        assert_eq!(
+            pool.shard_for(&matrix),
+            home,
+            "a value-only mutation must keep the matrix on its warm home shard"
+        );
     }
 
     #[test]

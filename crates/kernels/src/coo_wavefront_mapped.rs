@@ -155,7 +155,7 @@ impl SpmvKernel for CooWavefrontMapped {
         // for: an explicit per-nonzero row index array.
         PreparedPlan::new(
             self.id(),
-            matrix.content_fingerprint(),
+            matrix,
             PlanData::CooRows {
                 rows: matrix.expand_row_indices(),
             },

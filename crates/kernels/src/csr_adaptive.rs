@@ -222,7 +222,7 @@ impl SpmvKernel for CsrAdaptive {
         let bins = RowBinning::compute(matrix);
         PreparedPlan::new(
             self.id(),
-            matrix.content_fingerprint(),
+            matrix,
             PlanData::RowBins {
                 small: bins.small,
                 medium: bins.medium,

@@ -125,11 +125,7 @@ impl SpmvKernel for CsrMergePath {
         // segment boundary, materialized as the coordinate table the modelled
         // preprocessing pays to build and transfer.
         let coords = merge_path_partition(matrix, CsrWorkOriented::thread_count(matrix));
-        PreparedPlan::new(
-            self.id(),
-            matrix.content_fingerprint(),
-            PlanData::MergePath { coords },
-        )
+        PreparedPlan::new(self.id(), matrix, PlanData::MergePath { coords })
     }
 
     fn compute_prepared_into(

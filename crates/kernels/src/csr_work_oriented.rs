@@ -127,11 +127,7 @@ impl SpmvKernel for CsrWorkOriented {
         // same partition table as CSR,MP and replays it, keeping the result
         // bit-identical while skipping the per-call binary searches.
         let coords = merge_path_partition(matrix, Self::thread_count(matrix));
-        PreparedPlan::new(
-            self.id(),
-            matrix.content_fingerprint(),
-            PlanData::MergePath { coords },
-        )
+        PreparedPlan::new(self.id(), matrix, PlanData::MergePath { coords })
     }
 
     fn compute_prepared_into(

@@ -151,7 +151,7 @@ impl SpmvKernel for EllThreadMapped {
         }
         PreparedPlan::new(
             self.id(),
-            matrix.content_fingerprint(),
+            matrix,
             PlanData::EllSlab {
                 slab: EllSlab::with_width(matrix, profile.max_row_len()),
             },

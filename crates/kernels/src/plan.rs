@@ -13,7 +13,7 @@
 //! A [`PreparedPlan`] is that one-time preparation made explicit: built once
 //! by [`SpmvKernel::prepare`](crate::SpmvKernel::prepare) on a plan-cache
 //! miss, cached by the engine as `Arc<PreparedPlan>` keyed by
-//! `(content_fingerprint, KernelId)`, and consumed by
+//! `(sparsity_fingerprint, KernelId)`, and consumed by
 //! [`SpmvKernel::compute_prepared_into`](crate::SpmvKernel::compute_prepared_into)
 //! — which must stay allocation-free and **bit-identical** to the streaming
 //! path (per-row summation order is preserved by construction).
@@ -76,21 +76,29 @@ pub(crate) enum PlanData {
 /// A cached, immutable execution plan for one `(matrix, kernel)` pair.
 ///
 /// Built by [`SpmvKernel::prepare`](crate::SpmvKernel::prepare); see the
-/// [module docs](self) for the lifecycle. The plan records the content
-/// fingerprint of the matrix it was built for so a mismatched replay is
-/// caught in debug builds, and its [`PreparedPlan::heap_bytes`] feeds the
-/// engine's byte-accounted cache eviction.
+/// [module docs](self) for the lifecycle. The plan records the *sparsity*
+/// fingerprint of the matrix it was built from — every variant's structure
+/// is derived from the row offsets and column indices alone — plus, for the
+/// one variant that embeds value bits ([`PlanData::EllSlab`]), the values
+/// fingerprint. A value-only mutation therefore leaves every
+/// structure-derived plan valid and invalidates exactly the slab; a
+/// mismatched replay is caught in debug builds, and
+/// [`PreparedPlan::heap_bytes`] feeds the engine's byte-accounted cache
+/// eviction.
 #[derive(Debug, Clone)]
 pub struct PreparedPlan {
     kernel: KernelId,
-    fingerprint: u64,
+    sparsity: u64,
+    values: Option<u64>,
     pub(crate) data: PlanData,
     heap_bytes: usize,
 }
 
 impl PreparedPlan {
-    /// Wraps prepared data for `kernel` on the matrix with `fingerprint`.
-    pub(crate) fn new(kernel: KernelId, fingerprint: u64, data: PlanData) -> Self {
+    /// Wraps prepared data for `kernel` on `matrix`, recording the sparsity
+    /// key and — only when the data embeds value bits — the values key.
+    pub(crate) fn new(kernel: KernelId, matrix: &CsrMatrix, data: PlanData) -> Self {
+        let values = matches!(data, PlanData::EllSlab { .. }).then(|| matrix.values_fingerprint());
         let heap_bytes = match &data {
             PlanData::Direct => 0,
             PlanData::MergePath { coords } => {
@@ -109,7 +117,8 @@ impl PreparedPlan {
         };
         Self {
             kernel,
-            fingerprint,
+            sparsity: matrix.sparsity_fingerprint(),
+            values,
             data,
             heap_bytes,
         }
@@ -117,7 +126,7 @@ impl PreparedPlan {
 
     /// A plan for a kernel that consumes the device-resident CSR directly.
     pub(crate) fn direct(kernel: KernelId, matrix: &CsrMatrix) -> Self {
-        Self::new(kernel, matrix.content_fingerprint(), PlanData::Direct)
+        Self::new(kernel, matrix, PlanData::Direct)
     }
 
     /// The kernel this plan was prepared for.
@@ -125,9 +134,28 @@ impl PreparedPlan {
         self.kernel
     }
 
-    /// Content fingerprint of the matrix this plan was built from.
-    pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+    /// Sparsity fingerprint of the matrix this plan was built from.
+    pub fn sparsity_fingerprint(&self) -> u64 {
+        self.sparsity
+    }
+
+    /// Values fingerprint of the matrix this plan was built from, recorded
+    /// only when the plan embeds value bits (`Some` exactly for the ELL
+    /// slab). `None` means the plan is valid for *any* values over its
+    /// sparsity pattern.
+    pub fn values_fingerprint(&self) -> Option<u64> {
+        self.values
+    }
+
+    /// Whether this plan is still valid for `matrix`'s current values.
+    ///
+    /// Always true for structure-only plans; for a values-embedding plan
+    /// this compares the recorded values key against the matrix's, so a
+    /// value mutation flips it to false and the engine rebuilds the slab
+    /// (without re-profiling).
+    pub fn values_current(&self, matrix: &CsrMatrix) -> bool {
+        self.values
+            .is_none_or(|recorded| recorded == matrix.values_fingerprint())
     }
 
     /// Heap bytes held by the materialized auxiliary structures (zero for
@@ -143,9 +171,14 @@ impl PreparedPlan {
         !matches!(self.data, PlanData::Direct)
     }
 
-    /// Debug-build guard that `matrix` is the value this plan was built for
-    /// and that `kernel` matches. The fingerprint read is memoized, so the
+    /// Debug-build guard that `matrix` is a value this plan may serve and
+    /// that `kernel` matches. The fingerprint reads are memoized, so the
     /// check is O(1) on warm matrices.
+    ///
+    /// The values assertion is the stale-plan footgun guard: mutating a
+    /// matrix's values through [`CsrMatrix::update_values`] resets its
+    /// values fingerprint, so replaying a values-embedding plan built before
+    /// the mutation trips here instead of silently serving stale bits.
     #[inline]
     pub(crate) fn check_matches(&self, kernel: KernelId, matrix: &CsrMatrix) {
         assert_eq!(
@@ -154,9 +187,13 @@ impl PreparedPlan {
             self.kernel, kernel
         );
         debug_assert_eq!(
-            self.fingerprint,
-            matrix.content_fingerprint(),
-            "prepared plan replayed against a different matrix value"
+            self.sparsity,
+            matrix.sparsity_fingerprint(),
+            "prepared plan replayed against a different sparsity pattern"
+        );
+        debug_assert!(
+            self.values_current(matrix),
+            "values-keyed prepared plan replayed after a value mutation"
         );
     }
 }
@@ -170,7 +207,8 @@ mod tests {
         let m = CsrMatrix::identity(8);
         let plan = PreparedPlan::direct(KernelId::CsrThreadMapped, &m);
         assert_eq!(plan.kernel(), KernelId::CsrThreadMapped);
-        assert_eq!(plan.fingerprint(), m.content_fingerprint());
+        assert_eq!(plan.sparsity_fingerprint(), m.sparsity_fingerprint());
+        assert_eq!(plan.values_fingerprint(), None);
         assert_eq!(plan.heap_bytes(), 0);
         assert!(!plan.is_materialized());
     }
@@ -180,14 +218,53 @@ mod tests {
         let m = CsrMatrix::identity(8);
         let rows = m.expand_row_indices();
         let expected = rows.capacity() * std::mem::size_of::<usize>();
-        let plan = PreparedPlan::new(
-            KernelId::CooWavefrontMapped,
-            m.content_fingerprint(),
-            PlanData::CooRows { rows },
-        );
+        let plan = PreparedPlan::new(KernelId::CooWavefrontMapped, &m, PlanData::CooRows { rows });
         assert!(plan.is_materialized());
         assert_eq!(plan.heap_bytes(), expected);
         assert!(plan.heap_bytes() >= 8 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn structure_only_plans_survive_value_mutation_but_slabs_do_not() {
+        let mut m = CsrMatrix::identity(8);
+        let coo = PreparedPlan::new(
+            KernelId::CooWavefrontMapped,
+            &m,
+            PlanData::CooRows {
+                rows: m.expand_row_indices(),
+            },
+        );
+        let slab = PreparedPlan::new(
+            KernelId::EllThreadMapped,
+            &m,
+            PlanData::EllSlab {
+                slab: EllSlab::from_csr(&m),
+            },
+        );
+        assert!(coo.values_current(&m));
+        assert!(slab.values_current(&m));
+        m.update_values(&[2.0; 8]).unwrap();
+        assert!(
+            coo.values_current(&m),
+            "structure-only plans never go stale"
+        );
+        assert!(!slab.values_current(&m), "the slab embeds the old values");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "values-keyed prepared plan replayed after a value mutation")]
+    fn stale_slab_replay_is_rejected_in_debug_builds() {
+        let mut m = CsrMatrix::identity(4);
+        let slab = PreparedPlan::new(
+            KernelId::EllThreadMapped,
+            &m,
+            PlanData::EllSlab {
+                slab: EllSlab::from_csr(&m),
+            },
+        );
+        m.update_values(&[3.0; 4]).unwrap();
+        slab.check_matches(KernelId::EllThreadMapped, &m);
     }
 
     #[test]

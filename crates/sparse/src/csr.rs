@@ -2,7 +2,22 @@
 
 use std::sync::{Arc, OnceLock};
 
+use crate::signature::StructureSignature;
 use crate::{CooMatrix, DenseMatrix, MatrixProfile, Scalar, SparseError};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Splitmix-style avalanche finalizer shared by all three fingerprints; the
+/// word-wide FNV mix is cheap but weak on its own.
+#[inline]
+fn finalize_hash(mut hash: u64) -> u64 {
+    hash ^= hash >> 30;
+    hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    hash ^= hash >> 27;
+    hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
+    hash ^ (hash >> 31)
+}
 
 /// A sparse matrix in Compressed Sparse Row format.
 ///
@@ -39,15 +54,28 @@ pub struct CsrMatrix {
     row_offsets: Vec<usize>,
     col_indices: Vec<usize>,
     values: Vec<Scalar>,
-    /// Lazily computed [`CsrMatrix::content_fingerprint`]. The matrix is
-    /// immutable after construction, so the cached value can never go stale;
-    /// cloning carries it along for free.
+    /// Lazily computed [`CsrMatrix::content_fingerprint`]. The buffers are
+    /// only reachable through the checked mutation APIs
+    /// ([`CsrMatrix::update_values`] and the structural
+    /// [`CsrMatrix::into_delta`] builder), each of which resets exactly the
+    /// memos its edit can stale, so a cached value never lies; cloning
+    /// carries it along for free.
     fingerprint: OnceLock<u64>,
+    /// Lazily computed [`CsrMatrix::sparsity_fingerprint`]: dimensions, row
+    /// offsets and column indices only. Survives value-only mutation.
+    sparsity: OnceLock<u64>,
+    /// Lazily computed [`CsrMatrix::values_fingerprint`]: the value bits
+    /// only. Reset by [`CsrMatrix::update_values`].
+    values_fp: OnceLock<u64>,
     /// Lazily computed fused [`MatrixProfile`], memoized like the
     /// fingerprint. `Arc` so long-lived caches (the Seer engine) can share
     /// the profile across regenerated identical matrices without re-running
-    /// the pass.
+    /// the pass. The profile reads only the sparsity arrays, so it survives
+    /// value-only mutation.
     profile: OnceLock<Arc<MatrixProfile>>,
+    /// Lazily computed quantized [`StructureSignature`], sparsity-only like
+    /// the profile; survives value-only mutation.
+    signature: OnceLock<StructureSignature>,
 }
 
 /// Equality is over the matrix content only; whether the fingerprint cache
@@ -123,41 +151,39 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(Self {
+        Ok(Self::assemble(rows, cols, row_offsets, col_indices, values))
+    }
+
+    /// Wraps already-validated raw arrays with fresh memoization state.
+    fn assemble(
+        rows: usize,
+        cols: usize,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<usize>,
+        values: Vec<Scalar>,
+    ) -> Self {
+        Self {
             rows,
             cols,
             row_offsets,
             col_indices,
             values,
             fingerprint: OnceLock::new(),
+            sparsity: OnceLock::new(),
+            values_fp: OnceLock::new(),
             profile: OnceLock::new(),
-        })
+            signature: OnceLock::new(),
+        }
     }
 
     /// Builds an empty `rows x cols` matrix with no stored entries.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            row_offsets: vec![0; rows + 1],
-            col_indices: Vec::new(),
-            values: Vec::new(),
-            fingerprint: OnceLock::new(),
-            profile: OnceLock::new(),
-        }
+        Self::assemble(rows, cols, vec![0; rows + 1], Vec::new(), Vec::new())
     }
 
     /// Builds the `n x n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        Self {
-            rows: n,
-            cols: n,
-            row_offsets: (0..=n).collect(),
-            col_indices: (0..n).collect(),
-            values: vec![1.0; n],
-            fingerprint: OnceLock::new(),
-            profile: OnceLock::new(),
-        }
+        Self::assemble(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// Number of rows.
@@ -383,24 +409,21 @@ impl CsrMatrix {
         )
     }
 
-    /// A 64-bit content fingerprint over the full explicit representation:
-    /// dimensions, row offsets, column indices and the bit patterns of the
-    /// values.
+    /// A 64-bit fingerprint of the sparsity pattern only: dimensions, row
+    /// offsets and column indices — everything the [`MatrixProfile`], the
+    /// kernel cost models and almost every prepared structure depend on.
     ///
-    /// Two matrices have the same fingerprint exactly when their CSR
-    /// representations are identical (up to the astronomically unlikely hash
-    /// collision), so the fingerprint can key caches of per-matrix derived
-    /// data — the Seer engine uses it to memoize feature collections and
-    /// selection plans. `CsrMatrix` has no mutating methods, so a fingerprint
-    /// taken once stays valid for the lifetime of the value.
+    /// Two matrices share a sparsity fingerprint exactly when their structure
+    /// is identical (up to the astronomically unlikely hash collision), so
+    /// caches of structure-derived data — profiles, feature vectors,
+    /// selection plans, merge-path tables — can key on it and survive
+    /// value-only mutation via [`CsrMatrix::update_values`].
     ///
-    /// The hash is a deterministic FNV-1a over the raw arrays; it makes no
-    /// cryptographic claims. It is computed lazily on first call and cached,
-    /// so repeated calls are O(1).
-    pub fn content_fingerprint(&self) -> u64 {
-        *self.fingerprint.get_or_init(|| {
-            const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    /// The hash is a deterministic word-wise FNV-1a with a splitmix-style
+    /// finalizer; it makes no cryptographic claims. Computed lazily on first
+    /// call and cached, so repeated calls are O(1).
+    pub fn sparsity_fingerprint(&self) -> u64 {
+        *self.sparsity.get_or_init(|| {
             // One xor + multiply per 8-byte word (not per byte) keeps the
             // first-contact pass cheap on large matrices; the splitmix-style
             // finalizer restores the avalanche the word-wide mix gives up.
@@ -417,15 +440,132 @@ impl CsrMatrix {
             for &col in &self.col_indices {
                 mix(col as u64);
             }
+            finalize_hash(hash)
+        })
+    }
+
+    /// A 64-bit fingerprint of the value bits only, the complement of
+    /// [`CsrMatrix::sparsity_fingerprint`]. Keys the rare prepared artifacts
+    /// that embed values (the ELL slab) so a value mutation invalidates them
+    /// — and nothing else. Reset by [`CsrMatrix::update_values`].
+    pub fn values_fingerprint(&self) -> u64 {
+        *self.values_fp.get_or_init(|| {
+            let mut hash = FNV_OFFSET;
+            let mut mix = |word: u64| {
+                hash = (hash ^ word).wrapping_mul(FNV_PRIME);
+            };
+            mix(self.values.len() as u64);
             for &value in &self.values {
                 mix(value.to_bits());
             }
-            hash ^= hash >> 30;
-            hash = hash.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-            hash ^= hash >> 27;
-            hash = hash.wrapping_mul(0x94d0_49bb_1331_11eb);
-            hash ^ (hash >> 31)
+            finalize_hash(hash)
         })
+    }
+
+    /// A 64-bit content fingerprint over the full explicit representation,
+    /// combining [`CsrMatrix::sparsity_fingerprint`] and
+    /// [`CsrMatrix::values_fingerprint`].
+    ///
+    /// Two matrices have the same fingerprint exactly when their CSR
+    /// representations are identical (up to the astronomically unlikely hash
+    /// collision), so the fingerprint can key caches of per-matrix derived
+    /// data that depend on the complete value — request routing, exact replay
+    /// checks. A fingerprint taken once stays valid until a mutation API
+    /// resets it.
+    pub fn content_fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut hash = FNV_OFFSET;
+            let mut mix = |word: u64| {
+                hash = (hash ^ word).wrapping_mul(FNV_PRIME);
+            };
+            mix(self.sparsity_fingerprint());
+            mix(self.values_fingerprint());
+            finalize_hash(hash)
+        })
+    }
+
+    /// The quantized [`StructureSignature`] of this matrix's sparsity
+    /// pattern, memoized like the profile. Structurally similar matrices —
+    /// the same generator family at a nearby seed, a value-mutated copy —
+    /// collapse onto the same signature, which is what the engine's
+    /// structure-class index keys on.
+    pub fn structure_signature(&self) -> StructureSignature {
+        *self
+            .signature
+            .get_or_init(|| StructureSignature::probe(self))
+    }
+
+    /// Replaces the stored values in place, preserving the sparsity pattern.
+    ///
+    /// This is the sparsity-preserving half of the mutation API: the row
+    /// offsets and column indices are untouched, so the memoized
+    /// [`MatrixProfile`], [`CsrMatrix::sparsity_fingerprint`] and
+    /// [`CsrMatrix::structure_signature`] all remain valid and are kept; only
+    /// the values and content fingerprints are reset. Engine caches keyed on
+    /// the sparsity fingerprint therefore stay warm across the update —
+    /// a solver loop mutating its operand pays zero profile passes and zero
+    /// plan rebuilds (except the values-embedding ELL slab, which re-keys on
+    /// [`CsrMatrix::values_fingerprint`] and refreshes itself).
+    ///
+    /// Structural edits (changing which entries are stored) must go through
+    /// [`CsrMatrix::into_delta`] instead, which produces a fresh value with
+    /// fresh memoization state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::LengthMismatch`] when `new_values.len() !=
+    /// self.nnz()`; the matrix is unchanged in that case.
+    pub fn update_values(&mut self, new_values: &[Scalar]) -> Result<(), SparseError> {
+        if new_values.len() != self.values.len() {
+            return Err(SparseError::LengthMismatch {
+                left: "values",
+                left_len: self.values.len(),
+                right: "new_values",
+                right_len: new_values.len(),
+            });
+        }
+        self.values.copy_from_slice(new_values);
+        // Only the value-dependent memos can go stale; the sparsity
+        // fingerprint, profile and signature read nothing this touched.
+        self.values_fp = OnceLock::new();
+        self.fingerprint = OnceLock::new();
+        Ok(())
+    }
+
+    /// Applies `f` to every stored entry's value in place, preserving the
+    /// sparsity pattern. Same invalidation contract as
+    /// [`CsrMatrix::update_values`]: sparsity-keyed memos survive, the value
+    /// and content fingerprints reset.
+    ///
+    /// `f` receives `(row, col, value)` and returns the replacement value.
+    pub fn map_values(&mut self, mut f: impl FnMut(usize, usize, Scalar) -> Scalar) {
+        for (row, window) in self.row_offsets.windows(2).enumerate() {
+            for idx in window[0]..window[1] {
+                self.values[idx] = f(row, self.col_indices[idx], self.values[idx]);
+            }
+        }
+        self.values_fp = OnceLock::new();
+        self.fingerprint = OnceLock::new();
+    }
+
+    /// Begins a structural delta: consumes the matrix and returns a builder
+    /// over its raw arrays.
+    ///
+    /// This is the structural half of the mutation API. A structural edit
+    /// changes what the sparsity fingerprint covers, so instead of mutating
+    /// in place (and having to hunt down every stale memo), the builder
+    /// re-validates and re-assembles a brand-new value with fresh
+    /// memoization state via [`CsrDelta::finish`]. The old sparsity key
+    /// simply stops arriving — the narrow invalidation the engine's
+    /// byte-budgeted caches rely on.
+    pub fn into_delta(self) -> CsrDelta {
+        CsrDelta {
+            rows: self.rows,
+            cols: self.cols,
+            row_offsets: self.row_offsets,
+            col_indices: self.col_indices,
+            values: self.values,
+        }
     }
 
     /// Expands the compressed row offsets into an explicit per-nonzero row
@@ -456,6 +596,66 @@ impl CsrMatrix {
 impl From<CooMatrix> for CsrMatrix {
     fn from(coo: CooMatrix) -> Self {
         coo.to_csr()
+    }
+}
+
+/// A structural-delta builder over a consumed [`CsrMatrix`]'s raw arrays.
+///
+/// Created by [`CsrMatrix::into_delta`]; edits accumulate on the raw CSR
+/// arrays and [`CsrDelta::finish`] re-validates everything through
+/// [`CsrMatrix::try_new`], producing a matrix whose memoized
+/// fingerprints/profile/signature start empty. See the invalidation contract
+/// on [`CsrMatrix::update_values`].
+#[derive(Debug, Clone)]
+pub struct CsrDelta {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<Scalar>,
+}
+
+impl CsrDelta {
+    /// Replaces row `row` with the given `(column, value)` entries, shifting
+    /// later rows as needed. Columns should be ascending to keep the usual
+    /// CSR ordering (not enforced — [`CsrMatrix::try_new`] does not require
+    /// it either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `cols` and `vals` differ in length.
+    pub fn set_row(&mut self, row: usize, cols: &[usize], vals: &[Scalar]) -> &mut Self {
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
+        assert_eq!(cols.len(), vals.len(), "column/value length mismatch");
+        let span = self.row_offsets[row]..self.row_offsets[row + 1];
+        let delta = cols.len() as isize - span.len() as isize;
+        self.col_indices.splice(span.clone(), cols.iter().copied());
+        self.values.splice(span, vals.iter().copied());
+        for offset in &mut self.row_offsets[row + 1..] {
+            *offset = offset.checked_add_signed(delta).expect("offset overflow");
+        }
+        self
+    }
+
+    /// Validates the edited arrays and assembles the new matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`SparseError`] variants as [`CsrMatrix::try_new`]
+    /// when an edit left the arrays inconsistent (e.g. a column index past
+    /// `cols`).
+    pub fn finish(self) -> Result<CsrMatrix, SparseError> {
+        CsrMatrix::try_new(
+            self.rows,
+            self.cols,
+            self.row_offsets,
+            self.col_indices,
+            self.values,
+        )
     }
 }
 
@@ -637,5 +837,146 @@ mod tests {
         let a = sample();
         let expected = 4 * 8 + 6 * 8 + 6 * 8;
         assert_eq!(a.memory_footprint_bytes(), expected);
+    }
+
+    #[test]
+    fn fingerprint_split_separates_sparsity_from_values() {
+        let a = sample();
+        let mut values = a.values().to_vec();
+        values[0] += 1.0;
+        let changed_value = CsrMatrix::try_new(
+            3,
+            4,
+            a.row_offsets().to_vec(),
+            a.col_indices().to_vec(),
+            values,
+        )
+        .unwrap();
+        // Same structure: sparsity key agrees, values and content keys don't.
+        assert_eq!(
+            a.sparsity_fingerprint(),
+            changed_value.sparsity_fingerprint()
+        );
+        assert_ne!(a.values_fingerprint(), changed_value.values_fingerprint());
+        assert_ne!(a.content_fingerprint(), changed_value.content_fingerprint());
+
+        let mut cols = a.col_indices().to_vec();
+        cols[0] = 1;
+        let changed_structure =
+            CsrMatrix::try_new(3, 4, a.row_offsets().to_vec(), cols, a.values().to_vec()).unwrap();
+        // Same values, different structure: the values key agrees, the
+        // sparsity and content keys don't.
+        assert_eq!(
+            a.values_fingerprint(),
+            changed_structure.values_fingerprint()
+        );
+        assert_ne!(
+            a.sparsity_fingerprint(),
+            changed_structure.sparsity_fingerprint()
+        );
+        assert_ne!(
+            a.content_fingerprint(),
+            changed_structure.content_fingerprint()
+        );
+    }
+
+    #[test]
+    fn update_values_keeps_sparsity_memos_and_resets_value_memos() {
+        let mut a = sample();
+        let sparsity = a.sparsity_fingerprint();
+        let values_fp = a.values_fingerprint();
+        let content = a.content_fingerprint();
+        let signature = a.structure_signature();
+        let profile = a.profile_handle();
+
+        let new_values: Vec<f64> = a.values().iter().map(|v| v * 2.0).collect();
+        a.update_values(&new_values).unwrap();
+
+        assert_eq!(a.values(), new_values.as_slice());
+        assert_eq!(a.sparsity_fingerprint(), sparsity);
+        assert_ne!(a.values_fingerprint(), values_fp);
+        assert_ne!(a.content_fingerprint(), content);
+        assert_eq!(a.structure_signature(), signature);
+        // The profile memo survived: same Arc, no second pass.
+        assert!(Arc::ptr_eq(&profile, &a.profile_handle()));
+
+        // The refreshed fingerprints match a from-scratch matrix with the
+        // same content.
+        let fresh = CsrMatrix::try_new(
+            3,
+            4,
+            a.row_offsets().to_vec(),
+            a.col_indices().to_vec(),
+            new_values,
+        )
+        .unwrap();
+        assert_eq!(a.values_fingerprint(), fresh.values_fingerprint());
+        assert_eq!(a.content_fingerprint(), fresh.content_fingerprint());
+        assert_eq!(a.sparsity_fingerprint(), fresh.sparsity_fingerprint());
+    }
+
+    #[test]
+    fn update_values_rejects_wrong_length_and_leaves_matrix_unchanged() {
+        let mut a = sample();
+        let before = a.clone();
+        let err = a.update_values(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, SparseError::LengthMismatch { .. }));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn map_values_transforms_in_place() {
+        let mut a = sample();
+        let spmv_before = a.spmv(&[1.0, 1.0, 1.0, 1.0]);
+        a.map_values(|_r, _c, v| v * 3.0);
+        let spmv_after = a.spmv(&[1.0, 1.0, 1.0, 1.0]);
+        for (before, after) in spmv_before.iter().zip(&spmv_after) {
+            assert_eq!(*after, before * 3.0);
+        }
+        // map_values saw the right coordinates.
+        let mut b = sample();
+        b.map_values(|r, c, _v| (r * 10 + c) as f64);
+        for (r, c, v) in b.iter() {
+            assert_eq!(v, (r * 10 + c) as f64);
+        }
+    }
+
+    #[test]
+    fn delta_set_row_rebuilds_a_valid_matrix() {
+        let a = sample();
+        let dense_before = a.to_dense();
+        let mut delta = a.into_delta();
+        delta.set_row(1, &[0, 2, 3], &[7.0, 8.0, 9.0]);
+        let b = delta.finish().unwrap();
+        assert_eq!(b.nnz(), 8);
+        assert_eq!(b.row(1), (&[0usize, 2, 3][..], &[7.0, 8.0, 9.0][..]));
+        // Untouched rows carry over.
+        for r in [0usize, 2] {
+            for (c, (dc, dv)) in b
+                .row(r)
+                .0
+                .iter()
+                .zip(b.row(r).0.iter().zip(b.row(r).1.iter()))
+            {
+                assert_eq!(c, dc);
+                assert_eq!(dense_before.get(r, *dc), *dv);
+            }
+        }
+
+        // Shrinking a row works too.
+        let mut delta = b.clone().into_delta();
+        delta.set_row(1, &[], &[]);
+        let c = delta.finish().unwrap();
+        assert_eq!(c.row_len(1), 0);
+        assert_eq!(c.nnz(), 5);
+    }
+
+    #[test]
+    fn delta_finish_revalidates() {
+        let a = sample();
+        let mut delta = a.into_delta();
+        delta.set_row(0, &[9], &[1.0]);
+        let err = delta.finish().unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { col: 9, .. }));
     }
 }

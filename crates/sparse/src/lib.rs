@@ -41,6 +41,7 @@ mod ell;
 mod error;
 mod profile;
 mod rng;
+mod signature;
 
 pub mod collection;
 pub mod generators;
@@ -49,12 +50,13 @@ pub mod stats;
 pub mod traffic;
 
 pub use coo::CooMatrix;
-pub use csr::CsrMatrix;
+pub use csr::{CsrDelta, CsrMatrix};
 pub use dense::DenseMatrix;
 pub use ell::{EllMatrix, EllSlab};
 pub use error::SparseError;
 pub use profile::MatrixProfile;
 pub use rng::SplitMix64;
+pub use signature::StructureSignature;
 pub use stats::{RowStats, RowStatsAccumulator};
 
 /// Scalar element type used throughout the Seer reproduction.

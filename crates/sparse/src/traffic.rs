@@ -110,6 +110,14 @@ pub struct TrafficConfig {
     pub max_burst_len: usize,
     /// Distribution of per-request iteration counts.
     pub iterations: IterationMix,
+    /// Probability that a request carries a *value update*: the caller is
+    /// expected to mutate the target matrix's values (same sparsity pattern)
+    /// through [`crate::CsrMatrix::update_values`] before serving it — the
+    /// time-stepping-solver shape where the operator's coefficients change
+    /// every step but its structure never does. Zero (the default for every
+    /// pre-existing scenario) disables the draw entirely, so older streams
+    /// replay bit-identically.
+    pub value_update_fraction: f64,
 }
 
 impl TrafficConfig {
@@ -129,6 +137,7 @@ impl TrafficConfig {
                 long: 19,
                 long_fraction: 0.25,
             },
+            value_update_fraction: 0.0,
         }
     }
 
@@ -144,6 +153,7 @@ impl TrafficConfig {
             burst_fraction: 0.0,
             max_burst_len: 1,
             iterations: IterationMix::Fixed(1),
+            value_update_fraction: 0.0,
         }
     }
 
@@ -176,6 +186,46 @@ impl TrafficConfig {
             burst_fraction: 0.25,
             max_burst_len: 5,
             iterations: IterationMix::Uniform { lo: 1, hi: 200 },
+            value_update_fraction: 0.0,
+        }
+    }
+
+    /// A time-stepping-solver scenario: the skewed hot-set stream where a
+    /// third of requests first mutate their operator's *values* (structure
+    /// unchanged). This is the incremental-update regime: a selection/plan
+    /// cache keyed on content would go cold on every step, while the
+    /// sparsity-keyed caches stay fully warm and only the values-embedding
+    /// ELL slab refreshes.
+    pub fn mutating_hot_set(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            value_update_fraction: 0.35,
+            ..Self::skewed(corpus_size, seed)
+        }
+    }
+
+    /// A near-duplicate-family scenario: cache-hostile uniform traffic with
+    /// no bursts, meant to be replayed over a corpus built of structurally
+    /// similar matrix *families* (same generator family, nearby seeds — the
+    /// multi-tenant shape where each tenant's operator is a fresh matrix
+    /// that looks like a thousand already-served ones). Every request is a
+    /// distinct sparsity pattern as far as exact caches are concerned, so
+    /// the stream isolates what structure-class inheritance saves on the
+    /// cold path.
+    pub fn near_duplicate_families(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            seed,
+            corpus_size,
+            hot_set_size: corpus_size.max(1),
+            hot_fraction: 0.0,
+            zipf_exponent: 1.5,
+            burst_fraction: 0.0,
+            max_burst_len: 1,
+            iterations: IterationMix::Bimodal {
+                short: 1,
+                long: 19,
+                long_fraction: 0.25,
+            },
+            value_update_fraction: 0.0,
         }
     }
 }
@@ -190,6 +240,10 @@ pub struct TrafficRequest {
     /// Position within a burst (0 = fresh draw, 1.. = replay of the previous
     /// request's matrix). Useful for asserting burst structure in tests.
     pub burst_position: usize,
+    /// Whether the caller should mutate the target matrix's values (keeping
+    /// its sparsity pattern) before serving this request. Always `false`
+    /// when [`TrafficConfig::value_update_fraction`] is zero.
+    pub value_update: bool,
 }
 
 /// Deterministic iterator over a [`TrafficConfig`]'s request stream.
@@ -203,6 +257,9 @@ pub struct TrafficGenerator {
     /// Draws for iteration counts, decoupled so changing the iteration mix
     /// does not perturb which matrices are requested.
     iteration_rng: SplitMix64,
+    /// Draws deciding value updates, decoupled for the same reason: turning
+    /// mutation on or off never perturbs matrix choice or iteration counts.
+    mutation_rng: SplitMix64,
     /// Shuffled map from popularity rank to corpus index, so the hot set is
     /// spread across the corpus (and therefore across serving shards) instead
     /// of clustering at the low indices.
@@ -233,6 +290,7 @@ impl TrafficGenerator {
         Self {
             structure_rng: root.split(0x57),
             iteration_rng: root.split(0x17E),
+            mutation_rng: root.split(0x3B),
             rank_to_index,
             config: config.clone(),
             burst_left: 0,
@@ -284,10 +342,15 @@ impl Iterator for TrafficGenerator {
                 self.burst_left = len - 1;
             }
         }
+        // Guarded draw: with the fraction at zero the mutation RNG is never
+        // advanced, so pre-existing configs replay their exact streams.
+        let value_update = self.config.value_update_fraction > 0.0
+            && self.mutation_rng.next_f64() < self.config.value_update_fraction.clamp(0.0, 1.0);
         Some(TrafficRequest {
             matrix_index: self.current,
             iterations: self.config.iterations.sample(&mut self.iteration_rng),
             burst_position: self.burst_position,
+            value_update,
         })
     }
 }
@@ -447,6 +510,63 @@ mod tests {
             seen[r.matrix_index] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn legacy_scenarios_never_request_value_updates() {
+        for config in [
+            TrafficConfig::skewed(32, 9),
+            TrafficConfig::uniform(32, 9),
+            TrafficConfig::smoke(32),
+            TrafficConfig::fleet_mixed(32, 9),
+            TrafficConfig::near_duplicate_families(32, 9),
+        ] {
+            assert!(take(&config, 2_000).iter().all(|r| !r.value_update));
+        }
+    }
+
+    #[test]
+    fn mutating_hot_set_replays_and_mutates_at_the_configured_rate() {
+        let config = TrafficConfig::mutating_hot_set(32, 17);
+        let requests = take(&config, 10_000);
+        assert_eq!(requests, take(&config, 10_000), "stream must replay");
+        let updates = requests.iter().filter(|r| r.value_update).count();
+        let rate = updates as f64 / requests.len() as f64;
+        assert!(
+            (rate - config.value_update_fraction).abs() < 0.03,
+            "update rate {rate} vs configured {}",
+            config.value_update_fraction
+        );
+    }
+
+    #[test]
+    fn value_updates_do_not_perturb_matrix_choice_or_iterations() {
+        let base = TrafficConfig::skewed(64, 23);
+        let mutating = TrafficConfig {
+            value_update_fraction: 0.5,
+            ..base.clone()
+        };
+        let a = take(&base, 2_000);
+        let b = take(&mutating, 2_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix_index, y.matrix_index);
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(x.burst_position, y.burst_position);
+        }
+        assert!(b.iter().any(|r| r.value_update));
+    }
+
+    #[test]
+    fn near_duplicate_families_is_cache_hostile() {
+        let config = TrafficConfig::near_duplicate_families(48, 0xFA);
+        let requests = take(&config, 5_000);
+        assert_eq!(requests, take(&config, 5_000), "stream must replay");
+        assert!(requests.iter().all(|r| r.burst_position == 0));
+        let mut seen = [false; 48];
+        for r in &requests {
+            seen[r.matrix_index] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform draw touches the corpus");
     }
 
     #[test]

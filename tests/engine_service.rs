@@ -44,7 +44,7 @@ fn cached_selection_is_bit_identical_and_counted() {
 }
 
 #[test]
-fn regenerated_matrix_with_different_content_misses() {
+fn regenerated_matrix_misses_only_on_structural_change() {
     let (engine, entries) = trained_engine();
     let matrix = &entries[0].matrix;
     engine.select(matrix, 1);
@@ -53,8 +53,10 @@ fn regenerated_matrix_with_different_content_misses() {
     engine.select(&matrix.clone(), 1);
     assert_eq!(engine.stats().plan_hits, 1);
 
-    // ...but regenerating the collection with a different seed produces
-    // different content, which must miss.
+    // ...and so does a different-seed regeneration of this entry: its
+    // family's structure is seed-independent, so only the values (and with
+    // them the content fingerprint) changed — selection plans are keyed on
+    // the sparsity fingerprint, which is the whole point of the split.
     let other = generate(&CollectionConfig {
         seed: 14,
         matrices_per_family: 2,
@@ -63,12 +65,26 @@ fn regenerated_matrix_with_different_content_misses() {
     assert_ne!(
         matrix.content_fingerprint(),
         other[0].matrix.content_fingerprint(),
-        "different seeds should generate different matrices"
+        "different seeds should generate different values"
+    );
+    assert_eq!(
+        matrix.sparsity_fingerprint(),
+        other[0].matrix.sparsity_fingerprint(),
+        "this family's structure is seed-independent"
     );
     engine.select(&other[0].matrix, 1);
+    assert_eq!(engine.stats().plan_hits, 2);
+    assert_eq!(engine.stats().plan_misses, 1);
+
+    // A regenerated matrix whose *sparsity pattern* differs must miss.
+    let structural = other
+        .iter()
+        .find(|e| e.matrix.sparsity_fingerprint() != matrix.sparsity_fingerprint())
+        .expect("the collection has random-structure families");
+    engine.select(&structural.matrix, 1);
     let stats = engine.stats();
     assert_eq!(stats.plan_misses, 2);
-    assert_eq!(stats.plan_hits, 1);
+    assert_eq!(stats.plan_hits, 2);
 }
 
 #[test]

@@ -162,8 +162,8 @@ fn prepared_plans_are_bit_identical_to_streaming_on_adversarial_matrices() {
             let plan = kernel.prepare(&matrix, matrix.profile());
             assert_eq!(plan.kernel(), kernel.id(), "plan is tagged ({name})");
             assert_eq!(
-                plan.fingerprint(),
-                matrix.content_fingerprint(),
+                plan.sparsity_fingerprint(),
+                matrix.sparsity_fingerprint(),
                 "plan records its matrix ({name})"
             );
             let streamed = kernel.compute(&matrix, &x);

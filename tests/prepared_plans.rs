@@ -94,7 +94,7 @@ fn every_kernel_prepares_through_the_engine_cache() {
     for (index, kernel) in KernelId::ALL.into_iter().enumerate() {
         let plan = engine.prepared_plan(&matrix, kernel);
         assert_eq!(plan.kernel(), kernel);
-        assert_eq!(plan.fingerprint(), matrix.content_fingerprint());
+        assert_eq!(plan.sparsity_fingerprint(), matrix.sparsity_fingerprint());
         // One preparation per distinct (matrix, kernel); replay is free.
         assert_eq!(engine.stats().plan_preparations, index as u64 + 1);
         let _ = engine.prepared_plan(&matrix, kernel);
