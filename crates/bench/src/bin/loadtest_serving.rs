@@ -285,7 +285,10 @@ fn main() {
             r.iterations,
         )
     }));
-    let pooled: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let pooled: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("healthy worker"))
+        .collect();
     let pooled_secs = pooled_start.elapsed().as_secs_f64();
     let pooled_rps = stream.len() as f64 / pooled_secs;
     let stats = pool.shutdown();

@@ -33,6 +33,10 @@
 //!    must be **>= 1.5x** faster aggregate, allocation-free, bit-identical,
 //!    and counter-verified: exactly one preparation per `(matrix, kernel)`
 //!    miss, zero per hit.
+//! 4. **Online recalibration** — a fleet device silently made 8x slower
+//!    than modelled must lose placement within a bounded number of observed
+//!    executions (EWMA correction factors), and win it back within a
+//!    bounded number once the drift lifts (epsilon-greedy exploration).
 //!
 //! All properties are *asserted*, not just reported — the binary exits
 //! non-zero if any regresses. With `--check` it additionally replays every
@@ -47,9 +51,11 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use seer_core::engine::{EngineStats, EngineWorkspace, SeerEngine};
+use seer_core::engine::{
+    EngineStats, EngineWorkspace, ExplorationPolicy, RecalibrationConfig, SeerEngine,
+};
 use seer_core::training::TrainingConfig;
-use seer_gpu::{Fleet, Gpu};
+use seer_gpu::{DeviceRegistry, Fleet, Gpu, GpuSpec};
 use seer_kernels::{kernel, ComputeScratch, KernelId, MatrixBenchmark};
 use seer_sparse::collection::{generate, CollectionConfig, DatasetEntry, SizeScale};
 use seer_sparse::MatrixProfile;
@@ -684,7 +690,104 @@ fn main() {
         "the content-keyed emulation must go cold on every mutation"
     );
 
-    // ---- 5. Optional golden-selection agreement check. -------------------
+    // ---- 5. Online recalibration: migrate off a drifting device & back. --
+    // One device of a two-device fleet silently becomes 8x slower than its
+    // analytical model claims (injected through the fleet's true-timing
+    // perturbation table). With recalibration on, the per-(device, kernel)
+    // EWMA correction must pull placement off that device within a bounded
+    // number of observed executions, and — once the drift lifts —
+    // epsilon-greedy exploration must re-observe the recovered device and
+    // migrate placement back. Both bounds are asserted. The fleet pairs the
+    // flagship with a half-bandwidth clone so the discredited device is
+    // always the runner-up exploration revisits.
+    let recal_fleet = {
+        let mut registry = DeviceRegistry::new();
+        let flagship = GpuSpec::mi100();
+        let mut detuned = GpuSpec::mi100();
+        detuned.name = "MI100 (half bandwidth)".to_string();
+        detuned.memory_bandwidth_gbps /= 2.0;
+        registry.register(flagship).expect("valid flagship spec");
+        registry.register(detuned).expect("valid de-tuned spec");
+        Fleet::from_registry(registry).expect("two-device fleet")
+    };
+    let recal_engine = SeerEngine::with_fleet(recal_fleet.clone(), engine.models_handle());
+    recal_engine.set_recalibration(Some(RecalibrationConfig {
+        smoothing: 0.5,
+        clamp_max: 16.0,
+        exploration: Some(ExplorationPolicy {
+            near_tie_fraction: f64::INFINITY,
+            epsilon: 0.5,
+            seed: 0x5EED,
+        }),
+        ..RecalibrationConfig::default()
+    }));
+    let mut recal_rng = seer_sparse::SplitMix64::new(0xBEEF);
+    let drift_matrix = seer_sparse::generators::uniform_random(2_500, 2_500, 0.05, &mut recal_rng);
+    let drift_x = vec![1.0; drift_matrix.cols()];
+    let mut recal_ws = EngineWorkspace::new();
+    let home = recal_engine
+        .execute_into(&drift_matrix, &drift_x, 19, &mut recal_ws)
+        .0
+        .device;
+
+    const MIGRATE_OFF_BOUND: u64 = 25;
+    recal_fleet.set_true_timing_factor(home, 8.0);
+    let mut migrated_off_after = None;
+    for observation in 1..=MIGRATE_OFF_BOUND {
+        let explored_before = recal_engine.stats().explored_selections;
+        let (selection, _) = recal_engine.execute_into(&drift_matrix, &drift_x, 19, &mut recal_ws);
+        let explored = recal_engine.stats().explored_selections != explored_before;
+        if !explored && selection.device != home {
+            migrated_off_after = Some(observation);
+            break;
+        }
+    }
+    let migrated_off_after = migrated_off_after.unwrap_or_else(|| {
+        panic!("placement must migrate off the drifting device within {MIGRATE_OFF_BOUND} observations")
+    });
+    let drift_kernel = recal_engine.select(&drift_matrix, 19).kernel;
+    let drifted_factor = recal_engine.correction_factor(home, drift_kernel);
+    let drift_millilog = recal_engine.stats().correction_drift_millilog;
+
+    const MIGRATE_BACK_BOUND: u64 = 400;
+    recal_fleet.clear_true_timing_factors();
+    let mut migrated_back_after = None;
+    for observation in 1..=MIGRATE_BACK_BOUND {
+        let explored_before = recal_engine.stats().explored_selections;
+        let (selection, _) = recal_engine.execute_into(&drift_matrix, &drift_x, 19, &mut recal_ws);
+        let explored = recal_engine.stats().explored_selections != explored_before;
+        if !explored && selection.device == home {
+            migrated_back_after = Some(observation);
+            break;
+        }
+    }
+    let migrated_back_after = migrated_back_after.unwrap_or_else(|| {
+        panic!("exploration must migrate placement back within {MIGRATE_BACK_BOUND} observations after the drift lifts")
+    });
+    let recal_stats = recal_engine.stats();
+
+    println!("\nonline recalibration (8x injected slowdown on {home}, two-device fleet):");
+    println!(
+        "  migrated off after         {migrated_off_after} observations (bound {MIGRATE_OFF_BOUND}), \
+         correction factor {drifted_factor:.2}"
+    );
+    println!(
+        "  migrated back after        {migrated_back_after} observations (bound {MIGRATE_BACK_BOUND}) \
+         once the drift lifted"
+    );
+    println!(
+        "  observations {}   corrections {}   explored {}   peak drift {} millilog",
+        recal_stats.timing_observations,
+        recal_stats.corrections_applied,
+        recal_stats.explored_selections,
+        drift_millilog
+    );
+    assert!(
+        drifted_factor > 2.0,
+        "the EWMA must converge toward the injected slowdown, got {drifted_factor:.2}"
+    );
+
+    // ---- 6. Optional golden-selection agreement check. -------------------
     let mut golden_checked = false;
     if options.check {
         let golden = locate_golden_table().expect(
@@ -878,6 +981,33 @@ fn main() {
     );
     let _ = writeln!(json, "      \"slab_refreshes\": {slab_refreshes}");
     let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"recalibration\": {{");
+    let _ = writeln!(json, "    \"injected_slowdown\": 8.0,");
+    let _ = writeln!(json, "    \"migrated_off_after\": {migrated_off_after},");
+    let _ = writeln!(json, "    \"migrate_off_bound\": {MIGRATE_OFF_BOUND},");
+    let _ = writeln!(json, "    \"migrated_back_after\": {migrated_back_after},");
+    let _ = writeln!(json, "    \"migrate_back_bound\": {MIGRATE_BACK_BOUND},");
+    let _ = writeln!(
+        json,
+        "    \"correction_factor_at_migration\": {drifted_factor:.2},"
+    );
+    let _ = writeln!(json, "    \"peak_drift_millilog\": {drift_millilog},");
+    let _ = writeln!(
+        json,
+        "    \"timing_observations\": {},",
+        recal_stats.timing_observations
+    );
+    let _ = writeln!(
+        json,
+        "    \"corrections_applied\": {},",
+        recal_stats.corrections_applied
+    );
+    let _ = writeln!(
+        json,
+        "    \"explored_selections\": {}",
+        recal_stats.explored_selections
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"golden_checked\": {golden_checked}");
     json.push_str("}\n");

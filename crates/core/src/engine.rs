@@ -91,7 +91,7 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
 use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile, PreparedPlan};
 use seer_sparse::collection::DatasetEntry;
-use seer_sparse::{CsrMatrix, MatrixProfile, Scalar, StructureSignature};
+use seer_sparse::{CsrMatrix, MatrixProfile, Scalar, SplitMix64, StructureSignature};
 
 use crate::benchmarking::BenchmarkRecord;
 use crate::features::{FeatureCollection, FeatureCollector, KnownFeatures};
@@ -105,6 +105,236 @@ struct PlanKey {
     fingerprint: u64,
     iterations: usize,
     policy: SelectionPolicy,
+}
+
+/// Epsilon-greedy near-tie exploration, layered on top of recalibrated
+/// ranking (see [`RecalibrationConfig::exploration`]).
+///
+/// The greedy corrected argmin starves its own feedback loop: once a device
+/// looks slow, nothing is ever scheduled there again, so a correction that
+/// *overshot* (or a perturbation that has since lifted) is never revisited.
+/// Exploration fixes that: on a plan-cache hit whose top two `(kernel,
+/// device)` candidates are within [`ExplorationPolicy::near_tie_fraction`]
+/// of each other in corrected modelled time, the engine diverts the request
+/// to the runner-up with probability [`ExplorationPolicy::epsilon`], drawn
+/// from a deterministic [`SplitMix64`] stream seeded by
+/// [`ExplorationPolicy::seed`]. Cache misses always place greedily — the
+/// cached plan stays the model's honest argmin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplorationPolicy {
+    /// How close (as a fraction of the best corrected total) the runner-up
+    /// must be to qualify for exploration: `runner <= best * (1 + fraction)`.
+    /// `f64::INFINITY` disables the near-tie gate entirely (pure
+    /// epsilon-greedy over the top two), which is what lets a correction that
+    /// drove a device's factor to the clamp ceiling ever observe that device
+    /// again.
+    pub near_tie_fraction: f64,
+    /// Probability of diverting a qualifying request to the runner-up, in
+    /// `[0, 1]`.
+    pub epsilon: f64,
+    /// Seed of the deterministic exploration RNG stream. Engines configured
+    /// with the same seed explore identically on identical request streams.
+    pub seed: u64,
+}
+
+impl Default for ExplorationPolicy {
+    /// 5% near-tie window, 10% exploration probability, fixed seed.
+    fn default() -> Self {
+        Self {
+            near_tie_fraction: 0.05,
+            epsilon: 0.1,
+            seed: 0x5EE7,
+        }
+    }
+}
+
+/// Configuration of the engine's online recalibration layer (see
+/// [`SeerEngine::set_recalibration`]).
+///
+/// The layer maintains one EWMA correction factor per `(device, kernel)`
+/// pair: after each execute, the observed-over-modelled ratio of the pair
+/// that ran is folded in as
+/// `factor <- clamp(factor * (1 - smoothing) + ratio * smoothing)`, and the
+/// factor multiplies that pair's modelled kernel total during selection and
+/// fleet placement. Factors start at `1.0` (trust the models) and stay there
+/// while observations agree with the models, so a perfectly-specced fleet
+/// behaves bit-identically with recalibration on or off in expectation — and
+/// exactly identically with it off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecalibrationConfig {
+    /// EWMA smoothing constant in `(0, 1]`: the weight of the newest
+    /// observation. `0.25` converges to within 5% of a sustained 2x drift in
+    /// ~10 observations while a single outlier moves the factor at most 25%
+    /// of the way toward it.
+    pub smoothing: f64,
+    /// Lower clamp of a correction factor (> 0). Clamping bounds how far a
+    /// burst of corrupt observations can drag a factor, so recovery is at
+    /// worst `log(clamp) / log(1 - smoothing)` observations away.
+    pub clamp_min: f64,
+    /// Upper clamp of a correction factor (>= `clamp_min`).
+    pub clamp_max: f64,
+    /// Optional epsilon-greedy near-tie exploration on the warm path; `None`
+    /// serves pure greedy corrected argmins.
+    pub exploration: Option<ExplorationPolicy>,
+}
+
+impl Default for RecalibrationConfig {
+    /// Smoothing 0.25, factors clamped to `[0.25, 4]`, no exploration.
+    fn default() -> Self {
+        Self {
+            smoothing: 0.25,
+            clamp_min: 0.25,
+            clamp_max: 4.0,
+            exploration: None,
+        }
+    }
+}
+
+impl RecalibrationConfig {
+    /// Panics on out-of-range knobs; called once at install time so the hot
+    /// path never re-validates.
+    fn validate(&self) {
+        assert!(
+            self.smoothing > 0.0 && self.smoothing <= 1.0,
+            "recalibration smoothing must be in (0, 1], got {}",
+            self.smoothing
+        );
+        assert!(
+            self.clamp_min > 0.0 && self.clamp_min.is_finite(),
+            "recalibration clamp_min must be finite and > 0, got {}",
+            self.clamp_min
+        );
+        assert!(
+            self.clamp_max >= self.clamp_min && self.clamp_max.is_finite(),
+            "recalibration clamp_max must be finite and >= clamp_min, got {}",
+            self.clamp_max
+        );
+        if let Some(exploration) = &self.exploration {
+            assert!(
+                (0.0..=1.0).contains(&exploration.epsilon),
+                "exploration epsilon must be in [0, 1], got {}",
+                exploration.epsilon
+            );
+            assert!(
+                exploration.near_tie_fraction >= 0.0,
+                "exploration near_tie_fraction must be >= 0, got {}",
+                exploration.near_tie_fraction
+            );
+        }
+    }
+}
+
+/// The online recalibration state: one EWMA correction factor per
+/// `(device, kernel)` pair plus the exploration RNG stream. Shared (via
+/// `Arc`) between a serving pool's shard engines and its router, so every
+/// shard's observations steer the pool-wide placement.
+#[derive(Debug)]
+pub(crate) struct Recalibration {
+    config: RecalibrationConfig,
+    /// Correction factors as `f64` bit patterns, slot
+    /// `device.index() * |kernels| + kernel.class_index()`; all start at 1.0.
+    factors: Vec<AtomicU64>,
+    /// Deterministic exploration stream; a split of the configured seed so
+    /// the raw seed value itself never leaks into the draw sequence.
+    rng: Mutex<SplitMix64>,
+}
+
+impl Recalibration {
+    /// Label splitting the exploration stream off the configured seed.
+    const RNG_STREAM: u64 = 0xEC41_1B84_7E00_5EE7;
+
+    pub(crate) fn new(config: RecalibrationConfig, devices: usize) -> Self {
+        config.validate();
+        let seed = config.exploration.map_or(0, |e| e.seed);
+        Self {
+            config,
+            factors: (0..devices * KernelId::ALL.len())
+                .map(|_| AtomicU64::new(1.0f64.to_bits()))
+                .collect(),
+            rng: Mutex::new(SplitMix64::new(seed).split(Self::RNG_STREAM)),
+        }
+    }
+
+    fn slot(device: DeviceId, kernel: KernelId) -> usize {
+        device.index() * KernelId::ALL.len() + kernel.class_index()
+    }
+
+    /// The current correction factor of one `(device, kernel)` pair.
+    fn factor(&self, device: DeviceId, kernel: KernelId) -> f64 {
+        f64::from_bits(self.factors[Self::slot(device, kernel)].load(Ordering::Relaxed))
+    }
+
+    /// Folds one observed/modelled ratio into the pair's EWMA factor.
+    fn observe(&self, device: DeviceId, kernel: KernelId, ratio: f64) {
+        let RecalibrationConfig {
+            smoothing,
+            clamp_min,
+            clamp_max,
+            ..
+        } = self.config;
+        let _ = self.factors[Self::slot(device, kernel)].fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |bits| {
+                let old = f64::from_bits(bits);
+                let blended = old * (1.0 - smoothing) + ratio * smoothing;
+                Some(blended.clamp(clamp_min, clamp_max).to_bits())
+            },
+        );
+    }
+
+    /// Drift gauge: `round(1000 * max |ln factor|)` over every slot. Zero
+    /// means every factor sits at 1.0 — the models match observations
+    /// everywhere the engine has looked.
+    fn max_drift_millilog(&self) -> u64 {
+        let max = self
+            .factors
+            .iter()
+            .map(|bits| f64::from_bits(bits.load(Ordering::Relaxed)).ln().abs())
+            .fold(0.0f64, f64::max);
+        (max * 1000.0).round() as u64
+    }
+
+    /// Resets every factor to 1.0 (a new stats/cache generation).
+    fn reset(&self) {
+        for slot in &self.factors {
+            slot.store(1.0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `runner` qualifies as a near-tie against `best` under the
+    /// exploration policy.
+    fn near_tie(&self, best: SimTime, runner: SimTime) -> bool {
+        let Some(exploration) = &self.config.exploration else {
+            return false;
+        };
+        if exploration.near_tie_fraction.is_infinite() {
+            return true;
+        }
+        runner.as_nanos() <= best.as_nanos() * (1.0 + exploration.near_tie_fraction)
+    }
+
+    /// Draws the epsilon-greedy coin for one qualifying request. Advances
+    /// the deterministic stream only on qualifying requests, so exploration
+    /// traces replay exactly for a fixed request sequence.
+    fn explore(&self) -> bool {
+        let Some(exploration) = &self.config.exploration else {
+            return false;
+        };
+        if exploration.epsilon <= 0.0 {
+            return false;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+        rng.next_f64() < exploration.epsilon
+    }
+}
+
+/// One fleet candidate priced by [`SeerEngine::rank_corrected`].
+#[derive(Debug, Clone, Copy)]
+struct RankedDevice {
+    device: DeviceId,
+    collection_cost: SimTime,
+    total: SimTime,
 }
 
 /// Snapshot of the engine's cache and fallback counters.
@@ -156,6 +386,24 @@ pub struct EngineStats {
     /// Structure-class entries dropped by the class index's LRU bound or by
     /// a cache clear/sweep.
     pub class_evictions: u64,
+    /// Observed execution timings folded into the recalibration layer's
+    /// correction factors. Zero while recalibration is disabled (see
+    /// [`SeerEngine::set_recalibration`]).
+    pub timing_observations: u64,
+    /// Rankings (placements, warm re-ranks, record placements) in which at
+    /// least one non-unit correction factor actually multiplied a modelled
+    /// total. Zero while every factor sits at 1.0.
+    pub corrections_applied: u64,
+    /// Plan-cache hits the exploration policy diverted to the modelled
+    /// runner-up `(kernel, device)` candidate. Zero without an
+    /// [`ExplorationPolicy`].
+    pub explored_selections: u64,
+    /// Drift gauge: `round(1000 * max |ln f|)` over every correction factor
+    /// `f` — e.g. a factor of 2.0 reports ~693. A gauge, not a counter:
+    /// snapshots report the instantaneous worst-case model/observation
+    /// disagreement, and [`EngineStats::saturating_add`] combines it by
+    /// `max` (the fleet-wide worst), not by sum.
+    pub correction_drift_millilog: u64,
     /// Heap bytes currently held by cached prepared plans — a gauge, not a
     /// counter: snapshots report the instantaneous residency.
     pub resident_plan_bytes: u64,
@@ -202,6 +450,21 @@ impl EngineStats {
                 .inherited_selections
                 .saturating_add(other.inherited_selections),
             class_evictions: self.class_evictions.saturating_add(other.class_evictions),
+            timing_observations: self
+                .timing_observations
+                .saturating_add(other.timing_observations),
+            corrections_applied: self
+                .corrections_applied
+                .saturating_add(other.corrections_applied),
+            explored_selections: self
+                .explored_selections
+                .saturating_add(other.explored_selections),
+            // A gauge: the aggregate's worst drift is the max over shards
+            // (shards of one pool share the correction table anyway), not a
+            // sum that would scale with shard count.
+            correction_drift_millilog: self
+                .correction_drift_millilog
+                .max(other.correction_drift_millilog),
             resident_plan_bytes: self
                 .resident_plan_bytes
                 .saturating_add(other.resident_plan_bytes),
@@ -236,6 +499,18 @@ impl EngineStats {
                 .inherited_selections
                 .saturating_sub(earlier.inherited_selections),
             class_evictions: self.class_evictions.saturating_sub(earlier.class_evictions),
+            timing_observations: self
+                .timing_observations
+                .saturating_sub(earlier.timing_observations),
+            corrections_applied: self
+                .corrections_applied
+                .saturating_sub(earlier.corrections_applied),
+            explored_selections: self
+                .explored_selections
+                .saturating_sub(earlier.explored_selections),
+            correction_drift_millilog: self
+                .correction_drift_millilog
+                .saturating_sub(earlier.correction_drift_millilog),
             resident_plan_bytes: self
                 .resident_plan_bytes
                 .saturating_sub(earlier.resident_plan_bytes),
@@ -256,6 +531,9 @@ struct Counters {
     class_hits: AtomicU64,
     inherited_selections: AtomicU64,
     class_evictions: AtomicU64,
+    timing_observations: AtomicU64,
+    corrections_applied: AtomicU64,
+    explored_selections: AtomicU64,
 }
 
 /// Device-attributable counters, one set per fleet device.
@@ -579,6 +857,12 @@ pub struct SeerEngine {
     /// instead of running the cost-model sweep. Off by default: exact-match
     /// traffic behaves bit-identically to the pre-class engine.
     class_reuse: AtomicBool,
+    /// Online recalibration state (see [`SeerEngine::set_recalibration`]):
+    /// `None` (the default) means observed timings are discarded and every
+    /// ranking runs on the raw models — the bit-identical legacy path. The
+    /// handle is shared when this engine is a serving-pool shard, so every
+    /// shard's observations steer the pool-wide corrections.
+    recalibration: RwLock<Option<Arc<Recalibration>>>,
     /// Device-attributable counter breakdowns, indexed by [`DeviceId`].
     device_counters: Vec<DeviceCounters>,
     /// Budgeted-clear threshold for the per-fingerprint maps (profiles,
@@ -618,6 +902,7 @@ impl SeerEngine {
             prepared: Mutex::new(PreparedCache::new()),
             classes: Mutex::new(ClassIndex::new()),
             class_reuse: AtomicBool::new(false),
+            recalibration: RwLock::new(None),
             device_counters,
             fingerprint_budget: AtomicU64::new(Self::DEFAULT_FINGERPRINT_BUDGET),
             counters: Counters::default(),
@@ -705,6 +990,12 @@ impl SeerEngine {
             class_hits: self.counters.class_hits.load(Ordering::Relaxed),
             inherited_selections: self.counters.inherited_selections.load(Ordering::Relaxed),
             class_evictions: self.counters.class_evictions.load(Ordering::Relaxed),
+            timing_observations: self.counters.timing_observations.load(Ordering::Relaxed),
+            corrections_applied: self.counters.corrections_applied.load(Ordering::Relaxed),
+            explored_selections: self.counters.explored_selections.load(Ordering::Relaxed),
+            correction_drift_millilog: self
+                .recalibration_handle()
+                .map_or(0, |recal| recal.max_drift_millilog()),
             resident_plan_bytes: self
                 .prepared
                 .lock()
@@ -823,6 +1114,20 @@ impl SeerEngine {
             .inherited_selections
             .store(0, Ordering::Relaxed);
         self.counters.class_evictions.store(0, Ordering::Relaxed);
+        self.counters
+            .timing_observations
+            .store(0, Ordering::Relaxed);
+        self.counters
+            .corrections_applied
+            .store(0, Ordering::Relaxed);
+        self.counters
+            .explored_selections
+            .store(0, Ordering::Relaxed);
+        // Corrections are learned cache state like any other: a new
+        // generation starts back at trust-the-models.
+        if let Some(recal) = self.recalibration_handle() {
+            recal.reset();
+        }
         for device in &self.device_counters {
             device.reset();
         }
@@ -949,6 +1254,71 @@ impl SeerEngine {
         }
     }
 
+    /// Enables (or, with `None`, disables) online recalibration: the engine
+    /// records the observed total of every execute and maintains one EWMA
+    /// correction factor (observed / modelled) per `(device, kernel)` pair,
+    /// multiplying the modelled kernel totals during selection, warm-path
+    /// re-ranking and fleet placement. See [`RecalibrationConfig`] for the
+    /// smoothing, clamp and exploration knobs.
+    ///
+    /// Installing a configuration starts from fresh unity factors —
+    /// corrections learned under a previous configuration are discarded.
+    /// With recalibration disabled the engine is bit-identical to the
+    /// pre-recalibration engine: no observation is recorded, no factor is
+    /// consulted, and cached plans replay verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range knobs (see [`RecalibrationConfig`] field
+    /// docs).
+    pub fn set_recalibration(&self, config: Option<RecalibrationConfig>) {
+        let handle = config.map(|config| Arc::new(Recalibration::new(config, self.fleet.len())));
+        *self
+            .recalibration
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = handle;
+    }
+
+    /// The active recalibration configuration, `None` while disabled.
+    pub fn recalibration_config(&self) -> Option<RecalibrationConfig> {
+        self.recalibration
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|recal| recal.config)
+    }
+
+    /// The current correction factor of one `(device, kernel)` pair: the
+    /// EWMA of observed-over-modelled ratios, `1.0` while recalibration is
+    /// disabled or before any observation of the pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this engine's fleet.
+    pub fn correction_factor(&self, device: DeviceId, kernel: KernelId) -> f64 {
+        let _ = self.fleet.device(device);
+        self.recalibration_handle()
+            .map_or(1.0, |recal| recal.factor(device, kernel))
+    }
+
+    /// Installs an already-built (possibly shared) recalibration handle —
+    /// how a serving pool points every shard engine and its router at one
+    /// correction table.
+    pub(crate) fn install_recalibration(&self, recal: Arc<Recalibration>) {
+        *self
+            .recalibration
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(recal);
+    }
+
+    /// The engine's recalibration handle, if enabled.
+    pub(crate) fn recalibration_handle(&self) -> Option<Arc<Recalibration>> {
+        self.recalibration
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
     /// Selects a kernel for `matrix` and a workload of `iterations`
     /// iterations, following the classifier-selection flow of Fig. 3.
     ///
@@ -1015,11 +1385,12 @@ impl SeerEngine {
             .get(&key)
             .copied()
         {
+            let served = self.serve_cached(plan, matrix, fingerprint, iterations);
             self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-            self.device_counters[plan.device.index()]
+            self.device_counters[served.device.index()]
                 .plan_hits
                 .fetch_add(1, Ordering::Relaxed);
-            return (plan, SimTime::ZERO);
+            return (served, SimTime::ZERO);
         }
         self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
 
@@ -1109,6 +1480,58 @@ impl SeerEngine {
             selection.inference_overhead
         };
         (selection, charged)
+    }
+
+    /// Serves one plan-cache hit. With recalibration off — or on a
+    /// single-device fleet, where there is nothing to re-place — the cached
+    /// selection replays verbatim: the bit-identical legacy path. With
+    /// recalibration on, the cached *kernel* is kept (the classifier's
+    /// choice is a property of the matrix, not the fleet) but its placement
+    /// is re-ranked through the corrected per-device models on every hit, so
+    /// drift discovered since the plan was cached migrates the workload
+    /// without invalidating the plan; a near-tie may additionally be
+    /// diverted to the runner-up by the exploration policy. The plan cache
+    /// itself is never rewritten — the cached entry stays the raw-model
+    /// argmin, and corrections apply at serve time.
+    fn serve_cached(
+        &self,
+        plan: Selection,
+        matrix: &CsrMatrix,
+        fingerprint: u64,
+        iterations: usize,
+    ) -> Selection {
+        if self.fleet.is_single_device() {
+            return plan;
+        }
+        let Some(recal) = self.recalibration_handle() else {
+            return plan;
+        };
+        let (best, runner) = self.rank_corrected(
+            matrix,
+            fingerprint,
+            plan.kernel,
+            iterations,
+            plan.used_gathered,
+            plan.feature_collection_cost,
+            plan.inference_overhead,
+            Some(&recal),
+        );
+        let served = match runner {
+            Some(runner) if recal.near_tie(best.total, runner.total) && recal.explore() => {
+                self.counters
+                    .explored_selections
+                    .fetch_add(1, Ordering::Relaxed);
+                runner
+            }
+            _ => best,
+        };
+        Selection {
+            kernel: plan.kernel,
+            device: served.device,
+            used_gathered: plan.used_gathered,
+            feature_collection_cost: served.collection_cost,
+            inference_overhead: plan.inference_overhead,
+        }
     }
 
     /// Performs the Fig. 3 selection using the features already stored in a
@@ -1223,7 +1646,6 @@ impl SeerEngine {
     ) -> (Selection, SimTime) {
         let (selection, charged_overhead) =
             self.select_with_policy_charged(matrix, iterations, policy);
-        let costs = self.kernel_costs_on(matrix, selection.device, selection.kernel);
         let plan = self.prepared_plan_on(matrix, selection.device, selection.kernel);
         workspace.y.resize(matrix.rows(), 0.0);
         kernel(selection.kernel).compute_prepared_into(
@@ -1237,10 +1659,8 @@ impl SeerEngine {
         // nothing for a plan replay, tree walks alone when the gathered
         // features came from the feature cache. The embedded `selection`
         // still reports the plan's intrinsic costs.
-        (
-            selection,
-            charged_overhead + costs.total_at(selection.kernel, iterations),
-        )
+        let observed = self.observe_execution(&selection, matrix, iterations);
+        (selection, charged_overhead + observed)
     }
 
     /// The PR-3-era streaming execute: identical selection, billing and
@@ -1262,13 +1682,10 @@ impl SeerEngine {
     ) -> (Selection, SimTime) {
         let (selection, charged_overhead) =
             self.select_with_policy_charged(matrix, iterations, policy);
-        let costs = self.kernel_costs_on(matrix, selection.device, selection.kernel);
         workspace.y.resize(matrix.rows(), 0.0);
         kernel(selection.kernel).compute_into(matrix, x, &mut workspace.y, &mut workspace.scratch);
-        (
-            selection,
-            charged_overhead + costs.total_at(selection.kernel, iterations),
-        )
+        let observed = self.observe_execution(&selection, matrix, iterations);
+        (selection, charged_overhead + observed)
     }
 
     /// [`SeerEngine::execute_streaming_with_policy_into`] under the adaptive
@@ -1588,13 +2005,18 @@ impl SeerEngine {
     /// taken) + tree-walk overhead + preprocessing + `iterations` x
     /// per-iteration — on every fleet device and returns the argmin device
     /// together with the collection cost modelled on it. Ties break toward
-    /// the lowest [`DeviceId`], so placement is deterministic.
+    /// the lowest [`DeviceId`], so placement is deterministic. With
+    /// recalibration enabled the per-device kernel totals are multiplied by
+    /// the learned correction factors first.
     ///
     /// Single-device fleets skip the ranking entirely (the argmin over one
     /// candidate needs no cost models), which is what keeps them bit-for-bit
     /// identical to the pre-fleet engine: no extra profiling pass, no cost
     /// evaluation on the known-only selection path. Record-based contexts
-    /// carry no matrix to rank with and resolve to the default device.
+    /// carry no matrix to rank with; they resolve to the default device
+    /// unless recalibration is on, in which case the recorded kernel total
+    /// is ranked through the corrected models (see
+    /// [`SeerEngine::place_record`]).
     fn place(
         &self,
         ctx: &SelectionCtx<'_>,
@@ -1607,16 +2029,60 @@ impl SeerEngine {
         if self.fleet.is_single_device() {
             return (default_device, default_collection_cost);
         }
-        let FeatureSource::Live {
-            matrix,
-            fingerprint,
-        } = ctx.source
-        else {
-            return (default_device, default_collection_cost);
-        };
+        let recal = self.recalibration_handle();
+        match ctx.source {
+            FeatureSource::Live {
+                matrix,
+                fingerprint,
+            } => {
+                let (best, _runner) = self.rank_corrected(
+                    matrix,
+                    fingerprint,
+                    kernel_id,
+                    ctx.iterations,
+                    gather,
+                    default_collection_cost,
+                    inference,
+                    recal.as_deref(),
+                );
+                (best.device, best.collection_cost)
+            }
+            FeatureSource::Record { record } => {
+                let device = match recal.as_deref() {
+                    Some(recal) => self.place_record(record, kernel_id, recal),
+                    None => default_device,
+                };
+                (device, default_collection_cost)
+            }
+        }
+    }
+
+    /// The fleet cost sweep shared by cold placement and warm re-ranking:
+    /// prices `kernel_id` on every fleet device (collection cost plus
+    /// inference plus corrected kernel total) and returns the argmin
+    /// candidate plus the runner-up (for the exploration policy).
+    /// Strictly-less comparisons keep the lowest-id tie-break, and a unit
+    /// correction factor leaves the modelled total bit-identical (`t * 1.0
+    /// == t` is exact in IEEE 754, and the multiplication is skipped
+    /// anyway), so with `recal = None` — or all-unity factors — this is
+    /// exactly the legacy ranking.
+    #[allow(clippy::too_many_arguments)]
+    fn rank_corrected(
+        &self,
+        matrix: &CsrMatrix,
+        fingerprint: u64,
+        kernel_id: KernelId,
+        iterations: usize,
+        gather: bool,
+        default_collection_cost: SimTime,
+        inference: SimTime,
+        recal: Option<&Recalibration>,
+    ) -> (RankedDevice, Option<RankedDevice>) {
+        let default_device = self.fleet.default_device();
         let profile = self.profile_for(matrix, fingerprint);
-        let mut best = (default_device, default_collection_cost);
-        let mut best_total: Option<SimTime> = None;
+        let mut best: Option<RankedDevice> = None;
+        let mut runner: Option<RankedDevice> = None;
+        let mut corrected = false;
         for device in self.fleet.ids() {
             let collection_cost = if !gather {
                 SimTime::ZERO
@@ -1629,13 +2095,129 @@ impl SeerEngine {
                     .collection_cost_with(self.fleet.gpu(device), matrix, &profile)
             };
             let costs = self.kernel_costs_on(matrix, device, kernel_id);
-            let total = collection_cost + inference + costs.total_at(kernel_id, ctx.iterations);
+            let mut kernel_total = costs.total_at(kernel_id, iterations);
+            if let Some(recal) = recal {
+                let factor = recal.factor(device, kernel_id);
+                if factor != 1.0 {
+                    corrected = true;
+                    kernel_total = kernel_total * factor;
+                }
+            }
+            let candidate = RankedDevice {
+                device,
+                collection_cost,
+                total: collection_cost + inference + kernel_total,
+            };
+            match best {
+                None => best = Some(candidate),
+                Some(leader) if candidate.total < leader.total => {
+                    runner = best;
+                    best = Some(candidate);
+                }
+                Some(_) => match runner {
+                    Some(second) if candidate.total >= second.total => {}
+                    _ => runner = Some(candidate),
+                },
+            }
+        }
+        if corrected {
+            self.counters
+                .corrections_applied
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        (best.expect("fleets are non-empty by construction"), runner)
+    }
+
+    /// Fleet-aware record placement: a [`BenchmarkRecord`] carries no matrix
+    /// to run the per-device cost models over, but its recorded kernel total
+    /// *can* be ranked through the learned per-device correction factors —
+    /// the record stands in for the modelled total and each device's factor
+    /// says how that device actually performs relative to the models. With
+    /// all-unity factors every device ties and the lowest-id tie-break
+    /// resolves to the default device, the legacy record behaviour.
+    fn place_record(
+        &self,
+        record: &BenchmarkRecord,
+        kernel_id: KernelId,
+        recal: &Recalibration,
+    ) -> DeviceId {
+        let recorded = record.total_of(kernel_id);
+        let mut best = self.fleet.default_device();
+        let mut best_total: Option<SimTime> = None;
+        let mut corrected = false;
+        for device in self.fleet.ids() {
+            let factor = recal.factor(device, kernel_id);
+            let total = if factor == 1.0 {
+                recorded
+            } else {
+                corrected = true;
+                recorded * factor
+            };
             if best_total.is_none_or(|b| total < b) {
-                best = (device, collection_cost);
+                best = device;
                 best_total = Some(total);
             }
         }
+        if corrected {
+            self.counters
+                .corrections_applied
+                .fetch_add(1, Ordering::Relaxed);
+        }
         best
+    }
+
+    /// The observed total of one executed workload: the modelled total of
+    /// the `(device, kernel)` that ran, scaled by the device's injected
+    /// true-timing factor ([`Fleet::set_true_timing_factor`]). The result is
+    /// fed to the recalibration layer (when enabled) and returned for
+    /// billing. With no injected perturbation the factor is `1.0` and the
+    /// scaling is skipped entirely, so billed totals stay bit-identical to
+    /// the pre-recalibration engine.
+    fn observe_execution(
+        &self,
+        selection: &Selection,
+        matrix: &CsrMatrix,
+        iterations: usize,
+    ) -> SimTime {
+        let costs = self.kernel_costs_on(matrix, selection.device, selection.kernel);
+        let modelled = costs.total_at(selection.kernel, iterations);
+        let factor = self.fleet.true_timing_factor(selection.device);
+        let observed = if factor == 1.0 {
+            modelled
+        } else {
+            modelled * factor
+        };
+        self.record_observation(selection.device, selection.kernel, modelled, observed);
+        observed
+    }
+
+    /// Feeds one observed execution total back into the recalibration layer.
+    /// A no-op while recalibration is disabled; degenerate observations
+    /// (zero or non-finite modelled or observed totals, e.g. a zero-row
+    /// matrix) are discarded rather than folded into a factor.
+    fn record_observation(
+        &self,
+        device: DeviceId,
+        kernel: KernelId,
+        modelled: SimTime,
+        observed: SimTime,
+    ) {
+        let Some(recal) = self.recalibration_handle() else {
+            return;
+        };
+        let modelled = modelled.as_nanos();
+        let observed = observed.as_nanos();
+        if !modelled.is_finite() || modelled <= 0.0 || !observed.is_finite() || observed <= 0.0 {
+            return;
+        }
+        let ratio = observed / modelled;
+        if !ratio.is_finite() {
+            return;
+        }
+        recal.observe(device, kernel, ratio);
+        self.counters
+            .timing_observations
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The full gathered-path feature vector (known ++ gathered), the
@@ -1918,6 +2500,10 @@ mod tests {
             class_hits: 1,
             inherited_selections: 1,
             class_evictions: 0,
+            timing_observations: 1,
+            corrections_applied: 0,
+            explored_selections: 0,
+            correction_drift_millilog: 40,
             resident_plan_bytes: 100,
         };
         let b = EngineStats {
@@ -1932,10 +2518,16 @@ mod tests {
             class_hits: 2,
             inherited_selections: 2,
             class_evictions: 1,
+            timing_observations: 2,
+            corrections_applied: 1,
+            explored_selections: 1,
+            correction_drift_millilog: 90,
             resident_plan_bytes: 200,
         };
         assert_eq!(a.saturating_sub(b), EngineStats::default());
         assert_eq!(b.saturating_add(b).plan_misses, u64::MAX);
+        // The drift gauge aggregates by max (fleet-wide worst), not by sum.
+        assert_eq!(a.saturating_add(b).correction_drift_millilog, 90);
         assert_eq!(a.selections(), 4);
         assert!((a.plan_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(EngineStats::default().plan_hit_rate(), 0.0);
@@ -2508,5 +3100,266 @@ mod tests {
         let warm = engine.stats();
         assert_eq!(warm.plan_preparations, cold.plan_preparations);
         assert_eq!(warm.plan_value_refreshes, 0);
+    }
+
+    #[test]
+    fn recalibration_is_off_by_default_and_config_round_trips() {
+        let (engine, _) = engine_and_collection();
+        assert_eq!(engine.recalibration_config(), None);
+        assert_eq!(
+            engine.correction_factor(DeviceId::DEFAULT, KernelId::CsrAdaptive),
+            1.0
+        );
+        let config = RecalibrationConfig::default();
+        engine.set_recalibration(Some(config));
+        assert_eq!(engine.recalibration_config(), Some(config));
+        engine.set_recalibration(None);
+        assert_eq!(engine.recalibration_config(), None);
+    }
+
+    #[test]
+    fn ewma_observation_moves_the_factor_and_clamps() {
+        let recal = Recalibration::new(
+            RecalibrationConfig {
+                smoothing: 0.25,
+                clamp_min: 0.25,
+                clamp_max: 4.0,
+                exploration: None,
+            },
+            2,
+        );
+        let device = DeviceId::new(1);
+        let kernel = KernelId::CsrMergePath;
+        assert_eq!(recal.factor(device, kernel), 1.0);
+        recal.observe(device, kernel, 2.0);
+        // 1.0 * 0.75 + 2.0 * 0.25
+        assert!((recal.factor(device, kernel) - 1.25).abs() < 1e-12);
+        // Other slots are untouched.
+        assert_eq!(recal.factor(DeviceId::DEFAULT, kernel), 1.0);
+        assert_eq!(recal.factor(device, KernelId::CsrAdaptive), 1.0);
+        // A sustained ratio converges to it: f_n = r + (1 - r) * 0.75^n.
+        for _ in 0..40 {
+            recal.observe(device, kernel, 2.0);
+        }
+        assert!((recal.factor(device, kernel) - 2.0).abs() < 1e-4);
+        // Drift gauge: round(1000 * ln 2) = 693.
+        assert_eq!(recal.max_drift_millilog(), 693);
+        // Absurd observations are clamped, so recovery stays bounded.
+        recal.observe(device, kernel, 1e12);
+        assert_eq!(recal.factor(device, kernel), 4.0);
+        recal.reset();
+        assert_eq!(recal.factor(device, kernel), 1.0);
+        assert_eq!(recal.max_drift_millilog(), 0);
+    }
+
+    #[test]
+    fn exploration_knobs_gate_the_draw() {
+        let never = Recalibration::new(
+            RecalibrationConfig {
+                exploration: Some(ExplorationPolicy {
+                    epsilon: 0.0,
+                    ..ExplorationPolicy::default()
+                }),
+                ..RecalibrationConfig::default()
+            },
+            1,
+        );
+        assert!(!never.explore());
+        let always = Recalibration::new(
+            RecalibrationConfig {
+                exploration: Some(ExplorationPolicy {
+                    epsilon: 1.0,
+                    near_tie_fraction: f64::INFINITY,
+                    seed: 7,
+                }),
+                ..RecalibrationConfig::default()
+            },
+            1,
+        );
+        assert!(always.explore());
+        // An infinite near-tie window admits any runner-up; a finite one
+        // admits only candidates within the fraction.
+        assert!(always.near_tie(SimTime::from_nanos(1.0), SimTime::from_nanos(1e9)));
+        let tight = Recalibration::new(
+            RecalibrationConfig {
+                exploration: Some(ExplorationPolicy {
+                    near_tie_fraction: 0.05,
+                    ..ExplorationPolicy::default()
+                }),
+                ..RecalibrationConfig::default()
+            },
+            1,
+        );
+        assert!(tight.near_tie(SimTime::from_nanos(100.0), SimTime::from_nanos(104.0)));
+        assert!(!tight.near_tie(SimTime::from_nanos(100.0), SimTime::from_nanos(110.0)));
+        // No exploration policy: nothing qualifies, nothing is drawn.
+        let none = Recalibration::new(RecalibrationConfig::default(), 1);
+        assert!(!none.explore());
+        assert!(!none.near_tie(SimTime::from_nanos(100.0), SimTime::from_nanos(100.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be in (0, 1]")]
+    fn zero_smoothing_is_rejected() {
+        let (engine, _) = engine_and_collection();
+        engine.set_recalibration(Some(RecalibrationConfig {
+            smoothing: 0.0,
+            ..RecalibrationConfig::default()
+        }));
+    }
+
+    #[test]
+    fn executions_feed_observations_only_while_enabled() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[0].matrix;
+        let x = vec![1.0; matrix.cols()];
+        let mut workspace = EngineWorkspace::new();
+        let _ = engine.execute_into(matrix, &x, 19, &mut workspace);
+        assert_eq!(engine.stats().timing_observations, 0);
+        engine.set_recalibration(Some(RecalibrationConfig::default()));
+        let _ = engine.execute_into(matrix, &x, 19, &mut workspace);
+        let _ = engine.execute_into(matrix, &x, 19, &mut workspace);
+        assert_eq!(engine.stats().timing_observations, 2);
+        // Spec-faithful device: every observation ratio is exactly 1.0, so
+        // the factor never leaves unity and no correction is ever applied.
+        let selection = engine.select(matrix, 19);
+        assert_eq!(
+            engine.correction_factor(selection.device, selection.kernel),
+            1.0
+        );
+        assert_eq!(engine.stats().corrections_applied, 0);
+        assert_eq!(engine.stats().correction_drift_millilog, 0);
+    }
+
+    #[test]
+    fn perturbed_device_timings_drive_the_factor_to_the_truth() {
+        let (engine, entries) = engine_and_collection();
+        let matrix = &entries[0].matrix;
+        let x = vec![1.0; matrix.cols()];
+        let mut workspace = EngineWorkspace::new();
+        engine.set_recalibration(Some(RecalibrationConfig::default()));
+        let baseline = {
+            let mut w = EngineWorkspace::new();
+            engine.execute_into(matrix, &x, 19, &mut w).1
+        };
+        // Inject a 2x slowdown on the (single) device: observed totals
+        // double, and the correction factor walks toward 2.0.
+        engine
+            .fleet()
+            .set_true_timing_factor(DeviceId::DEFAULT, 2.0);
+        let selection = engine.select(matrix, 19);
+        for _ in 0..40 {
+            let _ = engine.execute_into(matrix, &x, 19, &mut workspace);
+        }
+        let factor = engine.correction_factor(selection.device, selection.kernel);
+        assert!(
+            (factor - 2.0).abs() < 0.05,
+            "factor {factor} has not converged toward the injected 2x"
+        );
+        assert!(engine.stats().correction_drift_millilog > 600);
+        // Billed totals reflect the perturbation (selection overhead was
+        // already charged on the cold call, so warm totals are pure kernel
+        // time and scale by exactly 2x once the overhead is removed).
+        let (_, warm_total) = engine.execute_into(matrix, &x, 19, &mut workspace);
+        assert!(warm_total.as_nanos() > baseline.as_nanos());
+        // Lifting the perturbation walks the factor back to 1.0.
+        engine.fleet().clear_true_timing_factors();
+        for _ in 0..60 {
+            let _ = engine.execute_into(matrix, &x, 19, &mut workspace);
+        }
+        let recovered = engine.correction_factor(selection.device, selection.kernel);
+        assert!(
+            (recovered - 1.0).abs() < 0.05,
+            "factor {recovered} has not recovered after the perturbation lifted"
+        );
+        // clear_caches starts a fresh generation: factors back to unity.
+        engine
+            .fleet()
+            .set_true_timing_factor(DeviceId::DEFAULT, 2.0);
+        let _ = engine.execute_into(matrix, &x, 19, &mut workspace);
+        assert!(engine.correction_factor(selection.device, selection.kernel) > 1.0);
+        engine.clear_caches();
+        assert_eq!(
+            engine.correction_factor(selection.device, selection.kernel),
+            1.0
+        );
+        assert_eq!(engine.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn recalibration_replays_are_bit_identical_when_factors_are_unity() {
+        let (engine, entries) = engine_and_collection();
+        let control =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        let recalibrated =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        recalibrated.set_recalibration(Some(RecalibrationConfig::default()));
+        for entry in entries.iter().take(8) {
+            for iterations in [1, 19] {
+                // Cold selections and warm replays agree while every factor
+                // sits at 1.0 (ratio-1 observations never move it).
+                assert_eq!(
+                    control.select(&entry.matrix, iterations),
+                    recalibrated.select(&entry.matrix, iterations)
+                );
+                assert_eq!(
+                    control.select(&entry.matrix, iterations),
+                    recalibrated.select(&entry.matrix, iterations)
+                );
+            }
+        }
+        assert_eq!(recalibrated.stats().corrections_applied, 0);
+        assert_eq!(recalibrated.stats().explored_selections, 0);
+    }
+
+    #[test]
+    fn corrected_placement_migrates_off_a_discredited_device() {
+        let (engine, entries) = engine_and_collection();
+        let fleet_engine =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        fleet_engine.set_recalibration(Some(RecalibrationConfig::default()));
+        let matrix = &entries[0].matrix;
+        let cold = fleet_engine.select(matrix, 19);
+        let home = cold.device;
+        // Discredit the home device directly: with its factor at the clamp
+        // ceiling its corrected total loses to some other device, and the
+        // cached plan's warm replays migrate without a plan-cache miss.
+        let recal = fleet_engine.recalibration_handle().unwrap();
+        for _ in 0..64 {
+            recal.observe(home, cold.kernel, 1e6);
+        }
+        let migrated = fleet_engine.select(matrix, 19);
+        assert_ne!(
+            migrated.device, home,
+            "placement did not migrate off the discredited device"
+        );
+        assert_eq!(migrated.kernel, cold.kernel);
+        let stats = fleet_engine.stats();
+        assert_eq!(stats.plan_misses, 1, "migration must not invalidate plans");
+        assert!(stats.corrections_applied > 0);
+    }
+
+    #[test]
+    fn record_selection_is_fleet_aware_under_recalibration() {
+        let (engine, entries) = engine_and_collection();
+        let fleet_engine =
+            SeerEngine::with_fleet(Fleet::reference_heterogeneous(), engine.models_handle());
+        let record = BenchmarkRecord::measure(fleet_engine.gpu(), "rec", &entries[0].matrix, 19);
+        // Recalibration off: records resolve to the default device.
+        let legacy = fleet_engine.select_from_record(&record);
+        assert_eq!(legacy.device, DeviceId::DEFAULT);
+        // On, with unity factors: every device ties, lowest id wins — the
+        // same answer, so enabling the layer alone changes nothing.
+        fleet_engine.set_recalibration(Some(RecalibrationConfig::default()));
+        assert_eq!(fleet_engine.select_from_record(&record), legacy);
+        // Discredit the default device for the record's kernel: the record
+        // ranking now places elsewhere.
+        let recal = fleet_engine.recalibration_handle().unwrap();
+        for _ in 0..64 {
+            recal.observe(DeviceId::DEFAULT, legacy.kernel, 1e6);
+        }
+        let rerouted = fleet_engine.select_from_record(&record);
+        assert_ne!(rerouted.device, DeviceId::DEFAULT);
+        assert_eq!(rerouted.kernel, legacy.kernel);
     }
 }

@@ -67,8 +67,9 @@ pub mod training;
 
 mod error;
 
-pub use engine::{EngineStats, SeerEngine};
+pub use engine::{EngineStats, ExplorationPolicy, RecalibrationConfig, SeerEngine};
 pub use error::SeerError;
 pub use serving::{
-    DevicePoolStats, PoolConfig, PoolStats, ServingPool, ServingRequest, ServingResponse,
+    DevicePoolStats, PoolConfig, PoolStats, ServingError, ServingPool, ServingRequest,
+    ServingResponse, ShardStats,
 };

@@ -71,7 +71,8 @@
 //! let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(2));
 //! let matrix = Arc::new(collection[0].matrix.clone());
 //! let ticket = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
-//! assert_eq!(ticket.wait().selection, engine.select(&matrix, 19));
+//! let response = ticket.wait().expect("serving worker is healthy");
+//! assert_eq!(response.selection, engine.select(&matrix, 19));
 //!
 //! let stats = pool.shutdown();
 //! assert_eq!(stats.completed(), 1);
@@ -79,6 +80,7 @@
 //! # }
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -87,12 +89,12 @@ use std::time::{Duration, Instant};
 use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::engine::{EngineStats, EngineWorkspace, SeerEngine};
+use crate::engine::{EngineStats, EngineWorkspace, Recalibration, RecalibrationConfig, SeerEngine};
 use crate::inference::{Selection, SelectionPolicy};
 use crate::training::SeerModels;
 
 /// Configuration of a [`ServingPool`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoolConfig {
     /// Number of shards (worker threads with private engines) pinned to
     /// *each* fleet device: a pool over an `N`-device fleet runs `N x
@@ -106,6 +108,12 @@ pub struct PoolConfig {
     /// selections are approximate by design, and the pool's differential
     /// guarantees against a sequential engine hold exactly only without it.
     pub structure_class_reuse: bool,
+    /// Online recalibration ([`SeerEngine::set_recalibration`]) shared
+    /// pool-wide: one correction table is installed on every shard engine
+    /// *and* the router, so a timing drift observed by any shard's execute
+    /// traffic reweights placement for the whole pool. `None` (the default)
+    /// keeps the pool bit-identical to a sequential engine replay.
+    pub recalibration: Option<RecalibrationConfig>,
 }
 
 impl PoolConfig {
@@ -114,12 +122,20 @@ impl PoolConfig {
         Self {
             shards: shards.max(1),
             structure_class_reuse: false,
+            recalibration: None,
         }
     }
 
     /// Returns the config with structure-class reuse switched on or off.
     pub fn with_class_reuse(mut self, enabled: bool) -> Self {
         self.structure_class_reuse = enabled;
+        self
+    }
+
+    /// Returns the config with pool-wide observed-timing recalibration
+    /// installed (or removed, with `None`).
+    pub fn with_recalibration(mut self, config: Option<RecalibrationConfig>) -> Self {
+        self.recalibration = config;
         self
     }
 }
@@ -141,6 +157,11 @@ pub enum Workload {
         /// The dense input vector; must satisfy `x.len() == matrix.cols()`.
         x: Arc<Vec<Scalar>>,
     },
+    /// Chaos workload: panics inside the serving worker. Exists so the
+    /// worker-death recovery path ([`ServingError::WorkerDied`]) can be
+    /// exercised deterministically; never useful in production traffic.
+    #[doc(hidden)]
+    PanicInjection,
 }
 
 /// One request submitted to a [`ServingPool`].
@@ -200,18 +221,52 @@ pub struct ServingResponse {
     pub shard: usize,
 }
 
+/// A recoverable serving failure, reported through [`Ticket`] accessors
+/// instead of a panic on the *caller's* thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServingError {
+    /// The serving worker dropped the request without replying — it panicked
+    /// while serving this request. The worker itself survives (the serve
+    /// call is unwind-isolated), the failure is recorded in
+    /// [`ShardStats::failed`], and only this request's ticket observes the
+    /// error.
+    WorkerDied {
+        /// The shard whose worker dropped the request.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerDied { shard } => {
+                write!(f, "serving worker for shard {shard} dropped the request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
 /// A pending response from a [`ServingPool`].
+///
+/// Every accessor returns `Result`: a worker that panics while serving this
+/// request surfaces as a recoverable [`ServingError::WorkerDied`] rather
+/// than a panic in the waiting caller (the pre-recalibration API panicked
+/// `"serving worker dropped the request"`, which turned one poisoned request
+/// into a caller crash).
 #[derive(Debug)]
 pub struct Ticket {
     rx: mpsc::Receiver<ServingResponse>,
     shard: usize,
-    /// A response already pulled off the channel by one of the polling
+    /// An outcome already pulled off the channel by one of the polling
     /// accessors ([`Ticket::is_done`], [`Ticket::try_wait`],
     /// [`Ticket::wait_timeout`]), kept so a later `wait` still observes it.
     /// `RefCell` so the `&self` poll of `is_done` can stash it; a `Ticket`
     /// is single-owner (`Send` but not `Sync`), so the interior borrow can
     /// never be contended.
-    received: std::cell::RefCell<Option<ServingResponse>>,
+    received: std::cell::RefCell<Option<Result<ServingResponse, ServingError>>>,
 }
 
 impl Ticket {
@@ -220,89 +275,100 @@ impl Ticket {
         self.shard
     }
 
-    /// Whether the response has been served, without blocking. A response
-    /// observed here stays owned by the ticket — `is_done` followed by
-    /// [`Ticket::wait`] never loses it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the serving worker died before replying, like
-    /// [`Ticket::wait`] — a disconnected channel would otherwise turn the
-    /// documented polling loop into a silent spin.
+    /// The outcome of a disconnected reply channel: the worker dropped this
+    /// request's reply sender without sending, i.e. it panicked mid-serve.
+    fn worker_died(&self) -> ServingError {
+        ServingError::WorkerDied { shard: self.shard }
+    }
+
+    /// Whether the request has resolved — served *or* failed — without
+    /// blocking. An outcome observed here stays owned by the ticket, so
+    /// `is_done` followed by [`Ticket::wait`] never loses it; a dead worker
+    /// resolves the ticket (to [`ServingError::WorkerDied`]) rather than
+    /// turning the documented polling loop into a silent spin.
     pub fn is_done(&self) -> bool {
         let mut received = self.received.borrow_mut();
         if received.is_none() {
             *received = match self.rx.try_recv() {
-                Ok(response) => Some(response),
+                Ok(response) => Some(Ok(response)),
                 Err(mpsc::TryRecvError::Empty) => None,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    panic!("serving worker dropped the request")
-                }
+                Err(mpsc::TryRecvError::Disconnected) => Some(Err(self.worker_died())),
             };
         }
         received.is_some()
     }
 
-    /// Blocks until the response is served.
+    /// Blocks until the request resolves.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died before replying (a worker panic;
-    /// never happens in normal operation — shutdown drains accepted requests
-    /// first).
-    pub fn wait(self) -> ServingResponse {
+    /// Returns [`ServingError::WorkerDied`] if the serving worker panicked
+    /// on this request and dropped it without replying. Other requests on
+    /// the same shard are unaffected.
+    pub fn wait(self) -> Result<ServingResponse, ServingError> {
+        let died = self.worker_died();
         match self.received.into_inner() {
-            Some(response) => response,
-            None => self.rx.recv().expect("serving worker dropped the request"),
+            Some(outcome) => outcome,
+            None => self.rx.recv().map_err(|_| died),
         }
     }
 
-    /// Returns the response if it is already available, without blocking.
+    /// Returns the response if the request has already resolved, without
+    /// blocking; `Ok(None)` while it is still in flight.
     ///
     /// A response observed here stays owned by the ticket: polling
     /// `try_wait` and then calling [`Ticket::wait`] returns the same
     /// response rather than losing it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died before replying, like
-    /// [`Ticket::wait`].
-    pub fn try_wait(&mut self) -> Option<&ServingResponse> {
+    /// Returns [`ServingError::WorkerDied`] if the worker dropped this
+    /// request, like [`Ticket::wait`].
+    pub fn try_wait(&mut self) -> Result<Option<&ServingResponse>, ServingError> {
+        let died = self.worker_died();
         let received = self.received.get_mut();
         if received.is_none() {
             *received = match self.rx.try_recv() {
-                Ok(response) => Some(response),
+                Ok(response) => Some(Ok(response)),
                 Err(mpsc::TryRecvError::Empty) => None,
-                Err(mpsc::TryRecvError::Disconnected) => {
-                    panic!("serving worker dropped the request")
-                }
+                Err(mpsc::TryRecvError::Disconnected) => Some(Err(died)),
             };
         }
-        received.as_ref()
+        match received {
+            Some(Ok(response)) => Ok(Some(response)),
+            Some(Err(error)) => Err(*error),
+            None => Ok(None),
+        }
     }
 
-    /// Waits up to `timeout` for the response, without consuming the
-    /// ticket. Returns `None` on timeout; the ticket stays valid, so
+    /// Waits up to `timeout` for the request to resolve, without consuming
+    /// the ticket. Returns `Ok(None)` on timeout; the ticket stays valid, so
     /// callers can interleave bounded waits with other work and still
     /// [`Ticket::wait`] (or poll again) later. Like the other accessors, an
-    /// observed response stays owned by the ticket.
+    /// observed outcome stays owned by the ticket.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died before replying, like
-    /// [`Ticket::wait`].
-    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<&ServingResponse> {
+    /// Returns [`ServingError::WorkerDied`] if the worker dropped this
+    /// request, like [`Ticket::wait`].
+    pub fn wait_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<&ServingResponse>, ServingError> {
+        let died = self.worker_died();
         let received = self.received.get_mut();
         if received.is_none() {
             *received = match self.rx.recv_timeout(timeout) {
-                Ok(response) => Some(response),
+                Ok(response) => Some(Ok(response)),
                 Err(mpsc::RecvTimeoutError::Timeout) => None,
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    panic!("serving worker dropped the request")
-                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(died)),
             };
         }
-        received.as_ref()
+        match received {
+            Some(Ok(response)) => Ok(Some(response)),
+            Some(Err(error)) => Err(*error),
+            None => Ok(None),
+        }
     }
 }
 
@@ -316,8 +382,12 @@ pub struct ShardStats {
     pub device: DeviceId,
     /// Requests accepted (routed and enqueued) by this shard.
     pub submitted: u64,
-    /// Requests fully served by this shard.
+    /// Requests fully resolved by this shard — served *or* failed. Failed
+    /// requests count as completed so drain/shutdown never hang on them.
     pub completed: u64,
+    /// Requests dropped by a worker panic mid-serve; each one resolved its
+    /// ticket to [`ServingError::WorkerDied`]. Always `<= completed`.
+    pub failed: u64,
     /// Cache/fallback counters of the shard's engine.
     pub engine: EngineStats,
     /// Distinct plans currently cached by the shard's engine.
@@ -325,7 +395,7 @@ pub struct ShardStats {
 }
 
 impl ShardStats {
-    /// Requests accepted but not yet served.
+    /// Requests accepted but not yet resolved.
     pub fn queue_depth(&self) -> u64 {
         self.submitted.saturating_sub(self.completed)
     }
@@ -341,8 +411,10 @@ pub struct DevicePoolStats {
     pub shards: usize,
     /// Requests routed to the device's shard group.
     pub submitted: u64,
-    /// Requests served by the device's shard group.
+    /// Requests resolved (served or failed) by the device's shard group.
     pub completed: u64,
+    /// Requests dropped by worker panics across the device's shards.
+    pub failed: u64,
     /// Engine counters summed over the device's shards.
     pub engine: EngineStats,
 }
@@ -384,6 +456,7 @@ impl PoolStats {
                         shards: 0,
                         submitted: 0,
                         completed: 0,
+                        failed: 0,
                         engine: EngineStats::default(),
                     });
                     lanes.last_mut().expect("just pushed")
@@ -392,6 +465,7 @@ impl PoolStats {
             lane.shards += 1;
             lane.submitted = lane.submitted.saturating_add(shard.submitted);
             lane.completed = lane.completed.saturating_add(shard.completed);
+            lane.failed = lane.failed.saturating_add(shard.failed);
             lane.engine = lane.engine.saturating_add(shard.engine);
         }
         lanes.sort_by_key(|lane| lane.device);
@@ -410,6 +484,24 @@ impl PoolStats {
         self.shards
             .iter()
             .fold(0, |n, s| n.saturating_add(s.completed))
+    }
+
+    /// Total requests dropped by worker panics across all shards.
+    pub fn failed(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.failed))
+    }
+
+    /// Fraction of resolved requests that failed, in `[0, 1]`. `0.0` when
+    /// nothing has resolved yet — never `NaN`.
+    pub fn failure_rate(&self) -> f64 {
+        let completed = self.completed();
+        if completed == 0 {
+            0.0
+        } else {
+            self.failed() as f64 / completed as f64
+        }
     }
 
     /// Total requests accepted but not yet served.
@@ -466,6 +558,8 @@ struct Shard {
     worker: Option<JoinHandle<()>>,
     submitted: Arc<AtomicU64>,
     completed: Arc<AtomicU64>,
+    /// Requests dropped by a panic inside `serve`; a subset of `completed`.
+    failed: Arc<AtomicU64>,
 }
 
 /// A sharded, multi-threaded serving front-end for Seer selections — and,
@@ -515,6 +609,12 @@ impl ServingPool {
             waiters: AtomicU64::new(0),
         });
         let per_device = config.shards.max(1);
+        // One correction table for the whole pool: every shard engine and
+        // the router share it, so an observation on any shard's execute
+        // traffic reweights every engine's corrected placement at once.
+        let recalibration = config
+            .recalibration
+            .map(|recal| Arc::new(Recalibration::new(recal, fleet.len())));
         let mut shards = Vec::with_capacity(fleet.len() * per_device);
         let mut device_groups = vec![Vec::with_capacity(per_device); fleet.len()];
         for device in fleet.ids() {
@@ -522,16 +622,21 @@ impl ServingPool {
                 let index = shards.len();
                 let engine = Arc::new(SeerEngine::with_fleet(fleet.clone(), Arc::clone(&models)));
                 engine.set_structure_class_reuse(config.structure_class_reuse);
+                if let Some(recal) = &recalibration {
+                    engine.install_recalibration(Arc::clone(recal));
+                }
                 let (sender, receiver) = mpsc::channel::<Job>();
                 let completed = Arc::new(AtomicU64::new(0));
+                let failed = Arc::new(AtomicU64::new(0));
                 let worker = {
                     let engine = Arc::clone(&engine);
                     let completed = Arc::clone(&completed);
+                    let failed = Arc::clone(&failed);
                     let progress = Arc::clone(&progress);
                     std::thread::Builder::new()
                         .name(format!("seer-shard-{index}"))
                         .spawn(move || {
-                            worker_loop(index, &engine, &receiver, &completed, &progress)
+                            worker_loop(index, &engine, &receiver, &completed, &failed, &progress)
                         })
                         .expect("spawn serving worker")
                 };
@@ -543,6 +648,7 @@ impl ServingPool {
                     worker: Some(worker),
                     submitted: Arc::new(AtomicU64::new(0)),
                     completed,
+                    failed,
                 });
             }
         }
@@ -551,6 +657,9 @@ impl ServingPool {
             // Inherited routing stays device-affine: a class hit on the
             // router pins the whole class's placement to one device group.
             engine.set_structure_class_reuse(config.structure_class_reuse);
+            if let Some(recal) = &recalibration {
+                engine.install_recalibration(Arc::clone(recal));
+            }
             engine
         });
         Self {
@@ -635,13 +744,20 @@ impl ServingPool {
         let shard_index = self.shard_for_request(&request);
         let shard = &self.shards[shard_index];
         let (reply, rx) = mpsc::channel();
-        shard.submitted.fetch_add(1, Ordering::Relaxed);
-        shard
+        shard.submitted.fetch_add(1, Ordering::SeqCst);
+        let sent = shard
             .sender
             .as_ref()
             .expect("pool has not been shut down")
-            .send(Job { request, reply })
-            .expect("serving worker is alive");
+            .send(Job { request, reply });
+        if sent.is_err() {
+            // The worker's receiver is gone — the thread itself died (it
+            // never exits while senders are live otherwise). Roll the
+            // accounting back so `drain` cannot wait forever on a request
+            // nothing will ever serve; the returned ticket's channel is
+            // already disconnected, so it resolves to `WorkerDied`.
+            shard.submitted.fetch_sub(1, Ordering::SeqCst);
+        }
         Ticket {
             rx,
             shard: shard_index,
@@ -701,6 +817,7 @@ impl ServingPool {
                     device: shard.device,
                     submitted: shard.submitted.load(Ordering::Acquire),
                     completed: shard.completed.load(Ordering::Acquire),
+                    failed: shard.failed.load(Ordering::Acquire),
                     engine: shard.engine.stats(),
                     cached_plans: shard.engine.cached_plans(),
                 })
@@ -748,16 +865,30 @@ impl Drop for ServingPool {
 /// The worker owns one [`EngineWorkspace`] for its whole lifetime, so the
 /// execute hot path reuses the same output and scratch buffers across every
 /// request the shard ever serves.
+///
+/// A panic inside [`serve`] is unwind-isolated per request: the worker
+/// records the failure, still counts the request completed (so drain and
+/// shutdown never hang on a poisoned request), and drops the reply sender —
+/// only that request's [`Ticket`] observes [`ServingError::WorkerDied`],
+/// while the worker itself lives on to serve the rest of its queue. The old
+/// behaviour let the panic kill the thread, which silently dropped *every*
+/// queued request behind the poisoned one and crashed each waiting caller.
 fn worker_loop(
     shard: usize,
     engine: &SeerEngine,
     receiver: &mpsc::Receiver<Job>,
     completed: &AtomicU64,
+    failed: &AtomicU64,
     progress: &Progress,
 ) {
     let mut workspace = EngineWorkspace::new();
     for job in receiver.iter() {
-        let response = serve(shard, engine, &job.request, &mut workspace);
+        let response = catch_unwind(AssertUnwindSafe(|| {
+            serve(shard, engine, &job.request, &mut workspace)
+        }));
+        if response.is_err() {
+            failed.fetch_add(1, Ordering::SeqCst);
+        }
         completed.fetch_add(1, Ordering::SeqCst);
         if progress.waiters.load(Ordering::SeqCst) > 0 {
             // Taking the lock before notifying pairs with `drain` holding it
@@ -765,8 +896,12 @@ fn worker_loop(
             let _guard = progress.lock.lock().unwrap_or_else(PoisonError::into_inner);
             progress.served.notify_all();
         }
-        // The submitter may have dropped its ticket; that is not an error.
-        let _ = job.reply.send(response);
+        if let Ok(response) = response {
+            // The submitter may have dropped its ticket; that's not an error.
+            let _ = job.reply.send(response);
+        }
+        // On panic `job.reply` drops unsent here, disconnecting exactly one
+        // ticket, which reports the death as a recoverable error.
     }
 }
 
@@ -807,6 +942,7 @@ fn serve(
                 shard,
             }
         }
+        Workload::PanicInjection => panic!("injected worker panic"),
     }
 }
 
@@ -844,7 +980,8 @@ mod tests {
             .map(|e| pool.submit(ServingRequest::select(Arc::new(e.matrix.clone()), 19)))
             .collect();
         for (ticket, entry) in tickets.into_iter().zip(entries.iter().take(8)) {
-            assert_eq!(ticket.wait().selection, engine.select(&entry.matrix, 19));
+            let response = ticket.wait().expect("healthy worker");
+            assert_eq!(response.selection, engine.select(&entry.matrix, 19));
         }
     }
 
@@ -872,7 +1009,7 @@ mod tests {
         let mut selections = Vec::new();
         for matrix in &family {
             let ticket = pool.submit(ServingRequest::select(Arc::clone(matrix), 19));
-            selections.push(ticket.wait().selection);
+            selections.push(ticket.wait().expect("healthy worker").selection);
         }
         let stats = pool.shutdown();
         // The first member decided from scratch; later members inherited.
@@ -954,7 +1091,8 @@ mod tests {
                 Arc::clone(&x),
                 5,
             ))
-            .wait();
+            .wait()
+            .expect("healthy worker");
         let reference = engine.execute(&matrix, &x, 5);
         assert_eq!(
             response.result.as_deref(),
@@ -975,13 +1113,15 @@ mod tests {
                 ServingRequest::select(Arc::clone(&matrix), 1)
                     .with_policy(SelectionPolicy::KnownOnly),
             )
-            .wait();
+            .wait()
+            .expect("healthy worker");
         let gathered = pool
             .submit(
                 ServingRequest::select(Arc::clone(&matrix), 1)
                     .with_policy(SelectionPolicy::GatheredOnly),
             )
-            .wait();
+            .wait()
+            .expect("healthy worker");
         assert!(!known.selection.used_gathered);
         assert!(gathered.selection.used_gathered);
         assert_eq!(known.selection, engine.select_known_only(&matrix, 1));
@@ -999,7 +1139,10 @@ mod tests {
         );
         let shards: Vec<usize> = tickets.iter().map(Ticket::shard).collect();
         assert!(shards.iter().all(|&s| s == 0));
-        let responses: Vec<ServingResponse> = tickets.into_iter().map(Ticket::wait).collect();
+        let responses: Vec<ServingResponse> = tickets
+            .into_iter()
+            .map(|ticket| ticket.wait().expect("healthy worker"))
+            .collect();
         assert_eq!(responses.len(), 6);
         let stats = pool.shutdown();
         assert_eq!(stats.completed(), 6);
@@ -1021,7 +1164,7 @@ mod tests {
         assert_eq!(stats.submitted(), 60);
         assert_eq!(stats.completed(), 60);
         for ticket in tickets {
-            let _ = ticket.wait();
+            let _ = ticket.wait().expect("backlog is served before shutdown");
         }
     }
 
@@ -1034,12 +1177,12 @@ mod tests {
         ));
         pool.drain();
         let polled = loop {
-            if let Some(response) = ticket.try_wait() {
+            if let Some(response) = ticket.try_wait().expect("healthy worker") {
                 break response.clone();
             }
         };
         // The polled response is not lost: wait() returns the same one.
-        assert_eq!(ticket.wait(), polled);
+        assert_eq!(ticket.wait().expect("healthy worker"), polled);
     }
 
     #[test]
@@ -1061,7 +1204,8 @@ mod tests {
                 Arc::new(entries[0].matrix.clone()),
                 1,
             ))
-            .wait();
+            .wait()
+            .expect("healthy worker");
         let stats = pool.stats();
         assert!(stats.router.is_none());
         let lanes = stats.devices();
@@ -1119,7 +1263,7 @@ mod tests {
             .collect();
         let mut placed = std::collections::HashSet::new();
         for (ticket, (matrix, iterations)) in tickets.into_iter().zip(&requests) {
-            let response = ticket.wait();
+            let response = ticket.wait().expect("healthy worker");
             let expected =
                 reference.select_with_policy(matrix, *iterations, SelectionPolicy::Adaptive);
             // Pooled selections are bit-identical to a sequential fleet
@@ -1165,7 +1309,7 @@ mod tests {
             std::thread::yield_now();
         }
         assert!(ticket.is_done(), "is_done is idempotent");
-        let response = ticket.wait();
+        let response = ticket.wait().expect("healthy worker");
         assert_eq!(response.shard, pool.shard_for(&entries[0].matrix));
 
         // wait_timeout: a response observed within the timeout stays owned.
@@ -1174,11 +1318,12 @@ mod tests {
             1,
         ));
         let polled = loop {
-            if let Some(response) = ticket.wait_timeout(Duration::from_millis(50)) {
+            let outcome = ticket.wait_timeout(Duration::from_millis(50));
+            if let Some(response) = outcome.expect("healthy worker") {
                 break response.clone();
             }
         };
-        assert_eq!(ticket.wait(), polled);
+        assert_eq!(ticket.wait().expect("healthy worker"), polled);
     }
 
     #[test]
@@ -1189,10 +1334,128 @@ mod tests {
                 Arc::new(entries[0].matrix.clone()),
                 1,
             ))
-            .wait();
+            .wait()
+            .expect("healthy worker");
         pool.drain();
         let stats = pool.stats();
         assert!(stats.elapsed > Duration::ZERO);
         assert!(stats.throughput_per_sec() > 0.0);
+    }
+
+    /// A request that panics inside the worker.
+    fn panic_request(matrix: Arc<CsrMatrix>) -> ServingRequest {
+        ServingRequest {
+            matrix,
+            iterations: 1,
+            policy: SelectionPolicy::Adaptive,
+            workload: Workload::PanicInjection,
+        }
+    }
+
+    #[test]
+    fn worker_panic_fails_one_request_and_the_worker_survives() {
+        let (pool, _engine, entries) = pool_and_corpus(1);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let before = pool.submit(ServingRequest::select(Arc::clone(&matrix), 1));
+        let poisoned = pool.submit(panic_request(Arc::clone(&matrix)));
+        // Submitted *after* the panic: only served if the worker survived it.
+        let after = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        // Failed requests count as completed, so drain terminates.
+        pool.drain();
+
+        assert!(before.wait().is_ok());
+        let shard = poisoned.shard();
+        assert_eq!(poisoned.wait(), Err(ServingError::WorkerDied { shard }));
+        assert!(after.wait().is_ok());
+
+        let stats = pool.stats();
+        assert_eq!(stats.submitted(), 3);
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.failed(), 1);
+        assert_eq!(stats.shards[shard].failed, 1);
+        assert!((stats.failure_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let lanes = stats.devices();
+        assert_eq!(lanes.iter().map(|lane| lane.failed).sum::<u64>(), 1);
+        let final_stats = pool.shutdown();
+        assert_eq!(final_stats.queue_depth(), 0);
+    }
+
+    #[test]
+    fn dead_ticket_resolves_through_every_polling_accessor() {
+        let (pool, _engine, entries) = pool_and_corpus(1);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let polled = pool.submit(panic_request(Arc::clone(&matrix)));
+        let mut tried = pool.submit(panic_request(Arc::clone(&matrix)));
+        let mut timed = pool.submit(panic_request(matrix));
+        pool.drain();
+        // is_done resolves (no spin, no panic) and wait still sees the error.
+        while !polled.is_done() {
+            std::thread::yield_now();
+        }
+        let shard = polled.shard();
+        assert_eq!(polled.wait(), Err(ServingError::WorkerDied { shard }));
+        let tried_shard = tried.shard();
+        loop {
+            match tried.try_wait() {
+                Ok(None) => std::thread::yield_now(),
+                Ok(Some(_)) => panic!("a poisoned request cannot produce a response"),
+                Err(error) => {
+                    assert_eq!(error, ServingError::WorkerDied { shard: tried_shard });
+                    break;
+                }
+            }
+        }
+        let timed_shard = timed.shard();
+        assert_eq!(
+            timed.wait_timeout(Duration::from_secs(5)).err(),
+            Some(ServingError::WorkerDied { shard: timed_shard })
+        );
+        assert_eq!(pool.shutdown().failed(), 3);
+    }
+
+    #[test]
+    fn failure_rate_is_zero_without_traffic() {
+        let (pool, _engine, _entries) = pool_and_corpus(2);
+        let stats = pool.shutdown();
+        assert_eq!(stats.failed(), 0);
+        assert_eq!(stats.failure_rate(), 0.0);
+        assert!(stats.failure_rate().is_finite());
+    }
+
+    #[test]
+    fn recalibration_config_flows_pool_wide() {
+        let entries = generate(&CollectionConfig::tiny());
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let x = Arc::new(vec![1.0; matrix.cols()]);
+
+        // Default pool: recalibration off, no observations recorded.
+        let pool = ServingPool::from_engine(&engine, PoolConfig::with_shards(1));
+        let _ = pool
+            .submit(ServingRequest::execute(
+                Arc::clone(&matrix),
+                Arc::clone(&x),
+                5,
+            ))
+            .wait()
+            .expect("healthy worker");
+        assert_eq!(pool.shutdown().engine().timing_observations, 0);
+
+        // Recalibrating pool: every executed request feeds the shared table.
+        let config = PoolConfig::with_shards(1)
+            .with_recalibration(Some(crate::engine::RecalibrationConfig::default()));
+        let pool = ServingPool::from_engine(&engine, config);
+        for _ in 0..3 {
+            let _ = pool
+                .submit(ServingRequest::execute(
+                    Arc::clone(&matrix),
+                    Arc::clone(&x),
+                    5,
+                ))
+                .wait()
+                .expect("healthy worker");
+        }
+        assert_eq!(pool.shutdown().engine().timing_observations, 3);
     }
 }

@@ -30,6 +30,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::spec::SpecError;
@@ -195,9 +196,33 @@ impl DeviceRegistry {
 ///
 /// A `Fleet` always holds at least one device; [`Fleet::single`] wraps one
 /// [`Gpu`] and is the bridge from every single-device code path.
+///
+/// Beyond the static registry, a fleet carries one piece of *mutable* shared
+/// state: per-device **true-timing factors**
+/// ([`Fleet::set_true_timing_factor`]). The analytical model predicts what a
+/// device's spec says it should do; the factor injects what the device
+/// *actually* does (thermal throttling, a degraded link, a mis-specced
+/// part), scaling every observed execution total on that device. Factors
+/// default to `1.0` (spec-faithful) and are shared by every clone of the
+/// fleet, so an engine, a serving pool's shards and a test harness all see
+/// one injection. They deliberately do **not** feed the cost models — they
+/// are the ground truth the engine's online recalibration layer has to
+/// discover from observations.
 #[derive(Debug, Clone)]
 pub struct Fleet {
     registry: Arc<DeviceRegistry>,
+    /// Per-device true-timing factors as `f64` bit patterns, indexed by
+    /// [`DeviceId`]; shared across clones so injections are fleet-wide.
+    perturbations: Arc<Vec<AtomicU64>>,
+}
+
+/// One unit factor slot per device, all initialized to `1.0`.
+fn unit_perturbations(devices: usize) -> Arc<Vec<AtomicU64>> {
+    Arc::new(
+        (0..devices)
+            .map(|_| AtomicU64::new(1.0f64.to_bits()))
+            .collect(),
+    )
 }
 
 impl Fleet {
@@ -213,8 +238,10 @@ impl Fleet {
                 reason: "a fleet needs at least one device".to_string(),
             });
         }
+        let perturbations = unit_perturbations(registry.len());
         Ok(Self {
             registry: Arc::new(registry),
+            perturbations,
         })
     }
 
@@ -233,6 +260,7 @@ impl Fleet {
             .expect("single-device fleet over an invalid spec");
         Self {
             registry: Arc::new(registry),
+            perturbations: unit_perturbations(1),
         }
     }
 
@@ -326,6 +354,47 @@ impl Fleet {
     /// The hardware handle of the default device.
     pub fn default_gpu(&self) -> &Arc<Gpu> {
         self.gpu(self.default_device())
+    }
+
+    /// Injects a true-timing factor for `device`: every observed execution
+    /// total on that device is the modelled total times `factor`. `1.0`
+    /// (the default) means the device behaves exactly as its spec models;
+    /// `2.0` models a device running at half its specced speed.
+    ///
+    /// The injection is shared by every clone of this fleet and is visible
+    /// to observations immediately. It does **not** change the analytical
+    /// cost models — discovering the discrepancy from observations is the
+    /// recalibration layer's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this fleet, or if `factor` is
+    /// not finite and strictly positive.
+    pub fn set_true_timing_factor(&self, device: DeviceId, factor: f64) {
+        let _ = self.device(device);
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "true-timing factor must be finite and > 0, got {factor}"
+        );
+        self.perturbations[device.index()].store(factor.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current true-timing factor of `device` (`1.0` unless injected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this fleet.
+    pub fn true_timing_factor(&self, device: DeviceId) -> f64 {
+        let _ = self.device(device);
+        f64::from_bits(self.perturbations[device.index()].load(Ordering::Relaxed))
+    }
+
+    /// Resets every device's true-timing factor back to `1.0`
+    /// (spec-faithful), e.g. when a modelled perturbation lifts.
+    pub fn clear_true_timing_factors(&self) {
+        for slot in self.perturbations.iter() {
+            slot.store(1.0f64.to_bits(), Ordering::Relaxed);
+        }
     }
 }
 
@@ -428,6 +497,46 @@ mod tests {
     fn foreign_device_ids_panic() {
         let fleet = Fleet::single(Arc::new(Gpu::default()));
         let _ = fleet.gpu(DeviceId::new(7));
+    }
+
+    #[test]
+    fn true_timing_factors_default_to_unity_and_round_trip() {
+        let fleet = Fleet::reference_heterogeneous();
+        for id in fleet.ids() {
+            assert_eq!(fleet.true_timing_factor(id), 1.0);
+        }
+        let slow = DeviceId::new(1);
+        fleet.set_true_timing_factor(slow, 2.0);
+        assert_eq!(fleet.true_timing_factor(slow), 2.0);
+        assert_eq!(fleet.true_timing_factor(DeviceId::DEFAULT), 1.0);
+        fleet.clear_true_timing_factors();
+        for id in fleet.ids() {
+            assert_eq!(fleet.true_timing_factor(id), 1.0);
+        }
+    }
+
+    #[test]
+    fn true_timing_injections_are_shared_across_clones() {
+        let fleet = Fleet::reference_heterogeneous();
+        let clone = fleet.clone();
+        fleet.set_true_timing_factor(DeviceId::new(2), 1.5);
+        assert_eq!(clone.true_timing_factor(DeviceId::new(2)), 1.5);
+        clone.clear_true_timing_factors();
+        assert_eq!(fleet.true_timing_factor(DeviceId::new(2)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a device of this fleet")]
+    fn true_timing_factor_rejects_foreign_device() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        fleet.set_true_timing_factor(DeviceId::new(3), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 0")]
+    fn true_timing_factor_rejects_non_positive() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        fleet.set_true_timing_factor(DeviceId::DEFAULT, 0.0);
     }
 
     #[test]

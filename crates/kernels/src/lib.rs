@@ -79,7 +79,7 @@ pub use csr_work_oriented::CsrWorkOriented;
 pub use ell_thread_mapped::EllThreadMapped;
 pub use measurement::{KernelProfile, MatrixBenchmark};
 pub use oracle::{Oracle, OracleChoice};
-pub use plan::PreparedPlan;
+pub use plan::{PlanMismatch, PreparedPlan};
 pub use registry::{all_kernels, kernel, kernel_for, KernelId};
 pub use seer_sparse::MatrixProfile;
 
@@ -242,9 +242,11 @@ pub trait SpmvKernel: fmt::Debug + Send + Sync {
     ///
     /// # Panics
     ///
-    /// Panics if the plan was prepared for a different kernel, or (like
-    /// [`SpmvKernel::compute_into`]) on mismatched `x`/`y` lengths. Debug
-    /// builds also reject a plan built from a different matrix value.
+    /// Panics in **every** build profile if the plan was prepared for a
+    /// different kernel or a different matrix value (see [`PlanMismatch`]
+    /// for the modes), or (like [`SpmvKernel::compute_into`]) on mismatched
+    /// `x`/`y` lengths. Callers that would rather handle staleness than
+    /// crash use [`SpmvKernel::try_compute_prepared_into`].
     fn compute_prepared_into(
         &self,
         plan: &PreparedPlan,
@@ -255,6 +257,28 @@ pub trait SpmvKernel: fmt::Debug + Send + Sync {
     ) {
         plan.check_matches(self.id(), matrix);
         self.compute_into(matrix, x, y, scratch);
+    }
+
+    /// Fallible form of [`SpmvKernel::compute_prepared_into`]: validates the
+    /// plan against `(self, matrix)` first and returns the [`PlanMismatch`]
+    /// instead of panicking, leaving `y` untouched on error. Direct callers
+    /// holding a plan across matrix mutations should prefer this and refresh
+    /// the plan on [`PlanMismatch::StaleValues`].
+    ///
+    /// # Panics
+    ///
+    /// Still panics on mismatched `x`/`y` lengths, like the infallible path.
+    fn try_compute_prepared_into(
+        &self,
+        plan: &PreparedPlan,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        y: &mut [Scalar],
+        scratch: &mut ComputeScratch,
+    ) -> Result<(), PlanMismatch> {
+        plan.validate_for(self.id(), matrix)?;
+        self.compute_prepared_into(plan, matrix, x, y, scratch);
+        Ok(())
     }
 
     /// Allocating convenience wrapper around [`SpmvKernel::compute_into`].

@@ -32,10 +32,56 @@
 //! iteration counts costs one duplicate table rather than a cross-kernel
 //! sharing layer.
 
+use std::error::Error;
+use std::fmt;
+
 use seer_sparse::{CsrMatrix, EllSlab};
 
 use crate::merge::MergeCoordinate;
 use crate::registry::KernelId;
+
+/// Why a [`PreparedPlan`] may not serve a given `(kernel, matrix)` replay.
+///
+/// Returned by [`PreparedPlan::validate_for`] (and the fallible
+/// [`SpmvKernel::try_compute_prepared_into`](crate::SpmvKernel::try_compute_prepared_into));
+/// the infallible prepared path panics with the same message. Each variant
+/// names a distinct staleness mode, all checked in **release** builds —
+/// silently computing with a stale ELL slab's old value bits is a
+/// correctness bug, not a debug nicety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMismatch {
+    /// The plan was prepared for one kernel and replayed through another.
+    Kernel {
+        /// The kernel the plan was prepared for.
+        plan: KernelId,
+        /// The kernel the replay was attempted through.
+        requested: KernelId,
+    },
+    /// The matrix's sparsity pattern differs from the one the plan's
+    /// structures were derived from.
+    Sparsity,
+    /// The matrix's values were mutated after a values-embedding plan (the
+    /// ELL slab) was built; replaying it would serve the old value bits.
+    StaleValues,
+}
+
+impl fmt::Display for PlanMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanMismatch::Kernel { plan, requested } => {
+                write!(f, "prepared plan for {plan} replayed through {requested}")
+            }
+            PlanMismatch::Sparsity => {
+                f.write_str("prepared plan replayed against a different sparsity pattern")
+            }
+            PlanMismatch::StaleValues => {
+                f.write_str("values-keyed prepared plan replayed after a value mutation")
+            }
+        }
+    }
+}
+
+impl Error for PlanMismatch {}
 
 /// The materialized auxiliary structure of one kernel on one matrix.
 #[derive(Debug, Clone)]
@@ -82,7 +128,8 @@ pub(crate) enum PlanData {
 /// one variant that embeds value bits ([`PlanData::EllSlab`]), the values
 /// fingerprint. A value-only mutation therefore leaves every
 /// structure-derived plan valid and invalidates exactly the slab; a
-/// mismatched replay is caught in debug builds, and
+/// mismatched replay is caught in every build profile (see
+/// [`PreparedPlan::validate_for`] and [`PlanMismatch`]), and
 /// [`PreparedPlan::heap_bytes`] feeds the engine's byte-accounted cache
 /// eviction.
 #[derive(Debug, Clone)]
@@ -171,30 +218,39 @@ impl PreparedPlan {
         !matches!(self.data, PlanData::Direct)
     }
 
-    /// Debug-build guard that `matrix` is a value this plan may serve and
-    /// that `kernel` matches. The fingerprint reads are memoized, so the
-    /// check is O(1) on warm matrices.
+    /// Checks that `matrix` is a value this plan may serve through `kernel`,
+    /// returning the first [`PlanMismatch`] found. The fingerprint reads are
+    /// memoized, so the check is O(1) on warm matrices and runs in **every**
+    /// build profile.
     ///
-    /// The values assertion is the stale-plan footgun guard: mutating a
-    /// matrix's values through [`CsrMatrix::update_values`] resets its
-    /// values fingerprint, so replaying a values-embedding plan built before
-    /// the mutation trips here instead of silently serving stale bits.
+    /// The values check is the stale-plan footgun guard: mutating a matrix's
+    /// values through [`CsrMatrix::update_values`] resets its values
+    /// fingerprint, so replaying a values-embedding plan built before the
+    /// mutation is reported here instead of silently serving stale bits.
+    #[inline]
+    pub fn validate_for(&self, kernel: KernelId, matrix: &CsrMatrix) -> Result<(), PlanMismatch> {
+        if self.kernel != kernel {
+            return Err(PlanMismatch::Kernel {
+                plan: self.kernel,
+                requested: kernel,
+            });
+        }
+        if self.sparsity != matrix.sparsity_fingerprint() {
+            return Err(PlanMismatch::Sparsity);
+        }
+        if !self.values_current(matrix) {
+            return Err(PlanMismatch::StaleValues);
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`PreparedPlan::validate_for`], used by the
+    /// infallible prepared execution path.
     #[inline]
     pub(crate) fn check_matches(&self, kernel: KernelId, matrix: &CsrMatrix) {
-        assert_eq!(
-            self.kernel, kernel,
-            "prepared plan for {} replayed through {}",
-            self.kernel, kernel
-        );
-        debug_assert_eq!(
-            self.sparsity,
-            matrix.sparsity_fingerprint(),
-            "prepared plan replayed against a different sparsity pattern"
-        );
-        debug_assert!(
-            self.values_current(matrix),
-            "values-keyed prepared plan replayed after a value mutation"
-        );
+        if let Err(mismatch) = self.validate_for(kernel, matrix) {
+            panic!("{mismatch}");
+        }
     }
 }
 
@@ -252,9 +308,8 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
     #[should_panic(expected = "values-keyed prepared plan replayed after a value mutation")]
-    fn stale_slab_replay_is_rejected_in_debug_builds() {
+    fn stale_slab_replay_is_rejected_in_every_build() {
         let mut m = CsrMatrix::identity(4);
         let slab = PreparedPlan::new(
             KernelId::EllThreadMapped,
@@ -273,5 +328,43 @@ mod tests {
         let m = CsrMatrix::identity(4);
         let plan = PreparedPlan::direct(KernelId::CsrThreadMapped, &m);
         plan.check_matches(KernelId::CsrBlockMapped, &m);
+    }
+
+    #[test]
+    fn validate_for_reports_each_mismatch_mode() {
+        let mut m = CsrMatrix::identity(4);
+        let slab = PreparedPlan::new(
+            KernelId::EllThreadMapped,
+            &m,
+            PlanData::EllSlab {
+                slab: EllSlab::from_csr(&m),
+            },
+        );
+        assert_eq!(slab.validate_for(KernelId::EllThreadMapped, &m), Ok(()));
+        assert_eq!(
+            slab.validate_for(KernelId::CsrThreadMapped, &m),
+            Err(PlanMismatch::Kernel {
+                plan: KernelId::EllThreadMapped,
+                requested: KernelId::CsrThreadMapped,
+            })
+        );
+        let other = CsrMatrix::identity(5);
+        assert_eq!(
+            slab.validate_for(KernelId::EllThreadMapped, &other),
+            Err(PlanMismatch::Sparsity)
+        );
+        m.update_values(&[3.0; 4]).unwrap();
+        assert_eq!(
+            slab.validate_for(KernelId::EllThreadMapped, &m),
+            Err(PlanMismatch::StaleValues)
+        );
+        assert_eq!(
+            PlanMismatch::StaleValues.to_string(),
+            "values-keyed prepared plan replayed after a value mutation"
+        );
+        assert_eq!(
+            PlanMismatch::Sparsity.to_string(),
+            "prepared plan replayed against a different sparsity pattern"
+        );
     }
 }

@@ -55,7 +55,7 @@ fn main() -> Result<(), SeerError> {
         .map(|i| pool.submit(ServingRequest::select(Arc::clone(&corpus[i % 2]), 19)))
         .collect();
     for ticket in tickets {
-        let _ = ticket.wait();
+        let _ = ticket.wait().expect("healthy worker");
     }
     let stats = pool.shutdown();
     println!("\nper-device lanes (shards / served):");

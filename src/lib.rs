@@ -66,8 +66,8 @@ pub use seer_ml as ml;
 pub use seer_sparse as sparse;
 
 pub use seer_core::{
-    DevicePoolStats, EngineStats, PoolConfig, PoolStats, SeerEngine, ServingPool, ServingRequest,
-    ServingResponse,
+    DevicePoolStats, EngineStats, ExplorationPolicy, PoolConfig, PoolStats, RecalibrationConfig,
+    SeerEngine, ServingError, ServingPool, ServingRequest, ServingResponse, ShardStats,
 };
 pub use seer_gpu::{DeviceId, DeviceRegistry, Fleet};
 

@@ -15,7 +15,7 @@ use seer::gpu::{DeviceId, Fleet, Gpu};
 use seer::sparse::collection::{generate, CollectionConfig};
 use seer::sparse::traffic::{TrafficConfig, TrafficGenerator};
 use seer::sparse::{generators, CsrMatrix, SplitMix64};
-use seer::SeerEngine;
+use seer::{RecalibrationConfig, SeerEngine};
 
 /// One trained model set, shared by every engine/pool in this file.
 fn trained_models() -> (SeerEngine, Vec<seer::sparse::collection::DatasetEntry>) {
@@ -128,7 +128,10 @@ fn fleet_pool_prepares_each_fingerprint_device_kernel_triple_once() {
             ))
         })
         .collect();
-    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("healthy worker"))
+        .collect();
 
     // Every (fingerprint, device, kernel) triple the fleet actually served...
     let triples: HashSet<(u64, DeviceId, seer::kernels::KernelId)> = stream
@@ -201,7 +204,7 @@ fn per_device_pool_stats_sum_to_the_aggregates() {
         .map(|(i, matrix)| pool.submit(ServingRequest::select(Arc::clone(matrix), 1 + (i % 3) * 9)))
         .collect();
     for ticket in tickets {
-        let _ = ticket.wait();
+        let _ = ticket.wait().expect("healthy worker");
     }
     pool.drain();
 
@@ -245,4 +248,80 @@ fn per_device_pool_stats_sum_to_the_aggregates() {
         assert!(lane.shards > 0);
     }
     pool.shutdown();
+}
+
+#[test]
+fn recalibration_with_unity_factors_is_bit_identical_to_the_legacy_path() {
+    let (trained, entries) = trained_models();
+    let fleet = Fleet::reference_heterogeneous();
+    let control = SeerEngine::with_fleet(fleet.clone(), trained.models_handle());
+    let recalibrated = SeerEngine::with_fleet(fleet, trained.models_handle());
+    // Recalibration on, but with no observed drift and no exploration: the
+    // correction factors stay exactly 1.0 and corrected ranking must be
+    // bit-identical to the uncorrected fleet path — selections AND the
+    // modelled times they charge.
+    recalibrated.set_recalibration(Some(RecalibrationConfig::default()));
+
+    let mut rng = SplitMix64::new(0xF1EE7);
+    let mut corpus: Vec<CsrMatrix> = entries.iter().take(10).map(|e| e.matrix.clone()).collect();
+    corpus.push(big_uniform(&mut rng));
+    corpus.push(skew_heavy(&mut rng));
+    for matrix in &corpus {
+        let x = vec![1.0; matrix.cols()];
+        for iterations in [1, 19, 19] {
+            let expected = control.execute(matrix, &x, iterations);
+            let actual = recalibrated.execute(matrix, &x, iterations);
+            assert_eq!(actual.selection, expected.selection);
+            assert_eq!(
+                actual.total_time.as_nanos().to_bits(),
+                expected.total_time.as_nanos().to_bits(),
+                "unity correction factors must not change a single bit"
+            );
+        }
+    }
+    // The recalibrated engine did record observations — it just never had a
+    // correction to apply.
+    assert!(recalibrated.stats().timing_observations > 0);
+    assert_eq!(recalibrated.stats().correction_drift_millilog, 0);
+}
+
+#[test]
+fn corrected_fleet_placement_converges_off_a_drifting_device() {
+    let (trained, _entries) = trained_models();
+    let fleet = Fleet::reference_heterogeneous();
+    let engine = SeerEngine::with_fleet(fleet.clone(), trained.models_handle());
+    engine.set_recalibration(Some(RecalibrationConfig {
+        smoothing: 0.5,
+        clamp_max: 16.0,
+        ..RecalibrationConfig::default()
+    }));
+
+    let mut rng = SplitMix64::new(0xF1EE7);
+    let matrix = big_uniform(&mut rng);
+    let x = vec![1.0; matrix.cols()];
+    let home = engine.execute(&matrix, &x, 19).selection.device;
+
+    // A sustained 8x slowdown on the home device: far past any modelled gap
+    // between fleet devices, so the corrected ranking must migrate, and the
+    // EWMA must converge near the injected truth.
+    fleet.set_true_timing_factor(home, 8.0);
+    let mut migrated_after = None;
+    for observation in 1..=25 {
+        let selection = engine.execute(&matrix, &x, 19).selection;
+        if selection.device != home {
+            migrated_after = Some(observation);
+            break;
+        }
+    }
+    assert!(
+        migrated_after.is_some(),
+        "placement should migrate off the drifting device within 25 observations"
+    );
+    let kernel = engine.select(&matrix, 19).kernel;
+    let factor = engine.correction_factor(home, kernel);
+    assert!(
+        factor > 2.0,
+        "home factor should have converged toward the 8x truth, got {factor}"
+    );
+    assert!(engine.stats().correction_drift_millilog > 600);
 }

@@ -225,7 +225,10 @@ fn pool_shards_prepare_a_hot_matrix_once_pool_wide() {
             ))
         })
         .collect();
-    let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("healthy worker"))
+        .collect();
     // Home-shard routing: the hot matrix is prepared exactly once pool-wide,
     // and every response is bit-identical.
     let stats = pool.stats();

@@ -69,7 +69,7 @@ fn eight_submitters_get_bit_identical_results_and_exact_counters() {
                             Arc::clone(&corpus[request.matrix_index]),
                             request.iterations,
                         ));
-                        (position, ticket.wait())
+                        (position, ticket.wait().expect("healthy worker"))
                     })
                     .collect::<Vec<_>>()
             })
@@ -164,7 +164,8 @@ fn mixed_policies_under_concurrency_stay_deterministic() {
                                 )
                                 .with_policy(policy),
                             )
-                            .wait();
+                            .wait()
+                            .expect("healthy worker");
                         (request.matrix_index, request.iterations, policy, response)
                     })
                     .collect::<Vec<_>>()
@@ -223,7 +224,7 @@ fn tickets_can_be_polled_without_blocking_until_served() {
     let replay = SeerEngine::new(engine.gpu_handle(), engine.models_handle());
     for (index, ticket) in done {
         assert!(ticket.is_done(), "is_done stays true once served");
-        let response = ticket.wait();
+        let response = ticket.wait().expect("healthy worker");
         assert_eq!(
             response.selection,
             replay.select_with_policy(&corpus[index], 19, SelectionPolicy::Adaptive)
@@ -234,7 +235,8 @@ fn tickets_can_be_polled_without_blocking_until_served() {
     // wait_timeout: bounded waits that keep the ticket alive.
     let mut ticket = pool.submit(ServingRequest::select(Arc::clone(&corpus[0]), 1));
     let response = loop {
-        if let Some(r) = ticket.wait_timeout(std::time::Duration::from_millis(20)) {
+        let outcome = ticket.wait_timeout(std::time::Duration::from_millis(20));
+        if let Some(r) = outcome.expect("healthy worker") {
             break r.clone();
         }
     };
@@ -243,6 +245,37 @@ fn tickets_can_be_polled_without_blocking_until_served() {
         replay.select_with_policy(&corpus[0], 1, SelectionPolicy::Adaptive)
     );
     // The non-consuming wait left the response in place for wait().
-    assert_eq!(ticket.wait(), response);
+    assert_eq!(ticket.wait().expect("healthy worker"), response);
     pool.shutdown();
+}
+
+#[test]
+fn rate_helpers_never_divide_by_zero() {
+    // A pool snapshot with no traffic and no elapsed time: every ratio the
+    // stats expose must come back 0.0, never NaN or infinity.
+    let empty = seer::PoolStats {
+        shards: Vec::new(),
+        router: None,
+        elapsed: std::time::Duration::ZERO,
+    };
+    assert_eq!(empty.throughput_per_sec(), 0.0);
+    assert_eq!(empty.failure_rate(), 0.0);
+    assert_eq!(empty.queue_depth(), 0);
+    assert!(empty.devices().is_empty());
+    assert_eq!(empty.engine(), seer::EngineStats::default());
+
+    // Engine-side rates on an untouched counter window behave the same.
+    let stats = seer::EngineStats::default();
+    assert_eq!(stats.plan_hit_rate(), 0.0);
+    assert!(stats.plan_hit_rate().is_finite());
+
+    // Delta windows (warm-phase stats minus a baseline snapshot) saturate
+    // instead of wrapping, so a window rate can never divide by a negative
+    // or wrapped denominator either.
+    let window = stats.saturating_sub(seer::EngineStats {
+        plan_hits: 7,
+        ..Default::default()
+    });
+    assert_eq!(window.plan_hits, 0);
+    assert_eq!(window.plan_hit_rate(), 0.0);
 }
