@@ -19,6 +19,8 @@
 //!     --fleet 3 --smoke --out BENCH_loadtest_fleet3.json              # fleet CI
 //! cargo run -p seer_bench --release --bin loadtest_serving -- \
 //!     --families --smoke --out BENCH_loadtest_families.json           # family CI
+//! cargo run -p seer_bench --release --bin loadtest_serving -- \
+//!     --chaos --smoke --out BENCH_loadtest_chaos.json                 # chaos CI
 //! ```
 //!
 //! `--fleet N` builds an `N`-device heterogeneous fleet (MI250-class, MI100,
@@ -52,7 +54,7 @@ use seer_core::serving::{PoolConfig, ServingPool, ServingRequest};
 use seer_core::training::TrainingConfig;
 use seer_gpu::{Fleet, Gpu};
 use seer_sparse::collection::{generate, CollectionConfig, SizeScale};
-use seer_sparse::traffic::{TrafficConfig, TrafficGenerator, TrafficRequest};
+use seer_sparse::traffic::{ChaosEvent, TrafficConfig, TrafficGenerator, TrafficRequest};
 use seer_sparse::{generators, CsrMatrix, Scalar, SplitMix64};
 
 struct Options {
@@ -65,6 +67,11 @@ struct Options {
     /// Near-duplicate-family lane: cache-hostile traffic over structure
     /// families, served with structure-class inheritance enabled.
     families: bool,
+    /// Chaos lane: a device is hard-failed mid-stream on the
+    /// `device_death_mid_stream` traffic scenario; asserts every ticket
+    /// resolves, zero wrong results, exact retry/migration counters, and
+    /// post-death throughput within 2x of a fleet that never had the device.
+    chaos: bool,
     out: Option<String>,
 }
 
@@ -76,6 +83,7 @@ fn parse_options() -> Options {
         assert_speedup: false,
         fleet: 0,
         families: false,
+        chaos: false,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -84,6 +92,7 @@ fn parse_options() -> Options {
             "--smoke" => options.smoke = true,
             "--assert-speedup" => options.assert_speedup = true,
             "--families" => options.families = true,
+            "--chaos" => options.chaos = true,
             "--shards" => {
                 options.shards = args
                     .next()
@@ -109,7 +118,7 @@ fn parse_options() -> Options {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: loadtest_serving [--smoke] [--shards N] [--requests N] \
-                     [--assert-speedup] [--fleet N] [--families] [--out PATH]"
+                     [--assert-speedup] [--fleet N] [--families] [--chaos] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -117,6 +126,14 @@ fn parse_options() -> Options {
     }
     if options.families && options.fleet > 0 {
         eprintln!("--families and --fleet are mutually exclusive lanes");
+        std::process::exit(2);
+    }
+    if options.chaos && options.families {
+        eprintln!("--chaos and --families are mutually exclusive lanes");
+        std::process::exit(2);
+    }
+    if options.chaos && !(options.fleet == 0 || (3..=4).contains(&options.fleet)) {
+        eprintln!("--chaos needs a fleet of 3..=4 devices (default 3)");
         std::process::exit(2);
     }
     if options.smoke {
@@ -163,8 +180,266 @@ fn build_fleet(devices: usize) -> Fleet {
     Fleet::of_specs(presets.into_iter().take(devices)).expect("presets validate")
 }
 
+/// The chaos lane: serve the `device_death_mid_stream` scenario over a
+/// heterogeneous fleet, hard-fail one device while its backlog is in flight,
+/// and prove the pool absorbs it — every ticket resolves, every result
+/// matches a sequential single-device reference (bit-identical when the
+/// kernels agree, solver tolerance otherwise), the failure/retry/migration
+/// counters are exactly consistent, and post-death throughput stays within
+/// 2x of a warm pool over a fleet that never had the device.
+fn run_chaos(options: &Options) {
+    let devices = if options.fleet == 0 { 3 } else { options.fleet };
+    let fleet = build_fleet(devices);
+    // The victim is the last (smallest) device in the lineup, never the
+    // default; the never-had-it reference fleet is simply one device shorter.
+    let victim = seer_gpu::DeviceId::new(devices as u16 - 1);
+
+    let collection = generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 4,
+        scale: if options.smoke {
+            SizeScale::Tiny
+        } else {
+            SizeScale::Small
+        },
+    });
+    let (trained, _outcome) =
+        SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
+            .expect("training the chaos loadtest models");
+    let mut corpus: Vec<Arc<CsrMatrix>> = collection
+        .iter()
+        .map(|e| Arc::new(e.matrix.clone()))
+        .collect();
+    // Same device-discriminating augmentation as the fleet lane, so the
+    // victim actually carries traffic worth migrating.
+    let mut rng = SplitMix64::new(0xF1EE7);
+    let (rows, density) = if options.smoke {
+        (1_500, 0.04)
+    } else {
+        (4_000, 0.03)
+    };
+    for _ in 0..3 {
+        corpus.push(Arc::new(generators::uniform_random(
+            rows, rows, density, &mut rng,
+        )));
+        corpus.push(Arc::new(generators::skewed_rows(
+            300, 1, 150, 0.01, &mut rng,
+        )));
+    }
+    let inputs: Vec<Arc<Vec<Scalar>>> = corpus
+        .iter()
+        .map(|m| Arc::new(vec![1.0; m.cols()]))
+        .collect();
+
+    // The chaos *timing* comes from the traffic stream itself: the death
+    // lands where the scenario's split RNG says it does.
+    let traffic = TrafficConfig::device_death_mid_stream(corpus.len(), 0x10AD);
+    let stream: Vec<TrafficRequest> = TrafficGenerator::new(&traffic)
+        .take(options.requests)
+        .collect();
+    let kill_at = stream
+        .iter()
+        .position(|r| r.chaos == ChaosEvent::KillDevice)
+        .unwrap_or(stream.len() / 2);
+    println!(
+        "chaos loadtest: {} requests over {} matrices, {} shards per device x {} devices, \
+         {} dies at request {kill_at}{}",
+        stream.len(),
+        corpus.len(),
+        options.shards,
+        devices,
+        victim,
+        if options.smoke { " (smoke)" } else { "" }
+    );
+    print!("{fleet}");
+
+    // Sequential single-device reference: the correctness oracle. Placement
+    // differs by construction, so results are compared bit-identically when
+    // the kernels agree and to solver tolerance when they do not.
+    let reference = SeerEngine::new(trained.gpu_handle(), trained.models_handle());
+    let sequential: Vec<_> = stream
+        .iter()
+        .map(|r| {
+            reference.execute(
+                &corpus[r.matrix_index],
+                &inputs[r.matrix_index],
+                r.iterations,
+            )
+        })
+        .collect();
+
+    let make_request = |r: &TrafficRequest| {
+        ServingRequest::execute(
+            Arc::clone(&corpus[r.matrix_index]),
+            Arc::clone(&inputs[r.matrix_index]),
+            r.iterations,
+        )
+    };
+
+    // Chaos pool: submit the pre-death backlog, kill the victim while that
+    // backlog is in flight, then drain. Queued work re-selects onto the
+    // survivors (migrations); work caught mid-execution retries once
+    // (device_failures / retried).
+    let pool = ServingPool::with_fleet(
+        fleet.clone(),
+        trained.models_handle(),
+        PoolConfig::with_shards(options.shards),
+    );
+    let before_tickets = pool.submit_batch(stream[..kill_at].iter().map(make_request));
+    fleet.fail_device(victim).expect("victim is live");
+    let before: Vec<_> = before_tickets
+        .into_iter()
+        .map(|t| t.wait().expect("pre-death ticket resolves"))
+        .collect();
+    // Post-death throughput, measured after the backlog drained so the
+    // window contains only survivor-fleet work.
+    let post_start = Instant::now();
+    let after_tickets = pool.submit_batch(stream[kill_at..].iter().map(make_request));
+    let after: Vec<_> = after_tickets
+        .into_iter()
+        .map(|t| t.wait().expect("post-death ticket resolves"))
+        .collect();
+    let post_secs = post_start.elapsed().as_secs_f64();
+    let post_rps = (stream.len() - kill_at) as f64 / post_secs;
+    let stats = pool.shutdown();
+
+    // Reference throughput: a pool over a fleet that never had the victim,
+    // warmed on the same pre-death prefix, timed on the same suffix.
+    let never_fleet = build_fleet(devices - 1);
+    let never_pool = ServingPool::with_fleet(
+        never_fleet,
+        trained.models_handle(),
+        PoolConfig::with_shards(options.shards),
+    );
+    for ticket in never_pool.submit_batch(stream[..kill_at].iter().map(make_request)) {
+        ticket.wait().expect("warmup ticket resolves");
+    }
+    let never_start = Instant::now();
+    let never_tickets = never_pool.submit_batch(stream[kill_at..].iter().map(make_request));
+    for ticket in never_tickets {
+        ticket.wait().expect("reference ticket resolves");
+    }
+    let never_secs = never_start.elapsed().as_secs_f64();
+    let never_rps = (stream.len() - kill_at) as f64 / never_secs;
+    never_pool.shutdown();
+
+    // Differential: every pooled result against the sequential oracle.
+    let mut mismatches = 0usize;
+    let mut kernel_agreements = 0usize;
+    for (index, (seq, pooled)) in sequential
+        .iter()
+        .zip(before.iter().chain(&after))
+        .enumerate()
+    {
+        let kernels_agree = seq.selection.kernel == pooled.selection.kernel;
+        kernel_agreements += usize::from(kernels_agree);
+        let got = pooled.result.as_deref();
+        let ok = if kernels_agree {
+            got == Some(seq.result.as_slice())
+        } else {
+            got.is_some_and(|got| {
+                got.len() == seq.result.len()
+                    && got
+                        .iter()
+                        .zip(&seq.result)
+                        .all(|(a, b)| (a - b).abs() <= 1e-9 * b.abs().max(1.0))
+            })
+        };
+        if !ok {
+            if mismatches == 0 {
+                eprintln!(
+                    "MISMATCH at request {index}: sequential {:?} vs pooled {:?}",
+                    seq.selection, pooled.selection
+                );
+            }
+            mismatches += 1;
+        }
+    }
+
+    let victim_lane = stats
+        .devices()
+        .into_iter()
+        .find(|lane| lane.device == victim)
+        .expect("victim lane exists");
+    let recovery = post_rps / never_rps;
+    println!(
+        "\npost-death throughput  {post_rps:>10.0} req/s\nnever-had-it fleet     {never_rps:>10.0} req/s\nrecovery ratio         {recovery:>10.2}x"
+    );
+    println!(
+        "chaos counters: {} device failures, {} retried, {} migrations, {} failed, \
+         victim served {} of {} routed to it",
+        stats.device_failures(),
+        stats.retried(),
+        stats.migrations(),
+        stats.failed(),
+        victim_lane.completed,
+        victim_lane.submitted,
+    );
+
+    // The chaos invariants. Every ticket resolved Ok above (the waits
+    // panicked otherwise), so the counters must balance exactly: each
+    // device failure was followed by a successful bounded retry, and no
+    // request was lost or double-served.
+    assert_eq!(mismatches, 0, "pooled results diverged from the oracle");
+    assert_eq!(stats.completed(), stream.len() as u64);
+    assert_eq!(stats.queue_depth(), 0);
+    assert_eq!(stats.failed(), 0, "no ticket may resolve to an error");
+    assert_eq!(
+        stats.device_failures(),
+        stats.retried(),
+        "every device failure must be absorbed by the one bounded retry"
+    );
+    assert!(
+        victim_lane.submitted > 0,
+        "the scenario must route traffic to the victim before the death"
+    );
+    assert!(
+        stats.migrations() > 0,
+        "the victim's backlog must migrate to the survivors"
+    );
+    assert!(
+        recovery >= 0.5,
+        "post-death throughput {post_rps:.0} req/s must be within 2x of the \
+         never-had-the-device fleet's {never_rps:.0} req/s"
+    );
+    println!(
+        "chaos check: OK ({} requests, 0 unresolved, 0 wrong results, {:.1}% kernel agreement)",
+        stream.len(),
+        100.0 * kernel_agreements as f64 / stream.len().max(1) as f64
+    );
+
+    if let Some(path) = &options.out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"loadtest_serving_chaos\",");
+        let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+        let _ = writeln!(json, "  \"requests\": {},", stream.len());
+        let _ = writeln!(json, "  \"corpus_matrices\": {},", corpus.len());
+        let _ = writeln!(json, "  \"fleet_devices\": {devices},");
+        let _ = writeln!(json, "  \"victim\": \"{victim}\",");
+        let _ = writeln!(json, "  \"kill_at\": {kill_at},");
+        let _ = writeln!(json, "  \"device_failures\": {},", stats.device_failures());
+        let _ = writeln!(json, "  \"retried\": {},", stats.retried());
+        let _ = writeln!(json, "  \"migrations\": {},", stats.migrations());
+        let _ = writeln!(json, "  \"retry_rate\": {:.6},", stats.retry_rate());
+        let _ = writeln!(json, "  \"migration_rate\": {:.6},", stats.migration_rate());
+        let _ = writeln!(json, "  \"victim_submitted\": {},", victim_lane.submitted);
+        let _ = writeln!(json, "  \"victim_completed\": {},", victim_lane.completed);
+        let _ = writeln!(json, "  \"post_death_rps\": {post_rps:.0},");
+        let _ = writeln!(json, "  \"never_had_device_rps\": {never_rps:.0},");
+        let _ = writeln!(json, "  \"recovery_ratio\": {recovery:.2},");
+        let _ = writeln!(json, "  \"differential_ok\": true");
+        json.push_str("}\n");
+        std::fs::write(path, &json).expect("writing the chaos report");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let options = parse_options();
+    if options.chaos {
+        run_chaos(&options);
+        return;
+    }
 
     // Deterministic setup: corpus, trained engine, request stream.
     let collection = generate(&CollectionConfig {

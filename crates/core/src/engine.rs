@@ -88,7 +88,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
+use seer_gpu::{DeviceFailed, DeviceId, Fleet, Gpu, SimTime};
 use seer_kernels::{kernel, ComputeScratch, KernelId, KernelProfile, PreparedPlan};
 use seer_sparse::collection::DatasetEntry;
 use seer_sparse::{CsrMatrix, MatrixProfile, Scalar, SplitMix64, StructureSignature};
@@ -233,7 +233,11 @@ pub(crate) struct Recalibration {
     config: RecalibrationConfig,
     /// Correction factors as `f64` bit patterns, slot
     /// `device.index() * |kernels| + kernel.class_index()`; all start at 1.0.
-    factors: Vec<AtomicU64>,
+    /// Behind an `RwLock` so the table can grow when a device joins the
+    /// fleet at runtime — reads on the ranking hot path take the read lock
+    /// only, and a slot that does not exist yet reads as 1.0 (a fresh device
+    /// starts at trust-the-models, exactly like a fresh table).
+    factors: RwLock<Vec<AtomicU64>>,
     /// Deterministic exploration stream; a split of the configured seed so
     /// the raw seed value itself never leaks into the draw sequence.
     rng: Mutex<SplitMix64>,
@@ -248,9 +252,11 @@ impl Recalibration {
         let seed = config.exploration.map_or(0, |e| e.seed);
         Self {
             config,
-            factors: (0..devices * KernelId::ALL.len())
-                .map(|_| AtomicU64::new(1.0f64.to_bits()))
-                .collect(),
+            factors: RwLock::new(
+                (0..devices * KernelId::ALL.len())
+                    .map(|_| AtomicU64::new(1.0f64.to_bits()))
+                    .collect(),
+            ),
             rng: Mutex::new(SplitMix64::new(seed).split(Self::RNG_STREAM)),
         }
     }
@@ -259,12 +265,19 @@ impl Recalibration {
         device.index() * KernelId::ALL.len() + kernel.class_index()
     }
 
-    /// The current correction factor of one `(device, kernel)` pair.
+    /// The current correction factor of one `(device, kernel)` pair. A
+    /// device the table has never observed (e.g. one that joined after
+    /// construction) reads as 1.0.
     fn factor(&self, device: DeviceId, kernel: KernelId) -> f64 {
-        f64::from_bits(self.factors[Self::slot(device, kernel)].load(Ordering::Relaxed))
+        self.factors
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(Self::slot(device, kernel))
+            .map_or(1.0, |bits| f64::from_bits(bits.load(Ordering::Relaxed)))
     }
 
-    /// Folds one observed/modelled ratio into the pair's EWMA factor.
+    /// Folds one observed/modelled ratio into the pair's EWMA factor,
+    /// growing the table first if the device joined after construction.
     fn observe(&self, device: DeviceId, kernel: KernelId, ratio: f64) {
         let RecalibrationConfig {
             smoothing,
@@ -272,15 +285,24 @@ impl Recalibration {
             clamp_max,
             ..
         } = self.config;
-        let _ = self.factors[Self::slot(device, kernel)].fetch_update(
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-            |bits| {
-                let old = f64::from_bits(bits);
-                let blended = old * (1.0 - smoothing) + ratio * smoothing;
-                Some(blended.clamp(clamp_min, clamp_max).to_bits())
-            },
-        );
+        let slot = Self::slot(device, kernel);
+        let fold = |bits: u64| {
+            let old = f64::from_bits(bits);
+            let blended = old * (1.0 - smoothing) + ratio * smoothing;
+            Some(blended.clamp(clamp_min, clamp_max).to_bits())
+        };
+        {
+            let factors = self.factors.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(entry) = factors.get(slot) {
+                let _ = entry.fetch_update(Ordering::Relaxed, Ordering::Relaxed, fold);
+                return;
+            }
+        }
+        let mut factors = self.factors.write().unwrap_or_else(PoisonError::into_inner);
+        while factors.len() <= slot {
+            factors.push(AtomicU64::new(1.0f64.to_bits()));
+        }
+        let _ = factors[slot].fetch_update(Ordering::Relaxed, Ordering::Relaxed, fold);
     }
 
     /// Drift gauge: `round(1000 * max |ln factor|)` over every slot. Zero
@@ -289,6 +311,8 @@ impl Recalibration {
     fn max_drift_millilog(&self) -> u64 {
         let max = self
             .factors
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|bits| f64::from_bits(bits.load(Ordering::Relaxed)).ln().abs())
             .fold(0.0f64, f64::max);
@@ -297,8 +321,25 @@ impl Recalibration {
 
     /// Resets every factor to 1.0 (a new stats/cache generation).
     fn reset(&self) {
-        for slot in &self.factors {
+        for slot in self
+            .factors
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             slot.store(1.0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Drops one departed device's learned factors back to 1.0 so a retired
+    /// (or failed-and-healed) device's history is never leaked into a future
+    /// occupant of the ranking — the factors are forgotten, not parked.
+    pub(crate) fn reset_device(&self, device: DeviceId) {
+        let factors = self.factors.read().unwrap_or_else(PoisonError::into_inner);
+        for kernel in KernelId::ALL {
+            if let Some(slot) = factors.get(Self::slot(device, kernel)) {
+                slot.store(1.0f64.to_bits(), Ordering::Relaxed);
+            }
         }
     }
 
@@ -864,7 +905,22 @@ pub struct SeerEngine {
     /// shard's observations steer the pool-wide corrections.
     recalibration: RwLock<Option<Arc<Recalibration>>>,
     /// Device-attributable counter breakdowns, indexed by [`DeviceId`].
-    device_counters: Vec<DeviceCounters>,
+    /// Behind an `RwLock` so the table grows when a device joins the fleet
+    /// at runtime; entries are `Arc`-shared so hot paths clone a handle out
+    /// of a short read-lock section instead of holding the lock while
+    /// counting.
+    device_counters: RwLock<Vec<Arc<DeviceCounters>>>,
+    /// The default device's hardware handle, cached at construction. Device
+    /// 0 can never leave the fleet roster (the roster is append-only and the
+    /// last live device cannot be retired before any other exists), so the
+    /// handle stays valid for the engine's lifetime and lets
+    /// [`SeerEngine::gpu`] keep returning a reference.
+    default_gpu: Arc<Gpu>,
+    /// Cached live-device snapshot, keyed by the fleet generation it was
+    /// taken at: placement sweeps detect membership change by comparing
+    /// [`Fleet::generation`] and refresh the snapshot instead of taking the
+    /// roster lock on every ranking.
+    live_roster: RwLock<(u64, Arc<[DeviceId]>)>,
     /// Budgeted-clear threshold for the per-fingerprint maps (profiles,
     /// features, plans, timings): when the engine has seen more distinct
     /// matrix contents than this, all per-fingerprint caches are cleared in
@@ -890,7 +946,12 @@ impl SeerEngine {
     /// fleet device with the minimum modelled total time. With a
     /// single-device fleet this is exactly [`SeerEngine::new`].
     pub fn with_fleet(fleet: Fleet, models: Arc<SeerModels>) -> Self {
-        let device_counters = fleet.ids().map(|_| DeviceCounters::default()).collect();
+        let device_counters = fleet
+            .ids()
+            .map(|_| Arc::new(DeviceCounters::default()))
+            .collect();
+        let default_gpu = fleet.default_gpu();
+        let live_roster = (fleet.generation(), Arc::from(fleet.live_ids()));
         Self {
             fleet,
             models,
@@ -903,7 +964,9 @@ impl SeerEngine {
             classes: Mutex::new(ClassIndex::new()),
             class_reuse: AtomicBool::new(false),
             recalibration: RwLock::new(None),
-            device_counters,
+            device_counters: RwLock::new(device_counters),
+            default_gpu,
+            live_roster: RwLock::new(live_roster),
             fingerprint_budget: AtomicU64::new(Self::DEFAULT_FINGERPRINT_BUDGET),
             counters: Counters::default(),
         }
@@ -939,13 +1002,13 @@ impl SeerEngine {
     /// The fleet's default device — the only device of a single-device
     /// engine, and the device record-based selections resolve to.
     pub fn gpu(&self) -> &Gpu {
-        self.fleet.default_gpu()
+        &self.default_gpu
     }
 
     /// A shared handle to the default device, for callers spawning their
     /// own work.
     pub fn gpu_handle(&self) -> Arc<Gpu> {
-        Arc::clone(self.fleet.default_gpu())
+        Arc::clone(&self.default_gpu)
     }
 
     /// The device fleet this engine places workloads on.
@@ -958,8 +1021,57 @@ impl SeerEngine {
     /// # Panics
     ///
     /// Panics if `device` does not belong to this engine's fleet.
-    pub fn device_gpu(&self, device: DeviceId) -> &Gpu {
+    pub fn device_gpu(&self, device: DeviceId) -> Arc<Gpu> {
         self.fleet.gpu(device)
+    }
+
+    /// The device-attributable counter cell of one fleet device, growing the
+    /// table on first sight of a device that joined after this engine was
+    /// built.
+    fn device_counter(&self, device: DeviceId) -> Arc<DeviceCounters> {
+        {
+            let counters = self
+                .device_counters
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(cell) = counters.get(device.index()) {
+                return Arc::clone(cell);
+            }
+        }
+        let mut counters = self
+            .device_counters
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        while counters.len() <= device.index() {
+            counters.push(Arc::new(DeviceCounters::default()));
+        }
+        Arc::clone(&counters[device.index()])
+    }
+
+    /// The current live-device placement snapshot, refreshed when the fleet
+    /// generation has moved since the snapshot was taken. A static fleet
+    /// (generation never bumps) resolves this to one cached `Arc` clone per
+    /// ranking. The generation is loaded *before* the roster is read, so a
+    /// concurrent membership change can only make the stored snapshot newer
+    /// than its tag — never staler — and the next call refreshes again.
+    fn live_devices(&self) -> Arc<[DeviceId]> {
+        let generation = self.fleet.generation();
+        {
+            let cached = self
+                .live_roster
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if cached.0 == generation {
+                return Arc::clone(&cached.1);
+            }
+        }
+        let fresh: Arc<[DeviceId]> = Arc::from(self.fleet.live_ids());
+        let mut cached = self
+            .live_roster
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        *cached = (generation, Arc::clone(&fresh));
+        fresh
     }
 
     /// The models backing this engine.
@@ -1028,13 +1140,13 @@ impl SeerEngine {
         self.fleet
             .ids()
             .map(|id| {
-                let counters = &self.device_counters[id.index()];
+                let counters = self.device_counter(id);
                 EngineStats {
                     plan_hits: counters.plan_hits.load(Ordering::Relaxed),
                     plan_misses: counters.plan_misses.load(Ordering::Relaxed),
                     plan_preparations: counters.plan_preparations.load(Ordering::Relaxed),
                     cache_evictions: counters.cache_evictions.load(Ordering::Relaxed),
-                    resident_plan_bytes: resident[id.index()],
+                    resident_plan_bytes: resident.get(id.index()).copied().unwrap_or(0),
                     ..EngineStats::default()
                 }
             })
@@ -1048,7 +1160,7 @@ impl SeerEngine {
     ///
     /// Panics if `device` does not belong to this engine's fleet.
     pub fn stats_for(&self, device: DeviceId) -> EngineStats {
-        let _ = self.fleet.device(device);
+        let _ = self.fleet.status(device);
         self.device_stats()[device.index()]
     }
 
@@ -1128,8 +1240,64 @@ impl SeerEngine {
         if let Some(recal) = self.recalibration_handle() {
             recal.reset();
         }
-        for device in &self.device_counters {
+        for device in self
+            .device_counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             device.reset();
+        }
+    }
+
+    /// Narrowly invalidates every cache entry owned by one device — called
+    /// when the device retires from (or dies in) the fleet. Drops that
+    /// device's `(fingerprint, device, kernel)` kernel-cost entries and
+    /// prepared plans, and resets its learned recalibration factors to 1.0;
+    /// every other device's plans, all [`MatrixProfile`]s, feature
+    /// collections and selection plans survive, so surviving devices keep
+    /// their warm state. Prepared-plan drops are counted as cache evictions
+    /// (aggregate and per-device); kernel-cost drops, like a budgeted sweep's
+    /// shared drops, are counted in the aggregate alone.
+    ///
+    /// Idempotent: a second call for the same device finds nothing to drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` does not belong to this engine's fleet.
+    pub fn invalidate_device(&self, device: DeviceId) {
+        let _ = self.fleet.status(device);
+        let dropped_timings;
+        let dropped_prepared: Vec<PreparedKey>;
+        {
+            // Lock order: `prepared` strictly before the RwLocks.
+            let mut prepared = self.prepared.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut timings = self.timings.write().unwrap_or_else(PoisonError::into_inner);
+            let before = timings.len();
+            timings.retain(|key, _| key.1 != device);
+            dropped_timings = (before - timings.len()) as u64;
+            dropped_prepared = prepared
+                .map
+                .keys()
+                .filter(|key| key.1 == device)
+                .copied()
+                .collect();
+            for key in &dropped_prepared {
+                if let Some(entry) = prepared.map.remove(key) {
+                    prepared.bytes -= entry.plan.heap_bytes();
+                }
+            }
+        }
+        self.count_prepared_evictions(&dropped_prepared);
+        if dropped_timings > 0 {
+            self.counters
+                .cache_evictions
+                .fetch_add(dropped_timings, Ordering::Relaxed);
+        }
+        // Departed devices take their learned corrections with them: a
+        // factor learned for dead hardware must never steer a ranking again.
+        if let Some(recal) = self.recalibration_handle() {
+            recal.reset_device(device);
         }
     }
 
@@ -1161,7 +1329,7 @@ impl SeerEngine {
             .cache_evictions
             .fetch_add(evicted.len() as u64, Ordering::Relaxed);
         for (_, device, _) in evicted {
-            self.device_counters[device.index()]
+            self.device_counter(*device)
                 .cache_evictions
                 .fetch_add(1, Ordering::Relaxed);
         }
@@ -1296,7 +1464,7 @@ impl SeerEngine {
     ///
     /// Panics if `device` does not belong to this engine's fleet.
     pub fn correction_factor(&self, device: DeviceId, kernel: KernelId) -> f64 {
-        let _ = self.fleet.device(device);
+        let _ = self.fleet.status(device);
         self.recalibration_handle()
             .map_or(1.0, |recal| recal.factor(device, kernel))
     }
@@ -1387,7 +1555,7 @@ impl SeerEngine {
         {
             let served = self.serve_cached(plan, matrix, fingerprint, iterations);
             self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-            self.device_counters[served.device.index()]
+            self.device_counter(served.device)
                 .plan_hits
                 .fetch_add(1, Ordering::Relaxed);
             return (served, SimTime::ZERO);
@@ -1426,7 +1594,7 @@ impl SeerEngine {
                     feature_collection_cost: SimTime::ZERO,
                     inference_overhead: SimTime::ZERO,
                 };
-                self.device_counters[selection.device.index()]
+                self.device_counter(selection.device)
                     .plan_misses
                     .fetch_add(1, Ordering::Relaxed);
                 self.plans
@@ -1464,7 +1632,7 @@ impl SeerEngine {
                 .class_evictions
                 .fetch_add(evicted, Ordering::Relaxed);
         }
-        self.device_counters[selection.device.index()]
+        self.device_counter(selection.device)
             .plan_misses
             .fetch_add(1, Ordering::Relaxed);
         self.plans
@@ -1503,9 +1671,14 @@ impl SeerEngine {
         if self.fleet.is_single_device() {
             return plan;
         }
-        let Some(recal) = self.recalibration_handle() else {
+        let recal = self.recalibration_handle();
+        if recal.is_none() && self.fleet.is_live(plan.device) {
             return plan;
-        };
+        }
+        // Re-rank when recalibration asks for it, or — recalibration or not
+        // — when the cached placement points at a device that has since
+        // retired or failed: the kernel choice survives, the placement
+        // migrates to a live device.
         let (best, runner) = self.rank_corrected(
             matrix,
             fingerprint,
@@ -1514,8 +1687,17 @@ impl SeerEngine {
             plan.used_gathered,
             plan.feature_collection_cost,
             plan.inference_overhead,
-            Some(&recal),
+            recal.as_deref(),
         );
+        let Some(recal) = recal else {
+            return Selection {
+                kernel: plan.kernel,
+                device: best.device,
+                used_gathered: plan.used_gathered,
+                feature_collection_cost: best.collection_cost,
+                inference_overhead: plan.inference_overhead,
+            };
+        };
         let served = match runner {
             Some(runner) if recal.near_tie(best.total, runner.total) && recal.explore() => {
                 self.counters
@@ -1663,6 +1845,52 @@ impl SeerEngine {
         (selection, charged_overhead + observed)
     }
 
+    /// Fault-aware [`SeerEngine::execute_with_policy_into`]: identical
+    /// selection, billing and result on a healthy fleet, but executions
+    /// routed to a device that has failed or retired — including a device
+    /// killed *while the kernel was in flight* — return a typed
+    /// [`DeviceFailed`] instead of silently computing on dead hardware. The
+    /// caller (the serving pool's retry path, chiefly) decides whether to
+    /// re-submit elsewhere. On an error the workspace contents are
+    /// unspecified and no timing observation is recorded — a dead device
+    /// teaches the recalibration layer nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceFailed`] when the selected device is not live at
+    /// dispatch, or stopped being live before the execution completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn try_execute_with_policy_into(
+        &self,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        policy: SelectionPolicy,
+        workspace: &mut EngineWorkspace,
+    ) -> Result<(Selection, SimTime), DeviceFailed> {
+        let (selection, charged_overhead) =
+            self.select_with_policy_charged(matrix, iterations, policy);
+        self.fleet.ensure_live(selection.device)?;
+        let plan = self.prepared_plan_on(matrix, selection.device, selection.kernel);
+        workspace.y.resize(matrix.rows(), 0.0);
+        kernel(selection.kernel).compute_prepared_into(
+            &plan,
+            matrix,
+            x,
+            &mut workspace.y,
+            &mut workspace.scratch,
+        );
+        // A death injected while the kernel was running is a mid-execution
+        // loss: the computed result is discarded, the error surfaces, and
+        // nothing is observed.
+        self.fleet.ensure_live(selection.device)?;
+        let observed = self.observe_execution(&selection, matrix, iterations);
+        Ok((selection, charged_overhead + observed))
+    }
+
     /// The PR-3-era streaming execute: identical selection, billing and
     /// result to [`SeerEngine::execute_with_policy_into`], but the kernel
     /// re-derives its auxiliary structures on every call instead of replaying
@@ -1763,8 +1991,8 @@ impl SeerEngine {
         let gpu = self.fleet.gpu(device);
         let kernel = kernel(kernel_id);
         let costs = KernelCosts {
-            preprocessing: kernel.preprocessing_time(gpu, matrix, &profile),
-            per_iteration: kernel.iteration_timing(gpu, matrix, &profile).total,
+            preprocessing: kernel.preprocessing_time(&gpu, matrix, &profile),
+            per_iteration: kernel.iteration_timing(&gpu, matrix, &profile).total,
         };
         self.timings
             .write()
@@ -1809,7 +2037,7 @@ impl SeerEngine {
         device: DeviceId,
         kernel_id: KernelId,
     ) -> Arc<PreparedPlan> {
-        let _ = self.fleet.device(device);
+        let _ = self.fleet.status(device);
         let fingerprint = matrix.sparsity_fingerprint();
         let key = (fingerprint, device, kernel_id);
         let mut stale = false;
@@ -1849,7 +2077,7 @@ impl SeerEngine {
             self.counters
                 .plan_preparations
                 .fetch_add(1, Ordering::Relaxed);
-            self.device_counters[device.index()]
+            self.device_counter(device)
                 .plan_preparations
                 .fetch_add(1, Ordering::Relaxed);
         }
@@ -2066,6 +2294,13 @@ impl SeerEngine {
     /// == t` is exact in IEEE 754, and the multiplication is skipped
     /// anyway), so with `recal = None` — or all-unity factors — this is
     /// exactly the legacy ranking.
+    ///
+    /// Only live devices are candidates: a static fleet's live set is its
+    /// whole roster (bit-identical iteration order), while retired and
+    /// failed devices drop out of the sweep the moment the membership
+    /// generation bumps. If *no* device is live the sweep degrades to the
+    /// default device so selection stays total — execution then surfaces the
+    /// failure as a typed [`seer_gpu::DeviceFailed`].
     #[allow(clippy::too_many_arguments)]
     fn rank_corrected(
         &self,
@@ -2079,11 +2314,17 @@ impl SeerEngine {
         recal: Option<&Recalibration>,
     ) -> (RankedDevice, Option<RankedDevice>) {
         let default_device = self.fleet.default_device();
+        let live = self.live_devices();
+        let candidates: &[DeviceId] = if live.is_empty() {
+            std::slice::from_ref(&default_device)
+        } else {
+            &live
+        };
         let profile = self.profile_for(matrix, fingerprint);
         let mut best: Option<RankedDevice> = None;
         let mut runner: Option<RankedDevice> = None;
         let mut corrected = false;
-        for device in self.fleet.ids() {
+        for &device in candidates {
             let collection_cost = if !gather {
                 SimTime::ZERO
             } else if device == default_device {
@@ -2092,7 +2333,7 @@ impl SeerEngine {
                 default_collection_cost
             } else {
                 self.collector
-                    .collection_cost_with(self.fleet.gpu(device), matrix, &profile)
+                    .collection_cost_with(&self.fleet.gpu(device), matrix, &profile)
             };
             let costs = self.kernel_costs_on(matrix, device, kernel_id);
             let mut kernel_total = costs.total_at(kernel_id, iterations);
@@ -2145,7 +2386,7 @@ impl SeerEngine {
         let mut best = self.fleet.default_device();
         let mut best_total: Option<SimTime> = None;
         let mut corrected = false;
-        for device in self.fleet.ids() {
+        for device in self.live_devices().iter().copied() {
             let factor = recal.factor(device, kernel_id);
             let total = if factor == 1.0 {
                 recorded
@@ -2262,9 +2503,7 @@ impl SeerEngine {
             return (collection, false);
         }
         let profile = self.profile_for(matrix, fingerprint);
-        let collection = self
-            .collector
-            .collect(self.fleet.default_gpu(), matrix, &profile);
+        let collection = self.collector.collect(&self.default_gpu, matrix, &profile);
         self.counters
             .feature_collections
             .fetch_add(1, Ordering::Relaxed);
@@ -2831,14 +3070,14 @@ mod tests {
                     .map(|id| {
                         let gpu = fleet.gpu(id);
                         let collection = if selection.used_gathered {
-                            collector.collection_cost_with(gpu, &entry.matrix, profile)
+                            collector.collection_cost_with(&gpu, &entry.matrix, profile)
                         } else {
                             SimTime::ZERO
                         };
                         // Same grouping as the engine's ranking: overheads
                         // first, then the kernel total (prep + iters x iter).
-                        let kernel_total = k.preprocessing_time(gpu, &entry.matrix, profile)
-                            + k.iteration_timing(gpu, &entry.matrix, profile).total
+                        let kernel_total = k.preprocessing_time(&gpu, &entry.matrix, profile)
+                            + k.iteration_timing(&gpu, &entry.matrix, profile).total
                                 * iterations as f64;
                         collection + selection.inference_overhead + kernel_total
                     })

@@ -53,6 +53,23 @@
 //! router entirely and routes by bare fingerprint — bit-identical to the
 //! pre-fleet pool.
 //!
+//! # Elastic membership
+//!
+//! The fleet behind a running pool can change. [`ServingPool::add_device`]
+//! registers a device and publishes a fresh shard group pinned to it (a
+//! formerly single-device pool gains a router at that moment);
+//! [`ServingPool::retire_device`] marks the device retired, narrowly
+//! invalidates its cached kernel costs and prepared plans on every engine
+//! ([`SeerEngine::invalidate_device`]), unpublishes its shard group and
+//! drains the group's backlog onto surviving devices. A request whose
+//! placement device dies mid-execution (fault injection:
+//! [`Fleet::fail_device`]) is retried exactly once on a surviving device —
+//! counted in [`ShardStats::device_failures`], [`ShardStats::retried`] and
+//! [`ShardStats::migrated`] — so its [`Ticket`] resolves to a correct
+//! response instead of an error; [`ServingError::WorkerDied`] stays
+//! reserved for genuine worker panics. A pool whose membership never
+//! changes behaves bit-identically to one without these hooks.
+//!
 //! # Example
 //!
 //! ```
@@ -82,11 +99,11 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use seer_gpu::{DeviceId, Fleet, Gpu, SimTime};
+use seer_gpu::{DeviceId, Fleet, Gpu, GpuSpec, MembershipError, SimTime, SpecError};
 use seer_sparse::{CsrMatrix, Scalar};
 
 use crate::engine::{EngineStats, EngineWorkspace, Recalibration, RecalibrationConfig, SeerEngine};
@@ -162,6 +179,15 @@ pub enum Workload {
     /// exercised deterministically; never useful in production traffic.
     #[doc(hidden)]
     PanicInjection,
+    /// Chaos workload: blocks the serving worker until the shared gate is
+    /// set to `true`, then serves like [`Workload::SelectOnly`]. Exists so
+    /// tests can deterministically sequence a membership change against a
+    /// queued backlog; never useful in production traffic.
+    #[doc(hidden)]
+    Gate {
+        /// Open the gate by setting the flag and notifying the Condvar.
+        gate: Arc<(Mutex<bool>, Condvar)>,
+    },
 }
 
 /// One request submitted to a [`ServingPool`].
@@ -235,6 +261,16 @@ pub enum ServingError {
         /// The shard whose worker dropped the request.
         shard: usize,
     },
+    /// The request's placement device died mid-execution, and the bounded
+    /// retry on a surviving device also hit a dead device (or no live device
+    /// remained). The request was *not* silently dropped — both attempts are
+    /// counted in [`ShardStats::device_failures`] — but the pool will not
+    /// retry unboundedly. Distinct from [`ServingError::WorkerDied`], which
+    /// is reserved for genuine worker panics.
+    DeviceFailed {
+        /// The device whose failure exhausted the retry budget.
+        device: DeviceId,
+    },
 }
 
 impl std::fmt::Display for ServingError {
@@ -243,30 +279,92 @@ impl std::fmt::Display for ServingError {
             Self::WorkerDied { shard } => {
                 write!(f, "serving worker for shard {shard} dropped the request")
             }
+            Self::DeviceFailed { device } => {
+                write!(
+                    f,
+                    "request failed on {device} and the one bounded retry also failed"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServingError {}
 
+/// The one-shot resolution slot shared by a [`Ticket`] and the worker-side
+/// [`Responder`] that fills it. The Condvar means a parked [`Ticket::wait`]
+/// wakes the moment the worker resolves the outcome — no polling loop, no
+/// wake latency beyond the scheduler's.
+#[derive(Debug)]
+struct TicketCell {
+    outcome: Mutex<Option<Result<ServingResponse, ServingError>>>,
+    resolved: Condvar,
+}
+
+impl TicketCell {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            outcome: Mutex::new(None),
+            resolved: Condvar::new(),
+        })
+    }
+
+    /// Stores the outcome (first writer wins) and wakes every waiter.
+    fn resolve(&self, outcome: Result<ServingResponse, ServingError>) {
+        let mut slot = self.outcome.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        self.resolved.notify_all();
+    }
+}
+
+/// The worker-side half of a ticket: resolves it exactly once. Dropping a
+/// `Responder` unresolved — a panic mid-serve, a job stranded in a closed
+/// queue, a failed send — resolves the ticket to
+/// [`ServingError::WorkerDied`], so a waiter can never hang on a request
+/// nothing will serve.
+#[derive(Debug)]
+struct Responder {
+    cell: Option<Arc<TicketCell>>,
+    shard: usize,
+}
+
+impl Responder {
+    fn resolve(mut self, outcome: Result<ServingResponse, ServingError>) {
+        if let Some(cell) = self.cell.take() {
+            cell.resolve(outcome);
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some(cell) = self.cell.take() {
+            cell.resolve(Err(ServingError::WorkerDied { shard: self.shard }));
+        }
+    }
+}
+
 /// A pending response from a [`ServingPool`].
 ///
 /// Every accessor returns `Result`: a worker that panics while serving this
 /// request surfaces as a recoverable [`ServingError::WorkerDied`] rather
-/// than a panic in the waiting caller (the pre-recalibration API panicked
-/// `"serving worker dropped the request"`, which turned one poisoned request
-/// into a caller crash).
+/// than a panic in the waiting caller, and a request whose bounded device
+/// retry is exhausted surfaces [`ServingError::DeviceFailed`].
+///
+/// [`Ticket::wait`] and [`Ticket::wait_timeout`] block on a Condvar shared
+/// with the serving worker, so a parked waiter wakes promptly when the
+/// outcome lands instead of polling a channel.
 #[derive(Debug)]
 pub struct Ticket {
-    rx: mpsc::Receiver<ServingResponse>,
+    cell: Arc<TicketCell>,
     shard: usize,
-    /// An outcome already pulled off the channel by one of the polling
-    /// accessors ([`Ticket::is_done`], [`Ticket::try_wait`],
-    /// [`Ticket::wait_timeout`]), kept so a later `wait` still observes it.
-    /// `RefCell` so the `&self` poll of `is_done` can stash it; a `Ticket`
-    /// is single-owner (`Send` but not `Sync`), so the interior borrow can
-    /// never be contended.
-    received: std::cell::RefCell<Option<Result<ServingResponse, ServingError>>>,
+    /// An outcome already taken out of the cell by one of the borrowing
+    /// accessors ([`Ticket::try_wait`], [`Ticket::wait_timeout`]), kept so a
+    /// later `wait` still observes it.
+    received: Option<Result<ServingResponse, ServingError>>,
 }
 
 impl Ticket {
@@ -275,41 +373,47 @@ impl Ticket {
         self.shard
     }
 
-    /// The outcome of a disconnected reply channel: the worker dropped this
-    /// request's reply sender without sending, i.e. it panicked mid-serve.
-    fn worker_died(&self) -> ServingError {
-        ServingError::WorkerDied { shard: self.shard }
-    }
-
     /// Whether the request has resolved — served *or* failed — without
-    /// blocking. An outcome observed here stays owned by the ticket, so
-    /// `is_done` followed by [`Ticket::wait`] never loses it; a dead worker
-    /// resolves the ticket (to [`ServingError::WorkerDied`]) rather than
-    /// turning the documented polling loop into a silent spin.
+    /// blocking. The outcome stays owned by the ticket, so `is_done`
+    /// followed by [`Ticket::wait`] never loses it; a dead worker resolves
+    /// the ticket (to [`ServingError::WorkerDied`]) rather than turning the
+    /// documented polling loop into a silent spin.
     pub fn is_done(&self) -> bool {
-        let mut received = self.received.borrow_mut();
-        if received.is_none() {
-            *received = match self.rx.try_recv() {
-                Ok(response) => Some(Ok(response)),
-                Err(mpsc::TryRecvError::Empty) => None,
-                Err(mpsc::TryRecvError::Disconnected) => Some(Err(self.worker_died())),
-            };
-        }
-        received.is_some()
+        self.received.is_some()
+            || self
+                .cell
+                .outcome
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_some()
     }
 
-    /// Blocks until the request resolves.
+    /// Blocks until the request resolves, parking on the ticket's Condvar.
     ///
     /// # Errors
     ///
     /// Returns [`ServingError::WorkerDied`] if the serving worker panicked
-    /// on this request and dropped it without replying. Other requests on
-    /// the same shard are unaffected.
+    /// on this request and dropped it without replying (other requests on
+    /// the same shard are unaffected), or [`ServingError::DeviceFailed`] if
+    /// the request's device died and the bounded retry failed too.
     pub fn wait(self) -> Result<ServingResponse, ServingError> {
-        let died = self.worker_died();
-        match self.received.into_inner() {
-            Some(outcome) => outcome,
-            None => self.rx.recv().map_err(|_| died),
+        if let Some(outcome) = self.received {
+            return outcome;
+        }
+        let mut slot = self
+            .cell
+            .outcome
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .cell
+                .resolved
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -322,19 +426,19 @@ impl Ticket {
     ///
     /// # Errors
     ///
-    /// Returns [`ServingError::WorkerDied`] if the worker dropped this
-    /// request, like [`Ticket::wait`].
+    /// Returns [`ServingError::WorkerDied`] or
+    /// [`ServingError::DeviceFailed`] if the request failed, like
+    /// [`Ticket::wait`].
     pub fn try_wait(&mut self) -> Result<Option<&ServingResponse>, ServingError> {
-        let died = self.worker_died();
-        let received = self.received.get_mut();
-        if received.is_none() {
-            *received = match self.rx.try_recv() {
-                Ok(response) => Some(Ok(response)),
-                Err(mpsc::TryRecvError::Empty) => None,
-                Err(mpsc::TryRecvError::Disconnected) => Some(Err(died)),
-            };
+        if self.received.is_none() {
+            self.received = self
+                .cell
+                .outcome
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
         }
-        match received {
+        match &self.received {
             Some(Ok(response)) => Ok(Some(response)),
             Some(Err(error)) => Err(*error),
             None => Ok(None),
@@ -345,26 +449,40 @@ impl Ticket {
     /// the ticket. Returns `Ok(None)` on timeout; the ticket stays valid, so
     /// callers can interleave bounded waits with other work and still
     /// [`Ticket::wait`] (or poll again) later. Like the other accessors, an
-    /// observed outcome stays owned by the ticket.
+    /// observed outcome stays owned by the ticket. The wait parks on the
+    /// ticket's Condvar (spurious wakes re-checked against the deadline)
+    /// rather than spinning.
     ///
     /// # Errors
     ///
-    /// Returns [`ServingError::WorkerDied`] if the worker dropped this
-    /// request, like [`Ticket::wait`].
+    /// Returns [`ServingError::WorkerDied`] or
+    /// [`ServingError::DeviceFailed`] if the request failed, like
+    /// [`Ticket::wait`].
     pub fn wait_timeout(
         &mut self,
         timeout: Duration,
     ) -> Result<Option<&ServingResponse>, ServingError> {
-        let died = self.worker_died();
-        let received = self.received.get_mut();
-        if received.is_none() {
-            *received = match self.rx.recv_timeout(timeout) {
-                Ok(response) => Some(Ok(response)),
-                Err(mpsc::RecvTimeoutError::Timeout) => None,
-                Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(died)),
-            };
+        if self.received.is_none() {
+            let deadline = Instant::now() + timeout;
+            let mut slot = self
+                .cell
+                .outcome
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            while slot.is_none() {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                (slot, _) = self
+                    .cell
+                    .resolved
+                    .wait_timeout(slot, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            self.received = slot.take();
         }
-        match received {
+        match &self.received {
             Some(Ok(response)) => Ok(Some(response)),
             Some(Err(error)) => Err(*error),
             None => Ok(None),
@@ -388,6 +506,17 @@ pub struct ShardStats {
     /// Requests dropped by a worker panic mid-serve; each one resolved its
     /// ticket to [`ServingError::WorkerDied`]. Always `<= completed`.
     pub failed: u64,
+    /// Execution attempts on this shard that hit a dead device (a
+    /// [`seer_gpu::DeviceFailed`] from the engine). A request that fails,
+    /// retries and fails again counts twice.
+    pub device_failures: u64,
+    /// Requests that were retried once after their first attempt died on a
+    /// failed device.
+    pub retried: u64,
+    /// Requests served successfully by this shard while its pinned device
+    /// was no longer live — drained backlog and retried work that migrated
+    /// to a surviving device.
+    pub migrated: u64,
     /// Cache/fallback counters of the shard's engine.
     pub engine: EngineStats,
     /// Distinct plans currently cached by the shard's engine.
@@ -402,8 +531,9 @@ impl ShardStats {
 }
 
 /// Per-device rollup of a fleet pool's counters: the shards pinned to one
-/// device, summed. Built by [`PoolStats::devices`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// device, summed. Built by [`PoolStats::devices`]. `Default` is the empty
+/// lane of the default device: all counters zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DevicePoolStats {
     /// The device this lane serves.
     pub device: DeviceId,
@@ -415,6 +545,13 @@ pub struct DevicePoolStats {
     pub completed: u64,
     /// Requests dropped by worker panics across the device's shards.
     pub failed: u64,
+    /// Dead-device execution attempts across the device's shards.
+    pub device_failures: u64,
+    /// Requests retried once across the device's shards.
+    pub retried: u64,
+    /// Requests served by this device's shards after the device stopped
+    /// being live (drained/migrated work).
+    pub migrated: u64,
     /// Engine counters summed over the device's shards.
     pub engine: EngineStats,
 }
@@ -423,6 +560,16 @@ impl DevicePoolStats {
     /// Requests accepted by this device's shards but not yet served.
     pub fn queue_depth(&self) -> u64 {
         self.submitted.saturating_sub(self.completed)
+    }
+
+    /// Fraction of this device lane's resolved requests that failed, in
+    /// `[0, 1]`. `0.0` when nothing has resolved yet — never `NaN`.
+    pub fn failure_rate(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.completed as f64
+        }
     }
 }
 
@@ -457,6 +604,9 @@ impl PoolStats {
                         submitted: 0,
                         completed: 0,
                         failed: 0,
+                        device_failures: 0,
+                        retried: 0,
+                        migrated: 0,
                         engine: EngineStats::default(),
                     });
                     lanes.last_mut().expect("just pushed")
@@ -466,6 +616,9 @@ impl PoolStats {
             lane.submitted = lane.submitted.saturating_add(shard.submitted);
             lane.completed = lane.completed.saturating_add(shard.completed);
             lane.failed = lane.failed.saturating_add(shard.failed);
+            lane.device_failures = lane.device_failures.saturating_add(shard.device_failures);
+            lane.retried = lane.retried.saturating_add(shard.retried);
+            lane.migrated = lane.migrated.saturating_add(shard.migrated);
             lane.engine = lane.engine.saturating_add(shard.engine);
         }
         lanes.sort_by_key(|lane| lane.device);
@@ -493,6 +646,28 @@ impl PoolStats {
             .fold(0, |n, s| n.saturating_add(s.failed))
     }
 
+    /// Total dead-device execution attempts across all shards.
+    pub fn device_failures(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.device_failures))
+    }
+
+    /// Total requests retried once after a dead-device attempt.
+    pub fn retried(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.retried))
+    }
+
+    /// Total requests served by a shard whose pinned device was no longer
+    /// live — drained backlog and retried work re-homed onto survivors.
+    pub fn migrations(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.migrated))
+    }
+
     /// Fraction of resolved requests that failed, in `[0, 1]`. `0.0` when
     /// nothing has resolved yet — never `NaN`.
     pub fn failure_rate(&self) -> f64 {
@@ -501,6 +676,29 @@ impl PoolStats {
             0.0
         } else {
             self.failed() as f64 / completed as f64
+        }
+    }
+
+    /// Fraction of resolved requests that needed the bounded device retry,
+    /// in `[0, 1]`. `0.0` when nothing has resolved yet — never `NaN`.
+    pub fn retry_rate(&self) -> f64 {
+        let completed = self.completed();
+        if completed == 0 {
+            0.0
+        } else {
+            self.retried() as f64 / completed as f64
+        }
+    }
+
+    /// Fraction of resolved requests that were served off their submission
+    /// device, in `[0, 1]`. `0.0` when nothing has resolved yet — never
+    /// `NaN`.
+    pub fn migration_rate(&self) -> f64 {
+        let completed = self.completed();
+        if completed == 0 {
+            0.0
+        } else {
+            self.migrations() as f64 / completed as f64
         }
     }
 
@@ -527,10 +725,10 @@ impl PoolStats {
     }
 }
 
-/// A job in flight: the request plus its reply channel.
+/// A job in flight: the request plus the responder that resolves its ticket.
 struct Job {
     request: ServingRequest,
-    reply: mpsc::Sender<ServingResponse>,
+    responder: Responder,
 }
 
 /// Drain/shutdown coordination: workers notify after a served request, but
@@ -547,36 +745,72 @@ struct Progress {
     waiters: AtomicU64,
 }
 
+/// One shard's resolution counters, shared between the pool and its worker.
+/// `submitted` lives separately on the [`Shard`] because only the submitting
+/// side touches it.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    completed: AtomicU64,
+    /// Requests dropped by a panic inside `serve`; a subset of `completed`.
+    failed: AtomicU64,
+    /// Execution attempts that returned [`seer_gpu::DeviceFailed`].
+    device_failures: AtomicU64,
+    /// Requests retried once after a dead-device first attempt.
+    retried: AtomicU64,
+    /// Requests served while the shard's pinned device was not live.
+    migrated: AtomicU64,
+}
+
 struct Shard {
     engine: Arc<SeerEngine>,
     /// The fleet device this shard is pinned to: device-affinity routing
     /// only sends it requests whose selection placed the workload here.
     device: DeviceId,
-    /// `None` once shutdown has begun; dropping the sender stops the worker
-    /// after it drains the queue.
+    /// `None` once shutdown (or this shard's device retirement) has begun;
+    /// dropping the sender stops the worker after it drains the queue.
     sender: Option<mpsc::Sender<Job>>,
     worker: Option<JoinHandle<()>>,
     submitted: Arc<AtomicU64>,
-    completed: Arc<AtomicU64>,
-    /// Requests dropped by a panic inside `serve`; a subset of `completed`.
-    failed: Arc<AtomicU64>,
+    counters: Arc<ShardCounters>,
+}
+
+/// The membership-mutable core of a pool: the shard list and the per-device
+/// shard groups. One `RwLock` guards both, so routing reads a consistent
+/// snapshot while [`ServingPool::add_device`]/[`ServingPool::retire_device`]
+/// mutate membership under the write side.
+struct PoolInner {
+    shards: Vec<Shard>,
+    /// Shard indices pinned to each device, indexed by [`DeviceId`]. A
+    /// retired device's group is emptied in place (the entry stays, so
+    /// indexing by device id keeps working); shards are append-only, like
+    /// the fleet roster, so shard indices in issued tickets stay valid.
+    device_groups: Vec<Vec<usize>>,
 }
 
 /// A sharded, multi-threaded serving front-end for Seer selections — and,
-/// over a multi-device [`Fleet`], a device-aware router.
+/// over a multi-device [`Fleet`], a device-aware router with elastic
+/// runtime membership.
 ///
-/// See the [module docs](self) for the sharding, routing and determinism
-/// model.
+/// See the [module docs](self) for the sharding, routing, determinism and
+/// membership model.
 pub struct ServingPool {
     fleet: Fleet,
-    shards: Vec<Shard>,
-    /// Shard indices pinned to each device, indexed by [`DeviceId`].
-    device_groups: Vec<Vec<usize>>,
+    models: Arc<SeerModels>,
+    /// The construction config, kept so shards spawned by a runtime
+    /// [`ServingPool::add_device`] match the original shards-per-device,
+    /// class-reuse and recalibration settings.
+    config: PoolConfig,
+    /// The pool-wide shared recalibration table, if configured — late-joining
+    /// shard engines are installed onto the same table.
+    recalibration: Option<Arc<Recalibration>>,
+    inner: RwLock<PoolInner>,
     /// The shared fleet engine that resolves device affinity at submit time.
-    /// `None` for single-device pools: with one device there is nothing to
-    /// place, and routing stays the bare-fingerprint hash of the pre-fleet
-    /// pool.
-    router: Option<Arc<SeerEngine>>,
+    /// `None` while the pool serves a single device (with one device there
+    /// is nothing to place, and routing stays the bare-fingerprint hash of
+    /// the pre-fleet pool); built when `add_device` makes the fleet
+    /// multi-device. Readers clone the `Arc` and drop the guard immediately,
+    /// so this lock is never held across the `inner` lock.
+    router: RwLock<Option<Arc<SeerEngine>>>,
     progress: Arc<Progress>,
     started: Instant,
 }
@@ -584,7 +818,7 @@ pub struct ServingPool {
 impl std::fmt::Debug for ServingPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServingPool")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shards())
             .finish_non_exhaustive()
     }
 }
@@ -608,68 +842,204 @@ impl ServingPool {
             served: Condvar::new(),
             waiters: AtomicU64::new(0),
         });
-        let per_device = config.shards.max(1);
         // One correction table for the whole pool: every shard engine and
         // the router share it, so an observation on any shard's execute
         // traffic reweights every engine's corrected placement at once.
         let recalibration = config
             .recalibration
             .map(|recal| Arc::new(Recalibration::new(recal, fleet.len())));
-        let mut shards = Vec::with_capacity(fleet.len() * per_device);
-        let mut device_groups = vec![Vec::with_capacity(per_device); fleet.len()];
-        for device in fleet.ids() {
-            for _ in 0..per_device {
-                let index = shards.len();
-                let engine = Arc::new(SeerEngine::with_fleet(fleet.clone(), Arc::clone(&models)));
-                engine.set_structure_class_reuse(config.structure_class_reuse);
-                if let Some(recal) = &recalibration {
-                    engine.install_recalibration(Arc::clone(recal));
-                }
-                let (sender, receiver) = mpsc::channel::<Job>();
-                let completed = Arc::new(AtomicU64::new(0));
-                let failed = Arc::new(AtomicU64::new(0));
-                let worker = {
-                    let engine = Arc::clone(&engine);
-                    let completed = Arc::clone(&completed);
-                    let failed = Arc::clone(&failed);
-                    let progress = Arc::clone(&progress);
-                    std::thread::Builder::new()
-                        .name(format!("seer-shard-{index}"))
-                        .spawn(move || {
-                            worker_loop(index, &engine, &receiver, &completed, &failed, &progress)
-                        })
-                        .expect("spawn serving worker")
-                };
-                device_groups[device.index()].push(index);
-                shards.push(Shard {
-                    engine,
-                    device,
-                    sender: Some(sender),
-                    worker: Some(worker),
-                    submitted: Arc::new(AtomicU64::new(0)),
-                    completed,
-                    failed,
-                });
-            }
-        }
-        let router = (!fleet.is_single_device()).then(|| {
-            let engine = Arc::new(SeerEngine::with_fleet(fleet.clone(), models));
-            // Inherited routing stays device-affine: a class hit on the
-            // router pins the whole class's placement to one device group.
-            engine.set_structure_class_reuse(config.structure_class_reuse);
-            if let Some(recal) = &recalibration {
-                engine.install_recalibration(Arc::clone(recal));
-            }
-            engine
-        });
-        Self {
-            fleet,
-            shards,
-            device_groups,
-            router,
+        let pool = Self {
+            fleet: fleet.clone(),
+            models,
+            config: PoolConfig {
+                shards: config.shards.max(1),
+                ..config
+            },
+            recalibration,
+            inner: RwLock::new(PoolInner {
+                shards: Vec::new(),
+                device_groups: vec![Vec::new(); fleet.len()],
+            }),
+            router: RwLock::new(None),
             progress,
             started: Instant::now(),
+        };
+        {
+            let mut inner = pool.inner.write().unwrap_or_else(PoisonError::into_inner);
+            for device in fleet.ids() {
+                for _ in 0..pool.config.shards {
+                    let index = inner.shards.len();
+                    let shard = pool.spawn_shard(index, device);
+                    inner.device_groups[device.index()].push(index);
+                    inner.shards.push(shard);
+                }
+            }
         }
+        if !fleet.is_single_device() {
+            *pool.router.write().unwrap_or_else(PoisonError::into_inner) =
+                Some(pool.build_engine());
+        }
+        pool
+    }
+
+    /// A fresh engine sharing the pool's fleet, models, class-reuse setting
+    /// and (if configured) the pool-wide recalibration table. Used for every
+    /// shard engine and for the router, including shards spawned by a
+    /// runtime [`ServingPool::add_device`]. On the router, inherited routing
+    /// stays device-affine: a class hit pins the whole class's placement to
+    /// one device group.
+    fn build_engine(&self) -> Arc<SeerEngine> {
+        let engine = Arc::new(SeerEngine::with_fleet(
+            self.fleet.clone(),
+            Arc::clone(&self.models),
+        ));
+        engine.set_structure_class_reuse(self.config.structure_class_reuse);
+        if let Some(recal) = &self.recalibration {
+            engine.install_recalibration(Arc::clone(recal));
+        }
+        engine
+    }
+
+    /// Builds one shard pinned to `device` and starts its worker thread.
+    fn spawn_shard(&self, index: usize, device: DeviceId) -> Shard {
+        let engine = self.build_engine();
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let counters = Arc::new(ShardCounters::default());
+        let worker = {
+            let engine = Arc::clone(&engine);
+            let counters = Arc::clone(&counters);
+            let progress = Arc::clone(&self.progress);
+            std::thread::Builder::new()
+                .name(format!("seer-shard-{index}"))
+                .spawn(move || worker_loop(index, device, &engine, &receiver, &counters, &progress))
+                .expect("spawn serving worker")
+        };
+        Shard {
+            engine,
+            device,
+            sender: Some(sender),
+            worker: Some(worker),
+            submitted: Arc::new(AtomicU64::new(0)),
+            counters,
+        }
+    }
+
+    /// Joins a new device to the *running* pool: registers it with the
+    /// fleet, then spawns [`PoolConfig::shards`] shards pinned to it. A pool
+    /// that was single-device gains a router first, so requests submitted
+    /// from here on are device-placed. In-flight submits race harmlessly:
+    /// until the new shard group is published they route to the existing
+    /// groups, exactly as before the join.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the device specification is invalid.
+    pub fn add_device(&self, spec: GpuSpec) -> Result<DeviceId, SpecError> {
+        let device = self.fleet.add_device(spec)?;
+        self.attach_device(device);
+        Ok(device)
+    }
+
+    /// [`ServingPool::add_device`] with an explicit name and prebuilt GPU
+    /// model, mirroring [`Fleet::add_device_named`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] if the device specification is invalid.
+    pub fn add_device_named(
+        &self,
+        name: impl Into<String>,
+        gpu: Arc<Gpu>,
+    ) -> Result<DeviceId, SpecError> {
+        let device = self.fleet.add_device_named(name, gpu)?;
+        self.attach_device(device);
+        Ok(device)
+    }
+
+    /// Publishes shards for a device already registered with the fleet.
+    fn attach_device(&self, device: DeviceId) {
+        // Build the router before the new shards become routable: a
+        // formerly single-device pool now has placements to resolve. The
+        // router lock is taken and released before touching `inner`.
+        if !self.fleet.is_single_device() {
+            let mut router = self.router.write().unwrap_or_else(PoisonError::into_inner);
+            if router.is_none() {
+                *router = Some(self.build_engine());
+            }
+        }
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        while inner.device_groups.len() <= device.index() {
+            inner.device_groups.push(Vec::new());
+        }
+        for _ in 0..self.config.shards {
+            let index = inner.shards.len();
+            let shard = self.spawn_shard(index, device);
+            inner.device_groups[device.index()].push(index);
+            inner.shards.push(shard);
+        }
+    }
+
+    /// Retires a device from the running pool. The fleet marks it retired
+    /// (new selections skip it), every shard engine and the router drop the
+    /// device's cached kernel costs, prepared plans and recalibration
+    /// factors ([`SeerEngine::invalidate_device`]), the device's shard group
+    /// is unpublished (its fingerprint/class affinity re-homes to the
+    /// surviving groups on the next submit), and the group's queued backlog
+    /// drains on its own workers — each queued request re-places onto a
+    /// surviving device, counted in [`ShardStats::migrated`] — before this
+    /// call returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fleet's [`MembershipError`] — unknown device, double
+    /// retire, or retiring the last live device — without touching the pool.
+    pub fn retire_device(&self, device: DeviceId) -> Result<(), MembershipError> {
+        self.fleet.retire_device(device)?;
+        // Narrow invalidation everywhere the device's costs could be
+        // cached: queued work re-selects against the shrunken live set.
+        {
+            let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            for shard in &inner.shards {
+                shard.engine.invalidate_device(device);
+            }
+        }
+        if let Some(router) = self.router_handle() {
+            router.invalidate_device(device);
+        }
+        // Unpublish the group and close its queues under the write lock —
+        // a submit that raced past routing either reached the senders
+        // before this (its job drains below) or re-routes to survivors.
+        let mut workers = Vec::new();
+        {
+            let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            let group = inner
+                .device_groups
+                .get_mut(device.index())
+                .map(std::mem::take)
+                .unwrap_or_default();
+            for index in group {
+                let shard = &mut inner.shards[index];
+                shard.sender = None;
+                if let Some(worker) = shard.worker.take() {
+                    workers.push(worker);
+                }
+            }
+        }
+        // Joining outside the lock lets the drained backlog submit-side
+        // progress (stats, drain) proceed while the group winds down.
+        for worker in workers {
+            join_worker(worker);
+        }
+        Ok(())
+    }
+
+    /// The shared router engine, if the pool has one. Clones the handle so
+    /// the router lock is released before any other pool lock is taken.
+    fn router_handle(&self) -> Option<Arc<SeerEngine>> {
+        self.router
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Builds a pool serving the same fleet and models as `engine` — a
@@ -682,9 +1052,15 @@ impl ServingPool {
         Self::with_fleet(engine.fleet().clone(), engine.models_handle(), config)
     }
 
-    /// Number of shards (and worker threads).
+    /// Number of shards ever spawned, including the (drained, stopped)
+    /// shards of retired devices — shard indices are append-only so ticket
+    /// and stats indices stay valid across membership changes.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shards
+            .len()
     }
 
     /// The device fleet this pool routes over.
@@ -701,7 +1077,7 @@ impl ServingPool {
     /// [module docs](self)), so its home shard depends on the whole
     /// request — use [`ServingPool::shard_for_request`] there.
     pub fn shard_for(&self, matrix: &CsrMatrix) -> usize {
-        (matrix.sparsity_fingerprint() % self.shards.len() as u64) as usize
+        (matrix.sparsity_fingerprint() % self.shards() as u64) as usize
     }
 
     /// The shard `request` will be routed to: the fingerprint-local shard
@@ -711,15 +1087,11 @@ impl ServingPool {
     /// Resolving affinity on a fleet pool consults (and warms) the shared
     /// router engine, exactly as submitting the request would.
     pub fn shard_for_request(&self, request: &ServingRequest) -> usize {
-        match &self.router {
-            None => self.shard_for(&request.matrix),
-            Some(router) => {
-                let selection =
-                    router.select_with_policy(&request.matrix, request.iterations, request.policy);
-                let group = &self.device_groups[selection.device.index()];
-                group[(request.matrix.sparsity_fingerprint() % group.len() as u64) as usize]
-            }
-        }
+        let selection = self.router_handle().map(|router| {
+            router.select_with_policy(&request.matrix, request.iterations, request.policy)
+        });
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        route_in(&inner, &request.matrix, selection.as_ref())
     }
 
     /// Enqueues one request on its home shard and returns a [`Ticket`] for
@@ -741,27 +1113,39 @@ impl ServingPool {
                 "execute request needs x.len() == matrix.cols()"
             );
         }
-        let shard_index = self.shard_for_request(&request);
-        let shard = &self.shards[shard_index];
-        let (reply, rx) = mpsc::channel();
+        // Resolve device affinity first (no pool locks held), then route and
+        // send under one read of `inner`, so the group a request routes to
+        // is the group its job lands in even while membership changes.
+        let selection = self.router_handle().map(|router| {
+            router.select_with_policy(&request.matrix, request.iterations, request.policy)
+        });
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let shard_index = route_in(&inner, &request.matrix, selection.as_ref());
+        let shard = &inner.shards[shard_index];
+        let cell = TicketCell::new();
+        let responder = Responder {
+            cell: Some(Arc::clone(&cell)),
+            shard: shard_index,
+        };
         shard.submitted.fetch_add(1, Ordering::SeqCst);
-        let sent = shard
-            .sender
-            .as_ref()
-            .expect("pool has not been shut down")
-            .send(Job { request, reply });
-        if sent.is_err() {
-            // The worker's receiver is gone — the thread itself died (it
-            // never exits while senders are live otherwise). Roll the
-            // accounting back so `drain` cannot wait forever on a request
-            // nothing will ever serve; the returned ticket's channel is
-            // already disconnected, so it resolves to `WorkerDied`.
+        let sent = match &shard.sender {
+            Some(sender) => sender.send(Job { request, responder }).is_ok(),
+            // Routing never picks a closed shard under this lock, but a
+            // fleet mutated behind the pool's back could leave one; the
+            // dropped responder resolves the ticket to `WorkerDied`.
+            None => false,
+        };
+        if !sent {
+            // The worker's receiver is gone. Roll the accounting back so
+            // `drain` cannot wait forever on a request nothing will ever
+            // serve; the job's responder (dropped unresolved, here or in
+            // the send error) already resolved the ticket to `WorkerDied`.
             shard.submitted.fetch_sub(1, Ordering::SeqCst);
         }
         Ticket {
-            rx,
+            cell,
             shard: shard_index,
-            received: std::cell::RefCell::new(None),
+            received: None,
         }
     }
 
@@ -796,19 +1180,21 @@ impl ServingPool {
 
     /// Requests accepted but not yet served, across all shards.
     fn pending(&self) -> u64 {
-        self.shards.iter().fold(0u64, |n, s| {
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        inner.shards.iter().fold(0u64, |n, s| {
             n.saturating_add(
                 s.submitted
                     .load(Ordering::SeqCst)
-                    .saturating_sub(s.completed.load(Ordering::SeqCst)),
+                    .saturating_sub(s.counters.completed.load(Ordering::SeqCst)),
             )
         })
     }
 
     /// Current per-shard and aggregate counters.
     pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         PoolStats {
-            shards: self
+            shards: inner
                 .shards
                 .iter()
                 .enumerate()
@@ -816,13 +1202,16 @@ impl ServingPool {
                     shard: index,
                     device: shard.device,
                     submitted: shard.submitted.load(Ordering::Acquire),
-                    completed: shard.completed.load(Ordering::Acquire),
-                    failed: shard.failed.load(Ordering::Acquire),
+                    completed: shard.counters.completed.load(Ordering::Acquire),
+                    failed: shard.counters.failed.load(Ordering::Acquire),
+                    device_failures: shard.counters.device_failures.load(Ordering::Acquire),
+                    retried: shard.counters.retried.load(Ordering::Acquire),
+                    migrated: shard.counters.migrated.load(Ordering::Acquire),
                     engine: shard.engine.stats(),
                     cached_plans: shard.engine.cached_plans(),
                 })
                 .collect(),
-            router: self.router.as_ref().map(|router| router.stats()),
+            router: self.router_handle().map(|router| router.stats()),
             elapsed: self.started.elapsed(),
         }
     }
@@ -835,21 +1224,23 @@ impl ServingPool {
     }
 
     /// Graceful stop: closing each queue lets its worker finish the backlog
-    /// and exit; joining guarantees no thread outlives the pool.
+    /// and exit; joining guarantees no thread outlives the pool. Safe to
+    /// run concurrently with a retire-drain — whichever side takes a worker
+    /// handle first joins it.
     fn stop_workers(&mut self) {
-        for shard in &mut self.shards {
-            shard.sender = None;
-        }
-        for shard in &mut self.shards {
-            if let Some(worker) = shard.worker.take() {
-                let joined = worker.join();
-                // Re-raising a worker panic while this drop itself runs
-                // during an unwind would double-panic and abort the process;
-                // the original panic is already propagating, so let it.
-                if joined.is_err() && !std::thread::panicking() {
-                    panic!("serving worker panicked");
-                }
+        let workers: Vec<JoinHandle<()>> = {
+            let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+            for shard in &mut inner.shards {
+                shard.sender = None;
             }
+            inner
+                .shards
+                .iter_mut()
+                .filter_map(|shard| shard.worker.take())
+                .collect()
+        };
+        for worker in workers {
+            join_worker(worker);
         }
     }
 }
@@ -860,6 +1251,36 @@ impl Drop for ServingPool {
     }
 }
 
+/// Joins one worker thread, re-raising its panic — unless this join itself
+/// runs during an unwind, where a second panic would abort the process; the
+/// original panic is already propagating, so let it.
+fn join_worker(worker: JoinHandle<()>) {
+    if worker.join().is_err() && !std::thread::panicking() {
+        panic!("serving worker panicked");
+    }
+}
+
+/// The routing function, applied under one read of the pool's `inner` lock.
+///
+/// With a device placement: the fingerprint-local shard of the placed
+/// device's group; if that group is gone (retired between selection and
+/// routing), the first surviving group. Without a placement (single-device
+/// pool): bare `fingerprint % shards`.
+fn route_in(inner: &PoolInner, matrix: &CsrMatrix, selection: Option<&Selection>) -> usize {
+    let fingerprint = matrix.sparsity_fingerprint();
+    if let Some(selection) = selection {
+        let placed = inner
+            .device_groups
+            .get(selection.device.index())
+            .filter(|group| !group.is_empty())
+            .or_else(|| inner.device_groups.iter().find(|group| !group.is_empty()));
+        if let Some(group) = placed {
+            return group[(fingerprint % group.len() as u64) as usize];
+        }
+    }
+    (fingerprint % inner.shards.len().max(1) as u64) as usize
+}
+
 /// One shard's serve loop: drain the queue until every sender is gone.
 ///
 /// The worker owns one [`EngineWorkspace`] for its whole lifetime, so the
@@ -868,40 +1289,94 @@ impl Drop for ServingPool {
 ///
 /// A panic inside [`serve`] is unwind-isolated per request: the worker
 /// records the failure, still counts the request completed (so drain and
-/// shutdown never hang on a poisoned request), and drops the reply sender —
-/// only that request's [`Ticket`] observes [`ServingError::WorkerDied`],
-/// while the worker itself lives on to serve the rest of its queue. The old
-/// behaviour let the panic kill the thread, which silently dropped *every*
-/// queued request behind the poisoned one and crashed each waiting caller.
+/// shutdown never hang on a poisoned request), and resolves the ticket to
+/// [`ServingError::WorkerDied`] — only that request observes the death,
+/// while the worker itself lives on to serve the rest of its queue.
+///
+/// A [`seer_gpu::DeviceFailed`] from the engine — the placement device died
+/// mid-execution — is retried exactly once: the failed device is non-live by
+/// then, so the retry's fresh selection lands on a surviving device. Both
+/// attempts are counted in [`ShardStats::device_failures`]; a request whose
+/// retry also dies resolves to [`ServingError::DeviceFailed`]. A request
+/// served successfully while this worker's pinned `device` is no longer
+/// live (drained backlog after a retire, or a retried placement) counts as
+/// [`ShardStats::migrated`].
 fn worker_loop(
     shard: usize,
+    device: DeviceId,
     engine: &SeerEngine,
     receiver: &mpsc::Receiver<Job>,
-    completed: &AtomicU64,
-    failed: &AtomicU64,
+    counters: &ShardCounters,
     progress: &Progress,
 ) {
     let mut workspace = EngineWorkspace::new();
     for job in receiver.iter() {
-        let response = catch_unwind(AssertUnwindSafe(|| {
-            serve(shard, engine, &job.request, &mut workspace)
-        }));
-        if response.is_err() {
-            failed.fetch_add(1, Ordering::SeqCst);
+        let Job { request, responder } = job;
+        let resolution = match attempt(shard, engine, &request, &mut workspace) {
+            Attempt::Served(response) => Ok(response),
+            Attempt::Panicked => {
+                counters.failed.fetch_add(1, Ordering::SeqCst);
+                Err(ServingError::WorkerDied { shard })
+            }
+            Attempt::DeviceDied(_) => {
+                counters.device_failures.fetch_add(1, Ordering::SeqCst);
+                counters.retried.fetch_add(1, Ordering::SeqCst);
+                // The dead device is no longer live, so the retry's fresh
+                // selection places the work on a surviving device. One
+                // retry, not a loop: a second dead device means the fleet
+                // is flapping faster than selections, and the caller
+                // should see that.
+                match attempt(shard, engine, &request, &mut workspace) {
+                    Attempt::Served(response) => Ok(response),
+                    Attempt::Panicked => {
+                        counters.failed.fetch_add(1, Ordering::SeqCst);
+                        Err(ServingError::WorkerDied { shard })
+                    }
+                    Attempt::DeviceDied(death) => {
+                        counters.device_failures.fetch_add(1, Ordering::SeqCst);
+                        Err(ServingError::DeviceFailed {
+                            device: death.device,
+                        })
+                    }
+                }
+            }
+        };
+        let migrated = resolution.is_ok() && !engine.fleet().is_live(device);
+        // Resolve the ticket before counting the request completed: a
+        // drain woken by this completion must find the outcome in place.
+        responder.resolve(resolution);
+        if migrated {
+            counters.migrated.fetch_add(1, Ordering::SeqCst);
         }
-        completed.fetch_add(1, Ordering::SeqCst);
+        counters.completed.fetch_add(1, Ordering::SeqCst);
         if progress.waiters.load(Ordering::SeqCst) > 0 {
             // Taking the lock before notifying pairs with `drain` holding it
             // across its pending-check, so no wakeup is ever missed.
             let _guard = progress.lock.lock().unwrap_or_else(PoisonError::into_inner);
             progress.served.notify_all();
         }
-        if let Ok(response) = response {
-            // The submitter may have dropped its ticket; that's not an error.
-            let _ = job.reply.send(response);
-        }
-        // On panic `job.reply` drops unsent here, disconnecting exactly one
-        // ticket, which reports the death as a recoverable error.
+    }
+}
+
+/// One unwind-isolated serve attempt.
+enum Attempt {
+    Served(ServingResponse),
+    DeviceDied(seer_gpu::DeviceFailed),
+    Panicked,
+}
+
+fn attempt(
+    shard: usize,
+    engine: &SeerEngine,
+    request: &ServingRequest,
+    workspace: &mut EngineWorkspace,
+) -> Attempt {
+    match catch_unwind(AssertUnwindSafe(|| {
+        serve(shard, engine, request, workspace)
+    })) {
+        Ok(Ok(response)) => Attempt::Served(response),
+        Ok(Err(death)) => Attempt::DeviceDied(death),
+        Err(_) => Attempt::Panicked,
     }
 }
 
@@ -915,9 +1390,9 @@ fn serve(
     engine: &SeerEngine,
     request: &ServingRequest,
     workspace: &mut EngineWorkspace,
-) -> ServingResponse {
+) -> Result<ServingResponse, seer_gpu::DeviceFailed> {
     match &request.workload {
-        Workload::SelectOnly => ServingResponse {
+        Workload::SelectOnly => Ok(ServingResponse {
             selection: engine.select_with_policy(
                 &request.matrix,
                 request.iterations,
@@ -926,23 +1401,41 @@ fn serve(
             result: None,
             total_time: None,
             shard,
-        },
+        }),
         Workload::Execute { x } => {
-            let (selection, total_time) = engine.execute_with_policy_into(
+            let (selection, total_time) = engine.try_execute_with_policy_into(
                 &request.matrix,
                 x,
                 request.iterations,
                 request.policy,
                 workspace,
-            );
-            ServingResponse {
+            )?;
+            Ok(ServingResponse {
                 selection,
                 result: Some(workspace.result().to_vec()),
                 total_time: Some(total_time),
                 shard,
-            }
+            })
         }
         Workload::PanicInjection => panic!("injected worker panic"),
+        Workload::Gate { gate } => {
+            let (lock, opened) = &**gate;
+            let mut open = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            while !*open {
+                open = opened.wait(open).unwrap_or_else(PoisonError::into_inner);
+            }
+            drop(open);
+            Ok(ServingResponse {
+                selection: engine.select_with_policy(
+                    &request.matrix,
+                    request.iterations,
+                    request.policy,
+                ),
+                result: None,
+                total_time: None,
+                shard,
+            })
+        }
     }
 }
 
@@ -1457,5 +1950,221 @@ mod tests {
                 .expect("healthy worker");
         }
         assert_eq!(pool.shutdown().engine().timing_observations, 3);
+    }
+
+    #[test]
+    fn waiting_ticket_wakes_promptly_on_completion() {
+        // wait() parks on the ticket's Condvar and wakes when the worker
+        // side resolves the cell — no polling, no long wake latency.
+        let cell = TicketCell::new();
+        let ticket = Ticket {
+            cell: Arc::clone(&cell),
+            shard: 7,
+            received: None,
+        };
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            cell.resolve(Err(ServingError::WorkerDied { shard: 7 }));
+        });
+        let started = Instant::now();
+        assert_eq!(ticket.wait(), Err(ServingError::WorkerDied { shard: 7 }));
+        let waited = started.elapsed();
+        resolver.join().unwrap();
+        assert!(
+            waited >= Duration::from_millis(20),
+            "wait() must actually block until the outcome lands, waited {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "a resolved ticket must wake promptly, waited {waited:?}"
+        );
+
+        // wait_timeout with a huge timeout also wakes on resolution, not on
+        // the deadline.
+        let cell = TicketCell::new();
+        let mut ticket = Ticket {
+            cell: Arc::clone(&cell),
+            shard: 3,
+            received: None,
+        };
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            cell.resolve(Err(ServingError::WorkerDied { shard: 3 }));
+        });
+        let started = Instant::now();
+        let outcome = ticket.wait_timeout(Duration::from_secs(60));
+        let waited = started.elapsed();
+        resolver.join().unwrap();
+        assert_eq!(outcome, Err(ServingError::WorkerDied { shard: 3 }));
+        assert!(
+            waited < Duration::from_secs(30),
+            "wait_timeout must wake on resolution, not the deadline; waited {waited:?}"
+        );
+
+        // An unresolved ticket times out (and stays valid).
+        let cell = TicketCell::new();
+        let mut ticket = Ticket {
+            cell,
+            shard: 0,
+            received: None,
+        };
+        let started = Instant::now();
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(30)), Ok(None));
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        assert!(!ticket.is_done());
+    }
+
+    #[test]
+    fn serving_errors_display_and_compose() {
+        let worker = ServingError::WorkerDied { shard: 2 };
+        assert_eq!(
+            worker.to_string(),
+            "serving worker for shard 2 dropped the request"
+        );
+        let device = ServingError::DeviceFailed {
+            device: DeviceId::DEFAULT,
+        };
+        assert!(device.to_string().contains("bounded retry"));
+
+        // Both variants compose with `?` into a boxed error, alongside the
+        // fleet's and the plan layer's typed errors.
+        fn fails(
+            error: impl std::error::Error + 'static,
+        ) -> Result<(), Box<dyn std::error::Error>> {
+            Err(error)?;
+            Ok(())
+        }
+        assert!(fails(worker).unwrap_err().to_string().contains("shard 2"));
+        assert!(fails(device).is_err());
+        assert!(fails(seer_gpu::DeviceFailed {
+            device: DeviceId::DEFAULT,
+            status: seer_gpu::DeviceStatus::Failed,
+        })
+        .is_err());
+        assert!(fails(seer_kernels::PlanMismatch::Sparsity).is_err());
+        assert!(fails(MembershipError::AlreadyRetired(DeviceId::DEFAULT)).is_err());
+    }
+
+    #[test]
+    fn failed_device_exhausts_the_bounded_retry_then_heals() {
+        let (pool, _engine, entries) = pool_and_corpus(1);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let x = Arc::new(vec![1.0; matrix.cols()]);
+        let device = DeviceId::DEFAULT;
+        pool.fleet().fail_device(device).unwrap();
+
+        // Execution on the (only, failed) device dies, the one retry dies
+        // too, and the ticket resolves to the typed error — not WorkerDied,
+        // not a hang.
+        let ticket = pool.submit(ServingRequest::execute(
+            Arc::clone(&matrix),
+            Arc::clone(&x),
+            5,
+        ));
+        assert_eq!(ticket.wait(), Err(ServingError::DeviceFailed { device }));
+        // Tickets resolve before the completion counter bumps; drain so the
+        // snapshot below is settled.
+        pool.drain();
+        let stats = pool.stats();
+        assert_eq!(stats.completed(), 1);
+        assert_eq!(stats.failed(), 0, "a dead device is not a worker panic");
+        assert_eq!(stats.device_failures(), 2, "first attempt + one retry");
+        assert_eq!(stats.retried(), 1);
+        assert_eq!(stats.migrations(), 0, "nothing was served elsewhere");
+
+        // Selection-only requests survive a failed device: selection is
+        // advisory and executes nothing.
+        assert!(pool
+            .submit(ServingRequest::select(Arc::clone(&matrix), 5))
+            .wait()
+            .is_ok());
+
+        // Healing restores execute service on the same pool.
+        pool.fleet().heal_device(device).unwrap();
+        let healed = pool
+            .submit(ServingRequest::execute(matrix, x, 5))
+            .wait()
+            .expect("healed device serves again");
+        assert!(healed.result.is_some());
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.device_failures(), 2);
+        assert!(stats.retry_rate() > 0.0 && stats.retry_rate() <= 1.0);
+    }
+
+    #[test]
+    fn drain_on_an_empty_pool_returns_immediately() {
+        let (pool, _engine, _entries) = pool_and_corpus(2);
+        pool.drain();
+        pool.drain();
+        assert_eq!(pool.stats().queue_depth(), 0);
+    }
+
+    #[test]
+    fn double_retire_is_a_typed_error_not_a_panic() {
+        let entries = generate(&CollectionConfig::tiny());
+        let (trained, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        let fleet = seer_gpu::Fleet::reference_heterogeneous();
+        let pool =
+            ServingPool::with_fleet(fleet, trained.models_handle(), PoolConfig::with_shards(1));
+        let victim = pool.fleet().ids().last().unwrap();
+        pool.retire_device(victim).unwrap();
+        assert_eq!(
+            pool.retire_device(victim),
+            Err(MembershipError::AlreadyRetired(victim))
+        );
+        // Requests after the retire still resolve on the survivors.
+        let response = pool
+            .submit(ServingRequest::select(
+                Arc::new(entries[0].matrix.clone()),
+                19,
+            ))
+            .wait()
+            .expect("survivors keep serving");
+        assert_ne!(response.selection.device, victim);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn add_device_expands_a_running_pool() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        assert_eq!(pool.shards(), 2);
+        assert!(pool.stats().router.is_none());
+        let before: Vec<Ticket> = entries
+            .iter()
+            .take(4)
+            .map(|e| pool.submit(ServingRequest::select(Arc::new(e.matrix.clone()), 19)))
+            .collect();
+
+        let joined = pool
+            .add_device(seer_gpu::GpuSpec::mi100())
+            .expect("valid preset spec");
+        assert_eq!(pool.shards(), 4, "two more shards pinned to the joiner");
+        assert!(
+            pool.stats().router.is_some(),
+            "a formerly single-device pool gains a router on join"
+        );
+
+        let after: Vec<Ticket> = entries
+            .iter()
+            .take(4)
+            .map(|e| {
+                pool.submit(ServingRequest::execute(
+                    Arc::new(e.matrix.clone()),
+                    Arc::new(vec![1.0; e.matrix.cols()]),
+                    19,
+                ))
+            })
+            .collect();
+        for ticket in before.into_iter().chain(after) {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed(), 8);
+        assert_eq!(stats.failed(), 0);
+        let lanes = stats.devices();
+        assert_eq!(lanes.len(), 2);
+        assert!(lanes.iter().any(|lane| lane.device == joined));
     }
 }

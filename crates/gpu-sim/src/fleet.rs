@@ -1,8 +1,10 @@
-//! The heterogeneous device fleet: named devices behind stable identifiers.
+//! The heterogeneous device fleet: named devices behind stable identifiers,
+//! with runtime membership.
 //!
 //! The paper's selector answers "which kernel for this matrix *on this
-//! device*"; a serving deployment rarely has just one device. This module
-//! models the hardware side of that question:
+//! device*"; a serving deployment rarely has just one device — and rarely
+//! keeps the same devices for its whole lifetime. This module models the
+//! hardware side of that question:
 //!
 //! * [`DeviceId`] — a stable, copyable identifier of one device in a
 //!   registry (its registration index);
@@ -10,9 +12,24 @@
 //! * [`DeviceRegistry`] — an ordered, validated set of devices built from
 //!   [`GpuSpec`]/[`HostSpec`] presets (every spec is checked by
 //!   [`GpuSpec::validate`] before admission);
-//! * [`Fleet`] — a cheap, cloneable, shareable handle to a registry, the
+//! * [`Fleet`] — a cheap, cloneable, shareable handle to the roster, the
 //!   value engines and serving pools are built over. A fleet of one device
 //!   reproduces the single-device world exactly.
+//!
+//! # Runtime membership
+//!
+//! A fleet's roster is *elastic*: devices can join after construction
+//! ([`Fleet::add_device`]) and leave ([`Fleet::retire_device`]), and a fault
+//! table lets tests and chaos harnesses inject hard deaths
+//! ([`Fleet::fail_device`] / [`Fleet::heal_device`]). Identifiers are
+//! append-only — a retired device's [`DeviceId`] is never reused, so cache
+//! keys and per-device counters indexed by id stay valid forever. Every
+//! membership change bumps a shared [`Fleet::generation`] counter, which is
+//! how cached placements detect that the roster they were ranked against no
+//! longer exists. Execution paths guard themselves with
+//! [`Fleet::ensure_live`], which returns the typed [`DeviceFailed`] error for
+//! failed or retired devices; slowdown (as opposed to death) is injected
+//! separately via [`Fleet::set_true_timing_factor`].
 //!
 //! # Example
 //!
@@ -27,18 +44,25 @@
 //! for device in fleet.ids() {
 //!     println!("{device}: {}", fleet.device(device).name());
 //! }
+//! // Membership is elastic: join a device, lose another.
+//! let joined = fleet.add_device(GpuSpec::consumer_small()).unwrap();
+//! fleet.fail_device(big).unwrap();
+//! assert!(fleet.ensure_live(big).is_err());
+//! assert!(fleet.ensure_live(joined).is_ok());
 //! ```
 
+use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::spec::SpecError;
 use crate::{Gpu, GpuSpec, HostSpec};
 
-/// Identifier of one device inside a [`DeviceRegistry`]: its registration
-/// index. Stable for the lifetime of the registry (devices are never
-/// removed), `Copy`, and cheap to embed in cache keys.
+/// Identifier of one device inside a fleet's roster: its registration
+/// index. Stable for the lifetime of the fleet (devices are retired, never
+/// removed, and identifiers are never reused), `Copy`, and cheap to embed in
+/// cache keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct DeviceId(u16);
 
@@ -89,7 +113,92 @@ impl Device {
     }
 }
 
-/// An ordered, validated set of named devices.
+/// Lifecycle status of one device in a fleet's roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceStatus {
+    /// Registered and serving: placement may choose it, executions run.
+    Live,
+    /// An injected hard fault ([`Fleet::fail_device`]): the device is still
+    /// on the roster but executions on it return [`DeviceFailed`] until it
+    /// is healed. Models a hung driver, a dropped link, a bricked card.
+    Failed,
+    /// Administratively removed ([`Fleet::retire_device`]): permanent. The
+    /// identifier stays valid for cache keys and counters, but the device
+    /// never serves again and cannot be healed.
+    Retired,
+}
+
+impl fmt::Display for DeviceStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeviceStatus::Live => "live",
+            DeviceStatus::Failed => "failed",
+            DeviceStatus::Retired => "retired",
+        })
+    }
+}
+
+/// Typed error returned when an execution (or a placement that insists on a
+/// specific device) hits a device that is not live: either an injected hard
+/// fault or a retirement. The serving layer catches this to retry the
+/// request on a surviving device instead of poisoning the caller's ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceFailed {
+    /// The device the work was bound to.
+    pub device: DeviceId,
+    /// Why it cannot serve: [`DeviceStatus::Failed`] or
+    /// [`DeviceStatus::Retired`] (never `Live`).
+    pub status: DeviceStatus,
+}
+
+impl fmt::Display for DeviceFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.status {
+            DeviceStatus::Retired => write!(f, "{} is retired from the fleet", self.device),
+            _ => write!(f, "{} failed (injected hard fault)", self.device),
+        }
+    }
+}
+
+impl Error for DeviceFailed {}
+
+/// Typed error for invalid membership operations (retiring an unknown or
+/// already-retired device, removing the last live device, healing a retired
+/// one). Returned instead of panicking so chaos harnesses and double-retire
+/// races degrade into errors, not aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MembershipError {
+    /// The identifier does not name a device of this fleet.
+    UnknownDevice(DeviceId),
+    /// The device was already retired; retirement is permanent.
+    AlreadyRetired(DeviceId),
+    /// Retiring this device would leave the fleet with no live device to
+    /// place work on. Fail it instead if you must model total loss.
+    LastLiveDevice(DeviceId),
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembershipError::UnknownDevice(id) => {
+                write!(f, "{id} is not a device of this fleet")
+            }
+            MembershipError::AlreadyRetired(id) => {
+                write!(f, "{id} is already retired; retirement is permanent")
+            }
+            MembershipError::LastLiveDevice(id) => {
+                write!(f, "cannot retire {id}: it is the fleet's last live device")
+            }
+        }
+    }
+}
+
+impl Error for MembershipError {}
+
+/// An ordered, validated set of named devices — the *construction-time* view
+/// of a roster. A finished registry is handed to [`Fleet::from_registry`];
+/// after that, membership changes go through the fleet's runtime API.
 ///
 /// Registration order defines [`DeviceId`]s; the first device is the
 /// registry's *default* device, which single-device code paths (and
@@ -191,41 +300,112 @@ impl DeviceRegistry {
     }
 }
 
-/// A cheap, cloneable handle to a validated [`DeviceRegistry`]: the value a
+/// The mutable roster behind a fleet: devices ever admitted (append-only,
+/// index == [`DeviceId`]), their lifecycle status, and the per-device
+/// true-timing factor slots, all under one lock so a membership snapshot is
+/// always internally consistent.
+#[derive(Debug)]
+struct Roster {
+    devices: Vec<Device>,
+    status: Vec<DeviceStatus>,
+    /// Per-device true-timing factors as `f64` bit patterns.
+    perturbations: Vec<AtomicU64>,
+}
+
+impl Roster {
+    fn admit(&mut self, name: String, gpu: Arc<Gpu>) -> Result<DeviceId, SpecError> {
+        gpu.spec().validate()?;
+        gpu.host().spec().validate()?;
+        if self.devices.len() >= DeviceRegistry::MAX_DEVICES {
+            return Err(SpecError {
+                field: "devices",
+                reason: format!("fleet is full ({} devices)", DeviceRegistry::MAX_DEVICES),
+            });
+        }
+        let id = DeviceId(self.devices.len() as u16);
+        self.devices.push(Device { id, name, gpu });
+        self.status.push(DeviceStatus::Live);
+        self.perturbations.push(AtomicU64::new(1.0f64.to_bits()));
+        Ok(id)
+    }
+
+    fn live_count(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| **s == DeviceStatus::Live)
+            .count()
+    }
+}
+
+/// State shared by every clone of a [`Fleet`].
+#[derive(Debug)]
+struct FleetShared {
+    roster: RwLock<Roster>,
+    /// Membership generation: bumped on every add / retire / fail / heal,
+    /// so cached placements can cheaply detect that the roster changed.
+    generation: AtomicU64,
+}
+
+/// A cheap, cloneable handle to a validated device roster: the value a
 /// fleet-aware engine or serving pool is built over.
 ///
 /// A `Fleet` always holds at least one device; [`Fleet::single`] wraps one
 /// [`Gpu`] and is the bridge from every single-device code path.
 ///
-/// Beyond the static registry, a fleet carries one piece of *mutable* shared
-/// state: per-device **true-timing factors**
-/// ([`Fleet::set_true_timing_factor`]). The analytical model predicts what a
-/// device's spec says it should do; the factor injects what the device
-/// *actually* does (thermal throttling, a degraded link, a mis-specced
+/// All shared state — the roster itself, device lifecycle status, and the
+/// per-device **true-timing factors** ([`Fleet::set_true_timing_factor`]) —
+/// is visible to every clone, so an engine, a serving pool's shards and a
+/// test harness all see one fleet. The analytical model predicts what a
+/// device's spec says it should do; the timing factor injects what the
+/// device *actually* does (thermal throttling, a degraded link, a mis-specced
 /// part), scaling every observed execution total on that device. Factors
-/// default to `1.0` (spec-faithful) and are shared by every clone of the
-/// fleet, so an engine, a serving pool's shards and a test harness all see
-/// one injection. They deliberately do **not** feed the cost models — they
-/// are the ground truth the engine's online recalibration layer has to
-/// discover from observations.
+/// default to `1.0` (spec-faithful). They deliberately do **not** feed the
+/// cost models — they are the ground truth the engine's online recalibration
+/// layer has to discover from observations. Hard death, by contrast, is
+/// injected with [`Fleet::fail_device`] and surfaces as the typed
+/// [`DeviceFailed`] error.
 #[derive(Debug, Clone)]
 pub struct Fleet {
-    registry: Arc<DeviceRegistry>,
-    /// Per-device true-timing factors as `f64` bit patterns, indexed by
-    /// [`DeviceId`]; shared across clones so injections are fleet-wide.
-    perturbations: Arc<Vec<AtomicU64>>,
+    shared: Arc<FleetShared>,
 }
 
-/// One unit factor slot per device, all initialized to `1.0`.
-fn unit_perturbations(devices: usize) -> Arc<Vec<AtomicU64>> {
-    Arc::new(
-        (0..devices)
-            .map(|_| AtomicU64::new(1.0f64.to_bits()))
-            .collect(),
-    )
-}
+/// The runtime-membership view of a [`Fleet`]. `Fleet` is already a cheap
+/// shared handle, so elasticity lives directly on it; this alias names the
+/// capability where call sites want to document that they hold the fleet
+/// *for* membership changes rather than placement.
+pub type FleetHandle = Fleet;
 
 impl Fleet {
+    fn from_devices(devices: Vec<Device>) -> Self {
+        let status = vec![DeviceStatus::Live; devices.len()];
+        let perturbations = devices
+            .iter()
+            .map(|_| AtomicU64::new(1.0f64.to_bits()))
+            .collect();
+        Self {
+            shared: Arc::new(FleetShared {
+                roster: RwLock::new(Roster {
+                    devices,
+                    status,
+                    perturbations,
+                }),
+                generation: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn roster(&self) -> RwLockReadGuard<'_, Roster> {
+        self.shared.roster.read().expect("fleet roster poisoned")
+    }
+
+    fn roster_mut(&self) -> RwLockWriteGuard<'_, Roster> {
+        self.shared.roster.write().expect("fleet roster poisoned")
+    }
+
+    fn bump_generation(&self) {
+        self.shared.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Wraps a finished registry.
     ///
     /// # Errors
@@ -238,11 +418,7 @@ impl Fleet {
                 reason: "a fleet needs at least one device".to_string(),
             });
         }
-        let perturbations = unit_perturbations(registry.len());
-        Ok(Self {
-            registry: Arc::new(registry),
-            perturbations,
-        })
+        Ok(Self::from_devices(registry.devices))
     }
 
     /// A single-device fleet over an existing hardware handle — the exact
@@ -258,10 +434,7 @@ impl Fleet {
         registry
             .register_named(name, gpu)
             .expect("single-device fleet over an invalid spec");
-        Self {
-            registry: Arc::new(registry),
-            perturbations: unit_perturbations(1),
-        }
+        Self::from_devices(registry.devices)
     }
 
     /// A fleet built from specs in order (default host model each).
@@ -298,9 +471,16 @@ impl Fleet {
         Self::of_specs(Self::reference_presets()).expect("built-in presets always validate")
     }
 
-    /// Number of devices in the fleet (always >= 1).
+    /// Number of devices ever admitted to the fleet (always >= 1; retired
+    /// devices still count — identifiers are never reused, so per-device
+    /// tables sized by `len` stay index-safe across retirements).
     pub fn len(&self) -> usize {
-        self.registry.len()
+        self.roster().devices.len()
+    }
+
+    /// Number of live devices (admitted, not failed, not retired).
+    pub fn live_len(&self) -> usize {
+        self.roster().live_count()
     }
 
     /// Always `false`: fleets are non-empty by construction. Provided to
@@ -309,15 +489,13 @@ impl Fleet {
         false
     }
 
-    /// Whether this fleet has exactly one device, i.e. behaves bit-for-bit
-    /// like the pre-fleet single-device engine.
+    /// Whether this fleet has exactly one device and has never grown, i.e.
+    /// behaves bit-for-bit like the pre-fleet single-device engine. (The
+    /// sole device of such a fleet cannot be retired — see
+    /// [`MembershipError::LastLiveDevice`] — so this is stable unless a
+    /// device joins.)
     pub fn is_single_device(&self) -> bool {
-        self.registry.len() == 1
-    }
-
-    /// The underlying registry.
-    pub fn registry(&self) -> &DeviceRegistry {
-        &self.registry
+        self.len() == 1
     }
 
     /// The fleet's default device: the first registered.
@@ -325,21 +503,201 @@ impl Fleet {
         DeviceId::DEFAULT
     }
 
-    /// Device identifiers in registration order.
-    pub fn ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
-        self.registry.devices().iter().map(Device::id)
+    /// Device identifiers in registration order, retired devices included.
+    /// Placement paths should iterate [`Fleet::live_ids`] instead.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> {
+        (0..self.len() as u16).map(DeviceId::new)
     }
 
-    /// The device registered under `id`.
+    /// Identifiers of the live devices, in registration order — the set
+    /// placement is allowed to choose from.
+    pub fn live_ids(&self) -> Vec<DeviceId> {
+        let roster = self.roster();
+        roster
+            .devices
+            .iter()
+            .zip(&roster.status)
+            .filter(|(_, status)| **status == DeviceStatus::Live)
+            .map(|(device, _)| device.id())
+            .collect()
+    }
+
+    /// The membership generation: starts at `0` and is bumped by every
+    /// [`Fleet::add_device`], [`Fleet::retire_device`],
+    /// [`Fleet::fail_device`] and [`Fleet::heal_device`] (idempotent no-ops
+    /// excluded). Cached placements record the generation they were ranked
+    /// under and re-rank when it moves.
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::SeqCst)
+    }
+
+    /// The lifecycle status of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this fleet.
+    pub fn status(&self, id: DeviceId) -> DeviceStatus {
+        *self
+            .roster()
+            .status
+            .get(id.index())
+            .unwrap_or_else(|| panic!("{id} is not a device of this fleet"))
+    }
+
+    /// Whether `id` names a live device of this fleet (`false` for failed,
+    /// retired *and* unknown identifiers — liveness checks never panic).
+    pub fn is_live(&self, id: DeviceId) -> bool {
+        self.roster().status.get(id.index()) == Some(&DeviceStatus::Live)
+    }
+
+    /// Guard used by execution paths: `Ok` for a live device, the typed
+    /// [`DeviceFailed`] error for a failed or retired one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this fleet — unknown identifiers
+    /// are a caller bug, not a runtime condition.
+    pub fn ensure_live(&self, id: DeviceId) -> Result<(), DeviceFailed> {
+        match self.roster().status.get(id.index()) {
+            Some(DeviceStatus::Live) => Ok(()),
+            Some(&status) => Err(DeviceFailed { device: id, status }),
+            None => panic!("{id} is not a device of this fleet"),
+        }
+    }
+
+    /// Admits a new live device built from `spec` (default host model) at
+    /// runtime and returns its fresh identifier. Bumps the membership
+    /// generation; every clone of the fleet sees the join immediately.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs (see [`GpuSpec::validate`]) and full fleets.
+    pub fn add_device(&self, spec: GpuSpec) -> Result<DeviceId, SpecError> {
+        let name = spec.name.clone();
+        self.add_device_named(name, Arc::new(Gpu::new(spec)))
+    }
+
+    /// Admits a new live device from an already-built [`Gpu`] handle under
+    /// an explicit name. Bumps the membership generation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs and full fleets.
+    pub fn add_device_named(
+        &self,
+        name: impl Into<String>,
+        gpu: Arc<Gpu>,
+    ) -> Result<DeviceId, SpecError> {
+        let id = self.roster_mut().admit(name.into(), gpu)?;
+        self.bump_generation();
+        Ok(id)
+    }
+
+    /// Permanently removes `id` from service. The identifier stays valid
+    /// (lookups, counters and cache keys keep working) but the device never
+    /// serves again. Failed devices may be retired — decommissioning a dead
+    /// card is the normal path. Bumps the membership generation.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::UnknownDevice`] for foreign identifiers,
+    /// [`MembershipError::AlreadyRetired`] on double retirement, and
+    /// [`MembershipError::LastLiveDevice`] if retiring `id` would leave no
+    /// live device to place work on.
+    pub fn retire_device(&self, id: DeviceId) -> Result<(), MembershipError> {
+        let mut roster = self.roster_mut();
+        let status = *roster
+            .status
+            .get(id.index())
+            .ok_or(MembershipError::UnknownDevice(id))?;
+        match status {
+            DeviceStatus::Retired => return Err(MembershipError::AlreadyRetired(id)),
+            DeviceStatus::Live if roster.live_count() == 1 => {
+                return Err(MembershipError::LastLiveDevice(id));
+            }
+            _ => {}
+        }
+        roster.status[id.index()] = DeviceStatus::Retired;
+        drop(roster);
+        self.bump_generation();
+        Ok(())
+    }
+
+    /// Injects a hard fault: executions bound to `id` return
+    /// [`DeviceFailed`] until [`Fleet::heal_device`]. Unlike retirement this
+    /// may take down the *last* live device — real failures do not ask
+    /// permission. Idempotent on an already-failed device (no generation
+    /// bump). Bumps the membership generation on a live-to-failed edge.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::UnknownDevice`] for foreign identifiers and
+    /// [`MembershipError::AlreadyRetired`] for retired devices (retirement
+    /// is a stronger state than failure).
+    pub fn fail_device(&self, id: DeviceId) -> Result<(), MembershipError> {
+        let mut roster = self.roster_mut();
+        let status = *roster
+            .status
+            .get(id.index())
+            .ok_or(MembershipError::UnknownDevice(id))?;
+        match status {
+            DeviceStatus::Retired => Err(MembershipError::AlreadyRetired(id)),
+            DeviceStatus::Failed => Ok(()),
+            DeviceStatus::Live => {
+                roster.status[id.index()] = DeviceStatus::Failed;
+                drop(roster);
+                self.bump_generation();
+                Ok(())
+            }
+        }
+    }
+
+    /// Lifts an injected fault: a failed device returns to service.
+    /// Idempotent on a live device (no generation bump). Bumps the
+    /// membership generation on a failed-to-live edge.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::UnknownDevice`] for foreign identifiers and
+    /// [`MembershipError::AlreadyRetired`] for retired devices — retirement
+    /// is permanent.
+    pub fn heal_device(&self, id: DeviceId) -> Result<(), MembershipError> {
+        let mut roster = self.roster_mut();
+        let status = *roster
+            .status
+            .get(id.index())
+            .ok_or(MembershipError::UnknownDevice(id))?;
+        match status {
+            DeviceStatus::Retired => Err(MembershipError::AlreadyRetired(id)),
+            DeviceStatus::Live => Ok(()),
+            DeviceStatus::Failed => {
+                roster.status[id.index()] = DeviceStatus::Live;
+                drop(roster);
+                self.bump_generation();
+                Ok(())
+            }
+        }
+    }
+
+    /// The device registered under `id` (an owned snapshot — the roster can
+    /// change concurrently).
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to this fleet — identifiers are not
-    /// transferable between registries.
-    pub fn device(&self, id: DeviceId) -> &Device {
-        self.registry
-            .get(id)
+    /// transferable between fleets.
+    pub fn device(&self, id: DeviceId) -> Device {
+        self.roster()
+            .devices
+            .get(id.index())
+            .cloned()
             .unwrap_or_else(|| panic!("{id} is not a device of this fleet"))
+    }
+
+    /// All devices ever admitted, in registration (= [`DeviceId`]) order —
+    /// an owned roster snapshot, retired devices included.
+    pub fn devices(&self) -> Vec<Device> {
+        self.roster().devices.clone()
     }
 
     /// The hardware handle of the device registered under `id`.
@@ -347,12 +705,15 @@ impl Fleet {
     /// # Panics
     ///
     /// Panics if `id` does not belong to this fleet.
-    pub fn gpu(&self, id: DeviceId) -> &Arc<Gpu> {
-        self.device(id).gpu()
+    pub fn gpu(&self, id: DeviceId) -> Arc<Gpu> {
+        match self.roster().devices.get(id.index()) {
+            Some(device) => Arc::clone(device.gpu()),
+            None => panic!("{id} is not a device of this fleet"),
+        }
     }
 
     /// The hardware handle of the default device.
-    pub fn default_gpu(&self) -> &Arc<Gpu> {
+    pub fn default_gpu(&self) -> Arc<Gpu> {
         self.gpu(self.default_device())
     }
 
@@ -371,12 +732,15 @@ impl Fleet {
     /// Panics if `device` does not belong to this fleet, or if `factor` is
     /// not finite and strictly positive.
     pub fn set_true_timing_factor(&self, device: DeviceId, factor: f64) {
-        let _ = self.device(device);
         assert!(
             factor.is_finite() && factor > 0.0,
             "true-timing factor must be finite and > 0, got {factor}"
         );
-        self.perturbations[device.index()].store(factor.to_bits(), Ordering::Relaxed);
+        self.roster()
+            .perturbations
+            .get(device.index())
+            .unwrap_or_else(|| panic!("{device} is not a device of this fleet"))
+            .store(factor.to_bits(), Ordering::Relaxed);
     }
 
     /// The current true-timing factor of `device` (`1.0` unless injected).
@@ -385,24 +749,34 @@ impl Fleet {
     ///
     /// Panics if `device` does not belong to this fleet.
     pub fn true_timing_factor(&self, device: DeviceId) -> f64 {
-        let _ = self.device(device);
-        f64::from_bits(self.perturbations[device.index()].load(Ordering::Relaxed))
+        f64::from_bits(
+            self.roster()
+                .perturbations
+                .get(device.index())
+                .unwrap_or_else(|| panic!("{device} is not a device of this fleet"))
+                .load(Ordering::Relaxed),
+        )
     }
 
     /// Resets every device's true-timing factor back to `1.0`
     /// (spec-faithful), e.g. when a modelled perturbation lifts.
     pub fn clear_true_timing_factors(&self) {
-        for slot in self.perturbations.iter() {
+        for slot in self.roster().perturbations.iter() {
             slot.store(1.0f64.to_bits(), Ordering::Relaxed);
         }
     }
 }
 
 impl fmt::Display for Fleet {
-    /// Multi-line fleet roster: one `id: spec-summary` line per device.
+    /// Multi-line fleet roster: one `id: spec-summary` line per device,
+    /// suffixed with the lifecycle status for non-live devices.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for device in self.registry.devices() {
-            writeln!(f, "{}: {}", device.id(), device.gpu().spec())?;
+        let roster = self.roster();
+        for (device, status) in roster.devices.iter().zip(&roster.status) {
+            match status {
+                DeviceStatus::Live => writeln!(f, "{}: {}", device.id(), device.gpu().spec())?,
+                status => writeln!(f, "{}: {} [{status}]", device.id(), device.gpu().spec())?,
+            }
         }
         Ok(())
     }
@@ -462,7 +836,7 @@ mod tests {
         assert!(fleet.is_single_device());
         assert_eq!(fleet.len(), 1);
         assert!(!fleet.is_empty());
-        assert!(Arc::ptr_eq(fleet.default_gpu(), &gpu));
+        assert!(Arc::ptr_eq(&fleet.default_gpu(), &gpu));
         assert_eq!(fleet.default_device(), DeviceId::DEFAULT);
     }
 
@@ -489,7 +863,7 @@ mod tests {
         assert_send_sync::<Fleet>();
         let fleet = Fleet::reference_heterogeneous();
         let clone = fleet.clone();
-        assert!(Arc::ptr_eq(&fleet.registry, &clone.registry));
+        assert!(Arc::ptr_eq(&fleet.shared, &clone.shared));
     }
 
     #[test]
@@ -545,5 +919,169 @@ mod tests {
         assert!(DeviceId::new(0) < DeviceId::new(1));
         assert_eq!(DeviceId::default(), DeviceId::DEFAULT);
         assert_eq!(DeviceId::new(5).index(), 5);
+    }
+
+    #[test]
+    fn static_fleet_generation_stays_zero() {
+        let fleet = Fleet::reference_heterogeneous();
+        assert_eq!(fleet.generation(), 0);
+        assert_eq!(fleet.live_len(), fleet.len());
+        assert_eq!(fleet.live_ids(), fleet.ids().collect::<Vec<_>>());
+        // Timing-factor injection is a perturbation, not a membership
+        // change: the generation must not move.
+        fleet.set_true_timing_factor(DeviceId::new(1), 3.0);
+        assert_eq!(fleet.generation(), 0);
+    }
+
+    #[test]
+    fn add_device_joins_live_and_bumps_generation() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        assert_eq!(fleet.generation(), 0);
+        let clone = fleet.clone();
+        let joined = fleet.add_device(GpuSpec::consumer_small()).unwrap();
+        assert_eq!(joined, DeviceId::new(1));
+        assert_eq!(fleet.generation(), 1);
+        // The join is visible to every clone, and the fleet is no longer
+        // on the single-device bit-identity path.
+        assert_eq!(clone.len(), 2);
+        assert!(!clone.is_single_device());
+        assert!(clone.is_live(joined));
+        assert_eq!(
+            clone.gpu(joined).spec().name,
+            GpuSpec::consumer_small().name
+        );
+        assert_eq!(clone.true_timing_factor(joined), 1.0);
+    }
+
+    #[test]
+    fn add_device_rejects_invalid_specs() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        let invalid = GpuSpec {
+            clock_ghz: f64::NAN,
+            ..GpuSpec::mi100()
+        };
+        assert!(fleet.add_device(invalid).is_err());
+        assert_eq!(fleet.len(), 1);
+        assert_eq!(fleet.generation(), 0, "a rejected join must not bump");
+    }
+
+    #[test]
+    fn retire_device_is_permanent_and_double_retire_errors() {
+        let fleet = Fleet::reference_heterogeneous();
+        let victim = DeviceId::new(2);
+        fleet.retire_device(victim).unwrap();
+        assert_eq!(fleet.status(victim), DeviceStatus::Retired);
+        assert!(!fleet.is_live(victim));
+        assert_eq!(fleet.generation(), 1);
+        assert_eq!(fleet.live_len(), 3);
+        assert!(!fleet.live_ids().contains(&victim));
+        // The identifier stays valid for lookups and timing factors.
+        assert_eq!(fleet.device(victim).id(), victim);
+        fleet.set_true_timing_factor(victim, 2.0);
+        // Double retire is a typed error, not a panic, and does not bump.
+        assert_eq!(
+            fleet.retire_device(victim),
+            Err(MembershipError::AlreadyRetired(victim))
+        );
+        assert_eq!(fleet.generation(), 1);
+        // Retired devices cannot be healed back.
+        assert_eq!(
+            fleet.heal_device(victim),
+            Err(MembershipError::AlreadyRetired(victim))
+        );
+    }
+
+    #[test]
+    fn last_live_device_cannot_be_retired() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        assert_eq!(
+            fleet.retire_device(DeviceId::DEFAULT),
+            Err(MembershipError::LastLiveDevice(DeviceId::DEFAULT))
+        );
+        assert!(fleet.is_live(DeviceId::DEFAULT));
+        // But it *can* fail — real failures do not ask permission.
+        fleet.fail_device(DeviceId::DEFAULT).unwrap();
+        assert_eq!(fleet.live_len(), 0);
+    }
+
+    #[test]
+    fn fail_and_heal_round_trip_with_typed_death() {
+        let fleet = Fleet::reference_heterogeneous();
+        let sick = DeviceId::new(1);
+        assert!(fleet.ensure_live(sick).is_ok());
+        fleet.fail_device(sick).unwrap();
+        assert_eq!(fleet.generation(), 1);
+        let err = fleet.ensure_live(sick).unwrap_err();
+        assert_eq!(err.device, sick);
+        assert_eq!(err.status, DeviceStatus::Failed);
+        assert!(err.to_string().contains("dev1"));
+        // Idempotent re-fail: no generation bump.
+        fleet.fail_device(sick).unwrap();
+        assert_eq!(fleet.generation(), 1);
+        fleet.heal_device(sick).unwrap();
+        assert_eq!(fleet.generation(), 2);
+        assert!(fleet.ensure_live(sick).is_ok());
+        // Idempotent re-heal: no generation bump.
+        fleet.heal_device(sick).unwrap();
+        assert_eq!(fleet.generation(), 2);
+    }
+
+    #[test]
+    fn failed_devices_can_be_retired() {
+        let fleet = Fleet::reference_heterogeneous();
+        let dead = DeviceId::new(3);
+        fleet.fail_device(dead).unwrap();
+        fleet.retire_device(dead).unwrap();
+        let err = fleet.ensure_live(dead).unwrap_err();
+        assert_eq!(err.status, DeviceStatus::Retired);
+        assert!(err.to_string().contains("retired"));
+    }
+
+    #[test]
+    fn membership_ops_reject_unknown_devices() {
+        let fleet = Fleet::single(Arc::new(Gpu::default()));
+        let ghost = DeviceId::new(9);
+        assert_eq!(
+            fleet.retire_device(ghost),
+            Err(MembershipError::UnknownDevice(ghost))
+        );
+        assert_eq!(
+            fleet.fail_device(ghost),
+            Err(MembershipError::UnknownDevice(ghost))
+        );
+        assert_eq!(
+            fleet.heal_device(ghost),
+            Err(MembershipError::UnknownDevice(ghost))
+        );
+        assert!(!fleet.is_live(ghost));
+    }
+
+    #[test]
+    fn errors_display_and_compose() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        let failed = DeviceFailed {
+            device: DeviceId::new(4),
+            status: DeviceStatus::Failed,
+        };
+        assert_error(&failed);
+        assert!(failed.to_string().contains("dev4"));
+        let membership = MembershipError::LastLiveDevice(DeviceId::new(0));
+        assert_error(&membership);
+        assert!(membership.to_string().contains("last live"));
+        assert!(MembershipError::UnknownDevice(DeviceId::new(1))
+            .to_string()
+            .contains("not a device"));
+    }
+
+    #[test]
+    fn non_live_devices_are_annotated_in_the_roster_display() {
+        let fleet = Fleet::reference_heterogeneous();
+        fleet.fail_device(DeviceId::new(1)).unwrap();
+        fleet.retire_device(DeviceId::new(2)).unwrap();
+        let roster = fleet.to_string();
+        assert!(roster.contains("[failed]"));
+        assert!(roster.contains("[retired]"));
+        // Live devices keep the exact pre-elastic line format.
+        assert!(!roster.lines().next().unwrap().contains('['));
     }
 }

@@ -49,7 +49,10 @@ mod memory;
 mod spec;
 mod time;
 
-pub use fleet::{Device, DeviceId, DeviceRegistry, Fleet};
+pub use fleet::{
+    Device, DeviceFailed, DeviceId, DeviceRegistry, DeviceStatus, Fleet, FleetHandle,
+    MembershipError,
+};
 pub use host::HostModel;
 pub use launch::{Boundedness, KernelTiming, LaunchBuilder, LaunchStats};
 pub use memory::{GatherEstimate, MemoryModel};

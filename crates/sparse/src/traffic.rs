@@ -118,6 +118,22 @@ pub struct TrafficConfig {
     /// pre-existing scenario) disables the draw entirely, so older streams
     /// replay bit-identically.
     pub value_update_fraction: f64,
+    /// Probability that a request is annotated [`ChaosEvent::KillDevice`]:
+    /// the harness should hard-fail one serving device before submitting
+    /// it. The traffic stream owns the *timing* of chaos; which device dies
+    /// (and whether a later kill is a no-op because everything is already
+    /// dead) is the harness's policy. Zero (the default everywhere outside
+    /// the chaos scenarios) disables the draw entirely, so pre-chaos
+    /// streams replay bit-identically.
+    pub chaos_kill_fraction: f64,
+    /// Probability of a [`ChaosEvent::HealDevice`] annotation: the harness
+    /// should heal a previously failed device. Zero by default, like
+    /// [`TrafficConfig::chaos_kill_fraction`].
+    pub chaos_heal_fraction: f64,
+    /// Probability of a [`ChaosEvent::JoinDevice`] annotation: the harness
+    /// should join a fresh device to the serving fleet. Zero by default,
+    /// like [`TrafficConfig::chaos_kill_fraction`].
+    pub chaos_join_fraction: f64,
 }
 
 impl TrafficConfig {
@@ -138,6 +154,9 @@ impl TrafficConfig {
                 long_fraction: 0.25,
             },
             value_update_fraction: 0.0,
+            chaos_kill_fraction: 0.0,
+            chaos_heal_fraction: 0.0,
+            chaos_join_fraction: 0.0,
         }
     }
 
@@ -154,6 +173,9 @@ impl TrafficConfig {
             max_burst_len: 1,
             iterations: IterationMix::Fixed(1),
             value_update_fraction: 0.0,
+            chaos_kill_fraction: 0.0,
+            chaos_heal_fraction: 0.0,
+            chaos_join_fraction: 0.0,
         }
     }
 
@@ -187,6 +209,9 @@ impl TrafficConfig {
             max_burst_len: 5,
             iterations: IterationMix::Uniform { lo: 1, hi: 200 },
             value_update_fraction: 0.0,
+            chaos_kill_fraction: 0.0,
+            chaos_heal_fraction: 0.0,
+            chaos_join_fraction: 0.0,
         }
     }
 
@@ -226,8 +251,62 @@ impl TrafficConfig {
                 long_fraction: 0.25,
             },
             value_update_fraction: 0.0,
+            chaos_kill_fraction: 0.0,
+            chaos_heal_fraction: 0.0,
+            chaos_join_fraction: 0.0,
         }
     }
+
+    /// A chaos scenario: the fleet-mixed stream with a sprinkling of
+    /// [`ChaosEvent::KillDevice`] annotations (~1 per 250 requests), so a
+    /// serving device is hard-failed mid-stream while solver traffic is in
+    /// flight. The harness decides which device dies; every other axis of
+    /// the stream is bit-identical to [`TrafficConfig::fleet_mixed`].
+    pub fn device_death_mid_stream(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            chaos_kill_fraction: 0.004,
+            ..Self::fleet_mixed(corpus_size, seed)
+        }
+    }
+
+    /// A chaos scenario: a device that flaps — kill and heal annotations
+    /// drawn independently at ~1% each, so the same device keeps dropping
+    /// out of and rejoining the live set while traffic flows.
+    pub fn flapping_device(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            chaos_kill_fraction: 0.01,
+            chaos_heal_fraction: 0.01,
+            ..Self::fleet_mixed(corpus_size, seed)
+        }
+    }
+
+    /// A chaos scenario: fresh devices join the fleet under load (~1 join
+    /// per 250 requests), exercising router construction and shard-group
+    /// publication while the pool is busy.
+    pub fn join_under_load(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            chaos_join_fraction: 0.004,
+            ..Self::fleet_mixed(corpus_size, seed)
+        }
+    }
+}
+
+/// A membership-chaos annotation on one request: what the serving harness
+/// should do to the fleet *before* submitting it. The stream owns the
+/// timing; the harness owns the policy (which device, what spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChaosEvent {
+    /// No membership change.
+    #[default]
+    None,
+    /// Hard-fail one serving device ([`TrafficConfig::chaos_kill_fraction`]).
+    KillDevice,
+    /// Heal a previously failed device
+    /// ([`TrafficConfig::chaos_heal_fraction`]).
+    HealDevice,
+    /// Join a fresh device to the fleet
+    /// ([`TrafficConfig::chaos_join_fraction`]).
+    JoinDevice,
 }
 
 /// One request of a traffic stream.
@@ -244,6 +323,9 @@ pub struct TrafficRequest {
     /// its sparsity pattern) before serving this request. Always `false`
     /// when [`TrafficConfig::value_update_fraction`] is zero.
     pub value_update: bool,
+    /// Membership chaos to inject before this request. Always
+    /// [`ChaosEvent::None`] when every chaos fraction is zero.
+    pub chaos: ChaosEvent,
 }
 
 /// Deterministic iterator over a [`TrafficConfig`]'s request stream.
@@ -260,6 +342,11 @@ pub struct TrafficGenerator {
     /// Draws deciding value updates, decoupled for the same reason: turning
     /// mutation on or off never perturbs matrix choice or iteration counts.
     mutation_rng: SplitMix64,
+    /// Draws deciding chaos events, decoupled like the others: enabling a
+    /// chaos fraction never perturbs matrix choice, iteration counts or
+    /// value updates, so a chaos stream differs from its calm base only in
+    /// the annotations.
+    chaos_rng: SplitMix64,
     /// Shuffled map from popularity rank to corpus index, so the hot set is
     /// spread across the corpus (and therefore across serving shards) instead
     /// of clustering at the low indices.
@@ -291,6 +378,7 @@ impl TrafficGenerator {
             structure_rng: root.split(0x57),
             iteration_rng: root.split(0x17E),
             mutation_rng: root.split(0x3B),
+            chaos_rng: root.split(0xC4A),
             rank_to_index,
             config: config.clone(),
             burst_left: 0,
@@ -346,11 +434,33 @@ impl Iterator for TrafficGenerator {
         // advanced, so pre-existing configs replay their exact streams.
         let value_update = self.config.value_update_fraction > 0.0
             && self.mutation_rng.next_f64() < self.config.value_update_fraction.clamp(0.0, 1.0);
+        // Chaos draws are guarded the same way, in a fixed kill/heal/join
+        // order on their own stream; the first event to fire wins (at most
+        // one membership change per request keeps harnesses simple).
+        let mut chaos = ChaosEvent::None;
+        if self.config.chaos_kill_fraction > 0.0
+            && self.chaos_rng.next_f64() < self.config.chaos_kill_fraction.clamp(0.0, 1.0)
+        {
+            chaos = ChaosEvent::KillDevice;
+        }
+        if self.config.chaos_heal_fraction > 0.0
+            && self.chaos_rng.next_f64() < self.config.chaos_heal_fraction.clamp(0.0, 1.0)
+            && chaos == ChaosEvent::None
+        {
+            chaos = ChaosEvent::HealDevice;
+        }
+        if self.config.chaos_join_fraction > 0.0
+            && self.chaos_rng.next_f64() < self.config.chaos_join_fraction.clamp(0.0, 1.0)
+            && chaos == ChaosEvent::None
+        {
+            chaos = ChaosEvent::JoinDevice;
+        }
         Some(TrafficRequest {
             matrix_index: self.current,
             iterations: self.config.iterations.sample(&mut self.iteration_rng),
             burst_position: self.burst_position,
             value_update,
+            chaos,
         })
     }
 }
@@ -520,9 +630,75 @@ mod tests {
             TrafficConfig::smoke(32),
             TrafficConfig::fleet_mixed(32, 9),
             TrafficConfig::near_duplicate_families(32, 9),
+            TrafficConfig::mutating_hot_set(32, 9),
+        ] {
+            let requests = take(&config, 2_000);
+            assert!(requests.iter().all(|r| r.chaos == ChaosEvent::None));
+        }
+        for config in [
+            TrafficConfig::skewed(32, 9),
+            TrafficConfig::uniform(32, 9),
+            TrafficConfig::smoke(32),
+            TrafficConfig::fleet_mixed(32, 9),
+            TrafficConfig::near_duplicate_families(32, 9),
         ] {
             assert!(take(&config, 2_000).iter().all(|r| !r.value_update));
         }
+    }
+
+    #[test]
+    fn chaos_scenarios_fire_their_events_and_replay() {
+        let death = TrafficConfig::device_death_mid_stream(32, 0xC405);
+        let requests = take(&death, 4_000);
+        assert_eq!(requests, take(&death, 4_000), "chaos stream must replay");
+        let kills = requests
+            .iter()
+            .filter(|r| r.chaos == ChaosEvent::KillDevice)
+            .count();
+        assert!(kills >= 1, "a mid-stream death must actually occur");
+        assert!(
+            requests
+                .iter()
+                .all(|r| matches!(r.chaos, ChaosEvent::None | ChaosEvent::KillDevice)),
+            "death scenario draws kills only"
+        );
+
+        let flap = TrafficConfig::flapping_device(32, 0xC405);
+        let requests = take(&flap, 4_000);
+        let kills = requests
+            .iter()
+            .filter(|r| r.chaos == ChaosEvent::KillDevice)
+            .count();
+        let heals = requests
+            .iter()
+            .filter(|r| r.chaos == ChaosEvent::HealDevice)
+            .count();
+        assert!(
+            kills > 5 && heals > 5,
+            "flapping needs both: {kills}/{heals}"
+        );
+
+        let join = TrafficConfig::join_under_load(32, 0xC405);
+        let requests = take(&join, 4_000);
+        assert!(
+            requests.iter().any(|r| r.chaos == ChaosEvent::JoinDevice),
+            "a join must occur under load"
+        );
+    }
+
+    #[test]
+    fn chaos_does_not_perturb_matrix_choice_or_iterations() {
+        let calm = TrafficConfig::fleet_mixed(48, 77);
+        let chaotic = TrafficConfig::flapping_device(48, 77);
+        let a = take(&calm, 3_000);
+        let b = take(&chaotic, 3_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix_index, y.matrix_index);
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(x.burst_position, y.burst_position);
+            assert_eq!(x.value_update, y.value_update);
+        }
+        assert!(b.iter().any(|r| r.chaos != ChaosEvent::None));
     }
 
     #[test]

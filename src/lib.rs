@@ -69,7 +69,9 @@ pub use seer_core::{
     DevicePoolStats, EngineStats, ExplorationPolicy, PoolConfig, PoolStats, RecalibrationConfig,
     SeerEngine, ServingError, ServingPool, ServingRequest, ServingResponse, ShardStats,
 };
-pub use seer_gpu::{DeviceId, DeviceRegistry, Fleet};
+pub use seer_gpu::{
+    DeviceFailed, DeviceId, DeviceRegistry, DeviceStatus, Fleet, FleetHandle, MembershipError,
+};
 
 /// Version string of the Seer reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -264,6 +264,22 @@ fn rate_helpers_never_divide_by_zero() {
     assert!(empty.devices().is_empty());
     assert_eq!(empty.engine(), seer::EngineStats::default());
 
+    // The elastic-fleet rates: zero completions must yield 0.0, never NaN,
+    // and the raw counters must read zero on an empty snapshot.
+    assert_eq!(empty.device_failures(), 0);
+    assert_eq!(empty.retried(), 0);
+    assert_eq!(empty.migrations(), 0);
+    assert_eq!(empty.retry_rate(), 0.0);
+    assert!(empty.retry_rate().is_finite());
+    assert_eq!(empty.migration_rate(), 0.0);
+    assert!(empty.migration_rate().is_finite());
+
+    // A device lane that never completed anything rates 0.0 too.
+    let lane = seer::DevicePoolStats::default();
+    assert_eq!(lane.failure_rate(), 0.0);
+    assert!(lane.failure_rate().is_finite());
+    assert_eq!(lane.queue_depth(), 0);
+
     // Engine-side rates on an untouched counter window behave the same.
     let stats = seer::EngineStats::default();
     assert_eq!(stats.plan_hit_rate(), 0.0);
