@@ -21,6 +21,8 @@
 //!     --families --smoke --out BENCH_loadtest_families.json           # family CI
 //! cargo run -p seer_bench --release --bin loadtest_serving -- \
 //!     --chaos --smoke --out BENCH_loadtest_chaos.json                 # chaos CI
+//! cargo run -p seer_bench --release --bin loadtest_serving -- \
+//!     --overload --smoke --out BENCH_loadtest_overload.json           # overload CI
 //! ```
 //!
 //! `--fleet N` builds an `N`-device heterogeneous fleet (MI250-class, MI100,
@@ -47,14 +49,19 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use seer_core::engine::SeerEngine;
-use seer_core::serving::{PoolConfig, ServingPool, ServingRequest};
+use seer_core::serving::{
+    AdmissionConfig, PoolConfig, Priority, ServingError, ServingPool, ServingRequest, ShedPolicy,
+    SubmitOutcome, Ticket,
+};
 use seer_core::training::TrainingConfig;
 use seer_gpu::{Fleet, Gpu};
 use seer_sparse::collection::{generate, CollectionConfig, SizeScale};
-use seer_sparse::traffic::{ChaosEvent, TrafficConfig, TrafficGenerator, TrafficRequest};
+use seer_sparse::traffic::{
+    ChaosEvent, RequestClass, TrafficConfig, TrafficGenerator, TrafficRequest,
+};
 use seer_sparse::{generators, CsrMatrix, Scalar, SplitMix64};
 
 struct Options {
@@ -72,6 +79,13 @@ struct Options {
     /// resolves, zero wrong results, exact retry/migration counters, and
     /// post-death throughput within 2x of a fleet that never had the device.
     chaos: bool,
+    /// Overload lane: calibrate the pool's capacity admission-free, then
+    /// offer the `sustained_overload` scenario at ~4x that rate through an
+    /// admission-controlled pool; asserts zero unresolved tickets, exact
+    /// served/shed/expired/failed balance, bit-identical executed results,
+    /// a bounded interactive-class p99 and shedding that lands on the lower
+    /// classes.
+    overload: bool,
     out: Option<String>,
 }
 
@@ -84,6 +98,7 @@ fn parse_options() -> Options {
         fleet: 0,
         families: false,
         chaos: false,
+        overload: false,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -93,6 +108,7 @@ fn parse_options() -> Options {
             "--assert-speedup" => options.assert_speedup = true,
             "--families" => options.families = true,
             "--chaos" => options.chaos = true,
+            "--overload" => options.overload = true,
             "--shards" => {
                 options.shards = args
                     .next()
@@ -118,7 +134,8 @@ fn parse_options() -> Options {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: loadtest_serving [--smoke] [--shards N] [--requests N] \
-                     [--assert-speedup] [--fleet N] [--families] [--chaos] [--out PATH]"
+                     [--assert-speedup] [--fleet N] [--families] [--chaos] [--overload] \
+                     [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -130,6 +147,10 @@ fn parse_options() -> Options {
     }
     if options.chaos && options.families {
         eprintln!("--chaos and --families are mutually exclusive lanes");
+        std::process::exit(2);
+    }
+    if options.overload && (options.chaos || options.families || options.fleet > 0) {
+        eprintln!("--overload is its own lane (no --chaos/--families/--fleet)");
         std::process::exit(2);
     }
     if options.chaos && !(options.fleet == 0 || (3..=4).contains(&options.fleet)) {
@@ -434,10 +455,348 @@ fn run_chaos(options: &Options) {
     }
 }
 
+/// Maps a traffic-stream service class onto the serving pool's priority.
+fn class_priority(class: RequestClass) -> Priority {
+    match class {
+        RequestClass::Interactive => Priority::Interactive,
+        RequestClass::Batch => Priority::Batch,
+        RequestClass::BestEffort => Priority::BestEffort,
+    }
+}
+
+/// The overload lane: calibrate what the pool can actually serve with
+/// admission control off, then offer the `sustained_overload` stream at ~4x
+/// that rate through a bounded, priority-aware, deadline-aware front door.
+/// The pool must stay fully accounted under pressure: zero unresolved
+/// tickets, an exact `served + shed + expired + failed == offered` balance
+/// mirrored by the pool's own counters, executed results bit-identical to a
+/// sequential reference, a bounded interactive-class p99 and shedding that
+/// lands on the lower classes.
+fn run_overload(options: &Options) {
+    /// Per-shard queue bound of the overload pool: small enough that a 4x
+    /// overload actually sheds instead of queueing the whole stream.
+    const QUEUE_CAPACITY: usize = 32;
+
+    let collection = generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 4,
+        scale: if options.smoke {
+            SizeScale::Tiny
+        } else {
+            SizeScale::Small
+        },
+    });
+    let (trained, _outcome) =
+        SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
+            .expect("training the overload loadtest models");
+    let corpus: Vec<Arc<CsrMatrix>> = collection
+        .iter()
+        .map(|e| Arc::new(e.matrix.clone()))
+        .collect();
+    let inputs: Vec<Arc<Vec<Scalar>>> = corpus
+        .iter()
+        .map(|m| Arc::new(vec![1.0; m.cols()]))
+        .collect();
+    let traffic = TrafficConfig::sustained_overload(corpus.len(), 0x10AD);
+    let stream: Vec<TrafficRequest> = TrafficGenerator::new(&traffic)
+        .take(options.requests)
+        .collect();
+    println!(
+        "overload loadtest: {} requests over {} matrices, {} shards, queue capacity \
+         {QUEUE_CAPACITY}{}",
+        stream.len(),
+        corpus.len(),
+        options.shards,
+        if options.smoke { " (smoke)" } else { "" }
+    );
+
+    // Sequential oracle: the correctness reference for whatever subset the
+    // overloaded pool ends up serving.
+    let reference = SeerEngine::new(trained.gpu_handle(), trained.models_handle());
+    let sequential: Vec<_> = stream
+        .iter()
+        .map(|r| {
+            reference.execute(
+                &corpus[r.matrix_index],
+                &inputs[r.matrix_index],
+                r.iterations,
+            )
+        })
+        .collect();
+
+    let make_request = |r: &TrafficRequest| {
+        let mut request = ServingRequest::execute(
+            Arc::clone(&corpus[r.matrix_index]),
+            Arc::clone(&inputs[r.matrix_index]),
+            r.iterations,
+        )
+        .with_priority(class_priority(r.class));
+        if let Some(deadline_us) = r.deadline_us {
+            request = request.with_timeout(Duration::from_micros(deadline_us));
+        }
+        request
+    };
+
+    // Phase 1: capacity calibration. An admission-free pool serves a prefix
+    // as fast as it can — no deadlines, no classes — and that throughput is
+    // the pool's sustained capacity.
+    let calibration_len = stream.len().min(2_000);
+    let calibration_pool =
+        ServingPool::from_engine(&reference, PoolConfig::with_shards(options.shards));
+    let calibration_start = Instant::now();
+    for ticket in calibration_pool.submit_batch(stream[..calibration_len].iter().map(|r| {
+        ServingRequest::execute(
+            Arc::clone(&corpus[r.matrix_index]),
+            Arc::clone(&inputs[r.matrix_index]),
+            r.iterations,
+        )
+    })) {
+        ticket.wait().expect("calibration ticket resolves");
+    }
+    let capacity_rps = calibration_len as f64 / calibration_start.elapsed().as_secs_f64();
+    calibration_pool.shutdown();
+
+    // Phase 2: a fresh admission-controlled pool offered ~4x that capacity.
+    // The pool-wide in-flight cap sits below the summed queue bounds so both
+    // brakes (per-shard queue, pool-wide cap) can engage.
+    let admission = AdmissionConfig::bounded(QUEUE_CAPACITY)
+        .with_max_in_flight(options.shards * QUEUE_CAPACITY * 3 / 4)
+        .with_shed_policy(ShedPolicy::DropLowestPriority);
+    let pool = ServingPool::from_engine(
+        &reference,
+        PoolConfig::with_shards(options.shards).with_admission(Some(admission)),
+    );
+    let offered_rate = 4.0 * capacity_rps;
+    let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(stream.len());
+    let offered_start = Instant::now();
+    let mut next = 0usize;
+    while next < stream.len() {
+        // Catch-up pacing: submit everything due by now, then nap. The
+        // offered rate tracks the 4x target even with coarse sleeps.
+        let due = (((offered_start.elapsed().as_secs_f64() * offered_rate) as usize).max(next + 1))
+            .min(stream.len());
+        while next < due {
+            tickets.push(match pool.try_submit(make_request(&stream[next])) {
+                SubmitOutcome::Accepted(ticket) => Some(ticket),
+                SubmitOutcome::Shed { .. } => None,
+            });
+            next += 1;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let offered_rps = stream.len() as f64 / offered_start.elapsed().as_secs_f64();
+
+    // Resolve every ticket. `wait_timeout` returning `None` means a ticket
+    // leaked — exactly what the admission controller must never allow.
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    let mut expired = 0u64;
+    let mut failed = 0u64;
+    let mut offered_by_class = [0u64; 3];
+    let mut served_by_class = [0u64; 3];
+    let mut shed_by_class = [0u64; 3];
+    let mut mismatches = 0usize;
+    for (index, slot) in tickets.iter_mut().enumerate() {
+        let lane = class_priority(stream[index].class).lane();
+        offered_by_class[lane] += 1;
+        let Some(ticket) = slot else {
+            shed += 1;
+            shed_by_class[lane] += 1;
+            continue;
+        };
+        match ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(Some(response)) => {
+                served += 1;
+                served_by_class[lane] += 1;
+                let seq = &sequential[index];
+                let ok = response.selection == seq.selection
+                    && response.result.as_deref() == Some(seq.result.as_slice());
+                if !ok {
+                    if mismatches == 0 {
+                        eprintln!(
+                            "MISMATCH at request {index}: sequential {:?} vs pooled {:?}",
+                            seq.selection, response.selection
+                        );
+                    }
+                    mismatches += 1;
+                }
+            }
+            Ok(None) => panic!("request {index} unresolved after 30s — a ticket leaked"),
+            Err(ServingError::DeadlineExceeded { .. }) => expired += 1,
+            Err(ServingError::Shed { .. }) => {
+                shed += 1;
+                shed_by_class[lane] += 1;
+            }
+            Err(other) => {
+                eprintln!("request {index} failed: {other}");
+                failed += 1;
+            }
+        }
+    }
+    let stats = pool.shutdown();
+
+    let shed_rate = |lane: usize| shed_by_class[lane] as f64 / offered_by_class[lane].max(1) as f64;
+    let interactive_p99 = stats.latency.end_to_end(Priority::Interactive).p99();
+    let interactive_wait_p99 = stats.latency.queue_wait(Priority::Interactive).p99();
+    println!(
+        "\ncapacity (calibrated)  {capacity_rps:>10.0} req/s\noffered                {offered_rps:>10.0} req/s ({:.1}x capacity)",
+        offered_rps / capacity_rps
+    );
+    println!(
+        "outcomes: {served} served, {shed} shed, {expired} expired, {failed} failed \
+         of {} offered",
+        stream.len()
+    );
+    println!(
+        "front door: {} queue-full, {} in-flight-cap, {} evicted, {} closed",
+        stats.admission.shed_queue_full,
+        stats.admission.shed_in_flight,
+        stats.admission.evicted,
+        stats.admission.shed_closed,
+    );
+    for priority in Priority::ALL {
+        let lane = priority.lane();
+        println!(
+            "  {priority:<12} offered {:>6}  served {:>6}  shed {:>6} ({:>5.1}%)  \
+             queue-wait p99 {:>9.1?}  e2e p99 {:>9.1?}",
+            offered_by_class[lane],
+            served_by_class[lane],
+            shed_by_class[lane],
+            100.0 * shed_rate(lane),
+            stats.latency.queue_wait(priority).p99(),
+            stats.latency.end_to_end(priority).p99(),
+        );
+    }
+
+    // The overload invariants. Exact balance first: the harness's view and
+    // the pool's own counters must agree term by term.
+    assert_eq!(
+        served + shed + expired + failed,
+        stream.len() as u64,
+        "every offered request resolves exactly once"
+    );
+    assert_eq!(stats.offered(), stream.len() as u64);
+    assert_eq!(stats.served(), served, "served balance");
+    assert_eq!(stats.shed(), shed, "shed balance");
+    assert_eq!(stats.expired(), expired, "expired balance");
+    assert_eq!(stats.failed(), failed, "failed balance");
+    assert_eq!(failed, 0, "overload is not an error path");
+    assert_eq!(stats.admission.in_flight, 0, "no in-flight slot leaked");
+    assert_eq!(stats.queue_depth(), 0);
+    assert_eq!(mismatches, 0, "served results diverged from the oracle");
+    assert!(shed > 0, "a 4x overload must shed");
+    assert!(
+        served > 0,
+        "an admission-controlled pool under overload still serves"
+    );
+    // Interactive latency stays bounded by the queue, not by the backlog:
+    // a served interactive request waited behind at most a queue's worth of
+    // work (generous 8x slack for the service-time mix).
+    let mean_service = Duration::from_secs_f64(options.shards as f64 / capacity_rps);
+    let p99_bound = mean_service * (8 * (QUEUE_CAPACITY as u32 + 2));
+    assert!(
+        interactive_p99 <= p99_bound,
+        "interactive p99 {interactive_p99:?} exceeds the bounded-queue limit {p99_bound:?}"
+    );
+    // Shedding lands on the lower classes: under DropLowestPriority the
+    // interactive slice sheds at a strictly lower rate than best-effort.
+    assert!(
+        shed_rate(0) < shed_rate(2),
+        "interactive shed rate {:.3} must stay below best-effort's {:.3}",
+        shed_rate(0),
+        shed_rate(2)
+    );
+    println!(
+        "overload check: OK ({} requests, 0 unresolved, exact balance, \
+         interactive p99 {interactive_p99:.1?} <= {p99_bound:.1?}, queue-wait p99 {interactive_wait_p99:.1?})",
+        stream.len()
+    );
+
+    if let Some(path) = &options.out {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"loadtest_serving_overload\",");
+        let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+        let _ = writeln!(json, "  \"requests\": {},", stream.len());
+        let _ = writeln!(json, "  \"corpus_matrices\": {},", corpus.len());
+        let _ = writeln!(json, "  \"shards\": {},", options.shards);
+        let _ = writeln!(json, "  \"queue_capacity\": {QUEUE_CAPACITY},");
+        let _ = writeln!(json, "  \"capacity_rps\": {capacity_rps:.0},");
+        let _ = writeln!(json, "  \"offered_rps\": {offered_rps:.0},");
+        let _ = writeln!(json, "  \"served\": {served},");
+        let _ = writeln!(json, "  \"shed\": {shed},");
+        let _ = writeln!(json, "  \"expired\": {expired},");
+        let _ = writeln!(json, "  \"failed\": {failed},");
+        let _ = writeln!(
+            json,
+            "  \"shed_queue_full\": {},",
+            stats.admission.shed_queue_full
+        );
+        let _ = writeln!(
+            json,
+            "  \"shed_in_flight\": {},",
+            stats.admission.shed_in_flight
+        );
+        let _ = writeln!(json, "  \"evicted\": {},", stats.admission.evicted);
+        let _ = writeln!(
+            json,
+            "  \"backpressure_waits\": {},",
+            stats.admission.backpressure_waits
+        );
+        let _ = writeln!(json, "  \"classes\": [");
+        for (index, priority) in Priority::ALL.into_iter().enumerate() {
+            let lane = priority.lane();
+            let _ = writeln!(json, "    {{");
+            let _ = writeln!(json, "      \"class\": \"{priority}\",");
+            let _ = writeln!(json, "      \"offered\": {},", offered_by_class[lane]);
+            let _ = writeln!(json, "      \"served\": {},", served_by_class[lane]);
+            let _ = writeln!(json, "      \"shed\": {},", shed_by_class[lane]);
+            let _ = writeln!(
+                json,
+                "      \"queue_wait_p99_us\": {:.1},",
+                stats.latency.queue_wait(priority).p99().as_secs_f64() * 1e6
+            );
+            let _ = writeln!(
+                json,
+                "      \"end_to_end_p99_us\": {:.1}",
+                stats.latency.end_to_end(priority).p99().as_secs_f64() * 1e6
+            );
+            let _ = writeln!(
+                json,
+                "    }}{}",
+                if index + 1 < Priority::ALL.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(
+            json,
+            "  \"interactive_p99_us\": {:.1},",
+            interactive_p99.as_secs_f64() * 1e6
+        );
+        let _ = writeln!(
+            json,
+            "  \"p99_bound_us\": {:.1},",
+            p99_bound.as_secs_f64() * 1e6
+        );
+        let _ = writeln!(json, "  \"balance_ok\": true,");
+        let _ = writeln!(json, "  \"differential_ok\": true");
+        json.push_str("}\n");
+        std::fs::write(path, &json).expect("writing the overload report");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let options = parse_options();
     if options.chaos {
         run_chaos(&options);
+        return;
+    }
+    if options.overload {
+        run_overload(&options);
         return;
     }
 

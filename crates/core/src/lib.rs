@@ -70,6 +70,7 @@ mod error;
 pub use engine::{EngineStats, ExplorationPolicy, RecalibrationConfig, SeerEngine};
 pub use error::SeerError;
 pub use serving::{
-    DevicePoolStats, PoolConfig, PoolStats, ServingError, ServingPool, ServingRequest,
-    ServingResponse, ShardStats,
+    AdmissionConfig, AdmissionPoolStats, DevicePoolStats, HistogramSnapshot, LatencySnapshot,
+    PoolConfig, PoolStats, Priority, ServingError, ServingPool, ServingRequest, ServingResponse,
+    ShardStats, ShedPolicy, ShedReason, SubmitOutcome,
 };

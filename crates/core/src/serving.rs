@@ -70,6 +70,36 @@
 //! reserved for genuine worker panics. A pool whose membership never
 //! changes behaves bit-identically to one without these hooks.
 //!
+//! # Admission control & overload
+//!
+//! A pool built with [`PoolConfig::with_admission`] grows a guarded front
+//! door for traffic that exceeds capacity. Each shard's queue becomes
+//! **bounded** ([`AdmissionConfig::queue_capacity`]) with three **priority
+//! lanes** ([`Priority::Interactive`] / [`Priority::Batch`] /
+//! [`Priority::BestEffort`]) dequeued strictly in that order, and the pool
+//! enforces an optional pool-wide in-flight cap
+//! ([`AdmissionConfig::max_in_flight`]). [`ServingPool::try_submit`] never
+//! blocks: it returns [`SubmitOutcome::Accepted`] with a ticket or
+//! [`SubmitOutcome::Shed`] with a typed [`ShedReason`].
+//! [`ServingPool::submit`] keeps its classic blocking contract by waiting
+//! for capacity (backpressure; counted in
+//! [`AdmissionPoolStats::backpressure_waits`]), and
+//! [`ServingPool::submit_with_timeout`] bounds that wait. A full queue
+//! sheds by [`ShedPolicy`]: reject the newcomer, or evict the newest
+//! strictly-lower-priority queued request to make room. Requests may carry
+//! a [`ServingRequest::deadline`]; one still queued when it passes is shed
+//! at dequeue — never executed — and resolves its ticket to
+//! [`ServingError::DeadlineExceeded`]. Queue-wait and end-to-end latency
+//! distributions are recorded per priority class in fixed log-scale
+//! histograms ([`PoolStats::latency`], `p50/p99/p999`), and the shed /
+//! expired / backpressure counters ([`PoolStats::admission`]) balance
+//! exactly: every admitted request resolves as served, shed, expired or
+//! failed. A pool built *without* admission control behaves exactly like
+//! the unbounded pool of the previous revision — every admission counter
+//! stays zero and `submit` never sheds (a submit racing
+//! [`ServingPool::begin_shutdown`] or a retire resolves its ticket to the
+//! typed [`ServingError::PoolClosed`] rather than panicking).
+//!
 //! # Example
 //!
 //! ```
@@ -97,9 +127,10 @@
 //! # }
 //! ```
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -131,6 +162,11 @@ pub struct PoolConfig {
     /// traffic reweights placement for the whole pool. `None` (the default)
     /// keeps the pool bit-identical to a sequential engine replay.
     pub recalibration: Option<RecalibrationConfig>,
+    /// Admission control at the pool's front door: bounded per-shard queues,
+    /// an optional pool-wide in-flight cap and a full-queue [`ShedPolicy`].
+    /// `None` (the default) keeps the classic unbounded pool — submits
+    /// never shed and every admission counter stays zero.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl PoolConfig {
@@ -140,6 +176,7 @@ impl PoolConfig {
             shards: shards.max(1),
             structure_class_reuse: false,
             recalibration: None,
+            admission: None,
         }
     }
 
@@ -155,11 +192,206 @@ impl PoolConfig {
         self.recalibration = config;
         self
     }
+
+    /// Returns the config with front-door admission control installed (or
+    /// removed, with `None`).
+    pub fn with_admission(mut self, config: Option<AdmissionConfig>) -> Self {
+        self.admission = config;
+        self
+    }
 }
 
 impl Default for PoolConfig {
     fn default() -> Self {
         Self::with_shards(4)
+    }
+}
+
+/// Priority class of a [`ServingRequest`]. Each shard queue keeps one lane
+/// per class and always dequeues the highest class first, so interactive
+/// work overtakes queued batch work; under
+/// [`ShedPolicy::DropLowestPriority`] pressure sheds the lowest class first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground work: dequeued before every other class
+    /// and shed last. The default, so requests that never mention a class
+    /// keep the pool's classic latency behaviour.
+    #[default]
+    Interactive,
+    /// Throughput work that tolerates queueing behind interactive traffic.
+    Batch,
+    /// Scavenger work: dequeued last and the first class an overloaded pool
+    /// sheds.
+    BestEffort,
+}
+
+impl Priority {
+    /// Every class, in dequeue order (highest priority first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// The class's queue-lane index: lane 0 dequeues first, lane 2 last.
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+            Priority::BestEffort => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Priority::Interactive => write!(f, "interactive"),
+            Priority::Batch => write!(f, "batch"),
+            Priority::BestEffort => write!(f, "best-effort"),
+        }
+    }
+}
+
+/// What a bounded shard queue does with an incoming request when it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Shed the incoming request (classic tail drop). Queued work is never
+    /// disturbed, so every already-issued ticket still resolves in arrival
+    /// order.
+    #[default]
+    RejectNewest,
+    /// Evict the newest queued request of the lowest class *strictly below*
+    /// the newcomer's to make room — the victim's ticket resolves to
+    /// [`ServingError::Shed`] with [`ShedReason::Evicted`]. When nothing
+    /// queued ranks below the newcomer, falls back to rejecting the
+    /// newcomer.
+    DropLowestPriority,
+}
+
+/// Admission control of a [`ServingPool`]'s front door. Installed with
+/// [`PoolConfig::with_admission`]; see the
+/// [module docs](self#admission-control--overload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum queued (admitted, not yet dequeued) requests per shard,
+    /// summed over the three priority lanes. `0` means unbounded — the
+    /// classic queue, with priority lanes and deadlines still honoured.
+    pub queue_capacity: usize,
+    /// Pool-wide cap on in-flight requests (admitted and not yet resolved).
+    /// `0` means uncapped.
+    pub max_in_flight: usize,
+    /// What a full shard queue does with an incoming request.
+    pub shed_policy: ShedPolicy,
+}
+
+impl AdmissionConfig {
+    /// Admission control with per-shard queues bounded at `queue_capacity`,
+    /// no in-flight cap and the default [`ShedPolicy::RejectNewest`].
+    pub fn bounded(queue_capacity: usize) -> Self {
+        Self {
+            queue_capacity,
+            max_in_flight: 0,
+            shed_policy: ShedPolicy::RejectNewest,
+        }
+    }
+
+    /// Returns the config with the pool-wide in-flight cap set (`0` =
+    /// uncapped).
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Returns the config with the full-queue policy set.
+    pub fn with_shed_policy(mut self, shed_policy: ShedPolicy) -> Self {
+        self.shed_policy = shed_policy;
+        self
+    }
+}
+
+impl Default for AdmissionConfig {
+    /// 1024-deep shard queues, no in-flight cap, reject-newest shedding.
+    fn default() -> Self {
+        Self::bounded(1024)
+    }
+}
+
+/// Why the admission controller refused — or revoked — a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShedReason {
+    /// The home shard's bounded queue was full (and, under
+    /// [`ShedPolicy::DropLowestPriority`], nothing queued ranked strictly
+    /// below the newcomer).
+    QueueFull {
+        /// The shard whose queue was full.
+        shard: usize,
+    },
+    /// The pool-wide [`AdmissionConfig::max_in_flight`] cap was reached.
+    InFlightCap,
+    /// A blocking [`ServingPool::submit_with_timeout`] spent its whole
+    /// timeout waiting for capacity.
+    BackpressureTimeout,
+    /// An already-queued request was evicted by a higher-priority arrival
+    /// under [`ShedPolicy::DropLowestPriority`].
+    Evicted {
+        /// The shard whose queue the victim was evicted from.
+        shard: usize,
+    },
+    /// The pool is shutting down ([`ServingPool::begin_shutdown`],
+    /// [`ServingPool::shutdown`] or drop).
+    PoolClosed,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull { shard } => write!(f, "shard {shard}'s bounded queue was full"),
+            Self::InFlightCap => write!(f, "the pool-wide in-flight cap was reached"),
+            Self::BackpressureTimeout => {
+                write!(f, "the submit timed out waiting for pool capacity")
+            }
+            Self::Evicted { shard } => {
+                write!(f, "evicted from shard {shard} by a higher-priority arrival")
+            }
+            Self::PoolClosed => write!(f, "the pool is shutting down"),
+        }
+    }
+}
+
+/// The typed outcome of a non-blocking [`ServingPool::try_submit`] or a
+/// bounded [`ServingPool::submit_with_timeout`].
+#[derive(Debug)]
+#[must_use = "a shed request was never enqueued; inspect the outcome"]
+pub enum SubmitOutcome {
+    /// The request was admitted; the ticket resolves to its response.
+    Accepted(Ticket),
+    /// The request was refused at the front door and will never execute.
+    /// No ticket exists; the refusal is counted in
+    /// [`PoolStats::admission`].
+    Shed {
+        /// Why admission refused the request.
+        reason: ShedReason,
+    },
+}
+
+impl SubmitOutcome {
+    /// Whether the request was admitted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Self::Accepted(_))
+    }
+
+    /// The ticket of an accepted request; `None` if it was shed.
+    pub fn ticket(self) -> Option<Ticket> {
+        match self {
+            Self::Accepted(ticket) => Some(ticket),
+            Self::Shed { .. } => None,
+        }
+    }
+
+    /// The shed reason of a refused request; `None` if it was accepted.
+    pub fn shed_reason(&self) -> Option<ShedReason> {
+        match self {
+            Self::Accepted(_) => None,
+            Self::Shed { reason } => Some(*reason),
+        }
     }
 }
 
@@ -202,6 +434,15 @@ pub struct ServingRequest {
     pub policy: SelectionPolicy,
     /// Whether to stop at the selection or also execute the kernel.
     pub workload: Workload,
+    /// Priority class: which queue lane the request waits in and how eager
+    /// an overloaded pool is to shed it. [`Priority::Interactive`] by
+    /// default.
+    pub priority: Priority,
+    /// Optional deadline. A request still queued when its deadline passes
+    /// is shed at dequeue — never executed — and its ticket resolves to
+    /// [`ServingError::DeadlineExceeded`]. A request already executing is
+    /// never interrupted. `None` (the default) never expires.
+    pub deadline: Option<Instant>,
 }
 
 impl ServingRequest {
@@ -212,6 +453,8 @@ impl ServingRequest {
             iterations,
             policy: SelectionPolicy::Adaptive,
             workload: Workload::SelectOnly,
+            priority: Priority::default(),
+            deadline: None,
         }
     }
 
@@ -222,6 +465,8 @@ impl ServingRequest {
             iterations,
             policy: SelectionPolicy::Adaptive,
             workload: Workload::Execute { x },
+            priority: Priority::default(),
+            deadline: None,
         }
     }
 
@@ -229,6 +474,23 @@ impl ServingRequest {
     pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// The same request in a different [`Priority`] class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The same request with an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The same request with a deadline `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
     }
 }
 
@@ -271,6 +533,25 @@ pub enum ServingError {
         /// The device whose failure exhausted the retry budget.
         device: DeviceId,
     },
+    /// The request was still queued when its [`ServingRequest::deadline`]
+    /// passed: it was shed at dequeue — never executed — and counted in
+    /// [`ShardStats::expired`].
+    DeadlineExceeded {
+        /// The shard whose queue the request expired in.
+        shard: usize,
+    },
+    /// The request was admitted but later shed by the admission controller
+    /// — evicted from its queue by a higher-priority arrival under
+    /// [`ShedPolicy::DropLowestPriority`]. Counted in
+    /// [`ShardStats::shed`].
+    Shed {
+        /// Why the admitted request was shed.
+        reason: ShedReason,
+    },
+    /// The pool began shutting down before the request could be enqueued —
+    /// the typed outcome of a [`ServingPool::submit`] racing
+    /// [`ServingPool::begin_shutdown`] / [`ServingPool::shutdown`].
+    PoolClosed,
 }
 
 impl std::fmt::Display for ServingError {
@@ -285,6 +566,14 @@ impl std::fmt::Display for ServingError {
                     "request failed on {device} and the one bounded retry also failed"
                 )
             }
+            Self::DeadlineExceeded { shard } => {
+                write!(
+                    f,
+                    "request expired in shard {shard}'s queue before it could execute"
+                )
+            }
+            Self::Shed { reason } => write!(f, "request shed after admission: {reason}"),
+            Self::PoolClosed => write!(f, "the serving pool is shutting down"),
         }
     }
 }
@@ -490,6 +779,162 @@ impl Ticket {
     }
 }
 
+/// Number of fixed log-scale buckets in a latency histogram: bucket `i`
+/// counts samples in `[2^i, 2^(i+1))` nanoseconds, which spans 1 ns to
+/// centuries — no recorded duration is ever out of range.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// One latency distribution with lock-free recording: 64 fixed
+/// power-of-two buckets, so `record` is a leading-zeros count plus one
+/// relaxed atomic increment — no allocation, no lock, no sorting on the
+/// serving hot path.
+#[derive(Debug)]
+struct AtomicHistogram {
+    counts: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl AtomicHistogram {
+    fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, duration: Duration) {
+        let nanos = duration.as_nanos().clamp(1, u64::MAX as u128) as u64;
+        let bucket = 63 - nanos.leading_zeros() as usize;
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; LATENCY_BUCKETS] =
+            std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
+        let total = counts.iter().fold(0u64, |n, &c| n.saturating_add(c));
+        HistogramSnapshot { counts, total }
+    }
+}
+
+/// An immutable snapshot of one fixed-bucket log-scale latency histogram:
+/// bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds. Quantiles
+/// interpolate linearly inside the bounding bucket; an empty histogram's
+/// quantiles are all [`Duration::ZERO`] — never `NaN`, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; LATENCY_BUCKETS],
+    total: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: [0; LATENCY_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket sample counts; bucket `i` spans `[2^i, 2^(i+1))` ns.
+    pub fn bucket_counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (clamped into `[0, 1]`) of the recorded samples,
+    /// linearly interpolated inside its log-scale bucket.
+    /// [`Duration::ZERO`] when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // 1-based rank of the sample bounding the quantile.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut below = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if below + count >= target {
+                // The bucket spans [2^bucket, 2^(bucket+1)): interpolate by
+                // the rank's position among the bucket's samples.
+                let lower = (1u128 << bucket) as f64;
+                let fraction = (target - below) as f64 / count as f64;
+                return Duration::from_nanos((lower + lower * fraction) as u64);
+            }
+            below += count;
+        }
+        Duration::ZERO
+    }
+
+    /// Median latency ([`Duration::ZERO`] when empty).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency ([`Duration::ZERO`] when empty).
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency ([`Duration::ZERO`] when empty).
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+}
+
+/// The pool-wide latency recorder: queue-wait and end-to-end distributions,
+/// one atomic histogram per priority class each. Always recorded — the
+/// histograms are pure observability and never influence serving.
+#[derive(Debug)]
+struct LatencyRecorder {
+    queue_wait: [AtomicHistogram; 3],
+    end_to_end: [AtomicHistogram; 3],
+}
+
+impl LatencyRecorder {
+    fn new() -> Self {
+        Self {
+            queue_wait: std::array::from_fn(|_| AtomicHistogram::new()),
+            end_to_end: std::array::from_fn(|_| AtomicHistogram::new()),
+        }
+    }
+
+    fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            queue_wait: std::array::from_fn(|i| self.queue_wait[i].snapshot()),
+            end_to_end: std::array::from_fn(|i| self.end_to_end[i].snapshot()),
+        }
+    }
+}
+
+/// Snapshot of a pool's latency distributions, per priority class, in
+/// [`PoolStats::latency`]. Queue wait is admission → dequeue for every
+/// dequeued request (served, expired or failed); end-to-end is admission →
+/// resolution for served requests only.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    queue_wait: [HistogramSnapshot; 3],
+    end_to_end: [HistogramSnapshot; 3],
+}
+
+impl LatencySnapshot {
+    /// The queue-wait distribution of one priority class.
+    pub fn queue_wait(&self, class: Priority) -> &HistogramSnapshot {
+        &self.queue_wait[class.lane()]
+    }
+
+    /// The end-to-end (admission → resolution) distribution of one
+    /// priority class's served requests.
+    pub fn end_to_end(&self, class: Priority) -> &HistogramSnapshot {
+        &self.end_to_end[class.lane()]
+    }
+}
+
 /// Snapshot of one shard's serving counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardStats {
@@ -500,12 +945,25 @@ pub struct ShardStats {
     pub device: DeviceId,
     /// Requests accepted (routed and enqueued) by this shard.
     pub submitted: u64,
-    /// Requests fully resolved by this shard — served *or* failed. Failed
-    /// requests count as completed so drain/shutdown never hang on them.
+    /// Requests fully resolved by this shard — served, failed, expired or
+    /// evicted. Every resolution counts as completed so drain/shutdown
+    /// never hang on any of them.
     pub completed: u64,
+    /// Requests served successfully (a response, not an error). Together
+    /// with `failed`, `expired` and `shed` these partition `completed`
+    /// exactly.
+    pub served: u64,
     /// Requests dropped by a worker panic mid-serve; each one resolved its
     /// ticket to [`ServingError::WorkerDied`]. Always `<= completed`.
     pub failed: u64,
+    /// Admitted requests whose deadline passed while queued: shed at
+    /// dequeue (never executed), resolved to
+    /// [`ServingError::DeadlineExceeded`].
+    pub expired: u64,
+    /// Admitted requests evicted from this shard's queue by a
+    /// higher-priority arrival under [`ShedPolicy::DropLowestPriority`];
+    /// resolved to [`ServingError::Shed`].
+    pub shed: u64,
     /// Execution attempts on this shard that hit a dead device (a
     /// [`seer_gpu::DeviceFailed`] from the engine). A request that fails,
     /// retries and fails again counts twice.
@@ -541,10 +999,19 @@ pub struct DevicePoolStats {
     pub shards: usize,
     /// Requests routed to the device's shard group.
     pub submitted: u64,
-    /// Requests resolved (served or failed) by the device's shard group.
+    /// Requests resolved (served, failed, expired or evicted) by the
+    /// device's shard group.
     pub completed: u64,
+    /// Requests served successfully across the device's shards.
+    pub served: u64,
     /// Requests dropped by worker panics across the device's shards.
     pub failed: u64,
+    /// Deadline-expired requests shed at dequeue across the device's
+    /// shards.
+    pub expired: u64,
+    /// Queued requests evicted by higher-priority arrivals across the
+    /// device's shards.
+    pub shed: u64,
     /// Dead-device execution attempts across the device's shards.
     pub device_failures: u64,
     /// Requests retried once across the device's shards.
@@ -573,6 +1040,59 @@ impl DevicePoolStats {
     }
 }
 
+/// Front-door counters of a pool snapshot. All zero on a pool built
+/// without [`AdmissionConfig`] (except `shed_closed`, which also counts
+/// submits refused by a shutdown race on an uncontrolled pool).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionPoolStats {
+    /// Whether the pool was built with an [`AdmissionConfig`].
+    pub enabled: bool,
+    /// Requests refused at admission because the home shard's bounded
+    /// queue was full (non-blocking submits).
+    pub shed_queue_full: u64,
+    /// Requests refused at admission by the pool-wide in-flight cap
+    /// (non-blocking submits).
+    pub shed_in_flight: u64,
+    /// Blocking submits that gave up after their backpressure timeout.
+    pub shed_timeout: u64,
+    /// Requests refused because the pool was shutting down.
+    pub shed_closed: u64,
+    /// Admitted requests evicted from a queue by a higher-priority arrival
+    /// — the sum of [`ShardStats::shed`].
+    pub evicted: u64,
+    /// Admitted requests whose deadline passed while queued — the sum of
+    /// [`ShardStats::expired`].
+    pub expired: u64,
+    /// Blocking submits that had to wait for capacity at least once before
+    /// admission (or before timing out).
+    pub backpressure_waits: u64,
+    /// Requests admitted but not yet resolved when the snapshot was taken.
+    pub in_flight: u64,
+}
+
+impl AdmissionPoolStats {
+    /// Everything the front door refused or revoked: unticketed refusals
+    /// (`shed_queue_full + shed_in_flight + shed_timeout + shed_closed`)
+    /// plus post-admission evictions. Deadline expiries are *not* included
+    /// — they are deadline misses, not load shedding.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full
+            .saturating_add(self.shed_in_flight)
+            .saturating_add(self.shed_timeout)
+            .saturating_add(self.shed_closed)
+            .saturating_add(self.evicted)
+    }
+
+    /// The refusals that never produced a ticket — everything in
+    /// `shed_total` except evictions, which had been admitted first.
+    pub fn unticketed(&self) -> u64 {
+        self.shed_queue_full
+            .saturating_add(self.shed_in_flight)
+            .saturating_add(self.shed_timeout)
+            .saturating_add(self.shed_closed)
+    }
+}
+
 /// Aggregate snapshot of a [`ServingPool`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolStats {
@@ -584,6 +1104,10 @@ pub struct PoolStats {
     /// deliberately kept out of the per-shard counters so
     /// `engine().selections()` still equals the requests served.
     pub router: Option<EngineStats>,
+    /// Front-door admission counters; all zero without admission control.
+    pub admission: AdmissionPoolStats,
+    /// Queue-wait and end-to-end latency distributions per priority class.
+    pub latency: LatencySnapshot,
     /// Wall-clock time since the pool was created.
     pub elapsed: Duration,
 }
@@ -600,14 +1124,7 @@ impl PoolStats {
                 None => {
                     lanes.push(DevicePoolStats {
                         device: shard.device,
-                        shards: 0,
-                        submitted: 0,
-                        completed: 0,
-                        failed: 0,
-                        device_failures: 0,
-                        retried: 0,
-                        migrated: 0,
-                        engine: EngineStats::default(),
+                        ..DevicePoolStats::default()
                     });
                     lanes.last_mut().expect("just pushed")
                 }
@@ -615,7 +1132,10 @@ impl PoolStats {
             lane.shards += 1;
             lane.submitted = lane.submitted.saturating_add(shard.submitted);
             lane.completed = lane.completed.saturating_add(shard.completed);
+            lane.served = lane.served.saturating_add(shard.served);
             lane.failed = lane.failed.saturating_add(shard.failed);
+            lane.expired = lane.expired.saturating_add(shard.expired);
+            lane.shed = lane.shed.saturating_add(shard.shed);
             lane.device_failures = lane.device_failures.saturating_add(shard.device_failures);
             lane.retried = lane.retried.saturating_add(shard.retried);
             lane.migrated = lane.migrated.saturating_add(shard.migrated);
@@ -639,11 +1159,53 @@ impl PoolStats {
             .fold(0, |n, s| n.saturating_add(s.completed))
     }
 
+    /// Total requests served successfully across all shards.
+    pub fn served(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.served))
+    }
+
     /// Total requests dropped by worker panics across all shards.
     pub fn failed(&self) -> u64 {
         self.shards
             .iter()
             .fold(0, |n, s| n.saturating_add(s.failed))
+    }
+
+    /// Total admitted requests whose deadline passed while queued.
+    pub fn expired(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(0, |n, s| n.saturating_add(s.expired))
+    }
+
+    /// Everything the front door refused or revoked — see
+    /// [`AdmissionPoolStats::shed_total`].
+    pub fn shed(&self) -> u64 {
+        self.admission.shed_total()
+    }
+
+    /// Blocking submits that waited for capacity at least once.
+    pub fn backpressure_waits(&self) -> u64 {
+        self.admission.backpressure_waits
+    }
+
+    /// Requests ever offered to the front door: admitted plus refused
+    /// before ticketing.
+    pub fn offered(&self) -> u64 {
+        self.submitted().saturating_add(self.admission.unticketed())
+    }
+
+    /// Fraction of offered requests the front door shed, in `[0, 1]`.
+    /// `0.0` when nothing was offered yet — never `NaN`.
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / offered as f64
+        }
     }
 
     /// Total dead-device execution attempts across all shards.
@@ -729,6 +1291,137 @@ impl PoolStats {
 struct Job {
     request: ServingRequest,
     responder: Responder,
+    /// When the job was admitted — the zero point of its queue-wait and
+    /// end-to-end latency samples.
+    admitted: Instant,
+}
+
+/// One shard's queue: three priority lanes behind one mutex, a bound
+/// enforced by the submit side, and two condvars — `available` wakes the
+/// worker on push/close, `space` wakes backpressured submitters on
+/// pop/evict/close. Replaces the old unbounded `mpsc` channel; an
+/// admission-free pool simply never hits the bound, so its behaviour is
+/// unchanged.
+struct ShardQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    space: Condvar,
+}
+
+struct QueueState {
+    /// One FIFO lane per [`Priority`], indexed by [`Priority::lane`]; the
+    /// worker always drains the lowest-index non-empty lane first.
+    lanes: [VecDeque<Job>; 3],
+    /// Closed by shutdown or this shard's device retirement: pushes are
+    /// refused and the worker exits once the lanes are empty.
+    closed: bool,
+    /// Submitters currently parked on `space`; workers skip the notify
+    /// syscall when nobody waits.
+    space_waiters: usize,
+}
+
+impl QueueState {
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl ShardQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(QueueState {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+                space_waiters: 0,
+            }),
+            available: Condvar::new(),
+            space: Condvar::new(),
+        })
+    }
+
+    /// Marks the queue closed and wakes the worker (to drain and exit) and
+    /// every backpressured submitter (to re-route or shed). Idempotent.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Worker-side blocking pop: the highest-priority queued job, or `None`
+    /// once the queue is closed *and* empty (close-then-drain semantics).
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = state.lanes.iter_mut().find_map(|lane| lane.pop_front()) {
+                if state.space_waiters > 0 {
+                    self.space.notify_all();
+                }
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// What one push attempt against a shard queue produced. `Full` and
+/// `Closed` hand the job back so the admission loop can wait, re-route or
+/// shed it without consuming the request.
+enum PushAttempt {
+    Queued,
+    /// The bound was hit and (under [`ShedPolicy::DropLowestPriority`]) a
+    /// strictly-lower-priority victim was evicted to make room; the victim
+    /// is resolved by the caller outside the locks.
+    QueuedEvicting(Job),
+    Full(Job),
+    Closed(Job),
+}
+
+/// The pool-wide front door: the admission config (if any) and the exact
+/// counters behind [`AdmissionPoolStats`]. Present on every pool — an
+/// uncontrolled pool keeps the in-flight gauge and the shutdown-race
+/// counter, and everything else stays zero.
+struct FrontDoor {
+    config: Option<AdmissionConfig>,
+    /// Admitted requests not yet resolved. Maintained on every pool;
+    /// enforced as a cap only when configured.
+    in_flight: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_in_flight: AtomicU64,
+    shed_timeout: AtomicU64,
+    shed_closed: AtomicU64,
+    backpressure_waits: AtomicU64,
+}
+
+impl FrontDoor {
+    fn new(config: Option<AdmissionConfig>) -> Self {
+        Self {
+            config,
+            in_flight: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_in_flight: AtomicU64::new(0),
+            shed_timeout: AtomicU64::new(0),
+            shed_closed: AtomicU64::new(0),
+            backpressure_waits: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-shard queue bound, if one is configured (`0` = unbounded).
+    fn queue_capacity(&self) -> usize {
+        self.config.map_or(0, |c| c.queue_capacity)
+    }
+
+    fn shed_policy(&self) -> ShedPolicy {
+        self.config
+            .map_or(ShedPolicy::RejectNewest, |c| c.shed_policy)
+    }
 }
 
 /// Drain/shutdown coordination: workers notify after a served request, but
@@ -751,8 +1444,16 @@ struct Progress {
 #[derive(Debug, Default)]
 struct ShardCounters {
     completed: AtomicU64,
+    /// Requests served successfully; with `failed`, `expired` and `shed`
+    /// this partitions `completed`.
+    served: AtomicU64,
     /// Requests dropped by a panic inside `serve`; a subset of `completed`.
     failed: AtomicU64,
+    /// Deadline-expired requests shed at dequeue; a subset of `completed`.
+    expired: AtomicU64,
+    /// Queued requests evicted by higher-priority arrivals; a subset of
+    /// `completed`.
+    shed: AtomicU64,
     /// Execution attempts that returned [`seer_gpu::DeviceFailed`].
     device_failures: AtomicU64,
     /// Requests retried once after a dead-device first attempt.
@@ -766,9 +1467,10 @@ struct Shard {
     /// The fleet device this shard is pinned to: device-affinity routing
     /// only sends it requests whose selection placed the workload here.
     device: DeviceId,
-    /// `None` once shutdown (or this shard's device retirement) has begun;
-    /// dropping the sender stops the worker after it drains the queue.
-    sender: Option<mpsc::Sender<Job>>,
+    /// The shard's priority-lane queue. Closed (not dropped) by shutdown or
+    /// this shard's device retirement; the worker drains the backlog and
+    /// exits.
+    queue: Arc<ShardQueue>,
     worker: Option<JoinHandle<()>>,
     submitted: Arc<AtomicU64>,
     counters: Arc<ShardCounters>,
@@ -812,6 +1514,15 @@ pub struct ServingPool {
     /// so this lock is never held across the `inner` lock.
     router: RwLock<Option<Arc<SeerEngine>>>,
     progress: Arc<Progress>,
+    /// The admission config and front-door counters (present even without
+    /// admission control, where only the in-flight gauge and the
+    /// shutdown-race counter ever move).
+    front_door: Arc<FrontDoor>,
+    /// Pool-wide latency histograms, shared with every worker.
+    latency: Arc<LatencyRecorder>,
+    /// Set by [`ServingPool::begin_shutdown`]: the front door refuses new
+    /// work instead of re-routing into queues that are all closing.
+    closing: AtomicBool,
     started: Instant,
 }
 
@@ -862,6 +1573,9 @@ impl ServingPool {
             }),
             router: RwLock::new(None),
             progress,
+            front_door: Arc::new(FrontDoor::new(config.admission)),
+            latency: Arc::new(LatencyRecorder::new()),
+            closing: AtomicBool::new(false),
             started: Instant::now(),
         };
         {
@@ -903,21 +1617,35 @@ impl ServingPool {
     /// Builds one shard pinned to `device` and starts its worker thread.
     fn spawn_shard(&self, index: usize, device: DeviceId) -> Shard {
         let engine = self.build_engine();
-        let (sender, receiver) = mpsc::channel::<Job>();
+        let queue = ShardQueue::new();
         let counters = Arc::new(ShardCounters::default());
         let worker = {
             let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
             let counters = Arc::clone(&counters);
             let progress = Arc::clone(&self.progress);
+            let front_door = Arc::clone(&self.front_door);
+            let latency = Arc::clone(&self.latency);
             std::thread::Builder::new()
                 .name(format!("seer-shard-{index}"))
-                .spawn(move || worker_loop(index, device, &engine, &receiver, &counters, &progress))
+                .spawn(move || {
+                    worker_loop(
+                        index,
+                        device,
+                        &engine,
+                        &queue,
+                        &counters,
+                        &progress,
+                        &front_door,
+                        &latency,
+                    )
+                })
                 .expect("spawn serving worker")
         };
         Shard {
             engine,
             device,
-            sender: Some(sender),
+            queue,
             worker: Some(worker),
             submitted: Arc::new(AtomicU64::new(0)),
             counters,
@@ -1019,7 +1747,7 @@ impl ServingPool {
                 .unwrap_or_default();
             for index in group {
                 let shard = &mut inner.shards[index];
-                shard.sender = None;
+                shard.queue.close();
                 if let Some(worker) = shard.worker.take() {
                     workers.push(worker);
                 }
@@ -1099,6 +1827,17 @@ impl ServingPool {
     /// pool, first contact with a matrix additionally resolves its device
     /// affinity through the shared router engine (cached thereafter).
     ///
+    /// Under admission control ([`PoolConfig::with_admission`]) `submit`
+    /// keeps its infallible signature by *blocking* when the pool is at
+    /// capacity — backpressure, counted in
+    /// [`AdmissionPoolStats::backpressure_waits`] — instead of shedding.
+    /// Use [`ServingPool::try_submit`] for a non-blocking front door or
+    /// [`ServingPool::submit_with_timeout`] to bound the wait. A submit
+    /// racing [`ServingPool::begin_shutdown`]/[`ServingPool::shutdown`]
+    /// returns an already-resolved ticket whose outcome is
+    /// [`ServingError::PoolClosed`] (its [`Ticket::shard`] is
+    /// `usize::MAX`: the request was never routed).
+    ///
     /// # Panics
     ///
     /// Panics if a [`Workload::Execute`] request has `x.len() !=
@@ -1106,6 +1845,48 @@ impl ServingPool {
     /// the submitting thread — exactly where [`SeerEngine::execute`] would
     /// raise it — instead of killing a shard worker.
     pub fn submit(&self, request: ServingRequest) -> Ticket {
+        match self.admit(request, true, None) {
+            SubmitOutcome::Accepted(ticket) => ticket,
+            SubmitOutcome::Shed { reason } => Self::refused_ticket(reason),
+        }
+    }
+
+    /// Non-blocking admission: routes and enqueues the request if the pool
+    /// has capacity, otherwise returns [`SubmitOutcome::Shed`] immediately
+    /// with the typed [`ShedReason`]. On a pool without admission control
+    /// the queues are unbounded, so this only sheds when the pool is
+    /// shutting down.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ServingPool::submit`], panics on a malformed
+    /// [`Workload::Execute`] request.
+    pub fn try_submit(&self, request: ServingRequest) -> SubmitOutcome {
+        self.admit(request, false, None)
+    }
+
+    /// Blocking admission with a bounded backpressure wait: like
+    /// [`ServingPool::submit`], but a request that cannot be admitted
+    /// within `timeout` is shed with [`ShedReason::BackpressureTimeout`]
+    /// instead of waiting forever.
+    ///
+    /// # Panics
+    ///
+    /// Like [`ServingPool::submit`], panics on a malformed
+    /// [`Workload::Execute`] request.
+    pub fn submit_with_timeout(&self, request: ServingRequest, timeout: Duration) -> SubmitOutcome {
+        self.admit(request, true, Some(Instant::now() + timeout))
+    }
+
+    /// The admission path shared by every submit flavour. `block` decides
+    /// whether capacity exhaustion sheds immediately or waits
+    /// (`wait_deadline` bounds the wait; `None` waits forever).
+    fn admit(
+        &self,
+        request: ServingRequest,
+        block: bool,
+        wait_deadline: Option<Instant>,
+    ) -> SubmitOutcome {
         if let Workload::Execute { x } = &request.workload {
             assert_eq!(
                 x.len(),
@@ -1113,39 +1894,255 @@ impl ServingPool {
                 "execute request needs x.len() == matrix.cols()"
             );
         }
-        // Resolve device affinity first (no pool locks held), then route and
-        // send under one read of `inner`, so the group a request routes to
-        // is the group its job lands in even while membership changes.
-        let selection = self.router_handle().map(|router| {
-            router.select_with_policy(&request.matrix, request.iterations, request.policy)
-        });
-        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
-        let shard_index = route_in(&inner, &request.matrix, selection.as_ref());
-        let shard = &inner.shards[shard_index];
-        let cell = TicketCell::new();
-        let responder = Responder {
-            cell: Some(Arc::clone(&cell)),
-            shard: shard_index,
-        };
-        shard.submitted.fetch_add(1, Ordering::SeqCst);
-        let sent = match &shard.sender {
-            Some(sender) => sender.send(Job { request, responder }).is_ok(),
-            // Routing never picks a closed shard under this lock, but a
-            // fleet mutated behind the pool's back could leave one; the
-            // dropped responder resolves the ticket to `WorkerDied`.
-            None => false,
-        };
-        if !sent {
-            // The worker's receiver is gone. Roll the accounting back so
-            // `drain` cannot wait forever on a request nothing will ever
-            // serve; the job's responder (dropped unresolved, here or in
-            // the send error) already resolved the ticket to `WorkerDied`.
-            shard.submitted.fetch_sub(1, Ordering::SeqCst);
+        if self.closing.load(Ordering::SeqCst) {
+            return self.refuse(ShedReason::PoolClosed);
         }
+        let capacity = self.front_door.queue_capacity();
+        let policy = self.front_door.shed_policy();
+        // Tracks whether this admission already counted one backpressure
+        // wait — a submit that waits on both the cap and a queue still
+        // counts once.
+        let mut waited = false;
+
+        // Phase 1: reserve the pool-wide in-flight slot. The gauge is
+        // maintained on every pool; only a configured cap can refuse.
+        let cap = self.front_door.config.map_or(0, |c| c.max_in_flight) as u64;
+        if !self.reserve_in_flight(cap) {
+            if !block {
+                return self.refuse(ShedReason::InFlightCap);
+            }
+            if let Err(reason) = self.wait_for_in_flight(cap, wait_deadline, &mut waited) {
+                return self.refuse(reason);
+            }
+        }
+
+        // Phase 2: route and enqueue, retrying across membership changes.
+        // Holding the `inner` read guard across the push is the no-lost-
+        // ticket guarantee: a group cannot be unpublished between routing
+        // to it and landing in its queue.
+        let cell = TicketCell::new();
+        let mut job = Job {
+            request,
+            responder: Responder {
+                cell: Some(Arc::clone(&cell)),
+                shard: 0,
+            },
+            admitted: Instant::now(),
+        };
+        loop {
+            if self.closing.load(Ordering::SeqCst) {
+                return self.abandon(job, ShedReason::PoolClosed);
+            }
+            // Device affinity first, with no pool locks held.
+            let selection = self.router_handle().map(|router| {
+                router.select_with_policy(
+                    &job.request.matrix,
+                    job.request.iterations,
+                    job.request.policy,
+                )
+            });
+            let (attempt, shard_index, queue, counters) = {
+                let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                let shard_index = route_in(&inner, &job.request.matrix, selection.as_ref());
+                let shard = &inner.shards[shard_index];
+                (
+                    push_job(shard, shard_index, job, capacity, policy),
+                    shard_index,
+                    Arc::clone(&shard.queue),
+                    Arc::clone(&shard.counters),
+                )
+            };
+            match attempt {
+                PushAttempt::Queued => {
+                    return SubmitOutcome::Accepted(Ticket {
+                        cell,
+                        shard: shard_index,
+                        received: None,
+                    });
+                }
+                PushAttempt::QueuedEvicting(victim) => {
+                    // Outside every pool lock: resolving the victim's
+                    // ticket wakes its waiter directly.
+                    self.resolve_eviction(shard_index, &counters, victim);
+                    return SubmitOutcome::Accepted(Ticket {
+                        cell,
+                        shard: shard_index,
+                        received: None,
+                    });
+                }
+                PushAttempt::Full(returned) => {
+                    job = returned;
+                    if !block {
+                        return self.abandon(job, ShedReason::QueueFull { shard: shard_index });
+                    }
+                    self.note_backpressure(&mut waited);
+                    if !wait_for_space(&queue, capacity, wait_deadline) {
+                        return self.abandon(job, ShedReason::BackpressureTimeout);
+                    }
+                    // Space freed (or the queue closed): re-route and retry.
+                }
+                PushAttempt::Closed(returned) => {
+                    // A closed queue under the read lock means membership
+                    // moved on (or shutdown started) — the next routing
+                    // pass lands on survivors or exits through the closing
+                    // check above.
+                    job = returned;
+                }
+            }
+        }
+    }
+
+    /// Tries to take one in-flight slot; with `cap == 0` the gauge just
+    /// increments and admission always succeeds.
+    fn reserve_in_flight(&self, cap: u64) -> bool {
+        if cap == 0 {
+            self.front_door.in_flight.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        self.front_door
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Parks on the progress condvar until a completion frees an in-flight
+    /// slot (and takes it), the deadline passes, or shutdown begins. The
+    /// waiter registers itself *before* re-checking the cap — the same
+    /// ordering argument as [`Progress`] — so a completion can never slip
+    /// between the check and the sleep.
+    fn wait_for_in_flight(
+        &self,
+        cap: u64,
+        wait_deadline: Option<Instant>,
+        waited: &mut bool,
+    ) -> Result<(), ShedReason> {
+        self.note_backpressure(waited);
+        self.progress.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self
+            .progress
+            .lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let outcome = loop {
+            if self.closing.load(Ordering::SeqCst) {
+                break Err(ShedReason::PoolClosed);
+            }
+            if self.reserve_in_flight(cap) {
+                break Ok(());
+            }
+            match wait_deadline {
+                None => {
+                    guard = self
+                        .progress
+                        .served
+                        .wait(guard)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break Err(ShedReason::BackpressureTimeout);
+                    }
+                    (guard, _) = self
+                        .progress
+                        .served
+                        .wait_timeout(guard, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        };
+        drop(guard);
+        self.progress.waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    /// Counts one front-door refusal and returns the shed outcome.
+    fn refuse(&self, reason: ShedReason) -> SubmitOutcome {
+        let counter = match reason {
+            ShedReason::QueueFull { .. } => &self.front_door.shed_queue_full,
+            ShedReason::InFlightCap => &self.front_door.shed_in_flight,
+            ShedReason::BackpressureTimeout => &self.front_door.shed_timeout,
+            ShedReason::PoolClosed => &self.front_door.shed_closed,
+            ShedReason::Evicted { .. } => {
+                unreachable!("evictions revoke admitted requests, they are not refusals")
+            }
+        };
+        counter.fetch_add(1, Ordering::SeqCst);
+        SubmitOutcome::Shed { reason }
+    }
+
+    /// Sheds a job that had already reserved its in-flight slot but never
+    /// reached a queue: releases the slot, defuses the responder (the
+    /// ticket was never handed out, so nothing must resolve it to
+    /// `WorkerDied`) and counts the refusal.
+    fn abandon(&self, mut job: Job, reason: ShedReason) -> SubmitOutcome {
+        job.responder.cell.take();
+        drop(job);
+        self.front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.refuse(reason)
+    }
+
+    /// Resolves an evicted job's ticket and settles its accounting: the
+    /// victim was admitted (it counted as submitted), so the eviction
+    /// counts it completed + shed on its shard and frees its in-flight
+    /// slot.
+    fn resolve_eviction(&self, shard_index: usize, counters: &ShardCounters, victim: Job) {
+        let Job { responder, .. } = victim;
+        responder.resolve(Err(ServingError::Shed {
+            reason: ShedReason::Evicted { shard: shard_index },
+        }));
+        counters.shed.fetch_add(1, Ordering::SeqCst);
+        counters.completed.fetch_add(1, Ordering::SeqCst);
+        self.front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if self.progress.waiters.load(Ordering::SeqCst) > 0 {
+            let _guard = self
+                .progress
+                .lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.progress.served.notify_all();
+        }
+    }
+
+    /// Counts the first backpressure wait of one admission.
+    fn note_backpressure(&self, waited: &mut bool) {
+        if !*waited {
+            *waited = true;
+            self.front_door
+                .backpressure_waits
+                .fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// A pre-resolved ticket for a refused blocking submit, keeping
+    /// `submit`'s infallible signature: the shed reason arrives through the
+    /// ticket's error instead. Never routed, so its shard is `usize::MAX`.
+    fn refused_ticket(reason: ShedReason) -> Ticket {
+        let error = match reason {
+            ShedReason::PoolClosed => ServingError::PoolClosed,
+            other => ServingError::Shed { reason: other },
+        };
+        let cell = TicketCell::new();
+        cell.resolve(Err(error));
         Ticket {
             cell,
-            shard: shard_index,
+            shard: usize::MAX,
             received: None,
+        }
+    }
+
+    /// Closes the front door and every shard queue without consuming the
+    /// pool: new submits shed with [`ShedReason::PoolClosed`] / resolve to
+    /// [`ServingError::PoolClosed`], already-admitted requests still drain,
+    /// and workers exit after their backlog. Idempotent;
+    /// [`ServingPool::shutdown`] calls it first.
+    pub fn begin_shutdown(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        for shard in &inner.shards {
+            shard.queue.close();
         }
     }
 
@@ -1203,7 +2200,10 @@ impl ServingPool {
                     device: shard.device,
                     submitted: shard.submitted.load(Ordering::Acquire),
                     completed: shard.counters.completed.load(Ordering::Acquire),
+                    served: shard.counters.served.load(Ordering::Acquire),
                     failed: shard.counters.failed.load(Ordering::Acquire),
+                    expired: shard.counters.expired.load(Ordering::Acquire),
+                    shed: shard.counters.shed.load(Ordering::Acquire),
                     device_failures: shard.counters.device_failures.load(Ordering::Acquire),
                     retried: shard.counters.retried.load(Ordering::Acquire),
                     migrated: shard.counters.migrated.load(Ordering::Acquire),
@@ -1212,7 +2212,30 @@ impl ServingPool {
                 })
                 .collect(),
             router: self.router_handle().map(|router| router.stats()),
+            admission: self.admission_stats(&inner),
+            latency: self.latency.snapshot(),
             elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// The front-door counter snapshot: pool-level refusal counters plus
+    /// the per-shard eviction/expiry sums.
+    fn admission_stats(&self, inner: &PoolInner) -> AdmissionPoolStats {
+        let door = &self.front_door;
+        AdmissionPoolStats {
+            enabled: door.config.is_some(),
+            shed_queue_full: door.shed_queue_full.load(Ordering::SeqCst),
+            shed_in_flight: door.shed_in_flight.load(Ordering::SeqCst),
+            shed_timeout: door.shed_timeout.load(Ordering::SeqCst),
+            shed_closed: door.shed_closed.load(Ordering::SeqCst),
+            evicted: inner.shards.iter().fold(0u64, |n, s| {
+                n.saturating_add(s.counters.shed.load(Ordering::SeqCst))
+            }),
+            expired: inner.shards.iter().fold(0u64, |n, s| {
+                n.saturating_add(s.counters.expired.load(Ordering::SeqCst))
+            }),
+            backpressure_waits: door.backpressure_waits.load(Ordering::SeqCst),
+            in_flight: door.in_flight.load(Ordering::SeqCst),
         }
     }
 
@@ -1228,10 +2251,11 @@ impl ServingPool {
     /// run concurrently with a retire-drain — whichever side takes a worker
     /// handle first joins it.
     fn stop_workers(&mut self) {
+        self.closing.store(true, Ordering::SeqCst);
         let workers: Vec<JoinHandle<()>> = {
             let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
             for shard in &mut inner.shards {
-                shard.sender = None;
+                shard.queue.close();
             }
             inner
                 .shards
@@ -1281,6 +2305,101 @@ fn route_in(inner: &PoolInner, matrix: &CsrMatrix, selection: Option<&Selection>
     (fingerprint % inner.shards.len().max(1) as u64) as usize
 }
 
+/// One push attempt against a shard's queue, under the caller's `inner`
+/// read guard. Refreshes the job's admission timestamp so queue-wait
+/// samples measure time *in the queue*, not time spent backpressured
+/// before it. Returns the job on a full or closed queue so the admission
+/// loop can wait, re-route or shed it.
+fn push_job(
+    shard: &Shard,
+    shard_index: usize,
+    mut job: Job,
+    capacity: usize,
+    policy: ShedPolicy,
+) -> PushAttempt {
+    job.responder.shard = shard_index;
+    let mut state = shard
+        .queue
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if state.closed {
+        drop(state);
+        return PushAttempt::Closed(job);
+    }
+    if capacity > 0 && state.len() >= capacity {
+        let incoming = job.request.priority.lane();
+        // Drop-lowest-priority: evict the *newest* job of the lowest class
+        // strictly below the newcomer — the request that has waited least
+        // in the most sheddable lane.
+        let victim = match policy {
+            ShedPolicy::DropLowestPriority => state
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .rev()
+                .find(|(lane, queue)| *lane > incoming && !queue.is_empty())
+                .and_then(|(_, queue)| queue.pop_back()),
+            ShedPolicy::RejectNewest => None,
+        };
+        let Some(victim) = victim else {
+            drop(state);
+            return PushAttempt::Full(job);
+        };
+        job.admitted = Instant::now();
+        state.lanes[incoming].push_back(job);
+        drop(state);
+        shard.submitted.fetch_add(1, Ordering::SeqCst);
+        shard.queue.available.notify_one();
+        return PushAttempt::QueuedEvicting(victim);
+    }
+    job.admitted = Instant::now();
+    let lane = job.request.priority.lane();
+    state.lanes[lane].push_back(job);
+    drop(state);
+    shard.submitted.fetch_add(1, Ordering::SeqCst);
+    shard.queue.available.notify_one();
+    PushAttempt::Queued
+}
+
+/// Parks a backpressured submitter until the queue has room, closes, or
+/// the deadline passes. Returns `false` only on timeout; `true` means
+/// "retry the admission loop" (room freed *or* the queue closed — the
+/// loop re-routes either way). Standard condvar discipline: the condition
+/// is re-checked under the queue mutex, so no wake is ever missed.
+fn wait_for_space(queue: &ShardQueue, capacity: usize, wait_deadline: Option<Instant>) -> bool {
+    let mut state = queue.state.lock().unwrap_or_else(PoisonError::into_inner);
+    state.space_waiters += 1;
+    let mut timed_out = false;
+    loop {
+        if state.closed || state.len() < capacity {
+            break;
+        }
+        match wait_deadline {
+            None => {
+                state = queue
+                    .space
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            Some(deadline) => {
+                let now = Instant::now();
+                if now >= deadline {
+                    timed_out = true;
+                    break;
+                }
+                (state, _) = queue
+                    .space
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+    state.space_waiters -= 1;
+    drop(state);
+    !timed_out
+}
+
 /// One shard's serve loop: drain the queue until every sender is gone.
 ///
 /// The worker owns one [`EngineWorkspace`] for its whole lifetime, so the
@@ -1301,17 +2420,38 @@ fn route_in(inner: &PoolInner, matrix: &CsrMatrix, selection: Option<&Selection>
 /// served successfully while this worker's pinned `device` is no longer
 /// live (drained backlog after a retire, or a retried placement) counts as
 /// [`ShardStats::migrated`].
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     shard: usize,
     device: DeviceId,
     engine: &SeerEngine,
-    receiver: &mpsc::Receiver<Job>,
+    queue: &ShardQueue,
     counters: &ShardCounters,
     progress: &Progress,
+    front_door: &FrontDoor,
+    latency: &LatencyRecorder,
 ) {
     let mut workspace = EngineWorkspace::new();
-    for job in receiver.iter() {
-        let Job { request, responder } = job;
+    while let Some(job) = queue.pop() {
+        let Job {
+            request,
+            responder,
+            admitted,
+        } = job;
+        let lane = request.priority.lane();
+        latency.queue_wait[lane].record(admitted.elapsed());
+        // Deadline shed at dequeue: expired work is never executed, so an
+        // overloaded pool stops wasting capacity on answers nobody is
+        // still waiting for.
+        if request
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            responder.resolve(Err(ServingError::DeadlineExceeded { shard }));
+            counters.expired.fetch_add(1, Ordering::SeqCst);
+            finish_job(counters, progress, front_door);
+            continue;
+        }
         let resolution = match attempt(shard, engine, &request, &mut workspace) {
             Attempt::Served(response) => Ok(response),
             Attempt::Panicked => {
@@ -1342,19 +2482,34 @@ fn worker_loop(
             }
         };
         let migrated = resolution.is_ok() && !engine.fleet().is_live(device);
+        let served = resolution.is_ok();
         // Resolve the ticket before counting the request completed: a
         // drain woken by this completion must find the outcome in place.
         responder.resolve(resolution);
+        if served {
+            counters.served.fetch_add(1, Ordering::SeqCst);
+            latency.end_to_end[lane].record(admitted.elapsed());
+        }
         if migrated {
             counters.migrated.fetch_add(1, Ordering::SeqCst);
         }
-        counters.completed.fetch_add(1, Ordering::SeqCst);
-        if progress.waiters.load(Ordering::SeqCst) > 0 {
-            // Taking the lock before notifying pairs with `drain` holding it
-            // across its pending-check, so no wakeup is ever missed.
-            let _guard = progress.lock.lock().unwrap_or_else(PoisonError::into_inner);
-            progress.served.notify_all();
-        }
+        finish_job(counters, progress, front_door);
+    }
+}
+
+/// The completion tail shared by every dequeued job (served, failed or
+/// expired): count it completed, release its in-flight slot, and wake any
+/// parked drain or backpressured submitter. The ticket is already resolved
+/// by this point, so a woken waiter finds the outcome in place.
+fn finish_job(counters: &ShardCounters, progress: &Progress, front_door: &FrontDoor) {
+    counters.completed.fetch_add(1, Ordering::SeqCst);
+    front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
+    if progress.waiters.load(Ordering::SeqCst) > 0 {
+        // Taking the lock before notifying pairs with `drain` (and the
+        // in-flight backpressure wait) holding it across their checks, so
+        // no wakeup is ever missed.
+        let _guard = progress.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        progress.served.notify_all();
     }
 }
 
@@ -1842,6 +2997,8 @@ mod tests {
             iterations: 1,
             policy: SelectionPolicy::Adaptive,
             workload: Workload::PanicInjection,
+            priority: Priority::default(),
+            deadline: None,
         }
     }
 
@@ -2166,5 +3323,429 @@ mod tests {
         let lanes = stats.devices();
         assert_eq!(lanes.len(), 2);
         assert!(lanes.iter().any(|lane| lane.device == joined));
+    }
+
+    /// A closed gate whose job pins the single worker, so tests can stage
+    /// deterministic queue contents behind it.
+    fn gate_request(matrix: Arc<CsrMatrix>) -> (ServingRequest, Arc<(Mutex<bool>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let request = ServingRequest {
+            matrix,
+            iterations: 1,
+            policy: SelectionPolicy::Adaptive,
+            workload: Workload::Gate {
+                gate: Arc::clone(&gate),
+            },
+            priority: Priority::default(),
+            deadline: None,
+        };
+        (request, gate)
+    }
+
+    fn open(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, opened) = &**gate;
+        *lock.lock().unwrap() = true;
+        opened.notify_all();
+    }
+
+    /// Waits until the pool's workers have dequeued `count` jobs of the
+    /// given class — queue-wait samples are recorded at dequeue, so the
+    /// histogram doubles as a deterministic "worker picked it up" signal.
+    fn wait_for_dequeues(pool: &ServingPool, priority: Priority, count: u64) {
+        for _ in 0..2000 {
+            if pool.stats().latency.queue_wait(priority).count() >= count {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("workers never dequeued {count} {priority} jobs");
+    }
+
+    fn admission_pool(admission: AdmissionConfig) -> (ServingPool, Vec<Arc<CsrMatrix>>) {
+        let entries = generate(&CollectionConfig::tiny());
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        let corpus = entries.iter().map(|e| Arc::new(e.matrix.clone())).collect();
+        let pool = ServingPool::from_engine(
+            &engine,
+            PoolConfig::with_shards(1).with_admission(Some(admission)),
+        );
+        (pool, corpus)
+    }
+
+    #[test]
+    fn interactive_requests_overtake_queued_batch_work() {
+        // Priority lanes exist even without a bound. Pin the worker on a
+        // gate, queue a best-effort job behind a *second* gate, then an
+        // interactive request: the interactive one must be dequeued first
+        // — it resolves while the best-effort gate is still closed.
+        let (pool, _engine, entries) = pool_and_corpus(1);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        let (slow_request, slow_gate) = gate_request(Arc::clone(&matrix));
+        let best_effort = pool.submit(slow_request.with_priority(Priority::BestEffort));
+        let interactive = pool.submit(
+            ServingRequest::select(Arc::clone(&matrix), 19).with_priority(Priority::Interactive),
+        );
+        open(&pin);
+        let mut interactive = interactive;
+        let response = interactive
+            .wait_timeout(Duration::from_secs(30))
+            .expect("healthy worker")
+            .expect("the interactive request must overtake the queued best-effort job")
+            .clone();
+        assert_eq!(response.shard, 0);
+        assert!(
+            !best_effort.is_done(),
+            "the best-effort job is still gated behind the served interactive one"
+        );
+        open(&slow_gate);
+        assert!(best_effort.wait().is_ok());
+        assert!(pinned.wait().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.served(), 3);
+        // Both distributions saw the classes that went through them.
+        assert_eq!(stats.latency.queue_wait(Priority::Interactive).count(), 2);
+        assert_eq!(stats.latency.queue_wait(Priority::BestEffort).count(), 1);
+        assert_eq!(stats.latency.end_to_end(Priority::BestEffort).count(), 1);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dequeue_and_never_executed() {
+        let (pool, _engine, entries) = pool_and_corpus(1);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        let selections_before = pool.stats().engine().selections();
+        let doomed = pool.submit(
+            ServingRequest::select(Arc::clone(&matrix), 19).with_timeout(Duration::from_millis(1)),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        open(&pin);
+        let shard = doomed.shard();
+        assert_eq!(doomed.wait(), Err(ServingError::DeadlineExceeded { shard }));
+        assert!(pinned.wait().is_ok());
+        pool.drain();
+        let stats = pool.shutdown();
+        assert_eq!(stats.expired(), 1);
+        assert_eq!(stats.admission.expired, 1);
+        assert_eq!(stats.shards[shard].expired, 1);
+        // Expired work never executed: only the gate request selected.
+        assert_eq!(stats.engine().selections(), selections_before + 1);
+        // Balance: served + expired partition completed exactly.
+        assert_eq!(stats.completed(), 2);
+        assert_eq!(stats.served(), 1);
+        assert_eq!(stats.failed(), 0);
+        // Expiry is a deadline miss, not load shedding.
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.admission.in_flight, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_newest_with_a_typed_reason() {
+        let (pool, corpus) = admission_pool(AdmissionConfig::bounded(1));
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        // The worker holds the gate job; capacity 1 admits exactly one more.
+        let queued = pool.try_submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        assert!(queued.is_accepted());
+        let shed = pool.try_submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        assert_eq!(shed.shed_reason(), Some(ShedReason::QueueFull { shard: 0 }));
+        assert!(!shed.is_accepted());
+        open(&pin);
+        assert!(pinned.wait().is_ok());
+        assert!(queued.ticket().expect("accepted").wait().is_ok());
+        let stats = pool.shutdown();
+        assert!(stats.admission.enabled);
+        assert_eq!(stats.admission.shed_queue_full, 1);
+        assert_eq!(stats.admission.unticketed(), 1);
+        assert_eq!(stats.shed(), 1);
+        // The shed request never became a ticket: offered = admitted + shed.
+        assert_eq!(stats.submitted(), 2);
+        assert_eq!(stats.offered(), 3);
+        assert!((stats.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(stats.completed(), 2);
+        assert_eq!(stats.served(), 2);
+    }
+
+    #[test]
+    fn drop_lowest_priority_evicts_the_newest_lower_class_victim() {
+        let (pool, corpus) = admission_pool(
+            AdmissionConfig::bounded(1).with_shed_policy(ShedPolicy::DropLowestPriority),
+        );
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        let victim = pool
+            .try_submit(
+                ServingRequest::select(Arc::clone(&matrix), 19).with_priority(Priority::BestEffort),
+            )
+            .ticket()
+            .expect("queue had room");
+        // A same-class arrival finds no strictly-lower victim: rejected.
+        let rejected = pool.try_submit(
+            ServingRequest::select(Arc::clone(&matrix), 19).with_priority(Priority::BestEffort),
+        );
+        assert_eq!(
+            rejected.shed_reason(),
+            Some(ShedReason::QueueFull { shard: 0 })
+        );
+        // An interactive arrival evicts the queued best-effort victim.
+        let winner = pool.try_submit(
+            ServingRequest::select(Arc::clone(&matrix), 19).with_priority(Priority::Interactive),
+        );
+        assert!(winner.is_accepted());
+        assert_eq!(
+            victim.wait(),
+            Err(ServingError::Shed {
+                reason: ShedReason::Evicted { shard: 0 }
+            })
+        );
+        open(&pin);
+        assert!(pinned.wait().is_ok());
+        assert!(winner.ticket().expect("accepted").wait().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.admission.evicted, 1);
+        assert_eq!(stats.shards[0].shed, 1);
+        assert_eq!(stats.admission.shed_queue_full, 1);
+        assert_eq!(stats.shed(), 2, "one rejection + one eviction");
+        // The victim was admitted, so it counts submitted AND completed.
+        assert_eq!(stats.submitted(), 3);
+        assert_eq!(stats.completed(), 3);
+        assert_eq!(stats.served(), 2);
+        assert_eq!(stats.offered(), 4);
+    }
+
+    #[test]
+    fn in_flight_cap_sheds_and_blocking_submits_apply_backpressure() {
+        let (pool, corpus) = admission_pool(AdmissionConfig::bounded(0).with_max_in_flight(1));
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        // The gate job occupies the only in-flight slot.
+        let shed = pool.try_submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        assert_eq!(shed.shed_reason(), Some(ShedReason::InFlightCap));
+        // A bounded blocking submit waits, then sheds on timeout.
+        let timed = pool.submit_with_timeout(
+            ServingRequest::select(Arc::clone(&matrix), 19),
+            Duration::from_millis(30),
+        );
+        assert_eq!(timed.shed_reason(), Some(ShedReason::BackpressureTimeout));
+        // An unbounded blocking submit parks until the slot frees.
+        let pool = Arc::new(pool);
+        let parked = {
+            let pool = Arc::clone(&pool);
+            let matrix = Arc::clone(&matrix);
+            std::thread::spawn(move || pool.submit(ServingRequest::select(matrix, 19)).wait())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!parked.is_finished(), "the slot is still held by the gate");
+        open(&pin);
+        assert!(pinned.wait().is_ok());
+        assert!(parked.join().unwrap().is_ok());
+        let pool = Arc::into_inner(pool).expect("submitter joined");
+        let stats = pool.shutdown();
+        assert_eq!(stats.admission.shed_in_flight, 1);
+        assert_eq!(stats.admission.shed_timeout, 1);
+        assert!(stats.admission.backpressure_waits >= 2);
+        assert_eq!(stats.admission.in_flight, 0);
+        assert_eq!(stats.completed(), 2);
+        assert_eq!(stats.shed(), 2);
+        assert_eq!(stats.offered(), 4);
+    }
+
+    #[test]
+    fn admission_free_pool_keeps_every_front_door_counter_zero() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let tickets = pool.submit_batch(
+            entries
+                .iter()
+                .cycle()
+                .take(40)
+                .map(|e| ServingRequest::select(Arc::new(e.matrix.clone()), 19)),
+        );
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        let stats = pool.shutdown();
+        assert!(!stats.admission.enabled);
+        assert_eq!(stats.admission.shed_queue_full, 0);
+        assert_eq!(stats.admission.shed_in_flight, 0);
+        assert_eq!(stats.admission.shed_timeout, 0);
+        assert_eq!(stats.admission.shed_closed, 0);
+        assert_eq!(stats.admission.evicted, 0);
+        assert_eq!(stats.admission.expired, 0);
+        assert_eq!(stats.admission.backpressure_waits, 0);
+        assert_eq!(stats.admission.in_flight, 0);
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.expired(), 0);
+        assert_eq!(stats.shed_rate(), 0.0);
+        assert_eq!(stats.offered(), stats.submitted());
+        assert_eq!(stats.served(), stats.completed());
+        // The histograms still observe: every served request recorded one
+        // queue-wait and one end-to-end sample in its (default) class.
+        assert_eq!(stats.latency.queue_wait(Priority::Interactive).count(), 40);
+        assert_eq!(stats.latency.end_to_end(Priority::Interactive).count(), 40);
+        assert_eq!(stats.latency.queue_wait(Priority::Batch).count(), 0);
+    }
+
+    #[test]
+    fn begin_shutdown_turns_submits_into_typed_pool_closed() {
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        let served = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        pool.begin_shutdown();
+        pool.begin_shutdown(); // idempotent
+                               // Blocking submit: an already-resolved ticket, not a panic.
+        let refused = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        assert!(refused.is_done());
+        assert_eq!(refused.shard(), usize::MAX);
+        assert_eq!(refused.wait(), Err(ServingError::PoolClosed));
+        // Non-blocking submit: a typed shed.
+        let shed = pool.try_submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        assert_eq!(shed.shed_reason(), Some(ShedReason::PoolClosed));
+        // Work admitted before the shutdown still drains.
+        assert!(served.wait().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.submitted(), 1);
+        assert_eq!(stats.completed(), 1);
+        assert_eq!(stats.admission.shed_closed, 2);
+        assert_eq!(stats.offered(), 3);
+    }
+
+    #[test]
+    fn shed_and_expired_tickets_wake_timed_waiters_promptly() {
+        // The PR 8 prompt-wake guarantee extends to the new resolution
+        // kinds: a ticket resolved by eviction or expiry wakes a parked
+        // wait_timeout caller immediately, not at its deadline.
+        for error in [
+            ServingError::Shed {
+                reason: ShedReason::Evicted { shard: 4 },
+            },
+            ServingError::DeadlineExceeded { shard: 4 },
+            ServingError::PoolClosed,
+        ] {
+            let cell = TicketCell::new();
+            let mut ticket = Ticket {
+                cell: Arc::clone(&cell),
+                shard: 4,
+                received: None,
+            };
+            let resolver = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(40));
+                cell.resolve(Err(error));
+            });
+            let started = Instant::now();
+            let outcome = ticket.wait_timeout(Duration::from_secs(60));
+            let waited = started.elapsed();
+            resolver.join().unwrap();
+            assert_eq!(outcome, Err(error));
+            assert!(
+                waited < Duration::from_secs(30),
+                "a {error} resolution must wake the waiter promptly, waited {waited:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_match_a_known_synthetic_distribution() {
+        let histogram = AtomicHistogram::new();
+        // 90 samples at 100 ns (bucket 6: [64, 128)) and 10 at 10 µs
+        // (bucket 13: [8192, 16384)).
+        for _ in 0..90 {
+            histogram.record(Duration::from_nanos(100));
+        }
+        for _ in 0..10 {
+            histogram.record(Duration::from_nanos(10_000));
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count(), 100);
+        assert_eq!(snapshot.bucket_counts()[6], 90);
+        assert_eq!(snapshot.bucket_counts()[13], 10);
+        // p50 and the 0.9 quantile land in the low bucket, p99/p999 in the
+        // high one; interpolation stays inside each bucket's bounds.
+        let low = Duration::from_nanos(64)..=Duration::from_nanos(128);
+        let high = Duration::from_nanos(8192)..=Duration::from_nanos(16384);
+        assert!(low.contains(&snapshot.p50()), "p50 = {:?}", snapshot.p50());
+        assert!(low.contains(&snapshot.quantile(0.9)));
+        assert!(high.contains(&snapshot.p99()), "p99 = {:?}", snapshot.p99());
+        assert!(high.contains(&snapshot.p999()));
+        // Quantiles are monotone in q.
+        assert!(snapshot.quantile(0.1) <= snapshot.p50());
+        assert!(snapshot.p50() <= snapshot.p99());
+        assert!(snapshot.p99() <= snapshot.p999());
+        // Out-of-range and NaN q are clamped, never a panic.
+        assert!(snapshot.quantile(-1.0) <= snapshot.quantile(0.0));
+        assert_eq!(snapshot.quantile(2.0), snapshot.quantile(1.0));
+        let _ = snapshot.quantile(f64::NAN);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact_powers_of_two() {
+        let histogram = AtomicHistogram::new();
+        histogram.record(Duration::ZERO); // clamps to 1 ns -> bucket 0
+        histogram.record(Duration::from_nanos(1)); // bucket 0
+        histogram.record(Duration::from_nanos(1023)); // bucket 9
+        histogram.record(Duration::from_nanos(1024)); // bucket 10
+        histogram.record(Duration::from_nanos(2047)); // bucket 10
+        histogram.record(Duration::from_secs(u64::MAX)); // clamps -> bucket 63
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.bucket_counts()[0], 2);
+        assert_eq!(snapshot.bucket_counts()[9], 1);
+        assert_eq!(snapshot.bucket_counts()[10], 2);
+        assert_eq!(snapshot.bucket_counts()[63], 1);
+        assert_eq!(snapshot.count(), 6);
+        // The top bucket's interpolation saturates instead of overflowing.
+        assert!(snapshot.quantile(1.0) >= Duration::from_nanos(1 << 62));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snapshot = AtomicHistogram::new().snapshot();
+        assert_eq!(snapshot.count(), 0);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0, -3.0, 7.0, f64::NAN] {
+            assert_eq!(snapshot.quantile(q), Duration::ZERO);
+        }
+        assert_eq!(snapshot.p50(), Duration::ZERO);
+        assert_eq!(snapshot.p99(), Duration::ZERO);
+        assert_eq!(snapshot.p999(), Duration::ZERO);
+        assert_eq!(snapshot, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn admission_errors_and_reasons_display() {
+        assert_eq!(
+            ServingError::DeadlineExceeded { shard: 3 }.to_string(),
+            "request expired in shard 3's queue before it could execute"
+        );
+        assert_eq!(
+            ServingError::PoolClosed.to_string(),
+            "the serving pool is shutting down"
+        );
+        let evicted = ServingError::Shed {
+            reason: ShedReason::Evicted { shard: 1 },
+        };
+        assert!(evicted.to_string().contains("shard 1"));
+        assert!(ShedReason::InFlightCap.to_string().contains("in-flight"));
+        assert!(ShedReason::QueueFull { shard: 0 }
+            .to_string()
+            .contains("full"));
+        assert!(ShedReason::BackpressureTimeout
+            .to_string()
+            .contains("timed out"));
+        assert!(ShedReason::PoolClosed.to_string().contains("shutting down"));
+        assert_eq!(Priority::Interactive.to_string(), "interactive");
+        assert_eq!(Priority::BestEffort.to_string(), "best-effort");
+        // Priority lanes are the dequeue order.
+        assert_eq!(
+            Priority::ALL.map(Priority::lane),
+            [0, 1, 2],
+            "ALL lists classes in dequeue order"
+        );
     }
 }

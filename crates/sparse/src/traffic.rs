@@ -134,6 +134,22 @@ pub struct TrafficConfig {
     /// should join a fresh device to the serving fleet. Zero by default,
     /// like [`TrafficConfig::chaos_kill_fraction`].
     pub chaos_join_fraction: f64,
+    /// Probability that a request is [`RequestClass::Batch`] — throughput
+    /// traffic an admission-controlled pool may delay behind interactive
+    /// work. Zero (the default for every pre-overload scenario) disables the
+    /// class draw entirely, so older streams replay bit-identically.
+    pub batch_fraction: f64,
+    /// Probability that a request is [`RequestClass::BestEffort`] — the
+    /// first traffic an overloaded pool sheds. Drawn on the same guarded
+    /// stream as [`TrafficConfig::batch_fraction`]; whatever is left is
+    /// [`RequestClass::Interactive`].
+    pub best_effort_fraction: f64,
+    /// Probability that a request carries a completion deadline. Zero (the
+    /// default) disables the draw entirely, like the class fractions.
+    pub deadline_fraction: f64,
+    /// Inclusive `[lo, hi]` bounds, in microseconds, of a uniformly drawn
+    /// deadline for the requests that carry one.
+    pub deadline_range_us: (u64, u64),
 }
 
 impl TrafficConfig {
@@ -157,6 +173,10 @@ impl TrafficConfig {
             chaos_kill_fraction: 0.0,
             chaos_heal_fraction: 0.0,
             chaos_join_fraction: 0.0,
+            batch_fraction: 0.0,
+            best_effort_fraction: 0.0,
+            deadline_fraction: 0.0,
+            deadline_range_us: (0, 0),
         }
     }
 
@@ -176,6 +196,10 @@ impl TrafficConfig {
             chaos_kill_fraction: 0.0,
             chaos_heal_fraction: 0.0,
             chaos_join_fraction: 0.0,
+            batch_fraction: 0.0,
+            best_effort_fraction: 0.0,
+            deadline_fraction: 0.0,
+            deadline_range_us: (0, 0),
         }
     }
 
@@ -212,6 +236,10 @@ impl TrafficConfig {
             chaos_kill_fraction: 0.0,
             chaos_heal_fraction: 0.0,
             chaos_join_fraction: 0.0,
+            batch_fraction: 0.0,
+            best_effort_fraction: 0.0,
+            deadline_fraction: 0.0,
+            deadline_range_us: (0, 0),
         }
     }
 
@@ -254,6 +282,10 @@ impl TrafficConfig {
             chaos_kill_fraction: 0.0,
             chaos_heal_fraction: 0.0,
             chaos_join_fraction: 0.0,
+            batch_fraction: 0.0,
+            best_effort_fraction: 0.0,
+            deadline_fraction: 0.0,
+            deadline_range_us: (0, 0),
         }
     }
 
@@ -289,6 +321,68 @@ impl TrafficConfig {
             ..Self::fleet_mixed(corpus_size, seed)
         }
     }
+
+    /// An overload scenario: the skewed hot-set stream with a three-way
+    /// class mix (30% batch, 35% best-effort, the rest interactive) and a
+    /// quarter of requests carrying sub-20 ms deadlines. Offered at a rate
+    /// beyond the pool's capacity — pacing is the harness's job — this is
+    /// the stream an admission-controlled front door is judged on: the
+    /// interactive slice must stay fast while the lower classes absorb the
+    /// shedding. Matrix choice, bursts and iteration counts are
+    /// bit-identical to [`TrafficConfig::skewed`].
+    pub fn sustained_overload(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            batch_fraction: 0.3,
+            best_effort_fraction: 0.35,
+            deadline_fraction: 0.25,
+            deadline_range_us: (500, 20_000),
+            ..Self::skewed(corpus_size, seed)
+        }
+    }
+
+    /// An overload scenario with heavy burst structure: most requests open
+    /// long same-matrix bursts, so overload arrives in spikes that slam one
+    /// shard's queue while its neighbours idle — the regime that separates
+    /// per-shard bounded queues from a single global bound.
+    pub fn burst_overload(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            burst_fraction: 0.6,
+            max_burst_len: 12,
+            batch_fraction: 0.25,
+            best_effort_fraction: 0.4,
+            deadline_fraction: 0.25,
+            deadline_range_us: (500, 20_000),
+            ..Self::skewed(corpus_size, seed)
+        }
+    }
+
+    /// A deadline/priority mix over the fleet-mixed stream: every class well
+    /// represented and half of all requests carrying tight deadlines, for
+    /// experiments about who expires and who gets shed when queues back up.
+    pub fn deadline_priority_mix(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            batch_fraction: 0.25,
+            best_effort_fraction: 0.25,
+            deadline_fraction: 0.5,
+            deadline_range_us: (200, 10_000),
+            ..Self::fleet_mixed(corpus_size, seed)
+        }
+    }
+}
+
+/// The service class of one request: which priority lane it should wait in
+/// and how eager an overloaded serving pool is to shed it. Decoupled from
+/// the serving layer's own priority type (the stream generator knows
+/// nothing about pools); harnesses map it 1:1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RequestClass {
+    /// Latency-sensitive traffic: served first, shed last.
+    #[default]
+    Interactive,
+    /// Throughput traffic: may wait behind interactive work.
+    Batch,
+    /// Scavenger traffic: the first to be shed under overload.
+    BestEffort,
 }
 
 /// A membership-chaos annotation on one request: what the serving harness
@@ -326,6 +420,13 @@ pub struct TrafficRequest {
     /// Membership chaos to inject before this request. Always
     /// [`ChaosEvent::None`] when every chaos fraction is zero.
     pub chaos: ChaosEvent,
+    /// Service class of the request. Always [`RequestClass::Interactive`]
+    /// when both class fractions are zero.
+    pub class: RequestClass,
+    /// Completion deadline in microseconds from submission, for harnesses
+    /// replaying the stream against a deadline-aware pool. Always `None`
+    /// when [`TrafficConfig::deadline_fraction`] is zero.
+    pub deadline_us: Option<u64>,
 }
 
 /// Deterministic iterator over a [`TrafficConfig`]'s request stream.
@@ -347,6 +448,10 @@ pub struct TrafficGenerator {
     /// value updates, so a chaos stream differs from its calm base only in
     /// the annotations.
     chaos_rng: SplitMix64,
+    /// Draws deciding service classes and deadlines, decoupled like the
+    /// others: an overload scenario differs from its calm base only in the
+    /// class/deadline annotations, never in what is requested.
+    admission_rng: SplitMix64,
     /// Shuffled map from popularity rank to corpus index, so the hot set is
     /// spread across the corpus (and therefore across serving shards) instead
     /// of clustering at the low indices.
@@ -379,6 +484,9 @@ impl TrafficGenerator {
             iteration_rng: root.split(0x17E),
             mutation_rng: root.split(0x3B),
             chaos_rng: root.split(0xC4A),
+            // Split last: the admission stream must not shift the splits the
+            // pre-overload streams were derived from.
+            admission_rng: root.split(0xAD),
             rank_to_index,
             config: config.clone(),
             burst_left: 0,
@@ -455,12 +563,40 @@ impl Iterator for TrafficGenerator {
         {
             chaos = ChaosEvent::JoinDevice;
         }
+        // Class and deadline draws share the admission stream, each behind
+        // its own zero-fraction guard: every pre-overload scenario leaves
+        // the stream untouched, so its requests replay bit-identically with
+        // the default annotations.
+        let class = if self.config.batch_fraction > 0.0 || self.config.best_effort_fraction > 0.0 {
+            let batch = self.config.batch_fraction.clamp(0.0, 1.0);
+            let best_effort = self.config.best_effort_fraction.clamp(0.0, 1.0 - batch);
+            let draw = self.admission_rng.next_f64();
+            if draw < batch {
+                RequestClass::Batch
+            } else if draw < batch + best_effort {
+                RequestClass::BestEffort
+            } else {
+                RequestClass::Interactive
+            }
+        } else {
+            RequestClass::Interactive
+        };
+        let deadline_us = (self.config.deadline_fraction > 0.0
+            && self.admission_rng.next_f64() < self.config.deadline_fraction.clamp(0.0, 1.0))
+        .then(|| {
+            let (lo, hi) = self.config.deadline_range_us;
+            let lo = lo.max(1);
+            let hi = hi.max(lo);
+            self.admission_rng.next_range(lo as usize, hi as usize + 1) as u64
+        });
         Some(TrafficRequest {
             matrix_index: self.current,
             iterations: self.config.iterations.sample(&mut self.iteration_rng),
             burst_position: self.burst_position,
             value_update,
             chaos,
+            class,
+            deadline_us,
         })
     }
 }
@@ -743,6 +879,113 @@ mod tests {
             seen[r.matrix_index] = true;
         }
         assert!(seen.iter().all(|&s| s), "uniform draw touches the corpus");
+    }
+
+    #[test]
+    fn overload_scenarios_fire_their_annotations_and_replay() {
+        for config in [
+            TrafficConfig::sustained_overload(32, 0x0AD5),
+            TrafficConfig::burst_overload(32, 0x0AD5),
+            TrafficConfig::deadline_priority_mix(32, 0x0AD5),
+        ] {
+            let requests = take(&config, 6_000);
+            assert_eq!(requests, take(&config, 6_000), "overload stream replays");
+            let batch = requests
+                .iter()
+                .filter(|r| r.class == RequestClass::Batch)
+                .count() as f64;
+            let best_effort = requests
+                .iter()
+                .filter(|r| r.class == RequestClass::BestEffort)
+                .count() as f64;
+            let interactive = requests
+                .iter()
+                .filter(|r| r.class == RequestClass::Interactive)
+                .count() as f64;
+            let n = requests.len() as f64;
+            assert!(
+                (batch / n - config.batch_fraction).abs() < 0.03,
+                "batch rate {} vs {}",
+                batch / n,
+                config.batch_fraction
+            );
+            assert!(
+                (best_effort / n - config.best_effort_fraction).abs() < 0.03,
+                "best-effort rate {} vs {}",
+                best_effort / n,
+                config.best_effort_fraction
+            );
+            assert!(interactive > 0.0, "some interactive traffic remains");
+            let with_deadline = requests.iter().filter(|r| r.deadline_us.is_some()).count();
+            let rate = with_deadline as f64 / n;
+            assert!(
+                (rate - config.deadline_fraction).abs() < 0.03,
+                "deadline rate {rate} vs {}",
+                config.deadline_fraction
+            );
+            let (lo, hi) = config.deadline_range_us;
+            assert!(requests
+                .iter()
+                .filter_map(|r| r.deadline_us)
+                .all(|d| (lo..=hi).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn legacy_scenarios_never_carry_classes_or_deadlines() {
+        for config in [
+            TrafficConfig::skewed(32, 9),
+            TrafficConfig::uniform(32, 9),
+            TrafficConfig::smoke(32),
+            TrafficConfig::fleet_mixed(32, 9),
+            TrafficConfig::near_duplicate_families(32, 9),
+            TrafficConfig::mutating_hot_set(32, 9),
+            TrafficConfig::flapping_device(32, 9),
+        ] {
+            for request in take(&config, 2_000) {
+                assert_eq!(request.class, RequestClass::Interactive);
+                assert_eq!(request.deadline_us, None);
+            }
+        }
+    }
+
+    #[test]
+    fn overload_annotations_do_not_perturb_what_is_requested() {
+        // The admission stream is split last and guarded by zero fractions:
+        // an overload scenario requests exactly what its calm base does,
+        // differing only in the class/deadline annotations — and the calm
+        // base is bit-identical to its pre-overload self.
+        let calm = TrafficConfig::skewed(64, 0xBEEF);
+        let overloaded = TrafficConfig::sustained_overload(64, 0xBEEF);
+        let a = take(&calm, 3_000);
+        let b = take(&overloaded, 3_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix_index, y.matrix_index);
+            assert_eq!(x.iterations, y.iterations);
+            assert_eq!(x.burst_position, y.burst_position);
+            assert_eq!(x.value_update, y.value_update);
+            assert_eq!(x.chaos, y.chaos);
+        }
+        assert!(b.iter().any(|r| r.class != RequestClass::Interactive));
+        assert!(b.iter().any(|r| r.deadline_us.is_some()));
+
+        // Enabling only the deadline draw must not borrow draws from the
+        // class guard (and vice versa): each axis is guarded independently.
+        let deadlines_only = TrafficConfig {
+            deadline_fraction: 0.5,
+            deadline_range_us: (100, 1_000),
+            ..calm.clone()
+        };
+        let classes_only = TrafficConfig {
+            batch_fraction: 0.4,
+            ..calm.clone()
+        };
+        let d = take(&deadlines_only, 3_000);
+        let c = take(&classes_only, 3_000);
+        assert!(d.iter().all(|r| r.class == RequestClass::Interactive));
+        assert!(d.iter().any(|r| r.deadline_us.is_some()));
+        assert!(c.iter().all(|r| r.deadline_us.is_none()));
+        assert!(c.iter().any(|r| r.class == RequestClass::Batch));
     }
 
     #[test]

@@ -66,8 +66,10 @@ pub use seer_ml as ml;
 pub use seer_sparse as sparse;
 
 pub use seer_core::{
-    DevicePoolStats, EngineStats, ExplorationPolicy, PoolConfig, PoolStats, RecalibrationConfig,
-    SeerEngine, ServingError, ServingPool, ServingRequest, ServingResponse, ShardStats,
+    AdmissionConfig, AdmissionPoolStats, DevicePoolStats, EngineStats, ExplorationPolicy,
+    HistogramSnapshot, LatencySnapshot, PoolConfig, PoolStats, Priority, RecalibrationConfig,
+    SeerEngine, ServingError, ServingPool, ServingRequest, ServingResponse, ShardStats, ShedPolicy,
+    ShedReason, SubmitOutcome,
 };
 pub use seer_gpu::{
     DeviceFailed, DeviceId, DeviceRegistry, DeviceStatus, Fleet, FleetHandle, MembershipError,

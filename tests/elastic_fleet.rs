@@ -113,6 +113,8 @@ fn retire_drains_a_gated_backlog_onto_survivors_exactly_once() {
         workload: Workload::Gate {
             gate: Arc::clone(&gate),
         },
+        priority: seer::Priority::default(),
+        deadline: None,
     });
     let victim: DeviceId = pool
         .stats()
@@ -278,4 +280,81 @@ fn submitters_race_a_retire_without_losing_tickets() {
             .sum::<u64>(),
         stats.completed()
     );
+}
+
+/// A storm of submitters racing `begin_shutdown`: every submit must resolve
+/// to either a served response or the typed [`seer::ServingError::PoolClosed`]
+/// — never a panic, a hang, or a spurious worker death — and the admitted /
+/// refused split must balance the front-door counters exactly.
+#[test]
+fn submit_storm_racing_shutdown_resolves_every_ticket_typed() {
+    const SUBMITTERS: usize = 4;
+    const PER_SUBMITTER: usize = 80;
+    let (trained, corpus) = trained_corpus();
+    let fleet = three_device_fleet();
+    let pool = Arc::new(ServingPool::with_fleet(
+        fleet,
+        trained.models_handle(),
+        PoolConfig::with_shards(2),
+    ));
+    let stream = fleet_stream(corpus.len(), SUBMITTERS * PER_SUBMITTER);
+
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|thread_index| {
+            let pool = Arc::clone(&pool);
+            let corpus: Vec<Arc<CsrMatrix>> = corpus.to_vec();
+            let slice: Vec<TrafficRequest> =
+                stream[thread_index * PER_SUBMITTER..(thread_index + 1) * PER_SUBMITTER].to_vec();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut refused = 0u64;
+                for request in &slice {
+                    let ticket = pool.submit(ServingRequest::select(
+                        Arc::clone(&corpus[request.matrix_index]),
+                        request.iterations,
+                    ));
+                    match ticket.wait() {
+                        Ok(_) => served += 1,
+                        Err(seer::ServingError::PoolClosed) => refused += 1,
+                        Err(other) => panic!("shutdown race leaked an untyped failure: {other}"),
+                    }
+                }
+                (served, refused)
+            })
+        })
+        .collect();
+
+    // Close the front door mid-storm; in-flight submitters keep racing it.
+    std::thread::sleep(Duration::from_millis(5));
+    pool.begin_shutdown();
+
+    let (served, refused) = submitters
+        .into_iter()
+        .map(|handle| handle.join().expect("submitter thread"))
+        .fold((0u64, 0u64), |(s, r), (ts, tr)| (s + ts, r + tr));
+    assert_eq!(served + refused, stream.len() as u64, "no ticket lost");
+
+    // submit_batch racing the same closed door also resolves typed.
+    let batch = pool.submit_batch(
+        stream
+            .iter()
+            .take(8)
+            .map(|r| ServingRequest::select(Arc::clone(&corpus[r.matrix_index]), r.iterations)),
+    );
+    for ticket in batch {
+        assert_eq!(ticket.wait(), Err(seer::ServingError::PoolClosed));
+    }
+
+    let pool = Arc::into_inner(pool).expect("all submitters joined");
+    let stats = pool.shutdown();
+    // Everything admitted before the close drained and was served; every
+    // refusal was counted at the front door, ticketless.
+    assert_eq!(stats.submitted(), served, "admitted = served exactly");
+    assert_eq!(stats.completed(), served);
+    assert_eq!(stats.served(), served);
+    assert_eq!(stats.failed(), 0, "a shutdown race is not a worker death");
+    assert_eq!(stats.admission.shed_closed, refused + 8);
+    assert_eq!(stats.offered(), stream.len() as u64 + 8);
+    assert_eq!(stats.admission.in_flight, 0);
+    assert_eq!(stats.queue_depth(), 0);
 }

@@ -256,6 +256,8 @@ fn rate_helpers_never_divide_by_zero() {
     let empty = seer::PoolStats {
         shards: Vec::new(),
         router: None,
+        admission: seer::AdmissionPoolStats::default(),
+        latency: seer::LatencySnapshot::default(),
         elapsed: std::time::Duration::ZERO,
     };
     assert_eq!(empty.throughput_per_sec(), 0.0);
@@ -263,6 +265,35 @@ fn rate_helpers_never_divide_by_zero() {
     assert_eq!(empty.queue_depth(), 0);
     assert!(empty.devices().is_empty());
     assert_eq!(empty.engine(), seer::EngineStats::default());
+
+    // The admission-control rates and counters: an untouched front door
+    // reads zero everywhere, and its rate is 0.0 with a zero denominator.
+    assert_eq!(empty.served(), 0);
+    assert_eq!(empty.shed(), 0);
+    assert_eq!(empty.expired(), 0);
+    assert_eq!(empty.backpressure_waits(), 0);
+    assert_eq!(empty.offered(), 0);
+    assert_eq!(empty.shed_rate(), 0.0);
+    assert!(empty.shed_rate().is_finite());
+    assert_eq!(empty.admission.shed_total(), 0);
+    assert_eq!(empty.admission.unticketed(), 0);
+
+    // Empty latency histograms: every quantile is exactly zero — no NaN,
+    // no panic — for every priority class and both distributions.
+    for class in seer::Priority::ALL {
+        for histogram in [
+            empty.latency.queue_wait(class),
+            empty.latency.end_to_end(class),
+        ] {
+            assert_eq!(histogram.count(), 0);
+            assert_eq!(histogram.p50(), std::time::Duration::ZERO);
+            assert_eq!(histogram.p99(), std::time::Duration::ZERO);
+            assert_eq!(histogram.p999(), std::time::Duration::ZERO);
+            assert_eq!(histogram.quantile(0.0), std::time::Duration::ZERO);
+            assert_eq!(histogram.quantile(1.0), std::time::Duration::ZERO);
+            assert_eq!(histogram.quantile(f64::NAN), std::time::Duration::ZERO);
+        }
+    }
 
     // The elastic-fleet rates: zero completions must yield 0.0, never NaN,
     // and the raw counters must read zero on an empty snapshot.
