@@ -23,6 +23,8 @@
 //!     --chaos --smoke --out BENCH_loadtest_chaos.json                 # chaos CI
 //! cargo run -p seer_bench --release --bin loadtest_serving -- \
 //!     --overload --smoke --out BENCH_loadtest_overload.json           # overload CI
+//! cargo run -p seer_bench --release --bin loadtest_serving -- \
+//!     --burst --smoke --out BENCH_loadtest_burst.json                 # burst CI
 //! ```
 //!
 //! `--fleet N` builds an `N`-device heterogeneous fleet (MI250-class, MI100,
@@ -53,8 +55,8 @@ use std::time::{Duration, Instant};
 
 use seer_core::engine::SeerEngine;
 use seer_core::serving::{
-    AdmissionConfig, PoolConfig, Priority, ServingError, ServingPool, ServingRequest, ShedPolicy,
-    SubmitOutcome, Ticket,
+    AdmissionConfig, PoolConfig, Priority, RoutingConfig, ServingError, ServingPool,
+    ServingRequest, ShedPolicy, SubmitOutcome, Ticket,
 };
 use seer_core::training::TrainingConfig;
 use seer_gpu::{Fleet, Gpu};
@@ -86,6 +88,13 @@ struct Options {
     /// a bounded interactive-class p99 and shedding that lands on the lower
     /// classes.
     overload: bool,
+    /// Burst lane: the `identical_burst` and `routing_storm` scenarios
+    /// through a routed, micro-batching pool; asserts bit-identical results
+    /// against a sequential oracle, `batch_activations <= batched_requests/2`
+    /// on the identical-burst stream, a bounded submitter-thread p99 submit
+    /// latency independent of cold-vs-warm matrices, zero unresolved tickets
+    /// and an exact front-door balance.
+    burst: bool,
     out: Option<String>,
 }
 
@@ -99,6 +108,7 @@ fn parse_options() -> Options {
         families: false,
         chaos: false,
         overload: false,
+        burst: false,
         out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -109,6 +119,7 @@ fn parse_options() -> Options {
             "--families" => options.families = true,
             "--chaos" => options.chaos = true,
             "--overload" => options.overload = true,
+            "--burst" => options.burst = true,
             "--shards" => {
                 options.shards = args
                     .next()
@@ -135,7 +146,7 @@ fn parse_options() -> Options {
                 eprintln!(
                     "usage: loadtest_serving [--smoke] [--shards N] [--requests N] \
                      [--assert-speedup] [--fleet N] [--families] [--chaos] [--overload] \
-                     [--out PATH]"
+                     [--burst] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -151,6 +162,11 @@ fn parse_options() -> Options {
     }
     if options.overload && (options.chaos || options.families || options.fleet > 0) {
         eprintln!("--overload is its own lane (no --chaos/--families/--fleet)");
+        std::process::exit(2);
+    }
+    if options.burst && (options.chaos || options.families || options.overload || options.fleet > 0)
+    {
+        eprintln!("--burst is its own lane (no --chaos/--families/--overload/--fleet)");
         std::process::exit(2);
     }
     if options.chaos && !(options.fleet == 0 || (3..=4).contains(&options.fleet)) {
@@ -789,6 +805,325 @@ fn run_overload(options: &Options) {
     }
 }
 
+/// What one burst-lane phase measured: throughput on both sides, the
+/// submitter-thread latency split by cold-vs-warm matrix, and the pool's
+/// own counters.
+struct BurstPhase {
+    sequential_rps: f64,
+    pooled_rps: f64,
+    cold_p99: Duration,
+    warm_p99: Duration,
+    cold_submits: usize,
+    warm_submits: usize,
+    stats: seer_core::serving::PoolStats,
+}
+
+/// p99 of a latency sample set (`ZERO` when empty). Sorts in place.
+fn sample_p99(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    samples[(samples.len() - 1) * 99 / 100]
+}
+
+/// One burst-lane phase: replay `stream` through a sequential oracle, then
+/// through the given routed pool, timing every submit on the submitter
+/// thread and classifying it cold (first sight of the matrix) or warm.
+/// Asserts the shared invariants — bit-identical results, exact balance,
+/// every submit routed off-thread, and a cold-submit p99 that stays in the
+/// same regime as the warm one (submit cost must not depend on whether the
+/// matrix needs a cold routing decision).
+fn run_burst_phase(
+    label: &str,
+    stream: &[TrafficRequest],
+    corpus: &[Arc<CsrMatrix>],
+    inputs: &[Arc<Vec<Scalar>>],
+    oracle: &SeerEngine,
+    pool: ServingPool,
+) -> BurstPhase {
+    let sequential_start = Instant::now();
+    let sequential: Vec<_> = stream
+        .iter()
+        .map(|r| {
+            oracle.execute(
+                &corpus[r.matrix_index],
+                &inputs[r.matrix_index],
+                r.iterations,
+            )
+        })
+        .collect();
+    let sequential_rps = stream.len() as f64 / sequential_start.elapsed().as_secs_f64();
+
+    let mut seen = vec![false; corpus.len()];
+    let mut cold = Vec::new();
+    let mut warm = Vec::new();
+    let mut tickets = Vec::with_capacity(stream.len());
+    let pooled_start = Instant::now();
+    for r in stream {
+        let request = ServingRequest::execute(
+            Arc::clone(&corpus[r.matrix_index]),
+            Arc::clone(&inputs[r.matrix_index]),
+            r.iterations,
+        );
+        let submit_start = Instant::now();
+        let ticket = pool.submit(request);
+        let elapsed = submit_start.elapsed();
+        if std::mem::replace(&mut seen[r.matrix_index], true) {
+            warm.push(elapsed);
+        } else {
+            cold.push(elapsed);
+        }
+        tickets.push(ticket);
+    }
+    let mut mismatches = 0usize;
+    for (index, (mut ticket, seq)) in tickets.into_iter().zip(&sequential).enumerate() {
+        let response = match ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(Some(response)) => response,
+            Ok(None) => panic!("{label}: request {index} unresolved after 30s — a ticket leaked"),
+            Err(error) => panic!("{label}: request {index} failed: {error}"),
+        };
+        let ok = response.selection == seq.selection
+            && response.result.as_deref() == Some(seq.result.as_slice());
+        if !ok {
+            if mismatches == 0 {
+                eprintln!(
+                    "MISMATCH at {label} request {index}: sequential {:?} vs pooled {:?}",
+                    seq.selection, response.selection
+                );
+            }
+            mismatches += 1;
+        }
+    }
+    let pooled_rps = stream.len() as f64 / pooled_start.elapsed().as_secs_f64();
+    let stats = pool.shutdown();
+
+    assert_eq!(
+        mismatches, 0,
+        "{label}: pooled results diverged from the sequential oracle"
+    );
+    let n = stream.len() as u64;
+    assert!(stats.routing.enabled, "{label}: pool must be routed");
+    assert_eq!(
+        stats.routing.routed_async, n,
+        "{label}: every accepted request routes off the submitter thread"
+    );
+    assert_eq!(stats.routing.submit.count(), n);
+    assert_eq!(stats.routing.in_stage, 0, "{label}: routing stage drained");
+    assert_eq!(
+        stats.routing.shed_stage_full + stats.routing.stage_closed,
+        0
+    );
+    assert_eq!(stats.offered(), n);
+    assert_eq!(stats.served(), n);
+    assert_eq!(stats.shed() + stats.expired() + stats.failed(), 0);
+    assert_eq!(stats.queue_depth(), 0);
+
+    // Submit is an O(1) stage enqueue: a cold matrix (routing decision still
+    // to be made) must cost the submitter the same as a warm one. The p99
+    // bound is relative to warm with an absolute scheduler-noise floor.
+    let cold_p99 = sample_p99(&mut cold);
+    let warm_p99 = sample_p99(&mut warm);
+    let bound = (warm_p99.max(Duration::from_micros(50)) * 32).max(Duration::from_millis(10));
+    assert!(
+        cold_p99 <= bound,
+        "{label}: cold-matrix submit p99 {cold_p99:?} exceeds {bound:?} \
+         (warm p99 {warm_p99:?}) — submit is no longer O(1)"
+    );
+    assert!(
+        stats.routing.submit.p99() <= Duration::from_millis(10),
+        "{label}: submitter-thread p99 {:?} exceeds 10ms",
+        stats.routing.submit.p99()
+    );
+
+    println!(
+        "{label}: {} requests, sequential {sequential_rps:.0} req/s, pooled {pooled_rps:.0} req/s, \
+         submit p99 {:?} (cold {cold_p99:?} x{}, warm {warm_p99:?} x{}), \
+         {} batched in {} activations (mean {:.2})",
+        stream.len(),
+        stats.routing.submit.p99(),
+        cold.len(),
+        warm.len(),
+        stats.routing.batched_requests,
+        stats.routing.batch_activations,
+        stats.routing.mean_batch_size(),
+    );
+    BurstPhase {
+        sequential_rps,
+        pooled_rps,
+        cold_p99,
+        warm_p99,
+        cold_submits: cold.len(),
+        warm_submits: warm.len(),
+        stats,
+    }
+}
+
+/// The burst lane: same-fingerprint micro-batching and O(1) submit under
+/// the two routing-centric traffic scenarios. Phase one replays
+/// `identical_burst` (hot set, long fully-identical bursts) through a
+/// routed single-device pool and demands real coalescing: at most one plan
+/// activation per two batched requests. Phase two replays `routing_storm`
+/// (cache-hostile, every burst identical, cold matrices flooding in)
+/// through a routed three-device fleet pool, where a pre-routing submit
+/// path would pay a per-cold-matrix placement sweep on the submitter
+/// thread — the cold/warm p99 assertion pins that cost to the routing
+/// worker instead. Both phases are differentials against a sequential
+/// oracle and must be bit-identical.
+fn run_burst(options: &Options) {
+    let collection = generate(&CollectionConfig {
+        seed: 2024,
+        matrices_per_family: 4,
+        scale: if options.smoke {
+            SizeScale::Tiny
+        } else {
+            SizeScale::Small
+        },
+    });
+    let (trained, _outcome) =
+        SeerEngine::train(Gpu::default(), &collection, &TrainingConfig::fast())
+            .expect("training the burst loadtest models");
+    let corpus: Vec<Arc<CsrMatrix>> = collection
+        .iter()
+        .map(|e| Arc::new(e.matrix.clone()))
+        .collect();
+    let inputs: Vec<Arc<Vec<Scalar>>> = corpus
+        .iter()
+        .map(|m| Arc::new(vec![1.0; m.cols()]))
+        .collect();
+    println!(
+        "burst loadtest: {} requests per phase over {} matrices, {} shards{}",
+        options.requests,
+        corpus.len(),
+        options.shards,
+        if options.smoke { " (smoke)" } else { "" }
+    );
+
+    // An unbounded stage isolates what this lane measures: the submit cost
+    // is the stage enqueue itself, never a backpressure wait.
+    let routing = RoutingConfig::default().with_stage_capacity(0);
+
+    // Phase one: identical bursts, single device — the micro-batching case.
+    let reference = SeerEngine::new(trained.gpu_handle(), trained.models_handle());
+    let burst_stream: Vec<TrafficRequest> =
+        TrafficGenerator::new(&TrafficConfig::identical_burst(corpus.len(), 0x10AD))
+            .take(options.requests)
+            .collect();
+    let burst = run_burst_phase(
+        "identical_burst",
+        &burst_stream,
+        &corpus,
+        &inputs,
+        &reference,
+        ServingPool::from_engine(
+            &reference,
+            PoolConfig::with_shards(options.shards).with_routing(Some(routing)),
+        ),
+    );
+    // The acceptance bar: the identical-burst stream coalesces for real — at
+    // least a 2x reduction in plan activations over its batched span.
+    assert!(
+        burst.stats.routing.batch_activations >= 1,
+        "identical_burst: the stream must form at least one coalesced run"
+    );
+    assert!(
+        burst.stats.routing.batch_activations <= burst.stats.routing.batched_requests / 2,
+        "identical_burst: {} activations for {} batched requests — less than \
+         2x activation reduction",
+        burst.stats.routing.batch_activations,
+        burst.stats.routing.batched_requests,
+    );
+    assert!(
+        burst.stats.routing.mean_batch_size() >= 2.0,
+        "coalesced runs have two or more members by construction"
+    );
+
+    // Phase two: a cold-matrix storm over a heterogeneous fleet — the O(1)
+    // submit case (placement decisions are the expensive part to offload).
+    let fleet = build_fleet(3);
+    let storm_oracle = SeerEngine::with_fleet(fleet.clone(), trained.models_handle());
+    let storm_stream: Vec<TrafficRequest> =
+        TrafficGenerator::new(&TrafficConfig::routing_storm(corpus.len(), 0x570F4))
+            .take(options.requests)
+            .collect();
+    let storm = run_burst_phase(
+        "routing_storm",
+        &storm_stream,
+        &corpus,
+        &inputs,
+        &storm_oracle,
+        ServingPool::with_fleet(
+            fleet,
+            trained.models_handle(),
+            PoolConfig::with_shards(options.shards).with_routing(Some(routing)),
+        ),
+    );
+
+    println!(
+        "burst check: OK ({} requests per phase, 0 unresolved, exact balance, \
+         bit-identical, {:.2} mean batch size)",
+        options.requests,
+        burst.stats.routing.mean_batch_size()
+    );
+
+    if let Some(path) = &options.out {
+        let phase_json = |json: &mut String, name: &str, phase: &BurstPhase, n: usize| {
+            let routing = &phase.stats.routing;
+            let _ = writeln!(json, "  \"{name}\": {{");
+            let _ = writeln!(json, "    \"requests\": {n},");
+            let _ = writeln!(json, "    \"sequential_rps\": {:.0},", phase.sequential_rps);
+            let _ = writeln!(json, "    \"pooled_rps\": {:.0},", phase.pooled_rps);
+            let _ = writeln!(json, "    \"routed_async\": {},", routing.routed_async);
+            let _ = writeln!(
+                json,
+                "    \"batched_requests\": {},",
+                routing.batched_requests
+            );
+            let _ = writeln!(
+                json,
+                "    \"batch_activations\": {},",
+                routing.batch_activations
+            );
+            let _ = writeln!(
+                json,
+                "    \"mean_batch_size\": {:.2},",
+                routing.mean_batch_size()
+            );
+            let _ = writeln!(
+                json,
+                "    \"submit_p99_us\": {:.1},",
+                routing.submit.p99().as_secs_f64() * 1e6
+            );
+            let _ = writeln!(json, "    \"cold_submits\": {},", phase.cold_submits);
+            let _ = writeln!(
+                json,
+                "    \"cold_submit_p99_us\": {:.1},",
+                phase.cold_p99.as_secs_f64() * 1e6
+            );
+            let _ = writeln!(json, "    \"warm_submits\": {},", phase.warm_submits);
+            let _ = writeln!(
+                json,
+                "    \"warm_submit_p99_us\": {:.1}",
+                phase.warm_p99.as_secs_f64() * 1e6
+            );
+            let _ = writeln!(json, "  }},");
+        };
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"bench\": \"loadtest_serving_burst\",");
+        let _ = writeln!(json, "  \"smoke\": {},", options.smoke);
+        let _ = writeln!(json, "  \"corpus_matrices\": {},", corpus.len());
+        let _ = writeln!(json, "  \"shards\": {},", options.shards);
+        phase_json(&mut json, "identical_burst", &burst, burst_stream.len());
+        phase_json(&mut json, "routing_storm", &storm, storm_stream.len());
+        let _ = writeln!(json, "  \"storm_fleet_devices\": 3,");
+        let _ = writeln!(json, "  \"balance_ok\": true,");
+        let _ = writeln!(json, "  \"differential_ok\": true");
+        json.push_str("}\n");
+        std::fs::write(path, &json).expect("writing the burst report");
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let options = parse_options();
     if options.chaos {
@@ -797,6 +1132,10 @@ fn main() {
     }
     if options.overload {
         run_overload(&options);
+        return;
+    }
+    if options.burst {
+        run_burst(&options);
         return;
     }
 

@@ -839,6 +839,23 @@ impl EngineWorkspace {
     }
 }
 
+/// One resolved-and-pinned execution plan, produced by
+/// [`SeerEngine::activate_plan`] and replayed by
+/// [`SeerEngine::try_execute_activated_into`]: the selection, the charged
+/// selection overhead (billed to exactly one execution), and the pinned
+/// `Arc<PreparedPlan>`. A serving worker activates once per run of
+/// same-fingerprint requests, so a burst of K identical operators walks
+/// the plan cache once instead of K times.
+#[derive(Debug, Clone)]
+pub struct PlanActivation {
+    /// The `(kernel, device)` selection every execution in the run replays.
+    pub selection: Selection,
+    /// The selection overhead this activation's resolve actually incurred
+    /// (zero on a plan-cache hit); billed to the run's first execution.
+    pub charged_overhead: SimTime,
+    plan: Arc<PreparedPlan>,
+}
+
 /// Where a selection's features come from: a live matrix (collection on
 /// demand, memoized) or a benchmark record (features already measured).
 enum FeatureSource<'m> {
@@ -1889,6 +1906,85 @@ impl SeerEngine {
         self.fleet.ensure_live(selection.device)?;
         let observed = self.observe_execution(&selection, matrix, iterations);
         Ok((selection, charged_overhead + observed))
+    }
+
+    /// Resolves the selection and pins the prepared plan for `matrix` in one
+    /// step, without executing anything — the front half of
+    /// [`SeerEngine::try_execute_with_policy_into`], split out so a serving
+    /// worker can amortize it across a run of same-fingerprint requests
+    /// (see [`crate::serving::RoutingConfig`]). The returned activation
+    /// holds the pinned `Arc<PreparedPlan>`; executing it via
+    /// [`SeerEngine::try_execute_activated_into`] skips the selection
+    /// resolve and the plan-cache walk entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceFailed`] when the selected device is not live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` places on a device outside this engine's fleet.
+    pub fn activate_plan(
+        &self,
+        matrix: &CsrMatrix,
+        iterations: usize,
+        policy: SelectionPolicy,
+    ) -> Result<PlanActivation, DeviceFailed> {
+        let (selection, charged_overhead) =
+            self.select_with_policy_charged(matrix, iterations, policy);
+        self.fleet.ensure_live(selection.device)?;
+        let plan = self.prepared_plan_on(matrix, selection.device, selection.kernel);
+        Ok(PlanActivation {
+            selection,
+            charged_overhead,
+            plan,
+        })
+    }
+
+    /// Executes one request against an existing [`PlanActivation`]: the
+    /// plan replay, liveness fencing and timing observation of
+    /// [`SeerEngine::try_execute_with_policy_into`], minus the selection
+    /// resolve and plan-cache walk the activation already paid. `first`
+    /// decides whether this execution is billed the activation's charged
+    /// selection overhead (exactly once per activation, on the first
+    /// executed request) or replays as a pure plan hit (zero overhead) —
+    /// the same billing a sequential stream of identical requests sees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceFailed`] when the activation's device died between
+    /// activation and dispatch, or mid-execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != matrix.cols()`.
+    pub fn try_execute_activated_into(
+        &self,
+        activation: &PlanActivation,
+        matrix: &CsrMatrix,
+        x: &[Scalar],
+        iterations: usize,
+        first: bool,
+        workspace: &mut EngineWorkspace,
+    ) -> Result<(Selection, SimTime), DeviceFailed> {
+        let selection = activation.selection;
+        self.fleet.ensure_live(selection.device)?;
+        workspace.y.resize(matrix.rows(), 0.0);
+        kernel(selection.kernel).compute_prepared_into(
+            &activation.plan,
+            matrix,
+            x,
+            &mut workspace.y,
+            &mut workspace.scratch,
+        );
+        self.fleet.ensure_live(selection.device)?;
+        let observed = self.observe_execution(&selection, matrix, iterations);
+        let charged = if first {
+            activation.charged_overhead
+        } else {
+            SimTime::ZERO
+        };
+        Ok((selection, charged + observed))
     }
 
     /// The PR-3-era streaming execute: identical selection, billing and

@@ -100,6 +100,48 @@
 //! [`ServingPool::begin_shutdown`] or a retire resolves its ticket to the
 //! typed [`ServingError::PoolClosed`] rather than panicking).
 //!
+//! # Routing offload & same-fingerprint micro-batching
+//!
+//! A pool built with [`PoolConfig::with_routing`] moves the routing work off
+//! the submitter thread and amortizes plan activation across bursts:
+//!
+//! * **Routing offload** — `submit`/`try_submit` enqueue into a small
+//!   bounded *routing stage* serviced by one dedicated routing worker. The
+//!   worker computes the request's sparsity fingerprint, resolves device
+//!   affinity through the shared router engine and forwards the job to its
+//!   home shard, so the submit path is O(1) even for a cold matrix: no
+//!   profile pass, cost sweep or cache walk runs on the submitting thread.
+//!   Admission travels with the request — the in-flight cap is still
+//!   reserved at submit, priority lanes and deadlines apply unchanged at
+//!   the shard, and a full stage sheds with
+//!   [`ShedReason::RoutingStageFull`] (non-blocking) or backpressures the
+//!   submitter (blocking). Per-submit latency is recorded in
+//!   [`RoutingPoolStats::submit`].
+//! * **Micro-batching** — at dequeue, a shard worker coalesces a bounded
+//!   run (at most [`RoutingConfig::max_batch`]) of *adjacent* queued
+//!   requests from the same priority lane that share a sparsity
+//!   fingerprint, workload kind, iteration count, policy and matrix
+//!   content into one *plan activation*: one selection resolve, one
+//!   `Arc<PreparedPlan>` pin and one workspace, reused across the whole
+//!   run ([`SeerEngine::activate_plan`]). A burst of K identical operators
+//!   costs one cache walk instead of K; selection overhead is billed to
+//!   the run's first executed request exactly as a sequential replay would
+//!   bill its first cache miss, so responses stay **bit-identical** to
+//!   sequential serving. Expired batchmates are still shed at dequeue
+//!   (never executed) and an eviction can remove a queued batchmate
+//!   without disturbing the rest — batches only form at dequeue, so
+//!   nothing queued is ever committed to one.
+//!
+//! The counters ([`PoolStats::routing`]) prove both layers:
+//! `routed_async` counts stage-forwarded requests, `batched_requests` /
+//! `batch_activations` give the mean batch size, and the front-door balance
+//! (`served + shed + expired + failed == offered`) stays exact — in-stage
+//! requests caught by a shutdown resolve typed
+//! ([`ServingError::PoolClosed`], counted in
+//! [`RoutingPoolStats::stage_closed`]). A pool built *without*
+//! [`RoutingConfig`] is bit-identical to the previous revision and keeps
+//! every routing counter zero.
+//!
 //! # Example
 //!
 //! ```
@@ -137,7 +179,9 @@ use std::time::{Duration, Instant};
 use seer_gpu::{DeviceId, Fleet, Gpu, GpuSpec, MembershipError, SimTime, SpecError};
 use seer_sparse::{CsrMatrix, Scalar};
 
-use crate::engine::{EngineStats, EngineWorkspace, Recalibration, RecalibrationConfig, SeerEngine};
+use crate::engine::{
+    EngineStats, EngineWorkspace, PlanActivation, Recalibration, RecalibrationConfig, SeerEngine,
+};
 use crate::inference::{Selection, SelectionPolicy};
 use crate::training::SeerModels;
 
@@ -167,6 +211,12 @@ pub struct PoolConfig {
     /// `None` (the default) keeps the classic unbounded pool — submits
     /// never shed and every admission counter stays zero.
     pub admission: Option<AdmissionConfig>,
+    /// Routing offload and same-fingerprint micro-batching (see the
+    /// [module docs](self#routing-offload--same-fingerprint-micro-batching)).
+    /// `None` (the default) keeps routing on the submitter thread and
+    /// serves strictly one request per dequeue — bit-identical to the
+    /// pre-routing pool, with every [`RoutingPoolStats`] counter zero.
+    pub routing: Option<RoutingConfig>,
 }
 
 impl PoolConfig {
@@ -177,6 +227,7 @@ impl PoolConfig {
             structure_class_reuse: false,
             recalibration: None,
             admission: None,
+            routing: None,
         }
     }
 
@@ -197,6 +248,13 @@ impl PoolConfig {
     /// removed, with `None`).
     pub fn with_admission(mut self, config: Option<AdmissionConfig>) -> Self {
         self.admission = config;
+        self
+    }
+
+    /// Returns the config with routing offload + micro-batching installed
+    /// (or removed, with `None`).
+    pub fn with_routing(mut self, config: Option<RoutingConfig>) -> Self {
+        self.routing = config;
         self
     }
 }
@@ -313,6 +371,47 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// Routing offload + same-fingerprint micro-batching of a [`ServingPool`].
+/// Installed with [`PoolConfig::with_routing`]; see the
+/// [module docs](self#routing-offload--same-fingerprint-micro-batching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingConfig {
+    /// Maximum requests queued in the routing stage (submitted, not yet
+    /// forwarded to a shard). A full stage sheds non-blocking submits with
+    /// [`ShedReason::RoutingStageFull`] and backpressures blocking ones.
+    /// `0` means unbounded.
+    pub stage_capacity: usize,
+    /// Maximum queued same-fingerprint requests a shard worker coalesces
+    /// into one plan activation at dequeue. `1` (or `0`) disables
+    /// coalescing while keeping the routing offload.
+    pub max_batch: usize,
+}
+
+impl RoutingConfig {
+    /// Returns the config with the routing-stage bound set (`0` =
+    /// unbounded).
+    pub fn with_stage_capacity(mut self, stage_capacity: usize) -> Self {
+        self.stage_capacity = stage_capacity;
+        self
+    }
+
+    /// Returns the config with the per-dequeue coalescing bound set.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+impl Default for RoutingConfig {
+    /// A 1024-deep routing stage and runs of up to 8 coalesced requests.
+    fn default() -> Self {
+        Self {
+            stage_capacity: 1024,
+            max_batch: 8,
+        }
+    }
+}
+
 /// Why the admission controller refused — or revoked — a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
@@ -329,6 +428,10 @@ pub enum ShedReason {
     /// A blocking [`ServingPool::submit_with_timeout`] spent its whole
     /// timeout waiting for capacity.
     BackpressureTimeout,
+    /// The bounded routing stage of a routing-offloaded pool
+    /// ([`PoolConfig::with_routing`]) was full (non-blocking submits;
+    /// blocking submits backpressure instead).
+    RoutingStageFull,
     /// An already-queued request was evicted by a higher-priority arrival
     /// under [`ShedPolicy::DropLowestPriority`].
     Evicted {
@@ -348,6 +451,7 @@ impl std::fmt::Display for ShedReason {
             Self::BackpressureTimeout => {
                 write!(f, "the submit timed out waiting for pool capacity")
             }
+            Self::RoutingStageFull => write!(f, "the bounded routing stage was full"),
             Self::Evicted { shard } => {
                 write!(f, "evicted from shard {shard} by a higher-priority arrival")
             }
@@ -1093,6 +1197,48 @@ impl AdmissionPoolStats {
     }
 }
 
+/// Routing-offload and micro-batching counters of a pool snapshot
+/// ([`PoolStats::routing`]). All zero on a pool built without
+/// [`RoutingConfig`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingPoolStats {
+    /// Whether the pool was built with a [`RoutingConfig`].
+    pub enabled: bool,
+    /// Requests routed and forwarded to their home shard by the dedicated
+    /// routing worker (instead of on the submitter thread).
+    pub routed_async: u64,
+    /// Non-blocking submits refused because the bounded routing stage was
+    /// full ([`ShedReason::RoutingStageFull`]).
+    pub shed_stage_full: u64,
+    /// Ticketed requests still in the routing stage when shutdown began;
+    /// each resolved its ticket to [`ServingError::PoolClosed`].
+    pub stage_closed: u64,
+    /// Requests served as part of a coalesced same-fingerprint run of two
+    /// or more.
+    pub batched_requests: u64,
+    /// Coalesced runs of two or more requests — each cost one selection
+    /// resolve and one plan pin for the whole run.
+    pub batch_activations: u64,
+    /// Requests sitting in the routing stage when the snapshot was taken.
+    pub in_stage: u64,
+    /// Submitter-thread latency of accepted submits (admission + stage
+    /// enqueue; the routing itself happens off-thread).
+    pub submit: HistogramSnapshot,
+}
+
+impl RoutingPoolStats {
+    /// Mean size of coalesced runs (`0.0` before the first batch forms —
+    /// never `NaN`). Only runs of two or more count; a pool that never
+    /// coalesces reports `0.0`.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batch_activations == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batch_activations as f64
+        }
+    }
+}
+
 /// Aggregate snapshot of a [`ServingPool`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolStats {
@@ -1106,6 +1252,9 @@ pub struct PoolStats {
     pub router: Option<EngineStats>,
     /// Front-door admission counters; all zero without admission control.
     pub admission: AdmissionPoolStats,
+    /// Routing-offload and micro-batching counters; all zero without
+    /// [`RoutingConfig`].
+    pub routing: RoutingPoolStats,
     /// Queue-wait and end-to-end latency distributions per priority class.
     pub latency: LatencySnapshot,
     /// Wall-clock time since the pool was created.
@@ -1181,9 +1330,13 @@ impl PoolStats {
     }
 
     /// Everything the front door refused or revoked — see
-    /// [`AdmissionPoolStats::shed_total`].
+    /// [`AdmissionPoolStats::shed_total`] — plus routing-stage refusals
+    /// and in-stage requests revoked by shutdown.
     pub fn shed(&self) -> u64 {
-        self.admission.shed_total()
+        self.admission
+            .shed_total()
+            .saturating_add(self.routing.shed_stage_full)
+            .saturating_add(self.routing.stage_closed)
     }
 
     /// Blocking submits that waited for capacity at least once.
@@ -1192,9 +1345,13 @@ impl PoolStats {
     }
 
     /// Requests ever offered to the front door: admitted plus refused
-    /// before ticketing.
+    /// before ticketing, plus routed requests that never reached a shard
+    /// (shed at a full routing stage, or caught in-stage by shutdown).
     pub fn offered(&self) -> u64 {
-        self.submitted().saturating_add(self.admission.unticketed())
+        self.submitted()
+            .saturating_add(self.admission.unticketed())
+            .saturating_add(self.routing.shed_stage_full)
+            .saturating_add(self.routing.stage_closed)
     }
 
     /// Fraction of offered requests the front door shed, in `[0, 1]`.
@@ -1294,6 +1451,13 @@ struct Job {
     /// When the job was admitted — the zero point of its queue-wait and
     /// end-to-end latency samples.
     admitted: Instant,
+    /// The matrix's sparsity fingerprint — the routing key — computed once
+    /// per request (on the submitter for inline routing, on the routing
+    /// worker for offloaded routing) and carried through every
+    /// admission → routing → shard hop and the dequeue-time batching
+    /// probe. `0` only while the job sits in the routing stage, before the
+    /// routing worker stamps it.
+    fingerprint: u64,
 }
 
 /// One shard's queue: three priority lanes behind one mutex, a bound
@@ -1349,12 +1513,140 @@ impl ShardQueue {
         self.space.notify_all();
     }
 
-    /// Worker-side blocking pop: the highest-priority queued job, or `None`
-    /// once the queue is closed *and* empty (close-then-drain semantics).
+    /// Worker-side blocking pop: fills `run` with the highest-priority
+    /// queued job plus — when `max_batch > 1` — up to `max_batch - 1`
+    /// *immediately following* jobs from the same lane that are
+    /// batch-compatible with it ([`batchable`]: same sparsity fingerprint,
+    /// workload kind, iterations, policy and matrix content). Returns
+    /// `false` once the queue is closed *and* empty (close-then-drain
+    /// semantics). With `max_batch <= 1` this is exactly the classic
+    /// single-job pop.
+    ///
+    /// Batches form only here, at dequeue: nothing queued is ever committed
+    /// to a run, so an eviction or a deadline expiry of a queued
+    /// would-be-batchmate needs no special casing.
+    fn pop_run(&self, run: &mut Vec<Job>, max_batch: usize) -> bool {
+        run.clear();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(lane) = state.lanes.iter_mut().find(|lane| !lane.is_empty()) {
+                run.push(lane.pop_front().expect("lane is non-empty"));
+                while run.len() < max_batch
+                    && lane.front().is_some_and(|next| batchable(&run[0], next))
+                {
+                    run.push(lane.pop_front().expect("lane is non-empty"));
+                }
+                if state.space_waiters > 0 {
+                    self.space.notify_all();
+                }
+                return true;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Whether two adjacent queued jobs may share one plan activation: same
+/// workload kind (select-only with select-only, execute with execute —
+/// never the chaos workloads), same routing key, same workload length and
+/// policy (the selection-plan cache key), and the same matrix *content*
+/// (`Arc` identity, or equal content fingerprints for distinct handles —
+/// the value check matters because an ELL prepared plan embeds value
+/// bits). Execute batchmates may carry different input vectors `x`; the
+/// activated plan is input-independent.
+fn batchable(head: &Job, next: &Job) -> bool {
+    let kind_compatible = matches!(
+        (&head.request.workload, &next.request.workload),
+        (Workload::SelectOnly, Workload::SelectOnly)
+            | (Workload::Execute { .. }, Workload::Execute { .. })
+    );
+    kind_compatible
+        && head.fingerprint == next.fingerprint
+        && head.request.iterations == next.request.iterations
+        && head.request.policy == next.request.policy
+        && (Arc::ptr_eq(&head.request.matrix, &next.request.matrix)
+            || head.request.matrix.content_fingerprint()
+                == next.request.matrix.content_fingerprint())
+}
+
+/// The bounded submit-side stage of a routing-offloaded pool: submitters
+/// push admitted jobs here in O(1), and the dedicated routing worker pops
+/// them, stamps their fingerprint, resolves placement and forwards them to
+/// their home shards. Same condvar discipline as [`ShardQueue`]:
+/// `available` wakes the routing worker, `space` wakes backpressured
+/// submitters.
+struct RoutingStage {
+    state: Mutex<StageState>,
+    available: Condvar,
+    space: Condvar,
+    /// Maximum queued jobs (`0` = unbounded), from
+    /// [`RoutingConfig::stage_capacity`].
+    capacity: usize,
+    /// Jobs pushed but not yet forwarded (or resolved) by the routing
+    /// worker — the stage's contribution to the pool's pending count.
+    in_stage: AtomicU64,
+}
+
+struct StageState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+    space_waiters: usize,
+}
+
+/// What one push attempt against the routing stage produced; `Full` and
+/// `Closed` hand the job back like [`PushAttempt`] does.
+enum StagePush {
+    Queued,
+    Full(Job),
+    Closed(Job),
+}
+
+impl RoutingStage {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(StageState {
+                jobs: VecDeque::new(),
+                closed: false,
+                space_waiters: 0,
+            }),
+            available: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+            in_stage: AtomicU64::new(0),
+        })
+    }
+
+    /// Submitter-side non-blocking push: O(1), no routing work.
+    fn push(&self, job: Job) -> StagePush {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            drop(state);
+            return StagePush::Closed(job);
+        }
+        if self.capacity > 0 && state.jobs.len() >= self.capacity {
+            drop(state);
+            return StagePush::Full(job);
+        }
+        state.jobs.push_back(job);
+        self.in_stage.fetch_add(1, Ordering::SeqCst);
+        drop(state);
+        self.available.notify_one();
+        StagePush::Queued
+    }
+
+    /// Routing-worker-side blocking pop; `None` once the stage is closed
+    /// *and* empty, so a shutdown still drains every in-stage job through
+    /// the worker (which resolves each one typed).
     fn pop(&self) -> Option<Job> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(job) = state.lanes.iter_mut().find_map(|lane| lane.pop_front()) {
+            if let Some(job) = state.jobs.pop_front() {
                 if state.space_waiters > 0 {
                     self.space.notify_all();
                 }
@@ -1367,6 +1659,83 @@ impl ShardQueue {
                 .available
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Parks a backpressured submitter until the stage has room, closes,
+    /// or the deadline passes. Returns `false` only on timeout.
+    fn wait_for_space(&self, wait_deadline: Option<Instant>) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.space_waiters += 1;
+        let mut timed_out = false;
+        loop {
+            if state.closed || self.capacity == 0 || state.jobs.len() < self.capacity {
+                break;
+            }
+            match wait_deadline {
+                None => {
+                    state = self
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        timed_out = true;
+                        break;
+                    }
+                    (state, _) = self
+                        .space
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        state.space_waiters -= 1;
+        drop(state);
+        !timed_out
+    }
+
+    /// Marks the stage closed and wakes the routing worker (to drain and
+    /// exit) and every backpressured submitter. Idempotent.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+        self.space.notify_all();
+    }
+}
+
+/// The routing/batching counters shared by the pool handle, the routing
+/// worker and every shard worker. Present on every pool; a pool built
+/// without [`RoutingConfig`] has `enabled == false`, `max_batch == 1`
+/// (never coalesces) and keeps every counter zero.
+struct RoutingShared {
+    enabled: bool,
+    /// Per-dequeue coalescing bound, clamped to at least 1.
+    max_batch: usize,
+    routed_async: AtomicU64,
+    shed_stage_full: AtomicU64,
+    stage_closed: AtomicU64,
+    batched_requests: AtomicU64,
+    batch_activations: AtomicU64,
+    /// Submitter-thread latency of accepted submits.
+    submit: AtomicHistogram,
+}
+
+impl RoutingShared {
+    fn new(config: Option<RoutingConfig>) -> Self {
+        Self {
+            enabled: config.is_some(),
+            max_batch: config.map_or(1, |c| c.max_batch.max(1)),
+            routed_async: AtomicU64::new(0),
+            shed_stage_full: AtomicU64::new(0),
+            stage_closed: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            batch_activations: AtomicU64::new(0),
+            submit: AtomicHistogram::new(),
         }
     }
 }
@@ -1505,24 +1874,35 @@ pub struct ServingPool {
     /// The pool-wide shared recalibration table, if configured — late-joining
     /// shard engines are installed onto the same table.
     recalibration: Option<Arc<Recalibration>>,
-    inner: RwLock<PoolInner>,
+    /// `Arc` so the dedicated routing worker (when configured) shares the
+    /// same membership snapshot the submit path reads.
+    inner: Arc<RwLock<PoolInner>>,
     /// The shared fleet engine that resolves device affinity at submit time.
     /// `None` while the pool serves a single device (with one device there
     /// is nothing to place, and routing stays the bare-fingerprint hash of
     /// the pre-fleet pool); built when `add_device` makes the fleet
     /// multi-device. Readers clone the `Arc` and drop the guard immediately,
-    /// so this lock is never held across the `inner` lock.
-    router: RwLock<Option<Arc<SeerEngine>>>,
+    /// so this lock is never held across the `inner` lock. `Arc`-wrapped so
+    /// the routing worker resolves affinity off the submitter thread.
+    router: Arc<RwLock<Option<Arc<SeerEngine>>>>,
     progress: Arc<Progress>,
     /// The admission config and front-door counters (present even without
     /// admission control, where only the in-flight gauge and the
     /// shutdown-race counter ever move).
     front_door: Arc<FrontDoor>,
+    /// Routing/batching counters, shared with the routing worker and every
+    /// shard worker (all zero, `max_batch == 1`, without [`RoutingConfig`]).
+    routing: Arc<RoutingShared>,
+    /// The bounded submit-side stage, present only with [`RoutingConfig`].
+    routing_stage: Option<Arc<RoutingStage>>,
+    /// The dedicated routing worker draining the stage; joined by
+    /// [`ServingPool::stop_workers`].
+    routing_worker: Mutex<Option<JoinHandle<()>>>,
     /// Pool-wide latency histograms, shared with every worker.
     latency: Arc<LatencyRecorder>,
     /// Set by [`ServingPool::begin_shutdown`]: the front door refuses new
     /// work instead of re-routing into queues that are all closing.
-    closing: AtomicBool,
+    closing: Arc<AtomicBool>,
     started: Instant,
 }
 
@@ -1567,15 +1947,20 @@ impl ServingPool {
                 ..config
             },
             recalibration,
-            inner: RwLock::new(PoolInner {
+            inner: Arc::new(RwLock::new(PoolInner {
                 shards: Vec::new(),
                 device_groups: vec![Vec::new(); fleet.len()],
-            }),
-            router: RwLock::new(None),
+            })),
+            router: Arc::new(RwLock::new(None)),
             progress,
             front_door: Arc::new(FrontDoor::new(config.admission)),
+            routing: Arc::new(RoutingShared::new(config.routing)),
+            routing_stage: config
+                .routing
+                .map(|routing| RoutingStage::new(routing.stage_capacity)),
+            routing_worker: Mutex::new(None),
             latency: Arc::new(LatencyRecorder::new()),
-            closing: AtomicBool::new(false),
+            closing: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
         };
         {
@@ -1592,6 +1977,25 @@ impl ServingPool {
         if !fleet.is_single_device() {
             *pool.router.write().unwrap_or_else(PoisonError::into_inner) =
                 Some(pool.build_engine());
+        }
+        if let Some(stage) = &pool.routing_stage {
+            let ctx = RoutingCtx {
+                stage: Arc::clone(stage),
+                inner: Arc::clone(&pool.inner),
+                router: Arc::clone(&pool.router),
+                progress: Arc::clone(&pool.progress),
+                front_door: Arc::clone(&pool.front_door),
+                routing: Arc::clone(&pool.routing),
+                closing: Arc::clone(&pool.closing),
+            };
+            let worker = std::thread::Builder::new()
+                .name("seer-routing".into())
+                .spawn(move || routing_worker_loop(&ctx))
+                .expect("spawn routing worker");
+            *pool
+                .routing_worker
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(worker);
         }
         pool
     }
@@ -1620,26 +2024,20 @@ impl ServingPool {
         let queue = ShardQueue::new();
         let counters = Arc::new(ShardCounters::default());
         let worker = {
-            let engine = Arc::clone(&engine);
-            let queue = Arc::clone(&queue);
-            let counters = Arc::clone(&counters);
-            let progress = Arc::clone(&self.progress);
-            let front_door = Arc::clone(&self.front_door);
-            let latency = Arc::clone(&self.latency);
+            let ctx = WorkerContext {
+                shard: index,
+                device,
+                engine: Arc::clone(&engine),
+                queue: Arc::clone(&queue),
+                counters: Arc::clone(&counters),
+                progress: Arc::clone(&self.progress),
+                front_door: Arc::clone(&self.front_door),
+                latency: Arc::clone(&self.latency),
+                routing: Arc::clone(&self.routing),
+            };
             std::thread::Builder::new()
                 .name(format!("seer-shard-{index}"))
-                .spawn(move || {
-                    worker_loop(
-                        index,
-                        device,
-                        &engine,
-                        &queue,
-                        &counters,
-                        &progress,
-                        &front_door,
-                        &latency,
-                    )
-                })
+                .spawn(move || worker_loop(&ctx))
                 .expect("spawn serving worker")
         };
         Shard {
@@ -1819,7 +2217,11 @@ impl ServingPool {
             router.select_with_policy(&request.matrix, request.iterations, request.policy)
         });
         let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
-        route_in(&inner, &request.matrix, selection.as_ref())
+        route_in(
+            &inner,
+            request.matrix.sparsity_fingerprint(),
+            selection.as_ref(),
+        )
     }
 
     /// Enqueues one request on its home shard and returns a [`Ticket`] for
@@ -1928,7 +2330,49 @@ impl ServingPool {
                 shard: 0,
             },
             admitted: Instant::now(),
+            fingerprint: 0,
         };
+
+        // Routing offload: hand the admitted job to the bounded stage in
+        // O(1) — no fingerprint hash, no router selection, no cache walk on
+        // this thread. The routing worker resolves placement and forwards;
+        // the ticket's shard is unknown at submit time (`usize::MAX`).
+        if let Some(stage) = &self.routing_stage {
+            let submit_started = Instant::now();
+            loop {
+                if self.closing.load(Ordering::SeqCst) {
+                    return self.abandon(job, ShedReason::PoolClosed);
+                }
+                match stage.push(job) {
+                    StagePush::Queued => {
+                        self.routing.submit.record(submit_started.elapsed());
+                        return SubmitOutcome::Accepted(Ticket {
+                            cell,
+                            shard: usize::MAX,
+                            received: None,
+                        });
+                    }
+                    StagePush::Full(returned) => {
+                        job = returned;
+                        if !block {
+                            return self.abandon(job, ShedReason::RoutingStageFull);
+                        }
+                        self.note_backpressure(&mut waited);
+                        if !stage.wait_for_space(wait_deadline) {
+                            return self.abandon(job, ShedReason::BackpressureTimeout);
+                        }
+                        // Space freed (or the stage closed): retry.
+                    }
+                    StagePush::Closed(returned) => {
+                        return self.abandon(returned, ShedReason::PoolClosed);
+                    }
+                }
+            }
+        }
+
+        // Inline routing: the classic path. The routing key is computed
+        // once here and carried with the job through every later hop.
+        job.fingerprint = job.request.matrix.sparsity_fingerprint();
         loop {
             if self.closing.load(Ordering::SeqCst) {
                 return self.abandon(job, ShedReason::PoolClosed);
@@ -1943,7 +2387,7 @@ impl ServingPool {
             });
             let (attempt, shard_index, queue, counters) = {
                 let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
-                let shard_index = route_in(&inner, &job.request.matrix, selection.as_ref());
+                let shard_index = route_in(&inner, job.fingerprint, selection.as_ref());
                 let shard = &inner.shards[shard_index];
                 (
                     push_job(shard, shard_index, job, capacity, policy),
@@ -1963,7 +2407,13 @@ impl ServingPool {
                 PushAttempt::QueuedEvicting(victim) => {
                     // Outside every pool lock: resolving the victim's
                     // ticket wakes its waiter directly.
-                    self.resolve_eviction(shard_index, &counters, victim);
+                    resolve_evicted(
+                        shard_index,
+                        &counters,
+                        victim,
+                        &self.front_door,
+                        &self.progress,
+                    );
                     return SubmitOutcome::Accepted(Ticket {
                         cell,
                         shard: shard_index,
@@ -2064,6 +2514,7 @@ impl ServingPool {
             ShedReason::QueueFull { .. } => &self.front_door.shed_queue_full,
             ShedReason::InFlightCap => &self.front_door.shed_in_flight,
             ShedReason::BackpressureTimeout => &self.front_door.shed_timeout,
+            ShedReason::RoutingStageFull => &self.routing.shed_stage_full,
             ShedReason::PoolClosed => &self.front_door.shed_closed,
             ShedReason::Evicted { .. } => {
                 unreachable!("evictions revoke admitted requests, they are not refusals")
@@ -2082,28 +2533,6 @@ impl ServingPool {
         drop(job);
         self.front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.refuse(reason)
-    }
-
-    /// Resolves an evicted job's ticket and settles its accounting: the
-    /// victim was admitted (it counted as submitted), so the eviction
-    /// counts it completed + shed on its shard and frees its in-flight
-    /// slot.
-    fn resolve_eviction(&self, shard_index: usize, counters: &ShardCounters, victim: Job) {
-        let Job { responder, .. } = victim;
-        responder.resolve(Err(ServingError::Shed {
-            reason: ShedReason::Evicted { shard: shard_index },
-        }));
-        counters.shed.fetch_add(1, Ordering::SeqCst);
-        counters.completed.fetch_add(1, Ordering::SeqCst);
-        self.front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
-        if self.progress.waiters.load(Ordering::SeqCst) > 0 {
-            let _guard = self
-                .progress
-                .lock
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            self.progress.served.notify_all();
-        }
     }
 
     /// Counts the first backpressure wait of one admission.
@@ -2136,10 +2565,16 @@ impl ServingPool {
     /// Closes the front door and every shard queue without consuming the
     /// pool: new submits shed with [`ShedReason::PoolClosed`] / resolve to
     /// [`ServingError::PoolClosed`], already-admitted requests still drain,
-    /// and workers exit after their backlog. Idempotent;
+    /// and workers exit after their backlog. On a routing-offloaded pool
+    /// the stage closes too: requests still in the stage resolve their
+    /// tickets to the typed [`ServingError::PoolClosed`] (counted in
+    /// [`RoutingPoolStats::stage_closed`]) — never hang. Idempotent;
     /// [`ServingPool::shutdown`] calls it first.
     pub fn begin_shutdown(&self) {
         self.closing.store(true, Ordering::SeqCst);
+        if let Some(stage) = &self.routing_stage {
+            stage.close();
+        }
         let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         for shard in &inner.shards {
             shard.queue.close();
@@ -2175,16 +2610,29 @@ impl ServingPool {
         self.progress.waiters.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Requests accepted but not yet served, across all shards.
+    /// Requests accepted but not yet served, across all shards — plus
+    /// accepted requests still waiting in the routing stage, so a drain
+    /// cannot slip past work the routing worker has not forwarded yet.
     fn pending(&self) -> u64 {
+        // Read the stage gauge *before* the shard deltas: a job leaving the
+        // stage increments its shard's `submitted` first, so whichever
+        // interleaving this races, the job is visible on at least one side.
+        let in_stage = self
+            .routing_stage
+            .as_ref()
+            .map_or(0, |stage| stage.in_stage.load(Ordering::SeqCst));
         let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
-        inner.shards.iter().fold(0u64, |n, s| {
-            n.saturating_add(
-                s.submitted
-                    .load(Ordering::SeqCst)
-                    .saturating_sub(s.counters.completed.load(Ordering::SeqCst)),
-            )
-        })
+        inner
+            .shards
+            .iter()
+            .fold(0u64, |n, s| {
+                n.saturating_add(
+                    s.submitted
+                        .load(Ordering::SeqCst)
+                        .saturating_sub(s.counters.completed.load(Ordering::SeqCst)),
+                )
+            })
+            .saturating_add(in_stage)
     }
 
     /// Current per-shard and aggregate counters.
@@ -2213,8 +2661,27 @@ impl ServingPool {
                 .collect(),
             router: self.router_handle().map(|router| router.stats()),
             admission: self.admission_stats(&inner),
+            routing: self.routing_stats(),
             latency: self.latency.snapshot(),
             elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// The routing-offload counter snapshot.
+    fn routing_stats(&self) -> RoutingPoolStats {
+        let routing = &self.routing;
+        RoutingPoolStats {
+            enabled: routing.enabled,
+            routed_async: routing.routed_async.load(Ordering::SeqCst),
+            shed_stage_full: routing.shed_stage_full.load(Ordering::SeqCst),
+            stage_closed: routing.stage_closed.load(Ordering::SeqCst),
+            batched_requests: routing.batched_requests.load(Ordering::SeqCst),
+            batch_activations: routing.batch_activations.load(Ordering::SeqCst),
+            in_stage: self
+                .routing_stage
+                .as_ref()
+                .map_or(0, |stage| stage.in_stage.load(Ordering::SeqCst)),
+            submit: routing.submit.snapshot(),
         }
     }
 
@@ -2250,8 +2717,27 @@ impl ServingPool {
     /// and exit; joining guarantees no thread outlives the pool. Safe to
     /// run concurrently with a retire-drain — whichever side takes a worker
     /// handle first joins it.
+    ///
+    /// The routing stage winds down *first*, while the shard queues are
+    /// still open: the routing worker drains every in-stage job into its
+    /// home shard (so a graceful [`ServingPool::shutdown`] still serves
+    /// them), and only then do the shard queues close. After a
+    /// [`ServingPool::begin_shutdown`] the shard queues are already closed
+    /// and the drained jobs resolve typed [`ServingError::PoolClosed`]
+    /// instead.
     fn stop_workers(&mut self) {
         self.closing.store(true, Ordering::SeqCst);
+        if let Some(stage) = &self.routing_stage {
+            stage.close();
+        }
+        if let Some(worker) = self
+            .routing_worker
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            join_worker(worker);
+        }
         let workers: Vec<JoinHandle<()>> = {
             let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
             for shard in &mut inner.shards {
@@ -2285,13 +2771,14 @@ fn join_worker(worker: JoinHandle<()>) {
 }
 
 /// The routing function, applied under one read of the pool's `inner` lock.
+/// Takes the request's already-computed routing key (the matrix's sparsity
+/// fingerprint) so no hop ever re-derives it.
 ///
 /// With a device placement: the fingerprint-local shard of the placed
 /// device's group; if that group is gone (retired between selection and
 /// routing), the first surviving group. Without a placement (single-device
 /// pool): bare `fingerprint % shards`.
-fn route_in(inner: &PoolInner, matrix: &CsrMatrix, selection: Option<&Selection>) -> usize {
-    let fingerprint = matrix.sparsity_fingerprint();
+fn route_in(inner: &PoolInner, fingerprint: u64, selection: Option<&Selection>) -> usize {
     if let Some(selection) = selection {
         let placed = inner
             .device_groups
@@ -2400,11 +2887,143 @@ fn wait_for_space(queue: &ShardQueue, capacity: usize, wait_deadline: Option<Ins
     !timed_out
 }
 
+/// Everything the routing worker thread needs, cloned out of the pool at
+/// spawn time so the worker shares the pool's membership snapshot, router,
+/// counters and shutdown flag without borrowing the pool itself.
+struct RoutingCtx {
+    stage: Arc<RoutingStage>,
+    inner: Arc<RwLock<PoolInner>>,
+    router: Arc<RwLock<Option<Arc<SeerEngine>>>>,
+    progress: Arc<Progress>,
+    front_door: Arc<FrontDoor>,
+    routing: Arc<RoutingShared>,
+    closing: Arc<AtomicBool>,
+}
+
+/// The dedicated routing worker: pops admitted jobs off the stage, stamps
+/// each one's routing key (the submit path never hashed it), resolves
+/// device affinity through the shared router engine, and forwards to the
+/// home shard. Exits once the stage is closed *and* drained.
+fn routing_worker_loop(ctx: &RoutingCtx) {
+    while let Some(mut job) = ctx.stage.pop() {
+        // The one fingerprint computation of the request's lifetime
+        // (memoized on the matrix, carried on the job from here on).
+        job.fingerprint = job.request.matrix.sparsity_fingerprint();
+        forward(ctx, job);
+    }
+}
+
+/// Routes one staged job to its home shard, retrying across membership
+/// changes exactly like the inline admission loop. Never sheds on a full
+/// queue — the stage *is* the bounded front; the worker absorbs shard
+/// backpressure so balance stays exact. A closed shard queue means either
+/// a retire (re-route to survivors: the group was unpublished in the same
+/// critical section that closed its queues) or a shutdown (resolve the
+/// ticket typed, counted in [`RoutingPoolStats::stage_closed`]).
+fn forward(ctx: &RoutingCtx, mut job: Job) {
+    let capacity = ctx.front_door.queue_capacity();
+    let policy = ctx.front_door.shed_policy();
+    loop {
+        // Device affinity first, with no pool locks held (the router guard
+        // is released before selecting, like `ServingPool::router_handle`).
+        let router = ctx
+            .router
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let selection = router.map(|router| {
+            router.select_with_policy(
+                &job.request.matrix,
+                job.request.iterations,
+                job.request.policy,
+            )
+        });
+        let (attempt, shard_index, queue, counters) = {
+            let inner = ctx.inner.read().unwrap_or_else(PoisonError::into_inner);
+            let shard_index = route_in(&inner, job.fingerprint, selection.as_ref());
+            let shard = &inner.shards[shard_index];
+            (
+                push_job(shard, shard_index, job, capacity, policy),
+                shard_index,
+                Arc::clone(&shard.queue),
+                Arc::clone(&shard.counters),
+            )
+        };
+        match attempt {
+            PushAttempt::Queued => {
+                forwarded(ctx);
+                return;
+            }
+            PushAttempt::QueuedEvicting(victim) => {
+                resolve_evicted(
+                    shard_index,
+                    &counters,
+                    victim,
+                    &ctx.front_door,
+                    &ctx.progress,
+                );
+                forwarded(ctx);
+                return;
+            }
+            PushAttempt::Full(returned) => {
+                job = returned;
+                // Block until the shard frees a slot or its queue closes;
+                // either way the loop re-routes and retries.
+                wait_for_space(&queue, capacity, None);
+            }
+            PushAttempt::Closed(returned) => {
+                job = returned;
+                if ctx.closing.load(Ordering::SeqCst) {
+                    // Shutdown: resolve typed so no in-stage ticket can
+                    // ever hang, release the accounting the admission
+                    // reserved, and wake any parked drain.
+                    let Job { responder, .. } = job;
+                    responder.resolve(Err(ServingError::PoolClosed));
+                    ctx.routing.stage_closed.fetch_add(1, Ordering::SeqCst);
+                    ctx.stage.in_stage.fetch_sub(1, Ordering::SeqCst);
+                    ctx.front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    notify_progress(&ctx.progress);
+                    return;
+                }
+                // A retire closed this queue: the next routing pass lands
+                // on the surviving groups.
+            }
+        }
+    }
+}
+
+/// The accounting tail of one successful stage forward. Ordering matters:
+/// the shard's `submitted` was already incremented inside `push_job`, so
+/// decrementing the stage gauge *after* it keeps the pool's pending count
+/// from transiently dropping to zero while the job changes hands.
+fn forwarded(ctx: &RoutingCtx) {
+    ctx.routing.routed_async.fetch_add(1, Ordering::SeqCst);
+    ctx.stage.in_stage.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Everything one shard worker thread needs, bundled at spawn time.
+struct WorkerContext {
+    shard: usize,
+    device: DeviceId,
+    engine: Arc<SeerEngine>,
+    queue: Arc<ShardQueue>,
+    counters: Arc<ShardCounters>,
+    progress: Arc<Progress>,
+    front_door: Arc<FrontDoor>,
+    latency: Arc<LatencyRecorder>,
+    routing: Arc<RoutingShared>,
+}
+
 /// One shard's serve loop: drain the queue until every sender is gone.
 ///
 /// The worker owns one [`EngineWorkspace`] for its whole lifetime, so the
 /// execute hot path reuses the same output and scratch buffers across every
 /// request the shard ever serves.
+///
+/// With micro-batching enabled ([`RoutingConfig::max_batch`] > 1) each
+/// dequeue may return a *run* of batch-compatible jobs; a run of two or
+/// more is served through one plan activation ([`serve_run`]). A
+/// single-job dequeue takes exactly the classic path.
 ///
 /// A panic inside [`serve`] is unwind-isolated per request: the worker
 /// records the failure, still counts the request completed (so drain and
@@ -2420,80 +3039,297 @@ fn wait_for_space(queue: &ShardQueue, capacity: usize, wait_deadline: Option<Ins
 /// served successfully while this worker's pinned `device` is no longer
 /// live (drained backlog after a retire, or a retried placement) counts as
 /// [`ShardStats::migrated`].
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
-    shard: usize,
-    device: DeviceId,
-    engine: &SeerEngine,
-    queue: &ShardQueue,
-    counters: &ShardCounters,
-    progress: &Progress,
-    front_door: &FrontDoor,
-    latency: &LatencyRecorder,
-) {
+fn worker_loop(ctx: &WorkerContext) {
     let mut workspace = EngineWorkspace::new();
-    while let Some(job) = queue.pop() {
+    let mut run: Vec<Job> = Vec::new();
+    while ctx.queue.pop_run(&mut run, ctx.routing.max_batch) {
+        if run.len() > 1 {
+            ctx.routing.batch_activations.fetch_add(1, Ordering::SeqCst);
+            ctx.routing
+                .batched_requests
+                .fetch_add(run.len() as u64, Ordering::SeqCst);
+            serve_run(ctx, &mut run, &mut workspace);
+            continue;
+        }
+        let Some(job) = run.pop() else {
+            continue;
+        };
         let Job {
             request,
             responder,
             admitted,
+            ..
         } = job;
         let lane = request.priority.lane();
-        latency.queue_wait[lane].record(admitted.elapsed());
+        ctx.latency.queue_wait[lane].record(admitted.elapsed());
         // Deadline shed at dequeue: expired work is never executed, so an
         // overloaded pool stops wasting capacity on answers nobody is
         // still waiting for.
-        if request
-            .deadline
-            .is_some_and(|deadline| Instant::now() >= deadline)
-        {
-            responder.resolve(Err(ServingError::DeadlineExceeded { shard }));
-            counters.expired.fetch_add(1, Ordering::SeqCst);
-            finish_job(counters, progress, front_door);
+        if deadline_expired(&request) {
+            responder.resolve(Err(ServingError::DeadlineExceeded { shard: ctx.shard }));
+            ctx.counters.expired.fetch_add(1, Ordering::SeqCst);
+            finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
             continue;
         }
-        let resolution = match attempt(shard, engine, &request, &mut workspace) {
-            Attempt::Served(response) => Ok(response),
-            Attempt::Panicked => {
-                counters.failed.fetch_add(1, Ordering::SeqCst);
-                Err(ServingError::WorkerDied { shard })
+        serve_job(ctx, &request, responder, admitted, lane, &mut workspace);
+    }
+}
+
+/// Whether a request's deadline has passed (a deadline-free request never
+/// expires).
+fn deadline_expired(request: &ServingRequest) -> bool {
+    request
+        .deadline
+        .is_some_and(|deadline| Instant::now() >= deadline)
+}
+
+/// Serves one dequeued, not-expired job through the full per-request path:
+/// one unwind-isolated attempt, one bounded dead-device retry, resolution
+/// and completion accounting. Exactly the pre-batching worker body.
+fn serve_job(
+    ctx: &WorkerContext,
+    request: &ServingRequest,
+    responder: Responder,
+    admitted: Instant,
+    lane: usize,
+    workspace: &mut EngineWorkspace,
+) {
+    let resolution = match attempt(ctx.shard, &ctx.engine, request, workspace) {
+        Attempt::Served(response) => Ok(response),
+        Attempt::Panicked => {
+            ctx.counters.failed.fetch_add(1, Ordering::SeqCst);
+            Err(ServingError::WorkerDied { shard: ctx.shard })
+        }
+        Attempt::DeviceDied(_) => {
+            ctx.counters.device_failures.fetch_add(1, Ordering::SeqCst);
+            ctx.counters.retried.fetch_add(1, Ordering::SeqCst);
+            // The dead device is no longer live, so the retry's fresh
+            // selection places the work on a surviving device. One
+            // retry, not a loop: a second dead device means the fleet
+            // is flapping faster than selections, and the caller
+            // should see that.
+            match attempt(ctx.shard, &ctx.engine, request, workspace) {
+                Attempt::Served(response) => Ok(response),
+                Attempt::Panicked => {
+                    ctx.counters.failed.fetch_add(1, Ordering::SeqCst);
+                    Err(ServingError::WorkerDied { shard: ctx.shard })
+                }
+                Attempt::DeviceDied(death) => {
+                    ctx.counters.device_failures.fetch_add(1, Ordering::SeqCst);
+                    Err(ServingError::DeviceFailed {
+                        device: death.device,
+                    })
+                }
             }
-            Attempt::DeviceDied(_) => {
-                counters.device_failures.fetch_add(1, Ordering::SeqCst);
-                counters.retried.fetch_add(1, Ordering::SeqCst);
-                // The dead device is no longer live, so the retry's fresh
-                // selection places the work on a surviving device. One
-                // retry, not a loop: a second dead device means the fleet
-                // is flapping faster than selections, and the caller
-                // should see that.
-                match attempt(shard, engine, &request, &mut workspace) {
-                    Attempt::Served(response) => Ok(response),
-                    Attempt::Panicked => {
-                        counters.failed.fetch_add(1, Ordering::SeqCst);
-                        Err(ServingError::WorkerDied { shard })
+        }
+    };
+    let migrated = resolution.is_ok() && !ctx.engine.fleet().is_live(ctx.device);
+    let served = resolution.is_ok();
+    // Resolve the ticket before counting the request completed: a
+    // drain woken by this completion must find the outcome in place.
+    responder.resolve(resolution);
+    if served {
+        ctx.counters.served.fetch_add(1, Ordering::SeqCst);
+        ctx.latency.end_to_end[lane].record(admitted.elapsed());
+    }
+    if migrated {
+        ctx.counters.migrated.fetch_add(1, Ordering::SeqCst);
+    }
+    finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
+}
+
+/// The one shared resolution of a coalesced run: a select-only run reuses
+/// one selection, an execute run replays one pinned plan activation.
+enum RunPlan {
+    Select(Selection),
+    Execute(PlanActivation),
+}
+
+/// Resolves the shared plan for a run's first non-expired job: one
+/// selection resolve (and, for execute runs, one plan-cache walk + pin)
+/// for the whole run. `None` on a panic or a dead placement device — the
+/// caller then serves every remaining job through the full per-request
+/// path, which owns the retry semantics.
+fn activate_run(ctx: &WorkerContext, request: &ServingRequest) -> Option<RunPlan> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match &request.workload {
+        Workload::SelectOnly => Ok(RunPlan::Select(ctx.engine.select_with_policy(
+            &request.matrix,
+            request.iterations,
+            request.policy,
+        ))),
+        Workload::Execute { .. } => ctx
+            .engine
+            .activate_plan(&request.matrix, request.iterations, request.policy)
+            .map(RunPlan::Execute),
+        Workload::PanicInjection | Workload::Gate { .. } => {
+            unreachable!("chaos workloads are never coalesced into runs")
+        }
+    }));
+    match outcome {
+        Ok(Ok(plan)) => Some(plan),
+        Ok(Err(_)) | Err(_) => None,
+    }
+}
+
+/// One unwind-isolated execution of a run job against the shared
+/// activation. `first` bills the activation's charged selection overhead
+/// to exactly one executed request — the same bill a sequential replay
+/// puts on its first cache miss.
+fn activated_attempt(
+    ctx: &WorkerContext,
+    activation: &PlanActivation,
+    request: &ServingRequest,
+    first: bool,
+    workspace: &mut EngineWorkspace,
+) -> Attempt {
+    let Workload::Execute { x } = &request.workload else {
+        unreachable!("execute runs only contain execute workloads")
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        ctx.engine.try_execute_activated_into(
+            activation,
+            &request.matrix,
+            x,
+            request.iterations,
+            first,
+            workspace,
+        )
+    }));
+    match outcome {
+        Ok(Ok((selection, total_time))) => Attempt::Served(ServingResponse {
+            selection,
+            result: Some(workspace.result().to_vec()),
+            total_time: Some(total_time),
+            shard: ctx.shard,
+        }),
+        Ok(Err(death)) => Attempt::DeviceDied(death),
+        Err(_) => Attempt::Panicked,
+    }
+}
+
+/// Resolves one run job as served and settles its accounting.
+fn resolve_served(
+    ctx: &WorkerContext,
+    lane: usize,
+    admitted: Instant,
+    responder: Responder,
+    response: ServingResponse,
+) {
+    let migrated = !ctx.engine.fleet().is_live(ctx.device);
+    responder.resolve(Ok(response));
+    ctx.counters.served.fetch_add(1, Ordering::SeqCst);
+    ctx.latency.end_to_end[lane].record(admitted.elapsed());
+    if migrated {
+        ctx.counters.migrated.fetch_add(1, Ordering::SeqCst);
+    }
+    finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
+}
+
+/// Serves a coalesced run of two or more batch-compatible jobs through one
+/// plan activation.
+///
+/// Invariants, in order of application per job:
+///
+/// * queue-wait is recorded and the deadline checked for *every* job —
+///   an expired batchmate is still shed at dequeue (counted
+///   [`ShardStats::expired`]), never executed, exactly like the single-job
+///   path;
+/// * the shared [`RunPlan`] is resolved lazily on the first non-expired
+///   job, so selection overhead is billed to the same request a sequential
+///   replay would bill (if the first job expired, the next executed one
+///   carries the miss);
+/// * an activation failure or a mid-run dead device drops the rest of the
+///   run back onto the full per-request path ([`serve_job`]), which owns
+///   the bounded retry — a batch never weakens the failure semantics.
+fn serve_run(ctx: &WorkerContext, run: &mut Vec<Job>, workspace: &mut EngineWorkspace) {
+    let mut plan: Option<RunPlan> = None;
+    // Once true, every remaining job goes through the full per-request
+    // path (activation failed, or the shared device died mid-run).
+    let mut fallback = false;
+    // Whether the next activated execution is the run's first — the one
+    // billed the activation's charged selection overhead.
+    let mut first = true;
+    for job in run.drain(..) {
+        let Job {
+            request,
+            responder,
+            admitted,
+            ..
+        } = job;
+        let lane = request.priority.lane();
+        ctx.latency.queue_wait[lane].record(admitted.elapsed());
+        if deadline_expired(&request) {
+            responder.resolve(Err(ServingError::DeadlineExceeded { shard: ctx.shard }));
+            ctx.counters.expired.fetch_add(1, Ordering::SeqCst);
+            finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
+            continue;
+        }
+        if !fallback && plan.is_none() {
+            plan = activate_run(ctx, &request);
+            fallback = plan.is_none();
+        }
+        let shared = if fallback { None } else { plan.as_ref() };
+        let Some(shared) = shared else {
+            serve_job(ctx, &request, responder, admitted, lane, workspace);
+            continue;
+        };
+        match shared {
+            RunPlan::Select(selection) => {
+                resolve_served(
+                    ctx,
+                    lane,
+                    admitted,
+                    responder,
+                    ServingResponse {
+                        selection: *selection,
+                        result: None,
+                        total_time: None,
+                        shard: ctx.shard,
+                    },
+                );
+            }
+            RunPlan::Execute(activation) => {
+                match activated_attempt(ctx, activation, &request, first, workspace) {
+                    Attempt::Served(response) => {
+                        first = false;
+                        resolve_served(ctx, lane, admitted, responder, response);
                     }
-                    Attempt::DeviceDied(death) => {
-                        counters.device_failures.fetch_add(1, Ordering::SeqCst);
-                        Err(ServingError::DeviceFailed {
-                            device: death.device,
-                        })
+                    Attempt::Panicked => {
+                        first = false;
+                        ctx.counters.failed.fetch_add(1, Ordering::SeqCst);
+                        responder.resolve(Err(ServingError::WorkerDied { shard: ctx.shard }));
+                        finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
+                    }
+                    Attempt::DeviceDied(_) => {
+                        // The pinned placement is dead: give this job the
+                        // standard bounded retry and drop the rest of the
+                        // run back onto the full path.
+                        first = false;
+                        fallback = true;
+                        ctx.counters.device_failures.fetch_add(1, Ordering::SeqCst);
+                        ctx.counters.retried.fetch_add(1, Ordering::SeqCst);
+                        match attempt(ctx.shard, &ctx.engine, &request, workspace) {
+                            Attempt::Served(response) => {
+                                resolve_served(ctx, lane, admitted, responder, response);
+                            }
+                            Attempt::Panicked => {
+                                ctx.counters.failed.fetch_add(1, Ordering::SeqCst);
+                                responder
+                                    .resolve(Err(ServingError::WorkerDied { shard: ctx.shard }));
+                                finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
+                            }
+                            Attempt::DeviceDied(death) => {
+                                ctx.counters.device_failures.fetch_add(1, Ordering::SeqCst);
+                                responder.resolve(Err(ServingError::DeviceFailed {
+                                    device: death.device,
+                                }));
+                                finish_job(&ctx.counters, &ctx.progress, &ctx.front_door);
+                            }
+                        }
                     }
                 }
             }
-        };
-        let migrated = resolution.is_ok() && !engine.fleet().is_live(device);
-        let served = resolution.is_ok();
-        // Resolve the ticket before counting the request completed: a
-        // drain woken by this completion must find the outcome in place.
-        responder.resolve(resolution);
-        if served {
-            counters.served.fetch_add(1, Ordering::SeqCst);
-            latency.end_to_end[lane].record(admitted.elapsed());
         }
-        if migrated {
-            counters.migrated.fetch_add(1, Ordering::SeqCst);
-        }
-        finish_job(counters, progress, front_door);
     }
 }
 
@@ -2504,13 +3340,38 @@ fn worker_loop(
 fn finish_job(counters: &ShardCounters, progress: &Progress, front_door: &FrontDoor) {
     counters.completed.fetch_add(1, Ordering::SeqCst);
     front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
+    notify_progress(progress);
+}
+
+/// Wakes any parked drain or capacity waiter. Taking the lock before
+/// notifying pairs with `drain` (and the in-flight backpressure wait)
+/// holding it across their checks, so no wakeup is ever missed.
+fn notify_progress(progress: &Progress) {
     if progress.waiters.load(Ordering::SeqCst) > 0 {
-        // Taking the lock before notifying pairs with `drain` (and the
-        // in-flight backpressure wait) holding it across their checks, so
-        // no wakeup is ever missed.
         let _guard = progress.lock.lock().unwrap_or_else(PoisonError::into_inner);
         progress.served.notify_all();
     }
+}
+
+/// Resolves an evicted job's ticket and settles its accounting: the
+/// victim was admitted (it counted as submitted), so the eviction
+/// counts it completed + shed on its shard and frees its in-flight
+/// slot. Shared by the inline admission path and the routing worker.
+fn resolve_evicted(
+    shard_index: usize,
+    counters: &ShardCounters,
+    victim: Job,
+    front_door: &FrontDoor,
+    progress: &Progress,
+) {
+    let Job { responder, .. } = victim;
+    responder.resolve(Err(ServingError::Shed {
+        reason: ShedReason::Evicted { shard: shard_index },
+    }));
+    counters.shed.fetch_add(1, Ordering::SeqCst);
+    counters.completed.fetch_add(1, Ordering::SeqCst);
+    front_door.in_flight.fetch_sub(1, Ordering::SeqCst);
+    notify_progress(progress);
 }
 
 /// One unwind-isolated serve attempt.
@@ -3747,5 +4608,441 @@ mod tests {
             [0, 1, 2],
             "ALL lists classes in dequeue order"
         );
+        assert!(ShedReason::RoutingStageFull.to_string().contains("routing"));
+    }
+
+    /// A single-shard pool with the routing stage and micro-batching on,
+    /// plus an optional admission config layered underneath.
+    fn routed_pool(
+        routing: RoutingConfig,
+        admission: Option<AdmissionConfig>,
+    ) -> (ServingPool, Vec<Arc<CsrMatrix>>) {
+        let entries = generate(&CollectionConfig::tiny());
+        let (engine, _outcome) =
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap();
+        let corpus = entries.iter().map(|e| Arc::new(e.matrix.clone())).collect();
+        let pool = ServingPool::from_engine(
+            &engine,
+            PoolConfig::with_shards(1)
+                .with_admission(admission)
+                .with_routing(Some(routing)),
+        );
+        (pool, corpus)
+    }
+
+    /// Waits until the routing worker has forwarded `count` jobs to shard
+    /// queues — `routed_async` increments only after a successful push, so
+    /// the counter doubles as a deterministic "job left the stage" signal.
+    fn wait_for_forwards(pool: &ServingPool, count: u64) {
+        for _ in 0..2000 {
+            if pool.stats().routing.routed_async >= count {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        panic!("routing worker never forwarded {count} jobs");
+    }
+
+    #[test]
+    fn routing_off_pools_report_zero_routing_counters() {
+        // The opt-out guarantee: a pool built without a RoutingConfig has no
+        // stage, no routing worker, and every new counter pinned at zero.
+        let (pool, _engine, entries) = pool_and_corpus(2);
+        let matrix = Arc::new(entries[0].matrix.clone());
+        for _ in 0..6 {
+            let _ = pool
+                .submit(ServingRequest::select(Arc::clone(&matrix), 19))
+                .wait()
+                .expect("healthy worker");
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.served(), 6);
+        assert_eq!(stats.routing, RoutingPoolStats::default());
+        assert!(!stats.routing.enabled);
+        assert_eq!(stats.routing.mean_batch_size(), 0.0);
+        assert_eq!(stats.routing.submit.count(), 0);
+    }
+
+    #[test]
+    fn routed_pool_matches_sequential_and_balances_counters() {
+        let (pool, corpus) = routed_pool(RoutingConfig::default(), None);
+        let (replay_engine, _outcome) = {
+            let entries = generate(&CollectionConfig::tiny());
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap()
+        };
+        let total = 24;
+        let tickets: Vec<Ticket> = (0..total)
+            .map(|i| {
+                pool.submit(ServingRequest::select(
+                    Arc::clone(&corpus[i % corpus.len()]),
+                    19,
+                ))
+            })
+            .collect();
+        // Routed tickets have no home shard at submit time: placement is
+        // the routing worker's job, not the submitter's.
+        assert!(tickets.iter().all(|t| t.shard() == usize::MAX));
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let response = ticket.wait().expect("healthy worker");
+            assert_eq!(
+                response.selection,
+                replay_engine.select_with_policy(
+                    &corpus[i % corpus.len()],
+                    19,
+                    SelectionPolicy::Adaptive
+                ),
+                "routed request {i} diverged from the sequential replay"
+            );
+        }
+        let stats = pool.shutdown();
+        assert!(stats.routing.enabled);
+        assert_eq!(stats.routing.routed_async, total as u64);
+        assert_eq!(stats.routing.in_stage, 0);
+        assert_eq!(stats.routing.shed_stage_full, 0);
+        assert_eq!(stats.routing.stage_closed, 0);
+        // Every submit went through the O(1) path and was timed.
+        assert_eq!(stats.routing.submit.count(), total as u64);
+        assert_eq!(stats.offered(), total as u64);
+        assert_eq!(stats.served(), total as u64);
+        assert_eq!(stats.shed() + stats.expired() + stats.failed(), 0);
+        assert_eq!(stats.queue_depth(), 0);
+    }
+
+    #[test]
+    fn same_fingerprint_runs_coalesce_into_one_activation() {
+        let (pool, corpus) = routed_pool(RoutingConfig::default().with_max_batch(16), None);
+        let matrix = Arc::clone(&corpus[0]);
+        // Pin the worker so the burst queues up behind it. The gate job is
+        // a chaos workload: it can never be coalesced into the run.
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        let burst = 8;
+        let tickets: Vec<Ticket> = (0..burst)
+            .map(|_| pool.submit(ServingRequest::select(Arc::clone(&matrix), 19)))
+            .collect();
+        // Every burst member must be sitting in the shard queue before the
+        // gate opens, or the run fragments nondeterministically.
+        wait_for_forwards(&pool, burst as u64 + 1);
+        open(&pin);
+        let selections: Vec<Selection> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("healthy worker").selection)
+            .collect();
+        assert!(pinned.wait().is_ok());
+        assert!(selections.iter().all(|s| *s == selections[0]));
+        let stats = pool.shutdown();
+        assert_eq!(stats.served(), burst as u64 + 1);
+        // The whole burst ran as one activation: one selection resolve for
+        // eight requests.
+        assert_eq!(stats.routing.batch_activations, 1);
+        assert_eq!(stats.routing.batched_requests, burst as u64);
+        assert_eq!(stats.routing.mean_batch_size(), burst as f64);
+        assert_eq!(
+            stats.engine().selections(),
+            2,
+            "one selection for the gate job, one shared by the whole run"
+        );
+    }
+
+    #[test]
+    fn batched_execute_matches_sequential_results_bit_for_bit() {
+        let (pool, corpus) = routed_pool(RoutingConfig::default().with_max_batch(16), None);
+        let (replay_engine, _outcome) = {
+            let entries = generate(&CollectionConfig::tiny());
+            SeerEngine::train(Gpu::default(), &entries, &TrainingConfig::fast()).unwrap()
+        };
+        let matrix = Arc::clone(&corpus[1]);
+        let x = Arc::new(vec![0.5; matrix.cols()]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        let burst = 6;
+        let tickets: Vec<Ticket> = (0..burst)
+            .map(|_| {
+                pool.submit(ServingRequest::execute(
+                    Arc::clone(&matrix),
+                    Arc::clone(&x),
+                    5,
+                ))
+            })
+            .collect();
+        wait_for_forwards(&pool, burst as u64 + 1);
+        open(&pin);
+        let responses: Vec<ServingResponse> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("healthy worker"))
+            .collect();
+        assert!(pinned.wait().is_ok());
+        // Sequential oracle: same requests, one at a time, fresh engine.
+        let first = replay_engine.execute(&matrix, &x, 5);
+        for (index, response) in responses.iter().enumerate() {
+            let reference = replay_engine.execute(&matrix, &x, 5);
+            assert_eq!(response.selection, first.selection);
+            assert_eq!(
+                response.result.as_deref(),
+                Some(reference.result.as_slice()),
+                "batched execute {index} diverged numerically"
+            );
+        }
+        // Billing parity: the run's first executed request carries the
+        // activation overhead, replays are pure kernel time — exactly the
+        // sequential miss-then-hit pattern.
+        let times: Vec<_> = responses.iter().map(|r| r.total_time.unwrap()).collect();
+        assert!(times[0] >= times[1]);
+        assert!(times.windows(2).skip(1).all(|w| w[0] == w[1]));
+        let stats = pool.shutdown();
+        assert_eq!(stats.routing.batch_activations, 1);
+        assert_eq!(stats.routing.batched_requests, burst as u64);
+        assert_eq!(stats.failed(), 0);
+    }
+
+    #[test]
+    fn expired_batchmate_is_shed_at_dequeue_never_executed() {
+        // Satellite bugfix-by-construction: a request whose deadline lapsed
+        // while it sat grouped in a pending batch is still shed at dequeue
+        // (counted expired), and its batchmates serve through the shared
+        // activation unharmed.
+        let (pool, corpus) = routed_pool(RoutingConfig::default().with_max_batch(16), None);
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        // The doomed request is first into the batch — the run's *head* —
+        // so expiry must also shift the activation onto a later batchmate.
+        let doomed = pool.submit(
+            ServingRequest::select(Arc::clone(&matrix), 19).with_timeout(Duration::from_millis(1)),
+        );
+        let survivors: Vec<Ticket> = (0..4)
+            .map(|_| pool.submit(ServingRequest::select(Arc::clone(&matrix), 19)))
+            .collect();
+        wait_for_forwards(&pool, 6);
+        std::thread::sleep(Duration::from_millis(20));
+        let selections_before = pool.stats().engine().selections();
+        open(&pin);
+        assert_eq!(
+            doomed.wait(),
+            Err(ServingError::DeadlineExceeded { shard: 0 })
+        );
+        for ticket in survivors {
+            let _ = ticket.wait().expect("batchmates of an expired request");
+        }
+        assert!(pinned.wait().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.expired(), 1);
+        assert_eq!(stats.served(), 5);
+        // One selection for the gate job (it serves after the snapshot),
+        // one shared by the whole run — the expired head contributes zero.
+        assert_eq!(stats.engine().selections(), selections_before + 2);
+        // The doomed job was coalesced into the run before it was shed.
+        assert_eq!(stats.routing.batched_requests, 5);
+        assert_eq!(stats.routing.batch_activations, 1);
+        assert_eq!(stats.offered(), 6);
+        assert_eq!(
+            stats.served() + stats.shed() + stats.expired() + stats.failed(),
+            stats.offered()
+        );
+    }
+
+    #[test]
+    fn eviction_removes_a_pending_batchmate_without_poisoning_the_run() {
+        // Satellite bugfix-by-construction: DropLowestPriority can evict a
+        // request already grouped (same fingerprint, same lane) into a
+        // pending batch; the victim resolves typed and the surviving
+        // batchmates' tickets stay intact.
+        let (pool, corpus) = routed_pool(
+            RoutingConfig::default().with_max_batch(16),
+            Some(AdmissionConfig::bounded(3).with_shed_policy(ShedPolicy::DropLowestPriority)),
+        );
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        // Three best-effort batchmates fill the bounded queue exactly.
+        let batchmates: Vec<Ticket> = (0..3)
+            .map(|_| {
+                pool.submit(
+                    ServingRequest::select(Arc::clone(&matrix), 19)
+                        .with_priority(Priority::BestEffort),
+                )
+            })
+            .collect();
+        wait_for_forwards(&pool, 4);
+        // An interactive arrival forces the policy to evict the newest
+        // best-effort job — the tail of the pending batch.
+        let vip = pool.submit(
+            ServingRequest::select(Arc::clone(&matrix), 19).with_priority(Priority::Interactive),
+        );
+        wait_for_forwards(&pool, 5);
+        open(&pin);
+        let outcomes: Vec<_> = batchmates.into_iter().map(Ticket::wait).collect();
+        assert_eq!(
+            outcomes[2],
+            Err(ServingError::Shed {
+                reason: ShedReason::Evicted { shard: 0 }
+            }),
+            "the newest batchmate is the eviction victim"
+        );
+        assert!(outcomes[0].is_ok() && outcomes[1].is_ok(), "{outcomes:?}");
+        assert!(vip.wait().is_ok());
+        assert!(pinned.wait().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.served(), 4);
+        assert_eq!(stats.shed(), 1);
+        assert_eq!(stats.admission.evicted, 1);
+        // The two surviving batchmates still coalesced into one activation.
+        assert_eq!(stats.routing.batched_requests, 2);
+        assert_eq!(stats.routing.batch_activations, 1);
+        assert_eq!(
+            stats.served() + stats.shed() + stats.expired() + stats.failed(),
+            stats.offered()
+        );
+    }
+
+    #[test]
+    fn full_routing_stage_sheds_typed_on_try_submit_and_blocks_on_submit() {
+        // Stage capacity 1 with the worker wedged behind a full shard
+        // queue: the stage fills, try_submit sheds typed, and the counter
+        // feeds the offered/shed balance.
+        let (pool, corpus) = routed_pool(
+            RoutingConfig::default().with_stage_capacity(1),
+            Some(AdmissionConfig::bounded(1)),
+        );
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        // One job fills the bounded shard queue...
+        let queued = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        wait_for_forwards(&pool, 2);
+        // ...the next wedges the routing worker in its backpressure wait...
+        let staged = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        // ...and a fourth finds the stage itself full.
+        let shed = loop {
+            match pool.try_submit(ServingRequest::select(Arc::clone(&matrix), 19)) {
+                SubmitOutcome::Shed { reason } => break reason,
+                // The worker may not have popped `staged` yet; accepted
+                // submits just deepen the stage until it reports full.
+                SubmitOutcome::Accepted(_) => continue,
+            }
+        };
+        assert_eq!(shed, ShedReason::RoutingStageFull);
+        open(&pin);
+        assert!(pinned.wait().is_ok());
+        assert!(queued.wait().is_ok());
+        assert!(staged.wait().is_ok());
+        pool.drain();
+        let stats = pool.shutdown();
+        assert!(stats.routing.shed_stage_full >= 1);
+        assert_eq!(
+            stats.served() + stats.shed() + stats.expired() + stats.failed(),
+            stats.offered()
+        );
+        assert_eq!(stats.routing.in_stage, 0);
+    }
+
+    #[test]
+    fn begin_shutdown_racing_the_routing_worker_resolves_every_staged_ticket() {
+        // Wedge the routing worker behind a full shard queue with more work
+        // parked in the stage, then begin_shutdown: every in-stage ticket
+        // must resolve typed PoolClosed — never hang, never leak.
+        let (pool, corpus) =
+            routed_pool(RoutingConfig::default(), Some(AdmissionConfig::bounded(1)));
+        let matrix = Arc::clone(&corpus[0]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        let queued = pool.submit(ServingRequest::select(Arc::clone(&matrix), 19));
+        wait_for_forwards(&pool, 2);
+        // These sit in the stage: the worker is blocked on the full queue.
+        let staged: Vec<Ticket> = (0..4)
+            .map(|_| pool.submit(ServingRequest::select(Arc::clone(&matrix), 19)))
+            .collect();
+        pool.begin_shutdown();
+        open(&pin);
+        assert!(pinned.wait().is_ok());
+        assert!(queued.wait().is_ok());
+        let mut closed = 0;
+        for mut ticket in staged {
+            match ticket
+                .wait_timeout(Duration::from_secs(30))
+                .map(|r| r.cloned())
+            {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("a staged ticket never resolved across the shutdown race"),
+                Err(ServingError::PoolClosed) => closed += 1,
+                Err(other) => panic!("staged ticket resolved to an unexpected error: {other}"),
+            }
+        }
+        let stats = pool.shutdown();
+        // The worker was wedged when the stage closed, so at least one
+        // staged job was still in the stage and resolved typed.
+        assert!(closed >= 1, "expected at least one PoolClosed resolution");
+        assert_eq!(stats.routing.stage_closed, closed);
+        assert_eq!(stats.routing.in_stage, 0);
+        assert_eq!(
+            stats.served() + stats.shed() + stats.expired() + stats.failed(),
+            stats.offered()
+        );
+    }
+
+    #[test]
+    fn chaos_workloads_and_mixed_kinds_never_coalesce() {
+        // batchable() is conservative: select-only and execute runs never
+        // mix, and chaos workloads always serve alone.
+        let (pool, corpus) = routed_pool(RoutingConfig::default().with_max_batch(16), None);
+        let matrix = Arc::clone(&corpus[0]);
+        let x = Arc::new(vec![1.0; matrix.cols()]);
+        let (pin_request, pin) = gate_request(Arc::clone(&matrix));
+        let pinned = pool.submit(pin_request);
+        wait_for_dequeues(&pool, Priority::Interactive, 1);
+        // Alternating kinds with the same fingerprint: runs break at every
+        // kind boundary, so no batch ever forms.
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    pool.submit(ServingRequest::select(Arc::clone(&matrix), 19))
+                } else {
+                    pool.submit(ServingRequest::execute(
+                        Arc::clone(&matrix),
+                        Arc::clone(&x),
+                        19,
+                    ))
+                }
+            })
+            .collect();
+        wait_for_forwards(&pool, 7);
+        open(&pin);
+        for ticket in tickets {
+            let _ = ticket.wait().expect("healthy worker");
+        }
+        assert!(pinned.wait().is_ok());
+        let stats = pool.shutdown();
+        assert_eq!(stats.served(), 7);
+        assert_eq!(
+            stats.routing.batch_activations, 0,
+            "alternating request kinds must never coalesce"
+        );
+        assert_eq!(stats.routing.batched_requests, 0);
+    }
+
+    #[test]
+    fn routing_config_builders_and_stats_helpers() {
+        let config = RoutingConfig::default()
+            .with_stage_capacity(64)
+            .with_max_batch(4);
+        assert_eq!(config.stage_capacity, 64);
+        assert_eq!(config.max_batch, 4);
+        let default = RoutingConfig::default();
+        assert_eq!(default.stage_capacity, 1024);
+        assert_eq!(default.max_batch, 8);
+        let mut stats = RoutingPoolStats {
+            batched_requests: 12,
+            batch_activations: 3,
+            ..RoutingPoolStats::default()
+        };
+        assert_eq!(stats.mean_batch_size(), 4.0);
+        stats.batch_activations = 0;
+        assert_eq!(stats.mean_batch_size(), 0.0);
     }
 }

@@ -150,6 +150,15 @@ pub struct TrafficConfig {
     /// Inclusive `[lo, hi]` bounds, in microseconds, of a uniformly drawn
     /// deadline for the requests that carry one.
     pub deadline_range_us: (u64, u64),
+    /// Probability that an opening burst is an *identical* burst: every
+    /// member repeats not just the matrix but the whole request — one
+    /// iteration count sampled at the burst's opening and pinned for the
+    /// run, and no value updates mid-burst — the solver-inner-loop shape a
+    /// micro-batching dequeue can coalesce into a single plan activation.
+    /// Drawn on its own split stream only when a burst opens; zero (the
+    /// default everywhere outside the routing scenarios) disables the draw
+    /// entirely, so pre-existing streams replay bit-identically.
+    pub identical_burst_fraction: f64,
 }
 
 impl TrafficConfig {
@@ -177,6 +186,7 @@ impl TrafficConfig {
             best_effort_fraction: 0.0,
             deadline_fraction: 0.0,
             deadline_range_us: (0, 0),
+            identical_burst_fraction: 0.0,
         }
     }
 
@@ -200,6 +210,7 @@ impl TrafficConfig {
             best_effort_fraction: 0.0,
             deadline_fraction: 0.0,
             deadline_range_us: (0, 0),
+            identical_burst_fraction: 0.0,
         }
     }
 
@@ -240,6 +251,7 @@ impl TrafficConfig {
             best_effort_fraction: 0.0,
             deadline_fraction: 0.0,
             deadline_range_us: (0, 0),
+            identical_burst_fraction: 0.0,
         }
     }
 
@@ -286,6 +298,7 @@ impl TrafficConfig {
             best_effort_fraction: 0.0,
             deadline_fraction: 0.0,
             deadline_range_us: (0, 0),
+            identical_burst_fraction: 0.0,
         }
     }
 
@@ -366,6 +379,37 @@ impl TrafficConfig {
             deadline_fraction: 0.5,
             deadline_range_us: (200, 10_000),
             ..Self::fleet_mixed(corpus_size, seed)
+        }
+    }
+
+    /// A micro-batching scenario: the skewed hot-set stream made burst-heavy
+    /// (nearly half of fresh draws open runs of up to 12) with 90% of those
+    /// bursts *identical* — same matrix, one pinned iteration count, no
+    /// mid-burst mutation — so a same-fingerprint coalescing dequeue gets
+    /// long runs to fold into single plan activations. Matrix choice and
+    /// burst structure replay the skewed base bit-for-bit.
+    pub fn identical_burst(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            burst_fraction: 0.45,
+            max_burst_len: 12,
+            identical_burst_fraction: 0.9,
+            ..Self::skewed(corpus_size, seed)
+        }
+    }
+
+    /// A routing-storm scenario: cache-hostile uniform traffic (no hot set,
+    /// so nearly every arrival is a cold matrix that needs a full routing
+    /// resolve) punctuated by identical bursts. This is the stream that
+    /// separates an O(1) offloaded submit from one that pays cold routing
+    /// inline: the submit path sees a flood of never-seen fingerprints
+    /// while the batching dequeue still gets runs to coalesce.
+    pub fn routing_storm(corpus_size: usize, seed: u64) -> Self {
+        Self {
+            burst_fraction: 0.35,
+            max_burst_len: 10,
+            identical_burst_fraction: 1.0,
+            iterations: IterationMix::Uniform { lo: 1, hi: 8 },
+            ..Self::uniform(corpus_size, seed)
         }
     }
 }
@@ -452,6 +496,10 @@ pub struct TrafficGenerator {
     /// others: an overload scenario differs from its calm base only in the
     /// class/deadline annotations, never in what is requested.
     admission_rng: SplitMix64,
+    /// Draws deciding whether an opening burst is an identical burst,
+    /// decoupled like the others: enabling identical bursts never perturbs
+    /// matrix choice, burst structure, chaos or admission annotations.
+    identity_rng: SplitMix64,
     /// Shuffled map from popularity rank to corpus index, so the hot set is
     /// spread across the corpus (and therefore across serving shards) instead
     /// of clustering at the low indices.
@@ -460,6 +508,9 @@ pub struct TrafficGenerator {
     burst_left: usize,
     current: usize,
     burst_position: usize,
+    /// `Some(n)` while inside an identical burst: every member (including
+    /// the opener) carries exactly `n` iterations and no value update.
+    pinned_iterations: Option<usize>,
 }
 
 impl TrafficGenerator {
@@ -487,11 +538,15 @@ impl TrafficGenerator {
             // Split last: the admission stream must not shift the splits the
             // pre-overload streams were derived from.
             admission_rng: root.split(0xAD),
+            // Split after 0xAD for the same reason: the identity stream is
+            // newer still, and every earlier split must keep its value.
+            identity_rng: root.split(0x1DE),
             rank_to_index,
             config: config.clone(),
             burst_left: 0,
             current: 0,
             burst_position: 0,
+            pinned_iterations: None,
         }
     }
 
@@ -528,6 +583,7 @@ impl Iterator for TrafficGenerator {
         } else {
             self.current = self.draw_index();
             self.burst_position = 0;
+            self.pinned_iterations = None;
             if self.config.max_burst_len >= 2
                 && self.structure_rng.next_f64() < self.config.burst_fraction.clamp(0.0, 1.0)
             {
@@ -536,12 +592,28 @@ impl Iterator for TrafficGenerator {
                     .structure_rng
                     .next_range(2, self.config.max_burst_len + 1);
                 self.burst_left = len - 1;
+                // Guarded draw on the identity stream, made only when a
+                // burst opens: an identical burst samples its iteration
+                // count once here and pins it for the whole run. With the
+                // fraction at zero the stream is never advanced, so every
+                // pre-existing scenario replays bit-identically.
+                if self.config.identical_burst_fraction > 0.0
+                    && self.identity_rng.next_f64()
+                        < self.config.identical_burst_fraction.clamp(0.0, 1.0)
+                {
+                    self.pinned_iterations =
+                        Some(self.config.iterations.sample(&mut self.iteration_rng));
+                }
             }
         }
         // Guarded draw: with the fraction at zero the mutation RNG is never
-        // advanced, so pre-existing configs replay their exact streams.
+        // advanced, so pre-existing configs replay their exact streams. The
+        // draw still advances inside an identical burst (keeping non-burst
+        // requests aligned with the calm base), but its outcome is forced
+        // off: an identical burst never mutates its operator mid-run.
         let value_update = self.config.value_update_fraction > 0.0
-            && self.mutation_rng.next_f64() < self.config.value_update_fraction.clamp(0.0, 1.0);
+            && self.mutation_rng.next_f64() < self.config.value_update_fraction.clamp(0.0, 1.0)
+            && self.pinned_iterations.is_none();
         // Chaos draws are guarded the same way, in a fixed kill/heal/join
         // order on their own stream; the first event to fire wins (at most
         // one membership change per request keeps harnesses simple).
@@ -589,9 +661,15 @@ impl Iterator for TrafficGenerator {
             let hi = hi.max(lo);
             self.admission_rng.next_range(lo as usize, hi as usize + 1) as u64
         });
+        // An identical burst replays its pinned count (sampled once at the
+        // opening); everything else samples per request as always.
+        let iterations = match self.pinned_iterations {
+            Some(pinned) => pinned,
+            None => self.config.iterations.sample(&mut self.iteration_rng),
+        };
         Some(TrafficRequest {
             matrix_index: self.current,
-            iterations: self.config.iterations.sample(&mut self.iteration_rng),
+            iterations,
             burst_position: self.burst_position,
             value_update,
             chaos,
@@ -986,6 +1064,143 @@ mod tests {
         assert!(d.iter().any(|r| r.deadline_us.is_some()));
         assert!(c.iter().all(|r| r.deadline_us.is_none()));
         assert!(c.iter().any(|r| r.class == RequestClass::Batch));
+    }
+
+    #[test]
+    fn identical_burst_scenario_pins_whole_bursts_and_replays() {
+        let config = TrafficConfig::identical_burst(48, 0x1DE7);
+        let requests = take(&config, 8_000);
+        assert_eq!(requests, take(&config, 8_000), "stream must replay");
+        // Inside a burst, an identical run repeats the matrix AND the
+        // iteration count. With the fraction at 0.9 the overwhelming
+        // majority of bursts are identical; count the pinned ones.
+        let mut pinned_members = 0;
+        let mut varied_members = 0;
+        for pair in requests.windows(2) {
+            if pair[1].burst_position > 0 {
+                assert_eq!(pair[1].matrix_index, pair[0].matrix_index);
+                if pair[1].iterations == pair[0].iterations {
+                    pinned_members += 1;
+                } else {
+                    varied_members += 1;
+                }
+            }
+        }
+        assert!(
+            pinned_members > 1_000,
+            "expected many identical-burst members, saw {pinned_members}"
+        );
+        // The 10% non-identical bursts draw per member from the bimodal
+        // mix, so some members must differ from their predecessor.
+        assert!(
+            varied_members > 10,
+            "non-identical bursts must survive, saw {varied_members}"
+        );
+    }
+
+    #[test]
+    fn routing_storm_floods_cold_matrices_with_fully_identical_bursts() {
+        let config = TrafficConfig::routing_storm(64, 0x5702);
+        let requests = take(&config, 8_000);
+        assert_eq!(requests, take(&config, 8_000), "stream must replay");
+        // Every burst is identical (fraction 1.0): matrix and iterations
+        // both repeat for the entire run.
+        for pair in requests.windows(2) {
+            if pair[1].burst_position > 0 {
+                assert_eq!(pair[1].matrix_index, pair[0].matrix_index);
+                assert_eq!(
+                    pair[1].iterations, pair[0].iterations,
+                    "a routing-storm burst must pin its iteration count"
+                );
+            }
+        }
+        assert!(
+            requests.iter().any(|r| r.burst_position > 0),
+            "the storm must contain bursts"
+        );
+        // The fresh draws stay cache-hostile: the whole corpus is touched.
+        let mut seen = [false; 64];
+        for r in &requests {
+            seen[r.matrix_index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn identity_draws_do_not_perturb_what_is_requested() {
+        // The identity stream is split after every pre-existing one and
+        // drawn only at burst openings: an identical-burst scenario keeps
+        // its base's matrix choice, burst structure and annotations
+        // bit-for-bit, differing only in iteration pinning.
+        let base = TrafficConfig {
+            burst_fraction: 0.45,
+            max_burst_len: 12,
+            ..TrafficConfig::skewed(64, 0xB45E)
+        };
+        let pinned = TrafficConfig {
+            identical_burst_fraction: 0.9,
+            ..base.clone()
+        };
+        let a = take(&base, 4_000);
+        let b = take(&pinned, 4_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix_index, y.matrix_index);
+            assert_eq!(x.burst_position, y.burst_position);
+            assert_eq!(x.value_update, y.value_update);
+            assert_eq!(x.chaos, y.chaos);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.deadline_us, y.deadline_us);
+        }
+        // The legacy scenarios themselves replay bit-identically: their
+        // fraction is zero, so the identity stream is never drawn.
+        assert_eq!(take(&TrafficConfig::skewed(64, 0xB45E), 4_000), {
+            let legacy = TrafficConfig {
+                identical_burst_fraction: 0.0,
+                ..TrafficConfig::skewed(64, 0xB45E)
+            };
+            take(&legacy, 4_000)
+        });
+    }
+
+    #[test]
+    fn identical_bursts_suppress_value_updates_without_shifting_the_draw() {
+        // Value updates are forced off inside an identical burst but the
+        // mutation stream still advances, so every request *outside* the
+        // pinned bursts mutates exactly when its calm base does.
+        let base = TrafficConfig {
+            burst_fraction: 0.45,
+            max_burst_len: 12,
+            value_update_fraction: 0.35,
+            ..TrafficConfig::skewed(64, 0x3B1D)
+        };
+        let pinned = TrafficConfig {
+            identical_burst_fraction: 1.0,
+            ..base.clone()
+        };
+        let a = take(&base, 4_000);
+        let b = take(&pinned, 4_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix_index, y.matrix_index);
+            assert_eq!(x.burst_position, y.burst_position);
+            // Pinning only ever removes updates, never adds or moves them.
+            if y.value_update {
+                assert!(x.value_update);
+            }
+            if x.value_update && !y.value_update {
+                // Suppressed updates are exactly the in-burst ones. The
+                // opener of an identical burst is pinned too, so only a
+                // non-burst singleton keeps every base update.
+                assert!(
+                    y.burst_position > 0 || x.burst_position == 0,
+                    "suppression outside a burst member"
+                );
+            }
+        }
+        assert!(b.iter().any(|r| r.value_update), "updates survive pinning");
+        assert!(
+            b.iter().all(|r| !(r.value_update && r.burst_position > 0)),
+            "no identical-burst member mutates mid-run"
+        );
     }
 
     #[test]

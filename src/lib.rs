@@ -68,8 +68,8 @@ pub use seer_sparse as sparse;
 pub use seer_core::{
     AdmissionConfig, AdmissionPoolStats, DevicePoolStats, EngineStats, ExplorationPolicy,
     HistogramSnapshot, LatencySnapshot, PoolConfig, PoolStats, Priority, RecalibrationConfig,
-    SeerEngine, ServingError, ServingPool, ServingRequest, ServingResponse, ShardStats, ShedPolicy,
-    ShedReason, SubmitOutcome,
+    RoutingConfig, RoutingPoolStats, SeerEngine, ServingError, ServingPool, ServingRequest,
+    ServingResponse, ShardStats, ShedPolicy, ShedReason, SubmitOutcome,
 };
 pub use seer_gpu::{
     DeviceFailed, DeviceId, DeviceRegistry, DeviceStatus, Fleet, FleetHandle, MembershipError,

@@ -257,6 +257,7 @@ fn rate_helpers_never_divide_by_zero() {
         shards: Vec::new(),
         router: None,
         admission: seer::AdmissionPoolStats::default(),
+        routing: seer::RoutingPoolStats::default(),
         latency: seer::LatencySnapshot::default(),
         elapsed: std::time::Duration::ZERO,
     };
